@@ -1,0 +1,75 @@
+//! Wall-time benchmarks for the distance tools (E3–E6 companions).
+
+use cc_clique::Clique;
+use cc_distance::{distance_through_sets, hitting_set, k_nearest, source_detection_all};
+use cc_graph::generators;
+use cc_matrix::Dist;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench_k_nearest(c: &mut Criterion) {
+    let n = 128;
+    let g = generators::gnp_weighted(n, 4.0 / n as f64, 50, 1).expect("graph");
+    c.bench_function("k_nearest_n128_k8", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            k_nearest(&mut clique, std::hint::black_box(&g), 8).expect("k-nearest")
+        })
+    });
+}
+
+fn bench_source_detection(c: &mut Criterion) {
+    let n = 128;
+    let g = generators::gnp_weighted(n, 4.0 / n as f64, 50, 2).expect("graph");
+    let sources: Vec<usize> = (0..16).map(|i| i * 8).collect();
+    c.bench_function("source_detection_n128_s16_d4", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            source_detection_all(&mut clique, std::hint::black_box(&g), &sources, 4)
+                .expect("source detection")
+        })
+    });
+}
+
+fn bench_through_sets(c: &mut Criterion) {
+    let n = 128;
+    let mut rng = StdRng::seed_from_u64(3);
+    let sets: Vec<Vec<(usize, Dist)>> = (0..n)
+        .map(|_| (0..12).map(|_| (rng.gen_range(0..n), Dist::fin(rng.gen_range(1..100)))).collect())
+        .collect();
+    c.bench_function("distance_through_sets_n128_rho12", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            distance_through_sets(&mut clique, std::hint::black_box(&sets)).expect("through sets")
+        })
+    });
+}
+
+fn bench_hitting_set(c: &mut Criterion) {
+    let n = 256;
+    let mut rng = StdRng::seed_from_u64(4);
+    let sets: Vec<Vec<usize>> =
+        (0..n).map(|_| (0..16).map(|_| rng.gen_range(0..n)).collect()).collect();
+    c.bench_function("hitting_set_n256_k16", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            hitting_set(&mut clique, std::hint::black_box(&sets), 16, 7).expect("hitting set")
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_k_nearest, bench_source_detection, bench_through_sets, bench_hitting_set
+}
+criterion_main!(benches);

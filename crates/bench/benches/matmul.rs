@@ -1,0 +1,80 @@
+//! Wall-time benchmarks for the matrix-multiplication engine (E1/E2
+//! companions — round counts live in the `experiments` binary; these track
+//! simulator throughput).
+
+use cc_bench::random_sparse;
+use cc_clique::Clique;
+use cc_matrix::MinPlus;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_sparse_multiply(c: &mut Criterion) {
+    let n = 128;
+    let s = random_sparse(n, 8, 1);
+    let t = random_sparse(n, 8, 2);
+    let t_cols = t.transpose();
+    let rho_out = s.multiply::<MinPlus>(&t).density();
+    c.bench_function("sparse_multiply_n128_rho8", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_matmul::sparse_multiply::<MinPlus>(
+                &mut clique,
+                std::hint::black_box(s.rows()),
+                t_cols.rows(),
+                rho_out,
+            )
+            .expect("multiply")
+        })
+    });
+}
+
+fn bench_filtered_multiply(c: &mut Criterion) {
+    let n = 128;
+    let s = random_sparse(n, 8, 3);
+    let t = random_sparse(n, 8, 4);
+    let t_cols = t.transpose();
+    c.bench_function("filtered_multiply_n128_rho8_filter8", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_matmul::filtered_multiply::<MinPlus>(
+                &mut clique,
+                std::hint::black_box(s.rows()),
+                t_cols.rows(),
+                8,
+            )
+            .expect("filtered multiply")
+        })
+    });
+}
+
+fn bench_dense_multiply(c: &mut Criterion) {
+    let n = 64;
+    let s = random_sparse(n, n, 5);
+    let t = random_sparse(n, n, 6);
+    let t_cols = t.transpose();
+    c.bench_function("dense_multiply_n64_full", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            cc_matmul::dense_multiply::<MinPlus>(
+                &mut clique,
+                std::hint::black_box(s.rows()),
+                t_cols.rows(),
+            )
+            .expect("dense multiply")
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sparse_multiply, bench_filtered_multiply, bench_dense_multiply
+}
+criterion_main!(benches);

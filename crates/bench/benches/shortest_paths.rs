@@ -1,0 +1,92 @@
+//! Wall-time benchmarks for the headline algorithms (E7–E12 companions).
+
+use cc_clique::Clique;
+use cc_core::{apsp, diameter, mssp, sssp};
+use cc_graph::generators;
+use cc_hopset::{build_hopset, HopsetConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_hopset(c: &mut Criterion) {
+    let n = 64;
+    let g = generators::gnp_weighted(n, 5.0 / n as f64, 40, 1).expect("graph");
+    c.bench_function("hopset_build_n64", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            build_hopset(&mut clique, std::hint::black_box(&g), HopsetConfig::new(0.5))
+                .expect("hopset")
+        })
+    });
+}
+
+fn bench_mssp(c: &mut Criterion) {
+    let n = 64;
+    let g = generators::gnp_weighted(n, 5.0 / n as f64, 40, 2).expect("graph");
+    let sources: Vec<usize> = (0..8).map(|i| i * 8).collect();
+    c.bench_function("mssp_n64_s8", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            mssp::mssp(&mut clique, std::hint::black_box(&g), &sources, 0.5).expect("mssp")
+        })
+    });
+}
+
+fn bench_apsp_weighted(c: &mut Criterion) {
+    let n = 64;
+    let g = generators::gnp_weighted(n, 5.0 / n as f64, 40, 3).expect("graph");
+    c.bench_function("apsp_weighted_2eps_n64", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            apsp::weighted_2eps(&mut clique, std::hint::black_box(&g), 0.5).expect("apsp")
+        })
+    });
+}
+
+fn bench_apsp_unweighted(c: &mut Criterion) {
+    let n = 64;
+    let g = generators::gnp(n, 0.1, 4).expect("graph");
+    c.bench_function("apsp_unweighted_2eps_n64", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            apsp::unweighted_2eps(&mut clique, std::hint::black_box(&g), 0.5).expect("apsp")
+        })
+    });
+}
+
+fn bench_exact_sssp(c: &mut Criterion) {
+    let n = 128;
+    let g = generators::grid_weighted(16, 8, 20, 5).expect("graph");
+    c.bench_function("exact_sssp_n128_grid", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            sssp::exact_sssp(&mut clique, std::hint::black_box(&g), 0).expect("sssp")
+        })
+    });
+}
+
+fn bench_diameter(c: &mut Criterion) {
+    let n = 64;
+    let g = generators::cycle(n).expect("graph");
+    c.bench_function("diameter_approx_n64_cycle", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(n);
+            diameter::diameter_approx(&mut clique, std::hint::black_box(&g), 0.25)
+                .expect("diameter")
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hopset, bench_mssp, bench_apsp_weighted, bench_apsp_unweighted,
+              bench_exact_sssp, bench_diameter
+}
+criterion_main!(benches);

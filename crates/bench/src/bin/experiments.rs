@@ -1,0 +1,641 @@
+//! The experiment harness: regenerates every claim-level result in
+//! EXPERIMENTS.md (the paper has no tables/figures — its "evaluation" is
+//! its theorems, so each experiment measures one theorem's bound and
+//! guarantee on the simulator).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cc-bench --bin experiments [all|e1|..|e12|ablate-cost|ablate-filter|ablate-shortcut]
+//! ```
+//!
+//! Output is GitHub-flavoured markdown, pasted (with narrative) into
+//! EXPERIMENTS.md.
+
+// Node-indexed loops over parallel per-node vectors are the domain idiom.
+#![allow(clippy::needless_range_loop)]
+
+use std::time::Instant;
+
+use cc_bench::{loglog_slope, random_sparse, thm8_formula, Table};
+use cc_clique::{Clique, CostModel};
+use cc_core::{apsp, baselines, diameter, mssp, sssp, stretch};
+use cc_distance::{distance_through_sets, hitting_set, k_nearest, source_detection_all};
+use cc_graph::{generators, reference};
+use cc_hopset::{build_hopset, HopsetConfig};
+use cc_matrix::{Dist, MinPlus, SparseMatrix};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let started = Instant::now();
+    let all = which == "all";
+    if all || which == "e1" {
+        e1();
+    }
+    if all || which == "e2" {
+        e2();
+    }
+    if all || which == "e3" {
+        e3();
+    }
+    if all || which == "e4" {
+        e4();
+    }
+    if all || which == "e5" {
+        e5();
+    }
+    if all || which == "e6" {
+        e6();
+    }
+    if all || which == "e7" {
+        e7();
+    }
+    if all || which == "e8" {
+        e8();
+    }
+    if all || which == "e9" {
+        e9();
+    }
+    if all || which == "e10" {
+        e10();
+    }
+    if all || which == "e11" {
+        e11();
+    }
+    if all || which == "e12" {
+        e12();
+    }
+    if all || which == "ablate-cost" {
+        ablate_cost();
+    }
+    if all || which == "ablate-filter" {
+        ablate_filter();
+    }
+    if all || which == "ablate-shortcut" {
+        ablate_shortcut();
+    }
+    eprintln!("[experiments] total wall time: {:.1}s", started.elapsed().as_secs_f64());
+}
+
+/// E1 — Theorem 8: sparse MM rounds track `(ρS·ρT·ρ̂)^{1/3}/n^{2/3} + 1`.
+fn e1() {
+    let n = 256;
+    println!("### E1 — Theorem 8: output-sensitive sparse matrix multiplication (n={n})\n");
+    let mut table = Table::new(&[
+        "rho_S=rho_T",
+        "rho_out",
+        "rounds (Thm 8)",
+        "formula",
+        "rounds (dense 3D)",
+        "correct",
+    ]);
+    let mut pts = Vec::new();
+    for rho in [1usize, 2, 4, 8, 16, 32, 64] {
+        let s = random_sparse(n, rho, 10 + rho as u64);
+        let t = random_sparse(n, rho, 20 + rho as u64);
+        let t_cols = t.transpose();
+        let expected = s.multiply::<MinPlus>(&t);
+        let rho_out = expected.density();
+
+        let mut clique = Clique::new(n);
+        let p = cc_matmul::sparse_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), rho_out)
+            .expect("multiply");
+        let ok = SparseMatrix::from_rows(p) == expected;
+        let rounds = clique.rounds();
+
+        let mut clique = Clique::new(n);
+        cc_matmul::dense_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows()).expect("dense");
+        let dense_rounds = clique.rounds();
+
+        let f = thm8_formula(n, rho, rho, rho_out);
+        pts.push((f, rounds as f64));
+        table.row(vec![
+            rho.to_string(),
+            rho_out.to_string(),
+            rounds.to_string(),
+            format!("{f:.2}"),
+            dense_rounds.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    table.print();
+    let (a, b) = cc_bench::linear_fit(&pts);
+    println!(
+        "linear fit: rounds ~ {a:.0} + {b:.1}·formula — a constant pipeline floor of ~{a:.0} rounds plus ~{b:.0} rounds per formula unit (theory predicts linearity in the formula)\n",
+    );
+}
+
+/// E2 — Theorem 14: filtered MM stays flat while unfiltered output grows.
+fn e2() {
+    let n = 256;
+    let rho_filter = 8;
+    println!("### E2 — Theorem 14: filtered multiplication (n={n}, filter rho={rho_filter})\n");
+    let mut table = Table::new(&[
+        "rho_in",
+        "rho_out (full)",
+        "Thm 8 rounds (full output)",
+        "Thm 14 rounds (filtered)",
+        "correct",
+    ]);
+    for rho in [2usize, 4, 8, 16, 32, 64] {
+        let s = random_sparse(n, rho, 30 + rho as u64);
+        let t = random_sparse(n, rho, 40 + rho as u64);
+        let t_cols = t.transpose();
+        let expected_full = s.multiply::<MinPlus>(&t);
+        let rho_out = expected_full.density();
+
+        let mut clique = Clique::new(n);
+        cc_matmul::sparse_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), rho_out)
+            .expect("multiply");
+        let full_rounds = clique.rounds();
+
+        let mut clique = Clique::new(n);
+        let p = cc_matmul::filtered_multiply::<MinPlus>(
+            &mut clique,
+            s.rows(),
+            t_cols.rows(),
+            rho_filter,
+        )
+        .expect("filtered");
+        let filtered_rounds = clique.rounds();
+        let ok = SparseMatrix::from_rows(p) == expected_full.filtered::<MinPlus>(rho_filter);
+
+        table.row(vec![
+            rho.to_string(),
+            rho_out.to_string(),
+            full_rounds.to_string(),
+            filtered_rounds.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// E3 — Theorem 18: k-nearest rounds `O((k/n^{2/3} + log n)·log k)`.
+fn e3() {
+    let n = 256;
+    println!("### E3 — Theorem 18: k-nearest (n={n}, weighted G(n,p))\n");
+    let g = generators::gnp_weighted(n, 4.0 / n as f64, 100, 3).expect("graph");
+    let mut table = Table::new(&["k", "rounds", "bound ~ (k/n^2/3 + log n) log k", "exact"]);
+    for k in [2usize, 4, 8, 16, 32, 64, 128] {
+        let mut clique = Clique::new(n);
+        let rows = k_nearest(&mut clique, &g, k).expect("k-nearest");
+        let mut ok = true;
+        for v in (0..n).step_by(37) {
+            let expected = reference::k_nearest(&g, v, k);
+            let mut got: Vec<(u64, u32, usize)> =
+                rows[v].iter().map(|(c, a)| (a.dist, a.hops, c as usize)).collect();
+            got.sort_unstable();
+            let got: Vec<(usize, u64, u32)> =
+                got.into_iter().map(|(d, h, u)| (u, d, h)).collect();
+            ok &= got == expected;
+        }
+        let bound = (k as f64 / (n as f64).powf(2.0 / 3.0) + (n as f64).log2())
+            * (k.max(2) as f64).log2();
+        table.row(vec![
+            k.to_string(),
+            clique.rounds().to_string(),
+            format!("{bound:.0}"),
+            ok.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// E4 — Theorem 19: source detection `O((m^{1/3}|S|^{2/3}/n + 1)·d)`.
+fn e4() {
+    let n = 128;
+    println!("### E4 — Theorem 19: (S, d, k)-source detection (n={n})\n");
+    let g = generators::gnp_weighted(n, 6.0 / n as f64, 50, 4).expect("graph");
+    let mut table = Table::new(&["|S|", "d", "rounds", "rounds/d", "correct"]);
+    for s_count in [2usize, 8, 32, 128] {
+        let sources: Vec<usize> = (0..s_count).map(|i| i * (n / s_count)).collect();
+        for d in [2usize, 8] {
+            let mut clique = Clique::new(n);
+            let rows = source_detection_all(&mut clique, &g, &sources, d).expect("detect");
+            let mut ok = true;
+            for &s in sources.iter().take(3) {
+                let expected = reference::hop_bounded(&g, s, d);
+                for v in (0..n).step_by(17) {
+                    ok &= rows[v].get(s as u32).map(|a| a.dist) == expected[v];
+                }
+            }
+            table.row(vec![
+                s_count.to_string(),
+                d.to_string(),
+                clique.rounds().to_string(),
+                format!("{:.1}", clique.rounds() as f64 / d as f64),
+                ok.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// E5 — Theorem 20: distance through sets `O(ρ^{2/3}/n^{1/3} + 1)`.
+fn e5() {
+    let n = 256;
+    println!("### E5 — Theorem 20: distance through sets (n={n})\n");
+    let mut table = Table::new(&["|W_v|", "rounds", "bound ~ rho^2/3 / n^1/3 + 1"]);
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(5);
+    for size in [2usize, 4, 8, 16, 32, 64] {
+        let sets: Vec<Vec<(usize, Dist)>> = (0..n)
+            .map(|_| {
+                (0..size)
+                    .map(|_| (rng.gen_range(0..n), Dist::fin(rng.gen_range(1..100))))
+                    .collect()
+            })
+            .collect();
+        let mut clique = Clique::new(n);
+        distance_through_sets(&mut clique, &sets).expect("through sets");
+        let bound = (size as f64).powf(2.0 / 3.0) / (n as f64).powf(1.0 / 3.0) + 1.0;
+        table.row(vec![size.to_string(), clique.rounds().to_string(), format!("{bound:.2}")]);
+    }
+    table.print();
+}
+
+/// E6 — Lemma 4: hitting set sizes `O(n log n / k)`.
+fn e6() {
+    let n = 256;
+    println!("### E6 — Lemma 4: hitting sets (n={n}, k-balls of a weighted G(n,p))\n");
+    let g = generators::gnp_weighted(n, 6.0 / n as f64, 50, 6).expect("graph");
+    let mut table = Table::new(&["k", "|A| measured", "2n·ln n/k", "all sets hit"]);
+    for k in [4usize, 16, 64, 128] {
+        let mut clique = Clique::new(n);
+        let near = k_nearest(&mut clique, &g, k).expect("k-nearest");
+        let sets: Vec<Vec<usize>> =
+            near.iter().map(|r| r.iter().map(|(c, _)| c as usize).collect()).collect();
+        let hs = hitting_set(&mut clique, &sets, k, 42).expect("hitting set");
+        let hit = sets
+            .iter()
+            .all(|s| s.is_empty() || s.iter().any(|&w| hs.contains(w)));
+        let bound = 2.0 * n as f64 * (n as f64).ln() / k as f64;
+        table.row(vec![
+            k.to_string(),
+            hs.len().to_string(),
+            format!("{bound:.0}"),
+            hit.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// E7 — Theorem 25: hopsets — size, construction rounds, measured stretch.
+fn e7() {
+    println!("### E7 — Theorem 25: (beta, eps)-hopsets\n");
+    let mut table = Table::new(&[
+        "n",
+        "eps",
+        "config",
+        "beta",
+        "edges",
+        "n^1.5·log n",
+        "build rounds",
+        "measured stretch",
+        "guarantee 1+eps",
+    ]);
+    for &(n, eps) in &[(64usize, 0.5), (128, 0.5), (128, 1.0)] {
+        let g = generators::gnp_weighted(n, 4.0 / n as f64, 50, 7).expect("graph");
+        for (label, cfg) in [
+            ("paper", HopsetConfig::new(eps)),
+            ("tuned", {
+                let mut c = HopsetConfig::new(eps);
+                c.beta = Some(8);
+                c.exploration_hops = Some(16);
+                c.levels = Some((n as f64).log2().ceil() as usize);
+                c
+            }),
+        ] {
+            let mut clique = Clique::new(n);
+            let h = build_hopset(&mut clique, &g, cfg).expect("hopset");
+            let stretch = h.measure_stretch(&g);
+            let bound = ((n as f64).powf(1.5) * (n as f64).log2()) as u64;
+            table.row(vec![
+                n.to_string(),
+                eps.to_string(),
+                label.to_string(),
+                h.beta.to_string(),
+                h.edges.len().to_string(),
+                bound.to_string(),
+                clique.rounds().to_string(),
+                format!("{stretch:.3}"),
+                format!("{:.2}", 1.0 + eps),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// E8 — Theorem 3: MSSP query rounds vs |S| (one shared hopset).
+fn e8() {
+    let n = 256;
+    let eps = 0.5;
+    println!("### E8 — Theorem 3: multi-source shortest paths (n={n}, eps={eps})\n");
+    let g = generators::gnp_weighted(n, 5.0 / n as f64, 50, 8).expect("graph");
+    let mut clique = Clique::new(n);
+    let hopset = build_hopset(&mut clique, &g, HopsetConfig::new(eps)).expect("hopset");
+    println!(
+        "hopset build: {} rounds (shared across all queries below), beta = {}\n",
+        clique.rounds(),
+        hopset.beta
+    );
+    let mut table =
+        Table::new(&["|S|", "query rounds", "max stretch (sampled)", "guarantee"]);
+    for s_count in [1usize, 4, 16, 64, 128, 256] {
+        let sources: Vec<usize> = (0..s_count).map(|i| i * (n / s_count)).collect();
+        let mut clique = Clique::new(n);
+        let run =
+            mssp::mssp_with_hopset(&mut clique, &g, &sources, &hopset).expect("mssp");
+        let mut worst: f64 = 1.0;
+        for (i, &s) in sources.iter().enumerate().take(4) {
+            let exact = reference::dijkstra(&g, s);
+            for v in 0..n {
+                if let (Some(d), Some(e)) = (exact[v], run.dist[v][i].value()) {
+                    if d > 0 {
+                        worst = worst.max(e as f64 / d as f64);
+                    }
+                }
+            }
+        }
+        table.row(vec![
+            s_count.to_string(),
+            run.rounds.to_string(),
+            format!("{worst:.3}"),
+            format!("{:.2}", 1.0 + eps),
+        ]);
+    }
+    table.print();
+}
+
+/// E9 — §6.1 + Theorem 28: weighted APSP vs the exact dense baseline.
+fn e9() {
+    println!("### E9 — Weighted APSP: (3+eps) and (2+eps,(1+eps)W) vs exact baseline\n");
+    let eps = 0.5;
+    let mut table = Table::new(&[
+        "n",
+        "algorithm",
+        "rounds",
+        "max stretch",
+        "mean stretch",
+        "guarantee",
+    ]);
+    for n in [32usize, 64, 128] {
+        let g = generators::gnp_weighted(n, 5.0 / n as f64, 50, 9).expect("graph");
+        let exact = reference::all_pairs(&g);
+
+        let mut clique = Clique::new(n);
+        let run = apsp::weighted_3eps(&mut clique, &g, eps).expect("3eps");
+        stretch::assert_sound(&run.dist, &exact);
+        table.row(vec![
+            n.to_string(),
+            "(3+eps)".into(),
+            run.rounds.to_string(),
+            format!("{:.3}", stretch::max_stretch(&run.dist, &exact)),
+            format!("{:.3}", stretch::mean_stretch(&run.dist, &exact)),
+            format!("{:.1}", 3.0 + eps),
+        ]);
+
+        let mut clique = Clique::new(n);
+        let run = apsp::weighted_2eps(&mut clique, &g, eps).expect("2eps");
+        stretch::assert_sound(&run.dist, &exact);
+        table.row(vec![
+            n.to_string(),
+            "(2+eps,(1+eps)W)".into(),
+            run.rounds.to_string(),
+            format!("{:.3}", stretch::max_stretch(&run.dist, &exact)),
+            format!("{:.3}", stretch::mean_stretch(&run.dist, &exact)),
+            "<= (3+2eps) overall".into(),
+        ]);
+
+        let mut clique = Clique::new(n);
+        let run = baselines::exact_apsp_squaring(&mut clique, &g).expect("baseline");
+        table.row(vec![
+            n.to_string(),
+            "exact dense squaring [13]".into(),
+            run.rounds.to_string(),
+            "1.000".into(),
+            "1.000".into(),
+            "exact".into(),
+        ]);
+
+        for k in [2usize, 3] {
+            let mut clique = Clique::new(n);
+            let run = baselines::spanner_apsp(&mut clique, &g, k).expect("spanner");
+            stretch::assert_sound(&run.dist, &exact);
+            table.row(vec![
+                n.to_string(),
+                format!("(2k-1)-spanner, k={k} [52]"),
+                run.rounds.to_string(),
+                format!("{:.3}", stretch::max_stretch(&run.dist, &exact)),
+                format!("{:.3}", stretch::mean_stretch(&run.dist, &exact)),
+                format!("{}", 2 * k - 1),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// E10 — Theorem 2/31: unweighted (2+eps) APSP across graph families.
+fn e10() {
+    let n = 128;
+    let eps = 0.5;
+    println!("### E10 — Theorem 2/31: unweighted (2+eps) APSP (n~{n}, eps={eps})\n");
+    let mut table =
+        Table::new(&["family", "n", "m", "rounds", "max stretch", "mean stretch"]);
+    let side = (n as f64).sqrt().round() as usize;
+    let families: Vec<(&str, cc_graph::Graph)> = vec![
+        ("gnp-sparse", generators::gnp(n, 2.0 * (n as f64).ln() / n as f64, 10).unwrap()),
+        ("gnp-dense", generators::gnp(n, 0.3, 11).unwrap()),
+        ("grid", generators::grid(side, side).unwrap()),
+        ("path", generators::path(n).unwrap()),
+        ("star", generators::star(n).unwrap()),
+        ("ba-hubs", generators::barabasi_albert(n, 3, 12).unwrap()),
+        ("cliques", generators::cliques_with_bridges(n / 8, 8, 1).unwrap()),
+    ];
+    for (name, g) in families {
+        let mut clique = Clique::new(g.n());
+        let run = apsp::unweighted_2eps(&mut clique, &g, eps).expect(name);
+        let exact = reference::all_pairs(&g);
+        stretch::assert_sound(&run.dist, &exact);
+        table.row(vec![
+            name.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            run.rounds.to_string(),
+            format!("{:.3}", stretch::max_stretch(&run.dist, &exact)),
+            format!("{:.3}", stretch::mean_stretch(&run.dist, &exact)),
+        ]);
+    }
+    table.print();
+    println!("guarantee: max stretch <= 2 + eps = {:.1} on every family\n", 2.0 + eps);
+}
+
+/// E11 — Theorem 33: exact SSSP vs Bellman-Ford, who wins where.
+fn e11() {
+    println!("### E11 — Theorem 33: exact SSSP (shortcut) vs Bellman-Ford\n");
+    let mut table = Table::new(&[
+        "graph",
+        "n",
+        "SPD",
+        "BF rounds",
+        "Thm 33 rounds",
+        "winner",
+        "exact",
+    ]);
+    let mut cases: Vec<(String, cc_graph::Graph)> = Vec::new();
+    for n in [64usize, 128, 256, 512] {
+        cases.push((format!("path-{n}"), generators::path(n).unwrap()));
+    }
+    cases.push(("grid-16x16".into(), generators::grid_weighted(16, 16, 20, 13).unwrap()));
+    cases.push((
+        "gnp-256".into(),
+        generators::gnp_weighted(256, 5.0 / 256.0, 50, 14).unwrap(),
+    ));
+    let mut growth = Vec::new();
+    for (name, g) in cases {
+        let n = g.n();
+        let exact = reference::dijkstra(&g, 0);
+        let spd = reference::shortest_path_diameter(&g);
+        let mut c_bf = Clique::new(n);
+        let bf = sssp::bellman_ford(&mut c_bf, &g, 0, None).expect("bf");
+        let mut c_fast = Clique::new(n);
+        let fast = sssp::exact_sssp(&mut c_fast, &g, 0).expect("sssp");
+        let ok = (0..n).all(|v| {
+            bf.dist[v].value() == exact[v] && fast.dist[v].value() == exact[v]
+        });
+        if name.starts_with("path-") {
+            growth.push((n as f64, fast.rounds as f64));
+        }
+        let winner = if fast.rounds < bf.rounds { "Thm 33" } else { "Bellman-Ford" };
+        table.row(vec![
+            name,
+            n.to_string(),
+            spd.to_string(),
+            bf.rounds.to_string(),
+            fast.rounds.to_string(),
+            winner.into(),
+            ok.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "Thm 33 round growth exponent on paths (log-log slope): {:.2} (theory: ~1/6 plus polylog constant; Bellman-Ford is exponent 1.0)\n",
+        loglog_slope(&growth)
+    );
+}
+
+/// E12 — Claims 34/35: diameter approximation bounds.
+fn e12() {
+    let eps = 0.25;
+    println!("### E12 — §7.2: near-3/2 diameter approximation (eps={eps})\n");
+    let mut table = Table::new(&[
+        "family",
+        "true D",
+        "estimate D'",
+        "lower bound (Claim 35)",
+        "(1+eps)·D",
+        "rounds",
+        "within bounds",
+    ]);
+    let families: Vec<(&str, cc_graph::Graph)> = vec![
+        ("path-120", generators::path(120).unwrap()),
+        ("cycle-128", generators::cycle(128).unwrap()),
+        ("grid-11x11", generators::grid(11, 11).unwrap()),
+        ("gnp-128", generators::gnp(128, 0.06, 15).unwrap()),
+        ("star-128", generators::star(128).unwrap()),
+    ];
+    for (name, g) in families {
+        let d = reference::diameter(&g).expect("connected");
+        let mut clique = Clique::new(g.n());
+        let run = diameter::diameter_approx(&mut clique, &g, eps).expect(name);
+        let h = d / 3;
+        let z = d % 3;
+        let lower = if z == 0 { 2 * h } else { 2 * h + 1 };
+        table.row(vec![
+            name.to_string(),
+            d.to_string(),
+            run.estimate.to_string(),
+            lower.to_string(),
+            format!("{:.1}", (1.0 + eps) * d as f64),
+            run.rounds.to_string(),
+            diameter::within_claim35(run.estimate, d, eps).to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// Ablation: cost-model constants don't change algorithm rankings.
+fn ablate_cost() {
+    println!("### Ablation — cost-model sensitivity (unit vs conservative Lenzen constants)\n");
+    let n = 128;
+    let g = generators::path(n).unwrap();
+    let mut table = Table::new(&["cost model", "BF rounds", "Thm 33 rounds", "ratio"]);
+    for (label, cost) in
+        [("unit", CostModel::unit()), ("conservative (16/10)", CostModel::conservative())]
+    {
+        let mut c_bf = Clique::with_cost_model(n, cost);
+        let bf = sssp::bellman_ford(&mut c_bf, &g, 0, None).expect("bf");
+        let mut c_fast = Clique::with_cost_model(n, cost);
+        let fast = sssp::exact_sssp(&mut c_fast, &g, 0).expect("fast");
+        table.row(vec![
+            label.into(),
+            bf.rounds.to_string(),
+            fast.rounds.to_string(),
+            format!("{:.2}", fast.rounds as f64 / bf.rounds as f64),
+        ]);
+    }
+    table.print();
+    println!("the constants rescale both algorithms; crossover-n moves but the asymptotic ordering is unchanged.\n");
+}
+
+/// Ablation: what Theorem 14's output filtering buys inside k-nearest.
+fn ablate_filter() {
+    println!("### Ablation — filtered vs unfiltered squaring (star graph: dense squares)\n");
+    let n = 128;
+    let k = 8;
+    let g = generators::star(n).unwrap();
+    let w = g.augmented_weight_matrix();
+    let mut table = Table::new(&["method", "rounds", "output entries"]);
+
+    let mut clique = Clique::new(n);
+    let rows = k_nearest(&mut clique, &g, k).expect("k-nearest");
+    let nnz: usize = rows.iter().map(|r| r.nnz()).sum();
+    table.row(vec!["Thm 14 filtered squaring (k-nearest)".into(), clique.rounds().to_string(), nnz.to_string()]);
+
+    let mut clique = Clique::new(n);
+    let w_cols = w.transpose();
+    let (sq, _) = cc_matmul::sparse_multiply_auto::<cc_matrix::AugMinPlus>(
+        &mut clique,
+        w.rows(),
+        w_cols.rows(),
+    )
+    .expect("square");
+    let nnz: usize = sq.iter().map(|r| r.nnz()).sum();
+    table.row(vec![
+        "unfiltered W^2 (one squaring only)".into(),
+        clique.rounds().to_string(),
+        nnz.to_string(),
+    ]);
+    table.print();
+    println!("the unfiltered square of a star is already dense (n^2 entries); iterating it is hopeless, which is why Theorem 14 exists.\n");
+}
+
+/// Ablation: the shortcut parameter k = n^{5/6} of Theorem 33.
+fn ablate_shortcut() {
+    println!("### Ablation — Theorem 33 shortcut parameter (path, n=256)\n");
+    let n = 256;
+    let g = generators::path(n).unwrap();
+    let mut table = Table::new(&["k exponent", "k", "rounds", "exact"]);
+    let exact = reference::dijkstra(&g, 0);
+    for (label, exp) in [("1/2", 0.5), ("2/3", 2.0 / 3.0), ("5/6", 5.0 / 6.0), ("0.95", 0.95)] {
+        let k = (n as f64).powf(exp).ceil() as usize;
+        let mut clique = Clique::new(n);
+        let run = sssp::exact_sssp_with_k(&mut clique, &g, 0, k).expect("sssp");
+        let ok = (0..n).all(|v| run.dist[v].value() == exact[v]);
+        table.row(vec![label.into(), k.to_string(), run.rounds.to_string(), ok.to_string()]);
+    }
+    table.print();
+}

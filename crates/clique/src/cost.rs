@@ -1,0 +1,70 @@
+/// Round-cost constants for the simulator primitives.
+///
+/// The paper charges `O(1)` rounds for Lenzen routing and sorting and absorbs
+/// the constants. The simulator makes the constants explicit and
+/// configurable so that experiments can check that *relative* results (which
+/// algorithm wins, where crossovers fall) are insensitive to them:
+///
+/// * [`CostModel::unit`] (the default) charges one round per `n`-word batch
+///   per primitive invocation — the information-theoretic floor, which makes
+///   round counts directly readable against the paper's bounds.
+/// * [`CostModel::conservative`] charges the constants from Lenzen's
+///   deterministic routing/sorting papers (16 and 10 rounds per batch).
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::{Clique, CostModel};
+///
+/// let unit = Clique::new(8);
+/// let cons = Clique::with_cost_model(8, CostModel::conservative());
+/// assert!(cons.cost_model().route_per_unit > unit.cost_model().route_per_unit);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    /// Rounds charged per `n`-word-per-node batch delivered by routing.
+    pub route_per_unit: u64,
+    /// Rounds charged per `n`-word-per-node batch handled by sorting.
+    pub sort_per_unit: u64,
+    /// Rounds charged per broadcast word.
+    pub broadcast_per_unit: u64,
+}
+
+impl CostModel {
+    /// One round per full-bandwidth batch: the reading most aligned with the
+    /// paper's asymptotic statements.
+    pub fn unit() -> Self {
+        CostModel { route_per_unit: 1, sort_per_unit: 1, broadcast_per_unit: 1 }
+    }
+
+    /// Constants taken from Lenzen's deterministic routing (16 rounds) and
+    /// sorting (10 rounds) algorithms; useful for sensitivity analysis.
+    pub fn conservative() -> Self {
+        CostModel { route_per_unit: 16, sort_per_unit: 10, broadcast_per_unit: 1 }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unit() {
+        assert_eq!(CostModel::default(), CostModel::unit());
+    }
+
+    #[test]
+    fn conservative_dominates_unit() {
+        let u = CostModel::unit();
+        let c = CostModel::conservative();
+        assert!(c.route_per_unit >= u.route_per_unit);
+        assert!(c.sort_per_unit >= u.sort_per_unit);
+        assert!(c.broadcast_per_unit >= u.broadcast_per_unit);
+    }
+}

@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors raised by the Congested Clique simulator.
+///
+/// All of these indicate a *bug in the calling algorithm* (addressing a node
+/// outside the clique, handing a primitive malformed per-node input), never a
+/// transient condition: the simulated network itself is reliable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CliqueError {
+    /// A message referenced a node id `node` outside `0..n`.
+    InvalidNode {
+        /// The offending node id.
+        node: NodeId,
+        /// The size of the clique.
+        n: usize,
+    },
+    /// A per-node input vector had the wrong length (must be exactly `n`).
+    WrongLength {
+        /// Expected length (the clique size `n`).
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// A primitive was invoked with a zero-node clique.
+    EmptyClique,
+}
+
+impl fmt::Display for CliqueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliqueError::InvalidNode { node, n } => {
+                write!(f, "node id {node} is outside the clique 0..{n}")
+            }
+            CliqueError::WrongLength { expected, got } => {
+                write!(f, "per-node input has length {got}, expected {expected}")
+            }
+            CliqueError::EmptyClique => write!(f, "clique has no nodes"),
+        }
+    }
+}
+
+impl Error for CliqueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CliqueError::InvalidNode { node: 9, n: 4 };
+        assert_eq!(e.to_string(), "node id 9 is outside the clique 0..4");
+        let e = CliqueError::WrongLength { expected: 4, got: 2 };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(!format!("{:?}", CliqueError::EmptyClique).is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CliqueError>();
+    }
+}

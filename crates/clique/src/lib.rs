@@ -1,0 +1,64 @@
+//! # `cc-clique`: a message-accurate Congested Clique simulator
+//!
+//! The **Congested Clique** is a synchronous distributed model: `n` nodes,
+//! every pair connected, and in each round every node may send one message of
+//! `O(log n)` bits over each of its `n - 1` links (and receives accordingly).
+//! Local computation is free.
+//!
+//! This crate provides the substrate on which the rest of the workspace runs
+//! the algorithms of *Fast Approximate Shortest Paths in the Congested
+//! Clique* (PODC 2019). Algorithms keep per-node state in ordinary `Vec`s and
+//! move information between nodes **only** through the primitives of
+//! [`Clique`]:
+//!
+//! * [`Clique::route`] — Lenzen's routing: any message pattern in which every
+//!   node sends at most `n` words and receives at most `n` words is delivered
+//!   in `O(1)` rounds; larger patterns are charged proportionally
+//!   (`ceil(load/n)` round-units).
+//! * [`Clique::broadcast`] / [`Clique::all_broadcast`] — one-to-all and
+//!   all-to-all broadcast of `O(1)` words per node per round.
+//! * [`Clique::sort`] — Lenzen's sorting: `≤ n` words per node are globally
+//!   sorted in `O(1)` rounds, with node `i` receiving the `i`-th batch.
+//! * [`Clique::charge`] — explicit round charge for a primitive whose cost is
+//!   cited from the literature (used only for Lemma 4 hitting sets).
+//!
+//! Every primitive *physically moves the data* (so algorithms cannot cheat),
+//! *validates* the model's bandwidth constraints, and *accounts* rounds,
+//! messages and words into [`Metrics`], broken down by algorithm phase.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_clique::{Clique, Envelope};
+//!
+//! # fn main() -> Result<(), cc_clique::CliqueError> {
+//! let mut clique = Clique::new(4);
+//! // Every node sends its id squared to node 0.
+//! let msgs = (0..4).map(|v| Envelope::new(v, 0, (v * v) as u64)).collect();
+//! let inboxes = clique.route(msgs)?;
+//! assert_eq!(inboxes[0].len(), 4);
+//! assert_eq!(clique.metrics().rounds, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod error;
+mod metrics;
+mod payload;
+mod sim;
+
+pub use cost::CostModel;
+pub use error::CliqueError;
+pub use metrics::{Metrics, PhaseStats, RoundReport};
+pub use payload::Payload;
+pub use sim::{Clique, Envelope};
+
+/// Identifier of a node in the clique, in `0..n`.
+pub type NodeId = usize;
+
+/// Convenience alias for results returned by simulator primitives.
+pub type Result<T> = std::result::Result<T, CliqueError>;

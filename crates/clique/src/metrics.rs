@@ -1,0 +1,136 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Communication statistics of one accounting bucket (a phase or the total).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Rounds charged to this bucket.
+    pub rounds: u64,
+    /// Messages (envelopes) delivered in this bucket.
+    pub messages: u64,
+    /// Words moved in this bucket.
+    pub words: u64,
+    /// Primitive invocations attributed to this bucket.
+    pub invocations: u64,
+}
+
+impl PhaseStats {
+    fn absorb(&mut self, rounds: u64, messages: u64, words: u64) {
+        self.rounds += rounds;
+        self.messages += messages;
+        self.words += words;
+        self.invocations += 1;
+    }
+}
+
+/// Cumulative communication metrics of a [`Clique`](crate::Clique).
+///
+/// Rounds are the paper's complexity measure; messages and words are kept to
+/// let experiments inspect link loads. Metrics are broken down by *phase*
+/// label (see [`Clique::with_phase`](crate::Clique::with_phase)); nested
+/// phases are joined with `/`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Total rounds charged so far.
+    pub rounds: u64,
+    /// Total messages delivered so far.
+    pub messages: u64,
+    /// Total words moved so far.
+    pub words: u64,
+    /// Largest per-node word load (send or receive) seen in a single
+    /// primitive invocation.
+    pub max_node_load: u64,
+    /// Per-phase breakdown.
+    pub phases: BTreeMap<String, PhaseStats>,
+}
+
+impl Metrics {
+    pub(crate) fn record(&mut self, phase: &str, rounds: u64, messages: u64, words: u64, load: u64) {
+        self.rounds += rounds;
+        self.messages += messages;
+        self.words += words;
+        self.max_node_load = self.max_node_load.max(load);
+        self.phases.entry(phase.to_owned()).or_default().absorb(rounds, messages, words);
+    }
+}
+
+/// A snapshot of the metrics of one algorithm run, attached to its result.
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Clique;
+///
+/// let mut clique = Clique::new(4);
+/// clique.charge("setup", 3);
+/// let report = clique.report();
+/// assert_eq!(report.rounds, 3);
+/// assert_eq!(report.n, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Number of nodes in the clique the algorithm ran on.
+    pub n: usize,
+    /// Total rounds the run charged.
+    pub rounds: u64,
+    /// Total messages the run delivered.
+    pub messages: u64,
+    /// Total words the run moved.
+    pub words: u64,
+    /// Per-phase breakdown of the run.
+    pub phases: BTreeMap<String, PhaseStats>,
+}
+
+impl fmt::Display for RoundReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "n={} rounds={} messages={} words={}",
+            self.n, self.rounds, self.messages, self.words
+        )?;
+        for (phase, stats) in &self.phases {
+            writeln!(
+                f,
+                "  {:<40} rounds={:<8} msgs={:<10} words={}",
+                phase, stats.rounds, stats.messages, stats.words
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_totals_and_phases() {
+        let mut m = Metrics::default();
+        m.record("a", 2, 10, 20, 5);
+        m.record("a", 1, 5, 5, 9);
+        m.record("b", 3, 0, 0, 0);
+        assert_eq!(m.rounds, 6);
+        assert_eq!(m.messages, 15);
+        assert_eq!(m.words, 25);
+        assert_eq!(m.max_node_load, 9);
+        assert_eq!(m.phases["a"].rounds, 3);
+        assert_eq!(m.phases["a"].invocations, 2);
+        assert_eq!(m.phases["b"].rounds, 3);
+    }
+
+    #[test]
+    fn report_display_lists_phases() {
+        let mut m = Metrics::default();
+        m.record("knearest/square", 4, 2, 2, 1);
+        let report = RoundReport {
+            n: 8,
+            rounds: m.rounds,
+            messages: m.messages,
+            words: m.words,
+            phases: m.phases,
+        };
+        let s = report.to_string();
+        assert!(s.contains("rounds=4"));
+        assert!(s.contains("knearest/square"));
+    }
+}

@@ -1,0 +1,117 @@
+/// A value that can travel over a clique link.
+///
+/// The Congested Clique allows `O(log n)`-bit messages; we measure message
+/// size in **words**, where one word is `O(log n)` bits — enough for a node
+/// id, an edge weight polynomial in `n`, or a hop count. A payload declares
+/// how many words it occupies via [`Payload::words`]; the simulator uses this
+/// for bandwidth accounting.
+///
+/// Scalar types count as one word. Tuples add up their components, so a
+/// `(u32, u64)` matrix coordinate-and-value message is two words. Constant
+/// size is required — payloads of unbounded size must be split into multiple
+/// envelopes by the caller.
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Payload;
+///
+/// assert_eq!(7u64.words(), 1);
+/// assert_eq!((1u32, 2u32, 3u64).words(), 3);
+/// ```
+pub trait Payload: Clone + std::fmt::Debug {
+    /// Number of `O(log n)`-bit words this payload occupies on the wire.
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+macro_rules! scalar_payload {
+    ($($t:ty),* $(,)?) => {
+        $(impl Payload for $t {
+            fn words(&self) -> usize { 1 }
+        })*
+    };
+}
+
+scalar_payload!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, char);
+
+impl Payload for () {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn words(&self) -> usize {
+        // The discriminant rides along in the same word as the content when
+        // present; an absent value still costs a word to say "nothing".
+        match self {
+            Some(t) => t.words(),
+            None => 1,
+        }
+    }
+}
+
+macro_rules! tuple_payload {
+    ($($name:ident),+) => {
+        impl<$($name: Payload),+> Payload for ($($name,)+) {
+            fn words(&self) -> usize {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                0 $(+ $name.words())+
+            }
+        }
+    };
+}
+
+tuple_payload!(A);
+tuple_payload!(A, B);
+tuple_payload!(A, B, C);
+tuple_payload!(A, B, C, D);
+tuple_payload!(A, B, C, D, E);
+tuple_payload!(A, B, C, D, E, F);
+
+impl<T: Payload, const N: usize> Payload for [T; N] {
+    fn words(&self) -> usize {
+        self.iter().map(Payload::words).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_one_word() {
+        assert_eq!(0u8.words(), 1);
+        assert_eq!(0u64.words(), 1);
+        assert_eq!(true.words(), 1);
+        assert_eq!('x'.words(), 1);
+    }
+
+    #[test]
+    fn unit_is_free() {
+        assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn tuples_sum_components() {
+        assert_eq!((1u32,).words(), 1);
+        assert_eq!((1u32, 2u32).words(), 2);
+        assert_eq!((1u32, (2u32, 3u32)).words(), 3);
+        assert_eq!((1u32, 2u32, 3u32, 4u32, 5u32, 6u32).words(), 6);
+    }
+
+    #[test]
+    fn arrays_sum_components() {
+        assert_eq!([1u32; 5].words(), 5);
+    }
+
+    #[test]
+    fn options_cost_at_least_one_word() {
+        assert_eq!(Some(3u64).words(), 1);
+        assert_eq!(None::<u64>.words(), 1);
+        assert_eq!(Some((1u32, 2u32)).words(), 2);
+    }
+}

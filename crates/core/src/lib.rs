@@ -1,0 +1,46 @@
+//! # `cc-core`: fast approximate shortest paths in the Congested Clique
+//!
+//! The headline algorithms of *Fast Approximate Shortest Paths in the
+//! Congested Clique* (Censor-Hillel, Dory, Korhonen, Leitersdorf;
+//! PODC 2019), assembled from the substrates in [`cc_matmul`],
+//! [`cc_distance`] and [`cc_hopset`]:
+//!
+//! | API | Paper claim | Rounds |
+//! |---|---|---|
+//! | [`mssp::mssp`] | Theorem 3: `(1+ε)` multi-source shortest paths | `O((|S|^{2/3}/n^{1/3} + log n)·log n/ε)` |
+//! | [`apsp::weighted_3eps`] | §6.1: `(3+ε)` weighted APSP | `O(log² n/ε)` |
+//! | [`apsp::weighted_2eps`] | Theorem 28: `(2+ε, (1+ε)W)` weighted APSP | `O(log² n/ε)` |
+//! | [`apsp::unweighted_2eps`] | Theorem 2/31: `(2+ε)` unweighted APSP | `O(log² n/ε)` |
+//! | [`sssp::exact_sssp`] | Theorem 33: exact weighted SSSP | `Õ(n^{1/6})` |
+//! | [`diameter::diameter_approx`] | §7.2: near-`3/2` diameter approximation | `O(log² n/ε)` |
+//!
+//! Baselines for the experimental comparisons live in [`baselines`]:
+//! distributed Bellman-Ford (`O(SPD)` rounds) and exact APSP by dense
+//! iterated squaring (`Õ(n^{1/3})` rounds, \[13\]).
+//!
+//! Every algorithm returns its result together with a
+//! [`cc_clique::RoundReport`] delta so experiments can compare measured
+//! rounds against the paper's bounds; [`stretch`] computes approximation
+//! quality against the sequential ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Distributed algorithms index many parallel per-node vectors by NodeId;
+// iterator zips would obscure which node each access belongs to.
+#![allow(clippy::needless_range_loop)]
+
+pub mod apsp;
+pub mod baselines;
+pub mod diameter;
+pub mod mssp;
+pub mod paths;
+pub mod sssp;
+pub mod stretch;
+
+mod run;
+
+pub use run::{ApspRun, DiameterRun, MsspRun, SsspRun};
+
+/// The error type shared by all shortest-path algorithms (re-exported from
+/// [`cc_distance`]).
+pub use cc_distance::DistanceError;

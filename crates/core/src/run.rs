@@ -1,0 +1,107 @@
+//! Result types carrying both the computed distances and the round cost.
+
+use cc_clique::{Clique, RoundReport};
+use cc_matrix::Dist;
+
+/// Captures the round cost of one algorithm invocation as a delta over the
+/// clique's cumulative metrics.
+pub(crate) struct Stopwatch {
+    rounds_before: u64,
+}
+
+impl Stopwatch {
+    pub(crate) fn start(clique: &Clique) -> Self {
+        Stopwatch { rounds_before: clique.rounds() }
+    }
+
+    pub(crate) fn stop(self, clique: &Clique) -> (u64, RoundReport) {
+        (clique.rounds() - self.rounds_before, clique.report())
+    }
+}
+
+/// Result of an all-pairs computation: `dist[u][v]` is the (estimated)
+/// distance, `Dist::INF` when unknown/unreachable.
+#[derive(Debug, Clone)]
+pub struct ApspRun {
+    /// The `n × n` distance estimates.
+    pub dist: Vec<Vec<Dist>>,
+    /// Rounds this invocation charged.
+    pub rounds: u64,
+    /// Full metrics snapshot at completion (cumulative for the clique).
+    pub report: RoundReport,
+}
+
+/// Result of a multi-source computation: `dist[v][i]` is the estimated
+/// distance from `v` to `sources[i]`.
+#[derive(Debug, Clone)]
+pub struct MsspRun {
+    /// The sources, in the order of the distance columns.
+    pub sources: Vec<usize>,
+    /// Per node, distances to each source.
+    pub dist: Vec<Vec<Dist>>,
+    /// Rounds this invocation charged.
+    pub rounds: u64,
+    /// Full metrics snapshot at completion.
+    pub report: RoundReport,
+}
+
+impl MsspRun {
+    /// Distance from `v` to `source` (by node id), if `source` is one of the
+    /// run's sources.
+    pub fn distance(&self, v: usize, source: usize) -> Option<Dist> {
+        let idx = self.sources.iter().position(|&s| s == source)?;
+        Some(self.dist[v][idx])
+    }
+}
+
+/// Result of a single-source computation.
+#[derive(Debug, Clone)]
+pub struct SsspRun {
+    /// The source node.
+    pub source: usize,
+    /// Distances from the source (`Dist::INF` = unreachable).
+    pub dist: Vec<Dist>,
+    /// Rounds this invocation charged.
+    pub rounds: u64,
+    /// Full metrics snapshot at completion.
+    pub report: RoundReport,
+}
+
+/// Result of a diameter approximation.
+#[derive(Debug, Clone)]
+pub struct DiameterRun {
+    /// The diameter estimate `D'`.
+    pub estimate: u64,
+    /// Rounds this invocation charged.
+    pub rounds: u64,
+    /// Full metrics snapshot at completion.
+    pub report: RoundReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_delta() {
+        let mut clique = Clique::new(4);
+        clique.charge("warmup", 5);
+        let watch = Stopwatch::start(&clique);
+        clique.charge("work", 3);
+        let (rounds, report) = watch.stop(&clique);
+        assert_eq!(rounds, 3);
+        assert_eq!(report.rounds, 8);
+    }
+
+    #[test]
+    fn mssp_run_lookup() {
+        let run = MsspRun {
+            sources: vec![5, 2],
+            dist: vec![vec![Dist::fin(1), Dist::fin(9)]; 3],
+            rounds: 0,
+            report: Clique::new(2).report(),
+        };
+        assert_eq!(run.distance(0, 2), Some(Dist::fin(9)));
+        assert_eq!(run.distance(0, 7), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Approximation-quality measurements against sequential ground truth.
+//!
+//! Used by tests (to enforce the theorems' stretch guarantees) and by the
+//! experiment harness (to report empirical stretch distributions).
+
+use cc_matrix::Dist;
+
+/// The largest ratio `estimate / exact` over all connected pairs (`1.0` if
+/// there are none).
+///
+/// # Panics
+///
+/// Panics if a pair is reachable exactly but the estimate is infinite, or
+/// the estimate underestimates the true distance — both indicate an
+/// algorithmic soundness bug, not a quality issue.
+pub fn max_stretch(est: &[Vec<Dist>], exact: &[Vec<Option<u64>>]) -> f64 {
+    fold_stretch(est, exact, 1.0, f64::max)
+}
+
+/// The mean ratio `estimate / exact` over connected pairs with `d > 0`.
+pub fn mean_stretch(est: &[Vec<Dist>], exact: &[Vec<Option<u64>>]) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for_each_ratio(est, exact, |r| {
+        sum += r;
+        count += 1;
+    });
+    if count == 0 {
+        1.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Checks soundness: estimates never underestimate, and every reachable
+/// pair has a finite estimate.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on the first violation.
+pub fn assert_sound(est: &[Vec<Dist>], exact: &[Vec<Option<u64>>]) {
+    for (u, row) in exact.iter().enumerate() {
+        for (v, &d) in row.iter().enumerate() {
+            match (d, est[u][v].value()) {
+                (Some(d), Some(e)) => {
+                    assert!(e >= d, "estimate {e} underestimates exact {d} for pair ({u},{v})")
+                }
+                (Some(d), None) => panic!("pair ({u},{v}) reachable at {d} but estimate is inf"),
+                (None, Some(e)) => {
+                    panic!("pair ({u},{v}) unreachable but estimate claims {e}")
+                }
+                (None, None) => {}
+            }
+        }
+    }
+}
+
+fn fold_stretch(
+    est: &[Vec<Dist>],
+    exact: &[Vec<Option<u64>>],
+    init: f64,
+    mut f: impl FnMut(f64, f64) -> f64,
+) -> f64 {
+    let mut acc = init;
+    for_each_ratio(est, exact, |r| acc = f(acc, r));
+    acc
+}
+
+fn for_each_ratio(est: &[Vec<Dist>], exact: &[Vec<Option<u64>>], mut f: impl FnMut(f64)) {
+    for (u, row) in exact.iter().enumerate() {
+        for (v, &d) in row.iter().enumerate() {
+            if let Some(d) = d {
+                if d > 0 {
+                    let e = est[u][v]
+                        .value()
+                        .unwrap_or_else(|| panic!("pair ({u},{v}) reachable but estimate inf"));
+                    assert!(e >= d, "estimate {e} underestimates {d} for ({u},{v})");
+                    f(e as f64 / d as f64);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(vals: &[&[u64]]) -> Vec<Vec<Dist>> {
+        vals.iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&v| if v == u64::MAX { Dist::INF } else { Dist::fin(v) })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn computes_max_and_mean() {
+        let e = est(&[&[0, 2], &[2, 0]]);
+        let exact = vec![vec![Some(0), Some(1)], vec![Some(1), Some(0)]];
+        assert_eq!(max_stretch(&e, &exact), 2.0);
+        assert_eq!(mean_stretch(&e, &exact), 2.0);
+        assert_sound(&e, &exact);
+    }
+
+    #[test]
+    fn ignores_unreachable_pairs() {
+        let e = est(&[&[0, u64::MAX], &[u64::MAX, 0]]);
+        let exact = vec![vec![Some(0), None], vec![None, Some(0)]];
+        assert_eq!(max_stretch(&e, &exact), 1.0);
+        assert_sound(&e, &exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "underestimates")]
+    fn detects_underestimates() {
+        let e = est(&[&[0, 1], &[1, 0]]);
+        let exact = vec![vec![Some(0), Some(5)], vec![Some(5), Some(0)]];
+        assert_sound(&e, &exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "reachable")]
+    fn detects_missing_estimates() {
+        let e = est(&[&[0, u64::MAX], &[u64::MAX, 0]]);
+        let exact = vec![vec![Some(0), Some(5)], vec![Some(5), Some(0)]];
+        assert_sound(&e, &exact);
+    }
+}

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use cc_clique::CliqueError;
+use cc_matmul::MatmulError;
+
+/// Errors raised by the distance tools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DistanceError {
+    /// A matrix-multiplication subroutine failed.
+    Matmul(MatmulError),
+    /// A simulator primitive failed directly.
+    Clique(CliqueError),
+    /// A tool was invoked with parameters outside its domain.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        what: String,
+    },
+}
+
+impl fmt::Display for DistanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistanceError::Matmul(e) => write!(f, "matrix multiplication failed: {e}"),
+            DistanceError::Clique(e) => write!(f, "clique primitive failed: {e}"),
+            DistanceError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for DistanceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DistanceError::Matmul(e) => Some(e),
+            DistanceError::Clique(e) => Some(e),
+            DistanceError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<MatmulError> for DistanceError {
+    fn from(e: MatmulError) -> Self {
+        DistanceError::Matmul(e)
+    }
+}
+
+impl From<CliqueError> for DistanceError {
+    fn from(e: CliqueError) -> Self {
+        DistanceError::Clique(e)
+    }
+}
+
+pub(crate) fn invalid(what: impl Into<String>) -> DistanceError {
+    DistanceError::InvalidParameter { what: what.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_chains() {
+        let e = DistanceError::from(MatmulError::DensityHintTooSmall { hint: 2 });
+        assert!(e.to_string().contains("multiplication"));
+        assert!(Error::source(&e).is_some());
+        assert!(invalid("k must be positive").to_string().contains('k'));
+    }
+}

@@ -1,0 +1,47 @@
+//! # `cc-distance`: the paper's distance tools (§3) and hitting sets
+//!
+//! Built on the sparse/filtered matrix multiplication of [`cc_matmul`],
+//! this crate implements the output-sensitive distance primitives that all
+//! shortest-path algorithms of *Fast Approximate Shortest Paths in the
+//! Congested Clique* (PODC 2019) compose:
+//!
+//! * [`k_nearest`] — **Theorem 18**: every node learns its `k` nearest
+//!   nodes with exact distances, in `O((k/n^{2/3} + log n)·log k)` rounds,
+//!   by iterated ρ-filtered squaring of the augmented weight matrix;
+//! * [`source_detection_k`] / [`source_detection_all`] — **Theorem 19**:
+//!   the `(S, d, k)`-source detection problem (distances to the nearest
+//!   sources within `d` hops), the hop-bounded engine behind hopset-based
+//!   approximation;
+//! * [`distance_through_sets`] — **Theorem 20**: combine per-node distance
+//!   sets `{δ(v, w)}_{w ∈ W_v}` into `min_w δ(v,w) + δ(w,u)` estimates via
+//!   one sparse product;
+//! * [`hitting_set`] — **Lemma 4**: deterministic-given-seed hitting sets of
+//!   size `O(n log n / k)` with guaranteed coverage (pseudorandom sampling
+//!   plus a one-round repair step; the round cost `O((log log n)³)` of the
+//!   cited construction \[PY18\] is charged explicitly — see DESIGN.md).
+//!
+//! All tools work on directed or undirected non-negative integer-weighted
+//! graphs; this workspace exercises them on the undirected graphs of
+//! [`cc_graph`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Distributed algorithms index many parallel per-node vectors by NodeId;
+// iterator zips would obscure which node each access belongs to.
+#![allow(clippy::needless_range_loop)]
+
+mod error;
+mod hitting;
+mod knearest;
+mod source_detection;
+mod through_sets;
+mod witness;
+
+pub mod product;
+
+pub use error::DistanceError;
+pub use hitting::{hitting_set, HittingSet};
+pub use knearest::{k_nearest, k_nearest_matrix};
+pub use source_detection::{source_detection_all, source_detection_all_matrix, source_detection_k, source_detection_k_matrix};
+pub use through_sets::distance_through_sets;
+pub use witness::product_with_witnesses;

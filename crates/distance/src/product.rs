@@ -1,0 +1,56 @@
+//! Distance-product helpers (§3.1): the augmented weight matrix and
+//! conversions between sparse augmented rows and plain distance vectors.
+
+use cc_matrix::{AugDist, Dist, SparseRow};
+
+/// Extracts plain distances from a row of augmented `(weight, hops)` values.
+pub fn row_to_distances(row: &SparseRow<AugDist>) -> Vec<(usize, Dist)> {
+    row.iter().map(|(c, v)| (c as usize, v.to_dist())).collect()
+}
+
+/// The distance to `target` recorded in an augmented row, if any.
+pub fn row_distance(row: &SparseRow<AugDist>, target: usize) -> Option<Dist> {
+    row.get(target as u32).map(|v| v.to_dist())
+}
+
+/// Merges a new estimate row into `best` (elementwise augmented minimum) —
+/// the "each node maintains an estimate and takes the minimum" update the
+/// APSP algorithms of §6 perform after every phase.
+pub fn merge_estimates(best: &mut SparseRow<AugDist>, new: &SparseRow<AugDist>) {
+    use cc_matrix::AugMinPlus;
+    for (c, v) in new.iter() {
+        best.accumulate::<AugMinPlus>(c, *v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_matrix::AugMinPlus;
+
+    #[test]
+    fn row_conversions() {
+        let row = SparseRow::from_entries::<AugMinPlus>(vec![
+            (1, AugDist::fin(5, 2)),
+            (3, AugDist::fin(0, 0)),
+        ]);
+        assert_eq!(
+            row_to_distances(&row),
+            vec![(1, Dist::fin(5)), (3, Dist::ZERO)]
+        );
+        assert_eq!(row_distance(&row, 1), Some(Dist::fin(5)));
+        assert_eq!(row_distance(&row, 2), None);
+    }
+
+    #[test]
+    fn merge_takes_minimum() {
+        let mut best = SparseRow::from_entries::<AugMinPlus>(vec![(1, AugDist::fin(5, 2))]);
+        let new = SparseRow::from_entries::<AugMinPlus>(vec![
+            (1, AugDist::fin(3, 4)),
+            (2, AugDist::fin(7, 1)),
+        ]);
+        merge_estimates(&mut best, &new);
+        assert_eq!(best.get(1), Some(&AugDist::fin(3, 4)));
+        assert_eq!(best.get(2), Some(&AugDist::fin(7, 1)));
+    }
+}

@@ -1,0 +1,268 @@
+//! The `(S, d, k)`-source detection problem — **Theorem 19**.
+//!
+//! Given sources `S ⊆ V`, every node computes its distances to sources
+//! using paths of at most `d` hops — either the `k` nearest such sources
+//! (the filtered variant, `O((m^{1/3}k^{2/3}/n + log n)·d)` rounds) or all
+//! of them (the unfiltered variant, `O((m^{1/3}|S|^{2/3}/n + 1)·d)`
+//! rounds). Both iterate `W_{i+1} = W ⋆ W_i` with the augmented weight
+//! matrix, exploiting that the *output* stays `|S|`-sparse per row; the
+//! dependence on `d` is linear precisely because each multiplication must
+//! stay sparse (§1.3).
+
+use cc_clique::Clique;
+use cc_graph::Graph;
+use cc_matrix::{AugDist, AugMinPlus, SparseMatrix, SparseRow};
+
+use crate::error::invalid;
+use crate::DistanceError;
+
+fn validate(
+    clique: &Clique,
+    matrix_n: usize,
+    sources: &[usize],
+    d: usize,
+) -> Result<Vec<bool>, DistanceError> {
+    let n = clique.n();
+    if matrix_n != n {
+        return Err(invalid(format!("input has {matrix_n} nodes but clique has {n}")));
+    }
+    if sources.is_empty() {
+        return Err(invalid("source detection needs at least one source"));
+    }
+    if d == 0 {
+        return Err(invalid("source detection needs hop bound d >= 1"));
+    }
+    let mut in_s = vec![false; n];
+    for &s in sources {
+        if s >= n {
+            return Err(invalid(format!("source {s} outside 0..{n}")));
+        }
+        in_s[s] = true;
+    }
+    Ok(in_s)
+}
+
+/// Restriction of the augmented weight matrix to source columns: the
+/// matrix `U_1` (or `W_1`) of Theorem 19.
+fn restrict_to_sources(w: &SparseMatrix<AugDist>, in_s: &[bool]) -> SparseMatrix<AugDist> {
+    let rows = w
+        .rows()
+        .iter()
+        .map(|row| {
+            SparseRow::from_entries::<AugMinPlus>(
+                row.iter()
+                    .filter(|(c, _)| in_s[*c as usize])
+                    .map(|(c, v)| (c, *v))
+                    .collect(),
+            )
+        })
+        .collect();
+    SparseMatrix::from_rows(rows)
+}
+
+/// **Theorem 19 (filtered variant)**: every node learns its `k` nearest
+/// sources within `d` hops, with the hop-bounded distances, in
+/// `O((m^{1/3}k^{2/3}/n + log n)·d)` rounds.
+///
+/// Output: per node, a sparse augmented row whose columns are source ids.
+///
+/// # Errors
+///
+/// * [`DistanceError::InvalidParameter`] for empty/out-of-range sources,
+///   `d == 0`, `k == 0`, or a graph/clique size mismatch;
+/// * [`DistanceError::Matmul`] if a multiplication subroutine fails.
+pub fn source_detection_k(
+    clique: &mut Clique,
+    graph: &Graph,
+    sources: &[usize],
+    d: usize,
+    k: usize,
+) -> Result<Vec<SparseRow<AugDist>>, DistanceError> {
+    source_detection_k_matrix(clique, &graph.augmented_weight_matrix(), sources, d, k)
+}
+
+/// [`source_detection_k`] on an explicit augmented weight matrix — the
+/// directed form (distances along outgoing paths).
+///
+/// # Errors
+///
+/// Same as [`source_detection_k`].
+pub fn source_detection_k_matrix(
+    clique: &mut Clique,
+    w: &SparseMatrix<AugDist>,
+    sources: &[usize],
+    d: usize,
+    k: usize,
+) -> Result<Vec<SparseRow<AugDist>>, DistanceError> {
+    let in_s = validate(clique, w.n(), sources, d)?;
+    if k == 0 {
+        return Err(invalid("source detection needs k >= 1"));
+    }
+    let k = k.min(clique.n());
+    clique.with_phase("source_detection_k", |clique| {
+        // W_1: the k lightest edges towards S per node.
+        let mut x = restrict_to_sources(w, &in_s).filtered::<AugMinPlus>(k);
+        for _ in 1..d {
+            let x_cols = cc_matmul::layout::transpose_exchange::<AugMinPlus>(clique, x.rows())?;
+            let rows = cc_matmul::filtered_multiply::<AugMinPlus>(clique, w.rows(), &x_cols, k)?;
+            x = SparseMatrix::from_rows(rows);
+        }
+        Ok(x.rows().to_vec())
+    })
+}
+
+/// **Theorem 19 (unfiltered variant)**: every node learns its hop-`d`
+/// distances to **all** sources, in `O((m^{1/3}|S|^{2/3}/n + 1)·d)` rounds.
+///
+/// Output: per node, a sparse augmented row whose columns are source ids
+/// (absent = not reachable within `d` hops).
+///
+/// # Errors
+///
+/// Same as [`source_detection_k`], minus the `k` condition.
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Clique;
+/// use cc_distance::source_detection_all;
+/// use cc_graph::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::path(8)?;
+/// let mut clique = Clique::new(8);
+/// let rows = source_detection_all(&mut clique, &g, &[0], 3)?;
+/// assert_eq!(rows[3].get(0).map(|a| a.dist), Some(3)); // 3 hops away
+/// assert!(rows[4].get(0).is_none()); // 4 hops: outside the budget
+/// # Ok(())
+/// # }
+/// ```
+pub fn source_detection_all(
+    clique: &mut Clique,
+    graph: &Graph,
+    sources: &[usize],
+    d: usize,
+) -> Result<Vec<SparseRow<AugDist>>, DistanceError> {
+    source_detection_all_matrix(clique, &graph.augmented_weight_matrix(), sources, d)
+}
+
+/// [`source_detection_all`] on an explicit augmented weight matrix — the
+/// directed form (distances along outgoing paths).
+///
+/// # Errors
+///
+/// Same as [`source_detection_all`].
+pub fn source_detection_all_matrix(
+    clique: &mut Clique,
+    w: &SparseMatrix<AugDist>,
+    sources: &[usize],
+    d: usize,
+) -> Result<Vec<SparseRow<AugDist>>, DistanceError> {
+    let in_s = validate(clique, w.n(), sources, d)?;
+    let rho_hat = sources.len().max(1);
+    clique.with_phase("source_detection_all", |clique| {
+        let mut u = restrict_to_sources(w, &in_s);
+        for _ in 1..d {
+            let u_cols = cc_matmul::layout::transpose_exchange::<AugMinPlus>(clique, u.rows())?;
+            let rows = cc_matmul::sparse_multiply::<AugMinPlus>(clique, w.rows(), &u_cols, rho_hat)?;
+            u = SparseMatrix::from_rows(rows);
+        }
+        Ok(u.rows().to_vec())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{generators, reference};
+
+    fn check_all_against_reference(g: &Graph, sources: &[usize], d: usize) {
+        let mut clique = Clique::new(g.n());
+        let got = source_detection_all(&mut clique, g, sources, d).unwrap();
+        for &s in sources {
+            let expected = reference::hop_bounded(g, s, d);
+            for v in 0..g.n() {
+                let got_d = got[v].get(s as u32).map(|a| a.dist);
+                assert_eq!(
+                    got_d, expected[v],
+                    "source {s}, node {v}, d={d} on {} nodes",
+                    g.n()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_variant_matches_hop_bounded_reference() {
+        let g = generators::gnp_weighted(20, 0.15, 20, 5).unwrap();
+        check_all_against_reference(&g, &[0, 3, 7], 1);
+        check_all_against_reference(&g, &[0, 3, 7], 2);
+        check_all_against_reference(&g, &[0, 3, 7], 4);
+    }
+
+    #[test]
+    fn all_variant_on_path_respects_hop_budget() {
+        let g = generators::path(10).unwrap();
+        check_all_against_reference(&g, &[0, 9], 3);
+        check_all_against_reference(&g, &[5], 9);
+    }
+
+    #[test]
+    fn k_variant_selects_k_nearest_sources() {
+        let g = generators::gnp_weighted(20, 0.2, 10, 6).unwrap();
+        let sources = vec![1, 4, 9, 13, 17];
+        let (d, k) = (4, 2);
+        let mut clique = Clique::new(20);
+        let got = source_detection_k(&mut clique, &g, &sources, d, k).unwrap();
+
+        // Sequential reference: full d-th augmented power, restricted to
+        // source columns, filtered to the k smallest per row.
+        let w = g.augmented_weight_matrix();
+        let mut power = w.clone();
+        for _ in 1..d {
+            power = w.multiply::<AugMinPlus>(&power);
+        }
+        let mut in_s = vec![false; 20];
+        for &s in &sources {
+            in_s[s] = true;
+        }
+        let expected = restrict_to_sources(&power, &in_s).filtered::<AugMinPlus>(k);
+        for v in 0..20 {
+            assert_eq!(got[v], *expected.row(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn k_variant_with_source_at_self() {
+        let g = generators::star(8).unwrap();
+        let mut clique = Clique::new(8);
+        let got = source_detection_k(&mut clique, &g, &[2, 5], 2, 2).unwrap();
+        // Node 2 is its own nearest source at distance (0,0).
+        assert_eq!(got[2].get(2), Some(&cc_matrix::AugDist::ZERO));
+        // Leaf 3 reaches both sources via the centre in 2 hops.
+        assert_eq!(got[3].get(2).map(|a| a.dist), Some(2));
+        assert_eq!(got[3].get(5).map(|a| a.dist), Some(2));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let g = generators::path(6).unwrap();
+        let mut clique = Clique::new(6);
+        assert!(source_detection_all(&mut clique, &g, &[], 2).is_err());
+        assert!(source_detection_all(&mut clique, &g, &[9], 2).is_err());
+        assert!(source_detection_all(&mut clique, &g, &[1], 0).is_err());
+        assert!(source_detection_k(&mut clique, &g, &[1], 2, 0).is_err());
+    }
+
+    #[test]
+    fn round_cost_scales_linearly_in_d() {
+        let g = generators::gnp(32, 0.2, 8).unwrap();
+        let mut c2 = Clique::new(32);
+        source_detection_all(&mut c2, &g, &[0, 1, 2, 3], 2).unwrap();
+        let mut c8 = Clique::new(32);
+        source_detection_all(&mut c8, &g, &[0, 1, 2, 3], 8).unwrap();
+        let (r2, r8) = (c2.rounds(), c8.rounds());
+        // 7 multiplications vs 1: expect roughly linear growth in d.
+        assert!(r8 > 3 * r2 && r8 < 14 * r2.max(1), "r2={r2}, r8={r8}");
+    }
+}

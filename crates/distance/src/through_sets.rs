@@ -1,0 +1,158 @@
+//! The distance-through-sets problem — **Theorem 20**.
+//!
+//! Each node `v` holds a set `W_v` with distance estimates `δ(v, w)`;
+//! the tool computes, for every pair `(v, u)`, the best estimate through a
+//! common set member: `min_{w ∈ W_v ∩ W_u} δ(v,w) + δ(w,u)`. One sparse
+//! product over the min-plus semiring: `O(ρ^{2/3}/n^{1/3} + 1)` rounds with
+//! `ρ = Σ|W_v|/n`.
+
+use cc_clique::Clique;
+use cc_matrix::{Dist, MinPlus, SparseRow};
+
+use crate::error::invalid;
+use crate::DistanceError;
+
+/// **Theorem 20**: all-pairs estimates through shared set members.
+///
+/// `sets[v]` lists `(w, δ(v, w))` for `w ∈ W_v` (for undirected estimates,
+/// `δ(v,w) = δ(w,v)`). Returns per node `v` a sparse row over `u` with
+/// `min_{w ∈ W_v ∩ W_u} δ(v,w) + δ(w,u)` (absent = no common member).
+///
+/// # Errors
+///
+/// * [`DistanceError::InvalidParameter`] if `sets` doesn't match the clique
+///   size or references out-of-range members;
+/// * [`DistanceError::Matmul`] if the product subroutine fails.
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Clique;
+/// use cc_distance::distance_through_sets;
+/// use cc_matrix::Dist;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Nodes 0 and 2 both know distances to node 1.
+/// let sets = vec![
+///     vec![(1, Dist::fin(4))],
+///     vec![(1, Dist::ZERO)],
+///     vec![(1, Dist::fin(3))],
+///     vec![],
+/// ];
+/// let mut clique = Clique::new(4);
+/// let est = distance_through_sets(&mut clique, &sets)?;
+/// assert_eq!(est[0].get(2), Some(&Dist::fin(7))); // 4 + 3 through node 1
+/// assert_eq!(est[0].get(3), None);
+/// # Ok(())
+/// # }
+/// ```
+pub fn distance_through_sets(
+    clique: &mut Clique,
+    sets: &[Vec<(usize, Dist)>],
+) -> Result<Vec<SparseRow<Dist>>, DistanceError> {
+    let n = clique.n();
+    if sets.len() != n {
+        return Err(invalid(format!("sets has length {} but clique has {n}", sets.len())));
+    }
+    for (v, set) in sets.iter().enumerate() {
+        if let Some(&(w, _)) = set.iter().find(|&&(w, _)| w >= n) {
+            return Err(invalid(format!("node {v} references member {w} outside 0..{n}")));
+        }
+    }
+    clique.with_phase("through_sets", |clique| {
+        // W1[v, w] = δ(v, w); W2 = W1ᵀ, so column u of W2 is exactly row u
+        // of W1 — the input layout needs no transpose exchange.
+        let rows: Vec<SparseRow<Dist>> = sets
+            .iter()
+            .map(|set| {
+                SparseRow::from_entries::<MinPlus>(
+                    set.iter().map(|&(w, d)| (w as u32, d)).collect(),
+                )
+            })
+            .collect();
+        let out = cc_matmul::sparse_multiply::<MinPlus>(clique, &rows, &rows, n)?;
+        Ok(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force(sets: &[Vec<(usize, Dist)>]) -> Vec<Vec<Option<Dist>>> {
+        let n = sets.len();
+        let mut out = vec![vec![None; n]; n];
+        for v in 0..n {
+            for u in 0..n {
+                let mut best: Option<Dist> = None;
+                for &(w, dv) in &sets[v] {
+                    for &(w2, du) in &sets[u] {
+                        if w == w2 {
+                            let cand = dv.checked_add(du);
+                            best = Some(match best {
+                                Some(b) => b.min(cand),
+                                None => cand,
+                            });
+                        }
+                    }
+                }
+                out[v][u] = best.filter(|d| d.is_finite());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_sets() {
+        let n = 16;
+        let mut rng = StdRng::seed_from_u64(11);
+        let sets: Vec<Vec<(usize, Dist)>> = (0..n)
+            .map(|_| {
+                let size = rng.gen_range(0..5);
+                (0..size)
+                    .map(|_| (rng.gen_range(0..n), Dist::fin(rng.gen_range(0..100))))
+                    .collect()
+            })
+            .collect();
+        let mut clique = Clique::new(n);
+        let got = distance_through_sets(&mut clique, &sets).unwrap();
+        let expected = brute_force(&sets);
+        for v in 0..n {
+            for u in 0..n {
+                assert_eq!(got[v].get(u as u32).copied(), expected[v][u], "pair ({v},{u})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sets_produce_empty_rows() {
+        let mut clique = Clique::new(4);
+        let got = distance_through_sets(&mut clique, &vec![vec![]; 4]).unwrap();
+        assert!(got.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn rejects_malformed_sets() {
+        let mut clique = Clique::new(4);
+        assert!(distance_through_sets(&mut clique, &[]).is_err());
+        let sets = vec![vec![(9, Dist::ZERO)], vec![], vec![], vec![]];
+        assert!(distance_through_sets(&mut clique, &sets).is_err());
+    }
+
+    #[test]
+    fn sqrt_n_sets_cost_constant_rounds() {
+        // Theorem 20 with rho = sqrt(n): O(rho^{2/3}/n^{1/3} + 1) = O(1).
+        let n = 64;
+        let mut rng = StdRng::seed_from_u64(12);
+        let sets: Vec<Vec<(usize, Dist)>> = (0..n)
+            .map(|_| {
+                (0..8).map(|_| (rng.gen_range(0..n), Dist::fin(rng.gen_range(1..50)))).collect()
+            })
+            .collect();
+        let mut clique = Clique::new(n);
+        distance_through_sets(&mut clique, &sets).unwrap();
+        assert!(clique.rounds() < 40, "got {}", clique.rounds());
+    }
+}

@@ -1,0 +1,156 @@
+//! Witnessed distance products — §3.1, "Recovering paths".
+//!
+//! The paper notes that because the multiplication algorithms compute every
+//! elementary product explicitly, they can report a **witness** for each
+//! output entry: a node `w` with `P[u,v] = S[u,w] + T[w,v]`. Witnesses turn
+//! distance products into routing information: the witness of an iterated
+//! square is a path *midpoint*, from which full shortest paths are
+//! reconstructed recursively (see `cc_core::paths`).
+//!
+//! Implementation: the right operand's entries are tagged with their row
+//! index and the product runs over the witness-tracking semiring
+//! [`WitnessedMinPlus`]; the tag that survives the min is a valid witness,
+//! with ties broken toward the smallest node id (deterministic).
+
+use cc_clique::Clique;
+use cc_matrix::{Dist, SparseRow, WitnessedDist, WitnessedMinPlus};
+
+use crate::DistanceError;
+
+/// Tags every entry of a column slice with its row index, producing the
+/// right operand of a witnessed product.
+fn tag_cols(cols: &[SparseRow<Dist>]) -> Vec<SparseRow<WitnessedDist>> {
+    cols.iter()
+        .map(|col| {
+            SparseRow::from_sorted(
+                col.iter()
+                    .map(|(r, d)| {
+                        let w = d.value().expect("sparse rows store finite values");
+                        (r, WitnessedDist { dist: w, via: r })
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn untagged_rows(rows: &[SparseRow<Dist>]) -> Vec<SparseRow<WitnessedDist>> {
+    rows.iter()
+        .map(|row| {
+            SparseRow::from_sorted(
+                row.iter()
+                    .map(|(c, d)| {
+                        let w = d.value().expect("sparse rows store finite values");
+                        (c, WitnessedDist { dist: w, via: u32::MAX })
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// The distance product `P = S ⋆ T` with witnesses: every output entry
+/// carries a node `w` such that `P[u,v] = S[u,w] + T[w,v]` (ties toward the
+/// smallest `w`). Same layout and cost as
+/// [`cc_matmul::sparse_multiply`] (Theorem 8).
+///
+/// # Errors
+///
+/// As [`cc_matmul::sparse_multiply`], wrapped in [`DistanceError::Matmul`].
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Clique;
+/// use cc_distance::product_with_witnesses;
+/// use cc_matrix::{Dist, MinPlus, SparseMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Path 0-1-2: the 2-hop distance 0->2 is witnessed by node 1.
+/// let mut w = SparseMatrix::<Dist>::identity::<MinPlus>(3);
+/// w.set_in::<MinPlus>(0, 1, Dist::fin(5));
+/// w.set_in::<MinPlus>(1, 0, Dist::fin(5));
+/// w.set_in::<MinPlus>(1, 2, Dist::fin(7));
+/// w.set_in::<MinPlus>(2, 1, Dist::fin(7));
+/// let mut clique = Clique::new(3);
+/// let t_cols = w.transpose();
+/// let p = product_with_witnesses(&mut clique, w.rows(), t_cols.rows(), 3)?;
+/// let entry = p[0].get(2).unwrap();
+/// assert_eq!(entry.dist, 12);
+/// assert_eq!(entry.witness(), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn product_with_witnesses(
+    clique: &mut Clique,
+    s_rows: &[SparseRow<Dist>],
+    t_cols: &[SparseRow<Dist>],
+    rho_hat: usize,
+) -> Result<Vec<SparseRow<WitnessedDist>>, DistanceError> {
+    let s = untagged_rows(s_rows);
+    let t = tag_cols(t_cols);
+    let rows = cc_matmul::sparse_multiply::<WitnessedMinPlus>(clique, &s, &t, rho_hat)?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_matrix::{MinPlus, SparseMatrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, nnz: usize, seed: u64) -> SparseMatrix<Dist> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = SparseMatrix::zeros(n);
+        for _ in 0..nnz {
+            m.set_in::<MinPlus>(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                Dist::fin(rng.gen_range(1..100)),
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn witnesses_are_valid_and_distances_match_reference() {
+        let n = 16;
+        let s = random_matrix(n, 60, 1);
+        let t = random_matrix(n, 60, 2);
+        let t_cols = t.transpose();
+        let expected = s.multiply::<MinPlus>(&t);
+        let mut clique = Clique::new(n);
+        let got =
+            product_with_witnesses(&mut clique, s.rows(), t_cols.rows(), expected.density())
+                .unwrap();
+        for u in 0..n {
+            for (v, wd) in got[u].iter() {
+                // Distance matches the plain product.
+                assert_eq!(Some(&wd.to_dist()), expected.get(u, v as usize));
+                // The witness certifies the value.
+                let w = wd.witness().expect("products of tagged operands have witnesses");
+                let s_val = s.get(u, w).expect("witness edge in S");
+                let t_val = t.get(w, v as usize).expect("witness edge in T");
+                assert_eq!(wd.dist, s_val.value().unwrap() + t_val.value().unwrap());
+            }
+            // No extra entries either.
+            assert_eq!(got[u].nnz(), expected.row(u).nnz());
+        }
+    }
+
+    #[test]
+    fn ties_pick_smallest_witness() {
+        // Two equal-cost midpoints 1 and 2 between 0 and 3.
+        let n = 4;
+        let mut w = SparseMatrix::<Dist>::zeros(n);
+        for mid in [1usize, 2] {
+            w.set_in::<MinPlus>(0, mid, Dist::fin(5));
+            w.set_in::<MinPlus>(mid, 3, Dist::fin(5));
+        }
+        let t_cols = w.transpose();
+        let mut clique = Clique::new(n);
+        let got = product_with_witnesses(&mut clique, w.rows(), t_cols.rows(), n).unwrap();
+        assert_eq!(got[0].get(3).unwrap().witness(), Some(1));
+    }
+}

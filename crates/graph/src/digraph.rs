@@ -1,0 +1,279 @@
+//! Directed graphs.
+//!
+//! The paper's distance *tools* (§3: k-nearest, source detection, distance
+//! through sets) work on directed graphs — only the hopset-based headline
+//! algorithms require undirectedness (and §8 explains why directed
+//! sub-polynomial APSP would imply faster matrix multiplication). This
+//! module provides the directed input type and sequential references; the
+//! matrix-level tool entry points in `cc-distance` consume its weight
+//! matrices directly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cc_matrix::{AugDist, AugMinPlus, Dist, MinPlus, SparseMatrix};
+
+use crate::GraphError;
+
+/// A directed graph with non-negative integer arc weights. Parallel arcs
+/// collapse to the lightest; self-loops are rejected.
+///
+/// # Example
+///
+/// ```
+/// use cc_graph::DiGraph;
+///
+/// # fn main() -> Result<(), cc_graph::GraphError> {
+/// let g = DiGraph::from_arcs(3, [(0, 1, 4), (1, 2, 1)])?;
+/// assert_eq!(g.weight(0, 1), Some(4));
+/// assert_eq!(g.weight(1, 0), None); // one-way
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    n: usize,
+    out: Vec<Vec<(usize, u64)>>,
+    m: usize,
+}
+
+impl DiGraph {
+    /// An arcless digraph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        DiGraph { n, out: vec![Vec::new(); n], m: 0 }
+    }
+
+    /// Builds a digraph from arcs `(u, v, w)` meaning `u → v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn from_arcs(
+        n: usize,
+        arcs: impl IntoIterator<Item = (usize, usize, u64)>,
+    ) -> Result<Self, GraphError> {
+        let mut g = DiGraph::empty(n);
+        for (u, v, w) in arcs {
+            g.add_arc(u, v, w)?;
+        }
+        Ok(g)
+    }
+
+    /// Inserts arc `u → v` with weight `w` (lighter weight wins on
+    /// duplicates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn add_arc(&mut self, u: usize, v: usize, w: u64) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        match self.out[u].binary_search_by_key(&v, |&(x, _)| x) {
+            Ok(i) => self.out[u][i].1 = self.out[u][i].1.min(w),
+            Err(i) => {
+                self.out[u].insert(i, (v, w));
+                self.m += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of arcs.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Outgoing arcs of `v`, sorted by head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn out_neighbors(&self, v: usize) -> &[(usize, u64)] {
+        &self.out[v]
+    }
+
+    /// Weight of arc `u → v`, if present.
+    pub fn weight(&self, u: usize, v: usize) -> Option<u64> {
+        self.out[u].binary_search_by_key(&v, |&(x, _)| x).ok().map(|i| self.out[u][i].1)
+    }
+
+    /// Iterates over all arcs as `(u, v, w)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| list.iter().map(move |&(v, w)| (u, v, w)))
+    }
+
+    /// The weight matrix over min-plus: `0` diagonal, `w(u,v)` on arcs.
+    pub fn weight_matrix(&self) -> SparseMatrix<Dist> {
+        let mut m = SparseMatrix::identity::<MinPlus>(self.n);
+        for (u, v, w) in self.arcs() {
+            m.set_in::<MinPlus>(u, v, Dist::fin(w));
+        }
+        m
+    }
+
+    /// The augmented weight matrix of §3.1: `(0,0)` diagonal, `(w,1)` on
+    /// arcs — the input the directed distance tools consume.
+    pub fn augmented_weight_matrix(&self) -> SparseMatrix<AugDist> {
+        let mut m = SparseMatrix::identity::<AugMinPlus>(self.n);
+        for (u, v, w) in self.arcs() {
+            m.set_in::<AugMinPlus>(u, v, AugDist::fin(w, 1));
+        }
+        m
+    }
+}
+
+/// Directed single-source distances over the augmented order: per node, the
+/// pair `(d(src,·), minimal hops among shortest paths)`.
+///
+/// # Panics
+///
+/// Panics if `src >= g.n()`.
+pub fn dijkstra_directed(g: &DiGraph, src: usize) -> Vec<Option<(u64, u32)>> {
+    assert!(src < g.n(), "source out of range");
+    let mut best: Vec<Option<(u64, u32)>> = vec![None; g.n()];
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, 0u32, src)));
+    while let Some(Reverse((d, h, v))) = heap.pop() {
+        match best[v] {
+            Some(b) if b <= (d, h) => continue,
+            _ => {}
+        }
+        best[v] = Some((d, h));
+        for &(u, w) in g.out_neighbors(v) {
+            let cand = (d + w, h + 1);
+            if best[u].is_none_or(|b| cand < b) {
+                heap.push(Reverse((cand.0, cand.1, u)));
+            }
+        }
+    }
+    best
+}
+
+/// Directed hop-bounded distances `d^β(src, ·)`.
+///
+/// # Panics
+///
+/// Panics if `src >= g.n()`.
+pub fn hop_bounded_directed(g: &DiGraph, src: usize, beta: usize) -> Vec<Option<u64>> {
+    assert!(src < g.n(), "source out of range");
+    let mut cur: Vec<Option<u64>> = vec![None; g.n()];
+    cur[src] = Some(0);
+    for _ in 0..beta {
+        let mut next = cur.clone();
+        for v in 0..g.n() {
+            if let Some(d) = cur[v] {
+                for &(u, w) in g.out_neighbors(v) {
+                    let cand = d + w;
+                    if next[u].is_none_or(|b| cand < b) {
+                        next[u] = Some(cand);
+                    }
+                }
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// A random digraph: every ordered pair becomes an arc with probability
+/// `p`, weights uniform in `1..=max_weight`, plus a directed Hamiltonian
+/// cycle so every node reaches every other.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `n ≥ 2`, `0 ≤ p ≤ 1` and
+/// `max_weight ≥ 1`.
+pub fn gnp_directed(n: usize, p: f64, max_weight: u64, seed: u64) -> Result<DiGraph, GraphError> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    if n < 2 || !(0.0..=1.0).contains(&p) || max_weight < 1 {
+        return Err(GraphError::InvalidParameter {
+            what: "gnp_directed needs n >= 2, 0 <= p <= 1, max_weight >= 1".to_owned(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::empty(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(p) {
+                g.add_arc(u, v, rng.gen_range(1..=max_weight))?;
+            }
+        }
+    }
+    for v in 0..n {
+        let u = (v + 1) % n;
+        if g.weight(v, u).is_none() {
+            g.add_arc(v, u, rng.gen_range(1..=max_weight))?;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcs_are_one_way() {
+        let g = DiGraph::from_arcs(3, [(0, 1, 2), (1, 2, 3), (0, 1, 1)]).unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.weight(0, 1), Some(1)); // parallel arc keeps min
+        assert_eq!(g.weight(1, 0), None);
+        assert_eq!(g.out_neighbors(0), &[(1, 1)]);
+    }
+
+    #[test]
+    fn rejects_malformed_arcs() {
+        assert!(DiGraph::from_arcs(2, [(0, 5, 1)]).is_err());
+        assert!(DiGraph::from_arcs(2, [(1, 1, 1)]).is_err());
+    }
+
+    #[test]
+    fn directed_dijkstra_respects_orientation() {
+        let g = DiGraph::from_arcs(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        let from0 = dijkstra_directed(&g, 0);
+        assert_eq!(from0[3], Some((3, 3)));
+        let from3 = dijkstra_directed(&g, 3);
+        assert_eq!(from3[0], None); // no way back
+    }
+
+    #[test]
+    fn hop_bounded_directed_limits_hops() {
+        let g = DiGraph::from_arcs(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        assert_eq!(hop_bounded_directed(&g, 0, 2)[3], None);
+        assert_eq!(hop_bounded_directed(&g, 0, 3)[3], Some(3));
+    }
+
+    #[test]
+    fn weight_matrices_are_asymmetric() {
+        let g = DiGraph::from_arcs(3, [(0, 1, 7)]).unwrap();
+        let w = g.augmented_weight_matrix();
+        assert!(w.get(0, 1).is_some());
+        assert!(w.get(1, 0).is_none());
+        assert_eq!(w.get(2, 2), Some(&AugDist::ZERO));
+    }
+
+    #[test]
+    fn gnp_directed_is_strongly_connected() {
+        let g = gnp_directed(24, 0.05, 9, 3).unwrap();
+        for v in [0, 7, 23] {
+            assert!(dijkstra_directed(&g, v).iter().all(Option::is_some));
+        }
+        assert!(gnp_directed(1, 0.5, 1, 0).is_err());
+    }
+}

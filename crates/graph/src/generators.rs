@@ -1,0 +1,317 @@
+//! Deterministic, seeded workload generators.
+//!
+//! The paper's theorems are worst-case statements; these families exercise
+//! the regimes that drive the different algorithms and case splits:
+//!
+//! * density: [`gnp`] / [`gnp_weighted`] from sparse to dense;
+//! * diameter: [`path`], [`cycle`], [`grid`] (high) vs. [`gnp`] (low);
+//! * degree structure: [`star`] and [`barabasi_albert`] (hubs — the
+//!   high-degree case of §6.3) vs. [`grid`] (bounded degree — the low-degree
+//!   case);
+//! * modularity: [`cliques_with_bridges`] (long shortest paths through
+//!   bottleneck edges, adversarial for hitting-set arguments).
+//!
+//! All generators are deterministic in their `seed`, so every experiment is
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, GraphError};
+
+fn check(cond: bool, what: &str) -> Result<(), GraphError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(GraphError::InvalidParameter { what: what.to_owned() })
+    }
+}
+
+/// Erdős–Rényi `G(n, p)`, unweighted, made connected by threading a random
+/// Hamiltonian path (so distance experiments never see `∞`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `n ≥ 2` and `0 ≤ p ≤ 1`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    gnp_weighted(n, p, 1, seed)
+}
+
+/// Erdős–Rényi `G(n, p)` with uniform random integer weights in
+/// `1..=max_weight`, made connected by a random Hamiltonian path.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `n ≥ 2`, `0 ≤ p ≤ 1` and
+/// `max_weight ≥ 1`.
+pub fn gnp_weighted(n: usize, p: f64, max_weight: u64, seed: u64) -> Result<Graph, GraphError> {
+    check(n >= 2, "gnp needs n >= 2")?;
+    check((0.0..=1.0).contains(&p), "gnp needs 0 <= p <= 1")?;
+    check(max_weight >= 1, "gnp needs max_weight >= 1")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::empty(n);
+    let w = |rng: &mut StdRng| {
+        if max_weight == 1 {
+            1
+        } else {
+            rng.gen_range(1..=max_weight)
+        }
+    };
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                let wt = w(&mut rng);
+                g.add_edge(u, v, wt)?;
+            }
+        }
+    }
+    // Connectivity: random permutation path.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    for pair in perm.windows(2) {
+        if !g.has_edge(pair[0], pair[1]) {
+            let wt = w(&mut rng);
+            g.add_edge(pair[0], pair[1], wt)?;
+        }
+    }
+    Ok(g)
+}
+
+/// A path `0 - 1 - ... - (n-1)` with unit weights: maximal diameter, the
+/// worst case for hop-bounded exploration.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `n ≥ 2`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    check(n >= 2, "path needs n >= 2")?;
+    Graph::from_unweighted_edges(n, (0..n - 1).map(|v| (v, v + 1)))
+}
+
+/// A cycle on `n` nodes with unit weights.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `n ≥ 3`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    check(n >= 3, "cycle needs n >= 3")?;
+    Graph::from_unweighted_edges(n, (0..n).map(|v| (v, (v + 1) % n)))
+}
+
+/// A star: node `0` adjacent to everyone — the canonical example of a sparse
+/// matrix whose square is dense (§1.3).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `n ≥ 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    check(n >= 2, "star needs n >= 2")?;
+    Graph::from_unweighted_edges(n, (1..n).map(|v| (0, v)))
+}
+
+/// The complete graph with unit weights.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `n ≥ 2`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    check(n >= 2, "complete needs n >= 2")?;
+    Graph::from_unweighted_edges(n, (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))))
+}
+
+/// A `w × h` grid, unit weights: bounded degree and `Θ(w + h)` diameter —
+/// the regime where every shortest path avoids high-degree nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `w, h ≥ 1` and `w·h ≥ 2`.
+pub fn grid(w: usize, h: usize) -> Result<Graph, GraphError> {
+    grid_weighted(w, h, 1, 0)
+}
+
+/// A `w × h` grid with uniform random weights in `1..=max_weight`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `w, h ≥ 1`, `w·h ≥ 2` and
+/// `max_weight ≥ 1`.
+pub fn grid_weighted(w: usize, h: usize, max_weight: u64, seed: u64) -> Result<Graph, GraphError> {
+    check(w >= 1 && h >= 1 && w * h >= 2, "grid needs w*h >= 2")?;
+    check(max_weight >= 1, "grid needs max_weight >= 1")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut g = Graph::empty(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let wt = |rng: &mut StdRng| if max_weight == 1 { 1 } else { rng.gen_range(1..=max_weight) };
+            if x + 1 < w {
+                let weight = wt(&mut rng);
+                g.add_edge(idx(x, y), idx(x + 1, y), weight)?;
+            }
+            if y + 1 < h {
+                let weight = wt(&mut rng);
+                g.add_edge(idx(x, y), idx(x, y + 1), weight)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `attach` existing nodes with probability proportional to degree. Produces
+/// the hub-dominated degree distributions of social networks (the
+/// high-degree-path case of §6.3).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `1 ≤ attach < n`.
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Result<Graph, GraphError> {
+    check(attach >= 1 && attach < n, "barabasi_albert needs 1 <= attach < n")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::empty(n);
+    // Seed clique on the first attach+1 nodes.
+    for u in 0..=attach {
+        for v in (u + 1)..=attach {
+            g.add_edge(u, v, 1)?;
+        }
+    }
+    // Endpoint pool: each node appears once per incident edge.
+    let mut pool: Vec<usize> = Vec::new();
+    for (u, v, _) in g.edges() {
+        pool.push(u);
+        pool.push(v);
+    }
+    for v in (attach + 1)..n {
+        let mut targets = std::collections::BTreeSet::new();
+        while targets.len() < attach {
+            let t = pool[rng.gen_range(0..pool.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            g.add_edge(v, t, 1)?;
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    Ok(g)
+}
+
+/// `k` cliques of size `size`, consecutive cliques joined by a single bridge
+/// edge of weight `bridge_weight`: long shortest paths that must thread
+/// specific bottleneck edges.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `k ≥ 1` and `size ≥ 2`.
+pub fn cliques_with_bridges(k: usize, size: usize, bridge_weight: u64) -> Result<Graph, GraphError> {
+    check(k >= 1 && size >= 2, "cliques_with_bridges needs k >= 1, size >= 2")?;
+    let n = k * size;
+    let mut g = Graph::empty(n);
+    for c in 0..k {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                g.add_edge(base + u, base + v, 1)?;
+            }
+        }
+        if c + 1 < k {
+            // Bridge from the last node of this clique to the first of the next.
+            g.add_edge(base + size - 1, base + size, bridge_weight)?;
+        }
+    }
+    Ok(g)
+}
+
+/// The standard suite used by experiments: a name → graph listing spanning
+/// the regimes described in the module docs, all with `n` close to the
+/// requested size.
+///
+/// # Errors
+///
+/// Propagates generator errors (only possible for degenerate `n`).
+pub fn standard_suite(n: usize, seed: u64) -> Result<Vec<(String, Graph)>, GraphError> {
+    let dense_p = 0.5;
+    let sparse_p = (2.0 * (n as f64).ln() / n as f64).min(1.0);
+    let side = (n as f64).sqrt().round() as usize;
+    Ok(vec![
+        ("gnp-sparse".to_owned(), gnp(n, sparse_p, seed)?),
+        ("gnp-dense".to_owned(), gnp(n, dense_p, seed.wrapping_add(1))?),
+        ("gnp-weighted".to_owned(), gnp_weighted(n, sparse_p, 100, seed.wrapping_add(2))?),
+        ("grid".to_owned(), grid(side.max(2), side.max(2))?),
+        ("grid-weighted".to_owned(), grid_weighted(side.max(2), side.max(2), 50, seed.wrapping_add(3))?),
+        ("path".to_owned(), path(n)?),
+        ("star".to_owned(), star(n)?),
+        ("ba".to_owned(), barabasi_albert(n, 3, seed.wrapping_add(4))?),
+        ("cliques".to_owned(), cliques_with_bridges((n / 8).max(1), 8, 5)?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn gnp_is_deterministic_and_connected() {
+        let a = gnp(32, 0.1, 42).unwrap();
+        let b = gnp(32, 0.1, 42).unwrap();
+        assert_eq!(a, b);
+        let c = gnp(32, 0.1, 43).unwrap();
+        assert_ne!(a, c);
+        let dist = reference::dijkstra(&a, 0);
+        assert!(dist.iter().all(Option::is_some), "gnp must be connected");
+    }
+
+    #[test]
+    fn gnp_rejects_bad_params() {
+        assert!(gnp(1, 0.5, 0).is_err());
+        assert!(gnp(8, 1.5, 0).is_err());
+        assert!(gnp_weighted(8, 0.5, 0, 0).is_err());
+    }
+
+    #[test]
+    fn structured_families_have_expected_shape() {
+        let p = path(5).unwrap();
+        assert_eq!(p.m(), 4);
+        let c = cycle(5).unwrap();
+        assert_eq!(c.m(), 5);
+        let s = star(5).unwrap();
+        assert_eq!(s.degree(0), 4);
+        let k = complete(5).unwrap();
+        assert_eq!(k.m(), 10);
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 4 * 2 - 3 - 4); // 2wh - w - h
+    }
+
+    #[test]
+    fn ba_grows_hubs() {
+        let g = barabasi_albert(64, 2, 7).unwrap();
+        assert_eq!(g.n(), 64);
+        let max_deg = (0..64).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg >= 8, "preferential attachment should create hubs, got {max_deg}");
+        let dist = reference::bfs(&g, 0);
+        assert!(dist.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn cliques_with_bridges_chains() {
+        let g = cliques_with_bridges(3, 4, 5).unwrap();
+        assert_eq!(g.n(), 12);
+        // Within-clique distance 1; across one bridge 1 + 5 + 1.
+        let dist = reference::dijkstra(&g, 0);
+        assert_eq!(dist[4], Some(1 + 5));
+    }
+
+    #[test]
+    fn standard_suite_builds() {
+        let suite = standard_suite(32, 1).unwrap();
+        assert!(suite.len() >= 8);
+        for (name, g) in suite {
+            assert!(g.n() >= 2, "{name} too small");
+        }
+    }
+}

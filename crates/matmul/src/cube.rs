@@ -1,0 +1,501 @@
+//! The cube partition of Lemma 9: splitting the `V³` product cube into `n`
+//! equally-sparse subcubes, one per node.
+//!
+//! A subcube `C^S_i × C^{ij}_k × C^T_j` corresponds to the subtask of
+//! multiplying `S[C^S_i, C^{ij}_k] · T[C^{ij}_k, C^T_j]`. The row blocks
+//! `C^S_i` and column blocks `C^T_j` are balanced by Lemma 5 on row/column
+//! weights; the middle blocks `C^{ij}_k` are consecutive index ranges
+//! balanced *simultaneously* for the relevant slice of `S` and of `T` by
+//! Lemma 7.
+
+use std::ops::Range;
+
+use cc_clique::{Clique, Envelope, NodeId};
+use cc_matrix::{Semiring, SparseRow};
+
+use crate::partition::{balanced_partition, doubly_balanced_partition};
+use crate::{layout, MatmulError};
+
+/// The dimensions `(a, b, c)` of the cube partition: `b` row blocks, `a`
+/// column blocks, and `c` middle blocks per `(i, j)` pair, with
+/// `a·b·c ≤ n` subtasks (nodes beyond `a·b·c` idle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CubeShape {
+    /// Number of column blocks `C^T_j`.
+    pub a: usize,
+    /// Number of row blocks `C^S_i`.
+    pub b: usize,
+    /// Number of middle blocks `C^{ij}_k` per `(i, j)` pair.
+    pub c: usize,
+}
+
+impl CubeShape {
+    /// Chooses the shape minimising the per-node communication load
+    ///
+    /// ```text
+    ///   ρS·n/(b·c)  +  ρT·n/(a·c)  +  ρ̂·c
+    /// ```
+    ///
+    /// over integers `a, b ≥ 1` with `a·b ≤ n` and `c = ⌊n/(a·b)⌋` — the
+    /// integer version of the closed-form optimum
+    /// `a = (ρT ρ̂ n)^{1/3}/ρS^{2/3}` etc. of §2.1.1 (which attains the
+    /// `O((ρS ρT ρ̂)^{1/3}/n^{2/3} + 1)` round bound of Theorem 8).
+    pub fn choose(n: usize, rho_s: usize, rho_t: usize, rho_hat: usize) -> CubeShape {
+        let mut best = CubeShape { a: 1, b: 1, c: n.max(1) };
+        let mut best_cost = f64::INFINITY;
+        let nf = n as f64;
+        let mut a = 1usize;
+        while a <= n {
+            let mut b = 1usize;
+            while a * b <= n {
+                let c = (n / (a * b)).max(1);
+                let cost = rho_s as f64 * nf / (b * c) as f64
+                    + rho_t as f64 * nf / (a * c) as f64
+                    + rho_hat as f64 * c as f64;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = CubeShape { a, b, c };
+                }
+                b += 1;
+            }
+            a += 1;
+        }
+        best
+    }
+
+    /// The uniform shape `a = b ≈ n^{1/3}`, `c = ⌊n/(a·b)⌋` used by the
+    /// dense-multiplication baseline.
+    pub fn uniform(n: usize) -> CubeShape {
+        let mut q = (n as f64).cbrt().round() as usize;
+        q = q.max(1);
+        while q > 1 && q * q > n {
+            q -= 1;
+        }
+        let c = (n / (q * q)).max(1);
+        CubeShape { a: q, b: q, c }
+    }
+
+    /// Total number of subtasks `a·b·c`.
+    pub fn subtasks(&self) -> usize {
+        self.a * self.b * self.c
+    }
+}
+
+/// A globally-known partition of the product cube `V³` into subcubes
+/// (Lemma 9), plus the node ↔ subtask correspondence.
+#[derive(Debug, Clone)]
+pub struct CubePartition {
+    n: usize,
+    /// The partition dimensions.
+    pub shape: CubeShape,
+    /// Row blocks `C^S_i`, `i ∈ [b]` (sorted node lists).
+    pub row_blocks: Vec<Vec<usize>>,
+    /// Column blocks `C^T_j`, `j ∈ [a]`.
+    pub col_blocks: Vec<Vec<usize>>,
+    /// For each row `r`: the block index `i` with `r ∈ C^S_i`.
+    pub row_block_of: Vec<usize>,
+    /// For each column `c`: the block index `j` with `c ∈ C^T_j`.
+    pub col_block_of: Vec<usize>,
+    /// Middle ranges `C^{ij}_k`, indexed `[i·a + j][k]`; consecutive and
+    /// covering `0..n` for every `(i, j)`.
+    pub mid_ranges: Vec<Vec<Range<usize>>>,
+}
+
+impl CubePartition {
+    /// The clique size the partition was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The node responsible for subtask `(i, j, k)` under the canonical
+    /// assignment `σ1`.
+    pub fn node_for(&self, i: usize, j: usize, k: usize) -> NodeId {
+        (i * self.shape.a + j) * self.shape.c + k
+    }
+
+    /// The subtask of node `v` under `σ1`, or `None` for idle nodes.
+    pub fn triple_of(&self, v: NodeId) -> Option<(usize, usize, usize)> {
+        if v >= self.shape.subtasks() {
+            return None;
+        }
+        let k = v % self.shape.c;
+        let ij = v / self.shape.c;
+        Some((ij / self.shape.a, ij % self.shape.a, k))
+    }
+
+    /// The canonical assignment `σ1` as a per-node vector.
+    pub fn sigma1(&self) -> Sigma {
+        (0..self.n).map(|v| self.triple_of(v)).collect()
+    }
+
+    /// The middle block index `k` with `col ∈ C^{ij}_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col ≥ n` (ranges always cover `0..n`).
+    pub fn mid_block_of(&self, i: usize, j: usize, col: usize) -> usize {
+        let ranges = &self.mid_ranges[i * self.shape.a + j];
+        // Ranges are consecutive and cover 0..n: binary search by end point.
+        let k = ranges.partition_point(|r| r.end <= col);
+        debug_assert!(ranges[k].contains(&col), "mid ranges must cover 0..n");
+        k
+    }
+
+    /// The group `B_{ik}` of Lemma 15: the `a` nodes handling subtasks
+    /// `(i, ·, k)` — together they produce rows `C^S_i` of the slice `P_k`.
+    pub fn group_bik(&self, i: usize, k: usize) -> Vec<NodeId> {
+        (0..self.shape.a).map(|j| self.node_for(i, j, k)).collect()
+    }
+
+    /// `ceil(n/(a·b))` — the effective middle-dimension multiplicity used
+    /// for chunk sizing in Lemmas 12 and 16 (equals `c` when `a·b·c = n`).
+    pub fn c_eff(&self) -> usize {
+        self.n.div_ceil(self.shape.a * self.shape.b).max(1)
+    }
+
+    /// A partition with uniform consecutive blocks and **no communication**:
+    /// used by the dense baseline, where balancing is unnecessary because
+    /// every block is equally dense by construction.
+    pub fn uniform(n: usize, shape: CubeShape) -> CubePartition {
+        let even = |parts: usize| -> Vec<Range<usize>> {
+            let size = n.div_ceil(parts);
+            (0..parts).map(|p| (p * size).min(n)..((p + 1) * size).min(n)).collect()
+        };
+        let row_ranges = even(shape.b);
+        let col_ranges = even(shape.a);
+        let mid = even(shape.c);
+        let to_blocks = |ranges: &[Range<usize>]| -> Vec<Vec<usize>> {
+            ranges.iter().map(|r| r.clone().collect()).collect()
+        };
+        let block_of = |ranges: &[Range<usize>]| -> Vec<usize> {
+            let mut out = vec![0; n];
+            for (b, r) in ranges.iter().enumerate() {
+                for v in r.clone() {
+                    out[v] = b;
+                }
+            }
+            out
+        };
+        CubePartition {
+            n,
+            shape,
+            row_blocks: to_blocks(&row_ranges),
+            col_blocks: to_blocks(&col_ranges),
+            row_block_of: block_of(&row_ranges),
+            col_block_of: block_of(&col_ranges),
+            mid_ranges: vec![mid; shape.a * shape.b],
+        }
+    }
+
+    /// Builds the partition of Lemma 9 on the clique in `O(1)` rounds.
+    ///
+    /// Inputs: node `v` holds row `v` of `S` (`s_rows[v]`) and column `v` of
+    /// `T` (`t_cols[v]`); `s_row_counts` / `t_col_counts` are the
+    /// already-broadcast per-slice non-zero counts.
+    ///
+    /// Steps (all `O(1)` rounds): (1) everyone computes the row/column
+    /// blocks from the broadcast counts via Lemma 5; (2) the inputs are
+    /// transposed so node `v` holds column `v` of `S` and row `v` of `T`;
+    /// (3) node `v` sends each subtask node the non-zero counts of its
+    /// slices; (4) each subtask group computes its Lemma 7 middle partition
+    /// and broadcasts the block boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatmulError::Clique`] on malformed communication (dimension
+    /// bugs in the caller).
+    pub fn build<S: Semiring>(
+        clique: &mut Clique,
+        shape: CubeShape,
+        s_rows: &[SparseRow<S::Elem>],
+        t_cols: &[SparseRow<S::Elem>],
+        s_row_counts: &[u64],
+        t_col_counts: &[u64],
+    ) -> Result<CubePartition, MatmulError> {
+        let n = clique.n();
+        let CubeShape { a, b, c } = shape;
+
+        // (1) Globally-known row and column blocks (Lemma 5).
+        let row_blocks = balanced_partition(s_row_counts, b);
+        let col_blocks = balanced_partition(t_col_counts, a);
+        let mut row_block_of = vec![0usize; n];
+        for (i, block) in row_blocks.iter().enumerate() {
+            for &r in block {
+                row_block_of[r] = i;
+            }
+        }
+        let mut col_block_of = vec![0usize; n];
+        for (j, block) in col_blocks.iter().enumerate() {
+            for &cidx in block {
+                col_block_of[cidx] = j;
+            }
+        }
+
+        // (2) Transpose: node v obtains column v of S and row v of T.
+        let s_cols = layout::transpose_exchange::<S>(clique, s_rows)?;
+        let t_rows = layout::transpose_exchange::<S>(clique, t_cols)?;
+
+        // (3) Per-slice counts to each subtask node: node v sends to node
+        // u = (i, j, k) the pair (nz(S[C^S_i, v]), nz(T[v, C^T_j])).
+        let mut msgs = Vec::with_capacity(n * shape.subtasks().min(n));
+        for v in 0..n {
+            let mut cnt_s = vec![0u64; b];
+            for (r, _) in s_cols[v].iter() {
+                cnt_s[row_block_of[r as usize]] += 1;
+            }
+            let mut cnt_t = vec![0u64; a];
+            for (cidx, _) in t_rows[v].iter() {
+                cnt_t[col_block_of[cidx as usize]] += 1;
+            }
+            for i in 0..b {
+                for j in 0..a {
+                    for k in 0..c {
+                        let u = (i * a + j) * c + k;
+                        msgs.push(Envelope::new(v, u, (cnt_s[i], cnt_t[j])));
+                    }
+                }
+            }
+        }
+        let inboxes = clique.with_phase("cube/slice_counts", |cl| cl.route(msgs))?;
+
+        // (4) Each (i, j) group computes its Lemma 7 partition; the k-th
+        // member broadcasts its own block boundary (2 words).
+        let mut mid_ranges = vec![Vec::new(); a * b];
+        let mut boundary_payload = vec![(u64::MAX, u64::MAX); n];
+        for i in 0..b {
+            for j in 0..a {
+                let leader = (i * a + j) * c; // node (i, j, 0)
+                let mut w1 = vec![0u64; n];
+                let mut w2 = vec![0u64; n];
+                for e in &inboxes[leader] {
+                    w1[e.src] = e.payload.0;
+                    w2[e.src] = e.payload.1;
+                }
+                let parts = doubly_balanced_partition(&w1, &w2, c);
+                for (k, r) in parts.iter().enumerate() {
+                    boundary_payload[leader + k] = (r.start as u64, r.end as u64);
+                }
+                mid_ranges[i * a + j] = parts;
+            }
+        }
+        clique.with_phase("cube/boundaries", |cl| cl.all_broadcast(boundary_payload))?;
+
+        Ok(CubePartition { n, shape, row_blocks, col_blocks, row_block_of, col_block_of, mid_ranges })
+    }
+
+    /// All subtask nodes that need `S`-entry `(r, c)` under assignment
+    /// `targets_of`: one per column block `j`.
+    pub fn s_entry_targets<'a>(
+        &'a self,
+        r: u32,
+        c: u32,
+        assigned: &'a TaskAssignment,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        let i = self.row_block_of[r as usize];
+        (0..self.shape.a).flat_map(move |j| {
+            let k = self.mid_block_of(i, j, c as usize);
+            assigned.nodes_for(self, i, j, k).iter().copied()
+        })
+    }
+
+    /// All subtask nodes that need `T`-entry `(r, c)` under `assigned`: one
+    /// per row block `i`.
+    pub fn t_entry_targets<'a>(
+        &'a self,
+        r: u32,
+        c: u32,
+        assigned: &'a TaskAssignment,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        let j = self.col_block_of[c as usize];
+        (0..self.shape.b).flat_map(move |i| {
+            let k = self.mid_block_of(i, j, r as usize);
+            assigned.nodes_for(self, i, j, k).iter().copied()
+        })
+    }
+}
+
+/// A per-node subtask assignment vector: `sigma[v]` is the `(i, j, k)`
+/// triple node `v` computes, or `None` for idle nodes.
+pub type Sigma = Vec<Option<(usize, usize, usize)>>;
+
+/// An assignment `σ : V → subtasks` (Lemma 11): which nodes compute which
+/// subtask's product. The canonical `σ1` maps node `v` to its own triple;
+/// the balancing steps (Lemmas 12 and 16) construct sparse assignments that
+/// duplicate dense subtasks.
+#[derive(Debug, Clone)]
+pub struct TaskAssignment {
+    /// Per node: the assigned subtask, if any.
+    pub sigma: Sigma,
+    /// Reverse index: subtask linear id → assigned nodes (sorted).
+    by_task: Vec<Vec<NodeId>>,
+}
+
+impl TaskAssignment {
+    /// Builds the reverse index for an assignment vector.
+    pub fn new(cube: &CubePartition, sigma: Sigma) -> Self {
+        let mut by_task = vec![Vec::new(); cube.shape.subtasks()];
+        for (v, t) in sigma.iter().enumerate() {
+            if let Some((i, j, k)) = t {
+                by_task[(i * cube.shape.a + j) * cube.shape.c + k].push(v);
+            }
+        }
+        TaskAssignment { sigma, by_task }
+    }
+
+    /// Nodes assigned to subtask `(i, j, k)`.
+    pub fn nodes_for(&self, cube: &CubePartition, i: usize, j: usize, k: usize) -> &[NodeId] {
+        &self.by_task[(i * cube.shape.a + j) * cube.shape.c + k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_matrix::{Dist, MinPlus, SparseMatrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn shape_choose_respects_budget() {
+        for &(n, rs, rt, rh) in
+            &[(16, 1, 1, 1), (64, 8, 8, 8), (64, 1, 64, 8), (128, 128, 128, 128), (7, 3, 2, 5)]
+        {
+            let s = CubeShape::choose(n, rs, rt, rh);
+            assert!(s.a >= 1 && s.b >= 1 && s.c >= 1);
+            assert!(s.subtasks() <= n, "shape {s:?} exceeds n={n}");
+        }
+    }
+
+    #[test]
+    fn shape_choose_tracks_density_asymmetry() {
+        // Very sparse S, dense T: S-dimension splitting should be coarse
+        // (small b) and T-dimension fine (larger a)... by the formulas, a
+        // grows with rho_T? a = (rho_T rho_hat n)^{1/3} / rho_S^{2/3}.
+        let s = CubeShape::choose(512, 1, 64, 8);
+        let t = CubeShape::choose(512, 64, 1, 8);
+        // Symmetry: swapping rho_S and rho_T swaps a and b.
+        assert_eq!((s.a, s.b), (t.b, t.a));
+    }
+
+    #[test]
+    fn uniform_shape_is_cubic() {
+        let s = CubeShape::uniform(64);
+        assert_eq!((s.a, s.b, s.c), (4, 4, 4));
+        assert!(CubeShape::uniform(7).subtasks() <= 7);
+    }
+
+    #[test]
+    fn node_triple_roundtrip() {
+        let cube = CubePartition::uniform(64, CubeShape::uniform(64));
+        for v in 0..64 {
+            let (i, j, k) = cube.triple_of(v).unwrap();
+            assert_eq!(cube.node_for(i, j, k), v);
+        }
+        let cube = CubePartition::uniform(10, CubeShape { a: 2, b: 2, c: 2 });
+        assert_eq!(cube.triple_of(8), None);
+        assert_eq!(cube.triple_of(9), None);
+    }
+
+    fn random_matrix(n: usize, nnz: usize, seed: u64) -> SparseMatrix<Dist> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = SparseMatrix::zeros(n);
+        for _ in 0..nnz {
+            let r = rng.gen_range(0..n);
+            let c = rng.gen_range(0..n);
+            m.set_in::<MinPlus>(r, c, Dist::fin(rng.gen_range(1..100)));
+        }
+        m
+    }
+
+    #[test]
+    fn build_produces_valid_partition_with_balanced_blocks() {
+        let n = 32;
+        let s = random_matrix(n, 200, 1);
+        let t = random_matrix(n, 500, 2);
+        let t_cols = t.transpose();
+        let mut clique = Clique::new(n);
+        let (sc, _, rho_s) = layout::broadcast_counts(&mut clique, s.rows()).unwrap();
+        let (tc, _, rho_t) = layout::broadcast_counts(&mut clique, t_cols.rows()).unwrap();
+        let shape = CubeShape::choose(n, rho_s, rho_t, 8);
+        let cube =
+            CubePartition::build::<MinPlus>(&mut clique, shape, s.rows(), t_cols.rows(), &sc, &tc)
+                .unwrap();
+
+        // Blocks cover everything exactly once.
+        let mut seen = vec![false; n];
+        for block in &cube.row_blocks {
+            for &r in block {
+                assert!(!seen[r]);
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+
+        // Mid ranges are consecutive covers of 0..n for every (i, j).
+        for i in 0..shape.b {
+            for j in 0..shape.a {
+                let ranges = &cube.mid_ranges[i * shape.a + j];
+                assert_eq!(ranges.len(), shape.c);
+                let mut next = 0;
+                for r in ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                // And every column maps into the right block.
+                for col in 0..n {
+                    let k = cube.mid_block_of(i, j, col);
+                    assert!(ranges[k].contains(&col));
+                }
+            }
+        }
+
+        // Subtask S-blocks satisfy the Lemma 9 sparsity bound
+        // O(rho_S * a + n): check the concrete constant-free inequality
+        // nz(S[C^S_i, C^{ij}_k]) <= 2(rho_S*n/(b*c') + n/b) + slack from
+        // Lemma 7's doubling, against the safe bound 2*(W/c + max) + ...
+        // Here we verify the direct Lemma 7 guarantee instead.
+        for i in 0..shape.b {
+            for j in 0..shape.a {
+                let w_total: u64 = (0..n)
+                    .map(|col| {
+                        s.transpose().row(col)
+                            .iter()
+                            .filter(|(r, _)| cube.row_block_of[*r as usize] == i)
+                            .count() as u64
+                    })
+                    .sum();
+                let w_max: u64 = cube.row_blocks[i].len() as u64;
+                for k in 0..shape.c {
+                    let range = &cube.mid_ranges[i * shape.a + j][k];
+                    let nz: u64 = range
+                        .clone()
+                        .map(|col| {
+                            s.transpose().row(col)
+                                .iter()
+                                .filter(|(r, _)| cube.row_block_of[*r as usize] == i)
+                                .count() as u64
+                        })
+                        .sum();
+                    assert!(
+                        nz <= 2 * (w_total / shape.c as u64 + w_max),
+                        "S block ({i},{j},{k}) too dense: {nz}"
+                    );
+                }
+            }
+        }
+
+        // O(1) rounds for the whole build (constant number of primitives).
+        assert!(clique.rounds() <= 12, "cube build took {} rounds", clique.rounds());
+    }
+
+    #[test]
+    fn assignment_reverse_index() {
+        let cube = CubePartition::uniform(8, CubeShape { a: 2, b: 2, c: 2 });
+        let assigned = TaskAssignment::new(&cube, cube.sigma1());
+        for v in 0..8 {
+            let (i, j, k) = cube.triple_of(v).unwrap();
+            assert_eq!(assigned.nodes_for(&cube, i, j, k), &[v]);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Delivering subtask inputs: Lemma 10 (balancing) + Lemma 11 (intermediate
+//! products).
+//!
+//! For an assignment `σ` of nodes to subtasks, every assigned node must
+//! learn its submatrices `S[C^S_i, C^{ij}_k]` and `T[C^{ij}_k, C^T_j]`.
+//! Entries are *duplicated* (an `S` entry is needed by one subtask per
+//! column block), so senders are first re-balanced by total duplication
+//! weight (Lemma 10: Lenzen sort by weight + round-robin deal, the
+//! constructive Lemma 5) and then fan the entries out. With the Lemma 9
+//! partition, every node sends and receives `O(ρS·a + n)` words for `S` and
+//! `O(ρT·b + n)` for `T`, i.e. `O(ρS·a/n + ρT·b/n + 1)` rounds.
+
+use std::cmp::Ordering;
+
+use cc_clique::{Clique, Envelope, NodeId, Payload};
+use cc_matrix::{Entry, Semiring, SparseRow};
+
+use crate::cube::{CubePartition, TaskAssignment};
+use crate::MatmulError;
+
+/// The input slices one node needs for its assigned subtask.
+#[derive(Debug, Clone)]
+pub struct SubtaskInput<E> {
+    /// Entries of `S[C^S_i, C^{ij}_k]` in global coordinates.
+    pub s_entries: Vec<Entry<E>>,
+    /// Entries of `T[C^{ij}_k, C^T_j]` in global coordinates.
+    pub t_entries: Vec<Entry<E>>,
+}
+
+/// A weighted entry in the Lemma 10 balancing sort. Ordered by *descending*
+/// duplication weight (then position, for determinism); the value tags along
+/// and does not participate in the order.
+#[derive(Debug, Clone)]
+struct BalanceItem<E> {
+    neg_weight: u64,
+    row: u32,
+    col: u32,
+    val: E,
+}
+
+impl<E> BalanceItem<E> {
+    fn key(&self) -> (u64, u32, u32) {
+        (self.neg_weight, self.row, self.col)
+    }
+}
+
+impl<E> Default for SubtaskInput<E> {
+    fn default() -> Self {
+        SubtaskInput { s_entries: Vec::new(), t_entries: Vec::new() }
+    }
+}
+
+impl<E> PartialEq for BalanceItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for BalanceItem<E> {}
+impl<E> PartialOrd for BalanceItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for BalanceItem<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+impl<E: Payload> Payload for BalanceItem<E> {
+    fn words(&self) -> usize {
+        // Entry plus its O(log n)-bit weight ride in O(1) words.
+        self.val.words()
+    }
+}
+
+/// Balances weighted entries across nodes (Lemma 10) and then fans each
+/// entry out to the subtask nodes given by `targets`.
+///
+/// `per_node[v]` are the entries initially held by node `v`; `targets(r, c)`
+/// enumerates the recipients of entry `(r, c)` (its duplication weight is
+/// the length of that list).
+fn balance_and_fanout<SR: Semiring>(
+    clique: &mut Clique,
+    per_node: Vec<Vec<Entry<SR::Elem>>>,
+    targets: &dyn Fn(u32, u32) -> Vec<NodeId>,
+) -> Result<Vec<Vec<Entry<SR::Elem>>>, MatmulError> {
+    let n = clique.n();
+
+    // Lemma 10, step 1: global sort by descending duplication weight.
+    let items: Vec<Vec<BalanceItem<SR::Elem>>> = per_node
+        .into_iter()
+        .map(|entries| {
+            entries
+                .into_iter()
+                .map(|e| BalanceItem {
+                    neg_weight: u64::MAX - targets(e.row, e.col).len() as u64,
+                    row: e.row,
+                    col: e.col,
+                    val: e.val,
+                })
+                .collect()
+        })
+        .collect();
+    // Everyone learns the total count, hence the global rank layout.
+    let counts: Vec<u64> = items.iter().map(|v| v.len() as u64).collect();
+    let counts = clique.with_phase("balance", |cl| cl.all_broadcast(counts))?;
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Ok(vec![Vec::new(); n]);
+    }
+    let sorted = clique.with_phase("balance", |cl| cl.sort(items))?;
+    let run = (total as usize).div_ceil(n);
+
+    // Lemma 10, step 2: deal rank r to node r mod n (round-robin over the
+    // descending-weight order = the constructive Lemma 5 with k = n).
+    let mut deal = Vec::with_capacity(total as usize);
+    for (holder, batch) in sorted.into_iter().enumerate() {
+        for (off, item) in batch.into_iter().enumerate() {
+            let rank = holder * run + off;
+            deal.push(Envelope::new(holder, rank % n, item));
+        }
+    }
+    let balanced = clique.with_phase("balance", |cl| cl.route(deal))?;
+
+    // Lemma 11: fan every entry out to its subtask nodes.
+    let mut fanout = Vec::new();
+    for (holder, batch) in balanced.into_iter().enumerate() {
+        for env in batch {
+            let item = env.payload;
+            for dst in targets(item.row, item.col) {
+                fanout.push(Envelope::new(
+                    holder,
+                    dst,
+                    Entry::new(item.row, item.col, item.val.clone()),
+                ));
+            }
+        }
+    }
+    let inboxes = clique.with_phase("fanout", |cl| cl.route(fanout))?;
+    Ok(inboxes
+        .into_iter()
+        .map(|batch| batch.into_iter().map(|e| e.payload).collect())
+        .collect())
+}
+
+/// Lemma 11: every node assigned a subtask by `assignment` learns its
+/// `S`-block and `T`-block.
+///
+/// # Errors
+///
+/// Returns [`MatmulError::Clique`] on malformed communication.
+pub fn deliver_subtask_inputs<SR: Semiring>(
+    clique: &mut Clique,
+    cube: &CubePartition,
+    s_rows: &[SparseRow<SR::Elem>],
+    t_cols: &[SparseRow<SR::Elem>],
+    assignment: &TaskAssignment,
+) -> Result<Vec<SubtaskInput<SR::Elem>>, MatmulError> {
+    let n = clique.n();
+
+    // S entries start row-distributed.
+    let s_per_node: Vec<Vec<Entry<SR::Elem>>> = s_rows
+        .iter()
+        .enumerate()
+        .map(|(r, row)| row.iter().map(|(c, v)| Entry::new(r as u32, c, v.clone())).collect())
+        .collect();
+    let s_targets = |r: u32, c: u32| -> Vec<NodeId> {
+        cube.s_entry_targets(r, c, assignment).collect()
+    };
+    let s_delivered = clique.with_phase("deliver_s", |cl| {
+        balance_and_fanout::<SR>(cl, s_per_node, &s_targets)
+    })?;
+
+    // T entries start column-distributed.
+    let t_per_node: Vec<Vec<Entry<SR::Elem>>> = t_cols
+        .iter()
+        .enumerate()
+        .map(|(c, col)| col.iter().map(|(r, v)| Entry::new(r, c as u32, v.clone())).collect())
+        .collect();
+    let t_targets = |r: u32, c: u32| -> Vec<NodeId> {
+        cube.t_entry_targets(r, c, assignment).collect()
+    };
+    let t_delivered = clique.with_phase("deliver_t", |cl| {
+        balance_and_fanout::<SR>(cl, t_per_node, &t_targets)
+    })?;
+
+    let mut out: Vec<SubtaskInput<SR::Elem>> = s_delivered
+        .into_iter()
+        .zip(t_delivered)
+        .map(|(s_entries, t_entries)| SubtaskInput { s_entries, t_entries })
+        .collect();
+    out.resize_with(n, SubtaskInput::default);
+    Ok(out)
+}
+
+/// Computes a subtask's local product `S_block · T_block`, returning the
+/// non-zero entries of the block of `P` in deterministic position order.
+pub fn local_product<SR: Semiring>(input: &SubtaskInput<SR::Elem>) -> Vec<Entry<SR::Elem>> {
+    use std::collections::BTreeMap;
+    // Index T entries by their row (the contraction dimension).
+    let mut t_by_row: BTreeMap<u32, Vec<(u32, &SR::Elem)>> = BTreeMap::new();
+    for e in &input.t_entries {
+        t_by_row.entry(e.row).or_default().push((e.col, &e.val));
+    }
+    let mut acc: BTreeMap<(u32, u32), SR::Elem> = BTreeMap::new();
+    for s in &input.s_entries {
+        if let Some(ts) = t_by_row.get(&s.col) {
+            for (c, tval) in ts {
+                let prod = SR::mul(&s.val, tval);
+                acc.entry((s.row, *c))
+                    .and_modify(|cur| *cur = SR::add(cur, &prod))
+                    .or_insert(prod);
+            }
+        }
+    }
+    acc.into_iter()
+        .filter(|(_, v)| !SR::is_zero(v))
+        .map(|((r, c), v)| Entry::new(r, c, v))
+        .collect()
+}

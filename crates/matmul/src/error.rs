@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+use cc_clique::CliqueError;
+
+/// Errors raised by the distributed matrix-multiplication algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatmulError {
+    /// A simulator primitive failed (malformed communication — a bug in the
+    /// calling code, not a data-dependent condition).
+    Clique(CliqueError),
+    /// The operands (or the clique) disagree on the dimension `n`.
+    DimensionMismatch {
+        /// Rows supplied for `S`.
+        s_rows: usize,
+        /// Columns supplied for `T`.
+        t_cols: usize,
+        /// Clique size.
+        n: usize,
+    },
+    /// The caller's promised output density `ρ̂` was smaller than the real
+    /// output density, so the balancing of Lemma 12 cannot place all
+    /// duplicate subtasks. Retry with a larger hint (or use the
+    /// doubling wrapper).
+    DensityHintTooSmall {
+        /// The hint that proved too small.
+        hint: usize,
+    },
+}
+
+impl fmt::Display for MatmulError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatmulError::Clique(e) => write!(f, "clique primitive failed: {e}"),
+            MatmulError::DimensionMismatch { s_rows, t_cols, n } => write!(
+                f,
+                "dimension mismatch: S has {s_rows} rows, T has {t_cols} columns, clique has {n} nodes"
+            ),
+            MatmulError::DensityHintTooSmall { hint } => {
+                write!(f, "output density hint {hint} is smaller than the true output density")
+            }
+        }
+    }
+}
+
+impl Error for MatmulError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MatmulError::Clique(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CliqueError> for MatmulError {
+    fn from(e: CliqueError) -> Self {
+        MatmulError::Clique(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MatmulError::from(CliqueError::EmptyClique);
+        assert!(e.to_string().contains("clique"));
+        assert!(Error::source(&e).is_some());
+        let e = MatmulError::DensityHintTooSmall { hint: 4 };
+        assert!(e.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,489 @@
+//! Matrix multiplication with on-the-fly output sparsification —
+//! **Theorem 14**.
+//!
+//! Computes the ρ-filtered product `P̄` (each output row truncated to its
+//! `ρ` smallest entries by `(value, column)` order) in
+//! `O((ρS·ρT·ρ)^{1/3}/n^{2/3} + log W)` rounds. The crux: the intermediate
+//! slice matrices `P_k` can be dense, so before summation each group
+//! `B_{ik}` (the `a` nodes producing rows `C^S_i` of slice `P_k`) runs a
+//! **distributed binary search** over the value space to find, per row, the
+//! cutoff below which exactly `ρ` entries survive (Lemma 15). Everything
+//! above the cutoff is discarded, the survivors are re-balanced inside the
+//! group (Lemma 16), summed like in Theorem 8, and the final rows filtered
+//! once more locally.
+//!
+//! The search runs over *combined ordinals* `ordinal(value)·n + column`, so
+//! it directly finds the `(value, column)` cutoff pair — the paper's
+//! lexicographic cutoff `(r, s)` — in one search instead of a value search
+//! plus a tie-resolution query.
+
+use std::collections::HashMap;
+
+use cc_clique::{Clique, Envelope, NodeId, Payload};
+use cc_matrix::{Entry, OrderedSemiring, Searchable, SparseRow};
+
+use crate::cube::{CubePartition, CubeShape, Sigma, TaskAssignment};
+use crate::deliver::{deliver_subtask_inputs, local_product};
+use crate::sum::sum_intermediates;
+use crate::{layout, MatmulError};
+
+/// A combined `(value, column)` ordinal on the wire. The value is an
+/// `O(log n)`-bit semiring element and the column an index, so the pair is
+/// one message word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Ord128(u128);
+
+impl Payload for Ord128 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+fn combined<E: Searchable>(val: &E, col: u32, n: usize) -> u128 {
+    val.to_ordinal() * (n as u128) + col as u128
+}
+
+/// State of one per-row binary search, held by its coordinator.
+#[derive(Debug)]
+struct Search {
+    /// Invariant: count(≤ lo) < ρ ≤ count(≤ hi).
+    lo: u128,
+    hi: u128,
+    /// Group members that reported entries for this row.
+    contributors: Vec<NodeId>,
+    resolved: bool,
+}
+
+/// **Theorem 14**: the ρ-filtered product `P̄` of `S ⋆ T`.
+///
+/// Input layout: node `v` holds row `v` of `S` and column `v` of `T`;
+/// output: node `v` holds row `v` of `P̄` (at most `rho` entries, the
+/// smallest of row `v` of `S·T` by `(value, column)` order).
+///
+/// Rounds: `O((ρS·ρT·ρ)^{1/3}/n^{2/3} + log W)` where `W` is the size of
+/// the value space (for min-plus with `poly(n)` weights, `log W = O(log n)`).
+///
+/// # Errors
+///
+/// * [`MatmulError::DimensionMismatch`] if operands don't match the clique;
+/// * [`MatmulError::Clique`] on malformed communication (internal bug).
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Clique;
+/// use cc_matmul::filtered_multiply;
+/// use cc_matrix::{Dist, MinPlus, SparseMatrix};
+///
+/// # fn main() -> Result<(), cc_matmul::MatmulError> {
+/// // Star graph: the square is dense, but we only want each node's 2
+/// // nearest neighbours.
+/// let n = 8;
+/// let mut w = SparseMatrix::<Dist>::identity::<MinPlus>(n);
+/// for v in 1..n {
+///     w.set_in::<MinPlus>(0, v, Dist::fin(v as u64));
+///     w.set_in::<MinPlus>(v, 0, Dist::fin(v as u64));
+/// }
+/// let mut clique = Clique::new(n);
+/// let t_cols = w.transpose();
+/// let p = filtered_multiply::<MinPlus>(&mut clique, w.rows(), t_cols.rows(), 2)?;
+/// assert!(p.iter().all(|row| row.nnz() <= 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn filtered_multiply<SR>(
+    clique: &mut Clique,
+    s_rows: &[SparseRow<SR::Elem>],
+    t_cols: &[SparseRow<SR::Elem>],
+    rho: usize,
+) -> Result<Vec<SparseRow<SR::Elem>>, MatmulError>
+where
+    SR: OrderedSemiring,
+    SR::Elem: Searchable,
+{
+    let n = clique.n();
+    if s_rows.len() != n || t_cols.len() != n {
+        return Err(MatmulError::DimensionMismatch {
+            s_rows: s_rows.len(),
+            t_cols: t_cols.len(),
+            n,
+        });
+    }
+    let rho = rho.clamp(1, n);
+    clique.with_phase("filtered_mm", |clique| {
+        // Lemma 9 partition, shaped for output density ρ.
+        let (s_counts, _, rho_s) = layout::broadcast_counts(clique, s_rows)?;
+        let (t_counts, _, rho_t) = layout::broadcast_counts(clique, t_cols)?;
+        let shape = CubeShape::choose(n, rho_s, rho_t, rho);
+        let cube =
+            CubePartition::build::<SR>(clique, shape, s_rows, t_cols, &s_counts, &t_counts)?;
+
+        // σ1 delivery + local slice products.
+        let sigma1 = TaskAssignment::new(&cube, cube.sigma1());
+        let inputs = deliver_subtask_inputs::<SR>(clique, &cube, s_rows, t_cols, &sigma1)?;
+        let mut products: Vec<Vec<Entry<SR::Elem>>> =
+            inputs.iter().map(local_product::<SR>).collect();
+
+        // Lemma 15: per-row cutoffs via lockstep distributed binary search.
+        let cutoffs = row_cutoffs::<SR>(clique, &cube, &products, rho)?;
+        for (v, product) in products.iter_mut().enumerate() {
+            product.retain(|e| match cutoffs[v].get(&e.row) {
+                Some(&cut) => combined(&e.val, e.col, n) <= cut,
+                None => true,
+            });
+        }
+
+        // Lemma 16: balance survivors inside each group B_ik.
+        let weights: Vec<u64> = products.iter().map(|p| p.len() as u64).collect();
+        let weights = clique.with_phase("weights", |cl| cl.all_broadcast(weights))?;
+        let c_eff = cube.c_eff();
+        let mut sigma_vec: Sigma = vec![None; n];
+        let mut helper_chunk = vec![0usize; n];
+        for i in 0..cube.shape.b {
+            let alpha_i = (cube.row_blocks[i].len() * cube.shape.b).div_ceil(n).max(1);
+            let chunk = (rho * alpha_i * c_eff).max(1);
+            for k in 0..cube.shape.c {
+                let members = cube.group_bik(i, k);
+                let mut pool = members.iter().copied();
+                for &v in &members {
+                    let extra = weights[v] as usize / chunk;
+                    let triple = cube.triple_of(v).expect("members have triples");
+                    for _ in 0..extra {
+                        // Lemma 16 proves the group pool always suffices.
+                        let helper = pool.next().ok_or(MatmulError::DensityHintTooSmall {
+                            hint: rho,
+                        })?;
+                        sigma_vec[helper] = Some(triple);
+                    }
+                }
+                for &v in &members {
+                    helper_chunk[v] = chunk;
+                }
+            }
+        }
+        let sigma = TaskAssignment::new(&cube, sigma_vec);
+        let dup_inputs = deliver_subtask_inputs::<SR>(clique, &cube, s_rows, t_cols, &sigma)?;
+
+        // Responsibility split, like Lemma 12 but with group-local chunks.
+        let mut intermediates: Vec<Vec<Entry<SR::Elem>>> = vec![Vec::new(); n];
+        for v in 0..cube.shape.subtasks() {
+            let (i, j, k) = cube.triple_of(v).expect("subtask nodes have triples");
+            let chunk = helper_chunk[v].max(1);
+            // A node may be both σ1 owner and helper of the same task; it
+            // then takes two parts (cf. Lemma 12 step 3), so duplicates stay.
+            let mut owners = vec![v];
+            owners.extend(sigma.nodes_for(&cube, i, j, k).iter().copied());
+            owners.sort_unstable();
+            let len = products[v].len();
+            let parts = len.div_ceil(chunk);
+            debug_assert!(parts <= owners.len(), "Lemma 16 guarantees enough owners");
+            for (o, owner) in owners.iter().enumerate().take(parts) {
+                let lo = o * chunk;
+                let hi = ((o + 1) * chunk).min(len);
+                if *owner == v {
+                    intermediates[*owner].extend_from_slice(&products[v][lo..hi]);
+                } else {
+                    // Helper: recompute + filter locally (it holds the
+                    // inputs via the σ delivery and the cutoffs via the
+                    // group broadcast).
+                    let mut prod = local_product::<SR>(&dup_inputs[*owner]);
+                    prod.retain(|e| match cutoffs[*owner].get(&e.row) {
+                        Some(&cut) => combined(&e.val, e.col, n) <= cut,
+                        None => true,
+                    });
+                    intermediates[*owner].extend_from_slice(&prod[lo..hi]);
+                }
+            }
+        }
+
+        // Theorem 8's summation, then the final local filter.
+        let mut rows = sum_intermediates::<SR>(clique, intermediates)?;
+        for row in &mut rows {
+            row.filter_smallest::<SR>(rho);
+        }
+        Ok(rows)
+    })
+}
+
+/// Lemma 15: for every group `B_{ik}` and row, finds the `(value, column)`
+/// cutoff such that exactly `ρ` entries of that row of `P_k` survive (or
+/// no cutoff if the row already has at most `ρ` entries). Afterwards,
+/// **every member of the group** knows the cutoffs of all the group's rows.
+///
+/// Returns, per node, a map `row → combined cutoff ordinal`.
+fn row_cutoffs<SR>(
+    clique: &mut Clique,
+    cube: &CubePartition,
+    products: &[Vec<Entry<SR::Elem>>],
+    rho: usize,
+) -> Result<Vec<HashMap<u32, u128>>, MatmulError>
+where
+    SR: OrderedSemiring,
+    SR::Elem: Searchable,
+{
+    let n = clique.n();
+    let a = cube.shape.a;
+
+    // Per node: sorted combined ordinals per row (for O(log) counting).
+    let row_ordinals: Vec<HashMap<u32, Vec<u128>>> = products
+        .iter()
+        .map(|entries| {
+            let mut map: HashMap<u32, Vec<u128>> = HashMap::new();
+            for e in entries {
+                map.entry(e.row).or_default().push(combined(&e.val, e.col, n));
+            }
+            for v in map.values_mut() {
+                v.sort_unstable();
+            }
+            map
+        })
+        .collect();
+
+    // Coordinator of row-index t within group (i,k) is member t mod a.
+    let coordinator_of = |i: usize, k: usize, row: u32| -> NodeId {
+        let t = cube.row_blocks[i]
+            .binary_search(&(row as usize))
+            .expect("row belongs to its block");
+        cube.group_bik(i, k)[t % a]
+    };
+
+    clique.with_phase("cutoff_search", |clique| {
+        // Init: members report (row, count, min, max) to coordinators.
+        let mut init_msgs = Vec::new();
+        for v in 0..cube.shape.subtasks() {
+            let (i, _j, k) = cube.triple_of(v).expect("subtask nodes have triples");
+            for (&row, ords) in &row_ordinals[v] {
+                let coord = coordinator_of(i, k, row);
+                init_msgs.push(Envelope::new(
+                    v,
+                    coord,
+                    (
+                        row,
+                        ords.len() as u64,
+                        Ord128(*ords.first().expect("nonempty")),
+                        Ord128(*ords.last().expect("nonempty")),
+                    ),
+                ));
+            }
+        }
+        let inboxes = clique.route(init_msgs)?;
+
+        // Coordinators set up searches.
+        let mut searches: Vec<HashMap<u32, Search>> = (0..n).map(|_| HashMap::new()).collect();
+        for (coord, inbox) in inboxes.into_iter().enumerate() {
+            for env in inbox {
+                let (row, cnt, min_o, max_o) = env.payload;
+                let s = searches[coord].entry(row).or_insert(Search {
+                    lo: u128::MAX,
+                    hi: 0,
+                    contributors: Vec::new(),
+                    resolved: false,
+                });
+                s.contributors.push(env.src);
+                s.lo = s.lo.min(min_o.0.saturating_sub(1));
+                s.hi = s.hi.max(max_o.0);
+                // Stash counts in a side channel: reuse `resolved` later;
+                // accumulate totals separately below.
+                s.contributors.sort_unstable();
+                let _ = cnt;
+            }
+        }
+        // Recompute totals (needs a second pass because Search has no field).
+        let mut totals: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        for (v, map) in row_ordinals.iter().enumerate() {
+            if let Some((i, _j, k)) = cube.triple_of(v) {
+                for (&row, ords) in map {
+                    let coord = coordinator_of(i, k, row);
+                    *totals[coord].entry(row).or_default() += ords.len() as u64;
+                }
+            }
+        }
+        for (coord, map) in searches.iter_mut().enumerate() {
+            map.retain(|row, s| {
+                if totals[coord][row] <= rho as u64 {
+                    false // at most ρ entries: keep-all, no cutoff needed
+                } else {
+                    s.resolved = false;
+                    true
+                }
+            });
+        }
+
+        // Lockstep binary search: one (query, reply) route pair per step.
+        loop {
+            let mut queries = Vec::new();
+            for (coord, map) in searches.iter().enumerate() {
+                for (&row, s) in map {
+                    if !s.resolved && s.hi > s.lo + 1 {
+                        let mid = s.lo + (s.hi - s.lo) / 2;
+                        for &m in &s.contributors {
+                            queries.push(Envelope::new(coord, m, (row, Ord128(mid))));
+                        }
+                    }
+                }
+            }
+            if queries.is_empty() {
+                break;
+            }
+            let inboxes = clique.route(queries)?;
+            let mut replies = Vec::new();
+            for (member, inbox) in inboxes.into_iter().enumerate() {
+                for env in inbox {
+                    let (row, mid) = env.payload;
+                    let cnt = row_ordinals[member]
+                        .get(&row)
+                        .map_or(0, |ords| ords.partition_point(|&o| o <= mid.0) as u64);
+                    replies.push(Envelope::new(member, env.src, (row, cnt)));
+                }
+            }
+            let inboxes = clique.route(replies)?;
+            for (coord, inbox) in inboxes.into_iter().enumerate() {
+                let mut sums: HashMap<u32, u64> = HashMap::new();
+                for env in inbox {
+                    *sums.entry(env.payload.0).or_default() += env.payload.1;
+                }
+                for (row, cnt) in sums {
+                    let s = searches[coord].get_mut(&row).expect("reply matches search");
+                    let mid = s.lo + (s.hi - s.lo) / 2;
+                    if cnt >= rho as u64 {
+                        s.hi = mid;
+                    } else {
+                        s.lo = mid;
+                    }
+                    if s.hi <= s.lo + 1 {
+                        s.resolved = true;
+                    }
+                }
+            }
+        }
+
+        // Broadcast cutoffs to every member of each group.
+        let mut cutoff_msgs = Vec::new();
+        for (coord, map) in searches.iter().enumerate() {
+            if map.is_empty() {
+                continue;
+            }
+            let (i, _j, k) = cube.triple_of(coord).expect("coordinators have triples");
+            for (&row, s) in map {
+                for m in cube.group_bik(i, k) {
+                    cutoff_msgs.push(Envelope::new(coord, m, (row, Ord128(s.hi))));
+                }
+            }
+        }
+        let inboxes = clique.route(cutoff_msgs)?;
+        let mut cutoffs: Vec<HashMap<u32, u128>> = vec![HashMap::new(); n];
+        for (member, inbox) in inboxes.into_iter().enumerate() {
+            for env in inbox {
+                cutoffs[member].insert(env.payload.0, env.payload.1 .0);
+            }
+        }
+        Ok(cutoffs)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_matrix::{AugDist, AugMinPlus, Dist, MinPlus, SparseMatrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, nnz: usize, seed: u64) -> SparseMatrix<Dist> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = SparseMatrix::zeros(n);
+        for _ in 0..nnz {
+            let r = rng.gen_range(0..n);
+            let c = rng.gen_range(0..n);
+            m.set_in::<MinPlus>(r, c, Dist::fin(rng.gen_range(1..1000)));
+        }
+        m
+    }
+
+    fn check_filtered(n: usize, s: &SparseMatrix<Dist>, t: &SparseMatrix<Dist>, rho: usize) {
+        let mut clique = Clique::new(n);
+        let t_cols = t.transpose();
+        let rows =
+            filtered_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), rho).unwrap();
+        let expected = s.multiply::<MinPlus>(t).filtered::<MinPlus>(rho);
+        assert_eq!(SparseMatrix::from_rows(rows), expected);
+    }
+
+    #[test]
+    fn matches_filtered_reference_on_random() {
+        let n = 16;
+        let s = random_matrix(n, 60, 1);
+        let t = random_matrix(n, 60, 2);
+        for rho in [1, 2, 4, 8] {
+            check_filtered(n, &s, &t, rho);
+        }
+    }
+
+    #[test]
+    fn star_square_filtered_stays_sparse_and_exact() {
+        let n = 16;
+        let mut w = SparseMatrix::<Dist>::identity::<MinPlus>(n);
+        for v in 1..n {
+            w.set_in::<MinPlus>(0, v, Dist::fin(v as u64));
+            w.set_in::<MinPlus>(v, 0, Dist::fin(v as u64));
+        }
+        check_filtered(n, &w, &w, 3);
+    }
+
+    #[test]
+    fn dense_inputs_filtered_output() {
+        let n = 12;
+        let s = random_matrix(n, n * n, 3);
+        let t = random_matrix(n, n * n, 4);
+        check_filtered(n, &s, &t, 2);
+    }
+
+    #[test]
+    fn value_ties_break_by_column() {
+        // All products equal: the filter must keep the lowest columns.
+        let n = 8;
+        let mut s = SparseMatrix::<Dist>::zeros(n);
+        let mut t = SparseMatrix::<Dist>::zeros(n);
+        for v in 0..n {
+            s.set_in::<MinPlus>(0, v, Dist::fin(1));
+            for c in 0..n {
+                t.set_in::<MinPlus>(v, c, Dist::fin(1));
+            }
+        }
+        let mut clique = Clique::new(n);
+        let t_cols = t.transpose();
+        let rows = filtered_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), 3).unwrap();
+        let kept: Vec<u32> = rows[0].iter().map(|(c, _)| c).collect();
+        assert_eq!(kept, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn augmented_semiring_filtered_square() {
+        // Path graph over the augmented semiring: 2-nearest of each node.
+        let n = 10;
+        let mut w = SparseMatrix::<AugDist>::identity::<AugMinPlus>(n);
+        for v in 0..n - 1 {
+            w.set_in::<AugMinPlus>(v, v + 1, AugDist::fin(1, 1));
+            w.set_in::<AugMinPlus>(v + 1, v, AugDist::fin(1, 1));
+        }
+        let mut clique = Clique::new(n);
+        let t_cols = w.transpose();
+        let rows =
+            filtered_multiply::<AugMinPlus>(&mut clique, w.rows(), t_cols.rows(), 3).unwrap();
+        let expected = w.multiply::<AugMinPlus>(&w).filtered::<AugMinPlus>(3);
+        assert_eq!(SparseMatrix::from_rows(rows), expected);
+    }
+
+    #[test]
+    fn search_cost_is_logarithmic_not_linear() {
+        let n = 32;
+        let s = random_matrix(n, 4 * n, 5);
+        let t = random_matrix(n, 4 * n, 6);
+        let mut clique = Clique::new(n);
+        let t_cols = t.transpose();
+        filtered_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), 4).unwrap();
+        // log W for 1000-bounded weights and n=32 is ~15 bits plus column
+        // bits; the whole multiply should stay well under ~200 rounds and
+        // nowhere near n^2.
+        assert!(clique.rounds() < 250, "got {} rounds", clique.rounds());
+    }
+}

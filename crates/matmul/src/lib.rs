@@ -1,0 +1,48 @@
+//! # `cc-matmul`: sparse matrix multiplication in the Congested Clique
+//!
+//! The matrix-multiplication engine of *Fast Approximate Shortest Paths in
+//! the Congested Clique* (PODC 2019), §2:
+//!
+//! * [`sparse_multiply`] — **Theorem 8**: output-sensitive sparse
+//!   multiplication over any semiring in
+//!   `O((ρS·ρT·ρ̂)^{1/3}/n^{2/3} + 1)` rounds, built from the cube partition
+//!   (Lemma 9, [`CubePartition`]), load balancing (Lemma 10), subtask input
+//!   delivery (Lemma 11), duplication of dense subtasks (Lemma 12) and
+//!   balanced summation (Lemma 13);
+//! * [`sparse_multiply_auto`] — the same without knowing the output density
+//!   (doubling search, `O(log n)` overhead);
+//! * [`filtered_multiply`] — **Theorem 14**: ρ-filtered multiplication,
+//!   keeping only the `ρ` smallest entries per output row, in
+//!   `O((ρS·ρT·ρ)^{1/3}/n^{2/3} + log W)` rounds via distributed binary
+//!   search for per-row cutoffs (Lemma 15) and group-local balancing
+//!   (Lemma 16);
+//! * [`dense_multiply`] — the classical 3D dense algorithm
+//!   (`O(n^{1/3})` rounds for dense inputs), used as the baseline the paper
+//!   compares against conceptually.
+//!
+//! All algorithms run on the [`cc_clique::Clique`] simulator and account
+//! every word they move; differential tests check them against
+//! [`cc_matrix::SparseMatrix::multiply`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Distributed algorithms index many parallel per-node vectors by NodeId;
+// iterator zips would obscure which node each access belongs to.
+#![allow(clippy::needless_range_loop)]
+
+mod cube;
+mod deliver;
+mod dense_mm;
+mod error;
+mod filtered_mm;
+pub mod layout;
+pub mod partition;
+mod sparse_mm;
+mod sum;
+
+pub use cube::{CubePartition, CubeShape, Sigma, TaskAssignment};
+pub use dense_mm::dense_multiply;
+pub use error::MatmulError;
+pub use filtered_mm::filtered_multiply;
+pub use sparse_mm::{sparse_multiply, sparse_multiply_auto, AutoProduct};
+pub use sum::sum_intermediates;

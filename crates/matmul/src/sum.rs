@@ -1,0 +1,252 @@
+//! Balanced summation of intermediate values (Lemma 13).
+//!
+//! After the subtask products, every node holds a bounded number of
+//! *intermediate values* — partial sums `p_{vWu}` for positions of the
+//! output matrix, with each elementary product contributing to exactly one
+//! intermediate value. This module accumulates them into the output rows:
+//! repeatedly take `n` values per node, globally sort by position (Lenzen
+//! sort, `O(1)` rounds), combine equal positions locally, fix the runs that
+//! straddle node boundaries, and route the per-row sums to their row owners.
+//! With at most `L` values per node this takes `O(L/n + 1)` rounds.
+
+use std::cmp::Ordering;
+
+use cc_clique::{Clique, Envelope, Payload};
+use cc_matrix::{Entry, Semiring, SparseRow};
+
+use crate::MatmulError;
+
+/// A positioned intermediate value in the summation sort. Ordered by
+/// position key then provenance `(src, seq)` so the global order is total;
+/// the value itself does not participate in the order.
+#[derive(Debug, Clone)]
+struct SumItem<E> {
+    key: u64,
+    src: u32,
+    seq: u32,
+    val: E,
+}
+
+impl<E> SumItem<E> {
+    fn sort_key(&self) -> (u64, u32, u32) {
+        (self.key, self.src, self.seq)
+    }
+}
+
+impl<E> PartialEq for SumItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.sort_key() == other.sort_key()
+    }
+}
+impl<E> Eq for SumItem<E> {}
+impl<E> PartialOrd for SumItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for SumItem<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+impl<E: Payload> Payload for SumItem<E> {
+    fn words(&self) -> usize {
+        self.val.words()
+    }
+}
+
+fn pos_key(row: u32, col: u32) -> u64 {
+    ((row as u64) << 32) | col as u64
+}
+
+/// Accumulates per-node intermediate values into the distributed output
+/// matrix (node `r` ends holding output row `r`).
+///
+/// # Errors
+///
+/// Returns [`MatmulError::Clique`] on malformed communication.
+pub fn sum_intermediates<SR: Semiring>(
+    clique: &mut Clique,
+    per_node: Vec<Vec<Entry<SR::Elem>>>,
+) -> Result<Vec<SparseRow<SR::Elem>>, MatmulError> {
+    let n = clique.n();
+    let mut queues: Vec<std::collections::VecDeque<SumItem<SR::Elem>>> = per_node
+        .into_iter()
+        .enumerate()
+        .map(|(v, entries)| {
+            entries
+                .into_iter()
+                .enumerate()
+                .map(|(seq, e)| SumItem {
+                    key: pos_key(e.row, e.col),
+                    src: v as u32,
+                    seq: seq as u32,
+                    val: e.val,
+                })
+                .collect()
+        })
+        .collect();
+
+    // Everyone learns the number of repetitions.
+    let lens: Vec<u64> = queues.iter().map(|q| q.len() as u64).collect();
+    let lens = clique.with_phase("sum", |cl| cl.all_broadcast(lens))?;
+    let reps = lens.iter().map(|&l| (l as usize).div_ceil(n)).max().unwrap_or(0);
+
+    let mut out: Vec<SparseRow<SR::Elem>> = vec![SparseRow::new(); n];
+    for _rep in 0..reps {
+        // Each node contributes up to n values this repetition.
+        let batch: Vec<Vec<SumItem<SR::Elem>>> = queues
+            .iter_mut()
+            .map(|q| {
+                let take = q.len().min(n);
+                q.drain(..take).collect()
+            })
+            .collect();
+
+        // (1) Global sort by position.
+        let sorted = clique.with_phase("sum", |cl| cl.sort(batch))?;
+
+        // (2) Local combine of equal positions.
+        let mut combined: Vec<Vec<(u64, SR::Elem)>> = sorted
+            .into_iter()
+            .map(|items| {
+                let mut acc: Vec<(u64, SR::Elem)> = Vec::with_capacity(items.len());
+                for item in items {
+                    match acc.last_mut() {
+                        Some((k, v)) if *k == item.key => *v = SR::add(v, &item.val),
+                        _ => acc.push((item.key, item.val)),
+                    }
+                }
+                acc
+            })
+            .collect();
+
+        // (3) Boundary fix: positions straddling node boundaries are merged
+        // at the smallest-id holder. Broadcast (min, max) keys.
+        let spans: Vec<(u64, u64)> = combined
+            .iter()
+            .map(|c| {
+                if c.is_empty() {
+                    (u64::MAX, u64::MAX)
+                } else {
+                    (c.first().expect("nonempty").0, c.last().expect("nonempty").0)
+                }
+            })
+            .collect();
+        let spans = clique.with_phase("sum", |cl| cl.all_broadcast(spans))?;
+        // The smallest-id holder of key k, as seen from holder v: every
+        // earlier holder of k must end with k (global sorted order), so it
+        // is the first node whose max equals k — or v itself.
+        let owner_of = |key: u64, v: usize| -> usize {
+            (0..v).find(|&t| spans[t].1 == key && spans[t].0 != u64::MAX).unwrap_or(v)
+        };
+        let mut boundary_msgs = Vec::new();
+        for v in 0..n {
+            if combined[v].is_empty() {
+                continue;
+            }
+            let min_key = combined[v][0].0;
+            let owner = owner_of(min_key, v);
+            if owner != v {
+                // Every key before ours is <= min_key, so only the first run
+                // can be shared; ship its sum to the owner.
+                let (k, val) = combined[v].remove(0);
+                boundary_msgs.push(Envelope::new(v, owner, (k, val)));
+            }
+        }
+        let inboxes = clique.with_phase("sum", |cl| cl.route(boundary_msgs))?;
+        for (v, inbox) in inboxes.into_iter().enumerate() {
+            for env in inbox {
+                let (k, val) = env.payload;
+                match combined[v].iter_mut().find(|(key, _)| *key == k) {
+                    Some((_, cur)) => *cur = SR::add(cur, &val),
+                    // The owner always holds the key (its max == k).
+                    None => combined[v].push((k, val)),
+                }
+            }
+        }
+
+        // (4) Route per-position sums to their row owners.
+        let finals: Vec<Envelope<Entry<SR::Elem>>> = combined
+            .into_iter()
+            .enumerate()
+            .flat_map(|(v, items)| {
+                items.into_iter().map(move |(k, val)| {
+                    let row = (k >> 32) as u32;
+                    let col = (k & 0xffff_ffff) as u32;
+                    Envelope::new(v, row as usize, Entry::new(row, col, val))
+                })
+            })
+            .collect();
+        let inboxes = clique.with_phase("sum", |cl| cl.route(finals))?;
+        for (r, inbox) in inboxes.into_iter().enumerate() {
+            for env in inbox {
+                out[r].accumulate::<SR>(env.payload.col, env.payload.val);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_matrix::{Dist, MinPlus};
+
+    #[test]
+    fn sums_duplicate_positions_across_nodes() {
+        let n = 4;
+        let mut clique = Clique::new(n);
+        // Position (1, 2) has partial values at three nodes; min should win.
+        let per_node = vec![
+            vec![Entry::new(1, 2, Dist::fin(9)), Entry::new(0, 0, Dist::fin(1))],
+            vec![Entry::new(1, 2, Dist::fin(4))],
+            vec![Entry::new(1, 2, Dist::fin(7)), Entry::new(3, 3, Dist::fin(2))],
+            vec![],
+        ];
+        let rows = sum_intermediates::<MinPlus>(&mut clique, per_node).unwrap();
+        assert_eq!(rows[1].get(2), Some(&Dist::fin(4)));
+        assert_eq!(rows[0].get(0), Some(&Dist::fin(1)));
+        assert_eq!(rows[3].get(3), Some(&Dist::fin(2)));
+        assert_eq!(rows[2].nnz(), 0);
+    }
+
+    #[test]
+    fn handles_multi_repetition_loads() {
+        let n = 4;
+        let mut clique = Clique::new(n);
+        // Node 0 holds 10 values for the same position: forces 3 repetitions.
+        let per_node = vec![
+            (0..10).map(|i| Entry::new(2, 1, Dist::fin(20 - i))).collect(),
+            vec![],
+            vec![],
+            vec![Entry::new(2, 1, Dist::fin(5))],
+        ];
+        let rows = sum_intermediates::<MinPlus>(&mut clique, per_node).unwrap();
+        assert_eq!(rows[2].get(1), Some(&Dist::fin(5)));
+        let rounds = clique.rounds();
+        assert!(rounds >= 3, "expected multiple repetitions, got {rounds} rounds");
+    }
+
+    #[test]
+    fn empty_input_is_cheap() {
+        let mut clique = Clique::new(3);
+        let rows =
+            sum_intermediates::<MinPlus>(&mut clique, vec![vec![], vec![], vec![]]).unwrap();
+        assert!(rows.iter().all(|r| r.is_empty()));
+        assert!(clique.rounds() <= 1);
+    }
+
+    #[test]
+    fn single_position_spanning_all_nodes() {
+        let n = 4;
+        let mut clique = Clique::new(n);
+        let per_node: Vec<Vec<Entry<Dist>>> =
+            (0..n).map(|v| vec![Entry::new(0, 0, Dist::fin(10 + v as u64))]).collect();
+        let rows = sum_intermediates::<MinPlus>(&mut clique, per_node).unwrap();
+        assert_eq!(rows[0].get(0), Some(&Dist::fin(10)));
+        for r in 1..n {
+            assert_eq!(rows[r].nnz(), 0);
+        }
+    }
+}

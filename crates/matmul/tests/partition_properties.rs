@@ -1,0 +1,117 @@
+//! Property-based tests for the partition lemmas and the distributed
+//! multiplication pipelines on arbitrary inputs.
+
+use cc_clique::Clique;
+use cc_matmul::partition::{
+    balanced_partition, consecutive_partition, doubly_balanced_partition, range_weight,
+};
+use cc_matmul::{dense_multiply, sparse_multiply};
+use cc_matrix::{Dist, Entry, MinPlus, SparseMatrix};
+use proptest::prelude::*;
+
+fn arb_weights(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..100, 0..max_len)
+}
+
+fn arb_matrix(n: usize, max_entries: usize) -> impl Strategy<Value = SparseMatrix<Dist>> {
+    prop::collection::vec((0..n as u32, 0..n as u32, 1u64..1000), 0..max_entries).prop_map(
+        move |entries| {
+            SparseMatrix::from_entries::<MinPlus>(
+                n,
+                entries.into_iter().map(|(r, c, w)| Entry::new(r, c, Dist::fin(w))),
+            )
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn lemma5_bounds_hold_for_arbitrary_weights(weights in arb_weights(64), k in 1usize..10) {
+        let groups = balanced_partition(&weights, k);
+        prop_assert_eq!(groups.len(), k);
+        let total: u64 = weights.iter().sum();
+        let max_w = weights.iter().copied().max().unwrap_or(0);
+        let mut seen = vec![false; weights.len()];
+        for g in &groups {
+            let w: u64 = g.iter().map(|&i| weights[i]).sum();
+            prop_assert!(w <= total / k as u64 + max_w);
+            prop_assert!(g.len() <= weights.len().div_ceil(k));
+            for &i in g {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn lemma6_bounds_hold_for_arbitrary_weights(weights in arb_weights(64), k in 1usize..10) {
+        let parts = consecutive_partition(&weights, k);
+        prop_assert_eq!(parts.len(), k);
+        let total: u64 = weights.iter().sum();
+        let max_w = weights.iter().copied().max().unwrap_or(0);
+        let mut next = 0usize;
+        for r in &parts {
+            prop_assert_eq!(r.start, next.min(weights.len()));
+            next = r.end;
+            prop_assert!(range_weight(&weights, r) <= total / k as u64 + max_w);
+        }
+        prop_assert_eq!(next, weights.len());
+    }
+
+    #[test]
+    fn lemma7_bounds_hold_for_arbitrary_weight_pairs(
+        pairs in prop::collection::vec((0u64..50, 0u64..50), 0..64),
+        k in 1usize..8,
+    ) {
+        let w1: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let w2: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+        let parts = doubly_balanced_partition(&w1, &w2, k);
+        let (t1, t2): (u64, u64) = (w1.iter().sum(), w2.iter().sum());
+        let (m1, m2) = (
+            w1.iter().copied().max().unwrap_or(0),
+            w2.iter().copied().max().unwrap_or(0),
+        );
+        let mut next = 0usize;
+        for r in &parts {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+            prop_assert!(range_weight(&w1, r) <= 2 * (t1 / k as u64 + m1));
+            prop_assert!(range_weight(&w2, r) <= 2 * (t2 / k as u64 + m2));
+        }
+        prop_assert_eq!(next, pairs.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn sparse_and_dense_multiply_agree(
+        s in arb_matrix(10, 40),
+        t in arb_matrix(10, 40),
+    ) {
+        let t_cols = t.transpose();
+        let mut c1 = Clique::new(10);
+        let sparse =
+            sparse_multiply::<MinPlus>(&mut c1, s.rows(), t_cols.rows(), 10).unwrap();
+        let mut c2 = Clique::new(10);
+        let dense = dense_multiply::<MinPlus>(&mut c2, s.rows(), t_cols.rows()).unwrap();
+        prop_assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn multiply_respects_any_valid_density_hint(
+        s in arb_matrix(8, 30),
+        t in arb_matrix(8, 30),
+        extra in 0usize..4,
+    ) {
+        // Any hint >= the true density must give the exact product.
+        let expected = s.multiply::<MinPlus>(&t);
+        let hint = (expected.density() + extra).min(8);
+        let t_cols = t.transpose();
+        let mut clique = Clique::new(8);
+        let rows = sparse_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), hint).unwrap();
+        prop_assert_eq!(SparseMatrix::from_rows(rows), expected);
+    }
+}

@@ -1,0 +1,330 @@
+use std::cmp::Ordering;
+use std::fmt::Debug;
+
+use cc_clique::Payload;
+
+use crate::{AugDist, Dist, WitnessedDist};
+
+/// A semiring `(R, +, ·, 0, 1)` whose elements fit in an `O(log n)`-bit
+/// message (§1.5 of the paper).
+///
+/// `0` is the additive identity (and the "zero" that sparse matrices omit);
+/// `1` is the multiplicative identity. Multiplication need not commute.
+/// Implementations are stateless marker types; all operations are associated
+/// functions so that algorithms can be generic over the semiring while
+/// storing plain element values.
+///
+/// # Example
+///
+/// ```
+/// use cc_matrix::{Dist, MinPlus, Semiring};
+///
+/// let d = MinPlus::add(&Dist::fin(3), &Dist::fin(5));
+/// assert_eq!(d, Dist::fin(3)); // min
+/// let d = MinPlus::mul(&Dist::fin(3), &Dist::fin(5));
+/// assert_eq!(d, Dist::fin(8)); // plus
+/// ```
+pub trait Semiring: Clone + Debug + 'static {
+    /// The element type.
+    type Elem: Clone + PartialEq + Debug + Payload + Send + Sync + 'static;
+
+    /// The additive identity (sparse matrices omit this value).
+    fn zero() -> Self::Elem;
+    /// The multiplicative identity.
+    fn one() -> Self::Elem;
+    /// Semiring addition.
+    fn add(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// Semiring multiplication.
+    fn mul(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// Whether `e` is the additive identity.
+    fn is_zero(e: &Self::Elem) -> bool {
+        *e == Self::zero()
+    }
+}
+
+/// A semiring with a total order under which addition is `min` (§2.2).
+///
+/// This is the precondition of the paper's *filtered* matrix multiplication
+/// (Theorem 14): rows of the output can be meaningfully truncated to their
+/// `ρ` smallest entries. The additive identity must be the maximum of the
+/// order.
+pub trait OrderedSemiring: Semiring {
+    /// Total order on elements; `add(a, b)` equals the smaller of `a, b`.
+    fn cmp_elems(a: &Self::Elem, b: &Self::Elem) -> Ordering;
+
+    /// The smaller of two elements under [`OrderedSemiring::cmp_elems`].
+    fn min_elem(a: Self::Elem, b: Self::Elem) -> Self::Elem {
+        if Self::cmp_elems(&a, &b) == Ordering::Greater {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// The min-plus (tropical) semiring over [`Dist`]: `(ℕ∪{∞}, min, +, ∞, 0)`.
+///
+/// Powers of a weight matrix over this semiring are exact shortest-path
+/// distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type Elem = Dist;
+
+    fn zero() -> Dist {
+        Dist::INF
+    }
+    fn one() -> Dist {
+        Dist::ZERO
+    }
+    fn add(a: &Dist, b: &Dist) -> Dist {
+        *a.min(b)
+    }
+    fn mul(a: &Dist, b: &Dist) -> Dist {
+        a.checked_add(*b)
+    }
+}
+
+impl OrderedSemiring for MinPlus {
+    fn cmp_elems(a: &Dist, b: &Dist) -> Ordering {
+        a.cmp(b)
+    }
+}
+
+/// The augmented min-plus semiring over [`AugDist`] (§3.1): elements are
+/// `(weight, hops)` pairs, addition is lexicographic `min`, multiplication
+/// adds componentwise.
+///
+/// Iterated powers of the augmented weight matrix compute hop-bounded
+/// distances with consistent tie-breaking (Lemma 17), which is what the
+/// `k`-nearest and source-detection tools build on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AugMinPlus;
+
+impl Semiring for AugMinPlus {
+    type Elem = AugDist;
+
+    fn zero() -> AugDist {
+        AugDist::INF
+    }
+    fn one() -> AugDist {
+        AugDist::ZERO
+    }
+    fn add(a: &AugDist, b: &AugDist) -> AugDist {
+        *a.min(b)
+    }
+    fn mul(a: &AugDist, b: &AugDist) -> AugDist {
+        a.combine(*b)
+    }
+}
+
+impl OrderedSemiring for AugMinPlus {
+    fn cmp_elems(a: &AugDist, b: &AugDist) -> Ordering {
+        a.cmp(b)
+    }
+}
+
+/// The witness-tracking min-plus semiring over [`WitnessedDist`] (§3.1,
+/// "Recovering paths").
+///
+/// Addition is `min` by `(dist, via)`; multiplication adds distances and
+/// keeps the **rightmost recorded** witness (the right operand's, falling
+/// back to the left's). Products `P = S ⋆ T` with the right operand's
+/// entries tagged by their row index therefore record, per output entry, a
+/// contraction index achieving the minimum (see
+/// `cc_distance::product_with_witnesses`).
+///
+/// Infinite results are canonicalised to [`WitnessedDist::INF`] so the
+/// additive identity stays unique and annihilation holds exactly.
+///
+/// **Algebraic status.** Projected to distances this is exactly
+/// [`MinPlus`] (a semiring homomorphism), and identities, associativity
+/// and additive laws hold on the full pairs. Distributivity can differ in
+/// the *witness component only* when tagged and untagged values of equal
+/// distance mix — a case the distributed pipeline never produces (right
+/// operands are uniformly tagged) and which would still yield a valid
+/// witness; the distance component is always lawful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WitnessedMinPlus;
+
+impl Semiring for WitnessedMinPlus {
+    type Elem = WitnessedDist;
+
+    fn zero() -> WitnessedDist {
+        WitnessedDist::INF
+    }
+    fn one() -> WitnessedDist {
+        WitnessedDist::ZERO
+    }
+    fn add(a: &WitnessedDist, b: &WitnessedDist) -> WitnessedDist {
+        *a.min(b)
+    }
+    fn mul(a: &WitnessedDist, b: &WitnessedDist) -> WitnessedDist {
+        if !a.is_finite() || !b.is_finite() {
+            return WitnessedDist::INF;
+        }
+        WitnessedDist {
+            dist: a.dist.checked_add(b.dist).expect("distance overflow"),
+            via: if b.via != u32::MAX { b.via } else { a.via },
+        }
+    }
+}
+
+impl OrderedSemiring for WitnessedMinPlus {
+    fn cmp_elems(a: &WitnessedDist, b: &WitnessedDist) -> Ordering {
+        a.cmp(b)
+    }
+}
+
+/// The boolean semiring `({0,1}, ∨, ∧, 0, 1)`.
+///
+/// The paper uses it to define the cancellation-free density `ρ̂_{ST}` of a
+/// product (§2.1): the density of `Ŝ·T̂` over booleans, ignoring zeros that
+/// arise from cancellation. (Min-plus has no cancellation, so for the
+/// distance tools `ρ̂_{ST} = ρ_P`.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Boolean;
+
+impl Semiring for Boolean {
+    type Elem = bool;
+
+    fn zero() -> bool {
+        false
+    }
+    fn one() -> bool {
+        true
+    }
+    fn add(a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn mul(a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_semiring_axioms<S: Semiring>(samples: &[S::Elem]) {
+        for a in samples {
+            // Identities.
+            assert_eq!(S::add(a, &S::zero()), *a);
+            assert_eq!(S::add(&S::zero(), a), *a);
+            assert_eq!(S::mul(a, &S::one()), *a);
+            assert_eq!(S::mul(&S::one(), a), *a);
+            // Annihilation.
+            assert!(S::is_zero(&S::mul(a, &S::zero())));
+            assert!(S::is_zero(&S::mul(&S::zero(), a)));
+            for b in samples {
+                // Commutative addition.
+                assert_eq!(S::add(a, b), S::add(b, a));
+                for c in samples {
+                    // Associativity.
+                    assert_eq!(S::add(&S::add(a, b), c), S::add(a, &S::add(b, c)));
+                    assert_eq!(S::mul(&S::mul(a, b), c), S::mul(a, &S::mul(b, c)));
+                    // Distributivity.
+                    assert_eq!(
+                        S::mul(a, &S::add(b, c)),
+                        S::add(&S::mul(a, b), &S::mul(a, c))
+                    );
+                    assert_eq!(
+                        S::mul(&S::add(a, b), c),
+                        S::add(&S::mul(a, c), &S::mul(b, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minplus_axioms() {
+        let samples = [Dist::ZERO, Dist::fin(1), Dist::fin(7), Dist::fin(100), Dist::INF];
+        check_semiring_axioms::<MinPlus>(&samples);
+    }
+
+    #[test]
+    fn aug_minplus_axioms() {
+        let samples = [
+            AugDist::ZERO,
+            AugDist::fin(1, 1),
+            AugDist::fin(7, 2),
+            AugDist::fin(7, 5),
+            AugDist::INF,
+        ];
+        check_semiring_axioms::<AugMinPlus>(&samples);
+    }
+
+    #[test]
+    fn boolean_axioms() {
+        check_semiring_axioms::<Boolean>(&[false, true]);
+    }
+
+    #[test]
+    fn witnessed_minplus_identity_and_annihilation() {
+        let samples = [
+            WitnessedDist::ZERO,
+            WitnessedDist::direct(4),
+            WitnessedDist::via(4, 2),
+            WitnessedDist::via(9, 0),
+            WitnessedDist::INF,
+        ];
+        for a in samples {
+            assert_eq!(WitnessedMinPlus::mul(&a, &WitnessedMinPlus::one()), a);
+            assert_eq!(WitnessedMinPlus::mul(&WitnessedMinPlus::one(), &a), a);
+            assert!(WitnessedMinPlus::is_zero(&WitnessedMinPlus::mul(&a, &WitnessedMinPlus::zero())));
+            assert!(WitnessedMinPlus::is_zero(&WitnessedMinPlus::mul(&WitnessedMinPlus::zero(), &a)));
+            assert_eq!(WitnessedMinPlus::add(&a, &WitnessedMinPlus::zero()), a);
+            for b in samples {
+                // Addition is min; the distance projection is MinPlus.
+                assert_eq!(WitnessedMinPlus::add(&a, &b), a.min(b));
+                assert_eq!(
+                    WitnessedMinPlus::mul(&a, &b).to_dist(),
+                    MinPlus::mul(&a.to_dist(), &b.to_dist())
+                );
+                for c in samples {
+                    // Associativity (including witness component).
+                    assert_eq!(
+                        WitnessedMinPlus::mul(&WitnessedMinPlus::mul(&a, &b), &c),
+                        WitnessedMinPlus::mul(&a, &WitnessedMinPlus::mul(&b, &c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witnessed_mul_prefers_right_witness() {
+        let a = WitnessedDist::via(3, 7);
+        let b = WitnessedDist::via(4, 2);
+        assert_eq!(WitnessedMinPlus::mul(&a, &b), WitnessedDist::via(7, 2));
+        let b = WitnessedDist::direct(4);
+        assert_eq!(WitnessedMinPlus::mul(&a, &b), WitnessedDist::via(7, 7));
+    }
+
+    #[test]
+    fn ordered_addition_is_min() {
+        let samples = [Dist::ZERO, Dist::fin(3), Dist::fin(9), Dist::INF];
+        for a in samples {
+            for b in samples {
+                assert_eq!(MinPlus::add(&a, &b), MinPlus::min_elem(a, b));
+            }
+        }
+        // Zero must be the maximum of the order.
+        for a in samples {
+            assert_ne!(MinPlus::cmp_elems(&a, &MinPlus::zero()), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn aug_ordered_addition_is_min() {
+        let samples = [AugDist::ZERO, AugDist::fin(3, 1), AugDist::fin(3, 2), AugDist::INF];
+        for a in samples {
+            for b in samples {
+                assert_eq!(AugMinPlus::add(&a, &b), AugMinPlus::min_elem(a, b));
+            }
+        }
+    }
+}

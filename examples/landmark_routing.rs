@@ -1,0 +1,83 @@
+//! Landmark routing on a scale-free network: the paper's multi-source
+//! shortest paths (Theorem 3) as the backbone of a landmark-based
+//! distance-oracle service.
+//!
+//! Scenario: a social-network-like overlay (Barabási–Albert, hubs and all)
+//! selects `≈ √n` landmark nodes; every node learns `(1+ε)`-approximate
+//! distances to every landmark in polylogarithmic rounds, after which any
+//! pair can estimate its distance as `min_l d(u,l) + d(l,v)` without any
+//! further communication — the classic landmark (a.k.a. beacon) oracle.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example landmark_routing
+//! ```
+
+use congested_clique::clique::Clique;
+use congested_clique::core::mssp::mssp;
+use congested_clique::distance::{hitting_set, k_nearest};
+use congested_clique::graph::{generators, reference};
+use congested_clique::matrix::Dist;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 128;
+    let epsilon = 0.25;
+    println!("== Landmark routing oracle on a scale-free overlay ==");
+    let g = generators::barabasi_albert(n, 3, 7)?;
+    println!("n = {n}, m = {}, eps = {epsilon}", g.m());
+
+    let mut clique = Clique::new(n);
+
+    // Landmark selection: a hitting set of the Θ(√n·log n)-balls (Lemma 4),
+    // so every node has a landmark among its nearest neighbours while the
+    // landmark count stays ~√n.
+    let k = ((n as f64).sqrt() * (n as f64).ln()).ceil() as usize;
+    let near = k_nearest(&mut clique, &g, k)?;
+    let sets: Vec<Vec<usize>> =
+        near.iter().map(|r| r.iter().map(|(c, _)| c as usize).collect()).collect();
+    let landmarks = hitting_set(&mut clique, &sets, k, 0xBEAC07)?;
+    println!("landmarks: {} nodes (hitting set of the {k}-balls)", landmarks.len());
+
+    // Theorem 3: (1+eps) distances from everyone to all landmarks.
+    let run = mssp(&mut clique, &g, &landmarks.members, epsilon)?;
+    println!("MSSP rounds: {} (total so far: {})", run.rounds, clique.rounds());
+
+    // Offline oracle: estimate d(u, v) through the best landmark.
+    let oracle = |u: usize, v: usize| -> Option<u64> {
+        (0..landmarks.len())
+            .filter_map(|i| {
+                let a = run.dist[u][i].value()?;
+                let b = run.dist[v][i].value()?;
+                Some(a + b)
+            })
+            .min()
+    };
+
+    // Quality over a sample of pairs.
+    let mut worst: f64 = 1.0;
+    let mut sum = 0.0;
+    let mut count = 0;
+    for u in (0..n).step_by(7) {
+        let exact = reference::bfs(&g, u);
+        for v in (1..n).step_by(11) {
+            if u == v {
+                continue;
+            }
+            let (Some(d), Some(est)) = (exact[v], oracle(u, v)) else { continue };
+            let ratio = est as f64 / d as f64;
+            worst = worst.max(ratio);
+            sum += ratio;
+            count += 1;
+        }
+    }
+    println!("\noracle quality over {count} sampled pairs:");
+    println!("  worst stretch : {worst:.3} (theory: <= 3(1+eps) via triangle routing)");
+    println!("  mean stretch  : {:.3}", sum / count as f64);
+
+    // Per-query cost after the one-off MSSP: zero rounds.
+    let q = oracle(0, n - 1).map(Dist::fin);
+    println!("\nexample query d(0, {}) ~= {}", n - 1, q.unwrap_or(Dist::INF));
+    println!("queries are local: 0 additional rounds after the MSSP build");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: `(2+ε)`-approximate all-pairs shortest paths on a random
+//! unweighted graph, with round accounting and quality measurement.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use congested_clique::clique::Clique;
+use congested_clique::core::{apsp, stretch};
+use congested_clique::graph::{generators, reference};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 128;
+    let epsilon = 0.5;
+    println!("== Congested Clique quickstart: (2+eps)-APSP on G(n, p) ==");
+    println!("n = {n}, eps = {epsilon}\n");
+
+    // A connected unweighted Erdős–Rényi graph.
+    let g = generators::gnp(n, 0.08, 42)?;
+    println!("graph: {} nodes, {} edges", g.n(), g.m());
+
+    // One clique = one simulated deployment; all communication it performs
+    // is counted in rounds/messages/words.
+    let mut clique = Clique::new(n);
+    let run = apsp::unweighted_2eps(&mut clique, &g, epsilon)?;
+
+    // Compare against sequential ground truth.
+    let exact = reference::all_pairs(&g);
+    stretch::assert_sound(&run.dist, &exact);
+    let max = stretch::max_stretch(&run.dist, &exact);
+    let mean = stretch::mean_stretch(&run.dist, &exact);
+
+    println!("\nresults");
+    println!("  rounds used        : {}", run.rounds);
+    println!("  guarantee          : stretch <= 2 + {epsilon}");
+    println!("  measured max       : {max:.4}");
+    println!("  measured mean      : {mean:.4}");
+
+    // Aggregate the detailed per-primitive metrics to top-level phases.
+    println!("\nphase breakdown (rounds):");
+    let mut top: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (phase, stats) in &run.report.phases {
+        let key = phase.split('/').take(2).collect::<Vec<_>>().join("/");
+        *top.entry(key).or_default() += stats.rounds;
+    }
+    for (phase, rounds) in top {
+        if rounds > 0 {
+            println!("  {phase:<40} {rounds}");
+        }
+    }
+
+    // A few sample distances.
+    println!("\nsample pairs (estimate vs exact):");
+    for (u, v) in [(0usize, n - 1), (1, n / 2), (3, 2 * n / 3)] {
+        println!(
+            "  d({u:>3}, {v:>3}) = {} vs {:?}",
+            run.dist[u][v],
+            exact[u][v].unwrap_or(u64::MAX)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! # Congested Clique shortest paths
+//!
+//! Facade crate re-exporting the full reproduction of *Fast Approximate
+//! Shortest Paths in the Congested Clique* (Censor-Hillel, Dory, Korhonen,
+//! Leitersdorf; PODC 2019, arXiv:1903.05956).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * a message-accurate **Congested Clique simulator** ([`clique`]),
+//! * **semirings and sparse matrices** ([`matrix`]),
+//! * **output-sensitive sparse matrix multiplication** (Theorem 8) and
+//!   **filtered multiplication** (Theorem 14) ([`matmul`]),
+//! * the paper's **distance tools**: `k`-nearest, source detection, distance
+//!   through sets, hitting sets ([`distance`]),
+//! * deterministic **hopsets** (Theorem 25) ([`hopset`]),
+//! * and the headline algorithms: **MSSP** (Theorem 3), three **APSP**
+//!   approximations (Theorems 28, 31 and the `(3+eps)` variant), **exact
+//!   SSSP** (Theorem 33), **diameter approximation**, witnessed products
+//!   with **shortest-path reconstruction** (§3.1), and the Bellman-Ford /
+//!   dense-squaring / spanner baselines ([`core`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use congested_clique::clique::Clique;
+//! use congested_clique::core::apsp;
+//! use congested_clique::graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::gnp(32, 0.15, 7)?;
+//! let mut clique = Clique::new(32);
+//! let run = apsp::unweighted_2eps(&mut clique, &g, 0.5)?;
+//! println!("rounds used: {}", run.rounds);
+//! # Ok(())
+//! # }
+//! ```
+pub use cc_clique as clique;
+pub use cc_core as core;
+pub use cc_distance as distance;
+pub use cc_graph as graph;
+pub use cc_hopset as hopset;
+pub use cc_matmul as matmul;
+pub use cc_matrix as matrix;

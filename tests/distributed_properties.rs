@@ -1,0 +1,113 @@
+//! Property-based tests over random graphs and matrices: the distributed
+//! algorithms agree with sequential references on arbitrary inputs, and the
+//! paper's invariants hold.
+
+// Node-indexed loops over parallel per-node vectors are the domain idiom.
+#![allow(clippy::needless_range_loop)]
+
+use congested_clique::clique::Clique;
+use congested_clique::core::{mssp, sssp};
+use congested_clique::distance::k_nearest;
+use congested_clique::graph::{reference, Graph};
+use congested_clique::matmul::{filtered_multiply, sparse_multiply_auto};
+use congested_clique::matrix::{Dist, Entry, MinPlus, SparseMatrix};
+use proptest::prelude::*;
+
+/// Arbitrary connected weighted graph on exactly `n` nodes.
+fn arb_graph(n: usize) -> impl Strategy<Value = Graph> {
+    let extra = prop::collection::vec((0..n, 0..n, 1u64..50), 0..3 * n);
+    let spine = prop::collection::vec(1u64..50, n - 1);
+    (extra, spine).prop_map(move |(extra, spine)| {
+        let mut g = Graph::empty(n);
+        for (i, w) in spine.into_iter().enumerate() {
+            g.add_edge(i, i + 1, w).expect("spine edges valid");
+        }
+        for (u, v, w) in extra {
+            if u != v {
+                g.add_edge(u, v, w).expect("extra edges valid");
+            }
+        }
+        g
+    })
+}
+
+fn arb_matrix(n: usize, max_entries: usize) -> impl Strategy<Value = SparseMatrix<Dist>> {
+    prop::collection::vec((0..n as u32, 0..n as u32, 1u64..500), 0..max_entries).prop_map(
+        move |entries| {
+            SparseMatrix::from_entries::<MinPlus>(
+                n,
+                entries.into_iter().map(|(r, c, w)| Entry::new(r, c, Dist::fin(w))),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sparse_multiply_auto_matches_reference(
+        s in arb_matrix(12, 50),
+        t in arb_matrix(12, 50),
+    ) {
+        let mut clique = Clique::new(12);
+        let t_cols = t.transpose();
+        let (rows, _) =
+            sparse_multiply_auto::<MinPlus>(&mut clique, s.rows(), t_cols.rows()).unwrap();
+        prop_assert_eq!(SparseMatrix::from_rows(rows), s.multiply::<MinPlus>(&t));
+    }
+
+    #[test]
+    fn filtered_multiply_matches_filtered_reference(
+        s in arb_matrix(10, 60),
+        t in arb_matrix(10, 60),
+        rho in 1usize..5,
+    ) {
+        let mut clique = Clique::new(10);
+        let t_cols = t.transpose();
+        let rows =
+            filtered_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), rho).unwrap();
+        let expected = s.multiply::<MinPlus>(&t).filtered::<MinPlus>(rho);
+        prop_assert_eq!(SparseMatrix::from_rows(rows), expected);
+    }
+
+    #[test]
+    fn k_nearest_matches_dijkstra_prefix(g in arb_graph(14), k in 1usize..8) {
+        let mut clique = Clique::new(14);
+        let got = k_nearest(&mut clique, &g, k).unwrap();
+        for v in 0..14 {
+            let expected = reference::k_nearest(&g, v, k);
+            let mut items: Vec<(u64, u32, usize)> =
+                got[v].iter().map(|(c, a)| (a.dist, a.hops, c as usize)).collect();
+            items.sort_unstable();
+            let got_v: Vec<(usize, u64, u32)> =
+                items.into_iter().map(|(d, h, u)| (u, d, h)).collect();
+            prop_assert_eq!(got_v, expected);
+        }
+    }
+
+    #[test]
+    fn exact_sssp_matches_dijkstra(g in arb_graph(16), source in 0usize..16) {
+        let mut clique = Clique::new(16);
+        let run = sssp::exact_sssp(&mut clique, &g, source).unwrap();
+        let exact = reference::dijkstra(&g, source);
+        for v in 0..16 {
+            prop_assert_eq!(run.dist[v].value(), exact[v]);
+        }
+    }
+
+    #[test]
+    fn mssp_never_underestimates_and_meets_stretch(g in arb_graph(16)) {
+        let mut clique = Clique::new(16);
+        let run = mssp::mssp(&mut clique, &g, &[0, 8], 0.5).unwrap();
+        for (i, &s) in [0usize, 8].iter().enumerate() {
+            let exact = reference::dijkstra(&g, s);
+            for v in 0..16 {
+                let d = exact[v].expect("spine keeps the graph connected");
+                let e = run.dist[v][i].value().expect("connected");
+                prop_assert!(e >= d);
+                prop_assert!(e as f64 <= 1.5 * d as f64 + 1e-9);
+            }
+        }
+    }
+}

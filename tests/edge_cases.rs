@@ -1,0 +1,180 @@
+//! Degenerate-size and boundary-condition tests: the whole pipeline on
+//! cliques of 1–4 nodes, extreme parameters, and parameter boundaries.
+//! Theory papers assume `n` large; a library must also survive `n` tiny.
+
+// Node-indexed loops over parallel per-node vectors are the domain idiom.
+#![allow(clippy::needless_range_loop)]
+
+use congested_clique::clique::Clique;
+use congested_clique::core::{apsp, baselines, diameter, mssp, paths, sssp};
+use congested_clique::distance::{distance_through_sets, hitting_set, k_nearest};
+use congested_clique::graph::{generators, reference, Graph};
+use congested_clique::hopset::{build_hopset, HopsetConfig};
+use congested_clique::matmul::{dense_multiply, filtered_multiply, sparse_multiply};
+use congested_clique::matrix::{Dist, MinPlus, SparseMatrix};
+
+#[test]
+fn single_node_clique_runs_everything() {
+    let g = Graph::empty(1);
+    let mut clique = Clique::new(1);
+    let near = k_nearest(&mut clique, &g, 1).unwrap();
+    assert_eq!(near[0].nnz(), 1); // itself
+    let run = sssp::exact_sssp(&mut clique, &g, 0).unwrap();
+    assert_eq!(run.dist[0], Dist::ZERO);
+    let run = apsp::weighted_2eps(&mut clique, &g, 0.5).unwrap();
+    assert_eq!(run.dist[0][0], Dist::ZERO);
+    let h = build_hopset(&mut clique, &g, HopsetConfig::new(0.5)).unwrap();
+    assert!(h.edges.is_empty());
+}
+
+#[test]
+fn single_node_matmul() {
+    let mut clique = Clique::new(1);
+    let m = SparseMatrix::<Dist>::identity::<MinPlus>(1);
+    let p = sparse_multiply::<MinPlus>(&mut clique, m.rows(), m.rows(), 1).unwrap();
+    assert_eq!(SparseMatrix::from_rows(p), m);
+    let p = filtered_multiply::<MinPlus>(&mut clique, m.rows(), m.rows(), 1).unwrap();
+    assert_eq!(SparseMatrix::from_rows(p), m);
+    let p = dense_multiply::<MinPlus>(&mut clique, m.rows(), m.rows()).unwrap();
+    assert_eq!(SparseMatrix::from_rows(p), m);
+}
+
+#[test]
+fn two_node_graph_full_pipeline() {
+    let g = Graph::from_edges(2, [(0, 1, 7)]).unwrap();
+    let mut clique = Clique::new(2);
+    let run = mssp::mssp(&mut clique, &g, &[0], 0.5).unwrap();
+    assert_eq!(run.dist[1][0].value(), Some(7));
+    let run = apsp::weighted_2eps(&mut clique, &g, 0.5).unwrap();
+    assert_eq!(run.dist[0][1].value(), Some(7));
+    let run = diameter::diameter_approx(&mut clique, &g, 0.5).unwrap();
+    assert!(run.estimate >= 7);
+    let tables = paths::exact_apsp_paths(&mut clique, &g).unwrap();
+    assert_eq!(tables.path(0, 1), Some(vec![0, 1]));
+}
+
+#[test]
+fn four_node_cycle_everything_exact() {
+    let g = generators::cycle(4).unwrap();
+    let exact = reference::all_pairs(&g);
+    let mut clique = Clique::new(4);
+    let run = apsp::unweighted_2eps(&mut clique, &g, 0.5).unwrap();
+    for u in 0..4 {
+        for v in 0..4 {
+            // Tiny graphs are covered exactly by the ball phase.
+            assert_eq!(run.dist[u][v].value(), exact[u][v]);
+        }
+    }
+}
+
+#[test]
+fn k_equals_n_nearest_is_whole_graph() {
+    let g = generators::gnp_weighted(12, 0.3, 9, 2).unwrap();
+    let mut clique = Clique::new(12);
+    let near = k_nearest(&mut clique, &g, 12).unwrap();
+    let exact = reference::all_pairs(&g);
+    for v in 0..12 {
+        let reachable = exact[v].iter().flatten().count();
+        assert_eq!(near[v].nnz(), reachable);
+        for (u, a) in near[v].iter() {
+            assert_eq!(Some(a.dist), exact[v][u as usize]);
+        }
+    }
+}
+
+#[test]
+fn k_larger_than_n_is_clamped() {
+    let g = generators::path(6).unwrap();
+    let mut clique = Clique::new(6);
+    let near = k_nearest(&mut clique, &g, 1000).unwrap();
+    assert_eq!(near[0].nnz(), 6);
+}
+
+#[test]
+fn empty_graph_distances_are_all_infinite() {
+    let g = Graph::empty(8);
+    let mut clique = Clique::new(8);
+    let run = sssp::bellman_ford(&mut clique, &g, 3, None).unwrap();
+    for v in 0..8 {
+        if v == 3 {
+            assert_eq!(run.dist[v], Dist::ZERO);
+        } else {
+            assert_eq!(run.dist[v], Dist::INF);
+        }
+    }
+    let run = baselines::exact_apsp_squaring(&mut clique, &g).unwrap();
+    assert_eq!(run.dist[0][1], Dist::INF);
+}
+
+#[test]
+fn zero_weight_edges_are_supported() {
+    // The paper allows non-negative weights; zero-weight edges must work.
+    let g = Graph::from_edges(5, [(0, 1, 0), (1, 2, 3), (2, 3, 0), (3, 4, 2)]).unwrap();
+    let exact = reference::dijkstra(&g, 0);
+    assert_eq!(exact[4], Some(5));
+    let mut clique = Clique::new(5);
+    let run = sssp::exact_sssp(&mut clique, &g, 0).unwrap();
+    for v in 0..5 {
+        assert_eq!(run.dist[v].value(), exact[v]);
+    }
+    let mut clique = Clique::new(5);
+    let run = apsp::weighted_2eps(&mut clique, &g, 0.5).unwrap();
+    congested_clique::core::stretch::assert_sound(&run.dist, &reference::all_pairs(&g));
+}
+
+#[test]
+fn huge_weights_do_not_overflow() {
+    let big = 1u64 << 40;
+    let g = Graph::from_edges(4, [(0, 1, big), (1, 2, big), (2, 3, big)]).unwrap();
+    let mut clique = Clique::new(4);
+    let run = sssp::exact_sssp(&mut clique, &g, 0).unwrap();
+    assert_eq!(run.dist[3].value(), Some(3 * big));
+    let mut clique = Clique::new(4);
+    let run = apsp::weighted_3eps(&mut clique, &g, 0.5).unwrap();
+    assert!(run.dist[0][3].value().unwrap() >= 3 * big);
+}
+
+#[test]
+fn hitting_set_with_k_exceeding_set_sizes() {
+    // k larger than every set: sampling probability 1 would be used, but
+    // the repair path must still guarantee coverage.
+    let sets = vec![vec![1], vec![2], vec![3], vec![0]];
+    let mut clique = Clique::new(4);
+    let hs = hitting_set(&mut clique, &sets, 100, 3).unwrap();
+    for set in &sets {
+        assert!(set.iter().any(|&w| hs.contains(w)));
+    }
+}
+
+#[test]
+fn through_sets_with_self_referential_sets() {
+    // Sets containing the node itself at distance 0.
+    let sets: Vec<Vec<(usize, Dist)>> =
+        (0..4).map(|v| vec![(v, Dist::ZERO)]).collect();
+    let mut clique = Clique::new(4);
+    let rows = distance_through_sets(&mut clique, &sets).unwrap();
+    for v in 0..4 {
+        assert_eq!(rows[v].get(v as u32), Some(&Dist::ZERO));
+        assert_eq!(rows[v].nnz(), 1);
+    }
+}
+
+#[test]
+fn epsilon_extremes() {
+    let g = generators::gnp_weighted(16, 0.2, 9, 5).unwrap();
+    // Very large epsilon: still sound, just loose.
+    let mut clique = Clique::new(16);
+    let run = mssp::mssp(&mut clique, &g, &[0], 8.0).unwrap();
+    let exact = reference::dijkstra(&g, 0);
+    for v in 0..16 {
+        let e = run.dist[v][0].value().unwrap();
+        let d = exact[v].unwrap();
+        assert!(e >= d && e as f64 <= 9.0 * d as f64 + 1e-9);
+    }
+    // Tiny epsilon: beta saturates at n, results effectively exact.
+    let mut clique = Clique::new(16);
+    let run = mssp::mssp(&mut clique, &g, &[0], 1e-6).unwrap();
+    for v in 0..16 {
+        assert_eq!(run.dist[v][0].value(), exact[v]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: every headline algorithm, run end-to-end
+//! on the standard workload suite, checked against sequential ground truth
+//! and its paper guarantee.
+
+// Node-indexed loops over parallel per-node vectors are the domain idiom.
+#![allow(clippy::needless_range_loop)]
+
+use congested_clique::clique::Clique;
+use congested_clique::core::{apsp, baselines, diameter, mssp, sssp, stretch};
+use congested_clique::graph::{generators, reference, Graph};
+
+fn suite(n: usize) -> Vec<(String, Graph)> {
+    generators::standard_suite(n, 2026).expect("suite builds")
+}
+
+#[test]
+fn unweighted_apsp_meets_guarantee_across_suite() {
+    for (name, g) in suite(32) {
+        if !g.is_unweighted() {
+            continue;
+        }
+        let mut clique = Clique::new(g.n());
+        let run = apsp::unweighted_2eps(&mut clique, &g, 0.5)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let exact = reference::all_pairs(&g);
+        stretch::assert_sound(&run.dist, &exact);
+        let worst = stretch::max_stretch(&run.dist, &exact);
+        assert!(worst <= 2.5 + 1e-9, "{name}: stretch {worst} > 2.5");
+    }
+}
+
+#[test]
+fn weighted_apsp_meets_guarantee_across_suite() {
+    for (name, g) in suite(32) {
+        let mut clique = Clique::new(g.n());
+        let run =
+            apsp::weighted_2eps(&mut clique, &g, 0.5).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let exact = reference::all_pairs(&g);
+        stretch::assert_sound(&run.dist, &exact);
+        let worst = stretch::max_stretch(&run.dist, &exact);
+        // (2+eps)d + (1+eps)W <= (3+2eps)d = 4d.
+        assert!(worst <= 4.0 + 1e-9, "{name}: stretch {worst} > 4");
+    }
+}
+
+#[test]
+fn mssp_meets_guarantee_across_suite() {
+    for (name, g) in suite(32) {
+        let sources = [0, g.n() / 2, g.n() - 1];
+        let mut clique = Clique::new(g.n());
+        let run = mssp::mssp(&mut clique, &g, &sources, 0.5)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (i, &s) in sources.iter().enumerate() {
+            let exact = reference::dijkstra(&g, s);
+            for v in 0..g.n() {
+                match (exact[v], run.dist[v][i].value()) {
+                    (Some(d), Some(e)) => assert!(
+                        e >= d && e as f64 <= 1.5 * d as f64 + 1e-9,
+                        "{name}: pair ({v},{s}) estimate {e} vs exact {d}"
+                    ),
+                    (None, None) => {}
+                    (d, e) => panic!("{name}: reachability mismatch {d:?} vs {e:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_sssp_is_exact_across_suite() {
+    for (name, g) in suite(32) {
+        let mut clique = Clique::new(g.n());
+        let run = sssp::exact_sssp(&mut clique, &g, 0).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let exact = reference::dijkstra(&g, 0);
+        for v in 0..g.n() {
+            assert_eq!(run.dist[v].value(), exact[v], "{name}: node {v}");
+        }
+    }
+}
+
+#[test]
+fn diameter_within_bounds_across_unweighted_suite() {
+    for (name, g) in suite(32) {
+        if !g.is_unweighted() {
+            continue;
+        }
+        let Some(d) = reference::diameter(&g) else { continue };
+        let mut clique = Clique::new(g.n());
+        let run = diameter::diameter_approx(&mut clique, &g, 0.25)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            diameter::within_claim35(run.estimate, d, 0.25),
+            "{name}: estimate {} vs true {d}",
+            run.estimate
+        );
+    }
+}
+
+#[test]
+fn approximate_apsp_agrees_with_exact_baseline() {
+    let g = generators::gnp_weighted(32, 0.2, 20, 77).unwrap();
+    let mut c1 = Clique::new(32);
+    let exact_run = baselines::exact_apsp_squaring(&mut c1, &g).unwrap();
+    let mut c2 = Clique::new(32);
+    let approx_run = apsp::weighted_2eps(&mut c2, &g, 0.5).unwrap();
+    for u in 0..32 {
+        for v in 0..32 {
+            let e = exact_run.dist[u][v];
+            let a = approx_run.dist[u][v];
+            assert!(a >= e, "approximation below exact for ({u},{v})");
+        }
+    }
+}
+
+#[test]
+fn pipelines_share_one_clique_consistently() {
+    // Run several algorithms on the same clique: metrics accumulate, and
+    // results stay correct (no hidden global state).
+    let g = generators::gnp_weighted(24, 0.2, 15, 5).unwrap();
+    let mut clique = Clique::new(24);
+    let r1 = sssp::exact_sssp(&mut clique, &g, 0).unwrap();
+    let after_sssp = clique.rounds();
+    let r2 = sssp::bellman_ford(&mut clique, &g, 0, None).unwrap();
+    assert_eq!(
+        r1.dist.iter().map(|d| d.value()).collect::<Vec<_>>(),
+        r2.dist.iter().map(|d| d.value()).collect::<Vec<_>>(),
+    );
+    assert!(clique.rounds() > after_sssp);
+    assert_eq!(r2.rounds, clique.rounds() - after_sssp);
+}
