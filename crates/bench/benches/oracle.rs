@@ -1,0 +1,175 @@
+//! Serving-path benchmark for the distance oracle: one expensive build
+//! (measured in clique rounds), then query throughput with zero rounds per
+//! request.
+//!
+//! Besides the human-readable criterion output, this bench writes
+//! `BENCH_oracle.json` at the workspace root (build rounds, p50/p99 query
+//! latency, queries/sec, cache hit rate) so later PRs can track the
+//! serving-path trajectory. The JSON numbers are measured directly with
+//! `Instant` so they do not depend on criterion internals.
+
+use cc_clique::Clique;
+use cc_graph::generators;
+use cc_oracle::{CachingOracle, DistanceOracle, OracleBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const N: usize = 256;
+
+fn prebuilt() -> DistanceOracle {
+    let g = generators::gnp_weighted(N, 0.06, 50, 17).expect("graph");
+    let mut clique = Clique::new(N);
+    OracleBuilder::new().epsilon(0.25).seed(7).build(&mut clique, &g).expect("build")
+}
+
+/// A deterministic query stream with realistic skew: a handful of hot pairs
+/// interleaved with a uniform tail.
+fn traffic(len: usize) -> Vec<(usize, usize)> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..len)
+        .map(|_| {
+            let r = next();
+            if r % 4 == 0 {
+                // Hot set: 16 popular pairs.
+                let hot = (r >> 8) % 16;
+                (hot as usize, (hot as usize * 31 + 7) % N)
+            } else {
+                ((r >> 8) as usize % N, (r >> 40) as usize % N)
+            }
+        })
+        .collect()
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    sorted_ns[((sorted_ns.len() - 1) as f64 * q) as usize]
+}
+
+/// Measures the serving path directly and writes BENCH_oracle.json.
+fn emit_artifact(oracle: &DistanceOracle, build_wall: Duration) {
+    let pairs = traffic(200_000);
+
+    // Per-query latency distribution. A single query (~tens of ns) is the
+    // same order as a clock read, so timing each one would mostly measure
+    // clock_gettime; instead each sample times a run of 64 queries and
+    // reports the per-query average, keeping clock overhead under 2%.
+    const RUN: usize = 64;
+    let lat_pairs = &pairs[..40_960];
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(lat_pairs.len() / RUN);
+    for chunk in lat_pairs.chunks_exact(RUN) {
+        let t = Instant::now();
+        for &(u, v) in chunk {
+            black_box(oracle.query(u, v));
+        }
+        lat_ns.push(t.elapsed().as_nanos() as u64 / RUN as u64);
+    }
+    lat_ns.sort_unstable();
+    let p50 = percentile(&lat_ns, 0.50);
+    let p99 = percentile(&lat_ns, 0.99);
+
+    // Bulk throughput through the sharded batch path.
+    let t = Instant::now();
+    black_box(oracle.query_batch(&pairs));
+    let batch_secs = t.elapsed().as_secs_f64();
+    let qps = pairs.len() as f64 / batch_secs;
+
+    // Cache effectiveness on the skewed stream.
+    let cached = CachingOracle::new(oracle.clone(), 4096);
+    for &(u, v) in &pairs {
+        black_box(cached.query(u, v));
+    }
+    let stats = cached.stats();
+
+    let json = format!(
+        "{{\n  \"n\": {},\n  \"k\": {},\n  \"epsilon\": {},\n  \"landmarks\": {},\n  \
+         \"build_rounds\": {},\n  \"build_wall_ms\": {:.1},\n  \"artifact_bytes\": {},\n  \
+         \"query_p50_ns\": {},\n  \"query_p99_ns\": {},\n  \"queries_per_sec\": {:.0},\n  \
+         \"cache_hit_rate\": {:.4},\n  \"stretch_bound\": {}\n}}\n",
+        oracle.n(),
+        oracle.k(),
+        oracle.epsilon(),
+        oracle.landmarks().len(),
+        oracle.build_rounds(),
+        build_wall.as_secs_f64() * 1e3,
+        oracle.artifact_bytes(),
+        p50,
+        p99,
+        qps,
+        stats.hit_rate(),
+        oracle.stretch_bound(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oracle.json");
+    std::fs::write(path, &json).expect("write BENCH_oracle.json");
+    println!("BENCH_oracle.json: {json}");
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let t = Instant::now();
+    let oracle = prebuilt();
+    let build_wall = t.elapsed();
+    println!(
+        "oracle build (one-off): n={N}, {} rounds, {} landmarks, {:.1} ms wall",
+        oracle.build_rounds(),
+        oracle.landmarks().len(),
+        build_wall.as_secs_f64() * 1e3
+    );
+
+    let pairs = traffic(4096);
+    let mut at = 0usize;
+    c.bench_function("oracle_query_n256", |b| {
+        b.iter(|| {
+            let (u, v) = pairs[at];
+            at = (at + 1) % pairs.len();
+            black_box(oracle.query(u, v))
+        })
+    });
+
+    let batch = traffic(100_000);
+    c.bench_function("oracle_query_batch_100k_n256", |b| {
+        b.iter(|| black_box(oracle.query_batch(black_box(&batch))))
+    });
+
+    let cached = CachingOracle::new(oracle.clone(), 4096);
+    let mut at = 0usize;
+    c.bench_function("oracle_cached_query_n256", |b| {
+        b.iter(|| {
+            let (u, v) = pairs[at];
+            at = (at + 1) % pairs.len();
+            black_box(cached.query(u, v))
+        })
+    });
+
+    emit_artifact(&oracle, build_wall);
+}
+
+/// Build cost for context: the whole point is paying this once instead of
+/// per query, so it is measured with a small sample size.
+fn bench_build(c: &mut Criterion) {
+    let g = generators::gnp_weighted(64, 0.1, 50, 3).expect("graph");
+    c.bench_function("oracle_build_n64", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(64);
+            OracleBuilder::new().build(&mut clique, black_box(&g)).expect("build")
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_oracle, bench_build
+}
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p cc-bench --bin experiments [all|e1|..|e12|ablate-cost|ablate-filter|ablate-shortcut]
+//! cargo run --release -p cc-bench --bin experiments [all|e1|..|e12|oracle|ablate-cost|ablate-filter|ablate-shortcut]
 //! ```
 //!
 //! Output is GitHub-flavoured markdown, pasted (with narrative) into
@@ -66,6 +66,9 @@ fn main() {
     if all || which == "e12" {
         e12();
     }
+    if all || which == "oracle" {
+        oracle();
+    }
     if all || which == "ablate-cost" {
         ablate_cost();
     }
@@ -99,8 +102,9 @@ fn e1() {
         let rho_out = expected.density();
 
         let mut clique = Clique::new(n);
-        let p = cc_matmul::sparse_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), rho_out)
-            .expect("multiply");
+        let p =
+            cc_matmul::sparse_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), rho_out)
+                .expect("multiply");
         let ok = SparseMatrix::from_rows(p) == expected;
         let rounds = clique.rounds();
 
@@ -187,12 +191,11 @@ fn e3() {
             let mut got: Vec<(u64, u32, usize)> =
                 rows[v].iter().map(|(c, a)| (a.dist, a.hops, c as usize)).collect();
             got.sort_unstable();
-            let got: Vec<(usize, u64, u32)> =
-                got.into_iter().map(|(d, h, u)| (u, d, h)).collect();
+            let got: Vec<(usize, u64, u32)> = got.into_iter().map(|(d, h, u)| (u, d, h)).collect();
             ok &= got == expected;
         }
-        let bound = (k as f64 / (n as f64).powf(2.0 / 3.0) + (n as f64).log2())
-            * (k.max(2) as f64).log2();
+        let bound =
+            (k as f64 / (n as f64).powf(2.0 / 3.0) + (n as f64).log2()) * (k.max(2) as f64).log2();
         table.row(vec![
             k.to_string(),
             clique.rounds().to_string(),
@@ -244,9 +247,7 @@ fn e5() {
     for size in [2usize, 4, 8, 16, 32, 64] {
         let sets: Vec<Vec<(usize, Dist)>> = (0..n)
             .map(|_| {
-                (0..size)
-                    .map(|_| (rng.gen_range(0..n), Dist::fin(rng.gen_range(1..100))))
-                    .collect()
+                (0..size).map(|_| (rng.gen_range(0..n), Dist::fin(rng.gen_range(1..100)))).collect()
             })
             .collect();
         let mut clique = Clique::new(n);
@@ -269,9 +270,7 @@ fn e6() {
         let sets: Vec<Vec<usize>> =
             near.iter().map(|r| r.iter().map(|(c, _)| c as usize).collect()).collect();
         let hs = hitting_set(&mut clique, &sets, k, 42).expect("hitting set");
-        let hit = sets
-            .iter()
-            .all(|s| s.is_empty() || s.iter().any(|&w| hs.contains(w)));
+        let hit = sets.iter().all(|s| s.is_empty() || s.iter().any(|&w| hs.contains(w)));
         let bound = 2.0 * n as f64 * (n as f64).ln() / k as f64;
         table.row(vec![
             k.to_string(),
@@ -342,13 +341,11 @@ fn e8() {
         clique.rounds(),
         hopset.beta
     );
-    let mut table =
-        Table::new(&["|S|", "query rounds", "max stretch (sampled)", "guarantee"]);
+    let mut table = Table::new(&["|S|", "query rounds", "max stretch (sampled)", "guarantee"]);
     for s_count in [1usize, 4, 16, 64, 128, 256] {
         let sources: Vec<usize> = (0..s_count).map(|i| i * (n / s_count)).collect();
         let mut clique = Clique::new(n);
-        let run =
-            mssp::mssp_with_hopset(&mut clique, &g, &sources, &hopset).expect("mssp");
+        let run = mssp::mssp_with_hopset(&mut clique, &g, &sources, &hopset).expect("mssp");
         let mut worst: f64 = 1.0;
         for (i, &s) in sources.iter().enumerate().take(4) {
             let exact = reference::dijkstra(&g, s);
@@ -374,14 +371,8 @@ fn e8() {
 fn e9() {
     println!("### E9 — Weighted APSP: (3+eps) and (2+eps,(1+eps)W) vs exact baseline\n");
     let eps = 0.5;
-    let mut table = Table::new(&[
-        "n",
-        "algorithm",
-        "rounds",
-        "max stretch",
-        "mean stretch",
-        "guarantee",
-    ]);
+    let mut table =
+        Table::new(&["n", "algorithm", "rounds", "max stretch", "mean stretch", "guarantee"]);
     for n in [32usize, 64, 128] {
         let g = generators::gnp_weighted(n, 5.0 / n as f64, 50, 9).expect("graph");
         let exact = reference::all_pairs(&g);
@@ -443,8 +434,7 @@ fn e10() {
     let n = 128;
     let eps = 0.5;
     println!("### E10 — Theorem 2/31: unweighted (2+eps) APSP (n~{n}, eps={eps})\n");
-    let mut table =
-        Table::new(&["family", "n", "m", "rounds", "max stretch", "mean stretch"]);
+    let mut table = Table::new(&["family", "n", "m", "rounds", "max stretch", "mean stretch"]);
     let side = (n as f64).sqrt().round() as usize;
     let families: Vec<(&str, cc_graph::Graph)> = vec![
         ("gnp-sparse", generators::gnp(n, 2.0 * (n as f64).ln() / n as f64, 10).unwrap()),
@@ -476,24 +466,14 @@ fn e10() {
 /// E11 — Theorem 33: exact SSSP vs Bellman-Ford, who wins where.
 fn e11() {
     println!("### E11 — Theorem 33: exact SSSP (shortcut) vs Bellman-Ford\n");
-    let mut table = Table::new(&[
-        "graph",
-        "n",
-        "SPD",
-        "BF rounds",
-        "Thm 33 rounds",
-        "winner",
-        "exact",
-    ]);
+    let mut table =
+        Table::new(&["graph", "n", "SPD", "BF rounds", "Thm 33 rounds", "winner", "exact"]);
     let mut cases: Vec<(String, cc_graph::Graph)> = Vec::new();
     for n in [64usize, 128, 256, 512] {
         cases.push((format!("path-{n}"), generators::path(n).unwrap()));
     }
     cases.push(("grid-16x16".into(), generators::grid_weighted(16, 16, 20, 13).unwrap()));
-    cases.push((
-        "gnp-256".into(),
-        generators::gnp_weighted(256, 5.0 / 256.0, 50, 14).unwrap(),
-    ));
+    cases.push(("gnp-256".into(), generators::gnp_weighted(256, 5.0 / 256.0, 50, 14).unwrap()));
     let mut growth = Vec::new();
     for (name, g) in cases {
         let n = g.n();
@@ -503,9 +483,7 @@ fn e11() {
         let bf = sssp::bellman_ford(&mut c_bf, &g, 0, None).expect("bf");
         let mut c_fast = Clique::new(n);
         let fast = sssp::exact_sssp(&mut c_fast, &g, 0).expect("sssp");
-        let ok = (0..n).all(|v| {
-            bf.dist[v].value() == exact[v] && fast.dist[v].value() == exact[v]
-        });
+        let ok = (0..n).all(|v| bf.dist[v].value() == exact[v] && fast.dist[v].value() == exact[v]);
         if name.starts_with("path-") {
             growth.push((n as f64, fast.rounds as f64));
         }
@@ -567,6 +545,82 @@ fn e12() {
     table.print();
 }
 
+/// Oracle — serving layer: one distributed build, then local queries whose
+/// measured stretch is checked against the Dijkstra ground truth.
+fn oracle() {
+    let eps = 0.25;
+    println!("### Oracle — build-once / query-many serving layer (eps={eps})\n");
+    let mut table = Table::new(&[
+        "family",
+        "n",
+        "landmarks",
+        "build rounds",
+        "query rounds",
+        "exact answers",
+        "max stretch",
+        "mean stretch",
+        "bound 3(1+eps)",
+        "sound",
+    ]);
+    for (name, g) in generators::standard_suite(128, 23).expect("suite") {
+        let n = g.n();
+        let mut clique = Clique::new(n);
+        let oracle = cc_oracle::OracleBuilder::new()
+            .epsilon(eps)
+            .seed(31)
+            .build(&mut clique, &g)
+            .expect("build");
+        let build_rounds = clique.rounds();
+
+        let exact = reference::all_pairs(&g);
+        let mut worst: f64 = 1.0;
+        let mut sum = 0.0;
+        let mut pairs = 0u64;
+        let mut exact_hits = 0u64;
+        let mut sound = true;
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                let est = oracle.query(u, v).value();
+                match (exact[u][v], est) {
+                    (Some(d), Some(est)) => {
+                        sound &= est >= d;
+                        let ratio = est as f64 / d as f64;
+                        if est == d {
+                            exact_hits += 1;
+                        }
+                        worst = worst.max(ratio);
+                        sum += ratio;
+                        pairs += 1;
+                    }
+                    (None, None) => {}
+                    _ => sound = false,
+                }
+            }
+        }
+        let query_rounds = clique.rounds() - build_rounds;
+        table.row(vec![
+            name,
+            n.to_string(),
+            oracle.landmarks().len().to_string(),
+            build_rounds.to_string(),
+            query_rounds.to_string(),
+            format!("{:.0}%", 100.0 * exact_hits as f64 / pairs.max(1) as f64),
+            format!("{worst:.3}"),
+            format!("{:.3}", sum / pairs.max(1) as f64),
+            format!("{:.3}", oracle.stretch_bound()),
+            sound.to_string(),
+        ]);
+        assert!(sound, "oracle must never underestimate");
+        assert!(worst <= oracle.stretch_bound() + 1e-9, "stretch bound violated");
+        assert_eq!(query_rounds, 0, "queries must be communication-free");
+    }
+    table.print();
+    println!("every family: answers sound (never below the true distance), within the documented 3(1+eps) bound, and all n(n-1) queries cost 0 rounds after the one-off build.\n");
+}
+
 /// Ablation: cost-model constants don't change algorithm rankings.
 fn ablate_cost() {
     println!("### Ablation — cost-model sensitivity (unit vs conservative Lenzen constants)\n");
@@ -603,7 +657,11 @@ fn ablate_filter() {
     let mut clique = Clique::new(n);
     let rows = k_nearest(&mut clique, &g, k).expect("k-nearest");
     let nnz: usize = rows.iter().map(|r| r.nnz()).sum();
-    table.row(vec!["Thm 14 filtered squaring (k-nearest)".into(), clique.rounds().to_string(), nnz.to_string()]);
+    table.row(vec![
+        "Thm 14 filtered squaring (k-nearest)".into(),
+        clique.rounds().to_string(),
+        nnz.to_string(),
+    ]);
 
     let mut clique = Clique::new(n);
     let w_cols = w.transpose();

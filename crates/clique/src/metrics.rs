@@ -45,7 +45,14 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn record(&mut self, phase: &str, rounds: u64, messages: u64, words: u64, load: u64) {
+    pub(crate) fn record(
+        &mut self,
+        phase: &str,
+        rounds: u64,
+        messages: u64,
+        words: u64,
+        load: u64,
+    ) {
         self.rounds += rounds;
         self.messages += messages;
         self.words += words;

@@ -236,8 +236,7 @@ impl Clique {
         let w = payload.words() as u64;
         let rounds = self.cost.broadcast_per_unit * w.max(1);
         let phase = self.phase_label("broadcast");
-        self.metrics
-            .record(&phase, rounds, (self.n - 1) as u64, w * (self.n as u64 - 1), w);
+        self.metrics.record(&phase, rounds, (self.n - 1) as u64, w * (self.n as u64 - 1), w);
         Ok(payload)
     }
 

@@ -149,9 +149,7 @@ fn validate(clique: &Clique, graph: &Graph, epsilon: f64) -> Result<(), Distance
         });
     }
     if !epsilon.is_finite() || epsilon <= 0.0 {
-        return Err(DistanceError::InvalidParameter {
-            what: "APSP needs epsilon > 0".to_owned(),
-        });
+        return Err(DistanceError::InvalidParameter { what: "APSP needs epsilon > 0".to_owned() });
     }
     Ok(())
 }
@@ -388,10 +386,7 @@ mod tests {
                     let e = run.dist[u][v].value().expect("reachable");
                     assert!(e >= d);
                     let bound = 2.5 * d as f64 + 1.5 * heaviest as f64;
-                    assert!(
-                        (e as f64) <= bound + 1e-9,
-                        "pair ({u},{v}): {e} > {bound} (d={d})"
-                    );
+                    assert!((e as f64) <= bound + 1e-9, "pair ({u},{v}): {e} > {bound} (d={d})");
                 }
             }
         }

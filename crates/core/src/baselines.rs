@@ -45,10 +45,7 @@ use crate::ApspRun;
 /// # Ok(())
 /// # }
 /// ```
-pub fn exact_apsp_squaring(
-    clique: &mut Clique,
-    graph: &Graph,
-) -> Result<ApspRun, DistanceError> {
+pub fn exact_apsp_squaring(clique: &mut Clique, graph: &Graph) -> Result<ApspRun, DistanceError> {
     let n = clique.n();
     if graph.n() != n {
         return Err(DistanceError::InvalidParameter {
@@ -82,8 +79,7 @@ pub fn exact_apsp_squaring(
 /// stretch `2k-1`. Guarantees stretch `≤ 2k-1` and `O(n^{1+1/k})` edges.
 fn greedy_spanner(graph: &Graph, k: usize) -> Graph {
     let stretch = (2 * k - 1) as u64;
-    let mut edges: Vec<(u64, usize, usize)> =
-        graph.edges().map(|(u, v, w)| (w, u, v)).collect();
+    let mut edges: Vec<(u64, usize, usize)> = graph.edges().map(|(u, v, w)| (w, u, v)).collect();
     edges.sort_unstable();
     let mut spanner = Graph::empty(graph.n());
     for (w, u, v) in edges {
@@ -186,19 +182,13 @@ pub fn spanner_apsp(
         let balance: Vec<Envelope<(u64, u64, u64)>> = edges
             .iter()
             .enumerate()
-            .map(|(i, &(u, v, w))| {
-                Envelope::new(u, i % n, (u as u64, v as u64, w))
-            })
+            .map(|(i, &(u, v, w))| Envelope::new(u, i % n, (u as u64, v as u64, w)))
             .collect();
         let held = clique.route(balance)?;
         let batches = held.iter().map(|h| h.len()).max().unwrap_or(0);
         for b in 0..batches {
             let payload: Vec<(u64, u64, u64)> = (0..n)
-                .map(|v| {
-                    held[v]
-                        .get(b)
-                        .map_or((u64::MAX, u64::MAX, u64::MAX), |e| e.payload)
-                })
+                .map(|v| held[v].get(b).map_or((u64::MAX, u64::MAX, u64::MAX), |e| e.payload))
                 .collect();
             clique.all_broadcast(payload)?;
         }
@@ -259,10 +249,7 @@ mod tests {
     fn rounds_grow_polynomially_with_n() {
         let r16 = check_exact(&generators::gnp(16, 0.4, 1).unwrap());
         let r48 = check_exact(&generators::gnp(48, 0.4, 1).unwrap());
-        assert!(
-            r48 > r16,
-            "dense squaring rounds must grow with n: {r16} vs {r48}"
-        );
+        assert!(r48 > r16, "dense squaring rounds must grow with n: {r16} vs {r48}");
     }
 
     #[test]

@@ -76,9 +76,8 @@ pub fn diameter_approx(
         let run_s = mssp(clique, graph, &s.members, epsilon)?;
 
         // (4): d(v, p(v)) is exact (p(v) ∈ N_k(v)); broadcast it.
-        let dp: Vec<u64> = (0..n)
-            .map(|v| s.closest_in_row(&near[v]).map_or(0, |(_, a)| a.dist))
-            .collect();
+        let dp: Vec<u64> =
+            (0..n).map(|v| s.closest_in_row(&near[v]).map_or(0, |(_, a)| a.dist)).collect();
         let dp = clique.all_broadcast(dp)?;
 
         // (5): w maximises d(w, p(w)); everyone learns N_k(w) (its members
@@ -91,11 +90,7 @@ pub fn diameter_approx(
         // (6): the estimate is the largest distance seen; global max via a
         // one-word broadcast.
         let local_max = |dists: &[Vec<Dist>]| -> u64 {
-            dists
-                .iter()
-                .flat_map(|row| row.iter().filter_map(|d| d.value()))
-                .max()
-                .unwrap_or(0)
+            dists.iter().flat_map(|row| row.iter().filter_map(|d| d.value())).max().unwrap_or(0)
         };
         let est = local_max(&run_s.dist).max(local_max(&run_w.dist));
         clique.all_broadcast(vec![est; n])?;

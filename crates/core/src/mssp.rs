@@ -92,20 +92,16 @@ fn mssp_finish(
     watch: Stopwatch,
 ) -> Result<MsspRun, DistanceError> {
     let union = hopset.union_with(graph);
-    let rows = clique.with_phase("mssp", |cl| {
-        source_detection_all(cl, &union, sources, hopset.beta)
-    })?;
+    let rows =
+        clique.with_phase("mssp", |cl| source_detection_all(cl, &union, sources, hopset.beta))?;
     let dist: Vec<Vec<Dist>> = rows
         .iter()
         .map(|row| {
-            sources
-                .iter()
-                .map(|&s| row.get(s as u32).map_or(Dist::INF, |a| a.to_dist()))
-                .collect()
+            sources.iter().map(|&s| row.get(s as u32).map_or(Dist::INF, |a| a.to_dist())).collect()
         })
         .collect();
     let (rounds, report) = watch.stop(clique);
-    Ok(MsspRun { sources: sources.to_vec(), dist, rounds, report })
+    Ok(MsspRun::new(sources.to_vec(), dist, rounds, report))
 }
 
 #[cfg(test)]
@@ -173,8 +169,7 @@ mod tests {
     fn reusing_a_hopset_is_cheaper() {
         let g = generators::gnp_weighted(32, 0.15, 20, 5).unwrap();
         let mut clique = Clique::new(32);
-        let hopset =
-            cc_hopset::build_hopset(&mut clique, &g, HopsetConfig::new(0.5)).unwrap();
+        let hopset = cc_hopset::build_hopset(&mut clique, &g, HopsetConfig::new(0.5)).unwrap();
         let build_rounds = clique.rounds();
         let run = mssp_with_hopset(&mut clique, &g, &[1, 2], &hopset).unwrap();
         assert!(run.rounds < build_rounds, "query should be cheaper than build");

@@ -64,7 +64,7 @@ impl ApspPaths {
             .copied()
             .expect("recursion stays within recorded reachability");
         match (level, entry.witness()) {
-            (0, _) => out.push(v), // a direct edge of W
+            (0, _) => out.push(v),    // a direct edge of W
             (_, None) => out.push(v), // value inherited from a single edge
             (_, Some(w)) if w == u || w == v => {
                 // Degenerate midpoint: the value already existed one level

@@ -35,21 +35,49 @@ pub struct ApspRun {
 /// distance from `v` to `sources[i]`.
 #[derive(Debug, Clone)]
 pub struct MsspRun {
-    /// The sources, in the order of the distance columns.
-    pub sources: Vec<usize>,
+    /// The sources, in the order of the distance columns. Crate-private so
+    /// the [`MsspRun::distance`] lookup index can never drift out of sync;
+    /// read via [`MsspRun::sources`].
+    pub(crate) sources: Vec<usize>,
     /// Per node, distances to each source.
     pub dist: Vec<Vec<Dist>>,
     /// Rounds this invocation charged.
     pub rounds: u64,
     /// Full metrics snapshot at completion.
     pub report: RoundReport,
+    /// `(source, column)` pairs sorted by source, so [`MsspRun::distance`]
+    /// is an `O(log s)` binary search instead of a linear scan — it sits on
+    /// the oracle's landmark-column hot path.
+    by_source: Vec<(usize, usize)>,
 }
 
 impl MsspRun {
+    /// Assembles a run result, building the source-lookup index.
+    pub fn new(
+        sources: Vec<usize>,
+        dist: Vec<Vec<Dist>>,
+        rounds: u64,
+        report: RoundReport,
+    ) -> Self {
+        let mut by_source: Vec<(usize, usize)> =
+            sources.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        by_source.sort_unstable();
+        MsspRun { sources, dist, rounds, report, by_source }
+    }
+
+    /// The sources, in the order of the distance columns.
+    pub fn sources(&self) -> &[usize] {
+        &self.sources
+    }
+
     /// Distance from `v` to `source` (by node id), if `source` is one of the
-    /// run's sources.
+    /// run's sources. `O(log s)` in the number of sources.
     pub fn distance(&self, v: usize, source: usize) -> Option<Dist> {
-        let idx = self.sources.iter().position(|&s| s == source)?;
+        let idx = self
+            .by_source
+            .binary_search_by_key(&source, |&(s, _)| s)
+            .ok()
+            .map(|i| self.by_source[i].1)?;
         Some(self.dist[v][idx])
     }
 }
@@ -95,13 +123,29 @@ mod tests {
 
     #[test]
     fn mssp_run_lookup() {
-        let run = MsspRun {
-            sources: vec![5, 2],
-            dist: vec![vec![Dist::fin(1), Dist::fin(9)]; 3],
-            rounds: 0,
-            report: Clique::new(2).report(),
-        };
+        let run = MsspRun::new(
+            vec![5, 2],
+            vec![vec![Dist::fin(1), Dist::fin(9)]; 3],
+            0,
+            Clique::new(2).report(),
+        );
         assert_eq!(run.distance(0, 2), Some(Dist::fin(9)));
         assert_eq!(run.distance(0, 7), None);
+    }
+
+    #[test]
+    fn mssp_run_lookup_matches_linear_scan_on_many_sources() {
+        // Unsorted, gappy source ids: the index must agree with the naive
+        // position() scan it replaced, and misses must stay None.
+        let sources: Vec<usize> = (0..64).map(|i| (i * 37 + 11) % 101).collect();
+        let dist: Vec<Vec<Dist>> =
+            (0..4).map(|v| (0..64).map(|i| Dist::fin((v * 64 + i) as u64)).collect()).collect();
+        let run = MsspRun::new(sources.clone(), dist.clone(), 0, Clique::new(2).report());
+        for v in 0..4 {
+            for target in 0..101 {
+                let expected = sources.iter().position(|&s| s == target).map(|i| dist[v][i]);
+                assert_eq!(run.distance(v, target), expected, "v={v} target={target}");
+            }
+        }
     }
 }

@@ -89,9 +89,7 @@ mod tests {
     fn est(vals: &[&[u64]]) -> Vec<Vec<Dist>> {
         vals.iter()
             .map(|row| {
-                row.iter()
-                    .map(|&v| if v == u64::MAX { Dist::INF } else { Dist::fin(v) })
-                    .collect()
+                row.iter().map(|&v| if v == u64::MAX { Dist::INF } else { Dist::fin(v) }).collect()
             })
             .collect()
     }

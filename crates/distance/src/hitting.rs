@@ -53,7 +53,10 @@ impl HittingSet {
     /// The member of smallest augmented distance in a `k`-nearest row —
     /// the node `p(v)` of §4.1 (closest hitter, ties by the row's
     /// augmented order then id).
-    pub fn closest_in_row(&self, row: &SparseRow<cc_matrix::AugDist>) -> Option<(usize, cc_matrix::AugDist)> {
+    pub fn closest_in_row(
+        &self,
+        row: &SparseRow<cc_matrix::AugDist>,
+    ) -> Option<(usize, cc_matrix::AugDist)> {
         row.iter()
             .filter(|(c, _)| self.contains(*c as usize))
             .min_by_key(|(c, a)| (**a, *c))
@@ -241,7 +244,10 @@ mod tests {
 
     #[test]
     fn closest_in_row_respects_order() {
-        let hs = HittingSet { members: vec![2, 5], in_set: vec![false, false, true, false, false, true] };
+        let hs = HittingSet {
+            members: vec![2, 5],
+            in_set: vec![false, false, true, false, false, true],
+        };
         let row = SparseRow::from_entries::<cc_matrix::AugMinPlus>(vec![
             (1, cc_matrix::AugDist::fin(1, 1)),
             (2, cc_matrix::AugDist::fin(4, 2)),

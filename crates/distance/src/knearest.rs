@@ -53,7 +53,11 @@ pub fn k_nearest(
     k: usize,
 ) -> Result<Vec<SparseRow<cc_matrix::AugDist>>, DistanceError> {
     if graph.n() != clique.n() {
-        return Err(invalid(format!("graph has {} nodes but clique has {}", graph.n(), clique.n())));
+        return Err(invalid(format!(
+            "graph has {} nodes but clique has {}",
+            graph.n(),
+            clique.n()
+        )));
     }
     k_nearest_matrix(clique, &graph.augmented_weight_matrix(), k)
 }
@@ -103,8 +107,7 @@ pub fn k_nearest_matrix(
         let squarings = (usize::BITS - (k - 1).leading_zeros()) as usize; // ceil(log2 k)
         for _ in 0..squarings {
             let x_cols = cc_matmul::layout::transpose_exchange::<AugMinPlus>(clique, x.rows())?;
-            let rows =
-                cc_matmul::filtered_multiply::<AugMinPlus>(clique, x.rows(), &x_cols, k)?;
+            let rows = cc_matmul::filtered_multiply::<AugMinPlus>(clique, x.rows(), &x_cols, k)?;
             x = cc_matrix::SparseMatrix::from_rows(rows);
         }
         Ok(x.rows().to_vec())
@@ -122,10 +125,8 @@ mod tests {
         for v in 0..g.n() {
             let expected = reference::k_nearest(g, v, k);
             let got_v: Vec<(usize, u64, u32)> = {
-                let mut items: Vec<(u64, u32, usize)> = got[v]
-                    .iter()
-                    .map(|(c, a)| (a.dist, a.hops, c as usize))
-                    .collect();
+                let mut items: Vec<(u64, u32, usize)> =
+                    got[v].iter().map(|(c, a)| (a.dist, a.hops, c as usize)).collect();
                 items.sort_unstable();
                 items.into_iter().map(|(d, h, u)| (u, d, h)).collect()
             };

@@ -42,6 +42,9 @@ pub mod product;
 pub use error::DistanceError;
 pub use hitting::{hitting_set, HittingSet};
 pub use knearest::{k_nearest, k_nearest_matrix};
-pub use source_detection::{source_detection_all, source_detection_all_matrix, source_detection_k, source_detection_k_matrix};
+pub use source_detection::{
+    source_detection_all, source_detection_all_matrix, source_detection_k,
+    source_detection_k_matrix,
+};
 pub use through_sets::distance_through_sets;
 pub use witness::product_with_witnesses;

@@ -34,10 +34,7 @@ mod tests {
             (1, AugDist::fin(5, 2)),
             (3, AugDist::fin(0, 0)),
         ]);
-        assert_eq!(
-            row_to_distances(&row),
-            vec![(1, Dist::fin(5)), (3, Dist::ZERO)]
-        );
+        assert_eq!(row_to_distances(&row), vec![(1, Dist::fin(5)), (3, Dist::ZERO)]);
         assert_eq!(row_distance(&row, 1), Some(Dist::fin(5)));
         assert_eq!(row_distance(&row, 2), None);
     }

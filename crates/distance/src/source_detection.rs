@@ -50,10 +50,7 @@ fn restrict_to_sources(w: &SparseMatrix<AugDist>, in_s: &[bool]) -> SparseMatrix
         .iter()
         .map(|row| {
             SparseRow::from_entries::<AugMinPlus>(
-                row.iter()
-                    .filter(|(c, _)| in_s[*c as usize])
-                    .map(|(c, v)| (c, *v))
-                    .collect(),
+                row.iter().filter(|(c, _)| in_s[*c as usize]).map(|(c, v)| (c, *v)).collect(),
             )
         })
         .collect();
@@ -164,7 +161,8 @@ pub fn source_detection_all_matrix(
         let mut u = restrict_to_sources(w, &in_s);
         for _ in 1..d {
             let u_cols = cc_matmul::layout::transpose_exchange::<AugMinPlus>(clique, u.rows())?;
-            let rows = cc_matmul::sparse_multiply::<AugMinPlus>(clique, w.rows(), &u_cols, rho_hat)?;
+            let rows =
+                cc_matmul::sparse_multiply::<AugMinPlus>(clique, w.rows(), &u_cols, rho_hat)?;
             u = SparseMatrix::from_rows(rows);
         }
         Ok(u.rows().to_vec())
@@ -183,11 +181,7 @@ mod tests {
             let expected = reference::hop_bounded(g, s, d);
             for v in 0..g.n() {
                 let got_d = got[v].get(s as u32).map(|a| a.dist);
-                assert_eq!(
-                    got_d, expected[v],
-                    "source {s}, node {v}, d={d} on {} nodes",
-                    g.n()
-                );
+                assert_eq!(got_d, expected[v], "source {s}, node {v}, d={d} on {} nodes", g.n());
             }
         }
     }

@@ -111,9 +111,7 @@ mod tests {
         let sets: Vec<Vec<(usize, Dist)>> = (0..n)
             .map(|_| {
                 let size = rng.gen_range(0..5);
-                (0..size)
-                    .map(|_| (rng.gen_range(0..n), Dist::fin(rng.gen_range(0..100))))
-                    .collect()
+                (0..size).map(|_| (rng.gen_range(0..n), Dist::fin(rng.gen_range(0..100)))).collect()
             })
             .collect();
         let mut clique = Clique::new(n);

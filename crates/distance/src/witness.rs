@@ -121,9 +121,8 @@ mod tests {
         let t_cols = t.transpose();
         let expected = s.multiply::<MinPlus>(&t);
         let mut clique = Clique::new(n);
-        let got =
-            product_with_witnesses(&mut clique, s.rows(), t_cols.rows(), expected.density())
-                .unwrap();
+        let got = product_with_witnesses(&mut clique, s.rows(), t_cols.rows(), expected.density())
+            .unwrap();
         for u in 0..n {
             for (v, wd) in got[u].iter() {
                 // Distance matches the plain product.

@@ -111,10 +111,7 @@ impl DiGraph {
 
     /// Iterates over all arcs as `(u, v, w)`.
     pub fn arcs(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
-        self.out
-            .iter()
-            .enumerate()
-            .flat_map(|(u, list)| list.iter().map(move |&(v, w)| (u, v, w)))
+        self.out.iter().enumerate().flat_map(|(u, list)| list.iter().map(move |&(v, w)| (u, v, w)))
     }
 
     /// The weight matrix over min-plus: `0` diagonal, `w(u,v)` on arcs.

@@ -146,7 +146,8 @@ pub fn grid_weighted(w: usize, h: usize, max_weight: u64, seed: u64) -> Result<G
     let mut g = Graph::empty(w * h);
     for y in 0..h {
         for x in 0..w {
-            let wt = |rng: &mut StdRng| if max_weight == 1 { 1 } else { rng.gen_range(1..=max_weight) };
+            let wt =
+                |rng: &mut StdRng| if max_weight == 1 { 1 } else { rng.gen_range(1..=max_weight) };
             if x + 1 < w {
                 let weight = wt(&mut rng);
                 g.add_edge(idx(x, y), idx(x + 1, y), weight)?;
@@ -155,6 +156,44 @@ pub fn grid_weighted(w: usize, h: usize, max_weight: u64, seed: u64) -> Result<G
                 let weight = wt(&mut rng);
                 g.add_edge(idx(x, y), idx(x, y + 1), weight)?;
             }
+        }
+    }
+    Ok(g)
+}
+
+/// A road-network-like workload: a `w × h` grid with random weights in
+/// `1..=max_weight`, a sprinkling of diagonal shortcut edges (ring roads /
+/// motorways), and a few long-range chords. Bounded degree, high diameter,
+/// heterogeneous weights — the regime where landmark-based oracles are
+/// interesting and hop-bounded exploration is expensive.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `w, h ≥ 2` and
+/// `max_weight ≥ 1`.
+pub fn road_like(w: usize, h: usize, max_weight: u64, seed: u64) -> Result<Graph, GraphError> {
+    check(w >= 2 && h >= 2, "road_like needs w, h >= 2")?;
+    check(max_weight >= 1, "road_like needs max_weight >= 1")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = grid_weighted(w, h, max_weight, seed)?;
+    let idx = |x: usize, y: usize| y * w + x;
+    let wt = |rng: &mut StdRng| if max_weight == 1 { 1 } else { rng.gen_range(1..=max_weight) };
+    // Diagonal shortcuts on ~15% of cells.
+    for y in 0..h - 1 {
+        for x in 0..w - 1 {
+            if rng.gen_bool(0.15) {
+                let weight = wt(&mut rng);
+                g.add_edge(idx(x, y), idx(x + 1, y + 1), weight)?;
+            }
+        }
+    }
+    // A handful of long chords (motorways): cheap relative to the grid walk.
+    let n = w * h;
+    for _ in 0..(n / 16).max(1) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b, wt(&mut rng).max(2))?;
         }
     }
     Ok(g)
@@ -206,7 +245,11 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Result<Graph, Grap
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameter`] unless `k ≥ 1` and `size ≥ 2`.
-pub fn cliques_with_bridges(k: usize, size: usize, bridge_weight: u64) -> Result<Graph, GraphError> {
+pub fn cliques_with_bridges(
+    k: usize,
+    size: usize,
+    bridge_weight: u64,
+) -> Result<Graph, GraphError> {
     check(k >= 1 && size >= 2, "cliques_with_bridges needs k >= 1, size >= 2")?;
     let n = k * size;
     let mut g = Graph::empty(n);
@@ -241,7 +284,11 @@ pub fn standard_suite(n: usize, seed: u64) -> Result<Vec<(String, Graph)>, Graph
         ("gnp-dense".to_owned(), gnp(n, dense_p, seed.wrapping_add(1))?),
         ("gnp-weighted".to_owned(), gnp_weighted(n, sparse_p, 100, seed.wrapping_add(2))?),
         ("grid".to_owned(), grid(side.max(2), side.max(2))?),
-        ("grid-weighted".to_owned(), grid_weighted(side.max(2), side.max(2), 50, seed.wrapping_add(3))?),
+        (
+            "grid-weighted".to_owned(),
+            grid_weighted(side.max(2), side.max(2), 50, seed.wrapping_add(3))?,
+        ),
+        ("road-like".to_owned(), road_like(side.max(2), side.max(2), 30, seed.wrapping_add(5))?),
         ("path".to_owned(), path(n)?),
         ("star".to_owned(), star(n)?),
         ("ba".to_owned(), barabasi_albert(n, 3, seed.wrapping_add(4))?),
@@ -285,6 +332,19 @@ mod tests {
         let g = grid(3, 4).unwrap();
         assert_eq!(g.n(), 12);
         assert_eq!(g.m(), 3 * 4 * 2 - 3 - 4); // 2wh - w - h
+    }
+
+    #[test]
+    fn road_like_is_connected_deterministic_and_bounded_degree() {
+        let a = road_like(8, 8, 30, 5).unwrap();
+        let b = road_like(8, 8, 30, 5).unwrap();
+        assert_eq!(a, b);
+        let dist = reference::dijkstra(&a, 0);
+        assert!(dist.iter().all(Option::is_some), "road_like must be connected");
+        // The grid skeleton is intact, diagonals only add edges.
+        assert!(a.m() >= grid(8, 8).unwrap().m());
+        assert!(road_like(1, 8, 30, 0).is_err());
+        assert!(road_like(8, 8, 0, 0).is_err());
     }
 
     #[test]

@@ -113,11 +113,8 @@ pub fn hop_bounded(g: &Graph, src: usize, beta: usize) -> Vec<Option<u64>> {
 /// Panics if `v >= g.n()`.
 pub fn k_nearest(g: &Graph, v: usize, k: usize) -> Vec<(usize, u64, u32)> {
     let best = dijkstra_with_hops(g, v);
-    let mut reachable: Vec<(u64, u32, usize)> = best
-        .iter()
-        .enumerate()
-        .filter_map(|(u, o)| o.map(|(d, h)| (d, h, u)))
-        .collect();
+    let mut reachable: Vec<(u64, u32, usize)> =
+        best.iter().enumerate().filter_map(|(u, o)| o.map(|(d, h)| (d, h, u))).collect();
     reachable.sort_unstable();
     reachable.truncate(k);
     reachable.into_iter().map(|(d, h, u)| (u, d, h)).collect()
@@ -126,12 +123,7 @@ pub fn k_nearest(g: &Graph, v: usize, k: usize) -> Vec<(usize, u64, u32)> {
 /// Exact diameter: the largest finite pairwise distance. `None` for graphs
 /// with no edges.
 pub fn diameter(g: &Graph) -> Option<u64> {
-    all_pairs(g)
-        .iter()
-        .flat_map(|row| row.iter().flatten())
-        .copied()
-        .max()
-        .filter(|&d| d > 0)
+    all_pairs(g).iter().flat_map(|row| row.iter().flatten()).copied().max().filter(|&d| d > 0)
 }
 
 /// Shortest-path diameter: the maximum over connected pairs of the minimal

@@ -190,10 +190,8 @@ pub fn build_hopset(
         // Step 1: k-nearest + hitting set A1.
         let k = (((n as f64).sqrt() * log_n).ceil() as usize).clamp(1, n);
         let near = k_nearest(clique, graph, k)?;
-        let sets: Vec<Vec<usize>> = near
-            .iter()
-            .map(|row| row.iter().map(|(c, _)| c as usize).collect())
-            .collect();
+        let sets: Vec<Vec<usize>> =
+            near.iter().map(|row| row.iter().map(|(c, _)| c as usize).collect()).collect();
         let a1 = hitting_set(clique, &sets, k, config.seed)?;
 
         // Step 2: bunches B(v) with exact weights (already known locally

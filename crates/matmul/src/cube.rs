@@ -280,7 +280,15 @@ impl CubePartition {
         }
         clique.with_phase("cube/boundaries", |cl| cl.all_broadcast(boundary_payload))?;
 
-        Ok(CubePartition { n, shape, row_blocks, col_blocks, row_block_of, col_block_of, mid_ranges })
+        Ok(CubePartition {
+            n,
+            shape,
+            row_blocks,
+            col_blocks,
+            row_block_of,
+            col_block_of,
+            mid_ranges,
+        })
     }
 
     /// All subtask nodes that need `S`-entry `(r, c)` under assignment
@@ -459,7 +467,8 @@ mod tests {
             for j in 0..shape.a {
                 let w_total: u64 = (0..n)
                     .map(|col| {
-                        s.transpose().row(col)
+                        s.transpose()
+                            .row(col)
                             .iter()
                             .filter(|(r, _)| cube.row_block_of[*r as usize] == i)
                             .count() as u64
@@ -471,7 +480,8 @@ mod tests {
                     let nz: u64 = range
                         .clone()
                         .map(|col| {
-                            s.transpose().row(col)
+                            s.transpose()
+                                .row(col)
                                 .iter()
                                 .filter(|(r, _)| cube.row_block_of[*r as usize] == i)
                                 .count() as u64

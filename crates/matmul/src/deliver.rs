@@ -137,10 +137,7 @@ fn balance_and_fanout<SR: Semiring>(
         }
     }
     let inboxes = clique.with_phase("fanout", |cl| cl.route(fanout))?;
-    Ok(inboxes
-        .into_iter()
-        .map(|batch| batch.into_iter().map(|e| e.payload).collect())
-        .collect())
+    Ok(inboxes.into_iter().map(|batch| batch.into_iter().map(|e| e.payload).collect()).collect())
 }
 
 /// Lemma 11: every node assigned a subtask by `assignment` learns its
@@ -164,12 +161,10 @@ pub fn deliver_subtask_inputs<SR: Semiring>(
         .enumerate()
         .map(|(r, row)| row.iter().map(|(c, v)| Entry::new(r as u32, c, v.clone())).collect())
         .collect();
-    let s_targets = |r: u32, c: u32| -> Vec<NodeId> {
-        cube.s_entry_targets(r, c, assignment).collect()
-    };
-    let s_delivered = clique.with_phase("deliver_s", |cl| {
-        balance_and_fanout::<SR>(cl, s_per_node, &s_targets)
-    })?;
+    let s_targets =
+        |r: u32, c: u32| -> Vec<NodeId> { cube.s_entry_targets(r, c, assignment).collect() };
+    let s_delivered = clique
+        .with_phase("deliver_s", |cl| balance_and_fanout::<SR>(cl, s_per_node, &s_targets))?;
 
     // T entries start column-distributed.
     let t_per_node: Vec<Vec<Entry<SR::Elem>>> = t_cols
@@ -177,12 +172,10 @@ pub fn deliver_subtask_inputs<SR: Semiring>(
         .enumerate()
         .map(|(c, col)| col.iter().map(|(r, v)| Entry::new(r, c as u32, v.clone())).collect())
         .collect();
-    let t_targets = |r: u32, c: u32| -> Vec<NodeId> {
-        cube.t_entry_targets(r, c, assignment).collect()
-    };
-    let t_delivered = clique.with_phase("deliver_t", |cl| {
-        balance_and_fanout::<SR>(cl, t_per_node, &t_targets)
-    })?;
+    let t_targets =
+        |r: u32, c: u32| -> Vec<NodeId> { cube.t_entry_targets(r, c, assignment).collect() };
+    let t_delivered = clique
+        .with_phase("deliver_t", |cl| balance_and_fanout::<SR>(cl, t_per_node, &t_targets))?;
 
     let mut out: Vec<SubtaskInput<SR::Elem>> = s_delivered
         .into_iter()
@@ -207,9 +200,7 @@ pub fn local_product<SR: Semiring>(input: &SubtaskInput<SR::Elem>) -> Vec<Entry<
         if let Some(ts) = t_by_row.get(&s.col) {
             for (c, tval) in ts {
                 let prod = SR::mul(&s.val, tval);
-                acc.entry((s.row, *c))
-                    .and_modify(|cur| *cur = SR::add(cur, &prod))
-                    .or_insert(prod);
+                acc.entry((s.row, *c)).and_modify(|cur| *cur = SR::add(cur, &prod)).or_insert(prod);
             }
         }
     }

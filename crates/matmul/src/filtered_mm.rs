@@ -115,8 +115,7 @@ where
         let (s_counts, _, rho_s) = layout::broadcast_counts(clique, s_rows)?;
         let (t_counts, _, rho_t) = layout::broadcast_counts(clique, t_cols)?;
         let shape = CubeShape::choose(n, rho_s, rho_t, rho);
-        let cube =
-            CubePartition::build::<SR>(clique, shape, s_rows, t_cols, &s_counts, &t_counts)?;
+        let cube = CubePartition::build::<SR>(clique, shape, s_rows, t_cols, &s_counts, &t_counts)?;
 
         // σ1 delivery + local slice products.
         let sigma1 = TaskAssignment::new(&cube, cube.sigma1());
@@ -150,9 +149,8 @@ where
                     let triple = cube.triple_of(v).expect("members have triples");
                     for _ in 0..extra {
                         // Lemma 16 proves the group pool always suffices.
-                        let helper = pool.next().ok_or(MatmulError::DensityHintTooSmall {
-                            hint: rho,
-                        })?;
+                        let helper =
+                            pool.next().ok_or(MatmulError::DensityHintTooSmall { hint: rho })?;
                         sigma_vec[helper] = Some(triple);
                     }
                 }
@@ -241,9 +239,8 @@ where
 
     // Coordinator of row-index t within group (i,k) is member t mod a.
     let coordinator_of = |i: usize, k: usize, row: u32| -> NodeId {
-        let t = cube.row_blocks[i]
-            .binary_search(&(row as usize))
-            .expect("row belongs to its block");
+        let t =
+            cube.row_blocks[i].binary_search(&(row as usize)).expect("row belongs to its block");
         cube.group_bik(i, k)[t % a]
     };
 
@@ -402,8 +399,7 @@ mod tests {
     fn check_filtered(n: usize, s: &SparseMatrix<Dist>, t: &SparseMatrix<Dist>, rho: usize) {
         let mut clique = Clique::new(n);
         let t_cols = t.transpose();
-        let rows =
-            filtered_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), rho).unwrap();
+        let rows = filtered_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), rho).unwrap();
         let expected = s.multiply::<MinPlus>(t).filtered::<MinPlus>(rho);
         assert_eq!(SparseMatrix::from_rows(rows), expected);
     }

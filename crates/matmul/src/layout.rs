@@ -31,8 +31,7 @@ pub fn transpose_exchange<S: Semiring>(
         .iter()
         .enumerate()
         .flat_map(|(v, row)| {
-            row.iter()
-                .map(move |(c, val)| Envelope::new(v, c as usize, (v as u32, val.clone())))
+            row.iter().map(move |(c, val)| Envelope::new(v, c as usize, (v as u32, val.clone())))
         })
         .collect();
     let inboxes = clique.with_phase("transpose", |c| c.route(msgs))?;

@@ -178,10 +178,8 @@ mod tests {
         let parts = doubly_balanced_partition(w1, w2, k);
         assert_eq!(parts.len(), k);
         let (t1, t2): (u64, u64) = (w1.iter().sum(), w2.iter().sum());
-        let (m1, m2) = (
-            w1.iter().copied().max().unwrap_or(0),
-            w2.iter().copied().max().unwrap_or(0),
-        );
+        let (m1, m2) =
+            (w1.iter().copied().max().unwrap_or(0), w2.iter().copied().max().unwrap_or(0));
         let mut next = 0usize;
         for r in &parts {
             assert_eq!(r.start, next);

@@ -106,8 +106,7 @@ pub fn sparse_multiply<SR: Semiring>(
         let (s_counts, _, rho_s) = layout::broadcast_counts(clique, s_rows)?;
         let (t_counts, _, rho_t) = layout::broadcast_counts(clique, t_cols)?;
         let shape = CubeShape::choose(n, rho_s, rho_t, rho_hat);
-        let cube =
-            CubePartition::build::<SR>(clique, shape, s_rows, t_cols, &s_counts, &t_counts)?;
+        let cube = CubePartition::build::<SR>(clique, shape, s_rows, t_cols, &s_counts, &t_counts)?;
 
         // Lemma 11 with σ1 + local products.
         let sigma1 = TaskAssignment::new(&cube, cube.sigma1());
@@ -292,8 +291,7 @@ mod tests {
     fn rejects_dimension_mismatch() {
         let mut clique = Clique::new(4);
         let m = SparseMatrix::<Dist>::zeros(8);
-        let err =
-            sparse_multiply::<MinPlus>(&mut clique, m.rows(), m.rows(), 1).unwrap_err();
+        let err = sparse_multiply::<MinPlus>(&mut clique, m.rows(), m.rows(), 1).unwrap_err();
         assert!(matches!(err, MatmulError::DimensionMismatch { .. }));
     }
 

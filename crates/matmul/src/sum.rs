@@ -231,8 +231,7 @@ mod tests {
     #[test]
     fn empty_input_is_cheap() {
         let mut clique = Clique::new(3);
-        let rows =
-            sum_intermediates::<MinPlus>(&mut clique, vec![vec![], vec![], vec![]]).unwrap();
+        let rows = sum_intermediates::<MinPlus>(&mut clique, vec![vec![], vec![], vec![]]).unwrap();
         assert!(rows.iter().all(|r| r.is_empty()));
         assert!(clique.rounds() <= 1);
     }

@@ -226,14 +226,8 @@ mod tests {
                     assert_eq!(S::add(&S::add(a, b), c), S::add(a, &S::add(b, c)));
                     assert_eq!(S::mul(&S::mul(a, b), c), S::mul(a, &S::mul(b, c)));
                     // Distributivity.
-                    assert_eq!(
-                        S::mul(a, &S::add(b, c)),
-                        S::add(&S::mul(a, b), &S::mul(a, c))
-                    );
-                    assert_eq!(
-                        S::mul(&S::add(a, b), c),
-                        S::add(&S::mul(a, c), &S::mul(b, c))
-                    );
+                    assert_eq!(S::mul(a, &S::add(b, c)), S::add(&S::mul(a, b), &S::mul(a, c)));
+                    assert_eq!(S::mul(&S::add(a, b), c), S::add(&S::mul(a, c), &S::mul(b, c)));
                 }
             }
         }
@@ -274,8 +268,14 @@ mod tests {
         for a in samples {
             assert_eq!(WitnessedMinPlus::mul(&a, &WitnessedMinPlus::one()), a);
             assert_eq!(WitnessedMinPlus::mul(&WitnessedMinPlus::one(), &a), a);
-            assert!(WitnessedMinPlus::is_zero(&WitnessedMinPlus::mul(&a, &WitnessedMinPlus::zero())));
-            assert!(WitnessedMinPlus::is_zero(&WitnessedMinPlus::mul(&WitnessedMinPlus::zero(), &a)));
+            assert!(WitnessedMinPlus::is_zero(&WitnessedMinPlus::mul(
+                &a,
+                &WitnessedMinPlus::zero()
+            )));
+            assert!(WitnessedMinPlus::is_zero(&WitnessedMinPlus::mul(
+                &WitnessedMinPlus::zero(),
+                &a
+            )));
             assert_eq!(WitnessedMinPlus::add(&a, &WitnessedMinPlus::zero()), a);
             for b in samples {
                 // Addition is min; the distance projection is MinPlus.

@@ -34,7 +34,10 @@ impl<E: Clone + PartialEq> SparseRow<E> {
     ///
     /// Panics (debug builds) if the input violates the ordering invariant.
     pub fn from_sorted(entries: Vec<(u32, E)>) -> Self {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "columns must be strictly increasing");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "columns must be strictly increasing"
+        );
         SparseRow { entries }
     }
 
@@ -65,10 +68,7 @@ impl<E: Clone + PartialEq> SparseRow<E> {
 
     /// The value at `col`, if non-zero.
     pub fn get(&self, col: u32) -> Option<&E> {
-        self.entries
-            .binary_search_by_key(&col, |(c, _)| *c)
-            .ok()
-            .map(|i| &self.entries[i].1)
+        self.entries.binary_search_by_key(&col, |(c, _)| *c).ok().map(|i| &self.entries[i].1)
     }
 
     /// Iterates over `(col, value)` pairs in column order.
@@ -206,10 +206,7 @@ impl<E: Clone + PartialEq> SparseMatrix<E> {
             assert!((e.row as usize) < n && (e.col as usize) < n, "entry out of bounds");
             per_row[e.row as usize].push((e.col, e.val));
         }
-        SparseMatrix {
-            n,
-            rows: per_row.into_iter().map(SparseRow::from_entries::<S>).collect(),
-        }
+        SparseMatrix { n, rows: per_row.into_iter().map(SparseRow::from_entries::<S>).collect() }
     }
 
     /// Matrix dimension.
@@ -273,9 +270,10 @@ impl<E: Clone + PartialEq> SparseMatrix<E> {
 
     /// Iterates over all entries.
     pub fn entries(&self) -> impl Iterator<Item = Entry<E>> + '_ {
-        self.rows.iter().enumerate().flat_map(|(r, row)| {
-            row.iter().map(move |(c, v)| Entry::new(r as u32, c, v.clone()))
-        })
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(r, row)| row.iter().map(move |(c, v)| Entry::new(r as u32, c, v.clone())))
     }
 
     /// Number of non-zeros in each column.
@@ -297,10 +295,7 @@ impl<E: Clone + PartialEq> SparseMatrix<E> {
                 rows[c as usize].push((r as u32, v.clone()));
             }
         }
-        SparseMatrix {
-            n: self.n,
-            rows: rows.into_iter().map(SparseRow::from_sorted).collect(),
-        }
+        SparseMatrix { n: self.n, rows: rows.into_iter().map(SparseRow::from_sorted).collect() }
     }
 
     /// Sequential reference product `self · other` over semiring `S`.
@@ -338,7 +333,10 @@ impl<E: Clone + PartialEq> SparseMatrix<E> {
 
     /// Elementwise combination with semiring addition (e.g. min of two
     /// distance estimates).
-    pub fn add_elementwise<S: Semiring<Elem = E>>(&self, other: &SparseMatrix<E>) -> SparseMatrix<E> {
+    pub fn add_elementwise<S: Semiring<Elem = E>>(
+        &self,
+        other: &SparseMatrix<E>,
+    ) -> SparseMatrix<E> {
         assert_eq!(self.n, other.n, "dimension mismatch");
         let mut out = self.clone();
         for (r, row) in other.rows.iter().enumerate() {
@@ -401,10 +399,8 @@ mod tests {
         assert_eq!(row.iter().collect::<Vec<_>>(), vec![(1, &Dist::fin(3)), (3, &Dist::fin(1))]);
 
         // Tie on value 5: column 0 beats column 2.
-        let mut row = SparseRow::from_entries::<MinPlus>(vec![
-            (2, Dist::fin(5)),
-            (0, Dist::fin(5)),
-        ]);
+        let mut row =
+            SparseRow::from_entries::<MinPlus>(vec![(2, Dist::fin(5)), (0, Dist::fin(5))]);
         row.filter_smallest::<MinPlus>(1);
         assert_eq!(row.iter().collect::<Vec<_>>(), vec![(0, &Dist::fin(5))]);
     }

@@ -1,6 +1,8 @@
 //! Property-based tests for semiring laws and sparse-matrix invariants.
 
-use cc_matrix::{AugDist, AugMinPlus, Dist, Entry, MinPlus, OrderedSemiring, Semiring, SparseMatrix};
+use cc_matrix::{
+    AugDist, AugMinPlus, Dist, Entry, MinPlus, OrderedSemiring, Semiring, SparseMatrix,
+};
 use proptest::prelude::*;
 
 fn arb_dist() -> impl Strategy<Value = Dist> {
@@ -18,16 +20,14 @@ fn arb_aug() -> impl Strategy<Value = AugDist> {
 }
 
 fn arb_matrix(n: usize, max_entries: usize) -> impl Strategy<Value = SparseMatrix<Dist>> {
-    prop::collection::vec(
-        (0..n as u32, 0..n as u32, 0u64..1_000),
-        0..max_entries,
+    prop::collection::vec((0..n as u32, 0..n as u32, 0u64..1_000), 0..max_entries).prop_map(
+        move |entries| {
+            SparseMatrix::from_entries::<MinPlus>(
+                n,
+                entries.into_iter().map(|(r, c, w)| Entry::new(r, c, Dist::fin(w))),
+            )
+        },
     )
-    .prop_map(move |entries| {
-        SparseMatrix::from_entries::<MinPlus>(
-            n,
-            entries.into_iter().map(|(r, c, w)| Entry::new(r, c, Dist::fin(w))),
-        )
-    })
 }
 
 proptest! {

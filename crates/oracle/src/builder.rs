@@ -1,0 +1,216 @@
+//! The build phase: one distributed pass that extracts the local artifact.
+
+use cc_clique::Clique;
+use cc_core::mssp::mssp;
+use cc_distance::{hitting_set, k_nearest};
+use cc_graph::Graph;
+
+use crate::error::invalid;
+use crate::{DistanceOracle, OracleError};
+
+/// Configures and runs the one-off distributed build of a
+/// [`DistanceOracle`].
+///
+/// Defaults: `k = ⌈√(n·ln n)⌉` (balancing ball size against the
+/// `O(n log n / k)` landmark count, the paper's §4 trade-off), `ε = 0.25`,
+/// `seed = 0`.
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Clique;
+/// use cc_graph::generators;
+/// use cc_oracle::OracleBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::grid_weighted(6, 6, 20, 1)?;
+/// let mut clique = Clique::new(36);
+/// let oracle = OracleBuilder::new().k(8).epsilon(0.5).build(&mut clique, &g)?;
+/// assert_eq!(oracle.k(), 8);
+/// assert!(oracle.build_rounds() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OracleBuilder {
+    k: Option<usize>,
+    epsilon: f64,
+    seed: u64,
+}
+
+impl Default for OracleBuilder {
+    fn default() -> Self {
+        OracleBuilder { k: None, epsilon: 0.25, seed: 0 }
+    }
+}
+
+impl OracleBuilder {
+    /// A builder with default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ball size `k` (default `⌈√(n·ln n)⌉`, clamped to `1..=n`).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// MSSP accuracy `ε > 0`; the serving-phase stretch bound is `3(1+ε)`.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Seed for the deterministic landmark selection. Two builds with the
+    /// same graph, parameters and seed produce identical artifacts.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the distributed build: `k`-nearest balls, hitting-set landmark
+    /// selection, and MSSP columns from the landmark set; then extracts the
+    /// purely local artifact.
+    ///
+    /// # Errors
+    ///
+    /// * [`OracleError::InvalidParameter`] for `k = 0`, `ε ≤ 0`, or a
+    ///   graph/clique size mismatch;
+    /// * [`OracleError::Build`] if a distributed substrate fails.
+    pub fn build(&self, clique: &mut Clique, graph: &Graph) -> Result<DistanceOracle, OracleError> {
+        let n = graph.n();
+        if n != clique.n() {
+            return Err(invalid(format!("graph has {n} nodes but clique has {}", clique.n())));
+        }
+        if n == 0 {
+            return Err(invalid("oracle needs a non-empty graph"));
+        }
+        if self.epsilon <= 0.0 {
+            return Err(invalid("oracle needs epsilon > 0"));
+        }
+        let default_k = ((n as f64) * (n.max(2) as f64).ln()).sqrt().ceil() as usize;
+        let k = self.k.unwrap_or(default_k).min(n);
+        if k == 0 {
+            return Err(invalid("oracle needs k >= 1"));
+        }
+
+        let rounds_before = clique.rounds();
+
+        // Phase 1 — Theorem 18: exact k-nearest balls.
+        let near = k_nearest(clique, graph, k)?;
+
+        // Phase 2 — Lemma 4: a landmark set hitting every ball. Balls always
+        // contain their own node, so every node gets a landmark in its ball.
+        let sets: Vec<Vec<usize>> =
+            near.iter().map(|row| row.iter().map(|(c, _)| c as usize).collect()).collect();
+        let landmarks = hitting_set(clique, &sets, k, self.seed)?;
+
+        // Phase 3 — Theorem 3: (1+ε) distance columns from the landmarks.
+        let run = mssp(clique, graph, &landmarks.members, self.epsilon)?;
+        let build_rounds = clique.rounds() - rounds_before;
+
+        // Extraction — purely local, no further communication.
+        let landmark_ids: Vec<u32> = landmarks.members.iter().map(|&a| a as u32).collect();
+        let mut balls: Vec<Vec<(u32, u64)>> = Vec::with_capacity(n);
+        let mut nearest_landmark: Vec<(u32, u64)> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut ball: Vec<(u32, u64)> = near[v].iter().map(|(c, a)| (c, a.dist)).collect();
+            ball.sort_unstable_by_key(|&(id, _)| id);
+            let (p, aug) =
+                landmarks.closest_in_row(&near[v]).expect("hitting set covers every ball");
+            let idx =
+                landmark_ids.binary_search(&(p as u32)).expect("closest hitter is a landmark");
+            nearest_landmark.push((idx as u32, aug.dist));
+            balls.push(ball);
+        }
+        let s = landmark_ids.len();
+        let mut columns = vec![u64::MAX; n * s];
+        for v in 0..n {
+            for i in 0..s {
+                if let Some(d) = run.dist[v][i].value() {
+                    columns[v * s + i] = d;
+                }
+            }
+        }
+
+        Ok(DistanceOracle {
+            n,
+            k,
+            epsilon: self.epsilon,
+            seed: self.seed,
+            build_rounds,
+            landmarks: landmark_ids,
+            balls,
+            nearest_landmark,
+            columns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+
+    #[test]
+    fn default_k_tracks_sqrt_n_log_n() {
+        let g = generators::gnp(64, 0.15, 2).unwrap();
+        let mut clique = Clique::new(64);
+        let oracle = OracleBuilder::new().build(&mut clique, &g).unwrap();
+        let expected = ((64f64) * (64f64).ln()).sqrt().ceil() as usize;
+        assert_eq!(oracle.k(), expected);
+        assert!(!oracle.landmarks().is_empty());
+        assert!(oracle.landmarks().len() < 64, "landmarks must be a sketch, not everyone");
+    }
+
+    #[test]
+    fn build_charges_rounds_only_once() {
+        let g = generators::gnp(32, 0.2, 3).unwrap();
+        let mut clique = Clique::new(32);
+        let oracle = OracleBuilder::new().build(&mut clique, &g).unwrap();
+        assert_eq!(oracle.build_rounds(), clique.rounds());
+        let before = clique.rounds();
+        // Queries are local: the clique's round counter must not move.
+        for u in 0..32 {
+            for v in 0..32 {
+                let _ = oracle.query(u, v);
+            }
+        }
+        assert_eq!(clique.rounds(), before);
+    }
+
+    #[test]
+    fn same_seed_rebuilds_identical_artifact() {
+        let g = generators::gnp_weighted(32, 0.15, 25, 4).unwrap();
+        let build = |seed: u64| {
+            let mut clique = Clique::new(32);
+            OracleBuilder::new().seed(seed).build(&mut clique, &g).unwrap()
+        };
+        assert_eq!(build(9), build(9));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let g = generators::path(8).unwrap();
+        let mut clique = Clique::new(8);
+        assert!(OracleBuilder::new().epsilon(0.0).build(&mut clique, &g).is_err());
+        assert!(OracleBuilder::new().k(0).build(&mut clique, &g).is_err());
+        let mut mismatched = Clique::new(9);
+        assert!(OracleBuilder::new().build(&mut mismatched, &g).is_err());
+    }
+
+    #[test]
+    fn oversized_k_is_clamped_to_n() {
+        let g = generators::path(6).unwrap();
+        let mut clique = Clique::new(6);
+        let oracle = OracleBuilder::new().k(100).build(&mut clique, &g).unwrap();
+        assert_eq!(oracle.k(), 6);
+        // With k = n every ball is the whole component: all queries exact.
+        for u in 0..6 {
+            for v in 0..6 {
+                assert_eq!(oracle.query(u, v).value(), cc_graph::reference::dijkstra(&g, u)[v]);
+            }
+        }
+    }
+}

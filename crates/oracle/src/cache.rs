@@ -1,0 +1,321 @@
+//! A bounded, sharded LRU result cache in front of the oracle.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use cc_matrix::Dist;
+
+use crate::DistanceOracle;
+
+/// Number of independently locked shards. A power of two so the shard pick
+/// is a mask; 16 keeps contention low for the thread counts `query_batch`
+/// uses without bloating per-shard bookkeeping.
+const SHARDS: usize = 16;
+
+/// Snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that fell through to the oracle.
+    pub misses: u64,
+    /// Entries currently resident (across all shards).
+    pub len: usize,
+    /// Maximum resident entries (across all shards).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of queries served from the cache (0 when nothing was asked).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One LRU shard: a map from packed pair key to a slot in an intrusive
+/// doubly-linked list ordered by recency (index-based, no unsafe).
+struct Shard {
+    map: HashMap<u64, usize>,
+    /// Slot storage: `(key, value, prev, next)`; `usize::MAX` terminates.
+    slots: Vec<(u64, u64, usize, usize)>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (_, _, prev, next) = self.slots[slot];
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].3 = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].2 = prev,
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].2 = NIL;
+        self.slots[slot].3 = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slots[h].2 = slot,
+        }
+        self.head = slot;
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        let slot = *self.map.get(&key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(self.slots[slot].1)
+    }
+
+    fn insert(&mut self, key: u64, value: u64) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].1 = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        let slot = if self.slots.len() < self.capacity {
+            self.slots.push((key, value, NIL, NIL));
+            self.slots.len() - 1
+        } else {
+            // Evict the least-recently-used entry and reuse its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].0);
+            self.slots[victim].0 = key;
+            self.slots[victim].1 = value;
+            victim
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+}
+
+/// A [`DistanceOracle`] fronted by a bounded, sharded LRU cache of query
+/// results. Shards are locked independently, so concurrent querying threads
+/// rarely contend; hit/miss counters are lock-free atomics.
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Clique;
+/// use cc_graph::generators;
+/// use cc_oracle::{CachingOracle, OracleBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::gnp(32, 0.2, 1)?;
+/// let mut clique = Clique::new(32);
+/// let oracle = OracleBuilder::new().build(&mut clique, &g)?;
+/// let cached = CachingOracle::new(oracle, 1024);
+/// let first = cached.query(0, 31);
+/// let second = cached.query(0, 31); // served from cache
+/// assert_eq!(first, second);
+/// assert_eq!(cached.stats().hits, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CachingOracle {
+    oracle: DistanceOracle,
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CachingOracle {
+    /// Wraps `oracle` with a cache holding at most `capacity` results
+    /// (rounded up to at least one entry per shard).
+    pub fn new(oracle: DistanceOracle, capacity: usize) -> CachingOracle {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        CachingOracle {
+            oracle,
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped artifact.
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.oracle
+    }
+
+    /// Consumes the wrapper, returning the artifact.
+    pub fn into_inner(self) -> DistanceOracle {
+        self.oracle
+    }
+
+    fn key(u: usize, v: usize) -> u64 {
+        // The oracle is symmetric, so canonicalize the pair: doubles the
+        // effective capacity for undirected traffic.
+        let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+        ((lo as u64) << 32) | hi as u64
+    }
+
+    /// Cached [`DistanceOracle::query`]; identical answers, plus counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range, like the uncached query.
+    pub fn query(&self, u: usize, v: usize) -> Dist {
+        let key = Self::key(u, v);
+        let shard = &self.shards[(key % SHARDS as u64) as usize];
+        if let Some(raw) = shard.lock().expect("cache shard poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return if raw == u64::MAX { Dist::INF } else { Dist::fin(raw) };
+        }
+        let answer = self.oracle.query(u, v);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().expect("cache shard poisoned").insert(key, answer.value().unwrap_or(u64::MAX));
+        answer
+    }
+
+    /// Cached batch query (shard-parallel like the uncached batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair is out of range.
+    pub fn query_batch(&self, pairs: &[(usize, usize)]) -> Vec<Dist> {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if threads <= 1 || pairs.len() < 1024 {
+            return pairs.iter().map(|&(u, v)| self.query(u, v)).collect();
+        }
+        let shard = pairs.len().div_ceil(threads);
+        let mut out = vec![Dist::INF; pairs.len()];
+        std::thread::scope(|scope| {
+            for (chunk_in, chunk_out) in pairs.chunks(shard).zip(out.chunks_mut(shard)) {
+                scope.spawn(move || {
+                    for (slot, &(u, v)) in chunk_out.iter_mut().zip(chunk_in) {
+                        *slot = self.query(u, v);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Current hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        let len =
+            self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum();
+        let capacity =
+            self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").capacity).sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len,
+            capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OracleBuilder;
+    use cc_clique::Clique;
+    use cc_graph::generators;
+
+    fn cached(n: usize, capacity: usize) -> CachingOracle {
+        let g = generators::gnp_weighted(n, 0.15, 20, 11).unwrap();
+        let mut clique = Clique::new(n);
+        let oracle = OracleBuilder::new().build(&mut clique, &g).unwrap();
+        CachingOracle::new(oracle, capacity)
+    }
+
+    #[test]
+    fn cached_answers_match_uncached() {
+        // Capacity comfortably above the 528 unique canonical pairs, so the
+        // second pass is served entirely from the cache.
+        let c = cached(32, 2048);
+        for u in 0..32 {
+            for v in 0..32 {
+                assert_eq!(c.query(u, v), c.oracle().query(u, v), "({u},{v})");
+            }
+        }
+        let before = c.stats();
+        for u in 0..32 {
+            for v in 0..u {
+                assert_eq!(c.query(u, v), c.oracle().query(u, v));
+            }
+        }
+        let after = c.stats();
+        assert_eq!(after.misses, before.misses, "second pass must not miss");
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
+    fn symmetric_pairs_share_one_entry() {
+        let c = cached(16, 64);
+        c.query(3, 7);
+        c.query(7, 3);
+        let stats = c.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_lru_evicts() {
+        let c = cached(32, SHARDS); // one entry per shard
+        for u in 0..32 {
+            for v in 0..32 {
+                c.query(u, v);
+            }
+        }
+        let stats = c.stats();
+        assert!(stats.len <= stats.capacity);
+        assert_eq!(stats.capacity, SHARDS);
+        // Everything evicted long ago: re-querying the first pair misses.
+        let misses_before = c.stats().misses;
+        c.query(0, 1);
+        assert_eq!(c.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn hit_rate_reflects_traffic() {
+        let c = cached(16, 512);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.query(0, 1);
+        c.query(0, 1);
+        c.query(0, 1);
+        let stats = c.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_queries_are_consistent() {
+        let c = cached(32, 128);
+        let pairs: Vec<(usize, usize)> = (0..4096).map(|i| (i % 32, (i * 17 + 3) % 32)).collect();
+        let batch = c.query_batch(&pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            assert_eq!(batch[i], c.oracle().query(u, v));
+        }
+        let stats = c.stats();
+        assert_eq!(stats.hits + stats.misses, 4096);
+    }
+}

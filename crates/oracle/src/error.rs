@@ -1,0 +1,65 @@
+//! Error type for oracle construction, queries and snapshots.
+
+use cc_distance::DistanceError;
+
+/// Everything that can go wrong building, querying or deserializing an
+/// oracle.
+#[derive(Debug)]
+pub enum OracleError {
+    /// A distributed substrate (k-nearest, hitting set, MSSP) failed.
+    Build(DistanceError),
+    /// A parameter was rejected before any clique communication happened.
+    InvalidParameter {
+        /// Human-readable description of the rejected parameter.
+        what: String,
+    },
+    /// A serialized artifact failed validation.
+    CorruptSnapshot {
+        /// What was wrong with the byte stream.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::Build(e) => write!(f, "oracle build failed: {e}"),
+            OracleError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            OracleError::CorruptSnapshot { what } => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OracleError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistanceError> for OracleError {
+    fn from(e: DistanceError) -> Self {
+        OracleError::Build(e)
+    }
+}
+
+pub(crate) fn invalid(what: impl Into<String>) -> OracleError {
+    OracleError::InvalidParameter { what: what.into() }
+}
+
+pub(crate) fn corrupt(what: impl Into<String>) -> OracleError {
+    OracleError::CorruptSnapshot { what: what.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(invalid("k = 0").to_string().contains("k = 0"));
+        assert!(corrupt("bad magic").to_string().contains("bad magic"));
+    }
+}

@@ -1,0 +1,85 @@
+//! # `cc-oracle`: a build-once / query-many distance oracle
+//!
+//! The rest of the workspace *computes* the approximations of *Fast
+//! Approximate Shortest Paths in the Congested Clique* (PODC 2019); this
+//! crate *serves* them. It separates the expensive distributed **build
+//! phase** from a cheap, purely local **query phase**:
+//!
+//! * [`OracleBuilder`] runs once in the clique. It combines the paper's own
+//!   substrates — `k`-nearest balls (Theorem 18), a hitting-set landmark
+//!   selection (Lemma 4), and MSSP distance columns from the landmark set
+//!   (Theorem 3) — into an immutable [`DistanceOracle`] artifact. This is a
+//!   Thorup–Zwick-style sketch: per-node exact balls plus approximate
+//!   landmark columns.
+//! * [`DistanceOracle::query`] answers `d(u, v)` with **zero clique
+//!   rounds**: exact when one endpoint lies in the other's ball, and at most
+//!   `3·(1+ε)·d(u, v)` otherwise (routing through the nearest landmark).
+//!   Queries take `O(log k)` time, need only `&self`, and are lock-free.
+//! * [`DistanceOracle::query_batch`] shards a batch across std threads
+//!   (the seam where a rayon pool or async front-end plugs in later).
+//! * [`CachingOracle`] adds a bounded, sharded LRU result cache with
+//!   hit/miss counters for repeated-query traffic.
+//! * [`serde::to_bytes`] / [`serde::from_bytes`] snapshot a built oracle so
+//!   a serving process can load it without re-running the clique.
+//!
+//! # Stretch guarantee
+//!
+//! For connected `u, v` the returned estimate `est` always satisfies
+//! `d(u, v) ≤ est`, and:
+//!
+//! * `est = d(u, v)` exactly, if `v ∈ B_k(u)` or `u ∈ B_k(v)` (the balls
+//!   store exact distances);
+//! * `est ≤ 3·(1+ε)·d(u, v)` otherwise: with `p(u)` the nearest landmark of
+//!   `u` (which lies inside `B_k(u)` by the hitting-set property, so
+//!   `d(u, p(u)) ≤ d(u, v)`), the estimate `d(u, p(u)) + d̃(p(u), v)` is at
+//!   most `d(u, p(u)) + (1+ε)(d(p(u), u) + d(u, v)) ≤ 3(1+ε)·d(u, v)`,
+//!   where `d̃` is the `(1+ε)` MSSP column.
+//!
+//! Disconnected pairs report [`cc_matrix::Dist::INF`].
+//!
+//! # Example
+//!
+//! ```
+//! use cc_clique::Clique;
+//! use cc_graph::generators;
+//! use cc_oracle::OracleBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 64;
+//! let g = generators::gnp_weighted(n, 0.1, 20, 7)?;
+//! let mut clique = Clique::new(n);
+//!
+//! // Build once in the clique...
+//! let oracle = OracleBuilder::new().epsilon(0.25).seed(42).build(&mut clique, &g)?;
+//! println!("build cost: {} rounds", oracle.build_rounds());
+//!
+//! // ...then query for free, forever.
+//! let exact = cc_graph::reference::dijkstra(&g, 0)[n - 1].unwrap();
+//! let est = oracle.query(0, n - 1).value().unwrap();
+//! assert!(est >= exact);
+//! assert!(est as f64 <= oracle.stretch_bound() * exact as f64);
+//!
+//! // Snapshot and reload without touching the clique again.
+//! let bytes = cc_oracle::serde::to_bytes(&oracle);
+//! let reloaded = cc_oracle::serde::from_bytes(&bytes)?;
+//! assert_eq!(oracle, reloaded);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Distributed extraction indexes many parallel per-node vectors by node id;
+// iterator zips would obscure which node each access belongs to.
+#![allow(clippy::needless_range_loop)]
+
+mod builder;
+mod cache;
+mod error;
+mod oracle;
+pub mod serde;
+
+pub use builder::OracleBuilder;
+pub use cache::{CacheStats, CachingOracle};
+pub use error::OracleError;
+pub use oracle::DistanceOracle;

@@ -1,0 +1,235 @@
+//! The immutable query-phase artifact.
+
+use cc_matrix::Dist;
+
+/// A build-once / query-many distance oracle: per-node exact `k`-nearest
+/// balls, a landmark set hitting every ball, and `(1+ε)`-approximate
+/// distance columns from every node to every landmark.
+///
+/// The artifact is purely local and immutable: every query method takes
+/// `&self`, performs no clique communication, and is safe to call from many
+/// threads at once. See the crate docs for the stretch guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceOracle {
+    pub(crate) n: usize,
+    pub(crate) k: usize,
+    pub(crate) epsilon: f64,
+    pub(crate) seed: u64,
+    pub(crate) build_rounds: u64,
+    /// Landmark node ids, ascending.
+    pub(crate) landmarks: Vec<u32>,
+    /// Per node: the exact `k`-nearest ball as `(node, distance)` sorted by
+    /// node id (for `O(log k)` membership tests).
+    pub(crate) balls: Vec<Vec<(u32, u64)>>,
+    /// Per node: `(index into landmarks, exact distance)` of its nearest
+    /// landmark `p(v)`.
+    pub(crate) nearest_landmark: Vec<(u32, u64)>,
+    /// Row-major `n × landmarks.len()` matrix of `(1+ε)`-approximate
+    /// distances to each landmark; `u64::MAX` encodes unreachable.
+    pub(crate) columns: Vec<u64>,
+}
+
+impl DistanceOracle {
+    /// Number of nodes the oracle covers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The ball-size parameter `k` the oracle was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The MSSP accuracy parameter `ε` the oracle was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The landmark-selection seed the oracle was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Clique rounds the one-off build phase charged. Queries charge zero.
+    pub fn build_rounds(&self) -> u64 {
+        self.build_rounds
+    }
+
+    /// The landmark node ids (ascending).
+    pub fn landmarks(&self) -> &[u32] {
+        &self.landmarks
+    }
+
+    /// The documented multiplicative stretch bound `3·(1+ε)` for answers
+    /// outside the exact-ball regime. Every finite answer `est` satisfies
+    /// `d(u,v) ≤ est ≤ stretch_bound() · d(u,v)`.
+    pub fn stretch_bound(&self) -> f64 {
+        3.0 * (1.0 + self.epsilon)
+    }
+
+    /// Heap footprint of the artifact in bytes (balls + columns +
+    /// landmarks), for capacity planning.
+    pub fn artifact_bytes(&self) -> usize {
+        let ball_entries: usize = self.balls.iter().map(Vec::len).sum();
+        ball_entries * std::mem::size_of::<(u32, u64)>()
+            + self.columns.len() * 8
+            + self.landmarks.len() * 4
+            + self.nearest_landmark.len() * std::mem::size_of::<(u32, u64)>()
+    }
+
+    /// Exact distance to `v` if it lies in `u`'s ball.
+    fn ball_distance(&self, u: usize, v: usize) -> Option<u64> {
+        let ball = &self.balls[u];
+        ball.binary_search_by_key(&(v as u32), |&(id, _)| id).ok().map(|i| ball[i].1)
+    }
+
+    /// Approximate distance from `v` to landmark column `idx`.
+    fn column(&self, v: usize, idx: usize) -> u64 {
+        self.columns[v * self.landmarks.len() + idx]
+    }
+
+    /// Distance estimate for the pair `(u, v)`: zero communication,
+    /// `O(log k)` time, never an underestimate, exact inside the balls and
+    /// within [`DistanceOracle::stretch_bound`] otherwise.
+    /// [`Dist::INF`] for disconnected pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is not in `0..n` (the serving layer validates
+    /// requests at the edge; the hot path does not pay for `Result`).
+    pub fn query(&self, u: usize, v: usize) -> Dist {
+        assert!(u < self.n && v < self.n, "query ({u}, {v}) outside 0..{}", self.n);
+        if u == v {
+            return Dist::ZERO;
+        }
+        // Exact regime: one endpoint inside the other's ball.
+        if let Some(d) = self.ball_distance(u, v) {
+            return Dist::fin(d);
+        }
+        if let Some(d) = self.ball_distance(v, u) {
+            return Dist::fin(d);
+        }
+        // Landmark regime: route through the nearest landmark of either
+        // endpoint, whichever gives the smaller (still sound) estimate.
+        let mut best = u64::MAX;
+        for (near, far) in [(u, v), (v, u)] {
+            let (idx, to_landmark) = self.nearest_landmark[near];
+            let col = self.column(far, idx as usize);
+            if col != u64::MAX {
+                best = best.min(to_landmark.saturating_add(col));
+            }
+        }
+        if best == u64::MAX {
+            Dist::INF
+        } else {
+            Dist::fin(best)
+        }
+    }
+
+    /// Answers a batch of queries, sharding the work across available CPU
+    /// cores with scoped std threads.
+    ///
+    /// (The container this workspace builds in has no rayon; std threads
+    /// over contiguous shards are the stand-in and the seam where a proper
+    /// work-stealing pool plugs in.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair is out of range, like [`DistanceOracle::query`].
+    pub fn query_batch(&self, pairs: &[(usize, usize)]) -> Vec<Dist> {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        // Small batches are not worth the spawn cost.
+        if threads <= 1 || pairs.len() < 1024 {
+            return pairs.iter().map(|&(u, v)| self.query(u, v)).collect();
+        }
+        let shard = pairs.len().div_ceil(threads);
+        let mut out = vec![Dist::INF; pairs.len()];
+        std::thread::scope(|scope| {
+            for (chunk_in, chunk_out) in pairs.chunks(shard).zip(out.chunks_mut(shard)) {
+                scope.spawn(move || {
+                    for (slot, &(u, v)) in chunk_out.iter_mut().zip(chunk_in) {
+                        *slot = self.query(u, v);
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OracleBuilder;
+    use cc_clique::Clique;
+    use cc_graph::{generators, reference};
+
+    fn build(n: usize, seed: u64) -> (cc_graph::Graph, DistanceOracle) {
+        let g = generators::gnp_weighted(n, 0.12, 30, seed).unwrap();
+        let mut clique = Clique::new(n);
+        let oracle = OracleBuilder::new().seed(seed).build(&mut clique, &g).unwrap();
+        (g, oracle)
+    }
+
+    #[test]
+    fn query_is_sound_and_within_stretch() {
+        let (g, oracle) = build(48, 3);
+        let bound = oracle.stretch_bound();
+        for u in 0..g.n() {
+            let exact = reference::dijkstra(&g, u);
+            for v in 0..g.n() {
+                let est = oracle.query(u, v);
+                let d = exact[v].expect("gnp is connected");
+                let est = est.value().expect("connected pair must be finite");
+                assert!(est >= d, "underestimate {est} < {d} for ({u},{v})");
+                assert!(
+                    est as f64 <= bound * d as f64 + 1e-9,
+                    "stretch violated: {est} > {bound}*{d} for ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_is_symmetric_and_zero_on_diagonal() {
+        let (g, oracle) = build(32, 5);
+        for u in 0..g.n() {
+            assert_eq!(oracle.query(u, u), Dist::ZERO);
+            for v in 0..g.n() {
+                assert_eq!(oracle.query(u, v), oracle.query(v, u), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_single_queries() {
+        let (_, oracle) = build(32, 7);
+        // Exercise both the sequential small-batch path and the sharded
+        // threaded path.
+        let small: Vec<(usize, usize)> = (0..32).map(|i| (i, (i * 7 + 1) % 32)).collect();
+        let large: Vec<(usize, usize)> = (0..5000).map(|i| (i % 32, (i * 13 + 5) % 32)).collect();
+        for pairs in [small, large] {
+            let batch = oracle.query_batch(&pairs);
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                assert_eq!(batch[i], oracle.query(u, v), "pair ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_report_infinity() {
+        let g = cc_graph::Graph::from_edges(8, [(0, 1, 2), (2, 3, 4)]).unwrap();
+        let mut clique = Clique::new(8);
+        let oracle = OracleBuilder::new().build(&mut clique, &g).unwrap();
+        assert_eq!(oracle.query(0, 1), Dist::fin(2));
+        assert_eq!(oracle.query(0, 2), Dist::INF);
+        assert_eq!(oracle.query(4, 5), Dist::INF);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_query_panics() {
+        let (_, oracle) = build(16, 1);
+        oracle.query(0, 16);
+    }
+}

@@ -1,0 +1,252 @@
+//! Snapshot an oracle to bytes and load it back — no external serde crate
+//! (the build container is offline), just a versioned little-endian layout.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   b"CCO1"
+//! u32     format version (currently 1)
+//! u64     n, k, seed, build_rounds; f64 epsilon (IEEE bits)
+//! u64     landmark count s, then s × u32 landmark ids
+//! n ×     (u32 idx, u64 dist)          nearest landmark per node
+//! n ×     u64 len, len × (u32, u64)    balls
+//! n·s ×   u64                          landmark columns (MAX = ∞)
+//! ```
+
+use crate::error::corrupt;
+use crate::{DistanceOracle, OracleError};
+
+const MAGIC: &[u8; 4] = b"CCO1";
+const VERSION: u32 = 1;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], OracleError> {
+        let end = self
+            .at
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt(format!("truncated at byte {}", self.at)))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+    fn u32(&mut self) -> Result<u32, OracleError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, OracleError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn len(&mut self, what: &str, cap: usize) -> Result<usize, OracleError> {
+        let raw = self.u64()?;
+        // A length can never exceed the bytes remaining, which bounds
+        // allocations from hostile input.
+        if raw > cap as u64 {
+            return Err(corrupt(format!("{what} length {raw} exceeds plausible {cap}")));
+        }
+        Ok(raw as usize)
+    }
+}
+
+/// Serializes a built oracle into a self-contained byte snapshot.
+pub fn to_bytes(oracle: &DistanceOracle) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::with_capacity(64 + oracle.artifact_bytes()) };
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(VERSION);
+    w.u64(oracle.n as u64);
+    w.u64(oracle.k as u64);
+    w.u64(oracle.seed);
+    w.u64(oracle.build_rounds);
+    w.u64(oracle.epsilon.to_bits());
+    w.u64(oracle.landmarks.len() as u64);
+    for &a in &oracle.landmarks {
+        w.u32(a);
+    }
+    for &(idx, d) in &oracle.nearest_landmark {
+        w.u32(idx);
+        w.u64(d);
+    }
+    for ball in &oracle.balls {
+        w.u64(ball.len() as u64);
+        for &(id, d) in ball {
+            w.u32(id);
+            w.u64(d);
+        }
+    }
+    for &c in &oracle.columns {
+        w.u64(c);
+    }
+    w.buf
+}
+
+/// Reconstructs an oracle from a [`to_bytes`] snapshot, validating
+/// structure and index bounds.
+///
+/// # Errors
+///
+/// [`OracleError::CorruptSnapshot`] on wrong magic/version, truncation, or
+/// out-of-range indices.
+pub fn from_bytes(bytes: &[u8]) -> Result<DistanceOracle, OracleError> {
+    let mut r = Reader { bytes, at: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(corrupt("bad magic (not an oracle snapshot)"));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let remaining = bytes.len();
+    let n = r.len("n", remaining)?;
+    let k = r.len("k", remaining)?;
+    let seed = r.u64()?;
+    let build_rounds = r.u64()?;
+    let epsilon = f64::from_bits(r.u64()?);
+    if epsilon <= 0.0 || !epsilon.is_finite() {
+        return Err(corrupt(format!("epsilon {epsilon} out of range")));
+    }
+    let s = r.len("landmark count", remaining)?;
+    let mut landmarks = Vec::with_capacity(s);
+    for _ in 0..s {
+        let a = r.u32()?;
+        if a as usize >= n {
+            return Err(corrupt(format!("landmark id {a} outside 0..{n}")));
+        }
+        landmarks.push(a);
+    }
+    let mut nearest_landmark = Vec::with_capacity(n);
+    for v in 0..n {
+        let idx = r.u32()?;
+        let d = r.u64()?;
+        if idx as usize >= s {
+            return Err(corrupt(format!("node {v}: landmark index {idx} outside 0..{s}")));
+        }
+        nearest_landmark.push((idx, d));
+    }
+    let mut balls = Vec::with_capacity(n);
+    for v in 0..n {
+        let len = r.len("ball", remaining)?;
+        let mut ball = Vec::with_capacity(len);
+        for _ in 0..len {
+            let id = r.u32()?;
+            if id as usize >= n {
+                return Err(corrupt(format!("node {v}: ball member {id} outside 0..{n}")));
+            }
+            ball.push((id, r.u64()?));
+        }
+        if !ball.is_sorted_by_key(|&(id, _)| id) {
+            return Err(corrupt(format!("node {v}: ball not sorted by id")));
+        }
+        balls.push(ball);
+    }
+    let cells = n.checked_mul(s).ok_or_else(|| corrupt("column matrix size overflows"))?;
+    // n and s are only individually bounded by the input length, so their
+    // product can be quadratic in it; every cell costs 8 bytes, so checking
+    // against the bytes actually left keeps the allocation linear in the
+    // input even for hostile snapshots.
+    if cells > (bytes.len() - r.at) / 8 {
+        return Err(corrupt(format!(
+            "column matrix claims {cells} cells but only {} bytes remain",
+            bytes.len() - r.at
+        )));
+    }
+    let mut columns = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        columns.push(r.u64()?);
+    }
+    if r.at != bytes.len() {
+        return Err(corrupt(format!("{} trailing bytes", bytes.len() - r.at)));
+    }
+    Ok(DistanceOracle {
+        n,
+        k,
+        epsilon,
+        seed,
+        build_rounds,
+        landmarks,
+        balls,
+        nearest_landmark,
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OracleBuilder;
+    use cc_clique::Clique;
+    use cc_graph::generators;
+
+    fn sample() -> DistanceOracle {
+        let g = generators::gnp_weighted(40, 0.12, 30, 21).unwrap();
+        let mut clique = Clique::new(40);
+        OracleBuilder::new().epsilon(0.5).seed(5).build(&mut clique, &g).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let oracle = sample();
+        let bytes = to_bytes(&oracle);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(oracle, back);
+        // And the reloaded oracle answers identically.
+        for u in (0..40).step_by(3) {
+            for v in (0..40).step_by(5) {
+                assert_eq!(oracle.query(u, v), back.query(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let oracle = sample();
+        let mut bytes = to_bytes(&oracle);
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(OracleError::CorruptSnapshot { .. })));
+        let mut bytes = to_bytes(&oracle);
+        bytes[4] = 99;
+        assert!(matches!(from_bytes(&bytes), Err(OracleError::CorruptSnapshot { .. })));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = to_bytes(&sample());
+        for cut in [0, 3, 7, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "truncation at {cut} must be rejected");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = to_bytes(&sample());
+        bytes.push(0);
+        assert!(matches!(from_bytes(&bytes), Err(OracleError::CorruptSnapshot { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        let oracle = sample();
+        let mut bytes = to_bytes(&oracle);
+        // First landmark id lives right after the fixed header (4 magic +
+        // 4 version + 6×8 scalar/count fields).
+        let at = 4 + 4 + 48;
+        bytes[at..at + 4].copy_from_slice(&(oracle.n() as u32 + 7).to_le_bytes());
+        assert!(matches!(from_bytes(&bytes), Err(OracleError::CorruptSnapshot { .. })));
+    }
+}

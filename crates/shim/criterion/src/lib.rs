@@ -1,0 +1,220 @@
+//! Offline shim for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build environment has no network access to crates.io, so this local
+//! crate implements the benchmark API subset the workspace uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`], the
+//! `criterion_group!`/`criterion_main!` macros, and the
+//! `sample_size`/`warm_up_time`/`measurement_time` configuration knobs.
+//!
+//! Measurement model: each sample times a batch of iterations sized so a
+//! batch lasts roughly a millisecond, and per-iteration times are reported
+//! as mean / p50 / p99 over the samples. No statistical regression analysis,
+//! plots, or saved baselines — this is a timing harness, not a statistics
+//! suite. `cargo bench` output remains human-readable one-liners.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Summary of one benchmark: per-iteration latencies in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Mean per-iteration time, ns.
+    pub mean_ns: f64,
+    /// Median per-iteration time, ns.
+    pub p50_ns: f64,
+    /// 99th-percentile per-iteration time, ns.
+    pub p99_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the closure untimed before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total time across all samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            summary: None,
+        };
+        f(&mut bencher);
+        match bencher.summary {
+            Some(s) => println!(
+                "{id:<44} mean {:>12} p50 {:>12} p99 {:>12} ({} iters)",
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p99_ns),
+                s.iterations
+            ),
+            None => println!("{id:<44} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    summary: Option<Summary>,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording per-iteration latency over
+    /// `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up budget is spent, measuring
+        // a rough per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        // Batch so one sample lasts ~1ms (min 1 iteration), and the whole
+        // measurement fits the time budget.
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            samples_ns.push(elapsed / batch as f64);
+            total_iters += batch;
+            if started.elapsed() > budget && samples_ns.len() >= 10 {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let pct = |q: f64| samples_ns[((samples_ns.len() - 1) as f64 * q) as usize];
+        self.summary = Some(Summary {
+            mean_ns: mean,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            iterations: total_iters,
+        });
+    }
+
+    /// The summary of the last [`Bencher::iter`] call, if any (shim
+    /// extension used by benches that export machine-readable artifacts).
+    pub fn summary(&self) -> Option<Summary> {
+        self.summary
+    }
+}
+
+/// Declares a benchmark group. Supports both the positional form
+/// `criterion_group!(name, target, ...)` and the configured form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_summary() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut captured = None;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            captured = b.summary();
+        });
+        let s = captured.expect("summary");
+        assert!(s.mean_ns > 0.0);
+        assert!(s.p99_ns >= s.p50_ns);
+        assert!(s.iterations > 0);
+    }
+}

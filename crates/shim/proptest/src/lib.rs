@@ -1,0 +1,106 @@
+//! Offline shim for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment has no network access to crates.io, so this local
+//! crate implements the API subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (generate inputs, run the body many times);
+//! * [`Strategy`] for integer ranges, tuples, [`Just`], `prop_map`,
+//!   and [`prop::collection::vec`];
+//! * [`prop_oneof!`] with weights;
+//! * `prop_assert!` / `prop_assert_eq!` (plain panicking asserts here).
+//!
+//! Differences from upstream: no shrinking (a failing case prints its seed
+//! and case index instead), and the default case count is 64 (override with
+//! the `PROPTEST_CASES` environment variable). Inputs are drawn from a
+//! deterministic per-test RNG so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies and re-exports, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies (`vec`).
+    pub mod collection {
+        pub use crate::strategy::collection_vec as vec;
+        pub use crate::strategy::SizeRange;
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted choice between strategies producing the same value type:
+/// `prop_oneof![3 => a, 1 => b]` (unweighted arms default to weight 1).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Union::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Union::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws inputs and runs the body for every case.
+/// An optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`
+/// overrides the case count for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)+) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)+ }
+    };
+    ($($rest:tt)+) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)+
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_config($config, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}

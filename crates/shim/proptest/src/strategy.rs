@@ -1,0 +1,217 @@
+//! Strategies: how test inputs are generated.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test values. Unlike upstream there is no value tree /
+/// shrinking: a strategy simply draws a value per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy on empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Admissible collection sizes: an exact size or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange { min: exact, max_exclusive: exact + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max_exclusive: r.end }
+    }
+}
+
+/// A `Vec` of values drawn from `element`, with a length in `size`
+/// (`prop::collection::vec`).
+pub fn collection_vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// The strategy returned by [`collection_vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + if span == 0 { 0 } else { rng.below(span) as usize };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Weighted union of same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Union<V> {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+
+    /// Boxes a strategy arm (used by the `prop_oneof!` macro).
+    pub fn boxed<S: Strategy<Value = V> + 'static>(s: S) -> Box<dyn Strategy<Value = V>> {
+        Box::new(s)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (weight, strat) in &self.arms {
+            if pick < *weight as u64 {
+                return strat.new_value(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::seeded(3);
+        for _ in 0..200 {
+            let (a, b) = (0usize..5, 10u64..20).new_value(&mut rng);
+            assert!(a < 5);
+            assert!((10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::seeded(4);
+        let s = collection_vec(0u32..10, 2..6);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        let exact = collection_vec(0u32..10, 4usize);
+        assert_eq!(exact.new_value(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut rng = TestRng::seeded(5);
+        let s = (1u64..4).prop_map(|x| x * 100);
+        let v = s.new_value(&mut rng);
+        assert!(v == 100 || v == 200 || v == 300);
+        assert_eq!(Just(7i32).new_value(&mut rng), 7);
+    }
+
+    #[test]
+    fn union_picks_every_arm_eventually() {
+        let mut rng = TestRng::seeded(6);
+        let u = Union::new(vec![(3, Union::boxed(Just(1i32))), (1, Union::boxed(Just(2i32)))]);
+        let draws: Vec<i32> = (0..200).map(|_| u.new_value(&mut rng)).collect();
+        assert!(draws.contains(&1));
+        assert!(draws.contains(&2));
+    }
+}

@@ -1,0 +1,113 @@
+//! The case loop: deterministic per-test RNG, `PROPTEST_CASES` override,
+//! and failure reporting with the case index.
+
+/// Default number of cases per property (upstream defaults to 256; the
+/// distributed-simulator properties here are comparatively expensive).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: DEFAULT_CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG handed to strategies (SplitMix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn seeded(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x6a09_e667_f3bc_c908 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` for the default number of cases, handing each case a
+/// deterministic RNG derived from the test name and the case index.
+pub fn run(test_name: &str, body: impl FnMut(&mut TestRng)) {
+    run_config(ProptestConfig::default(), test_name, body);
+}
+
+/// [`run`] with an explicit configuration; the `PROPTEST_CASES` environment
+/// variable overrides both.
+pub fn run_config(config: ProptestConfig, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+    let cases: u32 =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(config.cases);
+    let base = fnv1a(test_name);
+    for case in 0..cases {
+        let mut rng = TestRng::seeded(base.wrapping_add(case as u64));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!(
+                "proptest shim: property `{test_name}` failed at case {case}/{cases} \
+                 (rerun is deterministic; no shrinking in the offline shim)"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seeded(1);
+        let mut b = TestRng::seeded(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn run_executes_all_cases() {
+        let mut count = 0;
+        run("counter", |_| count += 1);
+        assert!(count >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn failures_propagate() {
+        run("boom", |_| panic!("expected"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline shim for the [`rand`](https://docs.rs/rand/0.8) crate.
+//!
+//! The build environment has no network access to crates.io, so this local
+//! crate provides exactly the API subset the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::{gen_range, gen_bool}`](Rng).
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — deterministic in the
+//! seed (which is all the workspace's seeded generators and tests rely on),
+//! statistically strong enough for workload generation, and **not** a
+//! cryptographic RNG. The stream differs from upstream `StdRng` (ChaCha12),
+//! so seeds produce different (but still deterministic) draws than a
+//! crates.io build would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Standard-use RNGs.
+pub mod rngs {
+    /// The workspace's standard seeded RNG (xoshiro256++ under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step.
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seeding interface (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        StdRng { s }
+    }
+}
+
+/// A type that can be sampled uniformly from a range (the subset of
+/// `rand::distributions::uniform` the workspace needs).
+pub trait SampleUniform: Copy {
+    /// Uniform sample in `[lo, hi]` (inclusive).
+    fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sampling range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1) as u128;
+                if span == 0 {
+                    // Full u128 span is impossible for <= 64-bit types except
+                    // the degenerate full-u64 case; fall back to raw bits.
+                    return rng.next_u64() as $t;
+                }
+                let draw = ((rng.next_u64() as u128) % span) as $t;
+                lo.wrapping_add(draw)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(&self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl<T: SampleUniform + PartialOrd + num_step::Dec> SampleRange for Range<T> {
+    type Output = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_inclusive(rng, self.start, self.end.dec())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange for RangeInclusive<T> {
+    type Output = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        assert!(self.start() <= self.end(), "gen_range on empty range");
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+mod num_step {
+    /// Decrement by one (for converting `..end` to an inclusive bound).
+    pub trait Dec {
+        fn dec(self) -> Self;
+    }
+    macro_rules! impl_dec {
+        ($($t:ty),*) => {$(impl Dec for $t { fn dec(self) -> Self { self - 1 } })*};
+    }
+    impl_dec!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// The sampling interface (the `gen_range`/`gen_bool` subset).
+pub trait Rng {
+    /// A uniform sample from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool needs 0 <= p <= 1");
+        // 53 random bits -> uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(8);
+        let zs: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(5u64..=5);
+            assert_eq!(y, 5);
+            let z = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("single-source distances from node {source} (both algorithms exact):");
     println!("  Bellman-Ford rounds     : {:>6} (= SPD + termination check)", bf.rounds);
     println!("  shortcut SSSP rounds    : {:>6} (k-nearest + short Bellman-Ford)", fast.rounds);
-    println!(
-        "  far corner distance     : {}",
-        fast.dist[n - 1]
-    );
+    println!("  far corner distance     : {}", fast.dist[n - 1]);
 
     // Diameter estimation.
     let true_d = reference::diameter(&g).expect("grid is connected");

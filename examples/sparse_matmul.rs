@@ -42,7 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Theorem 8, with the true output density as the hint.
         let mut clique = Clique::new(n);
-        let p = sparse_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), reference.density())?;
+        let p =
+            sparse_multiply::<MinPlus>(&mut clique, s.rows(), t_cols.rows(), reference.density())?;
         assert_eq!(SparseMatrix::from_rows(p), reference);
         let sparse_rounds = clique.rounds();
 

@@ -17,9 +17,13 @@
 //!   approximations (Theorems 28, 31 and the `(3+eps)` variant), **exact
 //!   SSSP** (Theorem 33), **diameter approximation**, witnessed products
 //!   with **shortest-path reconstruction** (§3.1), and the Bellman-Ford /
-//!   dense-squaring / spanner baselines ([`core`]).
+//!   dense-squaring / spanner baselines ([`core`]),
+//! * a **build-once / query-many distance oracle** on top of the paper's
+//!   substrates ([`oracle`]): one distributed build extracts a purely local
+//!   Thorup–Zwick-style artifact that then serves distance queries with
+//!   zero clique rounds.
 //!
-//! # Quickstart
+//! # Quickstart: one-shot computation
 //!
 //! ```
 //! use congested_clique::clique::Clique;
@@ -34,6 +38,33 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Quickstart: build once, query many
+//!
+//! Re-running an `O(log² n/ε)`-round algorithm per distance request is
+//! exactly backwards for serving workloads. The [`oracle`] subsystem splits
+//! the cost: the **build phase** pays the distributed rounds once, the
+//! **query phase** is local, lock-free and `O(log k)` per request (exact
+//! inside each node's `k`-nearest ball, `≤ 3(1+ε)·d` via the nearest
+//! landmark otherwise).
+//!
+//! ```
+//! use congested_clique::clique::Clique;
+//! use congested_clique::graph::generators;
+//! use congested_clique::oracle::OracleBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::gnp(32, 0.15, 7)?;
+//! let mut clique = Clique::new(32);
+//! let oracle = OracleBuilder::new().epsilon(0.25).build(&mut clique, &g)?;
+//! // The clique is done; queries cost zero rounds from here on.
+//! let d = oracle.query(0, 31);
+//! let snapshot = congested_clique::oracle::serde::to_bytes(&oracle);
+//! let reloaded = congested_clique::oracle::serde::from_bytes(&snapshot)?;
+//! assert_eq!(reloaded.query(0, 31), d);
+//! # Ok(())
+//! # }
+//! ```
 pub use cc_clique as clique;
 pub use cc_core as core;
 pub use cc_distance as distance;
@@ -41,3 +72,4 @@ pub use cc_graph as graph;
 pub use cc_hopset as hopset;
 pub use cc_matmul as matmul;
 pub use cc_matrix as matrix;
+pub use cc_oracle as oracle;

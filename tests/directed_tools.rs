@@ -6,7 +6,9 @@
 #![allow(clippy::needless_range_loop)]
 
 use congested_clique::clique::Clique;
-use congested_clique::distance::{k_nearest_matrix, source_detection_all_matrix, source_detection_k_matrix};
+use congested_clique::distance::{
+    k_nearest_matrix, source_detection_all_matrix, source_detection_k_matrix,
+};
 use congested_clique::graph::{dijkstra_directed, gnp_directed, hop_bounded_directed, DiGraph};
 
 #[test]

@@ -149,8 +149,7 @@ fn hitting_set_with_k_exceeding_set_sizes() {
 #[test]
 fn through_sets_with_self_referential_sets() {
     // Sets containing the node itself at distance 0.
-    let sets: Vec<Vec<(usize, Dist)>> =
-        (0..4).map(|v| vec![(v, Dist::ZERO)]).collect();
+    let sets: Vec<Vec<(usize, Dist)>> = (0..4).map(|v| vec![(v, Dist::ZERO)]).collect();
     let mut clique = Clique::new(4);
     let rows = distance_through_sets(&mut clique, &sets).unwrap();
     for v in 0..4 {

@@ -20,8 +20,8 @@ fn unweighted_apsp_meets_guarantee_across_suite() {
             continue;
         }
         let mut clique = Clique::new(g.n());
-        let run = apsp::unweighted_2eps(&mut clique, &g, 0.5)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let run =
+            apsp::unweighted_2eps(&mut clique, &g, 0.5).unwrap_or_else(|e| panic!("{name}: {e}"));
         let exact = reference::all_pairs(&g);
         stretch::assert_sound(&run.dist, &exact);
         let worst = stretch::max_stretch(&run.dist, &exact);
@@ -48,8 +48,8 @@ fn mssp_meets_guarantee_across_suite() {
     for (name, g) in suite(32) {
         let sources = [0, g.n() / 2, g.n() - 1];
         let mut clique = Clique::new(g.n());
-        let run = mssp::mssp(&mut clique, &g, &sources, 0.5)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let run =
+            mssp::mssp(&mut clique, &g, &sources, 0.5).unwrap_or_else(|e| panic!("{name}: {e}"));
         for (i, &s) in sources.iter().enumerate() {
             let exact = reference::dijkstra(&g, s);
             for v in 0..g.n() {
