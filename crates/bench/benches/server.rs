@@ -1,0 +1,187 @@
+//! End-to-end serving benchmark: a real `cc-serve` instance on a loopback
+//! socket, hammered by keep-alive HTTP clients.
+//!
+//! Unlike the oracle bench (whose latency keys are percentiles of 64-query
+//! means), every HTTP request here is timed individually — a request costs
+//! tens of microseconds, so the clock read is noise — giving a **true
+//! per-request tail**. Writes `BENCH_server.json` at the workspace root:
+//! requests/sec plus per-request p50/p99 for `/distance`, and batch-path
+//! throughput for `/batch`.
+
+use cc_clique::Clique;
+use cc_graph::generators;
+use cc_oracle::{DistanceOracle, OracleBuilder};
+use cc_server::{BlockingClient, Server, ServerConfig, ServerHandle};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+const N: usize = 256;
+/// Concurrent keep-alive client connections for the throughput phase.
+const CLIENTS: usize = 4;
+/// Requests issued per client in the throughput phase.
+const REQUESTS_PER_CLIENT: usize = 2_500;
+
+fn prebuilt() -> DistanceOracle {
+    let g = generators::gnp_weighted(N, 0.06, 50, 17).expect("graph");
+    let mut clique = Clique::new(N);
+    OracleBuilder::new().epsilon(0.25).seed(7).build(&mut clique, &g).expect("build")
+}
+
+fn start_server() -> ServerHandle {
+    let config = ServerConfig::default().with_addr("127.0.0.1:0").with_workers(CLIENTS.max(2));
+    Server::start(&config, prebuilt()).expect("server start")
+}
+
+/// Deterministic request targets mixing a hot set with a uniform tail,
+/// mirroring the oracle bench's traffic model.
+fn targets(len: usize) -> Vec<String> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..len)
+        .map(|_| {
+            let r = next();
+            let (u, v) = if r % 4 == 0 {
+                let hot = (r >> 8) as usize % 16;
+                (hot, (hot * 31 + 7) % N)
+            } else {
+                ((r >> 8) as usize % N, (r >> 40) as usize % N)
+            };
+            format!("/distance?u={u}&v={v}")
+        })
+        .collect()
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    sorted_ns[((sorted_ns.len() - 1) as f64 * q) as usize]
+}
+
+/// The measured serving numbers exported to BENCH_server.json.
+struct Measurement {
+    requests: usize,
+    wall_secs: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    batch_pairs_per_sec: f64,
+}
+
+/// Hammers the server with `CLIENTS` keep-alive connections, timing every
+/// request individually.
+fn measure(handle: &ServerHandle) -> Measurement {
+    let addr = handle.addr();
+    let per_client = targets(REQUESTS_PER_CLIENT);
+    let started = Instant::now();
+    let mut all_lat: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let per_client = &per_client;
+                scope.spawn(move || {
+                    let mut client = BlockingClient::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(per_client.len());
+                    // Offset each client into the stream so the hot set
+                    // overlaps but the order differs.
+                    for i in 0..per_client.len() {
+                        let target = &per_client[(i + c * 37) % per_client.len()];
+                        let t = Instant::now();
+                        let (status, body) = client.get(target).expect("request");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        assert_eq!(status, 200, "bench request failed");
+                        black_box(body);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    all_lat.sort_unstable();
+
+    // Batch path: one POST moving 4096 pairs through query_batch.
+    let pairs: String = targets(4_096)
+        .iter()
+        .map(|t| t.replace("/distance?u=", "").replace("&v=", " ") + "\n")
+        .collect();
+    let mut client = BlockingClient::connect(addr).expect("connect");
+    let t = Instant::now();
+    let reps = 8;
+    for _ in 0..reps {
+        let (status, body) = client.post("/batch", pairs.as_bytes()).expect("batch");
+        assert_eq!(status, 200);
+        black_box(body);
+    }
+    let batch_pairs_per_sec = (reps * 4_096) as f64 / t.elapsed().as_secs_f64();
+
+    Measurement {
+        requests: all_lat.len(),
+        wall_secs,
+        p50_ns: percentile(&all_lat, 0.50),
+        p99_ns: percentile(&all_lat, 0.99),
+        batch_pairs_per_sec,
+    }
+}
+
+fn emit_artifact(handle: &ServerHandle, m: &Measurement) {
+    let oracle = handle.state().oracle();
+    let json = format!(
+        "{{\n  \"n\": {},\n  \"landmarks\": {},\n  \"artifact_bytes\": {},\n  \
+         \"transport\": \"http/1.1 keep-alive over loopback\",\n  \
+         \"clients\": {CLIENTS},\n  \"requests\": {},\n  \
+         \"requests_per_sec\": {:.0},\n  \"request_p50_ns\": {},\n  \
+         \"request_p99_ns\": {},\n  \"batch_pairs_per_sec\": {:.0},\n  \
+         \"stretch_bound\": {}\n}}\n",
+        oracle.n(),
+        oracle.landmarks().len(),
+        oracle.artifact_bytes(),
+        m.requests,
+        m.requests as f64 / m.wall_secs,
+        m.p50_ns,
+        m.p99_ns,
+        m.batch_pairs_per_sec,
+        oracle.stretch_bound(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, &json).expect("write BENCH_server.json");
+    println!("BENCH_server.json: {json}");
+}
+
+fn bench_server(c: &mut Criterion) {
+    let handle = start_server();
+    let addr = handle.addr();
+
+    // Human-readable single-request latency on one keep-alive connection.
+    let mut client = BlockingClient::connect(addr).expect("connect");
+    let paths = targets(1024);
+    let mut at = 0usize;
+    c.bench_function("server_distance_http_n256", |b| {
+        b.iter(|| {
+            let target = &paths[at];
+            at = (at + 1) % paths.len();
+            let (status, body) = client.get(target).expect("request");
+            assert_eq!(status, 200);
+            black_box(body)
+        })
+    });
+
+    let m = measure(&handle);
+    emit_artifact(&handle, &m);
+    handle.shutdown();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_server
+}
+criterion_main!(benches);

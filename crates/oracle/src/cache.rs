@@ -6,7 +6,7 @@ use std::sync::Mutex;
 
 use cc_matrix::Dist;
 
-use crate::DistanceOracle;
+use crate::{DistanceOracle, OracleError};
 
 /// Number of independently locked shards. A power of two so the shard pick
 /// is a mask; 16 keeps contention low for the thread counts `query_batch`
@@ -181,15 +181,42 @@ impl CachingOracle {
     ///
     /// Panics if `u` or `v` is out of range, like the uncached query.
     pub fn query(&self, u: usize, v: usize) -> Dist {
+        match self.try_query(u, v) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`CachingOracle::query`] for serving layers: out-of-range
+    /// endpoints become [`OracleError::QueryOutOfRange`], never a panic (and
+    /// never a poisoned shard lock — validation happens before locking).
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::QueryOutOfRange`] if `u` or `v` is out of range.
+    pub fn try_query(&self, u: usize, v: usize) -> Result<Dist, OracleError> {
+        self.oracle.check_pair(u, v)?;
+        Ok(self.query_validated(u, v))
+    }
+
+    /// The cache lookup kernel; callers must have validated `u, v < n`.
+    ///
+    /// The shard lock is taken exactly once and held across the miss
+    /// compute + insert: a second thread asking for the same key blocks
+    /// briefly and then *hits*, so a result is never computed (or a miss
+    /// counted) twice for one resident key. The oracle query is tens of
+    /// nanoseconds, far cheaper than a second lock round-trip.
+    fn query_validated(&self, u: usize, v: usize) -> Dist {
         let key = Self::key(u, v);
-        let shard = &self.shards[(key % SHARDS as u64) as usize];
-        if let Some(raw) = shard.lock().expect("cache shard poisoned").get(key) {
+        let mut shard =
+            self.shards[(key % SHARDS as u64) as usize].lock().expect("cache shard poisoned");
+        if let Some(raw) = shard.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return if raw == u64::MAX { Dist::INF } else { Dist::fin(raw) };
         }
-        let answer = self.oracle.query(u, v);
+        let answer = self.oracle.query_unchecked(u, v);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        shard.lock().expect("cache shard poisoned").insert(key, answer.value().unwrap_or(u64::MAX));
+        shard.insert(key, answer.raw());
         answer
     }
 
@@ -199,9 +226,25 @@ impl CachingOracle {
     ///
     /// Panics if any pair is out of range.
     pub fn query_batch(&self, pairs: &[(usize, usize)]) -> Vec<Dist> {
+        match self.try_query_batch(pairs) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`CachingOracle::query_batch`]: validates every pair before
+    /// computing anything.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::QueryOutOfRange`] naming the first offending pair.
+    pub fn try_query_batch(&self, pairs: &[(usize, usize)]) -> Result<Vec<Dist>, OracleError> {
+        for &(u, v) in pairs {
+            self.oracle.check_pair(u, v)?;
+        }
         let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         if threads <= 1 || pairs.len() < 1024 {
-            return pairs.iter().map(|&(u, v)| self.query(u, v)).collect();
+            return Ok(pairs.iter().map(|&(u, v)| self.query_validated(u, v)).collect());
         }
         let shard = pairs.len().div_ceil(threads);
         let mut out = vec![Dist::INF; pairs.len()];
@@ -209,12 +252,12 @@ impl CachingOracle {
             for (chunk_in, chunk_out) in pairs.chunks(shard).zip(out.chunks_mut(shard)) {
                 scope.spawn(move || {
                     for (slot, &(u, v)) in chunk_out.iter_mut().zip(chunk_in) {
-                        *slot = self.query(u, v);
+                        *slot = self.query_validated(u, v);
                     }
                 });
             }
         });
-        out
+        Ok(out)
     }
 
     /// Current hit/miss/occupancy counters.
@@ -305,6 +348,65 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 2);
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_account_exactly_under_concurrent_hammer() {
+        // Regression for the check-then-insert race: the old code released
+        // the shard lock between lookup and insert, so two threads missing
+        // on the same key both computed and both counted a miss. With the
+        // lock held across the miss path, a key that fits in the cache
+        // misses exactly once, ever — and every request lands in exactly
+        // one counter.
+        let c = std::sync::Arc::new(cached(32, 4096));
+        // 48 distinct canonical pairs, hammered by 8 threads; capacity is
+        // far above the working set so nothing is ever evicted.
+        let keys: Vec<(usize, usize)> = (0..48).map(|i| (i % 32, (i * 7 + 1) % 32)).collect();
+        let unique: std::collections::HashSet<u64> =
+            keys.iter().map(|&(u, v)| CachingOracle::key(u, v)).collect();
+        let threads = 8;
+        let per_thread = 3_000;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let c = std::sync::Arc::clone(&c);
+                let keys = &keys;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let (u, v) = keys[(i * 13 + t * 7) % keys.len()];
+                        // Half the threads query the flipped pair to also
+                        // exercise canonicalization under contention.
+                        if t % 2 == 0 {
+                            c.query(u, v);
+                        } else {
+                            c.query(v, u);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = c.stats();
+        let total = (threads * per_thread) as u64;
+        assert_eq!(stats.hits + stats.misses, total, "every request must count exactly once");
+        assert_eq!(
+            stats.misses,
+            unique.len() as u64,
+            "each resident key must be computed exactly once (no double-compute race)"
+        );
+    }
+
+    #[test]
+    fn try_query_rejects_out_of_range_and_poisons_nothing() {
+        let c = cached(16, 64);
+        assert!(matches!(
+            c.try_query(0, 16),
+            Err(crate::OracleError::QueryOutOfRange { u: 0, v: 16, n: 16 })
+        ));
+        assert!(c.try_query_batch(&[(0, 1), (16, 0)]).is_err());
+        // The rejection touched no shard lock and no counter...
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        // ...and the cache still serves normally afterwards.
+        assert_eq!(c.try_query(0, 1).unwrap(), c.oracle().query(0, 1));
     }
 
     #[test]

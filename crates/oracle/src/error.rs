@@ -18,6 +18,17 @@ pub enum OracleError {
         /// What was wrong with the byte stream.
         what: String,
     },
+    /// A query named a node outside `0..n`. Returned by the fallible
+    /// `try_query` family so a serving layer can map bad requests to a
+    /// client error instead of panicking the process.
+    QueryOutOfRange {
+        /// First endpoint of the rejected pair.
+        u: usize,
+        /// Second endpoint of the rejected pair.
+        v: usize,
+        /// Number of nodes the oracle covers.
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for OracleError {
@@ -26,6 +37,9 @@ impl std::fmt::Display for OracleError {
             OracleError::Build(e) => write!(f, "oracle build failed: {e}"),
             OracleError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
             OracleError::CorruptSnapshot { what } => write!(f, "corrupt snapshot: {what}"),
+            OracleError::QueryOutOfRange { u, v, n } => {
+                write!(f, "query ({u}, {v}) outside 0..{n}")
+            }
         }
     }
 }
@@ -61,5 +75,7 @@ mod tests {
     fn display_names_the_failure() {
         assert!(invalid("k = 0").to_string().contains("k = 0"));
         assert!(corrupt("bad magic").to_string().contains("bad magic"));
+        let e = OracleError::QueryOutOfRange { u: 3, v: 99, n: 16 };
+        assert_eq!(e.to_string(), "query (3, 99) outside 0..16");
     }
 }

@@ -15,6 +15,8 @@
 //!   rounds**: exact when one endpoint lies in the other's ball, and at most
 //!   `3·(1+ε)·d(u, v)` otherwise (routing through the nearest landmark).
 //!   Queries take `O(log k)` time, need only `&self`, and are lock-free.
+//!   [`DistanceOracle::try_query`] is the fallible twin for serving layers
+//!   (see *Query contract* below).
 //! * [`DistanceOracle::query_batch`] shards a batch across std threads
 //!   (the seam where a rayon pool or async front-end plugs in later).
 //! * [`CachingOracle`] adds a bounded, sharded LRU result cache with
@@ -35,7 +37,28 @@
 //!   most `d(u, p(u)) + (1+ε)(d(p(u), u) + d(u, v)) ≤ 3(1+ε)·d(u, v)`,
 //!   where `d̃` is the `(1+ε)` MSSP column.
 //!
-//! Disconnected pairs report [`cc_matrix::Dist::INF`].
+//! Disconnected pairs report [`cc_matrix::Dist::INF`]. A connected pair is
+//! **never** reported as infinite: a landmark-path sum that would reach or
+//! overflow the `u64::MAX` sentinel is clamped to [`MAX_FINITE_DISTANCE`]
+//! (`u64::MAX - 1`), trading an (astronomically large) exact value for a
+//! correct reachability verdict.
+//!
+//! # Query contract: `try_query` vs `query`
+//!
+//! Every query entry point comes in two flavors with identical answers:
+//!
+//! * [`DistanceOracle::try_query`] / [`DistanceOracle::try_query_batch`]
+//!   (and the same pair on [`CachingOracle`]) return
+//!   `Result<_, OracleError>`: an endpoint outside `0..n` is
+//!   [`OracleError::QueryOutOfRange`]. **Network front-ends must use
+//!   these** — validation happens at the edge, and a malformed request
+//!   becomes a client error instead of a crashed (or lock-poisoned)
+//!   serving process. This is what `cc-serve` does.
+//! * [`DistanceOracle::query`] / [`DistanceOracle::query_batch`] are thin
+//!   panicking wrappers for the hot **in-process** path, where indices come
+//!   from trusted code and per-call `Result` handling is pure overhead.
+//!   Out of range is a caller bug there, and the panic message names the
+//!   offending pair.
 //!
 //! # Example
 //!
@@ -82,4 +105,4 @@ pub mod serde;
 pub use builder::OracleBuilder;
 pub use cache::{CacheStats, CachingOracle};
 pub use error::OracleError;
-pub use oracle::DistanceOracle;
+pub use oracle::{DistanceOracle, MAX_FINITE_DISTANCE};

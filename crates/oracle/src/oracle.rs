@@ -2,6 +2,13 @@
 
 use cc_matrix::Dist;
 
+use crate::OracleError;
+
+/// The largest finite distance an oracle answer can carry: `u64::MAX` is the
+/// disconnected sentinel, so a landmark-path sum that reaches or overflows it
+/// is clamped here instead of masquerading as `Dist::INF`.
+pub const MAX_FINITE_DISTANCE: u64 = u64::MAX - 1;
+
 /// A build-once / query-many distance oracle: per-node exact `k`-nearest
 /// balls, a landmark set hitting every ball, and `(1+ε)`-approximate
 /// distance columns from every node to every landmark.
@@ -91,14 +98,50 @@ impl DistanceOracle {
     /// Distance estimate for the pair `(u, v)`: zero communication,
     /// `O(log k)` time, never an underestimate, exact inside the balls and
     /// within [`DistanceOracle::stretch_bound`] otherwise.
-    /// [`Dist::INF`] for disconnected pairs.
+    /// [`Dist::INF`] for disconnected pairs; finite answers are clamped to
+    /// [`MAX_FINITE_DISTANCE`] so a saturating landmark sum is never
+    /// reported as disconnected. (The clamp is the one exception to
+    /// "never an underestimate": when the true landmark-path length itself
+    /// exceeds [`MAX_FINITE_DISTANCE`], the clamped answer is below it —
+    /// reachability is preserved, the magnitude saturates.)
+    ///
+    /// This is the hot in-process path: a thin wrapper over
+    /// [`DistanceOracle::try_query`] that panics instead of paying for
+    /// `Result` handling at every call site.
     ///
     /// # Panics
     ///
-    /// Panics if `u` or `v` is not in `0..n` (the serving layer validates
-    /// requests at the edge; the hot path does not pay for `Result`).
+    /// Panics if `u` or `v` is not in `0..n`; a serving layer should
+    /// validate requests at the edge with [`DistanceOracle::try_query`].
     pub fn query(&self, u: usize, v: usize) -> Dist {
-        assert!(u < self.n && v < self.n, "query ({u}, {v}) outside 0..{}", self.n);
+        match self.try_query(u, v) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`DistanceOracle::query`]: identical answers, but an
+    /// out-of-range endpoint is [`OracleError::QueryOutOfRange`] instead of
+    /// a panic, so network front-ends can turn malformed requests into
+    /// client errors without crashing the serving process.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::QueryOutOfRange`] if `u` or `v` is not in `0..n`.
+    pub fn try_query(&self, u: usize, v: usize) -> Result<Dist, OracleError> {
+        self.check_pair(u, v)?;
+        Ok(self.query_unchecked(u, v))
+    }
+
+    pub(crate) fn check_pair(&self, u: usize, v: usize) -> Result<(), OracleError> {
+        if u >= self.n || v >= self.n {
+            return Err(OracleError::QueryOutOfRange { u, v, n: self.n });
+        }
+        Ok(())
+    }
+
+    /// The query kernel; callers must have validated `u, v < n`.
+    pub(crate) fn query_unchecked(&self, u: usize, v: usize) -> Dist {
         if u == v {
             return Dist::ZERO;
         }
@@ -116,7 +159,14 @@ impl DistanceOracle {
             let (idx, to_landmark) = self.nearest_landmark[near];
             let col = self.column(far, idx as usize);
             if col != u64::MAX {
-                best = best.min(to_landmark.saturating_add(col));
+                // The pair is connected through this landmark, so the answer
+                // must stay finite: a sum that reaches the u64::MAX sentinel
+                // (or overflows past it) is clamped to the largest finite
+                // value rather than being misreported as "disconnected".
+                let via = to_landmark
+                    .checked_add(col)
+                    .map_or(MAX_FINITE_DISTANCE, |s| s.min(MAX_FINITE_DISTANCE));
+                best = best.min(via);
             }
         }
         if best == u64::MAX {
@@ -137,10 +187,31 @@ impl DistanceOracle {
     ///
     /// Panics if any pair is out of range, like [`DistanceOracle::query`].
     pub fn query_batch(&self, pairs: &[(usize, usize)]) -> Vec<Dist> {
+        match self.try_query_batch(pairs) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`DistanceOracle::query_batch`]: validates every pair up
+    /// front, so either the whole batch is answered or nothing is computed.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::QueryOutOfRange`] naming the first offending pair.
+    pub fn try_query_batch(&self, pairs: &[(usize, usize)]) -> Result<Vec<Dist>, OracleError> {
+        for &(u, v) in pairs {
+            self.check_pair(u, v)?;
+        }
+        Ok(self.batch_unchecked(pairs))
+    }
+
+    /// The batch kernel; callers must have validated every pair.
+    fn batch_unchecked(&self, pairs: &[(usize, usize)]) -> Vec<Dist> {
         let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         // Small batches are not worth the spawn cost.
         if threads <= 1 || pairs.len() < 1024 {
-            return pairs.iter().map(|&(u, v)| self.query(u, v)).collect();
+            return pairs.iter().map(|&(u, v)| self.query_unchecked(u, v)).collect();
         }
         let shard = pairs.len().div_ceil(threads);
         let mut out = vec![Dist::INF; pairs.len()];
@@ -148,7 +219,7 @@ impl DistanceOracle {
             for (chunk_in, chunk_out) in pairs.chunks(shard).zip(out.chunks_mut(shard)) {
                 scope.spawn(move || {
                     for (slot, &(u, v)) in chunk_out.iter_mut().zip(chunk_in) {
-                        *slot = self.query(u, v);
+                        *slot = self.query_unchecked(u, v);
                     }
                 });
             }
@@ -231,5 +302,80 @@ mod tests {
     fn out_of_range_query_panics() {
         let (_, oracle) = build(16, 1);
         oracle.query(0, 16);
+    }
+
+    #[test]
+    fn try_query_rejects_out_of_range_without_panicking() {
+        let (_, oracle) = build(16, 1);
+        assert!(matches!(
+            oracle.try_query(0, 16),
+            Err(crate::OracleError::QueryOutOfRange { u: 0, v: 16, n: 16 })
+        ));
+        assert!(matches!(oracle.try_query(99, 0), Err(crate::OracleError::QueryOutOfRange { .. })));
+        for u in 0..16 {
+            for v in 0..16 {
+                assert_eq!(oracle.try_query(u, v).unwrap(), oracle.query(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn try_query_batch_rejects_any_bad_pair_and_matches_batch() {
+        let (_, oracle) = build(16, 2);
+        let good: Vec<(usize, usize)> = (0..16).map(|i| (i, (i * 5 + 2) % 16)).collect();
+        assert_eq!(oracle.try_query_batch(&good).unwrap(), oracle.query_batch(&good));
+        let mut bad = good;
+        bad.push((3, 16));
+        assert!(matches!(
+            oracle.try_query_batch(&bad),
+            Err(crate::OracleError::QueryOutOfRange { u: 3, v: 16, n: 16 })
+        ));
+    }
+
+    /// A hand-crafted artifact for the path `0 — 1 — 2` with edge weights
+    /// `w01`, `w12` near `u64::MAX`, `k = 1` (balls are singletons) and
+    /// node 1 the only landmark: the only route for `(0, 2)` is
+    /// `w01 + w12`.
+    fn near_max_path_oracle(w01: u64, w12: u64) -> DistanceOracle {
+        DistanceOracle {
+            n: 3,
+            k: 1,
+            epsilon: 0.25,
+            seed: 0,
+            build_rounds: 0,
+            landmarks: vec![1],
+            balls: vec![vec![(0, 0)], vec![(1, 0)], vec![(2, 0)]],
+            nearest_landmark: vec![(0, w01), (0, 0), (0, w12)],
+            columns: vec![w01, 0, w12],
+        }
+    }
+
+    #[test]
+    fn saturating_landmark_sum_is_clamped_finite_not_reported_as_inf() {
+        // Regression: `saturating_add` used to drive the sum to u64::MAX,
+        // which the sentinel comparison then reported as a disconnected
+        // pair. The pair is connected, so the answer must be finite.
+        let w = u64::MAX - 3;
+        let oracle = near_max_path_oracle(w, w);
+        let d = oracle.query(0, 2);
+        assert!(d.is_finite(), "connected pair reported as disconnected after overflow");
+        assert_eq!(d, Dist::fin(super::MAX_FINITE_DISTANCE));
+        // The single-hop answers stay untouched by the clamp.
+        assert_eq!(oracle.query(0, 1), Dist::fin(w));
+        assert_eq!(oracle.query(1, 2), Dist::fin(w));
+    }
+
+    #[test]
+    fn exact_sentinel_collision_is_clamped_to_largest_finite() {
+        // The sum equals u64::MAX exactly: no u64 overflow, but it collides
+        // with the infinity sentinel and must still be clamped.
+        let oracle = near_max_path_oracle(u64::MAX / 2, u64::MAX / 2 + 1);
+        assert_eq!(oracle.query(0, 2), Dist::fin(super::MAX_FINITE_DISTANCE));
+        // A genuinely disconnected artifact still reports infinity.
+        let mut disconnected = near_max_path_oracle(5, 7);
+        disconnected.columns = vec![u64::MAX, 0, u64::MAX];
+        disconnected.nearest_landmark[0].1 = 0;
+        disconnected.nearest_landmark[2].1 = 0;
+        assert_eq!(disconnected.query(0, 2), Dist::INF);
     }
 }

@@ -137,6 +137,11 @@ pub fn from_bytes(bytes: &[u8]) -> Result<DistanceOracle, OracleError> {
         if idx as usize >= s {
             return Err(corrupt(format!("node {v}: landmark index {idx} outside 0..{s}")));
         }
+        // u64::MAX is the ∞ sentinel; a nearest-landmark distance is always
+        // finite (the hitting set guarantees a landmark inside each ball).
+        if d == u64::MAX {
+            return Err(corrupt(format!("node {v}: infinite nearest-landmark distance")));
+        }
         nearest_landmark.push((idx, d));
     }
     let mut balls = Vec::with_capacity(n);
@@ -148,7 +153,14 @@ pub fn from_bytes(bytes: &[u8]) -> Result<DistanceOracle, OracleError> {
             if id as usize >= n {
                 return Err(corrupt(format!("node {v}: ball member {id} outside 0..{n}")));
             }
-            ball.push((id, r.u64()?));
+            let d = r.u64()?;
+            // Ball members are reachable by construction, so a distance
+            // equal to the ∞ sentinel can only come from corruption — and
+            // would make `query` feed u64::MAX into `Dist::fin`.
+            if d == u64::MAX {
+                return Err(corrupt(format!("node {v}: infinite ball distance")));
+            }
+            ball.push((id, d));
         }
         if !ball.is_sorted_by_key(|&(id, _)| id) {
             return Err(corrupt(format!("node {v}: ball not sorted by id")));

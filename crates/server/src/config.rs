@@ -1,0 +1,99 @@
+//! Server tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration for [`crate::Server::start`].
+///
+/// Plain data with a sensible [`Default`]; builder-style `with_*` methods
+/// keep call sites one-liners.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8317`. Port `0` picks an ephemeral
+    /// port (the bound address is reported by `ServerHandle::addr`).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before the acceptor
+    /// starts shedding load with `503`.
+    pub backlog: usize,
+    /// Largest accepted request body; anything bigger is a `413`.
+    pub max_body_bytes: usize,
+    /// Capacity of the LRU result cache fronting the oracle.
+    pub cache_capacity: usize,
+    /// Per-connection read timeout; an idle keep-alive connection is closed
+    /// after this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: std::thread::available_parallelism().map_or(4, |p| p.get()).min(16),
+            backlog: 128,
+            max_body_bytes: 1 << 20,
+            cache_capacity: 4096,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker thread count (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the pending-connection backlog (minimum 1).
+    pub fn with_backlog(mut self, backlog: usize) -> Self {
+        self.backlog = backlog.max(1);
+        self
+    }
+
+    /// Sets the request-body size limit.
+    pub fn with_max_body_bytes(mut self, bytes: usize) -> Self {
+        self.max_body_bytes = bytes;
+        self
+    }
+
+    /// Sets the result-cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-connection read timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_override_defaults() {
+        let c = ServerConfig::default()
+            .with_addr("0.0.0.0:9999")
+            .with_workers(0)
+            .with_backlog(0)
+            .with_max_body_bytes(512)
+            .with_cache_capacity(7)
+            .with_read_timeout(Duration::from_millis(250));
+        assert_eq!(c.addr, "0.0.0.0:9999");
+        assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
+        assert_eq!(c.backlog, 1, "backlog is clamped to at least 1");
+        assert_eq!(c.max_body_bytes, 512);
+        assert_eq!(c.cache_capacity, 7);
+        assert_eq!(c.read_timeout, Duration::from_millis(250));
+    }
+}

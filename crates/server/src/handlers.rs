@@ -1,0 +1,353 @@
+//! Routing and endpoint handlers: pure functions from a parsed [`Request`]
+//! to a [`Response`], so every route is unit-testable without a socket.
+//!
+//! All id validation goes through the oracle's **fallible** query API
+//! (`try_query` / `try_query_batch`): a malformed or out-of-range request is
+//! a `400` at the edge, never a panic inside the serving process.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use cc_matrix::Dist;
+use cc_oracle::{CachingOracle, DistanceOracle};
+
+use crate::http::{Request, Response};
+
+/// Shared per-server state: the cached oracle plus request counters.
+pub struct AppState {
+    cached: CachingOracle,
+    started: Instant,
+    requests: AtomicU64,
+    distance_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    batch_pairs: AtomicU64,
+    client_errors: AtomicU64,
+    load_shed: AtomicU64,
+}
+
+impl AppState {
+    /// Wraps `oracle` for serving, with an LRU result cache of
+    /// `cache_capacity` entries.
+    pub fn new(oracle: DistanceOracle, cache_capacity: usize) -> AppState {
+        AppState {
+            cached: CachingOracle::new(oracle, cache_capacity.max(1)),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            distance_requests: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            batch_pairs: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            load_shed: AtomicU64::new(0),
+        }
+    }
+
+    /// The served artifact.
+    pub fn oracle(&self) -> &DistanceOracle {
+        self.cached.oracle()
+    }
+
+    /// Total requests routed so far (any endpoint, any outcome).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Records a 4xx produced below the router (protocol parse errors).
+    pub fn count_protocol_error(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection shed with `503` at the acceptor (queue full),
+    /// so `/stats` stays honest under the exact overload it diagnoses.
+    pub fn count_load_shed(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.load_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Routes one request and maintains the counters.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = self.route(req);
+        if (400..500).contains(&resp.status) {
+            self.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        resp
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::text(200, "ok\n"),
+            ("GET", "/distance") => self.distance(req),
+            ("POST", "/batch") => self.batch(req),
+            ("GET", "/stats") => self.stats(),
+            ("GET", "/artifact") => self.artifact(),
+            (_, "/healthz" | "/distance" | "/batch" | "/stats" | "/artifact") => {
+                Response::error_json(405, format!("method {} not allowed here", req.method))
+            }
+            _ => Response::error_json(404, format!("no route for '{}'", req.path)),
+        }
+    }
+
+    /// `GET /distance?u=&v=` — one pair through the cached oracle.
+    fn distance(&self, req: &Request) -> Response {
+        self.distance_requests.fetch_add(1, Ordering::Relaxed);
+        let (u, v) = match (parse_id(req, "u"), parse_id(req, "v")) {
+            (Ok(u), Ok(v)) => (u, v),
+            (Err(resp), _) | (_, Err(resp)) => return resp,
+        };
+        match self.cached.try_query(u, v) {
+            Ok(d) => Response::json(
+                200,
+                format!(
+                    "{{\"u\":{u},\"v\":{v},\"distance\":{},\"connected\":{}}}",
+                    dist_json(d),
+                    d.is_finite()
+                ),
+            ),
+            // QueryOutOfRange is the only query error today; any future
+            // variant is still a client-input problem by construction here.
+            Err(e) => Response::error_json(400, e.to_string()),
+        }
+    }
+
+    /// `POST /batch` — newline-separated `u v` (or `u,v`) pairs, answered
+    /// through the sharded batch path.
+    fn batch(&self, req: &Request) -> Response {
+        self.batch_requests.fetch_add(1, Ordering::Relaxed);
+        let Ok(text) = std::str::from_utf8(&req.body) else {
+            return Response::error_json(400, "batch body must be UTF-8");
+        };
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut ids =
+                line.split(|c: char| c == ',' || c.is_whitespace()).filter(|t| !t.is_empty());
+            let pair = match (ids.next(), ids.next(), ids.next()) {
+                (Some(a), Some(b), None) => a.parse().ok().zip(b.parse().ok()),
+                _ => None,
+            };
+            match pair {
+                Some(p) => pairs.push(p),
+                None => {
+                    return Response::error_json(
+                        400,
+                        format!("line {}: expected 'u v', got '{line}'", lineno + 1),
+                    )
+                }
+            }
+        }
+        self.batch_pairs.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        match self.cached.try_query_batch(&pairs) {
+            Ok(answers) => {
+                let mut body = String::with_capacity(16 + answers.len() * 8);
+                body.push_str("{\"count\":");
+                body.push_str(&answers.len().to_string());
+                body.push_str(",\"distances\":[");
+                for (i, d) in answers.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&dist_json(*d));
+                }
+                body.push_str("]}");
+                Response::json(200, body)
+            }
+            Err(e) => Response::error_json(400, e.to_string()),
+        }
+    }
+
+    /// `GET /stats` — cache effectiveness and request counters.
+    fn stats(&self) -> Response {
+        let cache = self.cached.stats();
+        Response::json(
+            200,
+            format!(
+                "{{\"requests\":{},\"distance_requests\":{},\"batch_requests\":{},\
+                 \"batch_pairs\":{},\"client_errors\":{},\"load_shed\":{},\
+                 \"uptime_secs\":{:.3},\
+                 \"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\
+                 \"len\":{},\"capacity\":{}}}}}",
+                self.requests.load(Ordering::Relaxed),
+                self.distance_requests.load(Ordering::Relaxed),
+                self.batch_requests.load(Ordering::Relaxed),
+                self.batch_pairs.load(Ordering::Relaxed),
+                self.client_errors.load(Ordering::Relaxed),
+                self.load_shed.load(Ordering::Relaxed),
+                self.started.elapsed().as_secs_f64(),
+                cache.hits,
+                cache.misses,
+                cache.hit_rate(),
+                cache.len,
+                cache.capacity,
+            ),
+        )
+    }
+
+    /// `GET /artifact` — what is being served and its guarantee.
+    fn artifact(&self) -> Response {
+        let o = self.oracle();
+        Response::json(
+            200,
+            format!(
+                "{{\"n\":{},\"k\":{},\"epsilon\":{},\"landmarks\":{},\
+                 \"artifact_bytes\":{},\"stretch_bound\":{},\"build_rounds\":{},\"seed\":{}}}",
+                o.n(),
+                o.k(),
+                o.epsilon(),
+                o.landmarks().len(),
+                o.artifact_bytes(),
+                o.stretch_bound(),
+                o.build_rounds(),
+                o.seed(),
+            ),
+        )
+    }
+}
+
+fn dist_json(d: Dist) -> String {
+    d.value().map_or_else(|| "null".to_owned(), |x| x.to_string())
+}
+
+/// Parses a node-id query parameter, mapping every failure mode to a `400`
+/// that names the parameter.
+fn parse_id(req: &Request, name: &str) -> Result<usize, Response> {
+    let raw = req
+        .param(name)
+        .ok_or_else(|| Response::error_json(400, format!("missing query parameter '{name}'")))?;
+    raw.parse().map_err(|_| {
+        Response::error_json(400, format!("parameter '{name}' must be a node id, got '{raw}'"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_clique::Clique;
+    use cc_graph::generators;
+    use cc_oracle::OracleBuilder;
+
+    fn state() -> AppState {
+        let g = generators::gnp_weighted(24, 0.2, 20, 9).unwrap();
+        let mut clique = Clique::new(24);
+        let oracle = OracleBuilder::new().seed(9).build(&mut clique, &g).unwrap();
+        AppState::new(oracle, 256)
+    }
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query.iter().map(|&(k, v)| (k.to_owned(), v.to_owned())).collect(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    fn post(path: &str, body: &[u8]) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: Vec::new(),
+            body: body.to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn body_str(resp: &Response) -> &str {
+        std::str::from_utf8(&resp.body).unwrap()
+    }
+
+    #[test]
+    fn distance_answers_match_the_oracle() {
+        let s = state();
+        let resp = s.handle(&get("/distance", &[("u", "0"), ("v", "5")]));
+        assert_eq!(resp.status, 200);
+        let expected = s.oracle().query(0, 5).value().unwrap();
+        assert!(
+            body_str(&resp).contains(&format!("\"distance\":{expected}")),
+            "body: {}",
+            body_str(&resp)
+        );
+        assert!(body_str(&resp).contains("\"connected\":true"));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_400_not_panic() {
+        let s = state();
+        let resp = s.handle(&get("/distance", &[("u", "0"), ("v", "24")]));
+        assert_eq!(resp.status, 400);
+        assert!(body_str(&resp).contains("outside 0..24"), "body: {}", body_str(&resp));
+        // The server keeps serving afterwards.
+        assert_eq!(s.handle(&get("/healthz", &[])).status, 200);
+    }
+
+    #[test]
+    fn malformed_ids_and_missing_params_are_400() {
+        let s = state();
+        for query in [
+            &[("u", "zero"), ("v", "1")][..],
+            &[("u", "0"), ("v", "-3")][..],
+            &[("u", "0")][..],
+            &[][..],
+            &[("u", "0"), ("v", "1e9")][..],
+        ] {
+            let resp = s.handle(&get("/distance", query));
+            assert_eq!(resp.status, 400, "query {query:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn garbage_paths_are_404_and_wrong_methods_405() {
+        let s = state();
+        assert_eq!(s.handle(&get("/nope", &[])).status, 404);
+        assert_eq!(s.handle(&get("/../etc/passwd", &[])).status, 404);
+        assert_eq!(s.handle(&post("/distance", b"")).status, 405);
+        assert_eq!(s.handle(&get("/batch", &[])).status, 405);
+    }
+
+    #[test]
+    fn batch_routes_through_query_batch_and_validates_lines() {
+        let s = state();
+        let resp = s.handle(&post("/batch", b"0 1\n2,3\n\n  4   5  \n"));
+        assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
+        let expected = s.oracle().query_batch(&[(0, 1), (2, 3), (4, 5)]);
+        let distances: Vec<String> =
+            expected.iter().map(|d| d.value().map_or("null".into(), |x| x.to_string())).collect();
+        assert_eq!(
+            body_str(&resp),
+            format!("{{\"count\":3,\"distances\":[{}]}}", distances.join(","))
+        );
+
+        assert_eq!(s.handle(&post("/batch", b"0 1\nfive 6\n")).status, 400);
+        assert_eq!(s.handle(&post("/batch", b"0 1 2\n")).status, 400);
+        assert_eq!(s.handle(&post("/batch", b"0 99\n")).status, 400, "out-of-range pair");
+        assert_eq!(s.handle(&post("/batch", &[0xff, 0xfe])).status, 400, "non-UTF-8 body");
+    }
+
+    #[test]
+    fn stats_and_artifact_report_the_serving_state() {
+        let s = state();
+        s.handle(&get("/distance", &[("u", "1"), ("v", "2")]));
+        s.handle(&get("/distance", &[("u", "1"), ("v", "2")]));
+        s.handle(&get("/distance", &[("u", "99"), ("v", "2")]));
+        let stats = s.handle(&get("/stats", &[]));
+        assert_eq!(stats.status, 200);
+        let body = body_str(&stats).to_owned();
+        assert!(body.contains("\"requests\":4"), "body: {body}");
+        assert!(body.contains("\"distance_requests\":3"), "body: {body}");
+        assert!(body.contains("\"client_errors\":1"), "body: {body}");
+        assert!(body.contains("\"hits\":1"), "body: {body}");
+        assert!(body.contains("\"misses\":1"), "body: {body}");
+
+        let artifact = s.handle(&get("/artifact", &[]));
+        assert_eq!(artifact.status, 200);
+        let body = body_str(&artifact).to_owned();
+        for key in ["\"n\":24", "\"k\":", "\"epsilon\":", "\"landmarks\":", "\"artifact_bytes\":"] {
+            assert!(body.contains(key), "missing {key} in {body}");
+        }
+        assert!(body.contains("\"stretch_bound\":3.75"), "body: {body}");
+    }
+}

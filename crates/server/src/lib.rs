@@ -1,0 +1,87 @@
+//! # `cc-serve`: a snapshot-serving network front-end for the distance oracle
+//!
+//! `cc-oracle` turned the paper's algorithms into a build-once /
+//! query-many artifact; this crate puts that artifact on the network. A
+//! [`Server`] loads a [`cc_oracle::DistanceOracle`] — built in the
+//! simulated clique or from an [`cc_oracle::serde`] snapshot file — and
+//! serves it over HTTP/1.1 on `std::net`.
+//!
+//! The build image has no tokio/hyper, so the transport is deliberately
+//! simple and fully owned: a non-blocking accept loop feeding a **bounded
+//! worker thread-pool** ([`pool::WorkerPool`]) with keep-alive connections,
+//! load-shedding (`503`) when the queue is full, and graceful shutdown.
+//! That pool is the seam where an async runtime plugs in later without
+//! touching the HTTP or handler layers.
+//!
+//! **All request validation happens at the edge** via the oracle's fallible
+//! `try_query` / `try_query_batch` API: a malformed or out-of-range request
+//! is answered with `400` (or `413`/`404`/`405`), never by panicking the
+//! serving process.
+//!
+//! # Endpoints
+//!
+//! | Route | Answer |
+//! |---|---|
+//! | `GET /distance?u=&v=` | one estimate: `{"u":0,"v":5,"distance":12,"connected":true}` |
+//! | `POST /batch` | newline `u v` (or `u,v`) pairs → `{"count":n,"distances":[...]}` |
+//! | `GET /stats` | request + cache counters |
+//! | `GET /healthz` | liveness: `ok` |
+//! | `GET /artifact` | `n`, `k`, `ε`, landmark count, `artifact_bytes`, `stretch_bound` |
+//!
+//! Disconnected pairs serve `"distance": null`.
+//!
+//! # Quickstart
+//!
+//! ```text
+//! $ cargo run --release -p cc-server --bin cc-serve -- --demo 256 --addr 127.0.0.1:8317
+//! cc-serve listening on http://127.0.0.1:8317 (n=256, landmarks=28, 165 KiB)
+//!
+//! $ curl 'http://127.0.0.1:8317/distance?u=0&v=199'
+//! {"u":0,"v":199,"distance":31,"connected":true}
+//! $ printf '0 1\n17 200\n' | curl -s --data-binary @- 'http://127.0.0.1:8317/batch'
+//! {"count":2,"distances":[12,29]}
+//! $ curl 'http://127.0.0.1:8317/distance?u=0&v=10000'
+//! {"error":"query (0, 10000) outside 0..256"}        # HTTP 400, no panic
+//! $ curl 'http://127.0.0.1:8317/stats'
+//! {"requests":3,...,"cache":{"hits":0,"misses":2,...}}
+//! ```
+//!
+//! To serve a prebuilt artifact instead of building one, snapshot it first
+//! (`--write-snapshot`), then point the server at the file:
+//!
+//! ```text
+//! $ cc-serve --demo 256 --write-snapshot /tmp/oracle.snap
+//! $ cc-serve --snapshot /tmp/oracle.snap --addr 127.0.0.1:8317
+//! ```
+//!
+//! # In-process example
+//!
+//! ```
+//! use cc_server::{BlockingClient, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let oracle = cc_server::source::build_demo(32, 7, 0.25)?;
+//! let expected = oracle.query(0, 31);
+//! let handle = Server::start(&ServerConfig::default(), oracle)?;
+//! let mut client = BlockingClient::connect(handle.addr())?;
+//! let (status, body) = client.get("/distance?u=0&v=31")?;
+//! assert_eq!(status, 200);
+//! assert!(String::from_utf8(body)?.contains(&format!("{expected}")));
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod handlers;
+pub mod http;
+pub mod pool;
+mod server;
+pub mod source;
+
+pub use config::ServerConfig;
+pub use handlers::AppState;
+pub use server::{BlockingClient, Server, ServerHandle};

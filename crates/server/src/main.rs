@@ -1,0 +1,167 @@
+//! The `cc-serve` binary: load or build a distance oracle and serve it.
+//!
+//! ```text
+//! cc-serve --snapshot FILE [--addr HOST:PORT] [--workers N] [--cache N]
+//! cc-serve --demo N [--seed S] [--epsilon E] [--addr HOST:PORT] ...
+//! cc-serve --demo N --write-snapshot FILE      # write a fixture and exit
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cc_server::{source, Server, ServerConfig};
+
+const USAGE: &str = "\
+cc-serve: HTTP front-end for a congested-clique distance oracle
+
+USAGE:
+    cc-serve --snapshot FILE [OPTIONS]     serve an oracle snapshot file
+    cc-serve --demo N [OPTIONS]            build an n-node demo oracle, then serve it
+    cc-serve --demo N --write-snapshot FILE
+                                           build the demo, write the snapshot, exit
+
+OPTIONS:
+    --addr HOST:PORT    bind address (default 127.0.0.1:8317; port 0 = ephemeral)
+    --workers N         worker threads (default: CPU count, capped at 16)
+    --cache N           LRU result-cache capacity (default 4096)
+    --seed S            demo build seed (default 7)
+    --epsilon E         demo build accuracy, stretch is 3(1+E) (default 0.25)
+    --write-snapshot F  write the oracle to F and exit without serving
+    --help              this text
+";
+
+struct Args {
+    snapshot: Option<PathBuf>,
+    demo: Option<usize>,
+    write_snapshot: Option<PathBuf>,
+    addr: String,
+    workers: Option<usize>,
+    cache: usize,
+    seed: u64,
+    epsilon: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        snapshot: None,
+        demo: None,
+        write_snapshot: None,
+        addr: "127.0.0.1:8317".to_owned(),
+        workers: None,
+        cache: 4096,
+        seed: 7,
+        epsilon: 0.25,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a {what}"))
+        };
+        match flag.as_str() {
+            "--snapshot" => args.snapshot = Some(PathBuf::from(value("file path")?)),
+            "--demo" => {
+                args.demo =
+                    Some(value("node count")?.parse().map_err(|_| "--demo needs an integer")?);
+            }
+            "--write-snapshot" => args.write_snapshot = Some(PathBuf::from(value("file path")?)),
+            "--addr" => args.addr = value("bind address")?,
+            "--workers" => {
+                args.workers =
+                    Some(value("count")?.parse().map_err(|_| "--workers needs an integer")?);
+            }
+            "--cache" => {
+                args.cache = value("capacity")?.parse().map_err(|_| "--cache needs an integer")?;
+            }
+            "--seed" => {
+                args.seed = value("seed")?.parse().map_err(|_| "--seed needs an integer")?
+            }
+            "--epsilon" => {
+                args.epsilon = value("epsilon")?.parse().map_err(|_| "--epsilon needs a number")?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    match (&args.snapshot, &args.demo) {
+        (None, None) => Err("one of --snapshot or --demo is required".to_owned()),
+        (Some(_), Some(_)) => Err("--snapshot and --demo are mutually exclusive".to_owned()),
+        _ => Ok(args),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        }
+    };
+
+    let oracle = match (&args.snapshot, args.demo) {
+        (Some(path), None) => match source::load_snapshot(path) {
+            Ok(oracle) => {
+                eprintln!("loaded snapshot {} ({} nodes)", path.display(), oracle.n());
+                oracle
+            }
+            Err(e) => {
+                eprintln!("error: cannot load snapshot {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(n)) => match source::build_demo(n, args.seed, args.epsilon) {
+            Ok(oracle) => {
+                eprintln!(
+                    "built demo oracle: n={n}, {} rounds in the simulated clique, {} landmarks",
+                    oracle.build_rounds(),
+                    oracle.landmarks().len()
+                );
+                oracle
+            }
+            Err(e) => {
+                eprintln!("error: demo build failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => unreachable!("parse_args enforces exactly one source"),
+    };
+
+    if let Some(path) = &args.write_snapshot {
+        return match source::write_snapshot(&oracle, path) {
+            Ok(()) => {
+                println!("wrote snapshot to {} and exiting", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut config =
+        ServerConfig::default().with_addr(args.addr.clone()).with_cache_capacity(args.cache);
+    if let Some(workers) = args.workers {
+        config = config.with_workers(workers);
+    }
+    let (n, landmarks, kib) =
+        (oracle.n(), oracle.landmarks().len(), oracle.artifact_bytes() / 1024);
+    match Server::start(&config, oracle) {
+        Ok(handle) => {
+            // CI and scripts wait for this exact line on stdout.
+            println!(
+                "cc-serve listening on http://{} (n={n}, landmarks={landmarks}, {kib} KiB)",
+                handle.addr()
+            );
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            ExitCode::FAILURE
+        }
+    }
+}

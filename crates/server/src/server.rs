@@ -1,0 +1,281 @@
+//! The listener: non-blocking accept loop feeding a bounded worker pool,
+//! keep-alive connection handling, and graceful shutdown.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cc_oracle::DistanceOracle;
+
+use crate::handlers::AppState;
+use crate::http::{read_request, write_response, HttpError, Response};
+use crate::pool::{SubmitError, WorkerPool};
+use crate::ServerConfig;
+
+/// How long the acceptor sleeps when there is nothing to accept.
+const ACCEPT_IDLE: Duration = Duration::from_micros(500);
+
+/// The `cc-serve` front-end: binds, spawns the acceptor and worker pool,
+/// and serves a [`DistanceOracle`] until [`ServerHandle::shutdown`].
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and starts serving `oracle` in the background.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O errors; everything after a
+    /// successful return is handled per-connection.
+    pub fn start(config: &ServerConfig, oracle: DistanceOracle) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(AppState::new(oracle, config.cache_capacity));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("cc-serve-accept".to_owned())
+                .spawn(move || accept_loop(listener, &config, &state, &shutdown))?
+        };
+
+        Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), state })
+    }
+}
+
+/// Handle to a running server: address, state, and shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    state: Arc<AppState>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0` to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving state (counters, artifact), e.g. for tests.
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// Stops accepting, drains in-flight work, and joins every thread.
+    ///
+    /// Workers finish the connection they are on; a keep-alive peer that
+    /// stays silent is cut loose by the configured read timeout, so
+    /// shutdown takes at most roughly that long.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks the calling thread until the server stops (e.g. the process
+    /// is signalled); used by the `cc-serve` binary.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: &ServerConfig,
+    state: &Arc<AppState>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    // The pool owns the connection handlers; dropping it at the end of this
+    // function drains the queue and joins the workers.
+    let pool: WorkerPool<TcpStream> = {
+        let state = Arc::clone(state);
+        let shutdown = Arc::clone(shutdown);
+        let max_body = config.max_body_bytes;
+        let read_timeout = config.read_timeout;
+        WorkerPool::new("cc-serve-worker", config.workers, config.backlog, move |stream| {
+            serve_connection(&state, stream, max_body, read_timeout, &shutdown);
+        })
+    };
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is non-blocking for the shutdown poll; the
+                // accepted connection itself is served blocking.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                match pool.try_submit(stream) {
+                    Ok(()) => {}
+                    Err(SubmitError::Full(stream) | SubmitError::Closed(stream)) => {
+                        shed(state, stream);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_IDLE),
+            Err(_) => std::thread::sleep(ACCEPT_IDLE),
+        }
+    }
+}
+
+/// Load-shedding at the edge: answer `503` inline on the acceptor thread
+/// (cheap, bounded write) rather than queueing unbounded work. Counted in
+/// `/stats` so shedding is visible exactly when monitoring needs it.
+fn shed(state: &AppState, stream: TcpStream) {
+    state.count_load_shed();
+    // Never let a non-reading peer block the acceptor thread.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut w = BufWriter::new(stream);
+    let resp = Response::error_json(503, "server is at capacity, retry later");
+    let _ = write_response(&mut w, &resp, false).and_then(|()| w.flush());
+}
+
+/// Serves one (possibly keep-alive) connection until close/timeout/error.
+fn serve_connection(
+    state: &AppState,
+    stream: TcpStream,
+    max_body: usize,
+    read_timeout: Duration,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    // A write timeout too: a client that sends requests but never reads the
+    // responses would otherwise fill the kernel send buffer and block this
+    // worker forever (slow-reader DoS against the bounded pool).
+    let _ = stream.set_write_timeout(Some(read_timeout));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_request(&mut reader, max_body) {
+            Ok(req) => {
+                let resp = state.handle(&req);
+                let keep_alive = req.keep_alive && !shutdown.load(Ordering::Acquire);
+                if respond(&mut writer, &resp, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::PayloadTooLarge { limit }) => {
+                // The unread body bytes make the stream unframed: answer and
+                // close instead of trying to resynchronize.
+                state.count_protocol_error();
+                let resp = Response::error_json(413, format!("request body exceeds {limit} bytes"));
+                let _ = respond(&mut writer, &resp, false);
+                return;
+            }
+            Err(HttpError::BadRequest(what)) => {
+                state.count_protocol_error();
+                let _ = respond(&mut writer, &Response::error_json(400, what), false);
+                return;
+            }
+            Err(HttpError::Io(_)) => return, // timeout or reset: just close
+        }
+    }
+}
+
+fn respond(w: &mut BufWriter<TcpStream>, resp: &Response, keep_alive: bool) -> io::Result<()> {
+    write_response(w, resp, keep_alive)?;
+    w.flush()
+}
+
+/// A minimal blocking HTTP/1.1 client for the e2e tests, benches and
+/// examples in this workspace (keep-alive, `Content-Length` framing only).
+pub struct BlockingClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl BlockingClient {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<BlockingClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(BlockingClient { reader, writer: stream })
+    }
+
+    /// Issues `GET target`, returning `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or malformed responses.
+    pub fn get(&mut self, target: &str) -> io::Result<(u16, Vec<u8>)> {
+        self.request("GET", target, &[])
+    }
+
+    /// Issues `POST target` with `body`, returning `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or malformed responses.
+    pub fn post(&mut self, target: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        self.request("POST", target, body)
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        write!(
+            self.writer,
+            "{method} {target} HTTP/1.1\r\nHost: cc-serve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, Vec<u8>)> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("server closed the connection"));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed inside headers"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| bad("bad content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        std::io::Read::read_exact(&mut self.reader, &mut body)?;
+        Ok((status, body))
+    }
+}

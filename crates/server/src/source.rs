@@ -1,0 +1,80 @@
+//! Where a served oracle comes from: a snapshot file on disk, or an
+//! in-process demo build in the simulated clique.
+
+use std::error::Error;
+use std::path::Path;
+
+use cc_clique::Clique;
+use cc_graph::{generators, Graph};
+use cc_oracle::{serde, DistanceOracle, OracleBuilder};
+
+/// Loads an oracle from an [`cc_oracle::serde`] snapshot file, validating
+/// the bytes.
+///
+/// # Errors
+///
+/// I/O errors reading the file and
+/// [`cc_oracle::OracleError::CorruptSnapshot`] for invalid bytes.
+pub fn load_snapshot(path: &Path) -> Result<DistanceOracle, Box<dyn Error>> {
+    let bytes = std::fs::read(path)?;
+    Ok(serde::from_bytes(&bytes)?)
+}
+
+/// Writes `oracle` to `path` as a snapshot file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_snapshot(oracle: &DistanceOracle, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, serde::to_bytes(oracle))
+}
+
+/// The deterministic demo graph `cc-serve --demo n` serves: weighted
+/// G(n, p) with p scaled to stay connected but sparse as `n` grows.
+///
+/// # Errors
+///
+/// Propagates generator errors (e.g. `n == 0`).
+pub fn demo_graph(n: usize, seed: u64) -> Result<Graph, Box<dyn Error>> {
+    let p = (4.0 * (n.max(2) as f64).ln() / n.max(2) as f64).clamp(0.02, 0.3);
+    Ok(generators::gnp_weighted(n, p, 50, seed)?)
+}
+
+/// Builds the demo oracle for [`demo_graph`] in a fresh simulated clique.
+///
+/// # Errors
+///
+/// Propagates generator and oracle-build errors.
+pub fn build_demo(n: usize, seed: u64, epsilon: f64) -> Result<DistanceOracle, Box<dyn Error>> {
+    let g = demo_graph(n, seed)?;
+    let mut clique = Clique::new(n);
+    Ok(OracleBuilder::new().epsilon(epsilon).seed(seed).build(&mut clique, &g)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_disk() {
+        let oracle = build_demo(20, 3, 0.5).unwrap();
+        let dir = std::env::temp_dir().join("cc-serve-test-snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("oracle.snap");
+        write_snapshot(&oracle, &path).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(back, oracle);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_files_are_rejected() {
+        let dir = std::env::temp_dir().join("cc-serve-test-snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.snap");
+        std::fs::write(&path, b"definitely not an oracle").unwrap();
+        assert!(load_snapshot(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(load_snapshot(Path::new("/nonexistent/oracle.snap")).is_err());
+    }
+}

@@ -21,7 +21,11 @@
 //! * a **build-once / query-many distance oracle** on top of the paper's
 //!   substrates ([`oracle`]): one distributed build extracts a purely local
 //!   Thorup–Zwick-style artifact that then serves distance queries with
-//!   zero clique rounds.
+//!   zero clique rounds,
+//! * **`cc-serve`**, an HTTP/1.1 network front-end over that oracle
+//!   ([`serve`]): snapshot loading, a bounded worker pool on `std::net`,
+//!   and request validation at the edge via the oracle's fallible
+//!   `try_query` API (malformed requests are `400`s, never panics).
 //!
 //! # Quickstart: one-shot computation
 //!
@@ -73,3 +77,4 @@ pub use cc_hopset as hopset;
 pub use cc_matmul as matmul;
 pub use cc_matrix as matrix;
 pub use cc_oracle as oracle;
+pub use cc_server as serve;

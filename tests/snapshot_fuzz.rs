@@ -1,0 +1,108 @@
+//! Deserialization fuzz-lite: `oracle::serde::from_bytes` fed bit-flipped
+//! and truncated snapshots must either reject the bytes with an error or
+//! produce an oracle that still *serves totally* — every query returns a
+//! value (no panic, no abort), the diagonal stays zero, and the serving
+//! layer's `try_query` still validates ranges.
+//!
+//! (A flipped bit inside a stored distance can silently change a value
+//! while leaving the structure valid, so value-level properties — stretch
+//! against the original graph, even symmetry between the two endpoints'
+//! balls — cannot be asserted for an artifact that parses after
+//! corruption; total, validated, panic-free serving is the guarantee a
+//! hostile snapshot must not break.)
+
+use congested_clique::clique::Clique;
+use congested_clique::graph::generators;
+use congested_clique::oracle::{serde, DistanceOracle, OracleBuilder};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One canonical snapshot, built once for the whole fuzz run.
+fn snapshot() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let g = generators::gnp_weighted(30, 0.15, 40, 23).expect("graph");
+        let mut clique = Clique::new(30);
+        let oracle =
+            OracleBuilder::new().epsilon(0.5).seed(23).build(&mut clique, &g).expect("build");
+        serde::to_bytes(&oracle)
+    })
+}
+
+/// Whatever deserialized must answer every pair without panicking, keep a
+/// zero diagonal, and keep rejecting out-of-range ids through the fallible
+/// API.
+fn assert_serves_totally(oracle: &DistanceOracle) {
+    let n = oracle.n();
+    for u in 0..n {
+        assert_eq!(oracle.query(u, u).value(), Some(0), "diagonal must stay zero");
+        for v in 0..n {
+            // Any returned value is acceptable — the property under attack
+            // is that the call *returns* instead of panicking/aborting.
+            let _ = oracle.query(u, v);
+        }
+    }
+    assert!(oracle.try_query(n, 0).is_err(), "edge validation must survive");
+    let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, (i * 7 + 1) % n)).collect();
+    assert_eq!(oracle.try_query_batch(&pairs).expect("in-range batch").len(), n);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bit_flips_never_panic_the_decoder_or_the_queries(
+        at_frac in 0usize..10_000,
+        bit in 0usize..8,
+    ) {
+        let bytes = snapshot();
+        let mut mutated = bytes.to_vec();
+        let at = at_frac * bytes.len() / 10_000;
+        mutated[at] ^= 1 << bit;
+        match serde::from_bytes(&mutated) {
+            Err(_) => {} // rejection is the common, correct outcome
+            Ok(oracle) => assert_serves_totally(&oracle),
+        }
+    }
+
+    #[test]
+    fn multi_byte_corruption_never_panics(
+        seed in 0u64..1_000_000,
+        flips in 1usize..16,
+    ) {
+        let bytes = snapshot();
+        let mut mutated = bytes.to_vec();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        for _ in 0..flips {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let at = (state as usize) % mutated.len();
+            mutated[at] = (state >> 24) as u8;
+        }
+        match serde::from_bytes(&mutated) {
+            Err(_) => {}
+            Ok(oracle) => assert_serves_totally(&oracle),
+        }
+    }
+
+    #[test]
+    fn truncations_are_always_rejected(cut_frac in 0usize..10_000) {
+        let bytes = snapshot();
+        let cut = cut_frac * bytes.len() / 10_000;
+        // Every strict prefix is invalid: the decoder either hits the hard
+        // length checks or the trailing-bytes check, never a panic.
+        prop_assert!(
+            serde::from_bytes(&bytes[..cut]).is_err(),
+            "strict prefix of {cut} bytes must be rejected"
+        );
+    }
+
+    #[test]
+    fn extensions_are_always_rejected(extra in 1usize..64, fill in 0usize..256) {
+        let bytes = snapshot();
+        let mut extended = bytes.to_vec();
+        extended.extend(std::iter::repeat_n(fill as u8, extra));
+        prop_assert!(serde::from_bytes(&extended).is_err(), "trailing bytes must be rejected");
+    }
+}
