@@ -92,14 +92,13 @@ fn emit_artifact(oracle: &DistanceOracle, build_wall: Duration) {
     }
     let stats = cached.stats();
 
-    // `query_p50_ns`/`query_p99_ns` are deprecated aliases of the honestly
-    // named `run64_mean_*` keys, kept for exactly one PR so cross-PR
-    // trajectory tooling sees both; drop them next PR.
+    // (The deprecated `query_p50/p99_ns` aliases of `run64_mean_*` were
+    // dropped after their announced one-PR grace period.)
     let json = format!(
         "{{\n  \"n\": {},\n  \"k\": {},\n  \"epsilon\": {},\n  \"landmarks\": {},\n  \
          \"build_rounds\": {},\n  \"build_wall_ms\": {:.1},\n  \"artifact_bytes\": {},\n  \
          \"run64_mean_p50_ns\": {p50},\n  \"run64_mean_p99_ns\": {p99},\n  \
-         \"query_p50_ns\": {p50},\n  \"query_p99_ns\": {p99},\n  \"queries_per_sec\": {:.0},\n  \
+         \"queries_per_sec\": {:.0},\n  \
          \"cache_hit_rate\": {:.4},\n  \"stretch_bound\": {}\n}}\n",
         oracle.n(),
         oracle.k(),

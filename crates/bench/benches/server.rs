@@ -5,14 +5,18 @@
 //! means), every HTTP request here is timed individually — a request costs
 //! tens of microseconds, so the clock read is noise — giving a **true
 //! per-request tail**. Writes `BENCH_server.json` at the workspace root:
-//! requests/sec plus per-request p50/p99 for `/distance`, and batch-path
-//! throughput for `/batch`.
+//! requests/sec plus per-request p50/p99 for `/distance`, batch-path
+//! throughput for `/batch`, and the same per-request tail measured **while
+//! `/reload` hot-swaps snapshots under the traffic** — the cost of a swap
+//! shows up (or, ideally, doesn't) in `reload_under_load_p99_ns`.
 
 use cc_clique::Clique;
 use cc_graph::generators;
 use cc_oracle::{DistanceOracle, OracleBuilder};
 use cc_server::{BlockingClient, Server, ServerConfig, ServerHandle};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 const N: usize = 256;
@@ -27,8 +31,23 @@ fn prebuilt() -> DistanceOracle {
     OracleBuilder::new().epsilon(0.25).seed(7).build(&mut clique, &g).expect("build")
 }
 
-fn start_server() -> ServerHandle {
-    let config = ServerConfig::default().with_addr("127.0.0.1:0").with_workers(CLIENTS.max(2));
+/// A second artifact over a different graph, so reloads in the bench swap
+/// between genuinely different snapshots.
+fn prebuilt_alt() -> DistanceOracle {
+    let g = generators::gnp_weighted(N, 0.06, 50, 18).expect("graph");
+    let mut clique = Clique::new(N);
+    OracleBuilder::new().epsilon(0.25).seed(8).build(&mut clique, &g).expect("build")
+}
+
+/// The bench server serves `prebuilt()` with `reload_path` as its default
+/// reload source. Keep-alive connections pin a worker each, so provision
+/// for the busiest phase: `CLIENTS` hammer connections plus the reloader
+/// plus the still-open criterion latency client.
+fn start_server(reload_path: &Path) -> ServerHandle {
+    let config = ServerConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_workers(CLIENTS + 2)
+        .with_reload_path(reload_path);
     Server::start(&config, prebuilt()).expect("server start")
 }
 
@@ -125,14 +144,89 @@ fn measure(handle: &ServerHandle) -> Measurement {
     }
 }
 
-fn emit_artifact(handle: &ServerHandle, m: &Measurement) {
-    let oracle = handle.state().oracle();
+/// The reload-under-load numbers exported to BENCH_server.json.
+struct ReloadMeasurement {
+    reloads: usize,
+    p50_ns: u64,
+    p99_ns: u64,
+    reload_ms_mean: f64,
+}
+
+/// The same per-request tail measurement, but with a reloader thread
+/// hot-swapping two snapshot files through `POST /reload` the whole time.
+/// Every request must still answer `200`.
+fn measure_reload_under_load(
+    handle: &ServerHandle,
+    live: &Path,
+    snap_a: &[u8],
+    snap_b: &[u8],
+) -> ReloadMeasurement {
+    let addr = handle.addr();
+    let per_client = targets(REQUESTS_PER_CLIENT);
+    let done = AtomicBool::new(false);
+    let (mut all_lat, reload_ms): (Vec<u64>, Vec<f64>) = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let per_client = &per_client;
+                scope.spawn(move || {
+                    let mut client = BlockingClient::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(per_client.len());
+                    for i in 0..per_client.len() {
+                        let target = &per_client[(i + c * 37) % per_client.len()];
+                        let t = Instant::now();
+                        let (status, body) = client.get(target).expect("request");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        assert_eq!(status, 200, "request failed during reload");
+                        black_box(body);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let reloader = {
+            let done = &done;
+            scope.spawn(move || {
+                let mut client = BlockingClient::connect(addr).expect("connect");
+                let mut times = Vec::new();
+                let mut round = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    let bytes = if round.is_multiple_of(2) { snap_b } else { snap_a };
+                    std::fs::write(live, bytes).expect("write snapshot");
+                    let t = Instant::now();
+                    let (status, body) = client.post("/reload", b"").expect("reload");
+                    times.push(t.elapsed().as_secs_f64() * 1e3);
+                    assert_eq!(status, 200, "reload failed: {}", String::from_utf8_lossy(&body));
+                    round += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                times
+            })
+        };
+        let lat: Vec<u64> =
+            clients.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+        done.store(true, Ordering::Relaxed);
+        (lat, reloader.join().expect("reloader thread"))
+    });
+    all_lat.sort_unstable();
+    ReloadMeasurement {
+        reloads: reload_ms.len(),
+        p50_ns: percentile(&all_lat, 0.50),
+        p99_ns: percentile(&all_lat, 0.99),
+        reload_ms_mean: reload_ms.iter().sum::<f64>() / reload_ms.len().max(1) as f64,
+    }
+}
+
+fn emit_artifact(handle: &ServerHandle, m: &Measurement, r: &ReloadMeasurement) {
+    let generation = handle.state().generation();
+    let oracle = generation.oracle();
     let json = format!(
         "{{\n  \"n\": {},\n  \"landmarks\": {},\n  \"artifact_bytes\": {},\n  \
          \"transport\": \"http/1.1 keep-alive over loopback\",\n  \
          \"clients\": {CLIENTS},\n  \"requests\": {},\n  \
          \"requests_per_sec\": {:.0},\n  \"request_p50_ns\": {},\n  \
          \"request_p99_ns\": {},\n  \"batch_pairs_per_sec\": {:.0},\n  \
+         \"reloads_under_load\": {},\n  \"reload_under_load_p50_ns\": {},\n  \
+         \"reload_under_load_p99_ns\": {},\n  \"reload_ms_mean\": {:.2},\n  \
          \"stretch_bound\": {}\n}}\n",
         oracle.n(),
         oracle.landmarks().len(),
@@ -142,6 +236,10 @@ fn emit_artifact(handle: &ServerHandle, m: &Measurement) {
         m.p50_ns,
         m.p99_ns,
         m.batch_pairs_per_sec,
+        r.reloads,
+        r.p50_ns,
+        r.p99_ns,
+        r.reload_ms_mean,
         oracle.stretch_bound(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
@@ -150,7 +248,15 @@ fn emit_artifact(handle: &ServerHandle, m: &Measurement) {
 }
 
 fn bench_server(c: &mut Criterion) {
-    let handle = start_server();
+    // Two snapshot fixtures the reload phase alternates between.
+    let dir = std::env::temp_dir().join("cc-bench-server");
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let live = dir.join("live.snap");
+    let snap_a = cc_oracle::serde::to_bytes(&prebuilt());
+    let snap_b = cc_oracle::serde::to_bytes(&prebuilt_alt());
+    std::fs::write(&live, &snap_a).expect("write live snapshot");
+
+    let handle = start_server(&live);
     let addr = handle.addr();
 
     // Human-readable single-request latency on one keep-alive connection.
@@ -168,7 +274,9 @@ fn bench_server(c: &mut Criterion) {
     });
 
     let m = measure(&handle);
-    emit_artifact(&handle, &m);
+    let r = measure_reload_under_load(&handle, &live, &snap_a, &snap_b);
+    emit_artifact(&handle, &m, &r);
+    std::fs::remove_file(&live).ok();
     handle.shutdown();
 }
 

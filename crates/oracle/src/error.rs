@@ -18,6 +18,27 @@ pub enum OracleError {
         /// What was wrong with the byte stream.
         what: String,
     },
+    /// A versioned snapshot was written by a different format generation
+    /// than this build supports.
+    SnapshotVersionMismatch {
+        /// The version recorded in the snapshot header.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The snapshot payload does not hash to the checksum recorded in its
+    /// header: the bytes were corrupted (bit rot, torn write, truncated
+    /// copy) after they were written.
+    SnapshotChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the payload actually present.
+        computed: u64,
+    },
+    /// The bytes are a pre-versioning (v1, magic `CCO1`) snapshot. They are
+    /// not accepted implicitly; callers that really mean to load one must
+    /// use `serde::from_bytes_legacy` (kept for one release).
+    LegacySnapshot,
     /// A query named a node outside `0..n`. Returned by the fallible
     /// `try_query` family so a serving layer can map bad requests to a
     /// client error instead of panicking the process.
@@ -37,6 +58,21 @@ impl std::fmt::Display for OracleError {
             OracleError::Build(e) => write!(f, "oracle build failed: {e}"),
             OracleError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
             OracleError::CorruptSnapshot { what } => write!(f, "corrupt snapshot: {what}"),
+            OracleError::SnapshotVersionMismatch { found, supported } => {
+                write!(f, "snapshot format version {found} is not supported (this build reads v{supported})")
+            }
+            OracleError::SnapshotChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: header says {stored:016x}, payload hashes to {computed:016x}"
+                )
+            }
+            OracleError::LegacySnapshot => {
+                write!(
+                    f,
+                    "legacy (v1) snapshot: not loaded implicitly; migrate it via from_bytes_legacy"
+                )
+            }
             OracleError::QueryOutOfRange { u, v, n } => {
                 write!(f, "query ({u}, {v}) outside 0..{n}")
             }
@@ -77,5 +113,12 @@ mod tests {
         assert!(corrupt("bad magic").to_string().contains("bad magic"));
         let e = OracleError::QueryOutOfRange { u: 3, v: 99, n: 16 };
         assert_eq!(e.to_string(), "query (3, 99) outside 0..16");
+        let e = OracleError::SnapshotVersionMismatch { found: 7, supported: 2 };
+        assert!(e.to_string().contains("version 7"), "{e}");
+        assert!(e.to_string().contains("v2"), "{e}");
+        let e = OracleError::SnapshotChecksumMismatch { stored: 0xabcd, computed: 0x1234 };
+        assert!(e.to_string().contains("000000000000abcd"), "{e}");
+        assert!(e.to_string().contains("0000000000001234"), "{e}");
+        assert!(OracleError::LegacySnapshot.to_string().contains("legacy"));
     }
 }

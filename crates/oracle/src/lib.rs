@@ -22,7 +22,14 @@
 //! * [`CachingOracle`] adds a bounded, sharded LRU result cache with
 //!   hit/miss counters for repeated-query traffic.
 //! * [`serde::to_bytes`] / [`serde::from_bytes`] snapshot a built oracle so
-//!   a serving process can load it without re-running the clique.
+//!   a serving process (like `cc-serve`, which hot-swaps them under
+//!   traffic) can load it without re-running the clique. Snapshots are
+//!   **versioned and self-describing**: an 80-byte header carries the
+//!   format version, graph size, `ε`, landmark count, build metadata and a
+//!   payload checksum ([`serde::SnapshotHeader`]), so a stale or corrupt
+//!   artifact is rejected ([`OracleError::SnapshotVersionMismatch`],
+//!   [`OracleError::SnapshotChecksumMismatch`]) instead of silently
+//!   served. The byte layout is specified in `docs/SNAPSHOT_FORMAT.md`.
 //!
 //! # Stretch guarantee
 //!

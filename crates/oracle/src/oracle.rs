@@ -125,6 +125,30 @@ impl DistanceOracle {
     /// a panic, so network front-ends can turn malformed requests into
     /// client errors without crashing the serving process.
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use cc_clique::Clique;
+    /// use cc_graph::generators;
+    /// use cc_oracle::{OracleBuilder, OracleError};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let g = generators::gnp_weighted(16, 0.3, 10, 7)?;
+    /// let mut clique = Clique::new(16);
+    /// let oracle = OracleBuilder::new().build(&mut clique, &g)?;
+    ///
+    /// // In range: same answer as the panicking `query`.
+    /// assert_eq!(oracle.try_query(0, 15)?, oracle.query(0, 15));
+    ///
+    /// // Out of range: an error a serving layer maps to HTTP 400.
+    /// assert!(matches!(
+    ///     oracle.try_query(0, 99),
+    ///     Err(OracleError::QueryOutOfRange { u: 0, v: 99, n: 16 })
+    /// ));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`OracleError::QueryOutOfRange`] if `u` or `v` is not in `0..n`.

@@ -1,23 +1,100 @@
 //! Snapshot an oracle to bytes and load it back — no external serde crate
-//! (the build container is offline), just a versioned little-endian layout.
+//! (the build container is offline), just a **versioned, self-describing
+//! little-endian layout** with an integrity checksum, so a serving process
+//! can refuse a stale or corrupt artifact instead of silently loading it.
 //!
-//! Layout (all integers little-endian):
+//! The byte-level layout is specified in `docs/SNAPSHOT_FORMAT.md` at the
+//! workspace root. In short (all integers little-endian):
 //!
 //! ```text
-//! magic   b"CCO1"
-//! u32     format version (currently 1)
-//! u64     n, k, seed, build_rounds; f64 epsilon (IEEE bits)
-//! u64     landmark count s, then s × u32 landmark ids
+//! ── header, 80 bytes ─────────────────────────────────────────────
+//! magic   b"CCOS"
+//! u32     format version (currently 2)
+//! u64     n, k; f64 epsilon (IEEE bits); u64 landmark count s
+//! u64     seed, build_rounds, created_unix_secs
+//! u64     payload_len, payload checksum (FNV-1a 64)
+//! ── payload, payload_len bytes ───────────────────────────────────
+//! s ×     u32 landmark ids
 //! n ×     (u32 idx, u64 dist)          nearest landmark per node
 //! n ×     u64 len, len × (u32, u64)    balls
 //! n·s ×   u64                          landmark columns (MAX = ∞)
 //! ```
+//!
+//! [`from_bytes`] rejects bad magic, an unsupported version
+//! ([`OracleError::SnapshotVersionMismatch`]) and a payload whose checksum
+//! disagrees with the header ([`OracleError::SnapshotChecksumMismatch`]),
+//! on top of the structural validation (truncation, trailing bytes,
+//! out-of-range indices, ∞-sentinel distances) both formats always had.
+//!
+//! The pre-versioning v1 layout (magic `b"CCO1"`, no build metadata, no
+//! checksum) is recognized and reported as [`OracleError::LegacySnapshot`];
+//! [`from_bytes_legacy`] still parses it for **one release** so operators
+//! can migrate artifacts (load legacy, write back with [`to_bytes`]). See
+//! the compatibility policy in `docs/SNAPSHOT_FORMAT.md`.
 
 use crate::error::corrupt;
 use crate::{DistanceOracle, OracleError};
 
-const MAGIC: &[u8; 4] = b"CCO1";
-const VERSION: u32 = 1;
+/// Magic bytes opening a versioned (v2+) snapshot.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"CCOS";
+/// The snapshot format version this build writes and accepts.
+pub const SNAPSHOT_VERSION: u32 = 2;
+/// Size of the fixed v2 header in bytes.
+pub const HEADER_LEN: usize = 80;
+
+/// Magic bytes of the legacy (v1) format, accepted only by
+/// [`from_bytes_legacy`].
+const LEGACY_MAGIC: &[u8; 4] = b"CCO1";
+const LEGACY_VERSION: u32 = 1;
+
+/// The parsed, validated header of a versioned snapshot: everything an
+/// operator (or a serving tier deciding whether to hot-swap) needs to know
+/// about an artifact **without** deserializing the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotHeader {
+    /// Snapshot format version (currently [`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Number of nodes the artifact covers.
+    pub n: usize,
+    /// Ball-size parameter `k` of the build.
+    pub k: usize,
+    /// MSSP accuracy parameter `ε` of the build.
+    pub epsilon: f64,
+    /// Number of landmarks.
+    pub landmarks: usize,
+    /// Landmark-selection seed of the build.
+    pub seed: u64,
+    /// Clique rounds the build charged.
+    pub build_rounds: u64,
+    /// Unix timestamp (seconds) when the snapshot was written; `0` when
+    /// unknown (e.g. a header synthesized for an in-process build).
+    pub created_unix_secs: u64,
+    /// Length of the payload in bytes.
+    pub payload_len: u64,
+    /// FNV-1a 64 checksum of the payload bytes.
+    pub checksum: u64,
+}
+
+impl SnapshotHeader {
+    /// The artifact's build id: the payload checksum rendered as 16 hex
+    /// digits. Two snapshots of the same built oracle share a build id no
+    /// matter when they were written; any payload difference changes it.
+    pub fn build_id(&self) -> String {
+        format!("{:016x}", self.checksum)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — tiny, dependency-free, and plenty to catch
+/// bit rot and truncation (this is an integrity check, not an authenticity
+/// one; snapshots come from trusted storage).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 struct Writer {
     buf: Vec<u8>,
@@ -65,17 +142,10 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Serializes a built oracle into a self-contained byte snapshot.
-pub fn to_bytes(oracle: &DistanceOracle) -> Vec<u8> {
-    let mut w = Writer { buf: Vec::with_capacity(64 + oracle.artifact_bytes()) };
-    w.buf.extend_from_slice(MAGIC);
-    w.u32(VERSION);
-    w.u64(oracle.n as u64);
-    w.u64(oracle.k as u64);
-    w.u64(oracle.seed);
-    w.u64(oracle.build_rounds);
-    w.u64(oracle.epsilon.to_bits());
-    w.u64(oracle.landmarks.len() as u64);
+/// Serializes the payload section (everything after the header / after the
+/// legacy scalars): landmarks, nearest-landmark table, balls, columns.
+fn payload_bytes(oracle: &DistanceOracle) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::with_capacity(oracle.artifact_bytes() + 16) };
     for &a in &oracle.landmarks {
         w.u32(a);
     }
@@ -96,21 +166,205 @@ pub fn to_bytes(oracle: &DistanceOracle) -> Vec<u8> {
     w.buf
 }
 
-/// Reconstructs an oracle from a [`to_bytes`] snapshot, validating
-/// structure and index bounds.
+/// The FNV-1a 64 checksum [`to_bytes`] would store for `oracle`'s payload —
+/// i.e. the artifact's build id ([`SnapshotHeader::build_id`]) as a number.
+/// Lets a serving layer report a stable build id for an oracle that was
+/// built in-process and never touched disk.
+pub fn payload_checksum(oracle: &DistanceOracle) -> u64 {
+    fnv1a(&payload_bytes(oracle))
+}
+
+/// The header [`to_bytes`] would write for `oracle` right now, with
+/// `created_unix_secs = 0` (no snapshot has actually been written).
+pub fn header_of(oracle: &DistanceOracle) -> SnapshotHeader {
+    let payload = payload_bytes(oracle);
+    SnapshotHeader {
+        version: SNAPSHOT_VERSION,
+        n: oracle.n,
+        k: oracle.k,
+        epsilon: oracle.epsilon,
+        landmarks: oracle.landmarks.len(),
+        seed: oracle.seed,
+        build_rounds: oracle.build_rounds,
+        created_unix_secs: 0,
+        payload_len: payload.len() as u64,
+        checksum: fnv1a(&payload),
+    }
+}
+
+/// Serializes a built oracle into a self-contained, versioned byte snapshot
+/// (format v2: header with build metadata + checksummed payload).
+pub fn to_bytes(oracle: &DistanceOracle) -> Vec<u8> {
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    to_bytes_created_at(oracle, created)
+}
+
+/// [`to_bytes`] with an explicit `created_unix_secs` header field, for
+/// callers that need byte-for-byte reproducible snapshots (tests, content-
+/// addressed artifact stores).
+pub fn to_bytes_created_at(oracle: &DistanceOracle, created_unix_secs: u64) -> Vec<u8> {
+    let payload = payload_bytes(oracle);
+    let mut w = Writer { buf: Vec::with_capacity(HEADER_LEN + payload.len()) };
+    w.buf.extend_from_slice(SNAPSHOT_MAGIC);
+    w.u32(SNAPSHOT_VERSION);
+    w.u64(oracle.n as u64);
+    w.u64(oracle.k as u64);
+    w.u64(oracle.epsilon.to_bits());
+    w.u64(oracle.landmarks.len() as u64);
+    w.u64(oracle.seed);
+    w.u64(oracle.build_rounds);
+    w.u64(created_unix_secs);
+    w.u64(payload.len() as u64);
+    w.u64(fnv1a(&payload));
+    debug_assert_eq!(w.buf.len(), HEADER_LEN);
+    w.buf.extend_from_slice(&payload);
+    w.buf
+}
+
+/// Serializes `oracle` in the **legacy v1 layout** (magic `b"CCO1"`, no
+/// metadata, no checksum). Exists only so migration tooling and tests can
+/// produce v1 bytes; it is removed together with [`from_bytes_legacy`].
+pub fn to_bytes_legacy(oracle: &DistanceOracle) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::with_capacity(64 + oracle.artifact_bytes()) };
+    w.buf.extend_from_slice(LEGACY_MAGIC);
+    w.u32(LEGACY_VERSION);
+    w.u64(oracle.n as u64);
+    w.u64(oracle.k as u64);
+    w.u64(oracle.seed);
+    w.u64(oracle.build_rounds);
+    w.u64(oracle.epsilon.to_bits());
+    w.u64(oracle.landmarks.len() as u64);
+    w.buf.extend_from_slice(&payload_bytes(oracle));
+    w.buf
+}
+
+/// Parses and fully validates the header of a versioned snapshot —
+/// including the payload checksum — **without** building the oracle. This
+/// is how a serving tier inspects "what am I about to swap in?" cheaply
+/// (one linear scan, no allocation proportional to the artifact).
+///
+/// # Errors
+///
+/// * [`OracleError::LegacySnapshot`] for v1 bytes (use
+///   [`from_bytes_legacy`]).
+/// * [`OracleError::SnapshotVersionMismatch`] for a versioned snapshot
+///   from a different format generation.
+/// * [`OracleError::SnapshotChecksumMismatch`] when the payload does not
+///   hash to the header's checksum.
+/// * [`OracleError::CorruptSnapshot`] for bad magic, truncation, or
+///   implausible header fields.
+pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, OracleError> {
+    let mut r = Reader { bytes, at: 0 };
+    let magic = r.take(4)?;
+    if magic == LEGACY_MAGIC {
+        return Err(OracleError::LegacySnapshot);
+    }
+    if magic != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic (not an oracle snapshot)"));
+    }
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(OracleError::SnapshotVersionMismatch {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let payload_cap = bytes.len().saturating_sub(HEADER_LEN);
+    let n = r.len("n", payload_cap)?;
+    let k = r.len("k", payload_cap)?;
+    let epsilon = f64::from_bits(r.u64()?);
+    if epsilon <= 0.0 || !epsilon.is_finite() {
+        return Err(corrupt(format!("epsilon {epsilon} out of range")));
+    }
+    let landmarks = r.len("landmark count", payload_cap)?;
+    let seed = r.u64()?;
+    let build_rounds = r.u64()?;
+    let created_unix_secs = r.u64()?;
+    let payload_len = r.u64()?;
+    let checksum = r.u64()?;
+    debug_assert_eq!(r.at, HEADER_LEN);
+    if payload_len != payload_cap as u64 {
+        return Err(corrupt(format!(
+            "header claims a {payload_len}-byte payload but {payload_cap} bytes follow"
+        )));
+    }
+    let computed = fnv1a(&bytes[HEADER_LEN..]);
+    if computed != checksum {
+        return Err(OracleError::SnapshotChecksumMismatch { stored: checksum, computed });
+    }
+    Ok(SnapshotHeader {
+        version,
+        n,
+        k,
+        epsilon,
+        landmarks,
+        seed,
+        build_rounds,
+        created_unix_secs,
+        payload_len,
+        checksum,
+    })
+}
+
+/// Reconstructs an oracle from a [`to_bytes`] snapshot, validating the
+/// header (magic, version, checksum) and the payload structure (index
+/// bounds, sorted balls, sentinel rules, exact length).
+///
+/// # Errors
+///
+/// Everything [`peek_header`] rejects, plus
+/// [`OracleError::CorruptSnapshot`] for structural payload damage.
+pub fn from_bytes(bytes: &[u8]) -> Result<DistanceOracle, OracleError> {
+    Ok(from_bytes_with_header(bytes)?.1)
+}
+
+/// [`from_bytes`] that also returns the validated [`SnapshotHeader`], so a
+/// serving layer can report the loaded artifact's version / build id /
+/// creation time without re-parsing.
+///
+/// # Errors
+///
+/// Same as [`from_bytes`].
+pub fn from_bytes_with_header(
+    bytes: &[u8],
+) -> Result<(SnapshotHeader, DistanceOracle), OracleError> {
+    let header = peek_header(bytes)?;
+    let mut r = Reader { bytes, at: HEADER_LEN };
+    let oracle = read_body(
+        &mut r,
+        header.n,
+        header.k,
+        header.epsilon,
+        header.seed,
+        header.build_rounds,
+        header.landmarks,
+    )?;
+    Ok((header, oracle))
+}
+
+/// Reconstructs an oracle from a **legacy v1** snapshot (magic `b"CCO1"`).
+///
+/// Kept for exactly one release so existing artifacts can be migrated:
+/// load with this, write back with [`to_bytes`]. New code must use
+/// [`from_bytes`]; `cc-serve` only falls back to this path behind its
+/// explicit `--allow-legacy` flag.
 ///
 /// # Errors
 ///
 /// [`OracleError::CorruptSnapshot`] on wrong magic/version, truncation, or
-/// out-of-range indices.
-pub fn from_bytes(bytes: &[u8]) -> Result<DistanceOracle, OracleError> {
+/// out-of-range indices. (v1 has no checksum: payload bit rot that keeps
+/// the structure valid is **not** detected — the reason the format was
+/// versioned.)
+pub fn from_bytes_legacy(bytes: &[u8]) -> Result<DistanceOracle, OracleError> {
     let mut r = Reader { bytes, at: 0 };
-    if r.take(4)? != MAGIC {
-        return Err(corrupt("bad magic (not an oracle snapshot)"));
+    if r.take(4)? != LEGACY_MAGIC {
+        return Err(corrupt("bad magic (not a legacy oracle snapshot)"));
     }
     let version = r.u32()?;
-    if version != VERSION {
-        return Err(corrupt(format!("unsupported snapshot version {version}")));
+    if version != LEGACY_VERSION {
+        return Err(corrupt(format!("unsupported legacy snapshot version {version}")));
     }
     let remaining = bytes.len();
     let n = r.len("n", remaining)?;
@@ -122,6 +376,22 @@ pub fn from_bytes(bytes: &[u8]) -> Result<DistanceOracle, OracleError> {
         return Err(corrupt(format!("epsilon {epsilon} out of range")));
     }
     let s = r.len("landmark count", remaining)?;
+    read_body(&mut r, n, k, epsilon, seed, build_rounds, s)
+}
+
+/// Parses the payload section shared by both formats (landmarks → columns),
+/// validating index bounds, ball ordering, sentinel rules, and that the
+/// reader ends exactly at the end of the input.
+fn read_body(
+    r: &mut Reader<'_>,
+    n: usize,
+    k: usize,
+    epsilon: f64,
+    seed: u64,
+    build_rounds: u64,
+    s: usize,
+) -> Result<DistanceOracle, OracleError> {
+    let total = r.bytes.len();
     let mut landmarks = Vec::with_capacity(s);
     for _ in 0..s {
         let a = r.u32()?;
@@ -146,7 +416,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<DistanceOracle, OracleError> {
     }
     let mut balls = Vec::with_capacity(n);
     for v in 0..n {
-        let len = r.len("ball", remaining)?;
+        let len = r.len("ball", total)?;
         let mut ball = Vec::with_capacity(len);
         for _ in 0..len {
             let id = r.u32()?;
@@ -172,18 +442,18 @@ pub fn from_bytes(bytes: &[u8]) -> Result<DistanceOracle, OracleError> {
     // product can be quadratic in it; every cell costs 8 bytes, so checking
     // against the bytes actually left keeps the allocation linear in the
     // input even for hostile snapshots.
-    if cells > (bytes.len() - r.at) / 8 {
+    if cells > (total - r.at) / 8 {
         return Err(corrupt(format!(
             "column matrix claims {cells} cells but only {} bytes remain",
-            bytes.len() - r.at
+            total - r.at
         )));
     }
     let mut columns = Vec::with_capacity(cells);
     for _ in 0..cells {
         columns.push(r.u64()?);
     }
-    if r.at != bytes.len() {
-        return Err(corrupt(format!("{} trailing bytes", bytes.len() - r.at)));
+    if r.at != total {
+        return Err(corrupt(format!("{} trailing bytes", total - r.at)));
     }
     Ok(DistanceOracle {
         n,
@@ -226,6 +496,32 @@ mod tests {
     }
 
     #[test]
+    fn header_describes_the_artifact_and_survives_the_trip() {
+        let oracle = sample();
+        let bytes = to_bytes_created_at(&oracle, 1_753_000_000);
+        let header = peek_header(&bytes).unwrap();
+        assert_eq!(header.version, SNAPSHOT_VERSION);
+        assert_eq!(header.n, oracle.n());
+        assert_eq!(header.k, oracle.k());
+        assert_eq!(header.epsilon, oracle.epsilon());
+        assert_eq!(header.landmarks, oracle.landmarks().len());
+        assert_eq!(header.seed, oracle.seed());
+        assert_eq!(header.build_rounds, oracle.build_rounds());
+        assert_eq!(header.created_unix_secs, 1_753_000_000);
+        assert_eq!(header.payload_len as usize, bytes.len() - HEADER_LEN);
+        // from_bytes_with_header agrees with peek_header.
+        let (h2, back) = from_bytes_with_header(&bytes).unwrap();
+        assert_eq!(h2, header);
+        assert_eq!(back, oracle);
+        // The build id is the checksum and ignores the write timestamp.
+        assert_eq!(header.build_id(), format!("{:016x}", header.checksum));
+        assert_eq!(header.checksum, payload_checksum(&oracle));
+        let later = peek_header(&to_bytes_created_at(&oracle, 1_999_999_999)).unwrap();
+        assert_eq!(later.build_id(), header.build_id());
+        assert_eq!(header_of(&oracle).build_id(), header.build_id());
+    }
+
+    #[test]
     fn rejects_bad_magic_and_version() {
         let oracle = sample();
         let mut bytes = to_bytes(&oracle);
@@ -233,13 +529,33 @@ mod tests {
         assert!(matches!(from_bytes(&bytes), Err(OracleError::CorruptSnapshot { .. })));
         let mut bytes = to_bytes(&oracle);
         bytes[4] = 99;
-        assert!(matches!(from_bytes(&bytes), Err(OracleError::CorruptSnapshot { .. })));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(OracleError::SnapshotVersionMismatch { found: 99, supported: SNAPSHOT_VERSION })
+        ));
+    }
+
+    #[test]
+    fn any_payload_corruption_fails_the_checksum() {
+        let oracle = sample();
+        let clean = to_bytes(&oracle);
+        // Flip one bit at several payload offsets, including ones (like a
+        // stored distance value) that would keep the structure valid: the
+        // checksum must catch every single one.
+        for at in [HEADER_LEN, HEADER_LEN + 13, clean.len() / 2, clean.len() - 1] {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x10;
+            assert!(
+                matches!(from_bytes(&bytes), Err(OracleError::SnapshotChecksumMismatch { .. })),
+                "payload flip at byte {at} must fail the checksum"
+            );
+        }
     }
 
     #[test]
     fn rejects_truncation_anywhere() {
         let bytes = to_bytes(&sample());
-        for cut in [0, 3, 7, 16, bytes.len() / 2, bytes.len() - 1] {
+        for cut in [0, 3, 7, 16, HEADER_LEN - 1, HEADER_LEN, bytes.len() / 2, bytes.len() - 1] {
             assert!(from_bytes(&bytes[..cut]).is_err(), "truncation at {cut} must be rejected");
         }
     }
@@ -248,17 +564,47 @@ mod tests {
     fn rejects_trailing_garbage() {
         let mut bytes = to_bytes(&sample());
         bytes.push(0);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices_behind_a_recomputed_checksum() {
+        let oracle = sample();
+        let mut bytes = to_bytes(&oracle);
+        // Corrupt the first landmark id (right after the header), then
+        // recompute the checksum so only the structural validation can
+        // catch it.
+        bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&(oracle.n() as u32 + 7).to_le_bytes());
+        let sum = fnv1a(&bytes[HEADER_LEN..]);
+        bytes[72..80].copy_from_slice(&sum.to_le_bytes());
         assert!(matches!(from_bytes(&bytes), Err(OracleError::CorruptSnapshot { .. })));
     }
 
     #[test]
-    fn rejects_out_of_range_indices() {
+    fn legacy_bytes_are_detected_and_only_parsed_explicitly() {
         let oracle = sample();
-        let mut bytes = to_bytes(&oracle);
-        // First landmark id lives right after the fixed header (4 magic +
-        // 4 version + 6×8 scalar/count fields).
+        let legacy = to_bytes_legacy(&oracle);
+        // The strict path names the problem precisely...
+        assert!(matches!(from_bytes(&legacy), Err(OracleError::LegacySnapshot)));
+        assert!(matches!(peek_header(&legacy), Err(OracleError::LegacySnapshot)));
+        // ...and the explicit legacy path round-trips the artifact.
+        assert_eq!(from_bytes_legacy(&legacy).unwrap(), oracle);
+        // The legacy parser refuses v2 bytes rather than misreading them.
+        assert!(from_bytes_legacy(&to_bytes(&oracle)).is_err());
+    }
+
+    #[test]
+    fn legacy_truncation_and_bad_indices_are_still_rejected() {
+        let oracle = sample();
+        let legacy = to_bytes_legacy(&oracle);
+        for cut in [0, 3, 7, 16, legacy.len() / 2, legacy.len() - 1] {
+            assert!(from_bytes_legacy(&legacy[..cut]).is_err(), "legacy truncation at {cut}");
+        }
+        let mut bytes = legacy.clone();
+        // First landmark id lives right after the legacy fixed header
+        // (4 magic + 4 version + 6×8 scalar/count fields).
         let at = 4 + 4 + 48;
         bytes[at..at + 4].copy_from_slice(&(oracle.n() as u32 + 7).to_le_bytes());
-        assert!(matches!(from_bytes(&bytes), Err(OracleError::CorruptSnapshot { .. })));
+        assert!(matches!(from_bytes_legacy(&bytes), Err(OracleError::CorruptSnapshot { .. })));
     }
 }

@@ -1,5 +1,6 @@
 //! Server tuning knobs.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Configuration for [`crate::Server::start`].
@@ -23,6 +24,13 @@ pub struct ServerConfig {
     /// Per-connection read timeout; an idle keep-alive connection is closed
     /// after this long.
     pub read_timeout: Duration,
+    /// Default snapshot path for `POST /reload` (and SIGHUP in the
+    /// `cc-serve` binary). `None` means a reload request must name a path
+    /// explicitly (`/reload?path=...`).
+    pub reload_path: Option<PathBuf>,
+    /// Accept pre-versioning (v1) snapshots on load/reload. Off by
+    /// default; the one-release migration escape hatch.
+    pub allow_legacy: bool,
 }
 
 impl Default for ServerConfig {
@@ -34,6 +42,8 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             cache_capacity: 4096,
             read_timeout: Duration::from_secs(5),
+            reload_path: None,
+            allow_legacy: false,
         }
     }
 }
@@ -74,6 +84,18 @@ impl ServerConfig {
         self.read_timeout = timeout;
         self
     }
+
+    /// Sets the default snapshot path `POST /reload` (and SIGHUP) loads.
+    pub fn with_reload_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.reload_path = Some(path.into());
+        self
+    }
+
+    /// Allows loading pre-versioning (v1) snapshots.
+    pub fn with_allow_legacy(mut self, allow: bool) -> Self {
+        self.allow_legacy = allow;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -88,8 +110,12 @@ mod tests {
             .with_backlog(0)
             .with_max_body_bytes(512)
             .with_cache_capacity(7)
-            .with_read_timeout(Duration::from_millis(250));
+            .with_read_timeout(Duration::from_millis(250))
+            .with_reload_path("/tmp/next.snap")
+            .with_allow_legacy(true);
         assert_eq!(c.addr, "0.0.0.0:9999");
+        assert_eq!(c.reload_path.as_deref(), Some(std::path::Path::new("/tmp/next.snap")));
+        assert!(c.allow_legacy);
         assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
         assert_eq!(c.backlog, 1, "backlog is clamped to at least 1");
         assert_eq!(c.max_body_bytes, 512);

@@ -4,18 +4,50 @@
 //! All id validation goes through the oracle's **fallible** query API
 //! (`try_query` / `try_query_batch`): a malformed or out-of-range request is
 //! a `400` at the edge, never a panic inside the serving process.
+//!
+//! The served artifact lives behind a [`ReloadHandle`]: every request
+//! clones the current [`Generation`] (an `Arc` refcount bump) and answers
+//! entirely on that clone, so `POST /reload` can validate and swap in a
+//! new snapshot while traffic is in flight — old requests finish on the
+//! old artifact, new requests see the new one, and a reload that fails
+//! validation changes nothing except the error surfaced in `/stats`.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cc_matrix::Dist;
-use cc_oracle::{CachingOracle, DistanceOracle};
+use cc_oracle::DistanceOracle;
 
-use crate::http::{Request, Response};
+use crate::http::{json_escape, Request, Response};
+use crate::reload::{Generation, ReloadHandle, SnapshotInfo};
+use crate::source;
 
-/// Shared per-server state: the cached oracle plus request counters.
+/// What a successful reload installed, captured atomically with the swap —
+/// a response built from this cannot mix in state from a concurrent later
+/// reload.
+#[derive(Debug, Clone)]
+pub struct ReloadOutcome {
+    /// Identity of the artifact that was swapped in.
+    pub info: SnapshotInfo,
+    /// Node count of the artifact that was swapped in.
+    pub n: usize,
+    /// Successful-reload count as of this swap (this reload included).
+    pub reloads: u64,
+}
+
+/// Shared per-server state: the hot-swappable serving generation plus
+/// request counters.
 pub struct AppState {
-    cached: CachingOracle,
+    handle: ReloadHandle,
+    cache_capacity: usize,
+    reload_path: Option<PathBuf>,
+    allow_legacy: bool,
+    /// Serializes load+swap so overlapping reloads apply in a definite
+    /// order; never held by the request path.
+    reload_lock: Mutex<()>,
+    last_reload_error: Mutex<Option<String>>,
     started: Instant,
     requests: AtomicU64,
     distance_requests: AtomicU64,
@@ -23,14 +55,37 @@ pub struct AppState {
     batch_pairs: AtomicU64,
     client_errors: AtomicU64,
     load_shed: AtomicU64,
+    reload_requests: AtomicU64,
+    reloads: AtomicU64,
+    reload_failures: AtomicU64,
 }
 
 impl AppState {
-    /// Wraps `oracle` for serving, with an LRU result cache of
-    /// `cache_capacity` entries.
+    /// Wraps an in-process-built `oracle` for serving, with an LRU result
+    /// cache of `cache_capacity` entries and no default reload source.
     pub fn new(oracle: DistanceOracle, cache_capacity: usize) -> AppState {
+        let info = SnapshotInfo::in_process(&oracle, "in-process");
+        AppState::with_info(oracle, info, cache_capacity, None, false)
+    }
+
+    /// [`AppState::new`] with an explicit artifact identity, a default
+    /// snapshot path for `POST /reload` / SIGHUP, and the legacy-format
+    /// policy.
+    pub fn with_info(
+        oracle: DistanceOracle,
+        info: SnapshotInfo,
+        cache_capacity: usize,
+        reload_path: Option<PathBuf>,
+        allow_legacy: bool,
+    ) -> AppState {
+        let cache_capacity = cache_capacity.max(1);
         AppState {
-            cached: CachingOracle::new(oracle, cache_capacity.max(1)),
+            handle: ReloadHandle::new(Generation::new(oracle, info, cache_capacity)),
+            cache_capacity,
+            reload_path,
+            allow_legacy,
+            reload_lock: Mutex::new(()),
+            last_reload_error: Mutex::new(None),
             started: Instant::now(),
             requests: AtomicU64::new(0),
             distance_requests: AtomicU64::new(0),
@@ -38,12 +93,83 @@ impl AppState {
             batch_pairs: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             load_shed: AtomicU64::new(0),
+            reload_requests: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
         }
     }
 
-    /// The served artifact.
-    pub fn oracle(&self) -> &DistanceOracle {
-        self.cached.oracle()
+    /// The generation serving right now (artifact + cache + identity). The
+    /// clone is an `Arc` refcount bump; holders keep the artifact alive
+    /// across a concurrent reload.
+    pub fn generation(&self) -> Arc<Generation> {
+        self.handle.current()
+    }
+
+    /// Successful hot reloads so far.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Reload attempts rejected by validation (the old artifact kept
+    /// serving each time).
+    pub fn reload_failures(&self) -> u64 {
+        self.reload_failures.load(Ordering::Relaxed)
+    }
+
+    /// Loads + validates the snapshot at `path` and, only if it is fully
+    /// valid, swaps it in atomically. On any failure the serving
+    /// generation is untouched and the error is recorded for `/stats`.
+    ///
+    /// The load happens on the calling thread without blocking the request
+    /// path: queries keep cloning the old generation until the one-pointer
+    /// swap.
+    ///
+    /// # Errors
+    ///
+    /// The human-readable reason the snapshot was rejected (I/O, magic,
+    /// version, checksum, structure).
+    pub fn reload_from(&self, path: &Path) -> Result<ReloadOutcome, String> {
+        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        match source::load_snapshot(path, self.allow_legacy) {
+            Ok(loaded) => {
+                let outcome = ReloadOutcome {
+                    info: loaded.info.clone(),
+                    n: loaded.oracle.n(),
+                    reloads: self.reloads.fetch_add(1, Ordering::Relaxed) + 1,
+                };
+                self.handle.swap(Generation::new(loaded.oracle, loaded.info, self.cache_capacity));
+                *self.last_reload_error.lock().expect("reload error lock") = None;
+                Ok(outcome)
+            }
+            Err(e) => {
+                let msg = format!("reload from {} rejected: {e}", path.display());
+                self.reload_failures.fetch_add(1, Ordering::Relaxed);
+                *self.last_reload_error.lock().expect("reload error lock") = Some(msg.clone());
+                Err(msg)
+            }
+        }
+    }
+
+    /// [`AppState::reload_from`] against the configured default path; this
+    /// is what SIGHUP triggers in the `cc-serve` binary.
+    ///
+    /// # Errors
+    ///
+    /// As [`AppState::reload_from`], plus when no default path is
+    /// configured.
+    pub fn reload_default(&self) -> Result<ReloadOutcome, String> {
+        match self.reload_path.clone() {
+            Some(path) => self.reload_from(&path),
+            None => {
+                let msg = "no reload source configured: start with --snapshot or \
+                           pass an explicit path"
+                    .to_owned();
+                self.reload_failures.fetch_add(1, Ordering::Relaxed);
+                *self.last_reload_error.lock().expect("reload error lock") = Some(msg.clone());
+                Err(msg)
+            }
+        }
     }
 
     /// Total requests routed so far (any endpoint, any outcome).
@@ -79,9 +205,10 @@ impl AppState {
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET", "/distance") => self.distance(req),
             ("POST", "/batch") => self.batch(req),
+            ("POST", "/reload") => self.reload(req),
             ("GET", "/stats") => self.stats(),
             ("GET", "/artifact") => self.artifact(),
-            (_, "/healthz" | "/distance" | "/batch" | "/stats" | "/artifact") => {
+            (_, "/healthz" | "/distance" | "/batch" | "/stats" | "/artifact" | "/reload") => {
                 Response::error_json(405, format!("method {} not allowed here", req.method))
             }
             _ => Response::error_json(404, format!("no route for '{}'", req.path)),
@@ -95,7 +222,7 @@ impl AppState {
             (Ok(u), Ok(v)) => (u, v),
             (Err(resp), _) | (_, Err(resp)) => return resp,
         };
-        match self.cached.try_query(u, v) {
+        match self.generation().cached().try_query(u, v) {
             Ok(d) => Response::json(
                 200,
                 format!(
@@ -140,7 +267,7 @@ impl AppState {
             }
         }
         self.batch_pairs.fetch_add(pairs.len() as u64, Ordering::Relaxed);
-        match self.cached.try_query_batch(&pairs) {
+        match self.generation().cached().try_query_batch(&pairs) {
             Ok(answers) => {
                 let mut body = String::with_capacity(16 + answers.len() * 8);
                 body.push_str("{\"count\":");
@@ -159,15 +286,51 @@ impl AppState {
         }
     }
 
-    /// `GET /stats` — cache effectiveness and request counters.
+    /// `POST /reload[?path=...]` — load, validate, and atomically swap in a
+    /// new snapshot. A rejected snapshot answers `400` and leaves the old
+    /// artifact serving (the error also shows up in `/stats`).
+    fn reload(&self, req: &Request) -> Response {
+        self.reload_requests.fetch_add(1, Ordering::Relaxed);
+        let outcome = match req.param("path") {
+            Some(p) if !p.is_empty() => self.reload_from(Path::new(p)),
+            _ => self.reload_default(),
+        };
+        match outcome {
+            Ok(outcome) => Response::json(
+                200,
+                format!(
+                    "{{\"reloaded\":true,\"snapshot\":{},\"n\":{},\"reloads\":{}}}",
+                    snapshot_json(&outcome.info),
+                    outcome.n,
+                    outcome.reloads,
+                ),
+            ),
+            // The serving process is healthy and still answering on the old
+            // artifact — the *request* failed, so this is a 4xx, not a 5xx.
+            Err(msg) => Response::error_json(400, msg),
+        }
+    }
+
+    /// `GET /stats` — cache effectiveness, request counters, and the
+    /// identity + reload history of the active snapshot.
     fn stats(&self) -> Response {
-        let cache = self.cached.stats();
+        let generation = self.generation();
+        let cache = generation.cached().stats();
+        let last_error = self
+            .last_reload_error
+            .lock()
+            .expect("reload error lock")
+            .as_ref()
+            .map_or("null".to_owned(), |e| format!("\"{}\"", json_escape(e)));
         Response::json(
             200,
             format!(
                 "{{\"requests\":{},\"distance_requests\":{},\"batch_requests\":{},\
                  \"batch_pairs\":{},\"client_errors\":{},\"load_shed\":{},\
                  \"uptime_secs\":{:.3},\
+                 \"snapshot\":{},\
+                 \"reload_requests\":{},\
+                 \"reloads\":{},\"reload_failures\":{},\"last_reload_error\":{last_error},\
                  \"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\
                  \"len\":{},\"capacity\":{}}}}}",
                 self.requests.load(Ordering::Relaxed),
@@ -177,6 +340,10 @@ impl AppState {
                 self.client_errors.load(Ordering::Relaxed),
                 self.load_shed.load(Ordering::Relaxed),
                 self.started.elapsed().as_secs_f64(),
+                snapshot_json(generation.info()),
+                self.reload_requests.load(Ordering::Relaxed),
+                self.reloads(),
+                self.reload_failures(),
                 cache.hits,
                 cache.misses,
                 cache.hit_rate(),
@@ -186,14 +353,17 @@ impl AppState {
         )
     }
 
-    /// `GET /artifact` — what is being served and its guarantee.
+    /// `GET /artifact` — what is being served, where it came from, and its
+    /// guarantee.
     fn artifact(&self) -> Response {
-        let o = self.oracle();
+        let generation = self.generation();
+        let o = generation.oracle();
         Response::json(
             200,
             format!(
                 "{{\"n\":{},\"k\":{},\"epsilon\":{},\"landmarks\":{},\
-                 \"artifact_bytes\":{},\"stretch_bound\":{},\"build_rounds\":{},\"seed\":{}}}",
+                 \"artifact_bytes\":{},\"stretch_bound\":{},\"build_rounds\":{},\"seed\":{},\
+                 \"snapshot\":{},\"reloads\":{}}}",
                 o.n(),
                 o.k(),
                 o.epsilon(),
@@ -202,9 +372,22 @@ impl AppState {
                 o.stretch_bound(),
                 o.build_rounds(),
                 o.seed(),
+                snapshot_json(generation.info()),
+                self.reloads(),
             ),
         )
     }
+}
+
+/// Renders a [`SnapshotInfo`] as a JSON object.
+fn snapshot_json(info: &SnapshotInfo) -> String {
+    format!(
+        "{{\"version\":{},\"build_id\":\"{}\",\"created_unix_secs\":{},\"source\":\"{}\"}}",
+        info.version,
+        json_escape(&info.build_id),
+        info.created_unix_secs,
+        json_escape(&info.source),
+    )
 }
 
 fn dist_json(d: Dist) -> String {
@@ -265,7 +448,7 @@ mod tests {
         let s = state();
         let resp = s.handle(&get("/distance", &[("u", "0"), ("v", "5")]));
         assert_eq!(resp.status, 200);
-        let expected = s.oracle().query(0, 5).value().unwrap();
+        let expected = s.generation().oracle().query(0, 5).value().unwrap();
         assert!(
             body_str(&resp).contains(&format!("\"distance\":{expected}")),
             "body: {}",
@@ -313,7 +496,7 @@ mod tests {
         let s = state();
         let resp = s.handle(&post("/batch", b"0 1\n2,3\n\n  4   5  \n"));
         assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
-        let expected = s.oracle().query_batch(&[(0, 1), (2, 3), (4, 5)]);
+        let expected = s.generation().oracle().query_batch(&[(0, 1), (2, 3), (4, 5)]);
         let distances: Vec<String> =
             expected.iter().map(|d| d.value().map_or("null".into(), |x| x.to_string())).collect();
         assert_eq!(
@@ -349,5 +532,98 @@ mod tests {
             assert!(body.contains(key), "missing {key} in {body}");
         }
         assert!(body.contains("\"stretch_bound\":3.75"), "body: {body}");
+        // The active snapshot's identity is reported on both endpoints.
+        let expected_id = s.generation().info().build_id.clone();
+        for text in [&body, &body_str(&s.handle(&get("/stats", &[]))).to_owned()] {
+            assert!(text.contains(&format!("\"build_id\":\"{expected_id}\"")), "body: {text}");
+            assert!(text.contains("\"version\":2"), "body: {text}");
+            assert!(text.contains("\"source\":\"in-process\""), "body: {text}");
+        }
+    }
+
+    fn temp_snapshot_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cc-serve-handler-tests").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn reload_swaps_the_artifact_and_reports_the_new_identity() {
+        let s = state();
+        let before = s.generation().info().build_id.clone();
+
+        // A different graph (different seed) at a temp path.
+        let g = generators::gnp_weighted(24, 0.2, 20, 77).unwrap();
+        let mut clique = Clique::new(24);
+        let next = OracleBuilder::new().seed(77).build(&mut clique, &g).unwrap();
+        let path = temp_snapshot_dir("swap").join("next.snap");
+        std::fs::write(&path, cc_oracle::serde::to_bytes(&next)).unwrap();
+
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![("path".to_owned(), path.display().to_string())],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
+        assert!(body_str(&resp).contains("\"reloaded\":true"));
+        let after = s.generation();
+        assert_ne!(after.info().build_id, before, "artifact identity must change");
+        assert_eq!(after.info().source, path.display().to_string());
+        assert_eq!(s.reloads(), 1);
+        // Served answers now come from the new artifact.
+        let resp = s.handle(&get("/distance", &[("u", "0"), ("v", "5")]));
+        let want = next.query(0, 5).value().unwrap();
+        assert!(body_str(&resp).contains(&format!("\"distance\":{want}")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_reload_is_400_keeps_old_artifact_and_surfaces_in_stats() {
+        let s = state();
+        let before = s.generation().info().build_id.clone();
+        let answer_before = s.generation().oracle().query(1, 2);
+
+        let path = temp_snapshot_dir("corrupt").join("bad.snap");
+        std::fs::write(&path, b"these are not oracle bytes").unwrap();
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![("path".to_owned(), path.display().to_string())],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 400, "body: {}", body_str(&resp));
+
+        // Old generation untouched, error visible in /stats.
+        assert_eq!(s.generation().info().build_id, before);
+        assert_eq!(s.generation().oracle().query(1, 2), answer_before);
+        assert_eq!((s.reloads(), s.reload_failures()), (0, 1));
+        let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+        assert!(stats.contains("\"reload_failures\":1"), "stats: {stats}");
+        assert!(stats.contains("\"last_reload_error\":\"reload from"), "stats: {stats}");
+
+        // A later successful reload clears the recorded error.
+        let g = generators::gnp_weighted(24, 0.2, 20, 9).unwrap();
+        let mut clique = Clique::new(24);
+        let same = OracleBuilder::new().seed(9).build(&mut clique, &g).unwrap();
+        std::fs::write(&path, cc_oracle::serde::to_bytes(&same)).unwrap();
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
+        let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+        assert!(stats.contains("\"last_reload_error\":null"), "stats: {stats}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reload_without_a_source_is_a_400_with_guidance() {
+        let s = state();
+        let resp = s.handle(&post("/reload", b""));
+        assert_eq!(resp.status, 400);
+        assert!(body_str(&resp).contains("no reload source"), "body: {}", body_str(&resp));
+        assert_eq!(s.handle(&get("/reload", &[])).status, 405, "GET /reload is not allowed");
     }
 }

@@ -1,10 +1,21 @@
 //! # `cc-serve`: a snapshot-serving network front-end for the distance oracle
 //!
-//! `cc-oracle` turned the paper's algorithms into a build-once /
-//! query-many artifact; this crate puts that artifact on the network. A
-//! [`Server`] loads a [`cc_oracle::DistanceOracle`] — built in the
-//! simulated clique or from an [`cc_oracle::serde`] snapshot file — and
-//! serves it over HTTP/1.1 on `std::net`.
+//! `cc-oracle` turned the algorithms of *Fast Approximate Shortest Paths
+//! in the Congested Clique* (PODC 2019) into a build-once / query-many
+//! artifact; this crate puts that artifact on the network. A [`Server`]
+//! loads a [`cc_oracle::DistanceOracle`] — built in the simulated clique
+//! or from a versioned [`cc_oracle::serde`] snapshot file — and serves it
+//! over HTTP/1.1 on `std::net`.
+//!
+//! The artifact is **hot-swappable under traffic**: it lives behind a
+//! [`ReloadHandle`], and `POST /reload` (or `SIGHUP` to the `cc-serve`
+//! binary) loads + validates a new snapshot off the request path and
+//! swaps it in atomically — in-flight queries finish on the old
+//! [`Generation`], a snapshot that fails validation (bad magic/version/
+//! checksum, see `docs/SNAPSHOT_FORMAT.md`) changes nothing, and both
+//! `/stats` and `/artifact` report the active artifact's [`SnapshotInfo`]
+//! (format version, build id, source) plus the reload history. The
+//! operator's handbook is `docs/OPERATIONS.md`.
 //!
 //! The build image has no tokio/hyper, so the transport is deliberately
 //! simple and fully owned: a non-blocking accept loop feeding a **bounded
@@ -24,9 +35,10 @@
 //! |---|---|
 //! | `GET /distance?u=&v=` | one estimate: `{"u":0,"v":5,"distance":12,"connected":true}` |
 //! | `POST /batch` | newline `u v` (or `u,v`) pairs → `{"count":n,"distances":[...]}` |
-//! | `GET /stats` | request + cache counters |
+//! | `POST /reload[?path=]` | validate + atomically swap in a new snapshot (`400` keeps the old one serving) |
+//! | `GET /stats` | request + cache + reload counters, active snapshot identity |
 //! | `GET /healthz` | liveness: `ok` |
-//! | `GET /artifact` | `n`, `k`, `ε`, landmark count, `artifact_bytes`, `stretch_bound` |
+//! | `GET /artifact` | `n`, `k`, `ε`, landmark count, `artifact_bytes`, `stretch_bound`, snapshot identity |
 //!
 //! Disconnected pairs serve `"distance": null`.
 //!
@@ -79,9 +91,11 @@ mod config;
 mod handlers;
 pub mod http;
 pub mod pool;
+mod reload;
 mod server;
 pub mod source;
 
 pub use config::ServerConfig;
-pub use handlers::AppState;
+pub use handlers::{AppState, ReloadOutcome};
+pub use reload::{Generation, ReloadHandle, SnapshotInfo};
 pub use server::{BlockingClient, Server, ServerHandle};

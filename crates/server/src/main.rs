@@ -5,11 +5,63 @@
 //! cc-serve --demo N [--seed S] [--epsilon E] [--addr HOST:PORT] ...
 //! cc-serve --demo N --write-snapshot FILE      # write a fixture and exit
 //! ```
+//!
+//! A running server hot-swaps its artifact without restarting: `POST
+//! /reload` (optionally `?path=...`) or `SIGHUP` re-reads the snapshot
+//! file, validates it, and swaps it in atomically under traffic. See
+//! `docs/OPERATIONS.md`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use cc_server::{source, Server, ServerConfig};
+use cc_server::{source, Server, ServerConfig, SnapshotInfo};
+
+/// SIGHUP → hot reload, the classic daemon convention. The handler only
+/// flips an atomic flag (the async-signal-safe subset); a watcher thread
+/// does the actual load + swap.
+#[cfg(unix)]
+mod sighup {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static PENDING: AtomicBool = AtomicBool::new(false);
+
+    /// POSIX signal number for SIGHUP.
+    const SIGHUP: i32 = 1;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    extern "C" fn on_sighup(_signum: i32) {
+        PENDING.store(true, Ordering::SeqCst);
+    }
+
+    /// Returns false if the handler could not be installed (`SIG_ERR`), in
+    /// which case the process keeps the default SIGHUP disposition
+    /// (terminate) and the caller must warn the operator.
+    #[must_use]
+    pub fn install() -> bool {
+        // SIG_ERR is (void (*)(int))-1.
+        unsafe { signal(SIGHUP, on_sighup) != -1 }
+    }
+
+    /// True once per received SIGHUP.
+    pub fn take() -> bool {
+        PENDING.swap(false, Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sighup {
+    #[must_use]
+    pub fn install() -> bool {
+        false
+    }
+    pub fn take() -> bool {
+        false
+    }
+}
 
 const USAGE: &str = "\
 cc-serve: HTTP front-end for a congested-clique distance oracle
@@ -27,7 +79,13 @@ OPTIONS:
     --seed S            demo build seed (default 7)
     --epsilon E         demo build accuracy, stretch is 3(1+E) (default 0.25)
     --write-snapshot F  write the oracle to F and exit without serving
+    --allow-legacy      accept pre-versioning (v1) snapshots on load/reload
     --help              this text
+
+HOT RELOAD:
+    POST /reload        re-read the --snapshot file (or /reload?path=FILE),
+                        validate it, and swap it in atomically under traffic
+    SIGHUP              same as POST /reload against the --snapshot file
 ";
 
 struct Args {
@@ -39,6 +97,7 @@ struct Args {
     cache: usize,
     seed: u64,
     epsilon: f64,
+    allow_legacy: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
         cache: 4096,
         seed: 7,
         epsilon: 0.25,
+        allow_legacy: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -78,6 +138,7 @@ fn parse_args() -> Result<Args, String> {
             "--epsilon" => {
                 args.epsilon = value("epsilon")?.parse().map_err(|_| "--epsilon needs a number")?;
             }
+            "--allow-legacy" => args.allow_legacy = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -101,11 +162,17 @@ fn main() -> ExitCode {
         }
     };
 
-    let oracle = match (&args.snapshot, args.demo) {
-        (Some(path), None) => match source::load_snapshot(path) {
-            Ok(oracle) => {
-                eprintln!("loaded snapshot {} ({} nodes)", path.display(), oracle.n());
-                oracle
+    let (oracle, info) = match (&args.snapshot, args.demo) {
+        (Some(path), None) => match source::load_snapshot(path, args.allow_legacy) {
+            Ok(loaded) => {
+                eprintln!(
+                    "loaded snapshot {} ({} nodes, format v{}, build {})",
+                    path.display(),
+                    loaded.oracle.n(),
+                    loaded.info.version,
+                    loaded.info.build_id,
+                );
+                (loaded.oracle, loaded.info)
             }
             Err(e) => {
                 eprintln!("error: cannot load snapshot {}: {e}", path.display());
@@ -119,7 +186,8 @@ fn main() -> ExitCode {
                     oracle.build_rounds(),
                     oracle.landmarks().len()
                 );
-                oracle
+                let info = SnapshotInfo::in_process(&oracle, "demo");
+                (oracle, info)
             }
             Err(e) => {
                 eprintln!("error: demo build failed: {e}");
@@ -142,20 +210,54 @@ fn main() -> ExitCode {
         };
     }
 
-    let mut config =
-        ServerConfig::default().with_addr(args.addr.clone()).with_cache_capacity(args.cache);
+    let mut config = ServerConfig::default()
+        .with_addr(args.addr.clone())
+        .with_cache_capacity(args.cache)
+        .with_allow_legacy(args.allow_legacy);
+    if let Some(path) = &args.snapshot {
+        // The served file doubles as the default reload source: an
+        // operator replaces it atomically and POSTs /reload (or SIGHUPs).
+        config = config.with_reload_path(path.clone());
+    }
     if let Some(workers) = args.workers {
         config = config.with_workers(workers);
     }
     let (n, landmarks, kib) =
         (oracle.n(), oracle.landmarks().len(), oracle.artifact_bytes() / 1024);
-    match Server::start(&config, oracle) {
+    match Server::start_with_info(&config, oracle, info) {
         Ok(handle) => {
             // CI and scripts wait for this exact line on stdout.
             println!(
                 "cc-serve listening on http://{} (n={n}, landmarks={landmarks}, {kib} KiB)",
                 handle.addr()
             );
+            // SIGHUP → reload the default snapshot, off the signal handler
+            // and off the request path. A failed install or spawn must be
+            // loud: otherwise the documented reload path would silently
+            // keep the default SIGHUP disposition (terminate the process).
+            if sighup::install() {
+                let state = handle.shared_state();
+                std::thread::Builder::new()
+                    .name("cc-serve-sighup".to_owned())
+                    .spawn(move || loop {
+                        std::thread::sleep(Duration::from_millis(200));
+                        if sighup::take() {
+                            match state.reload_default() {
+                                Ok(outcome) => eprintln!(
+                                    "SIGHUP reload ok: build {} from {}",
+                                    outcome.info.build_id, outcome.info.source
+                                ),
+                                Err(e) => eprintln!("SIGHUP reload failed: {e}"),
+                            }
+                        }
+                    })
+                    .expect("spawn SIGHUP watcher thread");
+            } else {
+                eprintln!(
+                    "warning: could not install the SIGHUP handler; \
+                     hot reload is available via POST /reload only"
+                );
+            }
             handle.join();
             ExitCode::SUCCESS
         }

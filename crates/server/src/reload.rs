@@ -1,0 +1,247 @@
+//! Atomic hot-swap of the served artifact: a [`ReloadHandle`] lets the
+//! request path keep answering on the current snapshot while a new one is
+//! loaded, validated, and swapped in — with zero dropped requests.
+//!
+//! The build image has no `arc-swap` crate, so the handle is an
+//! `RwLock<Arc<Generation>>` used as a pointer cell: readers take the read
+//! lock only long enough to clone the `Arc` (a refcount bump, never held
+//! across a query), and a swap takes the write lock only to replace the
+//! pointer. In-flight requests that already cloned the old generation
+//! finish on the old artifact; its memory is freed when the last clone
+//! drops.
+
+use std::sync::{Arc, RwLock};
+
+use cc_oracle::serde::SnapshotHeader;
+use cc_oracle::{CachingOracle, DistanceOracle};
+
+/// Identity of a serving artifact, as reported by `/stats` and
+/// `/artifact`: snapshot format version, build id (payload checksum), when
+/// the snapshot was written, and where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Snapshot format version the artifact was loaded from (the current
+    /// `serde::SNAPSHOT_VERSION` for in-process builds).
+    pub version: u32,
+    /// Stable artifact identity: the payload checksum as 16 hex digits.
+    /// Identical artifacts share a build id; any payload difference
+    /// changes it.
+    pub build_id: String,
+    /// Unix timestamp (seconds) the snapshot was written; `0` when unknown
+    /// (in-process builds that never touched disk).
+    pub created_unix_secs: u64,
+    /// Where the artifact came from: a snapshot path, or `"demo"` /
+    /// `"in-process"` for built-not-loaded oracles.
+    pub source: String,
+}
+
+impl SnapshotInfo {
+    /// Info for an artifact loaded from a versioned snapshot at `source`.
+    pub fn from_header(header: &SnapshotHeader, source: impl Into<String>) -> SnapshotInfo {
+        SnapshotInfo {
+            version: header.version,
+            build_id: header.build_id(),
+            created_unix_secs: header.created_unix_secs,
+            source: source.into(),
+        }
+    }
+
+    /// Info synthesized for an oracle built in-process (never snapshotted):
+    /// current format version, build id computed from the payload.
+    pub fn in_process(oracle: &DistanceOracle, source: impl Into<String>) -> SnapshotInfo {
+        SnapshotInfo {
+            version: cc_oracle::serde::SNAPSHOT_VERSION,
+            build_id: format!("{:016x}", cc_oracle::serde::payload_checksum(oracle)),
+            created_unix_secs: 0,
+            source: source.into(),
+        }
+    }
+
+    /// Info for an artifact parsed from a **legacy v1** snapshot (which
+    /// carries no metadata): version 1, build id computed from the payload.
+    pub fn legacy(oracle: &DistanceOracle, source: impl Into<String>) -> SnapshotInfo {
+        SnapshotInfo {
+            version: 1,
+            build_id: format!("{:016x}", cc_oracle::serde::payload_checksum(oracle)),
+            created_unix_secs: 0,
+            source: source.into(),
+        }
+    }
+}
+
+/// One immutable serving generation: an oracle behind its result cache,
+/// plus the identity of the snapshot it came from. A reload builds a fresh
+/// `Generation` (with an empty cache — answers from the old artifact must
+/// not leak into the new one) and swaps it in whole.
+pub struct Generation {
+    cached: CachingOracle,
+    info: SnapshotInfo,
+}
+
+impl Generation {
+    /// Wraps `oracle` for serving with a fresh cache of `cache_capacity`
+    /// entries.
+    pub fn new(oracle: DistanceOracle, info: SnapshotInfo, cache_capacity: usize) -> Generation {
+        Generation { cached: CachingOracle::new(oracle, cache_capacity.max(1)), info }
+    }
+
+    /// The artifact this generation serves.
+    pub fn oracle(&self) -> &DistanceOracle {
+        self.cached.oracle()
+    }
+
+    /// The cache-fronted query interface.
+    pub fn cached(&self) -> &CachingOracle {
+        &self.cached
+    }
+
+    /// Identity of the snapshot this generation was loaded from.
+    pub fn info(&self) -> &SnapshotInfo {
+        &self.info
+    }
+}
+
+/// The swap point between the request path and reloads.
+///
+/// # Example
+///
+/// ```
+/// use cc_server::{Generation, ReloadHandle, SnapshotInfo};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let old = cc_server::source::build_demo(16, 1, 0.25)?;
+/// let new = cc_server::source::build_demo(16, 2, 0.25)?;
+///
+/// let handle = ReloadHandle::new(Generation::new(
+///     old,
+///     SnapshotInfo::in_process(&cc_server::source::build_demo(16, 1, 0.25)?, "demo"),
+///     1024,
+/// ));
+///
+/// // The request path clones the current generation (a refcount bump)...
+/// let serving = handle.current();
+/// let before = serving.oracle().query(0, 15);
+///
+/// // ...a reload swaps in a validated replacement atomically...
+/// let info = SnapshotInfo::in_process(&new, "demo-2");
+/// handle.swap(Generation::new(new, info, 1024));
+///
+/// // ...and the clone taken before the swap still answers on the old
+/// // artifact, so an in-flight request never sees a half-swapped state.
+/// assert_eq!(serving.oracle().query(0, 15), before);
+/// assert_eq!(handle.current().info().source, "demo-2");
+/// # Ok(())
+/// # }
+/// ```
+pub struct ReloadHandle {
+    current: RwLock<Arc<Generation>>,
+}
+
+impl ReloadHandle {
+    /// Starts with `initial` as the serving generation.
+    pub fn new(initial: Generation) -> ReloadHandle {
+        ReloadHandle { current: RwLock::new(Arc::new(initial)) }
+    }
+
+    /// The generation serving right now. The read lock is held only for
+    /// the `Arc` clone, so this never blocks behind a load — only behind
+    /// the pointer swap itself, which is a few instructions.
+    pub fn current(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.read().expect("reload handle poisoned"))
+    }
+
+    /// Atomically replaces the serving generation, returning the previous
+    /// one. Callers must fully load **and validate** the new artifact
+    /// before calling this; in-flight requests holding the old `Arc`
+    /// finish on the old artifact.
+    pub fn swap(&self, next: Generation) -> Arc<Generation> {
+        let mut slot = self.current.write().expect("reload handle poisoned");
+        std::mem::replace(&mut *slot, Arc::new(next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::build_demo;
+
+    #[test]
+    fn swap_is_atomic_and_old_readers_finish_on_the_old_artifact() {
+        let a = build_demo(20, 3, 0.5).unwrap();
+        let b = build_demo(20, 4, 0.5).unwrap();
+        let a_answers: Vec<_> = (0..20).map(|v| a.query(0, v)).collect();
+        let b_answers: Vec<_> = (0..20).map(|v| b.query(0, v)).collect();
+
+        let handle =
+            ReloadHandle::new(Generation::new(a.clone(), SnapshotInfo::in_process(&a, "a"), 64));
+        let held = handle.current();
+        let prev = handle.swap(Generation::new(b.clone(), SnapshotInfo::in_process(&b, "b"), 64));
+        assert_eq!(prev.info().source, "a");
+
+        // The pre-swap clone still serves A; fresh clones serve B.
+        for v in 0..20 {
+            assert_eq!(held.oracle().query(0, v), a_answers[v]);
+            assert_eq!(handle.current().oracle().query(0, v), b_answers[v]);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_complete_generation() {
+        let a = build_demo(16, 5, 0.5).unwrap();
+        let b = build_demo(16, 6, 0.5).unwrap();
+        let a_ans: Vec<_> = (0..16).map(|v| a.query(3, v)).collect();
+        let b_ans: Vec<_> = (0..16).map(|v| b.query(3, v)).collect();
+        let handle =
+            ReloadHandle::new(Generation::new(a.clone(), SnapshotInfo::in_process(&a, "a"), 64));
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = &handle;
+                let (a_ans, b_ans) = (&a_ans, &b_ans);
+                scope.spawn(move || {
+                    for _ in 0..2_000 {
+                        let generation = handle.current();
+                        let src = generation.info().source.clone();
+                        // Every answer from one clone must be internally
+                        // consistent with exactly that generation.
+                        for v in 0..16 {
+                            let d = generation.cached().query(3, v);
+                            let want = if src == "a" { a_ans[v] } else { b_ans[v] };
+                            assert_eq!(d, want, "generation {src} answered inconsistently");
+                        }
+                    }
+                });
+            }
+            let handle = &handle;
+            scope.spawn(move || {
+                for i in 0..50 {
+                    let (oracle, name) =
+                        if i % 2 == 0 { (b.clone(), "b") } else { (a.clone(), "a") };
+                    let info = SnapshotInfo::in_process(&oracle, name);
+                    handle.swap(Generation::new(oracle, info, 64));
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn snapshot_info_variants_describe_their_origin() {
+        let oracle = build_demo(12, 9, 0.5).unwrap();
+        let bytes = cc_oracle::serde::to_bytes_created_at(&oracle, 1_753_000_000);
+        let header = cc_oracle::serde::peek_header(&bytes).unwrap();
+
+        let from_file = SnapshotInfo::from_header(&header, "/tmp/x.snap");
+        assert_eq!(from_file.version, cc_oracle::serde::SNAPSHOT_VERSION);
+        assert_eq!(from_file.created_unix_secs, 1_753_000_000);
+        assert_eq!(from_file.source, "/tmp/x.snap");
+
+        let built = SnapshotInfo::in_process(&oracle, "demo");
+        // Same artifact ⇒ same build id, regardless of how it arrived.
+        assert_eq!(built.build_id, from_file.build_id);
+        assert_eq!(built.created_unix_secs, 0);
+
+        let legacy = SnapshotInfo::legacy(&oracle, "/tmp/old.snap");
+        assert_eq!(legacy.version, 1);
+        assert_eq!(legacy.build_id, from_file.build_id);
+    }
+}

@@ -13,6 +13,7 @@ use cc_oracle::DistanceOracle;
 use crate::handlers::AppState;
 use crate::http::{read_request, write_response, HttpError, Response};
 use crate::pool::{SubmitError, WorkerPool};
+use crate::reload::SnapshotInfo;
 use crate::ServerConfig;
 
 /// How long the acceptor sleeps when there is nothing to accept.
@@ -25,15 +26,40 @@ pub struct Server;
 impl Server {
     /// Binds `config.addr` and starts serving `oracle` in the background.
     ///
+    /// The artifact is reported as an in-process build; a server fronting
+    /// a loaded snapshot should use [`Server::start_with_info`] so
+    /// `/stats` and `/artifact` carry the snapshot's real identity.
+    ///
     /// # Errors
     ///
     /// Propagates bind/configuration I/O errors; everything after a
     /// successful return is handled per-connection.
     pub fn start(config: &ServerConfig, oracle: DistanceOracle) -> io::Result<ServerHandle> {
+        let info = SnapshotInfo::in_process(&oracle, "in-process");
+        Server::start_with_info(config, oracle, info)
+    }
+
+    /// [`Server::start`] with an explicit identity for the initial
+    /// artifact (version, build id, source path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O errors.
+    pub fn start_with_info(
+        config: &ServerConfig,
+        oracle: DistanceOracle,
+        info: SnapshotInfo,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(AppState::new(oracle, config.cache_capacity));
+        let state = Arc::new(AppState::with_info(
+            oracle,
+            info,
+            config.cache_capacity,
+            config.reload_path.clone(),
+            config.allow_legacy,
+        ));
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let acceptor = {
@@ -66,6 +92,13 @@ impl ServerHandle {
     /// The shared serving state (counters, artifact), e.g. for tests.
     pub fn state(&self) -> &AppState {
         &self.state
+    }
+
+    /// An owned handle to the shared serving state, for threads that
+    /// outlive borrows of this handle — e.g. the `cc-serve` binary's
+    /// SIGHUP watcher calling [`AppState::reload_default`].
+    pub fn shared_state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
     }
 
     /// Stops accepting, drains in-flight work, and joins every thread.

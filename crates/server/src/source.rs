@@ -6,18 +6,44 @@ use std::path::Path;
 
 use cc_clique::Clique;
 use cc_graph::{generators, Graph};
-use cc_oracle::{serde, DistanceOracle, OracleBuilder};
+use cc_oracle::{serde, DistanceOracle, OracleBuilder, OracleError};
 
-/// Loads an oracle from an [`cc_oracle::serde`] snapshot file, validating
-/// the bytes.
+use crate::reload::SnapshotInfo;
+
+/// An oracle loaded from disk together with the identity of the snapshot
+/// it came from (version, build id, creation time, path).
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// The validated artifact.
+    pub oracle: DistanceOracle,
+    /// Where it came from and what it is, for `/stats` and `/artifact`.
+    pub info: SnapshotInfo,
+}
+
+/// Loads an oracle from a **versioned** [`cc_oracle::serde`] snapshot
+/// file, validating magic, version, checksum and structure.
+///
+/// When `allow_legacy` is set, a pre-versioning (v1) snapshot is accepted
+/// too — the one-release migration path; otherwise v1 bytes are rejected
+/// with [`cc_oracle::OracleError::LegacySnapshot`].
 ///
 /// # Errors
 ///
-/// I/O errors reading the file and
-/// [`cc_oracle::OracleError::CorruptSnapshot`] for invalid bytes.
-pub fn load_snapshot(path: &Path) -> Result<DistanceOracle, Box<dyn Error>> {
+/// I/O errors reading the file and every [`cc_oracle::serde::from_bytes`]
+/// validation error.
+pub fn load_snapshot(path: &Path, allow_legacy: bool) -> Result<LoadedSnapshot, Box<dyn Error>> {
     let bytes = std::fs::read(path)?;
-    Ok(serde::from_bytes(&bytes)?)
+    let source = path.display().to_string();
+    match serde::from_bytes_with_header(&bytes) {
+        Ok((header, oracle)) => {
+            Ok(LoadedSnapshot { info: SnapshotInfo::from_header(&header, source), oracle })
+        }
+        Err(OracleError::LegacySnapshot) if allow_legacy => {
+            let oracle = serde::from_bytes_legacy(&bytes)?;
+            Ok(LoadedSnapshot { info: SnapshotInfo::legacy(&oracle, source), oracle })
+        }
+        Err(e) => Err(e.into()),
+    }
 }
 
 /// Writes `oracle` to `path` as a snapshot file.
@@ -56,14 +82,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_round_trips_through_disk() {
+    fn snapshot_round_trips_through_disk_with_its_identity() {
         let oracle = build_demo(20, 3, 0.5).unwrap();
         let dir = std::env::temp_dir().join("cc-serve-test-snap");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("oracle.snap");
         write_snapshot(&oracle, &path).unwrap();
-        let back = load_snapshot(&path).unwrap();
-        assert_eq!(back, oracle);
+        let back = load_snapshot(&path, false).unwrap();
+        assert_eq!(back.oracle, oracle);
+        assert_eq!(back.info.version, serde::SNAPSHOT_VERSION);
+        assert_eq!(back.info.build_id, format!("{:016x}", serde::payload_checksum(&oracle)));
+        assert_eq!(back.info.source, path.display().to_string());
         std::fs::remove_file(&path).ok();
     }
 
@@ -73,8 +102,25 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.snap");
         std::fs::write(&path, b"definitely not an oracle").unwrap();
-        assert!(load_snapshot(&path).is_err());
+        assert!(load_snapshot(&path, false).is_err());
         std::fs::remove_file(&path).ok();
-        assert!(load_snapshot(Path::new("/nonexistent/oracle.snap")).is_err());
+        assert!(load_snapshot(Path::new("/nonexistent/oracle.snap"), false).is_err());
+    }
+
+    #[test]
+    fn legacy_snapshots_need_the_explicit_opt_in() {
+        let oracle = build_demo(18, 4, 0.5).unwrap();
+        let dir = std::env::temp_dir().join("cc-serve-test-snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.snap");
+        std::fs::write(&path, serde::to_bytes_legacy(&oracle)).unwrap();
+
+        let err = load_snapshot(&path, false).unwrap_err();
+        assert!(err.to_string().contains("legacy"), "error must say why: {err}");
+
+        let loaded = load_snapshot(&path, true).unwrap();
+        assert_eq!(loaded.oracle, oracle);
+        assert_eq!(loaded.info.version, 1, "legacy artifacts report format version 1");
+        std::fs::remove_file(&path).ok();
     }
 }

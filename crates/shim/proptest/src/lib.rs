@@ -4,8 +4,8 @@
 //! crate implements the API subset the workspace's property tests use:
 //!
 //! * the [`proptest!`] macro (generate inputs, run the body many times);
-//! * [`Strategy`] for integer ranges, tuples, [`Just`], `prop_map`,
-//!   and [`prop::collection::vec`];
+//! * [`Strategy`](strategy::Strategy) for integer ranges, tuples,
+//!   [`Just`](strategy::Just), `prop_map`, and [`prop::collection::vec`];
 //! * [`prop_oneof!`] with weights;
 //! * `prop_assert!` / `prop_assert_eq!` (plain panicking asserts here).
 //!

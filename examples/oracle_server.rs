@@ -31,14 +31,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Snapshot to disk and reload, exactly like a serving deployment.
+    //    Snapshots are versioned and checksummed; the loader reports what
+    //    it validated.
     let path = std::env::temp_dir().join("cc-serve-example.snap");
     congested_clique::serve::source::write_snapshot(&oracle, &path)?;
-    let reloaded = congested_clique::serve::source::load_snapshot(&path)?;
-    println!("snapshot: {} bytes on disk, reloads identically\n", std::fs::metadata(&path)?.len());
-    std::fs::remove_file(&path).ok();
+    let loaded = congested_clique::serve::source::load_snapshot(&path, false)?;
+    println!(
+        "snapshot: {} bytes on disk (format v{}, build {}), reloads identically\n",
+        std::fs::metadata(&path)?.len(),
+        loaded.info.version,
+        loaded.info.build_id,
+    );
 
-    // 3. Serve it over a real socket (ephemeral port).
-    let handle = Server::start(&ServerConfig::default(), reloaded)?;
+    // 3. Serve it over a real socket (ephemeral port). Keeping the file
+    //    around as the reload source lets us hot-swap below.
+    let config = ServerConfig::default().with_reload_path(&path);
+    let handle = Server::start_with_info(&config, loaded.oracle, loaded.info)?;
     println!("serving on http://{}", handle.addr());
 
     // 4. Talk to it over HTTP.
@@ -68,6 +76,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  GET /stats               -> {}", String::from_utf8(stats)?);
     let (_, artifact) = client.get("/artifact")?;
     println!("  GET /artifact            -> {}", String::from_utf8(artifact)?);
+
+    // 5. Hot reload: rebuild with a different seed, overwrite the snapshot
+    //    file, and swap it in without restarting — in-flight traffic keeps
+    //    being answered throughout.
+    let mut clique = Clique::new(n);
+    let rebuilt = OracleBuilder::new().epsilon(0.25).seed(4).build(&mut clique, &g)?;
+    congested_clique::serve::source::write_snapshot(&rebuilt, &path)?;
+    let (status, body) = client.post("/reload", b"")?;
+    println!("\n  POST /reload             -> {status} {}", String::from_utf8(body)?);
+    std::fs::remove_file(&path).ok();
 
     handle.shutdown();
     println!("\nserver drained and shut down cleanly");

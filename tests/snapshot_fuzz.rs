@@ -4,12 +4,15 @@
 //! value (no panic, no abort), the diagonal stays zero, and the serving
 //! layer's `try_query` still validates ranges.
 //!
-//! (A flipped bit inside a stored distance can silently change a value
-//! while leaving the structure valid, so value-level properties — stretch
-//! against the original graph, even symmetry between the two endpoints'
-//! balls — cannot be asserted for an artifact that parses after
-//! corruption; total, validated, panic-free serving is the guarantee a
-//! hostile snapshot must not break.)
+//! Since the format gained a checksummed header (v2), corruption anywhere
+//! in the **payload** must be *rejected outright* — a flipped bit inside a
+//! stored distance used to be able to silently change an answer while
+//! leaving the structure valid; now it fails the checksum. Header flips in
+//! pure-metadata fields (seed, build rounds, created-at) can still parse —
+//! they change what the artifact *says about itself*, not the artifact —
+//! so the serves-totally property remains the fallback for any mutation
+//! that parses. The legacy (v1) decoder keeps the weaker guarantee and is
+//! fuzzed separately.
 
 use congested_clique::clique::Clique;
 use congested_clique::graph::generators;
@@ -61,6 +64,45 @@ proptest! {
         mutated[at] ^= 1 << bit;
         match serde::from_bytes(&mutated) {
             Err(_) => {} // rejection is the common, correct outcome
+            Ok(oracle) => assert_serves_totally(&oracle),
+        }
+    }
+
+    #[test]
+    fn payload_bit_flips_are_always_rejected_by_the_checksum(
+        at_frac in 0usize..10_000,
+        bit in 0usize..8,
+    ) {
+        let bytes = snapshot();
+        let payload_len = bytes.len() - serde::HEADER_LEN;
+        let at = serde::HEADER_LEN + at_frac * payload_len / 10_000;
+        let mut mutated = bytes.to_vec();
+        mutated[at] ^= 1 << bit;
+        // No payload corruption may survive v2 validation, not even one
+        // that keeps the structure parseable (e.g. inside a distance).
+        prop_assert!(
+            serde::from_bytes(&mutated).is_err(),
+            "payload flip at byte {at} bit {bit} must be rejected"
+        );
+    }
+
+    #[test]
+    fn legacy_decoder_never_panics_on_bit_flips(
+        at_frac in 0usize..10_000,
+        bit in 0usize..8,
+    ) {
+        // v1 has no checksum: structurally-valid corruption can parse, so
+        // the guarantee is the weaker serves-totally one.
+        static LEGACY: OnceLock<Vec<u8>> = OnceLock::new();
+        let bytes = LEGACY.get_or_init(|| {
+            let oracle = serde::from_bytes(snapshot()).expect("clean snapshot");
+            serde::to_bytes_legacy(&oracle)
+        });
+        let mut mutated = bytes.clone();
+        let at = at_frac * bytes.len() / 10_000;
+        mutated[at] ^= 1 << bit;
+        match serde::from_bytes_legacy(&mutated) {
+            Err(_) => {}
             Ok(oracle) => assert_serves_totally(&oracle),
         }
     }
