@@ -6,9 +6,12 @@
 //! tens of microseconds, so the clock read is noise — giving a **true
 //! per-request tail**. Writes `BENCH_server.json` at the workspace root:
 //! requests/sec plus per-request p50/p99 for `/distance`, batch-path
-//! throughput for `/batch`, and the same per-request tail measured **while
+//! throughput for `/batch`, the same per-request tail measured **while
 //! `/reload` hot-swaps snapshots under the traffic** — the cost of a swap
-//! shows up (or, ideally, doesn't) in `reload_under_load_p99_ns`.
+//! shows up (or, ideally, doesn't) in `reload_under_load_p99_ns` — and the
+//! identical workload against the **router tier** (`cc-serve --shards`
+//! mode, 3 shards): the `sharded_*` keys price the two-half-query combine
+//! against the monolithic path on the same artifact.
 
 use cc_clique::Clique;
 use cc_graph::generators;
@@ -216,7 +219,10 @@ fn measure_reload_under_load(
     }
 }
 
-fn emit_artifact(handle: &ServerHandle, m: &Measurement, r: &ReloadMeasurement) {
+/// How many shards the router-tier phase slices the same artifact into.
+const BENCH_SHARDS: usize = 3;
+
+fn emit_artifact(handle: &ServerHandle, m: &Measurement, r: &ReloadMeasurement, s: &Measurement) {
     let generation = handle.state().generation();
     let oracle = generation.oracle();
     let json = format!(
@@ -227,6 +233,9 @@ fn emit_artifact(handle: &ServerHandle, m: &Measurement, r: &ReloadMeasurement) 
          \"request_p99_ns\": {},\n  \"batch_pairs_per_sec\": {:.0},\n  \
          \"reloads_under_load\": {},\n  \"reload_under_load_p50_ns\": {},\n  \
          \"reload_under_load_p99_ns\": {},\n  \"reload_ms_mean\": {:.2},\n  \
+         \"sharded_shards\": {BENCH_SHARDS},\n  \"sharded_requests\": {},\n  \
+         \"sharded_requests_per_sec\": {:.0},\n  \"sharded_request_p50_ns\": {},\n  \
+         \"sharded_request_p99_ns\": {},\n  \"sharded_batch_pairs_per_sec\": {:.0},\n  \
          \"stretch_bound\": {}\n}}\n",
         oracle.n(),
         oracle.landmarks().len(),
@@ -240,11 +249,26 @@ fn emit_artifact(handle: &ServerHandle, m: &Measurement, r: &ReloadMeasurement) 
         r.p50_ns,
         r.p99_ns,
         r.reload_ms_mean,
+        s.requests,
+        s.requests as f64 / s.wall_secs,
+        s.p50_ns,
+        s.p99_ns,
+        s.batch_pairs_per_sec,
         oracle.stretch_bound(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
     std::fs::write(path, &json).expect("write BENCH_server.json");
     println!("BENCH_server.json: {json}");
+}
+
+/// Starts the router tier over `BENCH_SHARDS` per-shard snapshots of the
+/// same prebuilt artifact, exercising the real file-loading startup path.
+fn start_sharded_server(dir: &Path) -> ServerHandle {
+    let paths = cc_server::source::write_shard_snapshots(&prebuilt(), BENCH_SHARDS, dir)
+        .expect("write shard set");
+    let loaded = cc_server::source::load_shard_set(&paths).expect("load shard set");
+    let config = ServerConfig::default().with_addr("127.0.0.1:0").with_workers(CLIENTS + 2);
+    Server::start_sharded(&config, loaded).expect("sharded server start")
 }
 
 fn bench_server(c: &mut Criterion) {
@@ -275,7 +299,16 @@ fn bench_server(c: &mut Criterion) {
 
     let m = measure(&handle);
     let r = measure_reload_under_load(&handle, &live, &snap_a, &snap_b);
-    emit_artifact(&handle, &m, &r);
+
+    // The router tier on the same artifact and workload: a second server
+    // in --shards mode, hammered by the identical client harness.
+    let shard_dir = dir.join("shards");
+    let sharded = start_sharded_server(&shard_dir);
+    let s = measure(&sharded);
+    sharded.shutdown();
+    std::fs::remove_dir_all(&shard_dir).ok();
+
+    emit_artifact(&handle, &m, &r, &s);
     std::fs::remove_file(&live).ok();
     handle.shutdown();
 }

@@ -35,10 +35,31 @@ pub enum OracleError {
         /// Checksum computed over the payload actually present.
         computed: u64,
     },
-    /// The bytes are a pre-versioning (v1, magic `CCO1`) snapshot. They are
-    /// not accepted implicitly; callers that really mean to load one must
-    /// use `serde::from_bytes_legacy` (kept for one release).
+    /// The bytes are a pre-versioning (v1, magic `CCO1`) snapshot. The v1
+    /// reader was removed after its one-release migration window (see
+    /// `docs/SNAPSHOT_FORMAT.md`); rebuild the artifact and write a current
+    /// snapshot.
     LegacySnapshot,
+    /// The bytes are a **per-shard** snapshot (magic `CCSH`): one slice of a
+    /// sharded artifact set, not a complete oracle. Load it with
+    /// `serde::from_shard_bytes` and assemble the set behind a
+    /// `shard::ShardRouter`.
+    ShardSnapshot,
+    /// A shard snapshot declared a different shard index than the slot it
+    /// was loaded into — e.g. shard 2's file offered as shard 0 of the set.
+    ShardIndexMismatch {
+        /// The slot the caller was filling.
+        expected: u32,
+        /// The index the snapshot declares for itself.
+        found: u32,
+    },
+    /// The shards offered as one set do not describe the same artifact:
+    /// they disagree on `n`, `k`, `ε`, the landmark set, the shard count,
+    /// or the set id (the parent artifact's build id).
+    ShardSetMismatch {
+        /// Which field disagreed, and how.
+        what: String,
+    },
     /// A query named a node outside `0..n`. Returned by the fallible
     /// `try_query` family so a serving layer can map bad requests to a
     /// client error instead of panicking the process.
@@ -70,8 +91,25 @@ impl std::fmt::Display for OracleError {
             OracleError::LegacySnapshot => {
                 write!(
                     f,
-                    "legacy (v1) snapshot: not loaded implicitly; migrate it via from_bytes_legacy"
+                    "legacy (v1) snapshot: the v1 reader was removed; rebuild the artifact \
+                     and write a current-format snapshot"
                 )
+            }
+            OracleError::ShardSnapshot => {
+                write!(
+                    f,
+                    "per-shard snapshot: one slice of a sharded artifact set, not a complete \
+                     oracle; load it via from_shard_bytes and route through a ShardRouter"
+                )
+            }
+            OracleError::ShardIndexMismatch { expected, found } => {
+                write!(
+                    f,
+                    "shard snapshot declares index {found} but was loaded as shard {expected}"
+                )
+            }
+            OracleError::ShardSetMismatch { what } => {
+                write!(f, "inconsistent shard set: {what}")
             }
             OracleError::QueryOutOfRange { u, v, n } => {
                 write!(f, "query ({u}, {v}) outside 0..{n}")
@@ -103,6 +141,10 @@ pub(crate) fn corrupt(what: impl Into<String>) -> OracleError {
     OracleError::CorruptSnapshot { what: what.into() }
 }
 
+pub(crate) fn set_mismatch(what: impl Into<String>) -> OracleError {
+    OracleError::ShardSetMismatch { what: what.into() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +162,12 @@ mod tests {
         assert!(e.to_string().contains("000000000000abcd"), "{e}");
         assert!(e.to_string().contains("0000000000001234"), "{e}");
         assert!(OracleError::LegacySnapshot.to_string().contains("legacy"));
+        assert!(OracleError::ShardSnapshot.to_string().contains("ShardRouter"));
+        let e = OracleError::ShardIndexMismatch { expected: 0, found: 2 };
+        assert!(e.to_string().contains("index 2"), "{e}");
+        assert!(e.to_string().contains("shard 0"), "{e}");
+        let e = set_mismatch("shard 1: n = 16 but the set has n = 32");
+        assert!(e.to_string().contains("inconsistent shard set"), "{e}");
+        assert!(e.to_string().contains("n = 16"), "{e}");
     }
 }

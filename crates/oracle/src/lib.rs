@@ -30,6 +30,14 @@
 //!   artifact is rejected ([`OracleError::SnapshotVersionMismatch`],
 //!   [`OracleError::SnapshotChecksumMismatch`]) instead of silently
 //!   served. The byte layout is specified in `docs/SNAPSHOT_FORMAT.md`.
+//! * [`shard::ShardedArtifact`] partitions a built oracle by contiguous
+//!   node range — per-shard balls and nearest-landmark rows, replicated
+//!   landmark columns — and [`shard::ShardRouter`] answers queries over the
+//!   set **bit-identically to the monolith** by combining one
+//!   [`shard::HalfQuery`] per endpoint. Per-shard snapshots
+//!   ([`serde::to_shard_bytes`]) carry shard index/count and a shared set
+//!   id, so a router tier (`cc-serve --shards`) can load, verify, and
+//!   hot-swap each slice independently. See `docs/SHARDING.md`.
 //!
 //! # Stretch guarantee
 //!
@@ -108,8 +116,10 @@ mod cache;
 mod error;
 mod oracle;
 pub mod serde;
+pub mod shard;
 
 pub use builder::OracleBuilder;
 pub use cache::{CacheStats, CachingOracle};
 pub use error::OracleError;
 pub use oracle::{DistanceOracle, MAX_FINITE_DISTANCE};
+pub use shard::{OracleShard, ShardPlan, ShardRouter, ShardedArtifact};

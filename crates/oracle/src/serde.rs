@@ -24,15 +24,25 @@
 //! ([`OracleError::SnapshotVersionMismatch`]) and a payload whose checksum
 //! disagrees with the header ([`OracleError::SnapshotChecksumMismatch`]),
 //! on top of the structural validation (truncation, trailing bytes,
-//! out-of-range indices, ∞-sentinel distances) both formats always had.
+//! out-of-range indices, ∞-sentinel distances) the format always had.
+//!
+//! **Per-shard snapshots** (one slice of a [`crate::shard::ShardedArtifact`])
+//! share the layout but open with magic `b"CCSH"` and a 96-byte header:
+//! the v2 fields plus shard index, shard count, and the parent artifact's
+//! set id, with the checksum covering those shard fields *and* the payload
+//! (so a flipped shard index can never slip through). [`to_shard_bytes`] /
+//! [`from_shard_bytes`] read and write them; [`from_bytes`] refuses a
+//! shard file with [`OracleError::ShardSnapshot`] rather than serving a
+//! slice as a whole artifact.
 //!
 //! The pre-versioning v1 layout (magic `b"CCO1"`, no build metadata, no
-//! checksum) is recognized and reported as [`OracleError::LegacySnapshot`];
-//! [`from_bytes_legacy`] still parses it for **one release** so operators
-//! can migrate artifacts (load legacy, write back with [`to_bytes`]). See
-//! the compatibility policy in `docs/SNAPSHOT_FORMAT.md`.
+//! checksum) is recognized and reported as [`OracleError::LegacySnapshot`].
+//! Its reader (`from_bytes_legacy`) was **removed** after the one-release
+//! migration window promised in `docs/SNAPSHOT_FORMAT.md`; v1 bytes are
+//! now rejected everywhere, never parsed.
 
 use crate::error::corrupt;
+use crate::shard::{OracleShard, ShardPlan};
 use crate::{DistanceOracle, OracleError};
 
 /// Magic bytes opening a versioned (v2+) snapshot.
@@ -42,10 +52,18 @@ pub const SNAPSHOT_VERSION: u32 = 2;
 /// Size of the fixed v2 header in bytes.
 pub const HEADER_LEN: usize = 80;
 
-/// Magic bytes of the legacy (v1) format, accepted only by
-/// [`from_bytes_legacy`].
+/// Magic bytes opening a per-shard snapshot.
+pub const SHARD_MAGIC: &[u8; 4] = b"CCSH";
+/// Size of the fixed per-shard header in bytes: the 80-byte v2 header plus
+/// shard index (`u32`), shard count (`u32`), and set id (`u64`).
+pub const SHARD_HEADER_LEN: usize = 96;
+/// Offset where the shard-specific header fields (and the region the shard
+/// checksum covers) begin.
+const SHARD_FIELDS_AT: usize = 80;
+
+/// Magic bytes of the removed legacy (v1) format, recognized only to
+/// reject it with a precise error.
 const LEGACY_MAGIC: &[u8; 4] = b"CCO1";
-const LEGACY_VERSION: u32 = 1;
 
 /// The parsed, validated header of a versioned snapshot: everything an
 /// operator (or a serving tier deciding whether to hot-swap) needs to know
@@ -81,6 +99,64 @@ impl SnapshotHeader {
     /// matter when they were written; any payload difference changes it.
     pub fn build_id(&self) -> String {
         format!("{:016x}", self.checksum)
+    }
+}
+
+/// The parsed, validated header of a **per-shard** snapshot: everything in
+/// [`SnapshotHeader`] plus which slice of which set this file is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHeader {
+    /// Snapshot format version (currently [`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Number of nodes the **parent artifact** covers (not just this shard).
+    pub n: usize,
+    /// Ball-size parameter `k` of the parent build.
+    pub k: usize,
+    /// MSSP accuracy parameter `ε` of the parent build.
+    pub epsilon: f64,
+    /// Number of landmarks (replicated into every shard).
+    pub landmarks: usize,
+    /// Landmark-selection seed of the parent build.
+    pub seed: u64,
+    /// Clique rounds the parent build charged.
+    pub build_rounds: u64,
+    /// Unix timestamp (seconds) when the shard snapshot was written; `0`
+    /// when unknown.
+    pub created_unix_secs: u64,
+    /// Length of the payload in bytes.
+    pub payload_len: u64,
+    /// FNV-1a 64 checksum of the shard fields **and** the payload (every
+    /// byte after the checksum field itself), so a flipped shard index or
+    /// set id is caught like any payload corruption.
+    pub checksum: u64,
+    /// This shard's index within its set.
+    pub shard_index: u32,
+    /// Total shards in the set.
+    pub shard_count: u32,
+    /// Identity of the parent artifact: its monolithic payload checksum
+    /// ([`payload_checksum`]), shared by every shard of one set.
+    pub set_id: u64,
+}
+
+impl ShardHeader {
+    /// This shard file's build id: its checksum as 16 hex digits. Distinct
+    /// per shard (each carries a different slice); use
+    /// [`ShardHeader::set_build_id`] for the identity the whole set shares.
+    pub fn build_id(&self) -> String {
+        format!("{:016x}", self.checksum)
+    }
+
+    /// The parent artifact's build id as 16 hex digits — equal across all
+    /// shards of one set, and equal to the monolithic snapshot's build id.
+    pub fn set_build_id(&self) -> String {
+        format!("{:016x}", self.set_id)
+    }
+
+    /// The node range this shard owns under the recomputed [`ShardPlan`].
+    pub fn owned(&self) -> std::ops::Range<usize> {
+        ShardPlan::new(self.n, self.shard_count as usize)
+            .expect("validated at parse time")
+            .range(self.shard_index as usize)
     }
 }
 
@@ -223,20 +299,67 @@ pub fn to_bytes_created_at(oracle: &DistanceOracle, created_unix_secs: u64) -> V
     w.buf
 }
 
-/// Serializes `oracle` in the **legacy v1 layout** (magic `b"CCO1"`, no
-/// metadata, no checksum). Exists only so migration tooling and tests can
-/// produce v1 bytes; it is removed together with [`from_bytes_legacy`].
-pub fn to_bytes_legacy(oracle: &DistanceOracle) -> Vec<u8> {
-    let mut w = Writer { buf: Vec::with_capacity(64 + oracle.artifact_bytes()) };
-    w.buf.extend_from_slice(LEGACY_MAGIC);
-    w.u32(LEGACY_VERSION);
-    w.u64(oracle.n as u64);
-    w.u64(oracle.k as u64);
-    w.u64(oracle.seed);
-    w.u64(oracle.build_rounds);
-    w.u64(oracle.epsilon.to_bits());
-    w.u64(oracle.landmarks.len() as u64);
-    w.buf.extend_from_slice(&payload_bytes(oracle));
+/// Serializes the payload section of a per-shard snapshot: replicated
+/// landmarks, the owned nearest-landmark rows and balls, and the
+/// replicated column matrix.
+fn shard_payload_bytes(shard: &OracleShard) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::with_capacity(shard.artifact_bytes() + 16) };
+    for &a in &shard.landmarks {
+        w.u32(a);
+    }
+    for &(idx, d) in &shard.nearest_landmark {
+        w.u32(idx);
+        w.u64(d);
+    }
+    for ball in &shard.balls {
+        w.u64(ball.len() as u64);
+        for &(id, d) in ball {
+            w.u32(id);
+            w.u64(d);
+        }
+    }
+    for &c in &shard.columns {
+        w.u64(c);
+    }
+    w.buf
+}
+
+/// Serializes one shard into a self-contained per-shard snapshot (magic
+/// [`SHARD_MAGIC`], 96-byte header, checksummed shard fields + payload).
+pub fn to_shard_bytes(shard: &OracleShard) -> Vec<u8> {
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    to_shard_bytes_created_at(shard, created)
+}
+
+/// [`to_shard_bytes`] with an explicit `created_unix_secs` header field,
+/// for byte-for-byte reproducible shard snapshots.
+pub fn to_shard_bytes_created_at(shard: &OracleShard, created_unix_secs: u64) -> Vec<u8> {
+    let payload = shard_payload_bytes(shard);
+    // The checksum covers every byte after itself: shard index, count, set
+    // id, then the payload.
+    let mut summed = Writer { buf: Vec::with_capacity(16 + payload.len()) };
+    summed.u32(shard.index);
+    summed.u32(shard.count);
+    summed.u64(shard.set_id);
+    summed.buf.extend_from_slice(&payload);
+
+    let mut w = Writer { buf: Vec::with_capacity(SHARD_HEADER_LEN + payload.len()) };
+    w.buf.extend_from_slice(SHARD_MAGIC);
+    w.u32(SNAPSHOT_VERSION);
+    w.u64(shard.n as u64);
+    w.u64(shard.k as u64);
+    w.u64(shard.epsilon.to_bits());
+    w.u64(shard.landmarks.len() as u64);
+    w.u64(shard.seed);
+    w.u64(shard.build_rounds);
+    w.u64(created_unix_secs);
+    w.u64(payload.len() as u64);
+    w.u64(fnv1a(&summed.buf));
+    debug_assert_eq!(w.buf.len(), SHARD_FIELDS_AT);
+    w.buf.extend_from_slice(&summed.buf);
+    debug_assert_eq!(w.buf.len(), SHARD_HEADER_LEN + payload.len());
     w.buf
 }
 
@@ -247,8 +370,9 @@ pub fn to_bytes_legacy(oracle: &DistanceOracle) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// * [`OracleError::LegacySnapshot`] for v1 bytes (use
-///   [`from_bytes_legacy`]).
+/// * [`OracleError::LegacySnapshot`] for removed v1 bytes.
+/// * [`OracleError::ShardSnapshot`] for a per-shard snapshot (use
+///   [`from_shard_bytes`]).
 /// * [`OracleError::SnapshotVersionMismatch`] for a versioned snapshot
 ///   from a different format generation.
 /// * [`OracleError::SnapshotChecksumMismatch`] when the payload does not
@@ -260,6 +384,9 @@ pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, OracleError> {
     let magic = r.take(4)?;
     if magic == LEGACY_MAGIC {
         return Err(OracleError::LegacySnapshot);
+    }
+    if magic == SHARD_MAGIC {
+        return Err(OracleError::ShardSnapshot);
     }
     if magic != SNAPSHOT_MAGIC {
         return Err(corrupt("bad magic (not an oracle snapshot)"));
@@ -332,65 +459,175 @@ pub fn from_bytes_with_header(
 ) -> Result<(SnapshotHeader, DistanceOracle), OracleError> {
     let header = peek_header(bytes)?;
     let mut r = Reader { bytes, at: HEADER_LEN };
-    let oracle = read_body(
-        &mut r,
-        header.n,
-        header.k,
-        header.epsilon,
-        header.seed,
-        header.build_rounds,
-        header.landmarks,
-    )?;
+    let sections = read_sections(&mut r, header.n, header.landmarks, header.n)?;
+    let oracle = DistanceOracle {
+        n: header.n,
+        k: header.k,
+        epsilon: header.epsilon,
+        seed: header.seed,
+        build_rounds: header.build_rounds,
+        landmarks: sections.landmarks,
+        balls: sections.balls,
+        nearest_landmark: sections.nearest_landmark,
+        columns: sections.columns,
+    };
     Ok((header, oracle))
 }
 
-/// Reconstructs an oracle from a **legacy v1** snapshot (magic `b"CCO1"`).
-///
-/// Kept for exactly one release so existing artifacts can be migrated:
-/// load with this, write back with [`to_bytes`]. New code must use
-/// [`from_bytes`]; `cc-serve` only falls back to this path behind its
-/// explicit `--allow-legacy` flag.
+/// Parses and fully validates the header of a **per-shard** snapshot —
+/// including the checksum over shard fields + payload — without building
+/// the shard. This is how a router tier inspects a shard file (index,
+/// count, set id) before deciding to swap it in.
 ///
 /// # Errors
 ///
-/// [`OracleError::CorruptSnapshot`] on wrong magic/version, truncation, or
-/// out-of-range indices. (v1 has no checksum: payload bit rot that keeps
-/// the structure valid is **not** detected — the reason the format was
-/// versioned.)
-pub fn from_bytes_legacy(bytes: &[u8]) -> Result<DistanceOracle, OracleError> {
+/// * [`OracleError::LegacySnapshot`] for removed v1 bytes.
+/// * [`OracleError::CorruptSnapshot`] for monolithic (`CCOS`) bytes, bad
+///   magic, truncation, an impossible shard plan (`count == 0`,
+///   `count > n`, `index >= count`), or implausible header fields.
+/// * [`OracleError::SnapshotVersionMismatch`] /
+///   [`OracleError::SnapshotChecksumMismatch`] as for [`peek_header`].
+pub fn peek_shard_header(bytes: &[u8]) -> Result<ShardHeader, OracleError> {
     let mut r = Reader { bytes, at: 0 };
-    if r.take(4)? != LEGACY_MAGIC {
-        return Err(corrupt("bad magic (not a legacy oracle snapshot)"));
+    let magic = r.take(4)?;
+    if magic == LEGACY_MAGIC {
+        return Err(OracleError::LegacySnapshot);
+    }
+    if magic == SNAPSHOT_MAGIC {
+        return Err(corrupt(
+            "monolithic snapshot (CCOS) where a per-shard snapshot (CCSH) was expected",
+        ));
+    }
+    if magic != SHARD_MAGIC {
+        return Err(corrupt("bad magic (not a shard snapshot)"));
     }
     let version = r.u32()?;
-    if version != LEGACY_VERSION {
-        return Err(corrupt(format!("unsupported legacy snapshot version {version}")));
+    if version != SNAPSHOT_VERSION {
+        return Err(OracleError::SnapshotVersionMismatch {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
     }
-    let remaining = bytes.len();
-    let n = r.len("n", remaining)?;
-    let k = r.len("k", remaining)?;
-    let seed = r.u64()?;
-    let build_rounds = r.u64()?;
+    let payload_cap = bytes.len().saturating_sub(SHARD_HEADER_LEN);
+    let n = r.len("n", payload_cap)?;
+    let k = r.len("k", payload_cap)?;
     let epsilon = f64::from_bits(r.u64()?);
     if epsilon <= 0.0 || !epsilon.is_finite() {
         return Err(corrupt(format!("epsilon {epsilon} out of range")));
     }
-    let s = r.len("landmark count", remaining)?;
-    read_body(&mut r, n, k, epsilon, seed, build_rounds, s)
+    let landmarks = r.len("landmark count", payload_cap)?;
+    let seed = r.u64()?;
+    let build_rounds = r.u64()?;
+    let created_unix_secs = r.u64()?;
+    let payload_len = r.u64()?;
+    let checksum = r.u64()?;
+    debug_assert_eq!(r.at, SHARD_FIELDS_AT);
+    if payload_len != payload_cap as u64 {
+        return Err(corrupt(format!(
+            "header claims a {payload_len}-byte payload but {payload_cap} bytes follow"
+        )));
+    }
+    // The checksum covers everything after itself (shard fields + payload),
+    // so corruption in the shard index / count / set id is caught here, not
+    // by downstream plan validation alone.
+    let computed = fnv1a(&bytes[SHARD_FIELDS_AT..]);
+    if computed != checksum {
+        return Err(OracleError::SnapshotChecksumMismatch { stored: checksum, computed });
+    }
+    let shard_index = r.u32()?;
+    let shard_count = r.u32()?;
+    let set_id = r.u64()?;
+    debug_assert_eq!(r.at, SHARD_HEADER_LEN);
+    // The plan is a pure function of (n, count); recompute and validate it
+    // rather than trusting any serialized range.
+    ShardPlan::new(n, shard_count as usize)
+        .map_err(|e| corrupt(format!("impossible shard plan: {e}")))?;
+    if shard_index >= shard_count {
+        return Err(corrupt(format!("shard index {shard_index} outside 0..{shard_count}")));
+    }
+    Ok(ShardHeader {
+        version,
+        n,
+        k,
+        epsilon,
+        landmarks,
+        seed,
+        build_rounds,
+        created_unix_secs,
+        payload_len,
+        checksum,
+        shard_index,
+        shard_count,
+        set_id,
+    })
 }
 
-/// Parses the payload section shared by both formats (landmarks → columns),
-/// validating index bounds, ball ordering, sentinel rules, and that the
-/// reader ends exactly at the end of the input.
-fn read_body(
+/// Reconstructs one shard from a [`to_shard_bytes`] snapshot, validating
+/// the header and the payload structure (index bounds, sorted balls,
+/// sentinel rules, the owned-range size implied by the recomputed
+/// [`ShardPlan`], exact length).
+///
+/// # Errors
+///
+/// Everything [`peek_shard_header`] rejects, plus
+/// [`OracleError::CorruptSnapshot`] for structural payload damage.
+pub fn from_shard_bytes(bytes: &[u8]) -> Result<OracleShard, OracleError> {
+    Ok(from_shard_bytes_with_header(bytes)?.1)
+}
+
+/// [`from_shard_bytes`] that also returns the validated [`ShardHeader`],
+/// so a serving layer can report the loaded shard's identity without
+/// re-parsing.
+///
+/// # Errors
+///
+/// Same as [`from_shard_bytes`].
+pub fn from_shard_bytes_with_header(
+    bytes: &[u8],
+) -> Result<(ShardHeader, OracleShard), OracleError> {
+    let header = peek_shard_header(bytes)?;
+    let owned = header.owned();
+    let mut r = Reader { bytes, at: SHARD_HEADER_LEN };
+    let sections = read_sections(&mut r, header.n, header.landmarks, owned.len())?;
+    let shard = OracleShard {
+        index: header.shard_index,
+        count: header.shard_count,
+        start: owned.start,
+        n: header.n,
+        k: header.k,
+        epsilon: header.epsilon,
+        seed: header.seed,
+        build_rounds: header.build_rounds,
+        set_id: header.set_id,
+        landmarks: sections.landmarks,
+        balls: sections.balls,
+        nearest_landmark: sections.nearest_landmark,
+        columns: sections.columns,
+    };
+    Ok((header, shard))
+}
+
+/// The parsed payload sections shared by monolithic and per-shard
+/// snapshots.
+struct Sections {
+    landmarks: Vec<u32>,
+    nearest_landmark: Vec<(u32, u64)>,
+    balls: Vec<Vec<(u32, u64)>>,
+    columns: Vec<u64>,
+}
+
+/// Parses the payload sections (landmarks → columns), validating index
+/// bounds, ball ordering, sentinel rules, and that the reader ends exactly
+/// at the end of the input. `rows` is the number of per-node rows present
+/// (`n` for a monolithic snapshot, the owned-range size for a shard); ids
+/// are always bounded by the full `n`, and the column matrix is always the
+/// full `n × s` (replicated into every shard).
+fn read_sections(
     r: &mut Reader<'_>,
     n: usize,
-    k: usize,
-    epsilon: f64,
-    seed: u64,
-    build_rounds: u64,
     s: usize,
-) -> Result<DistanceOracle, OracleError> {
+    rows: usize,
+) -> Result<Sections, OracleError> {
     let total = r.bytes.len();
     let mut landmarks = Vec::with_capacity(s);
     for _ in 0..s {
@@ -400,40 +637,40 @@ fn read_body(
         }
         landmarks.push(a);
     }
-    let mut nearest_landmark = Vec::with_capacity(n);
-    for v in 0..n {
+    let mut nearest_landmark = Vec::with_capacity(rows);
+    for v in 0..rows {
         let idx = r.u32()?;
         let d = r.u64()?;
         if idx as usize >= s {
-            return Err(corrupt(format!("node {v}: landmark index {idx} outside 0..{s}")));
+            return Err(corrupt(format!("node row {v}: landmark index {idx} outside 0..{s}")));
         }
         // u64::MAX is the ∞ sentinel; a nearest-landmark distance is always
         // finite (the hitting set guarantees a landmark inside each ball).
         if d == u64::MAX {
-            return Err(corrupt(format!("node {v}: infinite nearest-landmark distance")));
+            return Err(corrupt(format!("node row {v}: infinite nearest-landmark distance")));
         }
         nearest_landmark.push((idx, d));
     }
-    let mut balls = Vec::with_capacity(n);
-    for v in 0..n {
+    let mut balls = Vec::with_capacity(rows);
+    for v in 0..rows {
         let len = r.len("ball", total)?;
         let mut ball = Vec::with_capacity(len);
         for _ in 0..len {
             let id = r.u32()?;
             if id as usize >= n {
-                return Err(corrupt(format!("node {v}: ball member {id} outside 0..{n}")));
+                return Err(corrupt(format!("node row {v}: ball member {id} outside 0..{n}")));
             }
             let d = r.u64()?;
             // Ball members are reachable by construction, so a distance
             // equal to the ∞ sentinel can only come from corruption — and
             // would make `query` feed u64::MAX into `Dist::fin`.
             if d == u64::MAX {
-                return Err(corrupt(format!("node {v}: infinite ball distance")));
+                return Err(corrupt(format!("node row {v}: infinite ball distance")));
             }
             ball.push((id, d));
         }
         if !ball.is_sorted_by_key(|&(id, _)| id) {
-            return Err(corrupt(format!("node {v}: ball not sorted by id")));
+            return Err(corrupt(format!("node row {v}: ball not sorted by id")));
         }
         balls.push(ball);
     }
@@ -455,17 +692,7 @@ fn read_body(
     if r.at != total {
         return Err(corrupt(format!("{} trailing bytes", total - r.at)));
     }
-    Ok(DistanceOracle {
-        n,
-        k,
-        epsilon,
-        seed,
-        build_rounds,
-        landmarks,
-        balls,
-        nearest_landmark,
-        columns,
-    })
+    Ok(Sections { landmarks, nearest_landmark, balls, columns })
 }
 
 #[cfg(test)]
@@ -580,31 +807,138 @@ mod tests {
         assert!(matches!(from_bytes(&bytes), Err(OracleError::CorruptSnapshot { .. })));
     }
 
-    #[test]
-    fn legacy_bytes_are_detected_and_only_parsed_explicitly() {
-        let oracle = sample();
-        let legacy = to_bytes_legacy(&oracle);
-        // The strict path names the problem precisely...
-        assert!(matches!(from_bytes(&legacy), Err(OracleError::LegacySnapshot)));
-        assert!(matches!(peek_header(&legacy), Err(OracleError::LegacySnapshot)));
-        // ...and the explicit legacy path round-trips the artifact.
-        assert_eq!(from_bytes_legacy(&legacy).unwrap(), oracle);
-        // The legacy parser refuses v2 bytes rather than misreading them.
-        assert!(from_bytes_legacy(&to_bytes(&oracle)).is_err());
+    /// Hand-built v1 bytes (the writer was removed with the reader): magic
+    /// `CCO1`, version 1, the legacy scalar block, then a payload prefix.
+    /// Truncated or not, structurally valid or not — v1 is rejected by
+    /// magic alone, so the rest of the bytes never matters.
+    fn crafted_legacy_bytes() -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"CCO1");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        for scalar in [3u64, 1, 7, 0, 0.5f64.to_bits(), 1] {
+            bytes.extend_from_slice(&scalar.to_le_bytes());
+        }
+        bytes.extend_from_slice(&[0u8; 32]);
+        bytes
     }
 
     #[test]
-    fn legacy_truncation_and_bad_indices_are_still_rejected() {
-        let oracle = sample();
-        let legacy = to_bytes_legacy(&oracle);
-        for cut in [0, 3, 7, 16, legacy.len() / 2, legacy.len() - 1] {
-            assert!(from_bytes_legacy(&legacy[..cut]).is_err(), "legacy truncation at {cut}");
+    fn legacy_v1_bytes_are_rejected_never_parsed() {
+        let legacy = crafted_legacy_bytes();
+        assert!(matches!(from_bytes(&legacy), Err(OracleError::LegacySnapshot)));
+        assert!(matches!(peek_header(&legacy), Err(OracleError::LegacySnapshot)));
+        // The shard reader names the same problem rather than misreading.
+        assert!(matches!(from_shard_bytes(&legacy), Err(OracleError::LegacySnapshot)));
+        // Even a bare magic prefix is identified as legacy, not "truncated".
+        assert!(matches!(from_bytes(&legacy[..4]), Err(OracleError::LegacySnapshot)));
+    }
+
+    fn sample_shards(count: usize) -> Vec<OracleShard> {
+        crate::ShardedArtifact::partition(&sample(), count).unwrap().into_shards()
+    }
+
+    #[test]
+    fn shard_snapshots_round_trip_with_their_identity() {
+        let shards = sample_shards(3);
+        for shard in &shards {
+            let bytes = to_shard_bytes_created_at(shard, 1_753_000_000);
+            let header = peek_shard_header(&bytes).unwrap();
+            assert_eq!(header.version, SNAPSHOT_VERSION);
+            assert_eq!(header.n, shard.n());
+            assert_eq!(header.k, shard.k());
+            assert_eq!(header.epsilon, shard.epsilon());
+            assert_eq!(header.landmarks, shard.landmarks().len());
+            assert_eq!(header.shard_index as usize, shard.index());
+            assert_eq!(header.shard_count as usize, shard.count());
+            assert_eq!(header.set_id, shard.set_id());
+            assert_eq!(header.created_unix_secs, 1_753_000_000);
+            assert_eq!(header.owned(), shard.owned());
+            assert_eq!(header.payload_len as usize, bytes.len() - SHARD_HEADER_LEN);
+            let (h2, back) = from_shard_bytes_with_header(&bytes).unwrap();
+            assert_eq!(h2, header);
+            assert_eq!(&back, shard);
         }
-        let mut bytes = legacy.clone();
-        // First landmark id lives right after the legacy fixed header
-        // (4 magic + 4 version + 6×8 scalar/count fields).
-        let at = 4 + 4 + 48;
-        bytes[at..at + 4].copy_from_slice(&(oracle.n() as u32 + 7).to_le_bytes());
-        assert!(matches!(from_bytes_legacy(&bytes), Err(OracleError::CorruptSnapshot { .. })));
+        // Shard build ids are distinct per slice; the set id is shared and
+        // equals the monolithic build id; the timestamp changes neither.
+        let ids: Vec<String> = shards
+            .iter()
+            .map(|s| peek_shard_header(&to_shard_bytes_created_at(s, 1)).unwrap().build_id())
+            .collect();
+        assert_eq!(ids.len(), 3);
+        assert_ne!(ids[0], ids[1]);
+        let later = peek_shard_header(&to_shard_bytes_created_at(&shards[0], 99)).unwrap();
+        assert_eq!(later.build_id(), ids[0]);
+        assert_eq!(later.set_build_id(), format!("{:016x}", payload_checksum(&sample())));
+    }
+
+    #[test]
+    fn shard_and_monolithic_readers_refuse_each_other() {
+        let mono = to_bytes(&sample());
+        let shard = to_shard_bytes(&sample_shards(2)[0]);
+        assert!(matches!(from_bytes(&shard), Err(OracleError::ShardSnapshot)));
+        assert!(matches!(peek_header(&shard), Err(OracleError::ShardSnapshot)));
+        let err = from_shard_bytes(&mono).unwrap_err();
+        assert!(err.to_string().contains("monolithic"), "error must say why: {err}");
+    }
+
+    #[test]
+    fn shard_checksum_covers_index_count_and_set_id() {
+        let clean = to_shard_bytes(&sample_shards(2)[1]);
+        // Flip one bit in each shard-specific header field (index at 80,
+        // count at 84, set id at 88): the checksum must catch every one —
+        // a forged shard index can never parse cleanly.
+        for at in [80, 84, 88, 95] {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x04;
+            assert!(
+                matches!(
+                    from_shard_bytes(&bytes),
+                    Err(OracleError::SnapshotChecksumMismatch { .. })
+                ),
+                "shard-field flip at byte {at} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_truncation_extension_and_bad_version_are_rejected() {
+        let bytes = to_shard_bytes(&sample_shards(2)[0]);
+        for cut in [0, 3, 7, 16, SHARD_HEADER_LEN - 1, SHARD_HEADER_LEN, bytes.len() - 1] {
+            assert!(
+                from_shard_bytes(&bytes[..cut]).is_err(),
+                "shard truncation at {cut} must be rejected"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(from_shard_bytes(&extended).is_err());
+        let mut wrong_version = bytes;
+        wrong_version[4] = 99;
+        assert!(matches!(
+            from_shard_bytes(&wrong_version),
+            Err(OracleError::SnapshotVersionMismatch { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn shard_plan_impossibilities_are_rejected_behind_a_recomputed_checksum() {
+        let shard = &sample_shards(2)[0];
+        // Forge shard_count = n + 1 (an impossible plan) and recompute the
+        // checksum so only the plan validation can catch it.
+        let mut bytes = to_shard_bytes(shard);
+        let bogus_count = shard.n() as u32 + 1;
+        bytes[84..88].copy_from_slice(&bogus_count.to_le_bytes());
+        let sum = fnv1a(&bytes[80..]);
+        bytes[72..80].copy_from_slice(&sum.to_le_bytes());
+        let err = from_shard_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("impossible shard plan"), "{err}");
+
+        // Forge a *valid but different* count: the owned-range size no
+        // longer matches the payload's row count — structural rejection.
+        let mut bytes = to_shard_bytes(shard);
+        bytes[84..88].copy_from_slice(&5u32.to_le_bytes());
+        let sum = fnv1a(&bytes[80..]);
+        bytes[72..80].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(from_shard_bytes(&bytes), Err(OracleError::CorruptSnapshot { .. })));
     }
 }

@@ -1,0 +1,737 @@
+//! Shard a built oracle by contiguous node range and answer queries by
+//! combining **two half-results** — exactly the way the monolithic
+//! [`DistanceOracle::query`] combines them, so a [`ShardRouter`] is
+//! bit-identical to the monolith it was partitioned from.
+//!
+//! The paper's artifact is "build once in the clique, query locally
+//! forever"; at production scale one process cannot hold every node's ball.
+//! The natural partition follows the construction itself:
+//!
+//! * **balls and nearest-landmark rows are per-node state** — shard them by
+//!   contiguous node range ([`ShardPlan`]);
+//! * **the landmark column matrix is global state the landmark regime needs
+//!   for *both* endpoints** — replicate it to every shard, so a single
+//!   shard can finish the landmark path for any pair it owns an endpoint
+//!   of. Landmark columns are `n × s` with `s ≈ √(n·k)` — the replicated
+//!   part shrinks relative to the sharded part as the deployment grows.
+//!
+//! A query `(u, v)` then decomposes into two [`HalfQuery`] lookups — one on
+//! the shard owning `u`, one on the shard owning `v` (the same shard when
+//! they are co-located) — and a pure [`combine`] step any router tier can
+//! run. `cc-serve --shards` is that router tier over HTTP.
+//!
+//! Per-shard snapshots (magic `CCSH`, the v2 header extended with shard
+//! index/count and a set id) are in [`crate::serde`]:
+//! [`crate::serde::to_shard_bytes`] / [`crate::serde::from_shard_bytes`].
+
+use cc_matrix::Dist;
+
+use crate::error::{invalid, set_mismatch};
+use crate::oracle::MAX_FINITE_DISTANCE;
+use crate::{DistanceOracle, OracleError};
+
+/// A deterministic partition of `0..n` into `count` contiguous, balanced
+/// node ranges. The plan is a pure function of `(n, count)`, so every
+/// participant — partitioner, shard loader, router — recomputes the same
+/// ranges instead of trusting a serialized copy.
+///
+/// The first `n % count` shards own one extra node, so range sizes differ
+/// by at most one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    n: usize,
+    count: usize,
+}
+
+impl ShardPlan {
+    /// Plans `count` shards over `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::InvalidParameter`] when `n == 0`, `count == 0`, or
+    /// `count > n` (an empty shard would own no nodes and serve nothing).
+    pub fn new(n: usize, count: usize) -> Result<ShardPlan, OracleError> {
+        if n == 0 {
+            return Err(invalid("shard plan over an empty node set (n = 0)"));
+        }
+        if count == 0 {
+            return Err(invalid("shard count must be at least 1"));
+        }
+        if count > n {
+            return Err(invalid(format!("shard count {count} exceeds node count {n}")));
+        }
+        Ok(ShardPlan { n, count })
+    }
+
+    /// Number of nodes the plan covers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The contiguous node range shard `index` owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= count`.
+    pub fn range(&self, index: usize) -> std::ops::Range<usize> {
+        assert!(index < self.count, "shard index {index} outside 0..{}", self.count);
+        let base = self.n / self.count;
+        let extra = self.n % self.count;
+        let start = index * base + index.min(extra);
+        let len = base + usize::from(index < extra);
+        start..start + len
+    }
+
+    /// The shard owning node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn owner(&self, v: usize) -> usize {
+        assert!(v < self.n, "node {v} outside 0..{}", self.n);
+        let base = self.n / self.count;
+        let extra = self.n % self.count;
+        // The first `extra` shards each own `base + 1` nodes.
+        let wide = extra * (base + 1);
+        if v < wide {
+            v / (base + 1)
+        } else {
+            extra + (v - wide) / base
+        }
+    }
+}
+
+/// One endpoint's contribution to a distance query: computable entirely on
+/// the shard owning that endpoint, combinable by [`combine`] without any
+/// further artifact access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HalfQuery {
+    /// Exact distance if the *far* endpoint lies in the near endpoint's
+    /// ball.
+    pub ball: Option<u64>,
+    /// The landmark-regime candidate `d(near, p(near)) + d̃(p(near), far)`,
+    /// already clamped to [`MAX_FINITE_DISTANCE`]; `None` when the far
+    /// endpoint is unreachable from the near endpoint's nearest landmark.
+    pub via_landmark: Option<u64>,
+}
+
+/// Combines the two half-results for a pair `(u, v)` with `u != v` exactly
+/// as [`DistanceOracle::query`] does: `u`'s ball is consulted first, then
+/// `v`'s (both are exact, so the order only matters for symmetry of the
+/// code path, not the answer), then the smaller landmark candidate;
+/// [`Dist::INF`] when neither endpoint reaches the other through a ball or
+/// a landmark.
+pub fn combine(u_half: HalfQuery, v_half: HalfQuery) -> Dist {
+    if let Some(d) = u_half.ball {
+        return Dist::fin(d);
+    }
+    if let Some(d) = v_half.ball {
+        return Dist::fin(d);
+    }
+    match (u_half.via_landmark, v_half.via_landmark) {
+        (Some(a), Some(b)) => Dist::fin(a.min(b)),
+        (Some(a), None) => Dist::fin(a),
+        (None, Some(b)) => Dist::fin(b),
+        (None, None) => Dist::INF,
+    }
+}
+
+/// One shard of a partitioned oracle: the balls and nearest-landmark rows
+/// of its contiguous node range, plus the **replicated** landmark list and
+/// full `n × s` column matrix, so [`OracleShard::half_query`] never needs
+/// another shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleShard {
+    pub(crate) index: u32,
+    pub(crate) count: u32,
+    /// First node this shard owns (== `plan().range(index).start`).
+    pub(crate) start: usize,
+    pub(crate) n: usize,
+    pub(crate) k: usize,
+    pub(crate) epsilon: f64,
+    pub(crate) seed: u64,
+    pub(crate) build_rounds: u64,
+    /// Identity of the parent artifact: the monolithic payload checksum
+    /// (`serde::payload_checksum`), shared by every shard of one set.
+    pub(crate) set_id: u64,
+    /// Replicated: landmark node ids, ascending.
+    pub(crate) landmarks: Vec<u32>,
+    /// Owned nodes only, indexed by `node - start`.
+    pub(crate) balls: Vec<Vec<(u32, u64)>>,
+    /// Owned nodes only, indexed by `node - start`.
+    pub(crate) nearest_landmark: Vec<(u32, u64)>,
+    /// Replicated: the full row-major `n × s` landmark column matrix.
+    pub(crate) columns: Vec<u64>,
+}
+
+impl OracleShard {
+    /// This shard's index within its set.
+    pub fn index(&self) -> usize {
+        self.index as usize
+    }
+
+    /// Number of shards in the set this shard belongs to.
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Total node count of the parent artifact (not just this shard).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The ball-size parameter `k` of the parent build.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The MSSP accuracy parameter `ε` of the parent build.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The documented multiplicative stretch bound `3·(1+ε)` of the parent
+    /// build, matching [`DistanceOracle::stretch_bound`].
+    pub fn stretch_bound(&self) -> f64 {
+        3.0 * (1.0 + self.epsilon)
+    }
+
+    /// The landmark-selection seed of the parent build.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Clique rounds the parent build charged.
+    pub fn build_rounds(&self) -> u64 {
+        self.build_rounds
+    }
+
+    /// Identity of the parent artifact (its payload checksum); every shard
+    /// of one set carries the same value.
+    pub fn set_id(&self) -> u64 {
+        self.set_id
+    }
+
+    /// The replicated landmark node ids (ascending).
+    pub fn landmarks(&self) -> &[u32] {
+        &self.landmarks
+    }
+
+    /// The contiguous node range this shard owns.
+    pub fn owned(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.balls.len()
+    }
+
+    /// The partition this shard belongs to.
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan { n: self.n, count: self.count as usize }
+    }
+
+    /// Heap footprint of this shard in bytes (owned balls + rows, plus the
+    /// replicated landmarks and columns), for capacity planning.
+    pub fn artifact_bytes(&self) -> usize {
+        let ball_entries: usize = self.balls.iter().map(Vec::len).sum();
+        ball_entries * std::mem::size_of::<(u32, u64)>()
+            + self.columns.len() * 8
+            + self.landmarks.len() * 4
+            + self.nearest_landmark.len() * std::mem::size_of::<(u32, u64)>()
+    }
+
+    /// The half-result for the pair `(near, far)` seen from `near`'s side.
+    /// Every lookup touches only this shard's data: `near`'s ball (is `far`
+    /// inside?), `near`'s nearest-landmark row, and the replicated column
+    /// of `far`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `near` is not owned by this shard or `far` is not in
+    /// `0..n`; routers must validate first (see [`ShardRouter::try_query`]).
+    pub fn half_query(&self, near: usize, far: usize) -> HalfQuery {
+        let owned = self.owned();
+        assert!(
+            owned.contains(&near),
+            "node {near} is not owned by shard {} ({owned:?})",
+            self.index
+        );
+        assert!(far < self.n, "node {far} outside 0..{}", self.n);
+        let local = near - self.start;
+        let ball = &self.balls[local];
+        let ball_hit =
+            ball.binary_search_by_key(&(far as u32), |&(id, _)| id).ok().map(|i| ball[i].1);
+        let (idx, to_landmark) = self.nearest_landmark[local];
+        let col = self.columns[far * self.landmarks.len() + idx as usize];
+        // Mirror the monolithic query kernel exactly: a landmark sum that
+        // reaches or overflows the u64::MAX sentinel is clamped to the
+        // largest finite value, never reported as "disconnected".
+        let via_landmark = (col != u64::MAX).then(|| {
+            to_landmark.checked_add(col).map_or(MAX_FINITE_DISTANCE, |s| s.min(MAX_FINITE_DISTANCE))
+        });
+        HalfQuery { ball: ball_hit, via_landmark }
+    }
+}
+
+/// A monolithic oracle partitioned into per-shard slices, ready to be
+/// snapshotted per shard ([`crate::serde::to_shard_bytes`]) or routed
+/// in-process ([`ShardedArtifact::into_router`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedArtifact {
+    shards: Vec<OracleShard>,
+}
+
+impl ShardedArtifact {
+    /// Partitions `oracle` into `count` shards along a [`ShardPlan`].
+    ///
+    /// The per-node state (balls, nearest-landmark rows) is split by node
+    /// range; the landmark list and column matrix are replicated into every
+    /// shard; every shard carries the parent's payload checksum as its
+    /// `set_id`.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::InvalidParameter`] for an impossible plan (see
+    /// [`ShardPlan::new`]).
+    pub fn partition(
+        oracle: &DistanceOracle,
+        count: usize,
+    ) -> Result<ShardedArtifact, OracleError> {
+        let plan = ShardPlan::new(oracle.n(), count)?;
+        let set_id = crate::serde::payload_checksum(oracle);
+        let shards = (0..count)
+            .map(|i| {
+                let range = plan.range(i);
+                OracleShard {
+                    index: i as u32,
+                    count: count as u32,
+                    start: range.start,
+                    n: oracle.n,
+                    k: oracle.k,
+                    epsilon: oracle.epsilon,
+                    seed: oracle.seed,
+                    build_rounds: oracle.build_rounds,
+                    set_id,
+                    landmarks: oracle.landmarks.clone(),
+                    balls: oracle.balls[range.clone()].to_vec(),
+                    nearest_landmark: oracle.nearest_landmark[range].to_vec(),
+                    columns: oracle.columns.clone(),
+                }
+            })
+            .collect();
+        Ok(ShardedArtifact { shards })
+    }
+
+    /// The partition underlying this artifact.
+    pub fn plan(&self) -> ShardPlan {
+        self.shards[0].plan()
+    }
+
+    /// The per-shard slices, in index order.
+    pub fn shards(&self) -> &[OracleShard] {
+        &self.shards
+    }
+
+    /// Consumes the artifact, returning the slices in index order (e.g. to
+    /// snapshot each to its own file).
+    pub fn into_shards(self) -> Vec<OracleShard> {
+        self.shards
+    }
+
+    /// Wraps the slices in an in-process [`ShardRouter`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardRouter::assemble`] (cannot actually fail for an artifact
+    /// produced by [`ShardedArtifact::partition`]).
+    pub fn into_router(self) -> Result<ShardRouter, OracleError> {
+        ShardRouter::assemble(self.shards)
+    }
+}
+
+/// Validates that `shards` form one complete, consistent set: slot `i`
+/// holds the shard declaring index `i`, every shard declares the same
+/// count/`n`/`k`/`ε`/landmarks/set id, and every shard's owned range
+/// matches the recomputed [`ShardPlan`]. Returns the plan.
+///
+/// This is the startup gate for any router tier: a shard file from a
+/// different artifact generation (or the right file in the wrong slot)
+/// must fail **here**, not by serving subtly wrong distances.
+///
+/// Accepts owned shards or references (`&[OracleShard]` and
+/// `&[&OracleShard]` both work), so a caller holding shards inside larger
+/// structs can validate without cloning the replicated column matrices.
+///
+/// # Errors
+///
+/// * [`OracleError::ShardIndexMismatch`] — shard `i`'s slot holds a file
+///   declaring a different index.
+/// * [`OracleError::ShardSetMismatch`] — wrong number of shards, or any
+///   disagreement on `count`/`n`/`k`/`ε`/landmarks/set id.
+/// * [`OracleError::CorruptSnapshot`] — a shard's owned range does not
+///   match the plan (possible only for hand-built shards; the snapshot
+///   reader already enforces this).
+pub fn validate_set<S: std::borrow::Borrow<OracleShard>>(
+    shards: &[S],
+) -> Result<ShardPlan, OracleError> {
+    let first = shards.first().ok_or_else(|| set_mismatch("empty shard set"))?.borrow();
+    if shards.len() != first.count() {
+        return Err(set_mismatch(format!(
+            "set declares {} shards but {} were provided",
+            first.count(),
+            shards.len()
+        )));
+    }
+    let plan = first.plan();
+    for (i, shard) in shards.iter().enumerate() {
+        let shard = shard.borrow();
+        if shard.index() != i {
+            return Err(OracleError::ShardIndexMismatch { expected: i as u32, found: shard.index });
+        }
+        let mismatch = |what: &str, got: String, want: String| {
+            set_mismatch(format!("shard {i}: {what} = {got} but the set has {what} = {want}"))
+        };
+        if shard.count != first.count {
+            return Err(mismatch("shard count", shard.count.to_string(), first.count.to_string()));
+        }
+        if shard.n != first.n {
+            return Err(mismatch("n", shard.n.to_string(), first.n.to_string()));
+        }
+        if shard.k != first.k {
+            return Err(mismatch("k", shard.k.to_string(), first.k.to_string()));
+        }
+        if shard.epsilon.to_bits() != first.epsilon.to_bits() {
+            return Err(mismatch("epsilon", shard.epsilon.to_string(), first.epsilon.to_string()));
+        }
+        if shard.set_id != first.set_id {
+            return Err(mismatch(
+                "set id",
+                format!("{:016x}", shard.set_id),
+                format!("{:016x}", first.set_id),
+            ));
+        }
+        if shard.landmarks != first.landmarks {
+            return Err(set_mismatch(format!(
+                "shard {i}: landmark set differs from the set's ({} vs {} landmarks)",
+                shard.landmarks.len(),
+                first.landmarks.len()
+            )));
+        }
+        let want = plan.range(i);
+        if shard.owned() != want {
+            return Err(crate::error::corrupt(format!(
+                "shard {i} owns {:?} but the plan assigns {want:?}",
+                shard.owned()
+            )));
+        }
+    }
+    Ok(plan)
+}
+
+/// Routes distance queries over a complete, validated shard set, combining
+/// the two per-endpoint half-results exactly as the monolithic
+/// [`DistanceOracle::query`] would — the equivalence the
+/// `tests/shard_equivalence.rs` suite pins down bit-for-bit.
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Clique;
+/// use cc_graph::generators;
+/// use cc_oracle::{OracleBuilder, ShardedArtifact};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::gnp_weighted(24, 0.2, 30, 7)?;
+/// let mut clique = Clique::new(24);
+/// let oracle = OracleBuilder::new().build(&mut clique, &g)?;
+///
+/// let router = ShardedArtifact::partition(&oracle, 3)?.into_router()?;
+/// for u in 0..24 {
+///     for v in 0..24 {
+///         assert_eq!(router.query(u, v), oracle.query(u, v));
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRouter {
+    plan: ShardPlan,
+    shards: Vec<OracleShard>,
+}
+
+impl ShardRouter {
+    /// Builds a router from the full shard set, validating it first (see
+    /// [`validate_set`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`validate_set`] rejects.
+    pub fn assemble(shards: Vec<OracleShard>) -> Result<ShardRouter, OracleError> {
+        let plan = validate_set(&shards)?;
+        Ok(ShardRouter { plan, shards })
+    }
+
+    /// The partition this router routes over.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Number of nodes the routed artifact covers.
+    pub fn n(&self) -> usize {
+        self.plan.n()
+    }
+
+    /// The per-shard slices, in index order.
+    pub fn shards(&self) -> &[OracleShard] {
+        &self.shards
+    }
+
+    /// Distance estimate for `(u, v)`: two half-queries on the owning
+    /// shards, combined exactly like the monolithic query kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is not in `0..n`, like
+    /// [`DistanceOracle::query`].
+    pub fn query(&self, u: usize, v: usize) -> Dist {
+        match self.try_query(u, v) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ShardRouter::query`] for serving layers.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::QueryOutOfRange`] if `u` or `v` is not in `0..n`.
+    pub fn try_query(&self, u: usize, v: usize) -> Result<Dist, OracleError> {
+        let n = self.plan.n();
+        if u >= n || v >= n {
+            return Err(OracleError::QueryOutOfRange { u, v, n });
+        }
+        if u == v {
+            return Ok(Dist::ZERO);
+        }
+        let u_half = self.shards[self.plan.owner(u)].half_query(u, v);
+        let v_half = self.shards[self.plan.owner(v)].half_query(v, u);
+        Ok(combine(u_half, v_half))
+    }
+
+    /// Answers a batch of queries in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::QueryOutOfRange`] naming the first offending pair;
+    /// like the monolithic batch, either the whole batch is answered or
+    /// nothing is computed.
+    pub fn try_query_batch(&self, pairs: &[(usize, usize)]) -> Result<Vec<Dist>, OracleError> {
+        let n = self.plan.n();
+        for &(u, v) in pairs {
+            if u >= n || v >= n {
+                return Err(OracleError::QueryOutOfRange { u, v, n });
+            }
+        }
+        Ok(pairs
+            .iter()
+            .map(|&(u, v)| self.try_query(u, v).expect("pairs validated above"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OracleBuilder;
+    use cc_clique::Clique;
+    use cc_graph::generators;
+
+    fn build(n: usize, seed: u64) -> DistanceOracle {
+        let g = generators::gnp_weighted(n, 0.15, 30, seed).unwrap();
+        let mut clique = Clique::new(n);
+        OracleBuilder::new().seed(seed).build(&mut clique, &g).unwrap()
+    }
+
+    #[test]
+    fn plan_ranges_are_contiguous_balanced_and_invertible() {
+        for n in [1usize, 2, 3, 7, 16, 31, 64, 100] {
+            for count in 1..=n.min(9) {
+                let plan = ShardPlan::new(n, count).unwrap();
+                let mut next = 0usize;
+                for i in 0..count {
+                    let range = plan.range(i);
+                    assert_eq!(range.start, next, "ranges must tile 0..n in order");
+                    let len = range.len();
+                    assert!(
+                        (n / count..=n.div_ceil(count)).contains(&len),
+                        "n={n} count={count} shard {i}: unbalanced range {range:?}"
+                    );
+                    for v in range.clone() {
+                        assert_eq!(plan.owner(v), i, "owner({v}) for n={n} count={count}");
+                    }
+                    next = range.end;
+                }
+                assert_eq!(next, n, "ranges must cover every node");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_rejects_degenerate_shapes() {
+        assert!(ShardPlan::new(0, 1).is_err());
+        assert!(ShardPlan::new(8, 0).is_err());
+        assert!(ShardPlan::new(8, 9).is_err());
+        assert!(ShardPlan::new(8, 8).is_ok());
+    }
+
+    #[test]
+    fn router_is_bit_identical_to_the_monolith() {
+        let oracle = build(33, 5);
+        for count in [1usize, 2, 3, 7] {
+            let router = ShardedArtifact::partition(&oracle, count).unwrap().into_router().unwrap();
+            for u in 0..33 {
+                for v in 0..33 {
+                    assert_eq!(
+                        router.query(u, v),
+                        oracle.query(u, v),
+                        "({u},{v}) with {count} shards"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn router_reports_infinity_exactly_where_the_monolith_does() {
+        // Two components; every cross-component pair is disconnected.
+        let g =
+            cc_graph::Graph::from_edges(9, [(0, 1, 2), (1, 2, 3), (4, 5, 1), (5, 6, 9)]).unwrap();
+        let mut clique = Clique::new(9);
+        let oracle = OracleBuilder::new().build(&mut clique, &g).unwrap();
+        for count in [1usize, 2, 3] {
+            let router = ShardedArtifact::partition(&oracle, count).unwrap().into_router().unwrap();
+            for u in 0..9 {
+                for v in 0..9 {
+                    assert_eq!(router.query(u, v), oracle.query(u, v), "({u},{v}) x{count}");
+                }
+            }
+        }
+    }
+
+    /// The 3-node near-`u64::MAX` path artifact from the monolithic clamp
+    /// regression tests, partitioned: the clamped landmark sum must come
+    /// out of the router bit-identically.
+    #[test]
+    fn near_max_clamped_sums_survive_sharding() {
+        let w = u64::MAX - 3;
+        let oracle = DistanceOracle {
+            n: 3,
+            k: 1,
+            epsilon: 0.25,
+            seed: 0,
+            build_rounds: 0,
+            landmarks: vec![1],
+            balls: vec![vec![(0, 0)], vec![(1, 0)], vec![(2, 0)]],
+            nearest_landmark: vec![(0, w), (0, 0), (0, w)],
+            columns: vec![w, 0, w],
+        };
+        for count in [1usize, 2, 3] {
+            let router = ShardedArtifact::partition(&oracle, count).unwrap().into_router().unwrap();
+            assert_eq!(router.query(0, 2), Dist::fin(MAX_FINITE_DISTANCE), "x{count}");
+            for u in 0..3 {
+                for v in 0..3 {
+                    assert_eq!(router.query(u, v), oracle.query(u, v), "({u},{v}) x{count}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_query_validates_like_the_monolith() {
+        let oracle = build(16, 3);
+        let router = ShardedArtifact::partition(&oracle, 2).unwrap().into_router().unwrap();
+        assert!(matches!(
+            router.try_query(0, 16),
+            Err(OracleError::QueryOutOfRange { u: 0, v: 16, n: 16 })
+        ));
+        assert!(matches!(router.try_query(99, 0), Err(OracleError::QueryOutOfRange { .. })));
+        let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, (i * 5 + 2) % 16)).collect();
+        assert_eq!(router.try_query_batch(&pairs).unwrap(), oracle.query_batch(&pairs));
+        let mut bad = pairs;
+        bad.push((3, 16));
+        assert!(router.try_query_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn assemble_rejects_wrong_slots_and_mixed_sets() {
+        let oracle = build(20, 9);
+        let shards = ShardedArtifact::partition(&oracle, 2).unwrap().into_shards();
+
+        // Shard 1's file offered as shard 0: index mismatch, named.
+        let swapped = vec![shards[1].clone(), shards[0].clone()];
+        assert!(matches!(
+            ShardRouter::assemble(swapped),
+            Err(OracleError::ShardIndexMismatch { expected: 0, found: 1 })
+        ));
+
+        // An incomplete set.
+        assert!(matches!(
+            ShardRouter::assemble(vec![shards[0].clone()]),
+            Err(OracleError::ShardSetMismatch { .. })
+        ));
+
+        // A shard from a different artifact generation (different set id).
+        let other = build(20, 10);
+        let other_shards = ShardedArtifact::partition(&other, 2).unwrap().into_shards();
+        let mixed = vec![shards[0].clone(), other_shards[1].clone()];
+        match ShardRouter::assemble(mixed) {
+            Err(OracleError::ShardSetMismatch { what }) => {
+                assert!(what.contains("set id"), "must name the field: {what}")
+            }
+            other => panic!("mixed set must be rejected, got {other:?}"),
+        }
+
+        // A shard claiming a different n.
+        let bigger = build(24, 9);
+        let bigger_shards = ShardedArtifact::partition(&bigger, 2).unwrap().into_shards();
+        let mixed_n = vec![shards[0].clone(), bigger_shards[1].clone()];
+        assert!(matches!(
+            ShardRouter::assemble(mixed_n),
+            Err(OracleError::ShardSetMismatch { .. })
+        ));
+
+        // The untouched set still assembles.
+        assert!(ShardRouter::assemble(shards).is_ok());
+    }
+
+    #[test]
+    fn partition_rejects_impossible_plans() {
+        let oracle = build(8, 1);
+        assert!(ShardedArtifact::partition(&oracle, 0).is_err());
+        assert!(ShardedArtifact::partition(&oracle, 9).is_err());
+    }
+
+    #[test]
+    fn shard_accessors_describe_the_slice() {
+        let oracle = build(21, 4);
+        let sharded = ShardedArtifact::partition(&oracle, 3).unwrap();
+        let plan = sharded.plan();
+        assert_eq!((plan.n(), plan.count()), (21, 3));
+        let mut total_owned = 0usize;
+        for (i, shard) in sharded.shards().iter().enumerate() {
+            assert_eq!(shard.index(), i);
+            assert_eq!(shard.count(), 3);
+            assert_eq!(shard.owned(), plan.range(i));
+            assert_eq!(shard.n(), oracle.n());
+            assert_eq!(shard.k(), oracle.k());
+            assert_eq!(shard.landmarks(), oracle.landmarks());
+            assert_eq!(shard.set_id(), crate::serde::payload_checksum(&oracle));
+            assert!(shard.artifact_bytes() > 0);
+            total_owned += shard.owned().len();
+        }
+        assert_eq!(total_owned, oracle.n(), "every node owned exactly once");
+    }
+}

@@ -26,11 +26,9 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Default snapshot path for `POST /reload` (and SIGHUP in the
     /// `cc-serve` binary). `None` means a reload request must name a path
-    /// explicitly (`/reload?path=...`).
+    /// explicitly (`/reload?path=...`). Ignored in router mode, where each
+    /// shard's own file is its default reload source.
     pub reload_path: Option<PathBuf>,
-    /// Accept pre-versioning (v1) snapshots on load/reload. Off by
-    /// default; the one-release migration escape hatch.
-    pub allow_legacy: bool,
 }
 
 impl Default for ServerConfig {
@@ -43,7 +41,6 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             read_timeout: Duration::from_secs(5),
             reload_path: None,
-            allow_legacy: false,
         }
     }
 }
@@ -90,12 +87,6 @@ impl ServerConfig {
         self.reload_path = Some(path.into());
         self
     }
-
-    /// Allows loading pre-versioning (v1) snapshots.
-    pub fn with_allow_legacy(mut self, allow: bool) -> Self {
-        self.allow_legacy = allow;
-        self
-    }
 }
 
 #[cfg(test)]
@@ -111,11 +102,9 @@ mod tests {
             .with_max_body_bytes(512)
             .with_cache_capacity(7)
             .with_read_timeout(Duration::from_millis(250))
-            .with_reload_path("/tmp/next.snap")
-            .with_allow_legacy(true);
+            .with_reload_path("/tmp/next.snap");
         assert_eq!(c.addr, "0.0.0.0:9999");
         assert_eq!(c.reload_path.as_deref(), Some(std::path::Path::new("/tmp/next.snap")));
-        assert!(c.allow_legacy);
         assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
         assert_eq!(c.backlog, 1, "backlog is clamped to at least 1");
         assert_eq!(c.max_body_bytes, 512);

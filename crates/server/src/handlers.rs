@@ -5,12 +5,23 @@
 //! (`try_query` / `try_query_batch`): a malformed or out-of-range request is
 //! a `400` at the edge, never a panic inside the serving process.
 //!
-//! The served artifact lives behind a [`ReloadHandle`]: every request
-//! clones the current [`Generation`] (an `Arc` refcount bump) and answers
-//! entirely on that clone, so `POST /reload` can validate and swap in a
-//! new snapshot while traffic is in flight — old requests finish on the
-//! old artifact, new requests see the new one, and a reload that fails
-//! validation changes nothing except the error surfaced in `/stats`.
+//! The server runs in one of two tiers behind the same endpoints:
+//!
+//! * **monolithic** — one [`DistanceOracle`] behind a cache, behind a
+//!   [`ReloadHandle`];
+//! * **router** — a sharded artifact set: one `ReloadHandle<ShardGeneration>`
+//!   **per shard**, each query answered by fetching the two half-results
+//!   from the shards owning its endpoints and combining them exactly as the
+//!   monolithic query kernel does ([`cc_oracle::shard::combine`]), so the
+//!   router's answers are bit-identical to the monolith's.
+//!
+//! Every request clones the relevant generation(s) (an `Arc` refcount bump
+//! each) and answers entirely on those clones, so `POST /reload` — whole
+//! artifact in monolithic mode, a single shard via `?shard=i` in router
+//! mode — can validate and swap a new snapshot while traffic is in flight:
+//! old requests finish on the old artifact, new requests see the new one,
+//! and a reload that fails validation changes nothing except the error
+//! surfaced in `/stats`.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,11 +29,12 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cc_matrix::Dist;
-use cc_oracle::DistanceOracle;
+use cc_oracle::shard::{combine, validate_set, ShardPlan};
+use cc_oracle::{DistanceOracle, OracleError};
 
 use crate::http::{json_escape, Request, Response};
-use crate::reload::{Generation, ReloadHandle, SnapshotInfo};
-use crate::source;
+use crate::reload::{Generation, ReloadHandle, ShardGeneration, SnapshotInfo};
+use crate::source::{self, LoadedShard};
 
 /// What a successful reload installed, captured atomically with the swap —
 /// a response built from this cannot mix in state from a concurrent later
@@ -33,17 +45,78 @@ pub struct ReloadOutcome {
     pub info: SnapshotInfo,
     /// Node count of the artifact that was swapped in.
     pub n: usize,
-    /// Successful-reload count as of this swap (this reload included).
+    /// Successful-swap count as of this swap (this reload included).
     pub reloads: u64,
 }
 
-/// Shared per-server state: the hot-swappable serving generation plus
+/// The router tier: the recomputed [`ShardPlan`] plus one independently
+/// hot-swappable generation per shard. `paths[i]` is shard `i`'s default
+/// reload source (its own snapshot file).
+struct ShardTier {
+    plan: ShardPlan,
+    handles: Vec<ReloadHandle<ShardGeneration>>,
+    paths: Vec<Option<PathBuf>>,
+}
+
+impl ShardTier {
+    /// The two-half-query routed lookup; answers are bit-identical to the
+    /// monolithic oracle the set was partitioned from.
+    fn try_query(&self, u: usize, v: usize) -> Result<Dist, OracleError> {
+        let n = self.plan.n();
+        if u >= n || v >= n {
+            return Err(OracleError::QueryOutOfRange { u, v, n });
+        }
+        if u == v {
+            return Ok(Dist::ZERO);
+        }
+        let near = self.handles[self.plan.owner(u)].current();
+        let far = self.handles[self.plan.owner(v)].current();
+        Ok(combine(near.shard().half_query(u, v), far.shard().half_query(v, u)))
+    }
+
+    /// Batch lookup in request order; validates every pair up front like
+    /// the monolithic batch path. The shard generations are snapshotted
+    /// **once** for the whole batch — no per-pair lock traffic on the
+    /// reload handles, and every answer in one batch comes from one
+    /// consistent set even while a shard reload lands mid-batch.
+    fn try_query_batch(&self, pairs: &[(usize, usize)]) -> Result<Vec<Dist>, OracleError> {
+        let n = self.plan.n();
+        for &(u, v) in pairs {
+            if u >= n || v >= n {
+                return Err(OracleError::QueryOutOfRange { u, v, n });
+            }
+        }
+        let generations = self.generations();
+        Ok(pairs
+            .iter()
+            .map(|&(u, v)| {
+                if u == v {
+                    return Dist::ZERO;
+                }
+                let near = generations[self.plan.owner(u)].shard();
+                let far = generations[self.plan.owner(v)].shard();
+                combine(near.half_query(u, v), far.half_query(v, u))
+            })
+            .collect())
+    }
+
+    /// Current generations of all shards, in index order.
+    fn generations(&self) -> Vec<Arc<ShardGeneration>> {
+        self.handles.iter().map(ReloadHandle::current).collect()
+    }
+}
+
+/// Which serving tier this process runs.
+enum Serving {
+    Mono { handle: ReloadHandle, reload_path: Option<PathBuf> },
+    Sharded(ShardTier),
+}
+
+/// Shared per-server state: the hot-swappable serving generation(s) plus
 /// request counters.
 pub struct AppState {
-    handle: ReloadHandle,
+    serving: Serving,
     cache_capacity: usize,
-    reload_path: Option<PathBuf>,
-    allow_legacy: bool,
     /// Serializes load+swap so overlapping reloads apply in a definite
     /// order; never held by the request path.
     reload_lock: Mutex<()>,
@@ -65,25 +138,68 @@ impl AppState {
     /// cache of `cache_capacity` entries and no default reload source.
     pub fn new(oracle: DistanceOracle, cache_capacity: usize) -> AppState {
         let info = SnapshotInfo::in_process(&oracle, "in-process");
-        AppState::with_info(oracle, info, cache_capacity, None, false)
+        AppState::with_info(oracle, info, cache_capacity, None)
     }
 
-    /// [`AppState::new`] with an explicit artifact identity, a default
-    /// snapshot path for `POST /reload` / SIGHUP, and the legacy-format
-    /// policy.
+    /// [`AppState::new`] with an explicit artifact identity and a default
+    /// snapshot path for `POST /reload` / SIGHUP.
     pub fn with_info(
         oracle: DistanceOracle,
         info: SnapshotInfo,
         cache_capacity: usize,
         reload_path: Option<PathBuf>,
-        allow_legacy: bool,
     ) -> AppState {
         let cache_capacity = cache_capacity.max(1);
+        let handle = ReloadHandle::new(Generation::new(oracle, info, cache_capacity));
+        AppState::from_serving(Serving::Mono { handle, reload_path }, cache_capacity)
+    }
+
+    /// Router-mode state over a loaded shard set (slot `i` = shard `i`).
+    /// The set is re-validated here ([`validate_set`]), so an inconsistent
+    /// or mis-slotted set can never start serving.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`validate_set`] rejects.
+    pub fn with_shards(shards: Vec<LoadedShard>) -> Result<AppState, OracleError> {
+        // Validate by reference — cloning the set (each slice carries the
+        // replicated column matrix) would double peak memory at startup.
+        let refs: Vec<&cc_oracle::OracleShard> = shards.iter().map(|l| &l.shard).collect();
+        let plan = validate_set(&refs)?;
+        let mut handles = Vec::with_capacity(shards.len());
+        let mut paths = Vec::with_capacity(shards.len());
+        for loaded in shards {
+            handles.push(ReloadHandle::new(ShardGeneration::new(loaded.shard, loaded.info)));
+            paths.push(Some(loaded.path));
+        }
+        let tier = ShardTier { plan, handles, paths };
+        Ok(AppState::from_serving(Serving::Sharded(tier), 1))
+    }
+
+    /// Router-mode state over in-process shard slices (no backing files),
+    /// for tests and benchmarks that partition an oracle directly.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`validate_set`] rejects.
+    pub fn with_in_process_shards(
+        shards: Vec<cc_oracle::OracleShard>,
+    ) -> Result<AppState, OracleError> {
+        let plan = validate_set(&shards)?;
+        let mut handles = Vec::with_capacity(shards.len());
+        let mut paths = Vec::with_capacity(shards.len());
+        for shard in shards {
+            let info = SnapshotInfo::in_process_shard(&shard, "in-process");
+            handles.push(ReloadHandle::new(ShardGeneration::new(shard, info)));
+            paths.push(None);
+        }
+        Ok(AppState::from_serving(Serving::Sharded(ShardTier { plan, handles, paths }), 1))
+    }
+
+    fn from_serving(serving: Serving, cache_capacity: usize) -> AppState {
         AppState {
-            handle: ReloadHandle::new(Generation::new(oracle, info, cache_capacity)),
+            serving,
             cache_capacity,
-            reload_path,
-            allow_legacy,
             reload_lock: Mutex::new(()),
             last_reload_error: Mutex::new(None),
             started: Instant::now(),
@@ -99,14 +215,37 @@ impl AppState {
         }
     }
 
+    /// True when this state routes over a shard set.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.serving, Serving::Sharded(_))
+    }
+
     /// The generation serving right now (artifact + cache + identity). The
     /// clone is an `Arc` refcount bump; holders keep the artifact alive
     /// across a concurrent reload.
+    ///
+    /// # Panics
+    ///
+    /// Panics in router mode, which has no monolithic generation — use
+    /// [`AppState::shard_generations`] there.
     pub fn generation(&self) -> Arc<Generation> {
-        self.handle.current()
+        match &self.serving {
+            Serving::Mono { handle, .. } => handle.current(),
+            Serving::Sharded(_) => panic!("router mode serves shards, not one generation"),
+        }
     }
 
-    /// Successful hot reloads so far.
+    /// The per-shard generations serving right now, in index order (empty
+    /// in monolithic mode).
+    pub fn shard_generations(&self) -> Vec<Arc<ShardGeneration>> {
+        match &self.serving {
+            Serving::Mono { .. } => Vec::new(),
+            Serving::Sharded(tier) => tier.generations(),
+        }
+    }
+
+    /// Successful hot-reload swaps so far (one per shard swapped in router
+    /// mode).
     pub fn reloads(&self) -> u64 {
         self.reloads.load(Ordering::Relaxed)
     }
@@ -117,9 +256,22 @@ impl AppState {
         self.reload_failures.load(Ordering::Relaxed)
     }
 
-    /// Loads + validates the snapshot at `path` and, only if it is fully
-    /// valid, swaps it in atomically. On any failure the serving
-    /// generation is untouched and the error is recorded for `/stats`.
+    fn record_reload_failure(&self, msg: String) -> String {
+        self.reload_failures.fetch_add(1, Ordering::Relaxed);
+        *self.last_reload_error.lock().expect("reload error lock") = Some(msg.clone());
+        msg
+    }
+
+    fn record_reload_success(&self) -> u64 {
+        let swaps = self.reloads.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.last_reload_error.lock().expect("reload error lock") = None;
+        swaps
+    }
+
+    /// Loads + validates the **monolithic** snapshot at `path` and, only
+    /// if it is fully valid, swaps it in atomically. On any failure the
+    /// serving generation is untouched and the error is recorded for
+    /// `/stats`.
     ///
     /// The load happens on the calling thread without blocking the request
     /// path: queries keep cloning the old generation until the one-pointer
@@ -128,47 +280,146 @@ impl AppState {
     /// # Errors
     ///
     /// The human-readable reason the snapshot was rejected (I/O, magic,
-    /// version, checksum, structure).
+    /// version, checksum, structure), or that this server runs in router
+    /// mode (reload a shard instead).
     pub fn reload_from(&self, path: &Path) -> Result<ReloadOutcome, String> {
         let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
-        match source::load_snapshot(path, self.allow_legacy) {
+        let Serving::Mono { handle, .. } = &self.serving else {
+            return Err(self.record_reload_failure(
+                "this server routes a shard set: reload one shard with /reload?shard=i".to_owned(),
+            ));
+        };
+        match source::load_snapshot(path) {
             Ok(loaded) => {
-                let outcome = ReloadOutcome {
-                    info: loaded.info.clone(),
-                    n: loaded.oracle.n(),
-                    reloads: self.reloads.fetch_add(1, Ordering::Relaxed) + 1,
-                };
-                self.handle.swap(Generation::new(loaded.oracle, loaded.info, self.cache_capacity));
-                *self.last_reload_error.lock().expect("reload error lock") = None;
-                Ok(outcome)
+                let n = loaded.oracle.n();
+                let info = loaded.info.clone();
+                handle.swap(Generation::new(loaded.oracle, loaded.info, self.cache_capacity));
+                Ok(ReloadOutcome { info, n, reloads: self.record_reload_success() })
             }
             Err(e) => {
-                let msg = format!("reload from {} rejected: {e}", path.display());
-                self.reload_failures.fetch_add(1, Ordering::Relaxed);
-                *self.last_reload_error.lock().expect("reload error lock") = Some(msg.clone());
-                Err(msg)
+                Err(self
+                    .record_reload_failure(format!("reload from {} rejected: {e}", path.display())))
             }
         }
     }
 
-    /// [`AppState::reload_from`] against the configured default path; this
-    /// is what SIGHUP triggers in the `cc-serve` binary.
+    /// Reloads shard `index` from `path` (router mode): the file must be a
+    /// valid per-shard snapshot declaring exactly this slot and the tier's
+    /// shard count and `n`; the swap is atomic and every other shard keeps
+    /// serving untouched. A new set id is allowed — that is how a rolling
+    /// rollout moves the set to a new artifact generation one shard at a
+    /// time (`/stats` reports `set_uniform` so the roll's progress is
+    /// observable).
     ///
     /// # Errors
     ///
-    /// As [`AppState::reload_from`], plus when no default path is
+    /// The human-readable rejection reason; the old shard keeps serving.
+    pub fn reload_shard_from(&self, index: usize, path: &Path) -> Result<ReloadOutcome, String> {
+        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let Serving::Sharded(tier) = &self.serving else {
+            return Err(self.record_reload_failure(
+                "this server is monolithic: /reload takes no shard parameter".to_owned(),
+            ));
+        };
+        let count = tier.handles.len();
+        if index >= count {
+            return Err(
+                self.record_reload_failure(format!("shard index {index} outside 0..{count}"))
+            );
+        }
+        match source::load_shard(path, index, count) {
+            Ok(loaded) if loaded.shard.n() != tier.plan.n() => {
+                Err(self.record_reload_failure(format!(
+                    "reload of shard {index} from {} rejected: n = {} but the serving set \
+                     has n = {} (a sharded artifact cannot change n shard-by-shard)",
+                    path.display(),
+                    loaded.shard.n(),
+                    tier.plan.n()
+                )))
+            }
+            Ok(loaded) => {
+                let info = loaded.info.clone();
+                let n = loaded.shard.n();
+                tier.handles[index].swap(ShardGeneration::new(loaded.shard, loaded.info));
+                Ok(ReloadOutcome { info, n, reloads: self.record_reload_success() })
+            }
+            Err(e) => Err(self.record_reload_failure(format!(
+                "reload of shard {index} from {} rejected: {e}",
+                path.display()
+            ))),
+        }
+    }
+
+    /// [`AppState::reload_from`] against the configured default source;
+    /// this is what SIGHUP triggers in the `cc-serve` binary. In router
+    /// mode this reloads **every** shard from its own snapshot file,
+    /// validating each before any is swapped (all-or-nothing).
+    ///
+    /// # Errors
+    ///
+    /// As [`AppState::reload_from`], plus when no default source is
     /// configured.
     pub fn reload_default(&self) -> Result<ReloadOutcome, String> {
-        match self.reload_path.clone() {
-            Some(path) => self.reload_from(&path),
-            None => {
-                let msg = "no reload source configured: start with --snapshot or \
-                           pass an explicit path"
-                    .to_owned();
-                self.reload_failures.fetch_add(1, Ordering::Relaxed);
-                *self.last_reload_error.lock().expect("reload error lock") = Some(msg.clone());
-                Err(msg)
+        match &self.serving {
+            Serving::Mono { reload_path, .. } => match reload_path.clone() {
+                Some(path) => self.reload_from(&path),
+                None => Err(self.record_reload_failure(
+                    "no reload source configured: start with --snapshot or \
+                     pass an explicit path"
+                        .to_owned(),
+                )),
+            },
+            Serving::Sharded(_) => self.reload_all_shards(),
+        }
+    }
+
+    /// Reloads every shard from its default path, all-or-nothing: the full
+    /// replacement set is loaded and validated as one consistent set
+    /// before the first swap, so a half-written rollout can never leave
+    /// the tier mixed by accident.
+    ///
+    /// # Errors
+    ///
+    /// The first rejection reason; nothing was swapped.
+    pub fn reload_all_shards(&self) -> Result<ReloadOutcome, String> {
+        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let Serving::Sharded(tier) = &self.serving else {
+            return Err(self.record_reload_failure(
+                "this server is monolithic: use /reload without shard semantics".to_owned(),
+            ));
+        };
+        let mut paths = Vec::with_capacity(tier.paths.len());
+        for (i, path) in tier.paths.iter().enumerate() {
+            match path {
+                Some(p) => paths.push(p.clone()),
+                None => {
+                    return Err(self.record_reload_failure(format!(
+                        "shard {i} has no snapshot file to reload from \
+                         (served from an in-process partition)"
+                    )))
+                }
             }
+        }
+        match source::load_shard_set(&paths) {
+            Ok(loaded) if loaded[0].shard.n() != tier.plan.n() => {
+                Err(self.record_reload_failure(format!(
+                    "full-set reload rejected: n = {} but the serving set has n = {} \
+                     (restart to change the graph size)",
+                    loaded[0].shard.n(),
+                    tier.plan.n()
+                )))
+            }
+            Ok(loaded) => {
+                let mut swaps = 0;
+                let info = loaded[0].info.clone();
+                let n = loaded[0].shard.n();
+                for (handle, shard) in tier.handles.iter().zip(loaded) {
+                    handle.swap(ShardGeneration::new(shard.shard, shard.info));
+                    swaps = self.record_reload_success();
+                }
+                Ok(ReloadOutcome { info, n, reloads: swaps })
+            }
+            Err(e) => Err(self.record_reload_failure(format!("full-set reload rejected: {e}"))),
         }
     }
 
@@ -215,14 +466,29 @@ impl AppState {
         }
     }
 
-    /// `GET /distance?u=&v=` — one pair through the cached oracle.
+    fn try_query(&self, u: usize, v: usize) -> Result<Dist, OracleError> {
+        match &self.serving {
+            Serving::Mono { handle, .. } => handle.current().cached().try_query(u, v),
+            Serving::Sharded(tier) => tier.try_query(u, v),
+        }
+    }
+
+    fn try_query_batch(&self, pairs: &[(usize, usize)]) -> Result<Vec<Dist>, OracleError> {
+        match &self.serving {
+            Serving::Mono { handle, .. } => handle.current().cached().try_query_batch(pairs),
+            Serving::Sharded(tier) => tier.try_query_batch(pairs),
+        }
+    }
+
+    /// `GET /distance?u=&v=` — one pair, through the cached oracle
+    /// (monolithic) or the two owning shards (router).
     fn distance(&self, req: &Request) -> Response {
         self.distance_requests.fetch_add(1, Ordering::Relaxed);
         let (u, v) = match (parse_id(req, "u"), parse_id(req, "v")) {
             (Ok(u), Ok(v)) => (u, v),
             (Err(resp), _) | (_, Err(resp)) => return resp,
         };
-        match self.generation().cached().try_query(u, v) {
+        match self.try_query(u, v) {
             Ok(d) => Response::json(
                 200,
                 format!(
@@ -237,8 +503,7 @@ impl AppState {
         }
     }
 
-    /// `POST /batch` — newline-separated `u v` (or `u,v`) pairs, answered
-    /// through the sharded batch path.
+    /// `POST /batch` — newline-separated `u v` (or `u,v`) pairs.
     fn batch(&self, req: &Request) -> Response {
         self.batch_requests.fetch_add(1, Ordering::Relaxed);
         let Ok(text) = std::str::from_utf8(&req.body) else {
@@ -267,7 +532,7 @@ impl AppState {
             }
         }
         self.batch_pairs.fetch_add(pairs.len() as u64, Ordering::Relaxed);
-        match self.generation().cached().try_query_batch(&pairs) {
+        match self.try_query_batch(&pairs) {
             Ok(answers) => {
                 let mut body = String::with_capacity(16 + answers.len() * 8);
                 body.push_str("{\"count\":");
@@ -286,96 +551,246 @@ impl AppState {
         }
     }
 
-    /// `POST /reload[?path=...]` — load, validate, and atomically swap in a
-    /// new snapshot. A rejected snapshot answers `400` and leaves the old
-    /// artifact serving (the error also shows up in `/stats`).
+    /// `POST /reload[?path=...][&shard=i]` — load, validate, and atomically
+    /// swap in a new snapshot. Monolithic mode swaps the whole artifact;
+    /// router mode swaps shard `i` (or, with no `shard` parameter, rolls
+    /// the full set from each shard's own file). A rejected snapshot
+    /// answers `400` and leaves the old generation(s) serving.
     fn reload(&self, req: &Request) -> Response {
         self.reload_requests.fetch_add(1, Ordering::Relaxed);
-        let outcome = match req.param("path") {
-            Some(p) if !p.is_empty() => self.reload_from(Path::new(p)),
-            _ => self.reload_default(),
-        };
-        match outcome {
-            Ok(outcome) => Response::json(
-                200,
-                format!(
-                    "{{\"reloaded\":true,\"snapshot\":{},\"n\":{},\"reloads\":{}}}",
-                    snapshot_json(&outcome.info),
-                    outcome.n,
-                    outcome.reloads,
-                ),
-            ),
-            // The serving process is healthy and still answering on the old
-            // artifact — the *request* failed, so this is a 4xx, not a 5xx.
-            Err(msg) => Response::error_json(400, msg),
+        match &self.serving {
+            Serving::Mono { .. } => {
+                if req.param("shard").is_some() {
+                    return Response::error_json(
+                        400,
+                        "this server is monolithic: /reload takes no 'shard' parameter",
+                    );
+                }
+                let outcome = match req.param("path") {
+                    Some(p) if !p.is_empty() => self.reload_from(Path::new(p)),
+                    _ => self.reload_default(),
+                };
+                match outcome {
+                    Ok(outcome) => Response::json(
+                        200,
+                        format!(
+                            "{{\"reloaded\":true,\"snapshot\":{},\"n\":{},\"reloads\":{}}}",
+                            snapshot_json(&outcome.info),
+                            outcome.n,
+                            outcome.reloads,
+                        ),
+                    ),
+                    // The serving process is healthy and still answering on
+                    // the old artifact — the *request* failed: 4xx, not 5xx.
+                    Err(msg) => Response::error_json(400, msg),
+                }
+            }
+            Serving::Sharded(tier) => match req.param("shard") {
+                Some(raw) => {
+                    let Ok(index) = raw.parse::<usize>() else {
+                        return Response::error_json(
+                            400,
+                            format!("parameter 'shard' must be a shard index, got '{raw}'"),
+                        );
+                    };
+                    // Bounds-check before resolving the path: an
+                    // out-of-range index must name the real problem (and
+                    // land in reload_failures for monitoring), not claim a
+                    // missing default path.
+                    if index >= tier.handles.len() {
+                        return Response::error_json(
+                            400,
+                            self.record_reload_failure(format!(
+                                "shard index {index} outside 0..{}",
+                                tier.handles.len()
+                            )),
+                        );
+                    }
+                    let path = match req.param("path") {
+                        Some(p) if !p.is_empty() => PathBuf::from(p),
+                        _ => match tier.paths[index].clone() {
+                            Some(p) => p,
+                            None => {
+                                return Response::error_json(
+                                    400,
+                                    format!(
+                                        "shard {index} has no default snapshot file; \
+                                         pass /reload?shard={index}&path=FILE"
+                                    ),
+                                )
+                            }
+                        },
+                    };
+                    match self.reload_shard_from(index, &path) {
+                        Ok(outcome) => Response::json(
+                            200,
+                            format!(
+                                "{{\"reloaded\":true,\"shard\":{index},\"snapshot\":{},\
+                                 \"reloads\":{}}}",
+                                snapshot_json(&outcome.info),
+                                outcome.reloads,
+                            ),
+                        ),
+                        Err(msg) => Response::error_json(400, msg),
+                    }
+                }
+                None => match self.reload_all_shards() {
+                    Ok(outcome) => Response::json(
+                        200,
+                        format!(
+                            "{{\"reloaded\":true,\"shards\":{},\"reloads\":{}}}",
+                            tier.handles.len(),
+                            outcome.reloads,
+                        ),
+                    ),
+                    Err(msg) => Response::error_json(400, msg),
+                },
+            },
         }
     }
 
-    /// `GET /stats` — cache effectiveness, request counters, and the
-    /// identity + reload history of the active snapshot.
+    /// `GET /stats` — request counters plus the per-tier serving state:
+    /// cache effectiveness and the active snapshot (monolithic), or the
+    /// per-shard build ids and whether the set is uniform (router).
     fn stats(&self) -> Response {
-        let generation = self.generation();
-        let cache = generation.cached().stats();
-        let last_error = self
-            .last_reload_error
-            .lock()
-            .expect("reload error lock")
-            .as_ref()
-            .map_or("null".to_owned(), |e| format!("\"{}\"", json_escape(e)));
-        Response::json(
-            200,
-            format!(
-                "{{\"requests\":{},\"distance_requests\":{},\"batch_requests\":{},\
-                 \"batch_pairs\":{},\"client_errors\":{},\"load_shed\":{},\
-                 \"uptime_secs\":{:.3},\
-                 \"snapshot\":{},\
-                 \"reload_requests\":{},\
-                 \"reloads\":{},\"reload_failures\":{},\"last_reload_error\":{last_error},\
-                 \"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\
-                 \"len\":{},\"capacity\":{}}}}}",
-                self.requests.load(Ordering::Relaxed),
-                self.distance_requests.load(Ordering::Relaxed),
-                self.batch_requests.load(Ordering::Relaxed),
-                self.batch_pairs.load(Ordering::Relaxed),
-                self.client_errors.load(Ordering::Relaxed),
-                self.load_shed.load(Ordering::Relaxed),
-                self.started.elapsed().as_secs_f64(),
-                snapshot_json(generation.info()),
-                self.reload_requests.load(Ordering::Relaxed),
-                self.reloads(),
-                self.reload_failures(),
-                cache.hits,
-                cache.misses,
-                cache.hit_rate(),
-                cache.len,
-                cache.capacity,
-            ),
-        )
+        let common = format!(
+            "\"requests\":{},\"distance_requests\":{},\"batch_requests\":{},\
+             \"batch_pairs\":{},\"client_errors\":{},\"load_shed\":{},\
+             \"uptime_secs\":{:.3}",
+            self.requests.load(Ordering::Relaxed),
+            self.distance_requests.load(Ordering::Relaxed),
+            self.batch_requests.load(Ordering::Relaxed),
+            self.batch_pairs.load(Ordering::Relaxed),
+            self.client_errors.load(Ordering::Relaxed),
+            self.load_shed.load(Ordering::Relaxed),
+            self.started.elapsed().as_secs_f64(),
+        );
+        let reload_block = format!(
+            "\"reload_requests\":{},\"reloads\":{},\"reload_failures\":{},\
+             \"last_reload_error\":{}",
+            self.reload_requests.load(Ordering::Relaxed),
+            self.reloads(),
+            self.reload_failures(),
+            self.last_reload_error
+                .lock()
+                .expect("reload error lock")
+                .as_ref()
+                .map_or("null".to_owned(), |e| format!("\"{}\"", json_escape(e))),
+        );
+        match &self.serving {
+            Serving::Mono { handle, .. } => {
+                let generation = handle.current();
+                let cache = generation.cached().stats();
+                Response::json(
+                    200,
+                    format!(
+                        "{{{common},\"mode\":\"mono\",\"snapshot\":{},{reload_block},\
+                         \"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\
+                         \"len\":{},\"capacity\":{}}}}}",
+                        snapshot_json(generation.info()),
+                        cache.hits,
+                        cache.misses,
+                        cache.hit_rate(),
+                        cache.len,
+                        cache.capacity,
+                    ),
+                )
+            }
+            Serving::Sharded(tier) => {
+                let generations = tier.generations();
+                let set_uniform =
+                    generations.windows(2).all(|w| w[0].shard().set_id() == w[1].shard().set_id());
+                let shards: Vec<String> = generations
+                    .iter()
+                    .map(|g| {
+                        format!(
+                            "{{\"index\":{},\"set_build_id\":\"{:016x}\",\"snapshot\":{}}}",
+                            g.shard().index(),
+                            g.shard().set_id(),
+                            snapshot_json(g.info()),
+                        )
+                    })
+                    .collect();
+                Response::json(
+                    200,
+                    format!(
+                        "{{{common},\"mode\":\"router\",\"shard_count\":{},\
+                         \"set_uniform\":{set_uniform},\"shards\":[{}],{reload_block}}}",
+                        generations.len(),
+                        shards.join(","),
+                    ),
+                )
+            }
+        }
     }
 
     /// `GET /artifact` — what is being served, where it came from, and its
-    /// guarantee.
+    /// guarantee; per-shard identities in router mode.
     fn artifact(&self) -> Response {
-        let generation = self.generation();
-        let o = generation.oracle();
-        Response::json(
-            200,
-            format!(
-                "{{\"n\":{},\"k\":{},\"epsilon\":{},\"landmarks\":{},\
-                 \"artifact_bytes\":{},\"stretch_bound\":{},\"build_rounds\":{},\"seed\":{},\
-                 \"snapshot\":{},\"reloads\":{}}}",
-                o.n(),
-                o.k(),
-                o.epsilon(),
-                o.landmarks().len(),
-                o.artifact_bytes(),
-                o.stretch_bound(),
-                o.build_rounds(),
-                o.seed(),
-                snapshot_json(generation.info()),
-                self.reloads(),
-            ),
-        )
+        match &self.serving {
+            Serving::Mono { handle, .. } => {
+                let generation = handle.current();
+                let o = generation.oracle();
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"mode\":\"mono\",\"n\":{},\"k\":{},\"epsilon\":{},\"landmarks\":{},\
+                         \"artifact_bytes\":{},\"stretch_bound\":{},\"build_rounds\":{},\
+                         \"seed\":{},\"snapshot\":{},\"reloads\":{}}}",
+                        o.n(),
+                        o.k(),
+                        o.epsilon(),
+                        o.landmarks().len(),
+                        o.artifact_bytes(),
+                        o.stretch_bound(),
+                        o.build_rounds(),
+                        o.seed(),
+                        snapshot_json(generation.info()),
+                        self.reloads(),
+                    ),
+                )
+            }
+            Serving::Sharded(tier) => {
+                let generations = tier.generations();
+                let first = generations[0].shard();
+                let total_bytes: usize =
+                    generations.iter().map(|g| g.shard().artifact_bytes()).sum();
+                let shards: Vec<String> = generations
+                    .iter()
+                    .map(|g| {
+                        let s = g.shard();
+                        format!(
+                            "{{\"index\":{},\"owned_start\":{},\"owned_len\":{},\
+                             \"artifact_bytes\":{},\"set_build_id\":\"{:016x}\",\
+                             \"snapshot\":{}}}",
+                            s.index(),
+                            s.owned().start,
+                            s.owned().len(),
+                            s.artifact_bytes(),
+                            s.set_id(),
+                            snapshot_json(g.info()),
+                        )
+                    })
+                    .collect();
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"mode\":\"router\",\"n\":{},\"k\":{},\"epsilon\":{},\
+                         \"landmarks\":{},\"shard_count\":{},\"artifact_bytes\":{},\
+                         \"stretch_bound\":{},\"shards\":[{}],\"reloads\":{}}}",
+                        first.n(),
+                        first.k(),
+                        first.epsilon(),
+                        first.landmarks().len(),
+                        generations.len(),
+                        total_bytes,
+                        first.stretch_bound(),
+                        shards.join(","),
+                        self.reloads(),
+                    ),
+                )
+            }
+        }
     }
 }
 
@@ -410,13 +825,22 @@ mod tests {
     use super::*;
     use cc_clique::Clique;
     use cc_graph::generators;
-    use cc_oracle::OracleBuilder;
+    use cc_oracle::{OracleBuilder, ShardedArtifact};
+
+    fn oracle(n: usize, seed: u64) -> DistanceOracle {
+        let g = generators::gnp_weighted(n, 0.2, 20, seed).unwrap();
+        let mut clique = Clique::new(n);
+        OracleBuilder::new().seed(seed).build(&mut clique, &g).unwrap()
+    }
 
     fn state() -> AppState {
-        let g = generators::gnp_weighted(24, 0.2, 20, 9).unwrap();
-        let mut clique = Clique::new(24);
-        let oracle = OracleBuilder::new().seed(9).build(&mut clique, &g).unwrap();
-        AppState::new(oracle, 256)
+        AppState::new(oracle(24, 9), 256)
+    }
+
+    fn sharded_state(n: usize, seed: u64, count: usize) -> (DistanceOracle, AppState) {
+        let o = oracle(n, seed);
+        let shards = ShardedArtifact::partition(&o, count).unwrap().into_shards();
+        (o, AppState::with_in_process_shards(shards).unwrap())
     }
 
     fn get(path: &str, query: &[(&str, &str)]) -> Request {
@@ -522,6 +946,7 @@ mod tests {
         assert!(body.contains("\"requests\":4"), "body: {body}");
         assert!(body.contains("\"distance_requests\":3"), "body: {body}");
         assert!(body.contains("\"client_errors\":1"), "body: {body}");
+        assert!(body.contains("\"mode\":\"mono\""), "body: {body}");
         assert!(body.contains("\"hits\":1"), "body: {body}");
         assert!(body.contains("\"misses\":1"), "body: {body}");
 
@@ -553,9 +978,7 @@ mod tests {
         let before = s.generation().info().build_id.clone();
 
         // A different graph (different seed) at a temp path.
-        let g = generators::gnp_weighted(24, 0.2, 20, 77).unwrap();
-        let mut clique = Clique::new(24);
-        let next = OracleBuilder::new().seed(77).build(&mut clique, &g).unwrap();
+        let next = oracle(24, 77);
         let path = temp_snapshot_dir("swap").join("next.snap");
         std::fs::write(&path, cc_oracle::serde::to_bytes(&next)).unwrap();
 
@@ -607,9 +1030,7 @@ mod tests {
         assert!(stats.contains("\"last_reload_error\":\"reload from"), "stats: {stats}");
 
         // A later successful reload clears the recorded error.
-        let g = generators::gnp_weighted(24, 0.2, 20, 9).unwrap();
-        let mut clique = Clique::new(24);
-        let same = OracleBuilder::new().seed(9).build(&mut clique, &g).unwrap();
+        let same = oracle(24, 9);
         std::fs::write(&path, cc_oracle::serde::to_bytes(&same)).unwrap();
         let resp = s.handle(&req);
         assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
@@ -625,5 +1046,144 @@ mod tests {
         assert_eq!(resp.status, 400);
         assert!(body_str(&resp).contains("no reload source"), "body: {}", body_str(&resp));
         assert_eq!(s.handle(&get("/reload", &[])).status, 405, "GET /reload is not allowed");
+    }
+
+    #[test]
+    fn sharded_distance_and_batch_answer_bit_identically_to_the_monolith() {
+        let (mono, s) = sharded_state(25, 3, 3);
+        assert!(s.is_sharded());
+        for (u, v) in [(0usize, 24usize), (24, 0), (5, 5), (0, 8), (9, 17), (12, 13)] {
+            let resp = s.handle(&get("/distance", &[("u", &u.to_string()), ("v", &v.to_string())]));
+            assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
+            let want = mono.query(u, v).value().map_or("null".to_owned(), |x| x.to_string());
+            assert!(
+                body_str(&resp).contains(&format!("\"distance\":{want}")),
+                "pair ({u},{v}): body {}",
+                body_str(&resp)
+            );
+        }
+        // A batch mixing same-shard and cross-shard pairs.
+        let resp = s.handle(&post("/batch", b"0 1\n0 24\n20 4\n12 12\n"));
+        assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
+        let want: Vec<String> = mono
+            .query_batch(&[(0, 1), (0, 24), (20, 4), (12, 12)])
+            .iter()
+            .map(|d| d.value().map_or("null".into(), |x| x.to_string()))
+            .collect();
+        assert_eq!(body_str(&resp), format!("{{\"count\":4,\"distances\":[{}]}}", want.join(",")));
+        // Out-of-range pairs are 400s through the router too.
+        assert_eq!(s.handle(&get("/distance", &[("u", "0"), ("v", "25")])).status, 400);
+        assert_eq!(s.handle(&post("/batch", b"0 25\n")).status, 400);
+    }
+
+    #[test]
+    fn sharded_stats_and_artifact_report_per_shard_identities() {
+        let (mono, s) = sharded_state(25, 3, 3);
+        let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+        assert!(stats.contains("\"mode\":\"router\""), "stats: {stats}");
+        assert!(stats.contains("\"shard_count\":3"), "stats: {stats}");
+        assert!(stats.contains("\"set_uniform\":true"), "stats: {stats}");
+        assert!(stats.contains("\"index\":2"), "stats: {stats}");
+        let set_id = format!("{:016x}", cc_oracle::serde::payload_checksum(&mono));
+        assert!(stats.contains(&set_id), "stats must carry the set id: {stats}");
+
+        let artifact = body_str(&s.handle(&get("/artifact", &[]))).to_owned();
+        assert!(artifact.contains("\"mode\":\"router\""), "artifact: {artifact}");
+        assert!(artifact.contains("\"n\":25"), "artifact: {artifact}");
+        assert!(artifact.contains("\"owned_start\":0"), "artifact: {artifact}");
+        assert!(artifact.contains("\"owned_len\":9"), "artifact: {artifact}");
+        // Per-shard build ids are all distinct (different slices).
+        let ids: Vec<&str> = artifact.split("\"build_id\":\"").skip(1).collect();
+        assert_eq!(ids.len(), 3, "artifact: {artifact}");
+        assert_ne!(ids[0][..16], ids[1][..16], "artifact: {artifact}");
+    }
+
+    #[test]
+    fn sharded_reload_swaps_one_shard_and_rejects_bad_requests() {
+        let (mono, s) = sharded_state(25, 3, 3);
+        let dir = temp_snapshot_dir("shard-reload");
+        let paths = source::write_shard_snapshots(&mono, 3, &dir).unwrap();
+
+        // Reload shard 1 from an explicit path: only its generation moves.
+        let before: Vec<String> =
+            s.shard_generations().iter().map(|g| g.info().source.clone()).collect();
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![
+                ("shard".to_owned(), "1".to_owned()),
+                ("path".to_owned(), paths[1].display().to_string()),
+            ],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
+        assert!(body_str(&resp).contains("\"shard\":1"));
+        let after: Vec<String> =
+            s.shard_generations().iter().map(|g| g.info().source.clone()).collect();
+        assert_eq!(after[0], before[0]);
+        assert_ne!(after[1], before[1]);
+        assert_eq!(after[2], before[2]);
+        assert_eq!(s.reloads(), 1);
+
+        // Shard 0's file into slot 2: index mismatch, 400, nothing swapped.
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![
+                ("shard".to_owned(), "2".to_owned()),
+                ("path".to_owned(), paths[0].display().to_string()),
+            ],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 400, "body: {}", body_str(&resp));
+        assert!(body_str(&resp).contains("declares index 0"), "body: {}", body_str(&resp));
+        assert_eq!(s.reload_failures(), 1);
+
+        // Out-of-range shard index and garbage index are 400s.
+        for bad in ["9", "x"] {
+            let req = Request {
+                method: "POST".into(),
+                path: "/reload".into(),
+                query: vec![("shard".to_owned(), bad.to_owned())],
+                body: Vec::new(),
+                keep_alive: true,
+            };
+            assert_eq!(s.handle(&req).status, 400, "shard='{bad}' must be rejected");
+        }
+
+        // Queries still answer identically to the monolith afterwards.
+        for (u, v) in [(0usize, 24usize), (10, 3)] {
+            let resp = s.handle(&get("/distance", &[("u", &u.to_string()), ("v", &v.to_string())]));
+            let want = mono.query(u, v).value().unwrap();
+            assert!(body_str(&resp).contains(&format!("\"distance\":{want}")));
+        }
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn mono_reload_rejects_shard_parameter_and_vice_versa() {
+        let s = state();
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![("shard".to_owned(), "0".to_owned())],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 400);
+        assert!(body_str(&resp).contains("no 'shard' parameter"), "body: {}", body_str(&resp));
+
+        // In-process sharded state has no files: a bare /reload explains.
+        let (_, sharded) = sharded_state(25, 3, 2);
+        let resp = sharded.handle(&post("/reload", b""));
+        assert_eq!(resp.status, 400);
+        assert!(body_str(&resp).contains("no snapshot file"), "body: {}", body_str(&resp));
     }
 }

@@ -17,6 +17,16 @@
 //! (format version, build id, source) plus the reload history. The
 //! operator's handbook is `docs/OPERATIONS.md`.
 //!
+//! With `--shards` the same binary runs as the **router tier** over a
+//! sharded artifact (`docs/SHARDING.md`): each per-shard snapshot loads
+//! behind its own `ReloadHandle<ShardGeneration>`, `/distance` and
+//! `/batch` combine the two owning shards' half-results **bit-identically
+//! to the monolithic oracle**, `/reload?shard=i` rolls one slice at a
+//! time, and `/stats` reports per-shard build ids plus whether the set is
+//! uniform. Startup strictly validates the set (matching `n`/`k`/`ε`/
+//! landmarks/set id, every shard in its declared slot), so a mixed or
+//! mis-slotted set never serves.
+//!
 //! The build image has no tokio/hyper, so the transport is deliberately
 //! simple and fully owned: a non-blocking accept loop feeding a **bounded
 //! worker thread-pool** ([`pool::WorkerPool`]) with keep-alive connections,
@@ -97,5 +107,5 @@ pub mod source;
 
 pub use config::ServerConfig;
 pub use handlers::{AppState, ReloadOutcome};
-pub use reload::{Generation, ReloadHandle, SnapshotInfo};
+pub use reload::{Generation, ReloadHandle, ShardGeneration, SnapshotInfo};
 pub use server::{BlockingClient, Server, ServerHandle};

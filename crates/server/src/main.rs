@@ -1,15 +1,19 @@
-//! The `cc-serve` binary: load or build a distance oracle and serve it.
+//! The `cc-serve` binary: load or build a distance oracle and serve it —
+//! monolithically, or as the router tier over a sharded artifact set.
 //!
 //! ```text
 //! cc-serve --snapshot FILE [--addr HOST:PORT] [--workers N] [--cache N]
+//! cc-serve --shards A.snap,B.snap,...          # router mode over a shard set
 //! cc-serve --demo N [--seed S] [--epsilon E] [--addr HOST:PORT] ...
 //! cc-serve --demo N --write-snapshot FILE      # write a fixture and exit
+//! cc-serve --demo N --shard-count K --write-shards DIR
+//!                                              # write a K-shard fixture set
 //! ```
 //!
 //! A running server hot-swaps its artifact without restarting: `POST
-//! /reload` (optionally `?path=...`) or `SIGHUP` re-reads the snapshot
-//! file, validates it, and swaps it in atomically under traffic. See
-//! `docs/OPERATIONS.md`.
+//! /reload` (optionally `?path=...`, or `?shard=i` in router mode) or
+//! `SIGHUP` re-reads the snapshot file(s), validates, and swaps atomically
+//! under traffic. See `docs/OPERATIONS.md` and `docs/SHARDING.md`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -68,49 +72,61 @@ cc-serve: HTTP front-end for a congested-clique distance oracle
 
 USAGE:
     cc-serve --snapshot FILE [OPTIONS]     serve an oracle snapshot file
+    cc-serve --shards A,B,...  [OPTIONS]   route over a per-shard snapshot set
+                                           (file i must hold shard i)
     cc-serve --demo N [OPTIONS]            build an n-node demo oracle, then serve it
     cc-serve --demo N --write-snapshot FILE
                                            build the demo, write the snapshot, exit
+    cc-serve --demo N --shard-count K --write-shards DIR
+                                           build the demo, write DIR/shard-<i>.snap
+                                           for i in 0..K, exit
 
 OPTIONS:
     --addr HOST:PORT    bind address (default 127.0.0.1:8317; port 0 = ephemeral)
     --workers N         worker threads (default: CPU count, capped at 16)
-    --cache N           LRU result-cache capacity (default 4096)
+    --cache N           LRU result-cache capacity (default 4096; monolithic only)
     --seed S            demo build seed (default 7)
     --epsilon E         demo build accuracy, stretch is 3(1+E) (default 0.25)
     --write-snapshot F  write the oracle to F and exit without serving
-    --allow-legacy      accept pre-versioning (v1) snapshots on load/reload
+    --write-shards DIR  write a per-shard snapshot set to DIR and exit
+    --shard-count K     how many shards --write-shards cuts (default 2)
     --help              this text
 
 HOT RELOAD:
     POST /reload        re-read the --snapshot file (or /reload?path=FILE),
-                        validate it, and swap it in atomically under traffic
-    SIGHUP              same as POST /reload against the --snapshot file
+                        validate it, and swap it in atomically under traffic;
+                        in router mode, /reload?shard=i swaps one shard and a
+                        bare /reload rolls the full set from its files
+    SIGHUP              same as a bare POST /reload
 ";
 
 struct Args {
     snapshot: Option<PathBuf>,
+    shards: Vec<PathBuf>,
     demo: Option<usize>,
     write_snapshot: Option<PathBuf>,
+    write_shards: Option<PathBuf>,
+    shard_count: usize,
     addr: String,
     workers: Option<usize>,
     cache: usize,
     seed: u64,
     epsilon: f64,
-    allow_legacy: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         snapshot: None,
+        shards: Vec::new(),
         demo: None,
         write_snapshot: None,
+        write_shards: None,
+        shard_count: 2,
         addr: "127.0.0.1:8317".to_owned(),
         workers: None,
         cache: 4096,
         seed: 7,
         epsilon: 0.25,
-        allow_legacy: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -119,11 +135,26 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--snapshot" => args.snapshot = Some(PathBuf::from(value("file path")?)),
+            "--shards" => {
+                args.shards = value("comma-separated file list")?
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(PathBuf::from)
+                    .collect();
+                if args.shards.is_empty() {
+                    return Err("--shards needs at least one file".to_owned());
+                }
+            }
             "--demo" => {
                 args.demo =
                     Some(value("node count")?.parse().map_err(|_| "--demo needs an integer")?);
             }
             "--write-snapshot" => args.write_snapshot = Some(PathBuf::from(value("file path")?)),
+            "--write-shards" => args.write_shards = Some(PathBuf::from(value("directory")?)),
+            "--shard-count" => {
+                args.shard_count =
+                    value("count")?.parse().map_err(|_| "--shard-count needs an integer")?;
+            }
             "--addr" => args.addr = value("bind address")?,
             "--workers" => {
                 args.workers =
@@ -138,16 +169,22 @@ fn parse_args() -> Result<Args, String> {
             "--epsilon" => {
                 args.epsilon = value("epsilon")?.parse().map_err(|_| "--epsilon needs a number")?;
             }
-            "--allow-legacy" => args.allow_legacy = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    match (&args.snapshot, &args.demo) {
-        (None, None) => Err("one of --snapshot or --demo is required".to_owned()),
-        (Some(_), Some(_)) => Err("--snapshot and --demo are mutually exclusive".to_owned()),
-        _ => Ok(args),
+    let sources = usize::from(args.snapshot.is_some())
+        + usize::from(args.demo.is_some())
+        + usize::from(!args.shards.is_empty());
+    if sources != 1 {
+        return Err("exactly one of --snapshot, --shards, or --demo is required".to_owned());
     }
+    if !args.shards.is_empty() && (args.write_snapshot.is_some() || args.write_shards.is_some()) {
+        return Err(
+            "--write-snapshot/--write-shards need --demo or --snapshot, not --shards".to_owned()
+        );
+    }
+    Ok(args)
 }
 
 fn main() -> ExitCode {
@@ -162,8 +199,52 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut config =
+        ServerConfig::default().with_addr(args.addr.clone()).with_cache_capacity(args.cache);
+    if let Some(workers) = args.workers {
+        config = config.with_workers(workers);
+    }
+
+    // Router mode: load + validate the full shard set, then serve it.
+    if !args.shards.is_empty() {
+        let loaded = match source::load_shard_set(&args.shards) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                eprintln!("error: cannot load shard set: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let n = loaded[0].shard.n();
+        let count = loaded.len();
+        let kib: usize = loaded.iter().map(|l| l.shard.artifact_bytes()).sum::<usize>() / 1024;
+        for shard in &loaded {
+            eprintln!(
+                "loaded shard {}/{count} from {} (owns {:?}, build {})",
+                shard.shard.index(),
+                shard.path.display(),
+                shard.shard.owned(),
+                shard.info.build_id,
+            );
+        }
+        return match Server::start_sharded(&config, loaded) {
+            Ok(handle) => {
+                // CI and scripts wait for this exact line on stdout.
+                println!(
+                    "cc-serve listening on http://{} (router, n={n}, shards={count}, {kib} KiB)",
+                    handle.addr()
+                );
+                run_until_stopped(handle);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind {}: {e}", args.addr);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let (oracle, info) = match (&args.snapshot, args.demo) {
-        (Some(path), None) => match source::load_snapshot(path, args.allow_legacy) {
+        (Some(path), None) => match source::load_snapshot(path) {
             Ok(loaded) => {
                 eprintln!(
                     "loaded snapshot {} ({} nodes, format v{}, build {})",
@@ -210,17 +291,23 @@ fn main() -> ExitCode {
         };
     }
 
-    let mut config = ServerConfig::default()
-        .with_addr(args.addr.clone())
-        .with_cache_capacity(args.cache)
-        .with_allow_legacy(args.allow_legacy);
+    if let Some(dir) = &args.write_shards {
+        return match source::write_shard_snapshots(&oracle, args.shard_count, dir) {
+            Ok(paths) => {
+                println!("wrote {} shard snapshots to {} and exiting", paths.len(), dir.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot write shard set to {}: {e}", dir.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if let Some(path) = &args.snapshot {
         // The served file doubles as the default reload source: an
         // operator replaces it atomically and POSTs /reload (or SIGHUPs).
         config = config.with_reload_path(path.clone());
-    }
-    if let Some(workers) = args.workers {
-        config = config.with_workers(workers);
     }
     let (n, landmarks, kib) =
         (oracle.n(), oracle.landmarks().len(), oracle.artifact_bytes() / 1024);
@@ -231,34 +318,7 @@ fn main() -> ExitCode {
                 "cc-serve listening on http://{} (n={n}, landmarks={landmarks}, {kib} KiB)",
                 handle.addr()
             );
-            // SIGHUP → reload the default snapshot, off the signal handler
-            // and off the request path. A failed install or spawn must be
-            // loud: otherwise the documented reload path would silently
-            // keep the default SIGHUP disposition (terminate the process).
-            if sighup::install() {
-                let state = handle.shared_state();
-                std::thread::Builder::new()
-                    .name("cc-serve-sighup".to_owned())
-                    .spawn(move || loop {
-                        std::thread::sleep(Duration::from_millis(200));
-                        if sighup::take() {
-                            match state.reload_default() {
-                                Ok(outcome) => eprintln!(
-                                    "SIGHUP reload ok: build {} from {}",
-                                    outcome.info.build_id, outcome.info.source
-                                ),
-                                Err(e) => eprintln!("SIGHUP reload failed: {e}"),
-                            }
-                        }
-                    })
-                    .expect("spawn SIGHUP watcher thread");
-            } else {
-                eprintln!(
-                    "warning: could not install the SIGHUP handler; \
-                     hot reload is available via POST /reload only"
-                );
-            }
-            handle.join();
+            run_until_stopped(handle);
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -266,4 +326,38 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Installs the SIGHUP → reload watcher and blocks until the server stops.
+///
+/// SIGHUP reloads the default source — the `--snapshot` file, or in router
+/// mode every shard from its own file — off the signal handler and off the
+/// request path. A failed install or spawn must be loud: otherwise the
+/// documented reload path would silently keep the default SIGHUP
+/// disposition (terminate the process).
+fn run_until_stopped(handle: cc_server::ServerHandle) {
+    if sighup::install() {
+        let state = handle.shared_state();
+        std::thread::Builder::new()
+            .name("cc-serve-sighup".to_owned())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(200));
+                if sighup::take() {
+                    match state.reload_default() {
+                        Ok(outcome) => eprintln!(
+                            "SIGHUP reload ok: build {} from {}",
+                            outcome.info.build_id, outcome.info.source
+                        ),
+                        Err(e) => eprintln!("SIGHUP reload failed: {e}"),
+                    }
+                }
+            })
+            .expect("spawn SIGHUP watcher thread");
+    } else {
+        eprintln!(
+            "warning: could not install the SIGHUP handler; \
+             hot reload is available via POST /reload only"
+        );
+    }
+    handle.join();
 }

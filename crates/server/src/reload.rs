@@ -12,7 +12,8 @@
 
 use std::sync::{Arc, RwLock};
 
-use cc_oracle::serde::SnapshotHeader;
+use cc_oracle::serde::{ShardHeader, SnapshotHeader};
+use cc_oracle::shard::OracleShard;
 use cc_oracle::{CachingOracle, DistanceOracle};
 
 /// Identity of a serving artifact, as reported by `/stats` and
@@ -57,15 +58,24 @@ impl SnapshotInfo {
         }
     }
 
-    /// Info for an artifact parsed from a **legacy v1** snapshot (which
-    /// carries no metadata): version 1, build id computed from the payload.
-    pub fn legacy(oracle: &DistanceOracle, source: impl Into<String>) -> SnapshotInfo {
+    /// Info for one shard loaded from a per-shard snapshot at `source`.
+    /// `build_id` is the shard file's own checksum (distinct per slice);
+    /// the set-wide identity is in [`ShardGeneration`]'s header.
+    pub fn from_shard_header(header: &ShardHeader, source: impl Into<String>) -> SnapshotInfo {
         SnapshotInfo {
-            version: 1,
-            build_id: format!("{:016x}", cc_oracle::serde::payload_checksum(oracle)),
-            created_unix_secs: 0,
+            version: header.version,
+            build_id: header.build_id(),
+            created_unix_secs: header.created_unix_secs,
             source: source.into(),
         }
+    }
+
+    /// Info synthesized for a shard partitioned in-process (never
+    /// snapshotted).
+    pub fn in_process_shard(shard: &OracleShard, source: impl Into<String>) -> SnapshotInfo {
+        let bytes = cc_oracle::serde::to_shard_bytes_created_at(shard, 0);
+        let header = cc_oracle::serde::peek_shard_header(&bytes).expect("self-written shard bytes");
+        SnapshotInfo::from_shard_header(&header, source)
     }
 }
 
@@ -101,7 +111,39 @@ impl Generation {
     }
 }
 
+/// One immutable serving generation of a **single shard** in router mode:
+/// the slice plus the identity of the per-shard snapshot it came from.
+/// Each shard of the set lives behind its own [`ReloadHandle`], so a
+/// rolling rollout swaps one slice at a time while the others keep
+/// serving.
+pub struct ShardGeneration {
+    shard: OracleShard,
+    info: SnapshotInfo,
+}
+
+impl ShardGeneration {
+    /// Wraps one loaded shard for serving.
+    pub fn new(shard: OracleShard, info: SnapshotInfo) -> ShardGeneration {
+        ShardGeneration { shard, info }
+    }
+
+    /// The slice this generation serves.
+    pub fn shard(&self) -> &OracleShard {
+        &self.shard
+    }
+
+    /// Identity of the per-shard snapshot this generation was loaded from.
+    pub fn info(&self) -> &SnapshotInfo {
+        &self.info
+    }
+}
+
 /// The swap point between the request path and reloads.
+///
+/// Generic over the generation type: the monolithic tier stores a
+/// [`Generation`] (the default), the router tier keeps one
+/// `ReloadHandle<ShardGeneration>` **per shard** so a rolling rollout
+/// swaps one slice at a time.
 ///
 /// # Example
 ///
@@ -133,20 +175,20 @@ impl Generation {
 /// # Ok(())
 /// # }
 /// ```
-pub struct ReloadHandle {
-    current: RwLock<Arc<Generation>>,
+pub struct ReloadHandle<T = Generation> {
+    current: RwLock<Arc<T>>,
 }
 
-impl ReloadHandle {
+impl<T> ReloadHandle<T> {
     /// Starts with `initial` as the serving generation.
-    pub fn new(initial: Generation) -> ReloadHandle {
+    pub fn new(initial: T) -> ReloadHandle<T> {
         ReloadHandle { current: RwLock::new(Arc::new(initial)) }
     }
 
     /// The generation serving right now. The read lock is held only for
     /// the `Arc` clone, so this never blocks behind a load — only behind
     /// the pointer swap itself, which is a few instructions.
-    pub fn current(&self) -> Arc<Generation> {
+    pub fn current(&self) -> Arc<T> {
         Arc::clone(&self.current.read().expect("reload handle poisoned"))
     }
 
@@ -154,7 +196,7 @@ impl ReloadHandle {
     /// one. Callers must fully load **and validate** the new artifact
     /// before calling this; in-flight requests holding the old `Arc`
     /// finish on the old artifact.
-    pub fn swap(&self, next: Generation) -> Arc<Generation> {
+    pub fn swap(&self, next: T) -> Arc<T> {
         let mut slot = self.current.write().expect("reload handle poisoned");
         std::mem::replace(&mut *slot, Arc::new(next))
     }
@@ -240,8 +282,41 @@ mod tests {
         assert_eq!(built.build_id, from_file.build_id);
         assert_eq!(built.created_unix_secs, 0);
 
-        let legacy = SnapshotInfo::legacy(&oracle, "/tmp/old.snap");
-        assert_eq!(legacy.version, 1);
-        assert_eq!(legacy.build_id, from_file.build_id);
+        // A shard's info carries the shard file's own id: distinct from the
+        // monolithic build id, stable across loads of the same slice.
+        let shards = cc_oracle::ShardedArtifact::partition(&oracle, 2).unwrap().into_shards();
+        let shard_bytes = cc_oracle::serde::to_shard_bytes_created_at(&shards[0], 7);
+        let shard_header = cc_oracle::serde::peek_shard_header(&shard_bytes).unwrap();
+        let from_shard = SnapshotInfo::from_shard_header(&shard_header, "/tmp/s0.snap");
+        assert_eq!(from_shard.version, cc_oracle::serde::SNAPSHOT_VERSION);
+        assert_ne!(from_shard.build_id, from_file.build_id);
+        assert_eq!(from_shard.build_id, SnapshotInfo::in_process_shard(&shards[0], "x").build_id);
+        assert_eq!(shard_header.set_build_id(), from_file.build_id);
+    }
+
+    #[test]
+    fn shard_generations_swap_independently() {
+        let oracle = build_demo(20, 3, 0.5).unwrap();
+        let shards = cc_oracle::ShardedArtifact::partition(&oracle, 2).unwrap().into_shards();
+        let handles: Vec<ReloadHandle<ShardGeneration>> = shards
+            .iter()
+            .map(|s| {
+                ReloadHandle::new(ShardGeneration::new(
+                    s.clone(),
+                    SnapshotInfo::in_process_shard(s, "set-a"),
+                ))
+            })
+            .collect();
+
+        let held = handles[0].current();
+        handles[0].swap(ShardGeneration::new(
+            shards[0].clone(),
+            SnapshotInfo::in_process_shard(&shards[0], "set-b"),
+        ));
+        // The pre-swap clone still names the old source; shard 1 untouched.
+        assert_eq!(held.info().source, "set-a");
+        assert_eq!(handles[0].current().info().source, "set-b");
+        assert_eq!(handles[1].current().info().source, "set-a");
+        assert_eq!(handles[1].current().shard().index(), 1);
     }
 }

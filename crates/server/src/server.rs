@@ -50,16 +50,36 @@ impl Server {
         oracle: DistanceOracle,
         info: SnapshotInfo,
     ) -> io::Result<ServerHandle> {
+        let state =
+            AppState::with_info(oracle, info, config.cache_capacity, config.reload_path.clone());
+        Server::start_with_state(config, state)
+    }
+
+    /// Starts a **router-tier** server over a loaded, validated shard set:
+    /// `/distance` and `/batch` are answered by combining the two owning
+    /// shards' half-results, `/reload?shard=i` hot-swaps one slice at a
+    /// time, and `/stats` / `/artifact` report per-shard build ids.
+    ///
+    /// # Errors
+    ///
+    /// Set-validation errors (mapped to `InvalidInput`) and bind I/O
+    /// errors. A missing or corrupt shard snapshot fails **here**, before
+    /// the socket ever accepts — the startup gate the router e2e suite
+    /// pins down.
+    pub fn start_sharded(
+        config: &ServerConfig,
+        shards: Vec<crate::source::LoadedShard>,
+    ) -> io::Result<ServerHandle> {
+        let state = AppState::with_shards(shards)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        Server::start_with_state(config, state)
+    }
+
+    fn start_with_state(config: &ServerConfig, state: AppState) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(AppState::with_info(
-            oracle,
-            info,
-            config.cache_capacity,
-            config.reload_path.clone(),
-            config.allow_legacy,
-        ));
+        let state = Arc::new(state);
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let acceptor = {

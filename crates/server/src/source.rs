@@ -1,12 +1,14 @@
-//! Where a served oracle comes from: a snapshot file on disk, or an
-//! in-process demo build in the simulated clique.
+//! Where a served oracle comes from: a snapshot file on disk (monolithic
+//! or a per-shard set), or an in-process demo build in the simulated
+//! clique.
 
 use std::error::Error;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use cc_clique::Clique;
 use cc_graph::{generators, Graph};
-use cc_oracle::{serde, DistanceOracle, OracleBuilder, OracleError};
+use cc_oracle::shard::{validate_set, OracleShard};
+use cc_oracle::{serde, DistanceOracle, OracleBuilder, ShardedArtifact};
 
 use crate::reload::SnapshotInfo;
 
@@ -20,30 +22,97 @@ pub struct LoadedSnapshot {
     pub info: SnapshotInfo,
 }
 
+/// One shard loaded from disk: the slice, its identity, and the path it
+/// was read from (which doubles as the shard's default reload source).
+#[derive(Debug)]
+pub struct LoadedShard {
+    /// The validated slice.
+    pub shard: OracleShard,
+    /// Where it came from and what it is, for `/stats` and `/artifact`.
+    pub info: SnapshotInfo,
+    /// The file this shard was read from.
+    pub path: PathBuf,
+}
+
 /// Loads an oracle from a **versioned** [`cc_oracle::serde`] snapshot
-/// file, validating magic, version, checksum and structure.
-///
-/// When `allow_legacy` is set, a pre-versioning (v1) snapshot is accepted
-/// too — the one-release migration path; otherwise v1 bytes are rejected
-/// with [`cc_oracle::OracleError::LegacySnapshot`].
+/// file, validating magic, version, checksum and structure. Pre-versioning
+/// (v1) bytes and per-shard snapshots are rejected with their dedicated
+/// errors ([`cc_oracle::OracleError::LegacySnapshot`],
+/// [`cc_oracle::OracleError::ShardSnapshot`]).
 ///
 /// # Errors
 ///
 /// I/O errors reading the file and every [`cc_oracle::serde::from_bytes`]
 /// validation error.
-pub fn load_snapshot(path: &Path, allow_legacy: bool) -> Result<LoadedSnapshot, Box<dyn Error>> {
+pub fn load_snapshot(path: &Path) -> Result<LoadedSnapshot, Box<dyn Error>> {
     let bytes = std::fs::read(path)?;
     let source = path.display().to_string();
-    match serde::from_bytes_with_header(&bytes) {
-        Ok((header, oracle)) => {
-            Ok(LoadedSnapshot { info: SnapshotInfo::from_header(&header, source), oracle })
+    let (header, oracle) = serde::from_bytes_with_header(&bytes)?;
+    Ok(LoadedSnapshot { info: SnapshotInfo::from_header(&header, source), oracle })
+}
+
+/// Loads one per-shard snapshot and checks it fills `expected_index` of a
+/// set of `expected_count` shards.
+///
+/// # Errors
+///
+/// I/O errors, every [`cc_oracle::serde::from_shard_bytes`] validation
+/// error, and [`cc_oracle::OracleError::ShardIndexMismatch`] /
+/// [`cc_oracle::OracleError::ShardSetMismatch`] when the file belongs to a
+/// different slot or set shape.
+pub fn load_shard(
+    path: &Path,
+    expected_index: usize,
+    expected_count: usize,
+) -> Result<LoadedShard, Box<dyn Error>> {
+    let bytes = std::fs::read(path)?;
+    let (header, shard) = serde::from_shard_bytes_with_header(&bytes)?;
+    if shard.index() != expected_index {
+        return Err(cc_oracle::OracleError::ShardIndexMismatch {
+            expected: expected_index as u32,
+            found: shard.index() as u32,
         }
-        Err(OracleError::LegacySnapshot) if allow_legacy => {
-            let oracle = serde::from_bytes_legacy(&bytes)?;
-            Ok(LoadedSnapshot { info: SnapshotInfo::legacy(&oracle, source), oracle })
-        }
-        Err(e) => Err(e.into()),
+        .into());
     }
+    if shard.count() != expected_count {
+        return Err(cc_oracle::OracleError::ShardSetMismatch {
+            what: format!(
+                "{} declares a {}-shard set but {expected_count} shard files were given",
+                path.display(),
+                shard.count()
+            ),
+        }
+        .into());
+    }
+    let info = SnapshotInfo::from_shard_header(&header, path.display().to_string());
+    Ok(LoadedShard { shard, info, path: path.to_path_buf() })
+}
+
+/// Loads a complete shard set — `paths[i]` must hold shard `i` — and
+/// validates it as one consistent artifact ([`validate_set`]): matching
+/// shard count, `n`, `k`, `ε`, landmarks, and set id, with every slice's
+/// owned range matching the recomputed [`cc_oracle::shard::ShardPlan`].
+///
+/// # Errors
+///
+/// The first per-file failure (I/O, corruption, wrong slot), or the set
+/// validation error — each prefixed with the offending path so a startup
+/// failure names the file to fix.
+pub fn load_shard_set(paths: &[PathBuf]) -> Result<Vec<LoadedShard>, Box<dyn Error>> {
+    if paths.is_empty() {
+        return Err("router mode needs at least one shard snapshot".into());
+    }
+    let mut loaded = Vec::with_capacity(paths.len());
+    for (i, path) in paths.iter().enumerate() {
+        let shard = load_shard(path, i, paths.len())
+            .map_err(|e| format!("shard {i} ({}): {e}", path.display()))?;
+        loaded.push(shard);
+    }
+    // Validate by reference: each shard carries the replicated column
+    // matrix, so cloning the set just to check it would double peak memory.
+    let refs: Vec<&OracleShard> = loaded.iter().map(|l| &l.shard).collect();
+    validate_set(&refs)?;
+    Ok(loaded)
 }
 
 /// Writes `oracle` to `path` as a snapshot file.
@@ -53,6 +122,29 @@ pub fn load_snapshot(path: &Path, allow_legacy: bool) -> Result<LoadedSnapshot, 
 /// Propagates I/O errors.
 pub fn write_snapshot(oracle: &DistanceOracle, path: &Path) -> std::io::Result<()> {
     std::fs::write(path, serde::to_bytes(oracle))
+}
+
+/// Partitions `oracle` into `count` shards and writes one snapshot per
+/// shard into `dir` as `shard-<i>.snap`, returning the paths in index
+/// order (ready for `cc-serve --shards`).
+///
+/// # Errors
+///
+/// Partitioning errors (impossible plan) and I/O errors.
+pub fn write_shard_snapshots(
+    oracle: &DistanceOracle,
+    count: usize,
+    dir: &Path,
+) -> Result<Vec<PathBuf>, Box<dyn Error>> {
+    let sharded = ShardedArtifact::partition(oracle, count)?;
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(count);
+    for shard in sharded.shards() {
+        let path = dir.join(format!("shard-{}.snap", shard.index()));
+        std::fs::write(&path, serde::to_shard_bytes(shard))?;
+        paths.push(path);
+    }
+    Ok(paths)
 }
 
 /// The deterministic demo graph `cc-serve --demo n` serves: weighted
@@ -81,14 +173,18 @@ pub fn build_demo(n: usize, seed: u64, epsilon: f64) -> Result<DistanceOracle, B
 mod tests {
     use super::*;
 
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cc-serve-test-snap").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn snapshot_round_trips_through_disk_with_its_identity() {
         let oracle = build_demo(20, 3, 0.5).unwrap();
-        let dir = std::env::temp_dir().join("cc-serve-test-snap");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("oracle.snap");
+        let path = temp_dir("mono").join("oracle.snap");
         write_snapshot(&oracle, &path).unwrap();
-        let back = load_snapshot(&path, false).unwrap();
+        let back = load_snapshot(&path).unwrap();
         assert_eq!(back.oracle, oracle);
         assert_eq!(back.info.version, serde::SNAPSHOT_VERSION);
         assert_eq!(back.info.build_id, format!("{:016x}", serde::payload_checksum(&oracle)));
@@ -98,29 +194,87 @@ mod tests {
 
     #[test]
     fn corrupt_snapshot_files_are_rejected() {
-        let dir = std::env::temp_dir().join("cc-serve-test-snap");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("garbage.snap");
+        let path = temp_dir("garbage").join("garbage.snap");
         std::fs::write(&path, b"definitely not an oracle").unwrap();
-        assert!(load_snapshot(&path, false).is_err());
+        assert!(load_snapshot(&path).is_err());
         std::fs::remove_file(&path).ok();
-        assert!(load_snapshot(Path::new("/nonexistent/oracle.snap"), false).is_err());
+        assert!(load_snapshot(Path::new("/nonexistent/oracle.snap")).is_err());
     }
 
     #[test]
-    fn legacy_snapshots_need_the_explicit_opt_in() {
-        let oracle = build_demo(18, 4, 0.5).unwrap();
-        let dir = std::env::temp_dir().join("cc-serve-test-snap");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("legacy.snap");
-        std::fs::write(&path, serde::to_bytes_legacy(&oracle)).unwrap();
-
-        let err = load_snapshot(&path, false).unwrap_err();
+    fn legacy_v1_snapshots_are_rejected_with_the_dedicated_error() {
+        let path = temp_dir("legacy").join("legacy.snap");
+        // Hand-built v1 prefix: the magic alone must trigger the rejection.
+        let mut bytes = b"CCO1".to_vec();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 56]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_snapshot(&path).unwrap_err();
         assert!(err.to_string().contains("legacy"), "error must say why: {err}");
-
-        let loaded = load_snapshot(&path, true).unwrap();
-        assert_eq!(loaded.oracle, oracle);
-        assert_eq!(loaded.info.version, 1, "legacy artifacts report format version 1");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_sets_round_trip_and_wrong_slots_are_named() {
+        let oracle = build_demo(21, 5, 0.5).unwrap();
+        let dir = temp_dir("shards");
+        let paths = write_shard_snapshots(&oracle, 3, &dir).unwrap();
+        assert_eq!(paths.len(), 3);
+
+        let loaded = load_shard_set(&paths).unwrap();
+        let router = cc_oracle::ShardRouter::assemble(
+            loaded.iter().map(|l| l.shard.clone()).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        for u in 0..21 {
+            for v in 0..21 {
+                assert_eq!(router.query(u, v), oracle.query(u, v), "({u},{v})");
+            }
+        }
+
+        // Shard 2's file in slot 0: rejected, and the message names slot,
+        // path, and the index mismatch.
+        let swapped = vec![paths[2].clone(), paths[1].clone(), paths[0].clone()];
+        let err = load_shard_set(&swapped).unwrap_err().to_string();
+        assert!(err.contains("shard 0"), "error must name the slot: {err}");
+        assert!(err.contains("declares index 2"), "error must name the mismatch: {err}");
+
+        // A missing file fails cleanly with its path.
+        let missing = vec![paths[0].clone(), dir.join("nope.snap"), paths[2].clone()];
+        let err = load_shard_set(&missing).unwrap_err().to_string();
+        assert!(err.contains("nope.snap"), "error must name the file: {err}");
+
+        // A monolithic snapshot offered as a shard is refused.
+        let mono = dir.join("mono.snap");
+        write_snapshot(&oracle, &mono).unwrap();
+        let err = load_shard_set(&[mono.clone(), paths[1].clone(), paths[2].clone()])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("monolithic"), "error must say why: {err}");
+
+        // An incomplete set is refused.
+        let err = load_shard_set(&paths[..2]).unwrap_err().to_string();
+        assert!(err.contains("3-shard set"), "error must name the shape: {err}");
+
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_file(mono).ok();
+    }
+
+    #[test]
+    fn shard_sets_from_different_builds_do_not_mix() {
+        let a = build_demo(20, 6, 0.5).unwrap();
+        let b = build_demo(20, 7, 0.5).unwrap();
+        let dir_a = temp_dir("set-a");
+        let dir_b = temp_dir("set-b");
+        let paths_a = write_shard_snapshots(&a, 2, &dir_a).unwrap();
+        let paths_b = write_shard_snapshots(&b, 2, &dir_b).unwrap();
+        let mixed = vec![paths_a[0].clone(), paths_b[1].clone()];
+        let err = load_shard_set(&mixed).unwrap_err().to_string();
+        assert!(err.contains("set id"), "error must name the field: {err}");
+        for p in paths_a.into_iter().chain(paths_b) {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

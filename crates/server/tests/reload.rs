@@ -32,7 +32,7 @@ fn temp_path(name: &str) -> PathBuf {
 /// hammer clients + 1 reloader) — otherwise the reloader can queue behind
 /// hammer clients that only stop when the reloader finishes.
 fn start_on_snapshot(path: &Path) -> ServerHandle {
-    let loaded = cc_server::source::load_snapshot(path, false).unwrap();
+    let loaded = cc_server::source::load_snapshot(path).unwrap();
     let config =
         ServerConfig::default().with_addr("127.0.0.1:0").with_workers(8).with_reload_path(path);
     Server::start_with_info(&config, loaded.oracle, loaded.info).expect("server start")
@@ -176,13 +176,32 @@ fn corrupt_and_mismatched_version_snapshots_are_rejected_old_artifact_keeps_serv
     );
     check_still_serving_a(&mut client);
 
-    // 3. Legacy (v1) bytes without the opt-in.
-    std::fs::write(&path, serde::to_bytes_legacy(&a)).unwrap();
+    // 3. Legacy (v1) bytes: the reader was removed, the magic is enough to
+    // reject with the dedicated error.
+    let mut legacy = b"CCO1".to_vec();
+    legacy.extend_from_slice(&1u32.to_le_bytes());
+    legacy.extend_from_slice(&[0u8; 56]);
+    std::fs::write(&path, &legacy).unwrap();
     let (status, body) = client.post("/reload", b"").unwrap();
     assert_eq!(status, 400);
     assert!(
         String::from_utf8_lossy(&body).contains("legacy"),
         "error must say legacy: {}",
+        String::from_utf8_lossy(&body)
+    );
+    check_still_serving_a(&mut client);
+
+    // 3b. A per-shard snapshot where the monolith is expected: rejected
+    // with the shard-specific guidance, old artifact untouched.
+    let shard_bytes = serde::to_shard_bytes(
+        &cc_oracle::ShardedArtifact::partition(&a, 2).unwrap().into_shards()[0],
+    );
+    std::fs::write(&path, &shard_bytes).unwrap();
+    let (status, body) = client.post("/reload", b"").unwrap();
+    assert_eq!(status, 400);
+    assert!(
+        String::from_utf8_lossy(&body).contains("per-shard"),
+        "error must say shard: {}",
         String::from_utf8_lossy(&body)
     );
     check_still_serving_a(&mut client);
@@ -193,18 +212,18 @@ fn corrupt_and_mismatched_version_snapshots_are_rejected_old_artifact_keeps_serv
     assert_eq!(status, 400);
     check_still_serving_a(&mut client);
 
-    // All four failures are on the books; zero successes.
+    // All five failures are on the books; zero successes.
     let (_, stats) = client.get("/stats").unwrap();
     let stats = String::from_utf8(stats).unwrap();
     assert!(stats.contains("\"reloads\":0"), "stats: {stats}");
-    assert!(stats.contains("\"reload_failures\":4"), "stats: {stats}");
+    assert!(stats.contains("\"reload_failures\":5"), "stats: {stats}");
     assert!(!stats.contains("\"last_reload_error\":null"), "stats: {stats}");
 
     handle.shutdown();
 }
 
 #[test]
-fn reload_can_change_graph_size_and_legacy_works_behind_the_flag() {
+fn reload_can_change_graph_size() {
     // Serving a 24-node artifact, hot-swap to a 40-node one: the whole
     // point of reload is picking up a rebuilt (possibly larger) graph.
     let small = build_oracle(24, 2);
@@ -212,23 +231,17 @@ fn reload_can_change_graph_size_and_legacy_works_behind_the_flag() {
     let path = temp_path("grow.snap");
     std::fs::write(&path, serde::to_bytes(&small)).unwrap();
 
-    let loaded = cc_server::source::load_snapshot(&path, true).unwrap();
-    let config = ServerConfig::default()
-        .with_addr("127.0.0.1:0")
-        .with_reload_path(path.clone())
-        .with_allow_legacy(true);
-    let handle = Server::start_with_info(&config, loaded.oracle, loaded.info).unwrap();
+    let handle = start_on_snapshot(&path);
     let mut client = BlockingClient::connect(handle.addr()).unwrap();
 
     // Node 30 is out of range on the small artifact...
     let (status, _) = client.get("/distance?u=0&v=30").unwrap();
     assert_eq!(status, 400);
 
-    // ...swap in the big artifact as a *legacy* snapshot (flag is on)...
-    std::fs::write(&path, serde::to_bytes_legacy(&big)).unwrap();
+    // ...swap in the big artifact...
+    std::fs::write(&path, serde::to_bytes(&big)).unwrap();
     let (status, body) = client.post("/reload", b"").unwrap();
-    assert_eq!(status, 200, "legacy reload behind the flag: {}", String::from_utf8_lossy(&body));
-    assert!(String::from_utf8_lossy(&body).contains("\"version\":1"));
+    assert_eq!(status, 200, "reload: {}", String::from_utf8_lossy(&body));
 
     // ...and the same query now answers from the 40-node artifact.
     let (status, body) = client.get("/distance?u=0&v=30").unwrap();

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    it validated.
     let path = std::env::temp_dir().join("cc-serve-example.snap");
     congested_clique::serve::source::write_snapshot(&oracle, &path)?;
-    let loaded = congested_clique::serve::source::load_snapshot(&path, false)?;
+    let loaded = congested_clique::serve::source::load_snapshot(&path)?;
     println!(
         "snapshot: {} bytes on disk (format v{}, build {}), reloads identically\n",
         std::fs::metadata(&path)?.len(),

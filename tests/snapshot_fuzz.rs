@@ -11,12 +11,25 @@
 //! pure-metadata fields (seed, build rounds, created-at) can still parse —
 //! they change what the artifact *says about itself*, not the artifact —
 //! so the serves-totally property remains the fallback for any mutation
-//! that parses. The legacy (v1) decoder keeps the weaker guarantee and is
-//! fuzzed separately.
+//! that parses.
+//!
+//! The legacy (v1) decoder was removed after its one-release migration
+//! window: any byte stream opening with the v1 magic must now fail with
+//! `OracleError::LegacySnapshot`, never parse and never panic.
+//!
+//! **Per-shard snapshots** (magic `CCSH`) get the same treatment plus
+//! their own attack surface: the shard checksum covers the shard
+//! index/count/set-id fields, so a flip there is a checksum rejection, a
+//! forged-but-recomputed header hits the recomputed-plan validation, shard
+//! files in the wrong slots are `ShardIndexMismatch`, and sets mixing
+//! `n`/`k`/`ε`/set-id are `ShardSetMismatch` — all errors, never panics.
 
 use congested_clique::clique::Clique;
 use congested_clique::graph::generators;
-use congested_clique::oracle::{serde, DistanceOracle, OracleBuilder};
+use congested_clique::oracle::shard::validate_set;
+use congested_clique::oracle::{
+    serde, DistanceOracle, OracleBuilder, OracleError, ShardRouter, ShardedArtifact,
+};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -87,24 +100,26 @@ proptest! {
     }
 
     #[test]
-    fn legacy_decoder_never_panics_on_bit_flips(
-        at_frac in 0usize..10_000,
-        bit in 0usize..8,
+    fn legacy_v1_bytes_always_fail_with_the_dedicated_error(
+        len in 0usize..4_096,
+        fill_seed in 0u64..1_000_000,
     ) {
-        // v1 has no checksum: structurally-valid corruption can parse, so
-        // the guarantee is the weaker serves-totally one.
-        static LEGACY: OnceLock<Vec<u8>> = OnceLock::new();
-        let bytes = LEGACY.get_or_init(|| {
-            let oracle = serde::from_bytes(snapshot()).expect("clean snapshot");
-            serde::to_bytes_legacy(&oracle)
-        });
-        let mut mutated = bytes.clone();
-        let at = at_frac * bytes.len() / 10_000;
-        mutated[at] ^= 1 << bit;
-        match serde::from_bytes_legacy(&mutated) {
-            Err(_) => {}
-            Ok(oracle) => assert_serves_totally(&oracle),
+        // The v1 reader is gone: any stream opening with the v1 magic is
+        // rejected by magic alone — whatever follows, however long.
+        let mut bytes = b"CCO1".to_vec();
+        let mut state = fill_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        for _ in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            bytes.push((state >> 24) as u8);
         }
+        prop_assert!(matches!(serde::from_bytes(&bytes), Err(OracleError::LegacySnapshot)));
+        prop_assert!(matches!(serde::peek_header(&bytes), Err(OracleError::LegacySnapshot)));
+        prop_assert!(matches!(
+            serde::from_shard_bytes(&bytes),
+            Err(OracleError::LegacySnapshot)
+        ));
     }
 
     #[test]
@@ -147,4 +162,191 @@ proptest! {
         extended.extend(std::iter::repeat_n(fill as u8, extra));
         prop_assert!(serde::from_bytes(&extended).is_err(), "trailing bytes must be rejected");
     }
+
+    #[test]
+    fn shard_bit_flips_never_panic_and_owned_lookups_survive(
+        shard_pick in 0usize..3,
+        at_frac in 0usize..10_000,
+        bit in 0usize..8,
+    ) {
+        let bytes = shard_snapshot(shard_pick);
+        let mut mutated = bytes.to_vec();
+        let at = at_frac * bytes.len() / 10_000;
+        mutated[at] ^= 1 << bit;
+        match serde::from_shard_bytes(&mutated) {
+            Err(_) => {} // rejection is the common, correct outcome
+            Ok(shard) => {
+                // Only pure-metadata header flips (seed, rounds, created)
+                // can get here; the slice itself must still answer every
+                // owned half-query without panicking.
+                for near in shard.owned() {
+                    for far in 0..shard.n() {
+                        let _ = shard.half_query(near, far);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_field_and_payload_flips_are_always_rejected(
+        shard_pick in 0usize..3,
+        at_frac in 0usize..10_000,
+        bit in 0usize..8,
+    ) {
+        // The shard checksum covers everything from byte 80 on — the shard
+        // index, shard count, set id, and the payload. No flip there may
+        // parse, including one that would re-slot the shard.
+        let bytes = shard_snapshot(shard_pick);
+        let covered = bytes.len() - 80;
+        let at = 80 + at_frac * covered / 10_000;
+        let mut mutated = bytes.to_vec();
+        mutated[at] ^= 1 << bit;
+        prop_assert!(
+            matches!(
+                serde::from_shard_bytes(&mutated),
+                Err(OracleError::SnapshotChecksumMismatch { .. })
+            ),
+            "shard flip at byte {at} bit {bit} must fail the checksum"
+        );
+    }
+
+    #[test]
+    fn shard_truncations_and_extensions_are_always_rejected(
+        shard_pick in 0usize..3,
+        cut_frac in 0usize..10_000,
+        extra in 1usize..64,
+    ) {
+        let bytes = shard_snapshot(shard_pick);
+        let cut = cut_frac * bytes.len() / 10_000;
+        prop_assert!(serde::from_shard_bytes(&bytes[..cut]).is_err());
+        let mut extended = bytes.to_vec();
+        extended.extend(std::iter::repeat_n(0xA5u8, extra));
+        prop_assert!(serde::from_shard_bytes(&extended).is_err());
+    }
+}
+
+/// Per-shard snapshots of the canonical oracle, split 3 ways, built once.
+fn shard_snapshot(index: usize) -> &'static [u8] {
+    static BYTES: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    &BYTES.get_or_init(|| {
+        let oracle = serde::from_bytes(snapshot()).expect("clean snapshot");
+        ShardedArtifact::partition(&oracle, 3)
+            .expect("partition")
+            .shards()
+            .iter()
+            .map(serde::to_shard_bytes)
+            .collect()
+    })[index]
+}
+
+/// A second, unrelated artifact set (different graph seed), for mixing
+/// attacks.
+fn other_oracle() -> &'static DistanceOracle {
+    static ORACLE: OnceLock<DistanceOracle> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        let g = generators::gnp_weighted(30, 0.15, 40, 99).expect("graph");
+        let mut clique = Clique::new(30);
+        OracleBuilder::new().epsilon(0.5).seed(99).build(&mut clique, &g).expect("build")
+    })
+}
+
+#[test]
+fn loading_shard_i_as_slot_j_is_a_named_index_mismatch() {
+    let shards: Vec<_> =
+        (0..3).map(|i| serde::from_shard_bytes(shard_snapshot(i)).expect("clean shard")).collect();
+    // Every wrong permutation fails on its first mis-slotted file.
+    for (a, b, c, bad_slot, found) in
+        [(1usize, 0usize, 2usize, 0u32, 1u32), (0, 2, 1, 1, 2), (2, 1, 0, 0, 2)]
+    {
+        let set = vec![shards[a].clone(), shards[b].clone(), shards[c].clone()];
+        match ShardRouter::assemble(set) {
+            Err(OracleError::ShardIndexMismatch { expected, found: f }) => {
+                assert_eq!((expected, f), (bad_slot, found), "permutation ({a},{b},{c})");
+            }
+            other => panic!("permutation ({a},{b},{c}) must be an index mismatch, got {other:?}"),
+        }
+    }
+    // The correct order still assembles and serves.
+    assert!(ShardRouter::assemble(shards).is_ok());
+}
+
+#[test]
+fn mixed_shard_sets_are_named_set_mismatches() {
+    let base = serde::from_bytes(snapshot()).expect("clean snapshot");
+    let ours = ShardedArtifact::partition(&base, 3).expect("partition").into_shards();
+
+    // Same shape, different artifact generation: the set ids disagree.
+    let theirs = ShardedArtifact::partition(other_oracle(), 3).expect("partition").into_shards();
+    let mixed = vec![ours[0].clone(), theirs[1].clone(), ours[2].clone()];
+    match validate_set(&mixed) {
+        Err(OracleError::ShardSetMismatch { what }) => {
+            assert!(what.contains("set id"), "must name the field: {what}")
+        }
+        other => panic!("mixed set ids must be rejected, got {other:?}"),
+    }
+
+    // Different epsilon: same graph family, different build parameters.
+    let g = generators::gnp_weighted(30, 0.15, 40, 23).expect("graph");
+    let mut clique = Clique::new(30);
+    let reparam =
+        OracleBuilder::new().epsilon(0.25).seed(23).build(&mut clique, &g).expect("build");
+    let reparam_shards = ShardedArtifact::partition(&reparam, 3).expect("partition").into_shards();
+    let mixed = vec![ours[0].clone(), ours[1].clone(), reparam_shards[2].clone()];
+    match validate_set(&mixed) {
+        Err(OracleError::ShardSetMismatch { .. }) => {}
+        other => panic!("mixed build parameters must be rejected, got {other:?}"),
+    }
+
+    // An incomplete set is rejected, never a panic.
+    assert!(matches!(validate_set(&ours[..2]), Err(OracleError::ShardSetMismatch { .. })));
+}
+
+#[test]
+fn forged_shard_headers_behind_recomputed_checksums_are_still_rejected() {
+    let fnv = |bytes: &[u8]| -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    };
+    let reseal = |bytes: &mut [u8]| {
+        let sum = fnv(&bytes[80..]);
+        bytes[72..80].copy_from_slice(&sum.to_le_bytes());
+    };
+
+    // Forge shard_index = shard_count (out of range) behind a recomputed
+    // checksum: the recomputed-plan validation must reject it.
+    let mut forged = shard_snapshot(0).to_vec();
+    forged[80..84].copy_from_slice(&3u32.to_le_bytes());
+    reseal(&mut forged);
+    assert!(matches!(serde::from_shard_bytes(&forged), Err(OracleError::CorruptSnapshot { .. })));
+
+    // Forge an impossible plan (count > n).
+    let mut forged = shard_snapshot(0).to_vec();
+    forged[84..88].copy_from_slice(&31u32.to_le_bytes());
+    reseal(&mut forged);
+    let err = serde::from_shard_bytes(&forged).expect_err("impossible plan");
+    assert!(err.to_string().contains("impossible shard plan"), "{err}");
+
+    // Forge a *valid but different* count: the owned-range size no longer
+    // matches the payload's rows — structural rejection, no panic.
+    let mut forged = shard_snapshot(0).to_vec();
+    forged[84..88].copy_from_slice(&5u32.to_le_bytes());
+    reseal(&mut forged);
+    assert!(serde::from_shard_bytes(&forged).is_err());
+
+    // Forge the set id: the file parses (it is self-consistent) but can no
+    // longer join its siblings.
+    let mut forged = shard_snapshot(0).to_vec();
+    forged[88..96].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+    reseal(&mut forged);
+    let alien = serde::from_shard_bytes(&forged).expect("self-consistent forgery parses");
+    let mut set = vec![alien];
+    for i in 1..3 {
+        set.push(serde::from_shard_bytes(shard_snapshot(i)).expect("clean shard"));
+    }
+    assert!(matches!(validate_set(&set), Err(OracleError::ShardSetMismatch { .. })));
 }
