@@ -71,7 +71,7 @@ fn emit_artifact(oracle: &DistanceOracle, build_wall: Duration) {
     for chunk in lat_pairs.chunks_exact(RUN) {
         let t = Instant::now();
         for &(u, v) in chunk {
-            black_box(oracle.query(u, v));
+            black_box(oracle.try_query(u, v).unwrap());
         }
         lat_ns.push(t.elapsed().as_nanos() as u64 / RUN as u64);
     }
@@ -81,14 +81,14 @@ fn emit_artifact(oracle: &DistanceOracle, build_wall: Duration) {
 
     // Bulk throughput through the sharded batch path.
     let t = Instant::now();
-    black_box(oracle.query_batch(&pairs));
+    black_box(oracle.try_query_batch(&pairs).unwrap());
     let batch_secs = t.elapsed().as_secs_f64();
     let qps = pairs.len() as f64 / batch_secs;
 
     // Cache effectiveness on the skewed stream.
     let cached = CachingOracle::new(oracle.clone(), 4096);
     for &(u, v) in &pairs {
-        black_box(cached.query(u, v));
+        black_box(cached.try_query(u, v).unwrap());
     }
     let stats = cached.stats();
 
@@ -133,13 +133,13 @@ fn bench_oracle(c: &mut Criterion) {
         b.iter(|| {
             let (u, v) = pairs[at];
             at = (at + 1) % pairs.len();
-            black_box(oracle.query(u, v))
+            black_box(oracle.try_query(u, v).unwrap())
         })
     });
 
     let batch = traffic(100_000);
     c.bench_function("oracle_query_batch_100k_n256", |b| {
-        b.iter(|| black_box(oracle.query_batch(black_box(&batch))))
+        b.iter(|| black_box(oracle.try_query_batch(black_box(&batch)).unwrap()))
     });
 
     let cached = CachingOracle::new(oracle.clone(), 4096);
@@ -148,7 +148,7 @@ fn bench_oracle(c: &mut Criterion) {
         b.iter(|| {
             let (u, v) = pairs[at];
             at = (at + 1) % pairs.len();
-            black_box(cached.query(u, v))
+            black_box(cached.try_query(u, v).unwrap())
         })
     });
 

@@ -9,9 +9,11 @@
 //! throughput for `/batch`, the same per-request tail measured **while
 //! `/reload` hot-swaps snapshots under the traffic** — the cost of a swap
 //! shows up (or, ideally, doesn't) in `reload_under_load_p99_ns` — and the
-//! identical workload against the **router tier** (`cc-serve --shards`
-//! mode, 3 shards): the `sharded_*` keys price the two-half-query combine
-//! against the monolithic path on the same artifact.
+//! identical workload against the **router tier** (3 shards): the
+//! `sharded_*` keys price the two-half-query combine with the result cache
+//! disabled, and the `cached_sharded_*` keys repeat the workload with the
+//! router behind a `CachingOracle` — recording whether the router-level
+//! pair cache recovers the mono-vs-router throughput gap.
 
 use cc_clique::Clique;
 use cc_graph::generators;
@@ -222,9 +224,15 @@ fn measure_reload_under_load(
 /// How many shards the router-tier phase slices the same artifact into.
 const BENCH_SHARDS: usize = 3;
 
-fn emit_artifact(handle: &ServerHandle, m: &Measurement, r: &ReloadMeasurement, s: &Measurement) {
-    let generation = handle.state().generation();
-    let oracle = generation.oracle();
+fn emit_artifact(
+    handle: &ServerHandle,
+    m: &Measurement,
+    r: &ReloadMeasurement,
+    s: &Measurement,
+    cs: &Measurement,
+    cached_hit_rate: f64,
+) {
+    let desc = handle.state().generation().descriptor();
     let json = format!(
         "{{\n  \"n\": {},\n  \"landmarks\": {},\n  \"artifact_bytes\": {},\n  \
          \"transport\": \"http/1.1 keep-alive over loopback\",\n  \
@@ -236,10 +244,14 @@ fn emit_artifact(handle: &ServerHandle, m: &Measurement, r: &ReloadMeasurement, 
          \"sharded_shards\": {BENCH_SHARDS},\n  \"sharded_requests\": {},\n  \
          \"sharded_requests_per_sec\": {:.0},\n  \"sharded_request_p50_ns\": {},\n  \
          \"sharded_request_p99_ns\": {},\n  \"sharded_batch_pairs_per_sec\": {:.0},\n  \
+         \"cached_sharded_requests\": {},\n  \"cached_sharded_requests_per_sec\": {:.0},\n  \
+         \"cached_sharded_request_p50_ns\": {},\n  \"cached_sharded_request_p99_ns\": {},\n  \
+         \"cached_sharded_batch_pairs_per_sec\": {:.0},\n  \
+         \"cached_sharded_hit_rate\": {:.4},\n  \
          \"stretch_bound\": {}\n}}\n",
-        oracle.n(),
-        oracle.landmarks().len(),
-        oracle.artifact_bytes(),
+        desc.n,
+        desc.landmark_count,
+        desc.artifact_bytes,
         m.requests,
         m.requests as f64 / m.wall_secs,
         m.p50_ns,
@@ -254,7 +266,13 @@ fn emit_artifact(handle: &ServerHandle, m: &Measurement, r: &ReloadMeasurement, 
         s.p50_ns,
         s.p99_ns,
         s.batch_pairs_per_sec,
-        oracle.stretch_bound(),
+        cs.requests,
+        cs.requests as f64 / cs.wall_secs,
+        cs.p50_ns,
+        cs.p99_ns,
+        cs.batch_pairs_per_sec,
+        cached_hit_rate,
+        desc.stretch_bound,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
     std::fs::write(path, &json).expect("write BENCH_server.json");
@@ -263,11 +281,16 @@ fn emit_artifact(handle: &ServerHandle, m: &Measurement, r: &ReloadMeasurement, 
 
 /// Starts the router tier over `BENCH_SHARDS` per-shard snapshots of the
 /// same prebuilt artifact, exercising the real file-loading startup path.
-fn start_sharded_server(dir: &Path) -> ServerHandle {
+/// `cache_capacity` 0 disables the router-level result cache, isolating
+/// the raw two-half-query combine cost.
+fn start_sharded_server(dir: &Path, cache_capacity: usize) -> ServerHandle {
     let paths = cc_server::source::write_shard_snapshots(&prebuilt(), BENCH_SHARDS, dir)
         .expect("write shard set");
     let loaded = cc_server::source::load_shard_set(&paths).expect("load shard set");
-    let config = ServerConfig::default().with_addr("127.0.0.1:0").with_workers(CLIENTS + 2);
+    let config = ServerConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_workers(CLIENTS + 2)
+        .with_cache_capacity(cache_capacity);
     Server::start_sharded(&config, loaded).expect("sharded server start")
 }
 
@@ -300,15 +323,23 @@ fn bench_server(c: &mut Criterion) {
     let m = measure(&handle);
     let r = measure_reload_under_load(&handle, &live, &snap_a, &snap_b);
 
-    // The router tier on the same artifact and workload: a second server
-    // in --shards mode, hammered by the identical client harness.
+    // The router tier on the same artifact and workload: once with the
+    // result cache disabled (the raw combine cost) and once behind the
+    // router-level CachingOracle, hammered by the identical client
+    // harness — the pair of numbers that says whether the cache recovers
+    // the mono-vs-router gap.
     let shard_dir = dir.join("shards");
-    let sharded = start_sharded_server(&shard_dir);
+    let sharded = start_sharded_server(&shard_dir, 0);
     let s = measure(&sharded);
     sharded.shutdown();
+    let cached_sharded = start_sharded_server(&shard_dir, 4096);
+    let cs = measure(&cached_sharded);
+    let cached_hit_rate =
+        cached_sharded.state().generation().descriptor().cache.map_or(0.0, |c| c.hit_rate());
+    cached_sharded.shutdown();
     std::fs::remove_dir_all(&shard_dir).ok();
 
-    emit_artifact(&handle, &m, &r, &s);
+    emit_artifact(&handle, &m, &r, &s, &cs, cached_hit_rate);
     std::fs::remove_file(&live).ok();
     handle.shutdown();
 }

@@ -583,7 +583,7 @@ fn oracle() {
                 if u == v {
                     continue;
                 }
-                let est = oracle.query(u, v).value();
+                let est = oracle.try_query(u, v).unwrap().value();
                 match (exact[u][v], est) {
                     (Some(d), Some(est)) => {
                         sound &= est >= d;

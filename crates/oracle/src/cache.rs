@@ -1,4 +1,4 @@
-//! A bounded, sharded LRU result cache in front of the oracle.
+//! A bounded, sharded LRU result cache over **any** [`QueryBackend`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -6,7 +6,7 @@ use std::sync::Mutex;
 
 use cc_matrix::Dist;
 
-use crate::{DistanceOracle, OracleError};
+use crate::{DistanceOracle, OracleError, QueryBackend};
 
 /// Number of independently locked shards. A power of two so the shard pick
 /// is a mask; 16 keeps contention low for the thread counts `query_batch`
@@ -18,11 +18,12 @@ const SHARDS: usize = 16;
 pub struct CacheStats {
     /// Queries answered from the cache.
     pub hits: u64,
-    /// Queries that fell through to the oracle.
+    /// Queries that fell through to the backend.
     pub misses: u64,
     /// Entries currently resident (across all shards).
     pub len: usize,
-    /// Maximum resident entries (across all shards).
+    /// Maximum resident entries (across all shards); `0` when the cache is
+    /// disabled (capacity 0 = pass-through).
     pub capacity: usize,
 }
 
@@ -91,6 +92,10 @@ impl Shard {
         Some(self.slots[slot].1)
     }
 
+    fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
     fn insert(&mut self, key: u64, value: u64) {
         if let Some(&slot) = self.map.get(&key) {
             self.slots[slot].1 = value;
@@ -113,11 +118,29 @@ impl Shard {
         self.map.insert(key, slot);
         self.push_front(slot);
     }
+
+    /// Resident keys in most-recently-used-first order.
+    fn keys_by_recency(&self) -> Vec<u64> {
+        let mut keys = Vec::with_capacity(self.map.len());
+        let mut at = self.head;
+        while at != NIL {
+            keys.push(self.slots[at].0);
+            at = self.slots[at].3;
+        }
+        keys
+    }
 }
 
-/// A [`DistanceOracle`] fronted by a bounded, sharded LRU cache of query
-/// results. Shards are locked independently, so concurrent querying threads
-/// rarely contend; hit/miss counters are lock-free atomics.
+/// Any [`QueryBackend`] fronted by a bounded, sharded LRU cache of query
+/// results — a monolithic [`DistanceOracle`] (the default type parameter),
+/// a [`crate::ShardRouter`], or an erased `Box<dyn QueryBackend>`. Shards
+/// are locked independently, so concurrent querying threads rarely contend;
+/// hit/miss counters are lock-free atomics.
+///
+/// `CachingOracle` is itself a [`QueryBackend`], so caches stack anywhere a
+/// backend is expected. A capacity of `0` disables caching: every query
+/// passes straight through (and counts as a miss), which keeps `/stats`
+/// accounting uniform for cacheless deployments.
 ///
 /// # Example
 ///
@@ -131,55 +154,75 @@ impl Shard {
 /// let mut clique = Clique::new(32);
 /// let oracle = OracleBuilder::new().build(&mut clique, &g)?;
 /// let cached = CachingOracle::new(oracle, 1024);
-/// let first = cached.query(0, 31);
-/// let second = cached.query(0, 31); // served from cache
+/// let first = cached.try_query(0, 31)?;
+/// let second = cached.try_query(0, 31)?; // served from cache
 /// assert_eq!(first, second);
 /// assert_eq!(cached.stats().hits, 1);
 /// # Ok(())
 /// # }
 /// ```
-pub struct CachingOracle {
-    oracle: DistanceOracle,
+pub struct CachingOracle<B: QueryBackend = DistanceOracle> {
+    backend: B,
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl CachingOracle {
-    /// Wraps `oracle` with a cache holding at most `capacity` results
-    /// (rounded up to at least one entry per shard).
-    pub fn new(oracle: DistanceOracle, capacity: usize) -> CachingOracle {
-        let per_shard = capacity.div_ceil(SHARDS).max(1);
-        CachingOracle {
-            oracle,
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+impl<B: QueryBackend> CachingOracle<B> {
+    /// Wraps `backend` with a cache holding at most `capacity` results
+    /// (rounded up to at least one entry per shard). A capacity of `0`
+    /// disables caching entirely: queries pass through and count as misses.
+    pub fn new(backend: B, capacity: usize) -> CachingOracle<B> {
+        let shards = if capacity == 0 {
+            Vec::new()
+        } else {
+            let per_shard = capacity.div_ceil(SHARDS).max(1);
+            (0..SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect()
+        };
+        CachingOracle { backend, shards, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
     }
 
-    /// The wrapped artifact.
-    pub fn oracle(&self) -> &DistanceOracle {
-        &self.oracle
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.backend
     }
 
-    /// Consumes the wrapper, returning the artifact.
-    pub fn into_inner(self) -> DistanceOracle {
-        self.oracle
+    /// Consumes the wrapper, returning the backend.
+    pub fn into_inner(self) -> B {
+        self.backend
     }
 
-    fn key(u: usize, v: usize) -> u64 {
+    /// Number of nodes the wrapped backend covers.
+    pub fn n(&self) -> usize {
+        self.backend.n()
+    }
+
+    pub(crate) fn key(u: usize, v: usize) -> u64 {
         // The oracle is symmetric, so canonicalize the pair: doubles the
         // effective capacity for undirected traffic.
         let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
         ((lo as u64) << 32) | hi as u64
     }
 
-    /// Cached [`DistanceOracle::query`]; identical answers, plus counters.
+    fn unkey(key: u64) -> (usize, usize) {
+        ((key >> 32) as usize, (key & 0xffff_ffff) as usize)
+    }
+
+    fn check_pair(&self, u: usize, v: usize) -> Result<(), OracleError> {
+        let n = self.backend.n();
+        if u >= n || v >= n {
+            return Err(OracleError::QueryOutOfRange { u, v, n });
+        }
+        Ok(())
+    }
+
+    /// Cached query; identical answers to the wrapped backend, plus
+    /// counters.
     ///
     /// # Panics
     ///
     /// Panics if `u` or `v` is out of range, like the uncached query.
+    #[deprecated(note = "use the fallible `try_query`; the panicking wrapper will be removed")]
     pub fn query(&self, u: usize, v: usize) -> Dist {
         match self.try_query(u, v) {
             Ok(d) => d,
@@ -187,15 +230,15 @@ impl CachingOracle {
         }
     }
 
-    /// Fallible [`CachingOracle::query`] for serving layers: out-of-range
-    /// endpoints become [`OracleError::QueryOutOfRange`], never a panic (and
-    /// never a poisoned shard lock — validation happens before locking).
+    /// Fallible cached query for serving layers: out-of-range endpoints
+    /// become [`OracleError::QueryOutOfRange`], never a panic (and never a
+    /// poisoned shard lock — validation happens before locking).
     ///
     /// # Errors
     ///
     /// [`OracleError::QueryOutOfRange`] if `u` or `v` is out of range.
     pub fn try_query(&self, u: usize, v: usize) -> Result<Dist, OracleError> {
-        self.oracle.check_pair(u, v)?;
+        self.check_pair(u, v)?;
         Ok(self.query_validated(u, v))
     }
 
@@ -204,9 +247,15 @@ impl CachingOracle {
     /// The shard lock is taken exactly once and held across the miss
     /// compute + insert: a second thread asking for the same key blocks
     /// briefly and then *hits*, so a result is never computed (or a miss
-    /// counted) twice for one resident key. The oracle query is tens of
-    /// nanoseconds, far cheaper than a second lock round-trip.
+    /// counted) twice for one resident key. The backend query is cheap
+    /// (nanoseconds for the monolith, two half-queries for a router), far
+    /// cheaper than a second lock round-trip.
     fn query_validated(&self, u: usize, v: usize) -> Dist {
+        if self.shards.is_empty() {
+            // Capacity 0: pass-through, accounted as a miss.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return self.backend.try_query(u, v).expect("pair validated by caller");
+        }
         let key = Self::key(u, v);
         let mut shard =
             self.shards[(key % SHARDS as u64) as usize].lock().expect("cache shard poisoned");
@@ -214,7 +263,7 @@ impl CachingOracle {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return if raw == u64::MAX { Dist::INF } else { Dist::fin(raw) };
         }
-        let answer = self.oracle.query_unchecked(u, v);
+        let answer = self.backend.try_query(u, v).expect("pair validated by caller");
         self.misses.fetch_add(1, Ordering::Relaxed);
         shard.insert(key, answer.raw());
         answer
@@ -225,6 +274,9 @@ impl CachingOracle {
     /// # Panics
     ///
     /// Panics if any pair is out of range.
+    #[deprecated(
+        note = "use the fallible `try_query_batch`; the panicking wrapper will be removed"
+    )]
     pub fn query_batch(&self, pairs: &[(usize, usize)]) -> Vec<Dist> {
         match self.try_query_batch(pairs) {
             Ok(d) => d,
@@ -232,15 +284,15 @@ impl CachingOracle {
         }
     }
 
-    /// Fallible [`CachingOracle::query_batch`]: validates every pair before
-    /// computing anything.
+    /// Fallible cached batch query: validates every pair before computing
+    /// anything.
     ///
     /// # Errors
     ///
     /// [`OracleError::QueryOutOfRange`] naming the first offending pair.
     pub fn try_query_batch(&self, pairs: &[(usize, usize)]) -> Result<Vec<Dist>, OracleError> {
         for &(u, v) in pairs {
-            self.oracle.check_pair(u, v)?;
+            self.check_pair(u, v)?;
         }
         let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         if threads <= 1 || pairs.len() < 1024 {
@@ -260,6 +312,67 @@ impl CachingOracle {
         Ok(out)
     }
 
+    /// The resident pairs in approximate hottest-first order, up to
+    /// `limit`: each shard's keys most-recently-used first, interleaved
+    /// round-robin across shards (exact global recency would need a global
+    /// lock order the sharded design deliberately avoids).
+    ///
+    /// This is the donor side of a cache warm-up: a serving layer replays
+    /// these pairs into a fresh generation's cache after a hot reload, so
+    /// the hit rate doesn't fall off a cliff at every swap.
+    pub fn hottest_keys(&self, limit: usize) -> Vec<(usize, usize)> {
+        if limit == 0 || self.shards.is_empty() {
+            return Vec::new();
+        }
+        let per_shard: Vec<Vec<u64>> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").keys_by_recency())
+            .collect();
+        let mut keys = Vec::with_capacity(limit.min(per_shard.iter().map(Vec::len).sum()));
+        let deepest = per_shard.iter().map(Vec::len).max().unwrap_or(0);
+        'fill: for depth in 0..deepest {
+            for shard in &per_shard {
+                if let Some(&key) = shard.get(depth) {
+                    keys.push(Self::unkey(key));
+                    if keys.len() == limit {
+                        break 'fill;
+                    }
+                }
+            }
+        }
+        keys
+    }
+
+    /// Computes and inserts `pairs` without touching the hit/miss counters
+    /// (warm-up traffic is not client traffic), skipping out-of-range pairs
+    /// (the new artifact may be smaller than the donor) and pairs already
+    /// resident. Returns how many entries were actually warmed.
+    ///
+    /// Answers are computed by **this** cache's backend, so a warm-up can
+    /// never leak a stale answer from the donor generation.
+    pub fn warm(&self, pairs: &[(usize, usize)]) -> usize {
+        if self.shards.is_empty() {
+            return 0;
+        }
+        let mut warmed = 0;
+        for &(u, v) in pairs {
+            if self.check_pair(u, v).is_err() {
+                continue;
+            }
+            let key = Self::key(u, v);
+            let mut shard =
+                self.shards[(key % SHARDS as u64) as usize].lock().expect("cache shard poisoned");
+            if shard.contains(key) {
+                continue;
+            }
+            let answer = self.backend.try_query(u, v).expect("pair validated above");
+            shard.insert(key, answer.raw());
+            warmed += 1;
+        }
+        warmed
+    }
+
     /// Current hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
         let len =
@@ -275,18 +388,29 @@ impl CachingOracle {
     }
 }
 
+impl CachingOracle<DistanceOracle> {
+    /// The wrapped artifact (alias of [`CachingOracle::inner`] for the
+    /// monolithic default).
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.backend
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::OracleBuilder;
+    use crate::{OracleBuilder, ShardedArtifact};
     use cc_clique::Clique;
     use cc_graph::generators;
 
-    fn cached(n: usize, capacity: usize) -> CachingOracle {
+    fn build(n: usize) -> DistanceOracle {
         let g = generators::gnp_weighted(n, 0.15, 20, 11).unwrap();
         let mut clique = Clique::new(n);
-        let oracle = OracleBuilder::new().build(&mut clique, &g).unwrap();
-        CachingOracle::new(oracle, capacity)
+        OracleBuilder::new().build(&mut clique, &g).unwrap()
+    }
+
+    fn cached(n: usize, capacity: usize) -> CachingOracle {
+        CachingOracle::new(build(n), capacity)
     }
 
     #[test]
@@ -296,13 +420,17 @@ mod tests {
         let c = cached(32, 2048);
         for u in 0..32 {
             for v in 0..32 {
-                assert_eq!(c.query(u, v), c.oracle().query(u, v), "({u},{v})");
+                assert_eq!(
+                    c.try_query(u, v).unwrap(),
+                    c.oracle().try_query(u, v).unwrap(),
+                    "({u},{v})"
+                );
             }
         }
         let before = c.stats();
         for u in 0..32 {
             for v in 0..u {
-                assert_eq!(c.query(u, v), c.oracle().query(u, v));
+                assert_eq!(c.try_query(u, v).unwrap(), c.oracle().try_query(u, v).unwrap());
             }
         }
         let after = c.stats();
@@ -313,8 +441,8 @@ mod tests {
     #[test]
     fn symmetric_pairs_share_one_entry() {
         let c = cached(16, 64);
-        c.query(3, 7);
-        c.query(7, 3);
+        c.try_query(3, 7).unwrap();
+        c.try_query(7, 3).unwrap();
         let stats = c.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
@@ -325,7 +453,7 @@ mod tests {
         let c = cached(32, SHARDS); // one entry per shard
         for u in 0..32 {
             for v in 0..32 {
-                c.query(u, v);
+                c.try_query(u, v).unwrap();
             }
         }
         let stats = c.stats();
@@ -333,17 +461,30 @@ mod tests {
         assert_eq!(stats.capacity, SHARDS);
         // Everything evicted long ago: re-querying the first pair misses.
         let misses_before = c.stats().misses;
-        c.query(0, 1);
+        c.try_query(0, 1).unwrap();
         assert_eq!(c.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching_but_keeps_accounting() {
+        let c = cached(16, 0);
+        for _ in 0..3 {
+            assert_eq!(c.try_query(0, 1).unwrap(), c.oracle().try_query(0, 1).unwrap());
+        }
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 3), "pass-through counts misses only");
+        assert_eq!((stats.len, stats.capacity), (0, 0));
+        assert!(c.hottest_keys(10).is_empty());
+        assert_eq!(c.warm(&[(0, 1)]), 0);
     }
 
     #[test]
     fn hit_rate_reflects_traffic() {
         let c = cached(16, 512);
         assert_eq!(c.stats().hit_rate(), 0.0);
-        c.query(0, 1);
-        c.query(0, 1);
-        c.query(0, 1);
+        c.try_query(0, 1).unwrap();
+        c.try_query(0, 1).unwrap();
+        c.try_query(0, 1).unwrap();
         let stats = c.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 2);
@@ -363,7 +504,7 @@ mod tests {
         // far above the working set so nothing is ever evicted.
         let keys: Vec<(usize, usize)> = (0..48).map(|i| (i % 32, (i * 7 + 1) % 32)).collect();
         let unique: std::collections::HashSet<u64> =
-            keys.iter().map(|&(u, v)| CachingOracle::key(u, v)).collect();
+            keys.iter().map(|&(u, v)| CachingOracle::<DistanceOracle>::key(u, v)).collect();
         let threads = 8;
         let per_thread = 3_000;
         std::thread::scope(|scope| {
@@ -376,9 +517,9 @@ mod tests {
                         // Half the threads query the flipped pair to also
                         // exercise canonicalization under contention.
                         if t % 2 == 0 {
-                            c.query(u, v);
+                            c.try_query(u, v).unwrap();
                         } else {
-                            c.query(v, u);
+                            c.try_query(v, u).unwrap();
                         }
                     }
                 });
@@ -406,18 +547,93 @@ mod tests {
         let stats = c.stats();
         assert_eq!((stats.hits, stats.misses), (0, 0));
         // ...and the cache still serves normally afterwards.
-        assert_eq!(c.try_query(0, 1).unwrap(), c.oracle().query(0, 1));
+        assert_eq!(c.try_query(0, 1).unwrap(), c.oracle().try_query(0, 1).unwrap());
     }
 
     #[test]
     fn concurrent_queries_are_consistent() {
         let c = cached(32, 128);
         let pairs: Vec<(usize, usize)> = (0..4096).map(|i| (i % 32, (i * 17 + 3) % 32)).collect();
-        let batch = c.query_batch(&pairs);
+        let batch = c.try_query_batch(&pairs).unwrap();
         for (i, &(u, v)) in pairs.iter().enumerate() {
-            assert_eq!(batch[i], c.oracle().query(u, v));
+            assert_eq!(batch[i], c.oracle().try_query(u, v).unwrap());
         }
         let stats = c.stats();
         assert_eq!(stats.hits + stats.misses, 4096);
+    }
+
+    #[test]
+    fn deprecated_panicking_wrappers_still_answer_identically() {
+        #![allow(deprecated)]
+        let c = cached(16, 64);
+        assert_eq!(c.query(0, 15), c.try_query(0, 15).unwrap());
+        let pairs = [(0, 1), (2, 3)];
+        assert_eq!(c.query_batch(&pairs), c.try_query_batch(&pairs).unwrap());
+    }
+
+    #[test]
+    fn cache_stacks_over_a_shard_router() {
+        // The cache is generic over the backend: fronting a ShardRouter
+        // gives the router tier the pair cache the monolith always had.
+        let oracle = build(24);
+        let router = ShardedArtifact::partition(&oracle, 3).unwrap().into_router().unwrap();
+        let c = CachingOracle::new(router, 512);
+        for u in 0..24 {
+            for v in 0..24 {
+                assert_eq!(
+                    c.try_query(u, v).unwrap(),
+                    oracle.try_query(u, v).unwrap(),
+                    "({u},{v})"
+                );
+            }
+        }
+        let stats = c.stats();
+        assert!(stats.hits > 0, "diagonal + symmetric revisits must hit");
+        assert_eq!(c.inner().n(), 24);
+    }
+
+    #[test]
+    fn hottest_keys_are_mru_first_and_warm_replays_them() {
+        let c = cached(32, 2048);
+        // Touch 40 pairs, then re-touch a "hot" subset so it is most recent.
+        for i in 0..40 {
+            c.try_query(i % 32, (i * 7 + 1) % 32).unwrap();
+        }
+        let hot: Vec<(usize, usize)> = (0..6).map(|i| (i, (i * 7 + 1) % 32)).collect();
+        for &(u, v) in &hot {
+            c.try_query(u, v).unwrap();
+        }
+        let keys = c.hottest_keys(1024);
+        assert!(!keys.is_empty());
+        // Every hot pair must appear among the hottest keys (canonicalized).
+        for &(u, v) in &hot {
+            let canon = CachingOracle::<DistanceOracle>::key(u, v);
+            assert!(
+                keys.iter().any(|&(a, b)| CachingOracle::<DistanceOracle>::key(a, b) == canon),
+                "hot pair ({u},{v}) missing from hottest_keys"
+            );
+        }
+        // A bounded ask returns exactly that many.
+        assert_eq!(c.hottest_keys(3).len(), 3);
+
+        // Replay into a fresh cache over the same artifact: the warmed
+        // pairs hit without ever missing, and warm-up itself counted
+        // neither hits nor misses.
+        let fresh = CachingOracle::new(c.oracle().clone(), 2048);
+        let warmed = fresh.warm(&keys);
+        assert_eq!(warmed, keys.len());
+        assert_eq!(fresh.stats().hits, 0);
+        assert_eq!(fresh.stats().misses, 0);
+        assert_eq!(fresh.stats().len, keys.len());
+        for &(u, v) in &keys {
+            fresh.try_query(u, v).unwrap();
+        }
+        let stats = fresh.stats();
+        assert_eq!(stats.misses, 0, "warmed keys must all hit");
+        assert_eq!(stats.hits, keys.len() as u64);
+
+        // Warming again is a no-op; out-of-range donors are skipped.
+        assert_eq!(fresh.warm(&keys), 0);
+        assert_eq!(fresh.warm(&[(0, 99), (99, 0)]), 0);
     }
 }

@@ -17,10 +17,17 @@
 //!   Queries take `O(log k)` time, need only `&self`, and are lock-free.
 //!   [`DistanceOracle::try_query`] is the fallible twin for serving layers
 //!   (see *Query contract* below).
-//! * [`DistanceOracle::query_batch`] shards a batch across std threads
+//! * [`DistanceOracle::try_query_batch`] shards a batch across std threads
 //!   (the seam where a rayon pool or async front-end plugs in later).
-//! * [`CachingOracle`] adds a bounded, sharded LRU result cache with
-//!   hit/miss counters for repeated-query traffic.
+//! * [`QueryBackend`] is the object-safe serving contract every tier
+//!   implements — monolithic oracle, shard router, and any cache over
+//!   either — so a serving layer holds one `Box<dyn QueryBackend>` and
+//!   never branches on which it is fronting. See `docs/BACKENDS.md`.
+//! * [`CachingOracle`] adds a bounded, sharded LRU result cache — over
+//!   **any** [`QueryBackend`], not just the monolith — with hit/miss
+//!   counters for repeated-query traffic and a warm-up API
+//!   ([`CachingOracle::hottest_keys`] / [`CachingOracle::warm`]) so a hot
+//!   reload does not restart from a cold cache.
 //! * [`serde::to_bytes`] / [`serde::from_bytes`] snapshot a built oracle so
 //!   a serving process (like `cc-serve`, which hot-swaps them under
 //!   traffic) can load it without re-running the clique. Snapshots are
@@ -58,22 +65,21 @@
 //! (`u64::MAX - 1`), trading an (astronomically large) exact value for a
 //! correct reachability verdict.
 //!
-//! # Query contract: `try_query` vs `query`
+//! # Query contract: fallible-first
 //!
-//! Every query entry point comes in two flavors with identical answers:
+//! The query contract is **fallible-first**, shared by every backend
+//! through the [`QueryBackend`] trait:
 //!
 //! * [`DistanceOracle::try_query`] / [`DistanceOracle::try_query_batch`]
-//!   (and the same pair on [`CachingOracle`]) return
+//!   (and the same pair on [`CachingOracle`] and [`ShardRouter`]) return
 //!   `Result<_, OracleError>`: an endpoint outside `0..n` is
 //!   [`OracleError::QueryOutOfRange`]. **Network front-ends must use
 //!   these** — validation happens at the edge, and a malformed request
 //!   becomes a client error instead of a crashed (or lock-poisoned)
 //!   serving process. This is what `cc-serve` does.
-//! * [`DistanceOracle::query`] / [`DistanceOracle::query_batch`] are thin
-//!   panicking wrappers for the hot **in-process** path, where indices come
-//!   from trusted code and per-call `Result` handling is pure overhead.
-//!   Out of range is a caller bug there, and the panic message names the
-//!   offending pair.
+//! * The panicking `query` / `query_batch` wrappers are **deprecated** and
+//!   kept for one release: identical answers, but out of range is a panic
+//!   naming the offending pair. Migrate to the `try_` family.
 //!
 //! # Example
 //!
@@ -93,7 +99,7 @@
 //!
 //! // ...then query for free, forever.
 //! let exact = cc_graph::reference::dijkstra(&g, 0)[n - 1].unwrap();
-//! let est = oracle.query(0, n - 1).value().unwrap();
+//! let est = oracle.try_query(0, n - 1)?.value().unwrap();
 //! assert!(est >= exact);
 //! assert!(est as f64 <= oracle.stretch_bound() * exact as f64);
 //!
@@ -111,6 +117,7 @@
 // iterator zips would obscure which node each access belongs to.
 #![allow(clippy::needless_range_loop)]
 
+pub mod backend;
 mod builder;
 mod cache;
 mod error;
@@ -118,6 +125,7 @@ mod oracle;
 pub mod serde;
 pub mod shard;
 
+pub use backend::{BackendDescriptor, QueryBackend, ShardDescriptor};
 pub use builder::OracleBuilder;
 pub use cache::{CacheStats, CachingOracle};
 pub use error::OracleError;

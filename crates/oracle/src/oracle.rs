@@ -113,6 +113,7 @@ impl DistanceOracle {
     ///
     /// Panics if `u` or `v` is not in `0..n`; a serving layer should
     /// validate requests at the edge with [`DistanceOracle::try_query`].
+    #[deprecated(note = "use the fallible `try_query`; the panicking wrapper will be removed")]
     pub fn query(&self, u: usize, v: usize) -> Dist {
         match self.try_query(u, v) {
             Ok(d) => d,
@@ -137,8 +138,8 @@ impl DistanceOracle {
     /// let mut clique = Clique::new(16);
     /// let oracle = OracleBuilder::new().build(&mut clique, &g)?;
     ///
-    /// // In range: same answer as the panicking `query`.
-    /// assert_eq!(oracle.try_query(0, 15)?, oracle.query(0, 15));
+    /// // In range: a finite, sound estimate.
+    /// assert!(oracle.try_query(0, 15)?.is_finite());
     ///
     /// // Out of range: an error a serving layer maps to HTTP 400.
     /// assert!(matches!(
@@ -210,6 +211,9 @@ impl DistanceOracle {
     /// # Panics
     ///
     /// Panics if any pair is out of range, like [`DistanceOracle::query`].
+    #[deprecated(
+        note = "use the fallible `try_query_batch`; the panicking wrapper will be removed"
+    )]
     pub fn query_batch(&self, pairs: &[(usize, usize)]) -> Vec<Dist> {
         match self.try_query_batch(pairs) {
             Ok(d) => d,
@@ -273,7 +277,7 @@ mod tests {
         for u in 0..g.n() {
             let exact = reference::dijkstra(&g, u);
             for v in 0..g.n() {
-                let est = oracle.query(u, v);
+                let est = oracle.try_query(u, v).unwrap();
                 let d = exact[v].expect("gnp is connected");
                 let est = est.value().expect("connected pair must be finite");
                 assert!(est >= d, "underestimate {est} < {d} for ({u},{v})");
@@ -289,9 +293,13 @@ mod tests {
     fn query_is_symmetric_and_zero_on_diagonal() {
         let (g, oracle) = build(32, 5);
         for u in 0..g.n() {
-            assert_eq!(oracle.query(u, u), Dist::ZERO);
+            assert_eq!(oracle.try_query(u, u).unwrap(), Dist::ZERO);
             for v in 0..g.n() {
-                assert_eq!(oracle.query(u, v), oracle.query(v, u), "({u},{v})");
+                assert_eq!(
+                    oracle.try_query(u, v).unwrap(),
+                    oracle.try_query(v, u).unwrap(),
+                    "({u},{v})"
+                );
             }
         }
     }
@@ -304,9 +312,9 @@ mod tests {
         let small: Vec<(usize, usize)> = (0..32).map(|i| (i, (i * 7 + 1) % 32)).collect();
         let large: Vec<(usize, usize)> = (0..5000).map(|i| (i % 32, (i * 13 + 5) % 32)).collect();
         for pairs in [small, large] {
-            let batch = oracle.query_batch(&pairs);
+            let batch = oracle.try_query_batch(&pairs).unwrap();
             for (i, &(u, v)) in pairs.iter().enumerate() {
-                assert_eq!(batch[i], oracle.query(u, v), "pair ({u},{v})");
+                assert_eq!(batch[i], oracle.try_query(u, v).unwrap(), "pair ({u},{v})");
             }
         }
     }
@@ -316,13 +324,27 @@ mod tests {
         let g = cc_graph::Graph::from_edges(8, [(0, 1, 2), (2, 3, 4)]).unwrap();
         let mut clique = Clique::new(8);
         let oracle = OracleBuilder::new().build(&mut clique, &g).unwrap();
-        assert_eq!(oracle.query(0, 1), Dist::fin(2));
-        assert_eq!(oracle.query(0, 2), Dist::INF);
-        assert_eq!(oracle.query(4, 5), Dist::INF);
+        assert_eq!(oracle.try_query(0, 1).unwrap(), Dist::fin(2));
+        assert_eq!(oracle.try_query(0, 2).unwrap(), Dist::INF);
+        assert_eq!(oracle.try_query(4, 5).unwrap(), Dist::INF);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_answer_identically_to_try_query() {
+        let (_, oracle) = build(16, 4);
+        for u in 0..16 {
+            for v in 0..16 {
+                assert_eq!(oracle.query(u, v), oracle.try_query(u, v).unwrap());
+            }
+        }
+        let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, (i * 3 + 1) % 16)).collect();
+        assert_eq!(oracle.query_batch(&pairs), oracle.try_query_batch(&pairs).unwrap());
     }
 
     #[test]
     #[should_panic(expected = "outside")]
+    #[allow(deprecated)]
     fn out_of_range_query_panics() {
         let (_, oracle) = build(16, 1);
         oracle.query(0, 16);
@@ -338,7 +360,7 @@ mod tests {
         assert!(matches!(oracle.try_query(99, 0), Err(crate::OracleError::QueryOutOfRange { .. })));
         for u in 0..16 {
             for v in 0..16 {
-                assert_eq!(oracle.try_query(u, v).unwrap(), oracle.query(u, v));
+                assert_eq!(oracle.try_query(u, v).unwrap(), oracle.query_unchecked(u, v));
             }
         }
     }
@@ -347,7 +369,8 @@ mod tests {
     fn try_query_batch_rejects_any_bad_pair_and_matches_batch() {
         let (_, oracle) = build(16, 2);
         let good: Vec<(usize, usize)> = (0..16).map(|i| (i, (i * 5 + 2) % 16)).collect();
-        assert_eq!(oracle.try_query_batch(&good).unwrap(), oracle.query_batch(&good));
+        let singles: Vec<_> = good.iter().map(|&(u, v)| oracle.query_unchecked(u, v)).collect();
+        assert_eq!(oracle.try_query_batch(&good).unwrap(), singles);
         let mut bad = good;
         bad.push((3, 16));
         assert!(matches!(
@@ -381,12 +404,12 @@ mod tests {
         // pair. The pair is connected, so the answer must be finite.
         let w = u64::MAX - 3;
         let oracle = near_max_path_oracle(w, w);
-        let d = oracle.query(0, 2);
+        let d = oracle.try_query(0, 2).unwrap();
         assert!(d.is_finite(), "connected pair reported as disconnected after overflow");
         assert_eq!(d, Dist::fin(super::MAX_FINITE_DISTANCE));
         // The single-hop answers stay untouched by the clamp.
-        assert_eq!(oracle.query(0, 1), Dist::fin(w));
-        assert_eq!(oracle.query(1, 2), Dist::fin(w));
+        assert_eq!(oracle.try_query(0, 1).unwrap(), Dist::fin(w));
+        assert_eq!(oracle.try_query(1, 2).unwrap(), Dist::fin(w));
     }
 
     #[test]
@@ -394,12 +417,12 @@ mod tests {
         // The sum equals u64::MAX exactly: no u64 overflow, but it collides
         // with the infinity sentinel and must still be clamped.
         let oracle = near_max_path_oracle(u64::MAX / 2, u64::MAX / 2 + 1);
-        assert_eq!(oracle.query(0, 2), Dist::fin(super::MAX_FINITE_DISTANCE));
+        assert_eq!(oracle.try_query(0, 2).unwrap(), Dist::fin(super::MAX_FINITE_DISTANCE));
         // A genuinely disconnected artifact still reports infinity.
         let mut disconnected = near_max_path_oracle(5, 7);
         disconnected.columns = vec![u64::MAX, 0, u64::MAX];
         disconnected.nearest_landmark[0].1 = 0;
         disconnected.nearest_landmark[2].1 = 0;
-        assert_eq!(disconnected.query(0, 2), Dist::INF);
+        assert_eq!(disconnected.try_query(0, 2).unwrap(), Dist::INF);
     }
 }

@@ -24,6 +24,8 @@
 //! index/count and a set id) are in [`crate::serde`]:
 //! [`crate::serde::to_shard_bytes`] / [`crate::serde::from_shard_bytes`].
 
+use std::sync::Arc;
+
 use cc_matrix::Dist;
 
 use crate::error::{invalid, set_mismatch};
@@ -450,7 +452,7 @@ pub fn validate_set<S: std::borrow::Borrow<OracleShard>>(
 /// let router = ShardedArtifact::partition(&oracle, 3)?.into_router()?;
 /// for u in 0..24 {
 ///     for v in 0..24 {
-///         assert_eq!(router.query(u, v), oracle.query(u, v));
+///         assert_eq!(router.try_query(u, v)?, oracle.try_query(u, v)?);
 ///     }
 /// }
 /// # Ok(())
@@ -459,7 +461,10 @@ pub fn validate_set<S: std::borrow::Borrow<OracleShard>>(
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardRouter {
     plan: ShardPlan,
-    shards: Vec<OracleShard>,
+    /// `Arc` so a serving layer can roll one slice without deep-copying the
+    /// others (each slice carries the replicated column matrix); see
+    /// [`ShardRouter::with_shard_replaced`].
+    shards: Vec<Arc<OracleShard>>,
 }
 
 impl ShardRouter {
@@ -470,7 +475,76 @@ impl ShardRouter {
     ///
     /// Everything [`validate_set`] rejects.
     pub fn assemble(shards: Vec<OracleShard>) -> Result<ShardRouter, OracleError> {
+        ShardRouter::assemble_shared(shards.into_iter().map(Arc::new).collect())
+    }
+
+    /// [`ShardRouter::assemble`] over already-shared slices: no copy, same
+    /// strict validation.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`validate_set`] rejects.
+    pub fn assemble_shared(shards: Vec<Arc<OracleShard>>) -> Result<ShardRouter, OracleError> {
         let plan = validate_set(&shards)?;
+        Ok(ShardRouter { plan, shards })
+    }
+
+    /// Assembles a possibly **mixed-generation** set — the rolling-rollout
+    /// state, where some slices were already swapped to a new artifact
+    /// build and others still serve the old one.
+    ///
+    /// Shape is non-negotiable and checked exactly like the strict path:
+    /// every slice must declare its slot, the shared shard count and `n`,
+    /// and own the range the recomputed [`ShardPlan`] assigns. What is
+    /// *not* required is agreement on set id, `k`, `ε`, or the landmark
+    /// set: each half-query is computed entirely within one slice, so a
+    /// mixed set stays sound pair-by-pair while
+    /// [`ShardRouter::set_uniform`] reports the roll's progress.
+    ///
+    /// # Errors
+    ///
+    /// * [`OracleError::ShardIndexMismatch`] — a slice in the wrong slot.
+    /// * [`OracleError::ShardSetMismatch`] — wrong number of slices, or a
+    ///   disagreement on shard count or `n`.
+    /// * [`OracleError::CorruptSnapshot`] — a slice's owned range does not
+    ///   match the plan.
+    pub fn assemble_rolling(shards: Vec<Arc<OracleShard>>) -> Result<ShardRouter, OracleError> {
+        let first = shards.first().ok_or_else(|| set_mismatch("empty shard set"))?;
+        if shards.len() != first.count() {
+            return Err(set_mismatch(format!(
+                "set declares {} shards but {} were provided",
+                first.count(),
+                shards.len()
+            )));
+        }
+        let plan = first.plan();
+        for (i, shard) in shards.iter().enumerate() {
+            if shard.index() != i {
+                return Err(OracleError::ShardIndexMismatch {
+                    expected: i as u32,
+                    found: shard.index,
+                });
+            }
+            if shard.count != first.count {
+                return Err(set_mismatch(format!(
+                    "shard {i}: shard count = {} but the set has shard count = {}",
+                    shard.count, first.count
+                )));
+            }
+            if shard.n != first.n {
+                return Err(set_mismatch(format!(
+                    "shard {i}: n = {} but the set has n = {}",
+                    shard.n, first.n
+                )));
+            }
+            let want = plan.range(i);
+            if shard.owned() != want {
+                return Err(crate::error::corrupt(format!(
+                    "shard {i} owns {:?} but the plan assigns {want:?}",
+                    shard.owned()
+                )));
+            }
+        }
         Ok(ShardRouter { plan, shards })
     }
 
@@ -485,8 +559,14 @@ impl ShardRouter {
     }
 
     /// The per-shard slices, in index order.
-    pub fn shards(&self) -> &[OracleShard] {
+    pub fn shards(&self) -> &[Arc<OracleShard>] {
         &self.shards
+    }
+
+    /// True when every slice carries the same set id — i.e. no rolling
+    /// rollout is in flight.
+    pub fn set_uniform(&self) -> bool {
+        self.shards.windows(2).all(|w| w[0].set_id == w[1].set_id)
     }
 
     /// Distance estimate for `(u, v)`: two half-queries on the owning
@@ -494,8 +574,8 @@ impl ShardRouter {
     ///
     /// # Panics
     ///
-    /// Panics if `u` or `v` is not in `0..n`, like
-    /// [`DistanceOracle::query`].
+    /// Panics if `u` or `v` is not in `0..n`.
+    #[deprecated(note = "use the fallible `try_query`; the panicking wrapper will be removed")]
     pub fn query(&self, u: usize, v: usize) -> Dist {
         match self.try_query(u, v) {
             Ok(d) => d,
@@ -595,8 +675,8 @@ mod tests {
             for u in 0..33 {
                 for v in 0..33 {
                     assert_eq!(
-                        router.query(u, v),
-                        oracle.query(u, v),
+                        router.try_query(u, v).unwrap(),
+                        oracle.try_query(u, v).unwrap(),
                         "({u},{v}) with {count} shards"
                     );
                 }
@@ -615,7 +695,11 @@ mod tests {
             let router = ShardedArtifact::partition(&oracle, count).unwrap().into_router().unwrap();
             for u in 0..9 {
                 for v in 0..9 {
-                    assert_eq!(router.query(u, v), oracle.query(u, v), "({u},{v}) x{count}");
+                    assert_eq!(
+                        router.try_query(u, v).unwrap(),
+                        oracle.try_query(u, v).unwrap(),
+                        "({u},{v}) x{count}"
+                    );
                 }
             }
         }
@@ -640,10 +724,14 @@ mod tests {
         };
         for count in [1usize, 2, 3] {
             let router = ShardedArtifact::partition(&oracle, count).unwrap().into_router().unwrap();
-            assert_eq!(router.query(0, 2), Dist::fin(MAX_FINITE_DISTANCE), "x{count}");
+            assert_eq!(router.try_query(0, 2).unwrap(), Dist::fin(MAX_FINITE_DISTANCE), "x{count}");
             for u in 0..3 {
                 for v in 0..3 {
-                    assert_eq!(router.query(u, v), oracle.query(u, v), "({u},{v}) x{count}");
+                    assert_eq!(
+                        router.try_query(u, v).unwrap(),
+                        oracle.try_query(u, v).unwrap(),
+                        "({u},{v}) x{count}"
+                    );
                 }
             }
         }
@@ -659,7 +747,10 @@ mod tests {
         ));
         assert!(matches!(router.try_query(99, 0), Err(OracleError::QueryOutOfRange { .. })));
         let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, (i * 5 + 2) % 16)).collect();
-        assert_eq!(router.try_query_batch(&pairs).unwrap(), oracle.query_batch(&pairs));
+        assert_eq!(
+            router.try_query_batch(&pairs).unwrap(),
+            oracle.try_query_batch(&pairs).unwrap()
+        );
         let mut bad = pairs;
         bad.push((3, 16));
         assert!(router.try_query_batch(&bad).is_err());
@@ -705,6 +796,66 @@ mod tests {
 
         // The untouched set still assembles.
         assert!(ShardRouter::assemble(shards).is_ok());
+    }
+
+    #[test]
+    fn rolling_assembly_accepts_mixed_sets_but_not_wrong_shapes() {
+        let a = build(20, 9);
+        let b = build(20, 10);
+        let to_arcs = |oracle: &DistanceOracle| -> Vec<Arc<OracleShard>> {
+            ShardedArtifact::partition(oracle, 2)
+                .unwrap()
+                .into_shards()
+                .into_iter()
+                .map(Arc::new)
+                .collect()
+        };
+        let a_shards = to_arcs(&a);
+        let b_shards = to_arcs(&b);
+
+        // The strict path refuses the mix; the rolling path accepts it and
+        // reports the non-uniform state.
+        let mixed = vec![a_shards[0].clone(), b_shards[1].clone()];
+        assert!(ShardRouter::assemble_shared(mixed.clone()).is_err());
+        let rolling = ShardRouter::assemble_rolling(mixed).unwrap();
+        assert!(!rolling.set_uniform());
+        let uniform = ShardRouter::assemble_rolling(a_shards.clone()).unwrap();
+        assert!(uniform.set_uniform());
+
+        // Every answer of the mixed router is the combine of exactly the
+        // two slices that own the endpoints — each half from its own
+        // generation, never a blend within a half.
+        let plan = rolling.plan();
+        let slices = [&a_shards[0], &b_shards[1]];
+        for u in 0..20 {
+            for v in 0..20 {
+                let want = if u == v {
+                    Dist::ZERO
+                } else {
+                    combine(
+                        slices[plan.owner(u)].half_query(u, v),
+                        slices[plan.owner(v)].half_query(v, u),
+                    )
+                };
+                assert_eq!(rolling.try_query(u, v).unwrap(), want, "({u},{v})");
+            }
+        }
+
+        // Shape violations are still hard errors.
+        let swapped = vec![a_shards[1].clone(), a_shards[0].clone()];
+        assert!(matches!(
+            ShardRouter::assemble_rolling(swapped),
+            Err(OracleError::ShardIndexMismatch { expected: 0, found: 1 })
+        ));
+        let other_n = to_arcs(&build(24, 9));
+        let wrong_n = vec![a_shards[0].clone(), other_n[1].clone()];
+        match ShardRouter::assemble_rolling(wrong_n) {
+            Err(OracleError::ShardSetMismatch { what }) => {
+                assert!(what.contains("n = "), "must name the field: {what}")
+            }
+            other => panic!("wrong-n slice must be rejected, got {other:?}"),
+        }
+        assert!(ShardRouter::assemble_rolling(vec![a_shards[0].clone()]).is_err());
     }
 
     #[test]

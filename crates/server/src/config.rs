@@ -26,9 +26,13 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Default snapshot path for `POST /reload` (and SIGHUP in the
     /// `cc-serve` binary). `None` means a reload request must name a path
-    /// explicitly (`/reload?path=...`). Ignored in router mode, where each
-    /// shard's own file is its default reload source.
+    /// explicitly (`/reload?path=...`). Ignored when the server is started
+    /// from a manifest or shard set, which carry their own reload sources.
     pub reload_path: Option<PathBuf>,
+    /// Deprecation note surfaced as `"deprecations"` in `/stats` — set by
+    /// the binary when the server was started through the deprecated
+    /// `--snapshot` / `--shards` flags instead of `--manifest`.
+    pub deprecation_note: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +45,7 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             read_timeout: Duration::from_secs(5),
             reload_path: None,
+            deprecation_note: None,
         }
     }
 }
@@ -85,6 +90,12 @@ impl ServerConfig {
     /// Sets the default snapshot path `POST /reload` (and SIGHUP) loads.
     pub fn with_reload_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.reload_path = Some(path.into());
+        self
+    }
+
+    /// Sets the deprecation note `/stats` reports as `"deprecations"`.
+    pub fn with_deprecation_note(mut self, note: impl Into<String>) -> Self {
+        self.deprecation_note = Some(note.into());
         self
     }
 }

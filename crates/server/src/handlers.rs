@@ -1,122 +1,71 @@
 //! Routing and endpoint handlers: pure functions from a parsed [`Request`]
 //! to a [`Response`], so every route is unit-testable without a socket.
 //!
-//! All id validation goes through the oracle's **fallible** query API
-//! (`try_query` / `try_query_batch`): a malformed or out-of-range request is
-//! a `400` at the edge, never a panic inside the serving process.
+//! Every endpoint is written **once against [`cc_oracle::QueryBackend`]**:
+//! the serving state is a single hot-swappable [`Generation`] holding a
+//! `Box<dyn QueryBackend>` (a monolithic oracle or a shard router) behind
+//! its result cache. Queries, stats, and artifact metadata never branch on
+//! which tier is serving — the backend describes itself through
+//! [`cc_oracle::QueryBackend::descriptor`].
 //!
-//! The server runs in one of two tiers behind the same endpoints:
+//! All id validation goes through the backend's **fallible** query API
+//! (`try_query` / `try_query_batch`): a malformed or out-of-range request
+//! is a `400` at the edge, never a panic inside the serving process.
 //!
-//! * **monolithic** — one [`DistanceOracle`] behind a cache, behind a
-//!   [`ReloadHandle`];
-//! * **router** — a sharded artifact set: one `ReloadHandle<ShardGeneration>`
-//!   **per shard**, each query answered by fetching the two half-results
-//!   from the shards owning its endpoints and combining them exactly as the
-//!   monolithic query kernel does ([`cc_oracle::shard::combine`]), so the
-//!   router's answers are bit-identical to the monolith's.
-//!
-//! Every request clones the relevant generation(s) (an `Arc` refcount bump
-//! each) and answers entirely on those clones, so `POST /reload` — whole
-//! artifact in monolithic mode, a single shard via `?shard=i` in router
-//! mode — can validate and swap a new snapshot while traffic is in flight:
-//! old requests finish on the old artifact, new requests see the new one,
-//! and a reload that fails validation changes nothing except the error
-//! surfaced in `/stats`.
+//! Every request clones the current generation (an `Arc` refcount bump)
+//! and answers entirely on that clone, so `POST /reload` — the whole
+//! artifact, or a single shard via `?shard=i` — can validate and swap a
+//! new snapshot while traffic is in flight: old requests finish on the old
+//! artifact, new requests see the new one, and a reload that fails
+//! validation changes nothing except the error surfaced in `/stats`. On
+//! every successful swap the hottest keys of the outgoing cache are
+//! replayed into the new generation ([`Generation::warmed_from`]), and
+//! `/stats` reports the count as `warmed_keys`.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cc_matrix::Dist;
-use cc_oracle::shard::{combine, validate_set, ShardPlan};
-use cc_oracle::{DistanceOracle, OracleError};
+use cc_oracle::shard::{OracleShard, ShardRouter};
+use cc_oracle::{DistanceOracle, OracleError, QueryBackend};
 
 use crate::http::{json_escape, Request, Response};
-use crate::reload::{Generation, ReloadHandle, ShardGeneration, SnapshotInfo};
-use crate::source::{self, LoadedShard};
+use crate::reload::{Generation, ReloadHandle, SnapshotInfo, WARM_KEYS};
+use crate::source::{self, BackendSpec, LoadedBackend, LoadedShard};
 
 /// What a successful reload installed, captured atomically with the swap —
 /// a response built from this cannot mix in state from a concurrent later
 /// reload.
 #[derive(Debug, Clone)]
 pub struct ReloadOutcome {
-    /// Identity of the artifact that was swapped in.
+    /// Identity of the artifact that was swapped in (the affected shard's
+    /// file for a single-shard reload).
     pub info: SnapshotInfo,
     /// Node count of the artifact that was swapped in.
     pub n: usize,
-    /// Successful-swap count as of this swap (this reload included).
+    /// Successful-swap count as of this swap (this reload included; a
+    /// full-set roll counts one per shard).
     pub reloads: u64,
 }
 
-/// The router tier: the recomputed [`ShardPlan`] plus one independently
-/// hot-swappable generation per shard. `paths[i]` is shard `i`'s default
-/// reload source (its own snapshot file).
-struct ShardTier {
-    plan: ShardPlan,
-    handles: Vec<ReloadHandle<ShardGeneration>>,
-    paths: Vec<Option<PathBuf>>,
-}
-
-impl ShardTier {
-    /// The two-half-query routed lookup; answers are bit-identical to the
-    /// monolithic oracle the set was partitioned from.
-    fn try_query(&self, u: usize, v: usize) -> Result<Dist, OracleError> {
-        let n = self.plan.n();
-        if u >= n || v >= n {
-            return Err(OracleError::QueryOutOfRange { u, v, n });
-        }
-        if u == v {
-            return Ok(Dist::ZERO);
-        }
-        let near = self.handles[self.plan.owner(u)].current();
-        let far = self.handles[self.plan.owner(v)].current();
-        Ok(combine(near.shard().half_query(u, v), far.shard().half_query(v, u)))
-    }
-
-    /// Batch lookup in request order; validates every pair up front like
-    /// the monolithic batch path. The shard generations are snapshotted
-    /// **once** for the whole batch — no per-pair lock traffic on the
-    /// reload handles, and every answer in one batch comes from one
-    /// consistent set even while a shard reload lands mid-batch.
-    fn try_query_batch(&self, pairs: &[(usize, usize)]) -> Result<Vec<Dist>, OracleError> {
-        let n = self.plan.n();
-        for &(u, v) in pairs {
-            if u >= n || v >= n {
-                return Err(OracleError::QueryOutOfRange { u, v, n });
-            }
-        }
-        let generations = self.generations();
-        Ok(pairs
-            .iter()
-            .map(|&(u, v)| {
-                if u == v {
-                    return Dist::ZERO;
-                }
-                let near = generations[self.plan.owner(u)].shard();
-                let far = generations[self.plan.owner(v)].shard();
-                combine(near.half_query(u, v), far.half_query(v, u))
-            })
-            .collect())
-    }
-
-    /// Current generations of all shards, in index order.
-    fn generations(&self) -> Vec<Arc<ShardGeneration>> {
-        self.handles.iter().map(ReloadHandle::current).collect()
-    }
-}
-
-/// Which serving tier this process runs.
-enum Serving {
-    Mono { handle: ReloadHandle, reload_path: Option<PathBuf> },
-    Sharded(ShardTier),
-}
-
-/// Shared per-server state: the hot-swappable serving generation(s) plus
-/// request counters.
+/// Shared per-server state: one hot-swappable [`Generation`] over a
+/// `Box<dyn QueryBackend>`, the reload source, and request counters.
 pub struct AppState {
-    serving: Serving,
-    cache_capacity: usize,
+    handle: ReloadHandle,
+    /// Where `POST /reload` / SIGHUP reload from: a manifest (re-read each
+    /// time), a snapshot file, or a shard file set. `None` means a reload
+    /// must name a path explicitly.
+    spec: Option<BackendSpec>,
+    /// Result-cache capacity for the *next* generation: the startup value
+    /// until a manifest reload declares `cache_capacity`, which then
+    /// becomes the new default (so a later single-shard or explicit-path
+    /// reload cannot silently revert an operator's manifest setting).
+    cache_capacity: AtomicUsize,
+    /// Deprecation note surfaced in `/stats` (e.g. when the server was
+    /// started through the deprecated `--snapshot` / `--shards` flags).
+    deprecations: Option<String>,
     /// Serializes load+swap so overlapping reloads apply in a definite
     /// order; never held by the request path.
     reload_lock: Mutex<()>,
@@ -131,6 +80,18 @@ pub struct AppState {
     reload_requests: AtomicU64,
     reloads: AtomicU64,
     reload_failures: AtomicU64,
+}
+
+/// Set-level identity for a (possibly mixed) shard set: the shared set id,
+/// or `"mixed"` while a rolling rollout is in flight (`uniform` comes from
+/// [`ShardRouter::set_uniform`] on the freshly assembled router).
+fn set_info(shards: &[Arc<OracleShard>], uniform: bool, source: String) -> SnapshotInfo {
+    SnapshotInfo {
+        version: cc_oracle::serde::SNAPSHOT_VERSION,
+        build_id: if uniform { format!("{:016x}", shards[0].set_id()) } else { "mixed".to_owned() },
+        created_unix_secs: 0,
+        source,
+    }
 }
 
 impl AppState {
@@ -149,31 +110,35 @@ impl AppState {
         cache_capacity: usize,
         reload_path: Option<PathBuf>,
     ) -> AppState {
-        let cache_capacity = cache_capacity.max(1);
-        let handle = ReloadHandle::new(Generation::new(oracle, info, cache_capacity));
-        AppState::from_serving(Serving::Mono { handle, reload_path }, cache_capacity)
+        let backend: Box<dyn QueryBackend> = Box::new(oracle);
+        let generation = Generation::new(backend, info, cache_capacity);
+        AppState::from_generation(generation, reload_path.map(BackendSpec::mono), cache_capacity)
     }
 
     /// Router-mode state over a loaded shard set (slot `i` = shard `i`).
-    /// The set is re-validated here ([`validate_set`]), so an inconsistent
-    /// or mis-slotted set can never start serving.
+    /// The set is re-validated here, so an inconsistent or mis-slotted set
+    /// can never start serving. The shard files become the default
+    /// full-set reload source.
     ///
     /// # Errors
     ///
-    /// Everything [`validate_set`] rejects.
-    pub fn with_shards(shards: Vec<LoadedShard>) -> Result<AppState, OracleError> {
-        // Validate by reference — cloning the set (each slice carries the
-        // replicated column matrix) would double peak memory at startup.
-        let refs: Vec<&cc_oracle::OracleShard> = shards.iter().map(|l| &l.shard).collect();
-        let plan = validate_set(&refs)?;
-        let mut handles = Vec::with_capacity(shards.len());
+    /// Everything [`cc_oracle::shard::validate_set`] rejects.
+    pub fn with_shards(
+        shards: Vec<LoadedShard>,
+        cache_capacity: usize,
+    ) -> Result<AppState, OracleError> {
+        let mut slices = Vec::with_capacity(shards.len());
+        let mut infos = Vec::with_capacity(shards.len());
         let mut paths = Vec::with_capacity(shards.len());
         for loaded in shards {
-            handles.push(ReloadHandle::new(ShardGeneration::new(loaded.shard, loaded.info)));
-            paths.push(Some(loaded.path));
+            slices.push(loaded.shard);
+            infos.push(loaded.info);
+            paths.push(loaded.path);
         }
-        let tier = ShardTier { plan, handles, paths };
-        Ok(AppState::from_serving(Serving::Sharded(tier), 1))
+        let spec = BackendSpec::sharded(paths);
+        let loaded = LoadedBackend::sharded(slices, infos, spec.describe())?;
+        let generation = Generation::from_loaded(loaded, cache_capacity);
+        Ok(AppState::from_generation(generation, Some(spec), cache_capacity))
     }
 
     /// Router-mode state over in-process shard slices (no backing files),
@@ -181,25 +146,50 @@ impl AppState {
     ///
     /// # Errors
     ///
-    /// Everything [`validate_set`] rejects.
+    /// Everything [`cc_oracle::shard::validate_set`] rejects.
     pub fn with_in_process_shards(
-        shards: Vec<cc_oracle::OracleShard>,
+        shards: Vec<OracleShard>,
+        cache_capacity: usize,
     ) -> Result<AppState, OracleError> {
-        let plan = validate_set(&shards)?;
-        let mut handles = Vec::with_capacity(shards.len());
-        let mut paths = Vec::with_capacity(shards.len());
-        for shard in shards {
-            let info = SnapshotInfo::in_process_shard(&shard, "in-process");
-            handles.push(ReloadHandle::new(ShardGeneration::new(shard, info)));
-            paths.push(None);
-        }
-        Ok(AppState::from_serving(Serving::Sharded(ShardTier { plan, handles, paths }), 1))
+        let infos: Vec<SnapshotInfo> =
+            shards.iter().map(|s| SnapshotInfo::in_process_shard(s, "in-process")).collect();
+        let loaded = LoadedBackend::sharded(shards, infos, "in-process")?;
+        let generation = Generation::from_loaded(loaded, cache_capacity);
+        Ok(AppState::from_generation(generation, None, cache_capacity))
     }
 
-    fn from_serving(serving: Serving, cache_capacity: usize) -> AppState {
+    /// State serving whatever `spec` names — the manifest-driven startup
+    /// path. The spec's `cache_capacity` (when set) overrides
+    /// `default_cache_capacity`, and the spec becomes the reload source: a
+    /// manifest is **re-read on every bare `/reload` / SIGHUP**, so an
+    /// operator rolls a new artifact by updating manifest + files and
+    /// poking the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`BackendSpec::load`] rejects — including an
+    /// `expected_set_id` mismatch, so a wrong-build artifact fails here,
+    /// before the socket ever accepts.
+    pub fn from_spec(
+        spec: BackendSpec,
+        default_cache_capacity: usize,
+    ) -> Result<AppState, Box<dyn std::error::Error>> {
+        let cache_capacity = spec.cache_capacity.unwrap_or(default_cache_capacity);
+        let loaded = spec.load()?;
+        let generation = Generation::from_loaded(loaded, cache_capacity);
+        Ok(AppState::from_generation(generation, Some(spec), cache_capacity))
+    }
+
+    fn from_generation(
+        generation: Generation,
+        spec: Option<BackendSpec>,
+        cache_capacity: usize,
+    ) -> AppState {
         AppState {
-            serving,
-            cache_capacity,
+            handle: ReloadHandle::new(generation),
+            spec,
+            cache_capacity: AtomicUsize::new(cache_capacity),
+            deprecations: None,
             reload_lock: Mutex::new(()),
             last_reload_error: Mutex::new(None),
             started: Instant::now(),
@@ -215,37 +205,27 @@ impl AppState {
         }
     }
 
-    /// True when this state routes over a shard set.
-    pub fn is_sharded(&self) -> bool {
-        matches!(self.serving, Serving::Sharded(_))
+    /// Sets the deprecation note `/stats` reports (used by the binary when
+    /// the deprecated `--snapshot` / `--shards` flags are still in play).
+    pub(crate) fn set_deprecations(&mut self, note: Option<String>) {
+        self.deprecations = note;
     }
 
-    /// The generation serving right now (artifact + cache + identity). The
+    /// True when this state routes over a shard set (right now — a
+    /// manifest reload can change the mode).
+    pub fn is_sharded(&self) -> bool {
+        self.handle.current().is_sharded()
+    }
+
+    /// The generation serving right now (backend + cache + identity). The
     /// clone is an `Arc` refcount bump; holders keep the artifact alive
     /// across a concurrent reload.
-    ///
-    /// # Panics
-    ///
-    /// Panics in router mode, which has no monolithic generation — use
-    /// [`AppState::shard_generations`] there.
     pub fn generation(&self) -> Arc<Generation> {
-        match &self.serving {
-            Serving::Mono { handle, .. } => handle.current(),
-            Serving::Sharded(_) => panic!("router mode serves shards, not one generation"),
-        }
+        self.handle.current()
     }
 
-    /// The per-shard generations serving right now, in index order (empty
-    /// in monolithic mode).
-    pub fn shard_generations(&self) -> Vec<Arc<ShardGeneration>> {
-        match &self.serving {
-            Serving::Mono { .. } => Vec::new(),
-            Serving::Sharded(tier) => tier.generations(),
-        }
-    }
-
-    /// Successful hot-reload swaps so far (one per shard swapped in router
-    /// mode).
+    /// Successful hot-reload swaps so far (one per shard swapped in a
+    /// full-set roll).
     pub fn reloads(&self) -> u64 {
         self.reloads.load(Ordering::Relaxed)
     }
@@ -268,6 +248,19 @@ impl AppState {
         swaps
     }
 
+    /// Installs a validated replacement generation: warms its cache from
+    /// the outgoing one, swaps atomically, and books `swap_units`
+    /// successful swaps (1 for a monolith or single shard, the shard count
+    /// for a full-set roll).
+    fn install(&self, next: Generation, outgoing: &Generation, swap_units: usize) -> u64 {
+        self.handle.swap(next.warmed_from(outgoing, WARM_KEYS));
+        let mut swaps = 0;
+        for _ in 0..swap_units.max(1) {
+            swaps = self.record_reload_success();
+        }
+        swaps
+    }
+
     /// Loads + validates the **monolithic** snapshot at `path` and, only
     /// if it is fully valid, swaps it in atomically. On any failure the
     /// serving generation is untouched and the error is recorded for
@@ -280,21 +273,38 @@ impl AppState {
     /// # Errors
     ///
     /// The human-readable reason the snapshot was rejected (I/O, magic,
-    /// version, checksum, structure), or that this server runs in router
-    /// mode (reload a shard instead).
+    /// version, checksum, structure), or that this server currently routes
+    /// a shard set (reload a shard — or the manifest — instead).
     pub fn reload_from(&self, path: &Path) -> Result<ReloadOutcome, String> {
         let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
-        let Serving::Mono { handle, .. } = &self.serving else {
+        let current = self.handle.current();
+        if current.is_sharded() {
             return Err(self.record_reload_failure(
                 "this server routes a shard set: reload one shard with /reload?shard=i".to_owned(),
             ));
-        };
+        }
         match source::load_snapshot(path) {
             Ok(loaded) => {
+                // The manifest's set_id pin gates explicit-path reloads
+                // too: a wrong-build snapshot must not sneak past the gate
+                // the operator configured (docs/OPERATIONS.md).
+                if let Some(want) = self.spec.as_ref().and_then(|s| s.expected_set_id) {
+                    let got = cc_oracle::serde::payload_checksum(&loaded.oracle);
+                    if got != want {
+                        return Err(self.record_reload_failure(format!(
+                            "reload from {} rejected: build id {got:016x} does not match \
+                             the pinned set_id {want:016x}",
+                            path.display()
+                        )));
+                    }
+                }
                 let n = loaded.oracle.n();
                 let info = loaded.info.clone();
-                handle.swap(Generation::new(loaded.oracle, loaded.info, self.cache_capacity));
-                Ok(ReloadOutcome { info, n, reloads: self.record_reload_success() })
+                let next = Generation::from_loaded(
+                    LoadedBackend::mono(loaded.oracle, loaded.info),
+                    self.cache_capacity.load(Ordering::Relaxed),
+                );
+                Ok(ReloadOutcome { info, n, reloads: self.install(next, &current, 1) })
             }
             Err(e) => {
                 Err(self
@@ -304,120 +314,192 @@ impl AppState {
     }
 
     /// Reloads shard `index` from `path` (router mode): the file must be a
-    /// valid per-shard snapshot declaring exactly this slot and the tier's
-    /// shard count and `n`; the swap is atomic and every other shard keeps
-    /// serving untouched. A new set id is allowed — that is how a rolling
-    /// rollout moves the set to a new artifact generation one shard at a
-    /// time (`/stats` reports `set_uniform` so the roll's progress is
-    /// observable).
+    /// valid per-shard snapshot declaring exactly this slot and the
+    /// serving set's shard count and `n`; the swap is atomic and every
+    /// other slice is shared into the new generation untouched. A new set
+    /// id is allowed — that is how a rolling rollout moves the set to a
+    /// new artifact generation one shard at a time (`/stats` reports
+    /// `set_uniform` so the roll's progress is observable).
     ///
     /// # Errors
     ///
-    /// The human-readable rejection reason; the old shard keeps serving.
+    /// The human-readable rejection reason; the old generation keeps
+    /// serving.
     pub fn reload_shard_from(&self, index: usize, path: &Path) -> Result<ReloadOutcome, String> {
         let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
-        let Serving::Sharded(tier) = &self.serving else {
+        let current = self.handle.current();
+        if !current.is_sharded() {
             return Err(self.record_reload_failure(
                 "this server is monolithic: /reload takes no shard parameter".to_owned(),
             ));
-        };
-        let count = tier.handles.len();
+        }
+        let count = current.shards().len();
         if index >= count {
             return Err(
                 self.record_reload_failure(format!("shard index {index} outside 0..{count}"))
             );
         }
-        match source::load_shard(path, index, count) {
-            Ok(loaded) if loaded.shard.n() != tier.plan.n() => {
-                Err(self.record_reload_failure(format!(
-                    "reload of shard {index} from {} rejected: n = {} but the serving set \
-                     has n = {} (a sharded artifact cannot change n shard-by-shard)",
-                    path.display(),
-                    loaded.shard.n(),
-                    tier.plan.n()
+        let loaded = match source::load_shard(path, index, count) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                return Err(self.record_reload_failure(format!(
+                    "reload of shard {index} from {} rejected: {e}",
+                    path.display()
                 )))
             }
-            Ok(loaded) => {
-                let info = loaded.info.clone();
-                let n = loaded.shard.n();
-                tier.handles[index].swap(ShardGeneration::new(loaded.shard, loaded.info));
-                Ok(ReloadOutcome { info, n, reloads: self.record_reload_success() })
-            }
-            Err(e) => Err(self.record_reload_failure(format!(
-                "reload of shard {index} from {} rejected: {e}",
-                path.display()
-            ))),
+        };
+        if loaded.shard.n() != current.n() {
+            return Err(self.record_reload_failure(format!(
+                "reload of shard {index} from {} rejected: n = {} but the serving set \
+                 has n = {} (a sharded artifact cannot change n shard-by-shard)",
+                path.display(),
+                loaded.shard.n(),
+                current.n()
+            )));
         }
+        let mut shards = current.shards().to_vec();
+        shards[index] = Arc::new(loaded.shard);
+        let router = match ShardRouter::assemble_rolling(shards.clone()) {
+            Ok(router) => router,
+            Err(e) => {
+                return Err(self.record_reload_failure(format!(
+                    "reload of shard {index} from {} rejected: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let mut shard_infos = current.shard_infos().to_vec();
+        shard_infos[index] = loaded.info.clone();
+        let info = set_info(&shards, router.set_uniform(), current.info().source.clone());
+        let backend: Box<dyn QueryBackend> = Box::new(router);
+        let next = Generation::with_shards(
+            backend,
+            info,
+            shards,
+            shard_infos,
+            self.cache_capacity.load(Ordering::Relaxed),
+        );
+        let n = next.n();
+        Ok(ReloadOutcome { info: loaded.info, n, reloads: self.install(next, &current, 1) })
     }
 
     /// [`AppState::reload_from`] against the configured default source;
-    /// this is what SIGHUP triggers in the `cc-serve` binary. In router
-    /// mode this reloads **every** shard from its own snapshot file,
-    /// validating each before any is swapped (all-or-nothing).
+    /// this is what SIGHUP triggers in the `cc-serve` binary. A manifest
+    /// source is **re-read** (mode, files, set id, cache capacity may all
+    /// change); a shard-file source rolls every shard all-or-nothing; a
+    /// snapshot source reloads the file.
     ///
     /// # Errors
     ///
-    /// As [`AppState::reload_from`], plus when no default source is
+    /// As the underlying reload, plus when no default source is
     /// configured.
     pub fn reload_default(&self) -> Result<ReloadOutcome, String> {
-        match &self.serving {
-            Serving::Mono { reload_path, .. } => match reload_path.clone() {
-                Some(path) => self.reload_from(&path),
-                None => Err(self.record_reload_failure(
-                    "no reload source configured: start with --snapshot or \
-                     pass an explicit path"
-                        .to_owned(),
-                )),
-            },
-            Serving::Sharded(_) => self.reload_all_shards(),
+        let Some(spec) = self.spec.clone() else {
+            return Err(self.record_reload_failure(
+                "no reload source configured: start with --manifest (or the deprecated \
+                 --snapshot/--shards), or pass an explicit path"
+                    .to_owned(),
+            ));
+        };
+        if let Some(manifest) = spec.manifest_path() {
+            self.reload_manifest(manifest)
+        } else if spec.is_sharded() {
+            self.reload_all_shards()
+        } else {
+            self.reload_from(spec.mono_path().expect("non-sharded spec has a mono path"))
         }
     }
 
-    /// Reloads every shard from its default path, all-or-nothing: the full
-    /// replacement set is loaded and validated as one consistent set
-    /// before the first swap, so a half-written rollout can never leave
-    /// the tier mixed by accident.
+    /// Re-reads the manifest at `path` and swaps in whatever it now names
+    /// — new files, a new expected set id, a new cache capacity, even a
+    /// different mode or `n`. All-or-nothing: any load or validation
+    /// failure (including a set-id mismatch) keeps the old generation
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// The first rejection reason; nothing was swapped.
+    pub fn reload_manifest(&self, path: &Path) -> Result<ReloadOutcome, String> {
+        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let current = self.handle.current();
+        let loaded = BackendSpec::from_manifest(path).and_then(|spec| {
+            let capacity = spec.cache_capacity;
+            Ok((spec.load()?, capacity))
+        });
+        match loaded {
+            Ok((loaded, capacity)) => {
+                let info = loaded.info.clone();
+                let n = loaded.n();
+                let swap_units = loaded.shards.len().max(1);
+                // A manifest-declared capacity becomes the default for
+                // every subsequent reload, not just this generation.
+                let capacity =
+                    capacity.unwrap_or_else(|| self.cache_capacity.load(Ordering::Relaxed));
+                self.cache_capacity.store(capacity, Ordering::Relaxed);
+                let next = Generation::from_loaded(loaded, capacity);
+                Ok(ReloadOutcome { info, n, reloads: self.install(next, &current, swap_units) })
+            }
+            Err(e) => Err(self.record_reload_failure(format!("manifest reload rejected: {e}"))),
+        }
+    }
+
+    /// Reloads every shard from the startup file set, all-or-nothing: the
+    /// full replacement set is loaded and validated as one consistent set
+    /// before the swap, so a half-written rollout can never leave the tier
+    /// mixed by accident.
     ///
     /// # Errors
     ///
     /// The first rejection reason; nothing was swapped.
     pub fn reload_all_shards(&self) -> Result<ReloadOutcome, String> {
         let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
-        let Serving::Sharded(tier) = &self.serving else {
+        let current = self.handle.current();
+        if !current.is_sharded() {
             return Err(self.record_reload_failure(
                 "this server is monolithic: use /reload without shard semantics".to_owned(),
             ));
-        };
-        let mut paths = Vec::with_capacity(tier.paths.len());
-        for (i, path) in tier.paths.iter().enumerate() {
-            match path {
-                Some(p) => paths.push(p.clone()),
-                None => {
-                    return Err(self.record_reload_failure(format!(
-                        "shard {i} has no snapshot file to reload from \
-                         (served from an in-process partition)"
-                    )))
-                }
-            }
         }
+        let Some(spec) = self.spec.as_ref().filter(|s| s.is_sharded()) else {
+            return Err(self.record_reload_failure(
+                "this shard set has no snapshot files to reload from \
+                 (served from an in-process partition)"
+                    .to_owned(),
+            ));
+        };
+        let paths: Vec<PathBuf> = (0..spec.shard_count())
+            .filter_map(|i| spec.shard_path(i).map(Path::to_path_buf))
+            .collect();
         match source::load_shard_set(&paths) {
-            Ok(loaded) if loaded[0].shard.n() != tier.plan.n() => {
+            Ok(loaded) if loaded[0].shard.n() != current.n() => {
                 Err(self.record_reload_failure(format!(
                     "full-set reload rejected: n = {} but the serving set has n = {} \
                      (restart to change the graph size)",
                     loaded[0].shard.n(),
-                    tier.plan.n()
+                    current.n()
                 )))
             }
             Ok(loaded) => {
-                let mut swaps = 0;
-                let info = loaded[0].info.clone();
-                let n = loaded[0].shard.n();
-                for (handle, shard) in tier.handles.iter().zip(loaded) {
-                    handle.swap(ShardGeneration::new(shard.shard, shard.info));
-                    swaps = self.record_reload_success();
+                let mut slices = Vec::with_capacity(loaded.len());
+                let mut infos = Vec::with_capacity(loaded.len());
+                for shard in loaded {
+                    slices.push(shard.shard);
+                    infos.push(shard.info);
                 }
-                Ok(ReloadOutcome { info, n, reloads: swaps })
+                let count = slices.len();
+                match LoadedBackend::sharded(slices, infos, spec.describe()) {
+                    Ok(loaded) => {
+                        let info = loaded.info.clone();
+                        let n = loaded.n();
+                        let next = Generation::from_loaded(
+                            loaded,
+                            self.cache_capacity.load(Ordering::Relaxed),
+                        );
+                        Ok(ReloadOutcome { info, n, reloads: self.install(next, &current, count) })
+                    }
+                    Err(e) => {
+                        Err(self.record_reload_failure(format!("full-set reload rejected: {e}")))
+                    }
+                }
             }
             Err(e) => Err(self.record_reload_failure(format!("full-set reload rejected: {e}"))),
         }
@@ -466,29 +548,15 @@ impl AppState {
         }
     }
 
-    fn try_query(&self, u: usize, v: usize) -> Result<Dist, OracleError> {
-        match &self.serving {
-            Serving::Mono { handle, .. } => handle.current().cached().try_query(u, v),
-            Serving::Sharded(tier) => tier.try_query(u, v),
-        }
-    }
-
-    fn try_query_batch(&self, pairs: &[(usize, usize)]) -> Result<Vec<Dist>, OracleError> {
-        match &self.serving {
-            Serving::Mono { handle, .. } => handle.current().cached().try_query_batch(pairs),
-            Serving::Sharded(tier) => tier.try_query_batch(pairs),
-        }
-    }
-
-    /// `GET /distance?u=&v=` — one pair, through the cached oracle
-    /// (monolithic) or the two owning shards (router).
+    /// `GET /distance?u=&v=` — one pair, through the current generation's
+    /// cached backend, whatever tier it is.
     fn distance(&self, req: &Request) -> Response {
         self.distance_requests.fetch_add(1, Ordering::Relaxed);
         let (u, v) = match (parse_id(req, "u"), parse_id(req, "v")) {
             (Ok(u), Ok(v)) => (u, v),
             (Err(resp), _) | (_, Err(resp)) => return resp,
         };
-        match self.try_query(u, v) {
+        match self.handle.current().cached().try_query(u, v) {
             Ok(d) => Response::json(
                 200,
                 format!(
@@ -532,7 +600,7 @@ impl AppState {
             }
         }
         self.batch_pairs.fetch_add(pairs.len() as u64, Ordering::Relaxed);
-        match self.try_query_batch(&pairs) {
+        match self.handle.current().cached().try_query_batch(&pairs) {
             Ok(answers) => {
                 let mut body = String::with_capacity(16 + answers.len() * 8);
                 body.push_str("{\"count\":");
@@ -552,20 +620,96 @@ impl AppState {
     }
 
     /// `POST /reload[?path=...][&shard=i]` — load, validate, and atomically
-    /// swap in a new snapshot. Monolithic mode swaps the whole artifact;
-    /// router mode swaps shard `i` (or, with no `shard` parameter, rolls
-    /// the full set from each shard's own file). A rejected snapshot
-    /// answers `400` and leaves the old generation(s) serving.
+    /// swap in a new snapshot. A monolithic generation swaps the whole
+    /// artifact; a sharded one swaps shard `i` (or, with no `shard`
+    /// parameter, rolls the full set from its manifest or startup files).
+    /// A rejected snapshot answers `400` and leaves the old generation
+    /// serving.
     fn reload(&self, req: &Request) -> Response {
         self.reload_requests.fetch_add(1, Ordering::Relaxed);
-        match &self.serving {
-            Serving::Mono { .. } => {
-                if req.param("shard").is_some() {
+        let generation = self.handle.current();
+        match req.param("shard") {
+            Some(_) if !generation.is_sharded() => Response::error_json(
+                400,
+                "this server is monolithic: /reload takes no 'shard' parameter",
+            ),
+            Some(raw) => {
+                let Ok(index) = raw.parse::<usize>() else {
                     return Response::error_json(
                         400,
-                        "this server is monolithic: /reload takes no 'shard' parameter",
+                        format!("parameter 'shard' must be a shard index, got '{raw}'"),
+                    );
+                };
+                // Bounds-check before resolving the path: an out-of-range
+                // index must name the real problem (and land in
+                // reload_failures for monitoring), not claim a missing
+                // default path.
+                if index >= generation.shards().len() {
+                    return Response::error_json(
+                        400,
+                        self.record_reload_failure(format!(
+                            "shard index {index} outside 0..{}",
+                            generation.shards().len()
+                        )),
                     );
                 }
+                let path = match req.param("path") {
+                    Some(p) if !p.is_empty() => PathBuf::from(p),
+                    // Each slice's default reload source is the file it
+                    // was last loaded from.
+                    _ => match &generation.shard_infos()[index] {
+                        info if info.source != "in-process" => PathBuf::from(&info.source),
+                        _ => {
+                            return Response::error_json(
+                                400,
+                                format!(
+                                    "shard {index} has no default snapshot file; \
+                                     pass /reload?shard={index}&path=FILE"
+                                ),
+                            )
+                        }
+                    },
+                };
+                match self.reload_shard_from(index, &path) {
+                    Ok(outcome) => Response::json(
+                        200,
+                        format!(
+                            "{{\"reloaded\":true,\"shard\":{index},\"snapshot\":{},\
+                             \"reloads\":{}}}",
+                            snapshot_json(&outcome.info),
+                            outcome.reloads,
+                        ),
+                    ),
+                    Err(msg) => Response::error_json(400, msg),
+                }
+            }
+            None if generation.is_sharded() => {
+                // A bare reload of a routed set always comes from the
+                // configured source; silently ignoring `path` here would
+                // answer 200 without deploying the named file.
+                if req.param("path").is_some_and(|p| !p.is_empty()) {
+                    return Response::error_json(
+                        400,
+                        "this server routes a shard set: a bare /reload rolls the \
+                         configured manifest/files; use /reload?shard=i&path=FILE \
+                         to roll one slice",
+                    );
+                }
+                match self.reload_default() {
+                    Ok(outcome) => Response::json(
+                        200,
+                        format!(
+                            "{{\"reloaded\":true,\"shards\":{},\"reloads\":{}}}",
+                            self.handle.current().shards().len(),
+                            outcome.reloads,
+                        ),
+                    ),
+                    // The serving process is healthy and still answering on
+                    // the old artifact — the *request* failed: 4xx, not 5xx.
+                    Err(msg) => Response::error_json(400, msg),
+                }
+            }
+            None => {
                 let outcome = match req.param("path") {
                     Some(p) if !p.is_empty() => self.reload_from(Path::new(p)),
                     _ => self.reload_default(),
@@ -580,83 +724,25 @@ impl AppState {
                             outcome.reloads,
                         ),
                     ),
-                    // The serving process is healthy and still answering on
-                    // the old artifact — the *request* failed: 4xx, not 5xx.
                     Err(msg) => Response::error_json(400, msg),
                 }
             }
-            Serving::Sharded(tier) => match req.param("shard") {
-                Some(raw) => {
-                    let Ok(index) = raw.parse::<usize>() else {
-                        return Response::error_json(
-                            400,
-                            format!("parameter 'shard' must be a shard index, got '{raw}'"),
-                        );
-                    };
-                    // Bounds-check before resolving the path: an
-                    // out-of-range index must name the real problem (and
-                    // land in reload_failures for monitoring), not claim a
-                    // missing default path.
-                    if index >= tier.handles.len() {
-                        return Response::error_json(
-                            400,
-                            self.record_reload_failure(format!(
-                                "shard index {index} outside 0..{}",
-                                tier.handles.len()
-                            )),
-                        );
-                    }
-                    let path = match req.param("path") {
-                        Some(p) if !p.is_empty() => PathBuf::from(p),
-                        _ => match tier.paths[index].clone() {
-                            Some(p) => p,
-                            None => {
-                                return Response::error_json(
-                                    400,
-                                    format!(
-                                        "shard {index} has no default snapshot file; \
-                                         pass /reload?shard={index}&path=FILE"
-                                    ),
-                                )
-                            }
-                        },
-                    };
-                    match self.reload_shard_from(index, &path) {
-                        Ok(outcome) => Response::json(
-                            200,
-                            format!(
-                                "{{\"reloaded\":true,\"shard\":{index},\"snapshot\":{},\
-                                 \"reloads\":{}}}",
-                                snapshot_json(&outcome.info),
-                                outcome.reloads,
-                            ),
-                        ),
-                        Err(msg) => Response::error_json(400, msg),
-                    }
-                }
-                None => match self.reload_all_shards() {
-                    Ok(outcome) => Response::json(
-                        200,
-                        format!(
-                            "{{\"reloaded\":true,\"shards\":{},\"reloads\":{}}}",
-                            tier.handles.len(),
-                            outcome.reloads,
-                        ),
-                    ),
-                    Err(msg) => Response::error_json(400, msg),
-                },
-            },
         }
     }
 
-    /// `GET /stats` — request counters plus the per-tier serving state:
-    /// cache effectiveness and the active snapshot (monolithic), or the
-    /// per-shard build ids and whether the set is uniform (router).
+    /// `GET /stats` — request counters plus what the current generation
+    /// says about itself: tier, snapshot identities, cache effectiveness
+    /// (including the keys warmed into it at the last reload), and the
+    /// reload history. One rendering for every tier, driven by
+    /// [`cc_oracle::BackendDescriptor`].
     fn stats(&self) -> Response {
+        let generation = self.handle.current();
+        let desc = generation.descriptor();
+        let cache = desc.cache.expect("generations are always cache-fronted");
         let common = format!(
             "\"requests\":{},\"distance_requests\":{},\"batch_requests\":{},\
              \"batch_pairs\":{},\"client_errors\":{},\"load_shed\":{},\
-             \"uptime_secs\":{:.3}",
+             \"uptime_secs\":{:.3},\"deprecations\":{}",
             self.requests.load(Ordering::Relaxed),
             self.distance_requests.load(Ordering::Relaxed),
             self.batch_requests.load(Ordering::Relaxed),
@@ -664,6 +750,9 @@ impl AppState {
             self.client_errors.load(Ordering::Relaxed),
             self.load_shed.load(Ordering::Relaxed),
             self.started.elapsed().as_secs_f64(),
+            self.deprecations
+                .as_ref()
+                .map_or("null".to_owned(), |d| format!("\"{}\"", json_escape(d))),
         );
         let reload_block = format!(
             "\"reload_requests\":{},\"reloads\":{},\"reload_failures\":{},\
@@ -677,120 +766,96 @@ impl AppState {
                 .as_ref()
                 .map_or("null".to_owned(), |e| format!("\"{}\"", json_escape(e))),
         );
-        match &self.serving {
-            Serving::Mono { handle, .. } => {
-                let generation = handle.current();
-                let cache = generation.cached().stats();
-                Response::json(
-                    200,
-                    format!(
-                        "{{{common},\"mode\":\"mono\",\"snapshot\":{},{reload_block},\
-                         \"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\
-                         \"len\":{},\"capacity\":{}}}}}",
-                        snapshot_json(generation.info()),
-                        cache.hits,
-                        cache.misses,
-                        cache.hit_rate(),
-                        cache.len,
-                        cache.capacity,
-                    ),
-                )
-            }
-            Serving::Sharded(tier) => {
-                let generations = tier.generations();
-                let set_uniform =
-                    generations.windows(2).all(|w| w[0].shard().set_id() == w[1].shard().set_id());
-                let shards: Vec<String> = generations
-                    .iter()
-                    .map(|g| {
-                        format!(
-                            "{{\"index\":{},\"set_build_id\":\"{:016x}\",\"snapshot\":{}}}",
-                            g.shard().index(),
-                            g.shard().set_id(),
-                            snapshot_json(g.info()),
-                        )
-                    })
-                    .collect();
-                Response::json(
-                    200,
-                    format!(
-                        "{{{common},\"mode\":\"router\",\"shard_count\":{},\
-                         \"set_uniform\":{set_uniform},\"shards\":[{}],{reload_block}}}",
-                        generations.len(),
-                        shards.join(","),
-                    ),
-                )
-            }
-        }
+        let cache_block = format!(
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\
+             \"len\":{},\"capacity\":{},\"warmed_keys\":{}}}",
+            cache.hits,
+            cache.misses,
+            cache.hit_rate(),
+            cache.len,
+            cache.capacity,
+            generation.warmed_keys(),
+        );
+        let tier = tier_json(&generation, &desc);
+        Response::json(200, format!("{{{common},{tier},{reload_block},{cache_block}}}"))
     }
 
     /// `GET /artifact` — what is being served, where it came from, and its
-    /// guarantee; per-shard identities in router mode.
+    /// guarantee; per-shard identities for a routed set. Driven entirely by
+    /// [`cc_oracle::BackendDescriptor`].
     fn artifact(&self) -> Response {
-        match &self.serving {
-            Serving::Mono { handle, .. } => {
-                let generation = handle.current();
-                let o = generation.oracle();
-                Response::json(
-                    200,
+        let generation = self.handle.current();
+        let desc = generation.descriptor();
+        let common = format!(
+            "\"n\":{},\"k\":{},\"epsilon\":{},\"landmarks\":{},\"artifact_bytes\":{},\
+             \"stretch_bound\":{},\"build_rounds\":{},\"seed\":{}",
+            desc.n,
+            desc.k,
+            desc.epsilon,
+            desc.landmark_count,
+            desc.artifact_bytes,
+            desc.stretch_bound,
+            desc.build_rounds,
+            desc.seed,
+        );
+        let tier = if desc.shards.is_empty() {
+            format!("\"mode\":\"{}\",\"snapshot\":{}", desc.mode, snapshot_json(generation.info()))
+        } else {
+            let shards: Vec<String> = desc
+                .shards
+                .iter()
+                .zip(generation.shard_infos())
+                .map(|(s, info)| {
                     format!(
-                        "{{\"mode\":\"mono\",\"n\":{},\"k\":{},\"epsilon\":{},\"landmarks\":{},\
-                         \"artifact_bytes\":{},\"stretch_bound\":{},\"build_rounds\":{},\
-                         \"seed\":{},\"snapshot\":{},\"reloads\":{}}}",
-                        o.n(),
-                        o.k(),
-                        o.epsilon(),
-                        o.landmarks().len(),
-                        o.artifact_bytes(),
-                        o.stretch_bound(),
-                        o.build_rounds(),
-                        o.seed(),
-                        snapshot_json(generation.info()),
-                        self.reloads(),
-                    ),
+                        "{{\"index\":{},\"owned_start\":{},\"owned_len\":{},\
+                         \"artifact_bytes\":{},\"set_build_id\":\"{:016x}\",\"snapshot\":{}}}",
+                        s.index,
+                        s.owned_start,
+                        s.owned_len,
+                        s.artifact_bytes,
+                        s.set_id,
+                        snapshot_json(info),
+                    )
+                })
+                .collect();
+            format!(
+                "\"mode\":\"{}\",\"shard_count\":{},\"set_uniform\":{},\"shards\":[{}]",
+                desc.mode,
+                desc.shards.len(),
+                desc.set_uniform(),
+                shards.join(","),
+            )
+        };
+        Response::json(200, format!("{{{tier},{common},\"reloads\":{}}}", self.reloads()))
+    }
+}
+
+/// The tier-specific `/stats` fragment: the active snapshot for a
+/// monolith, the per-shard identities + uniformity for a routed set.
+fn tier_json(generation: &Generation, desc: &cc_oracle::BackendDescriptor) -> String {
+    if desc.shards.is_empty() {
+        format!("\"mode\":\"{}\",\"snapshot\":{}", desc.mode, snapshot_json(generation.info()))
+    } else {
+        let shards: Vec<String> = desc
+            .shards
+            .iter()
+            .zip(generation.shard_infos())
+            .map(|(s, info)| {
+                format!(
+                    "{{\"index\":{},\"set_build_id\":\"{:016x}\",\"snapshot\":{}}}",
+                    s.index,
+                    s.set_id,
+                    snapshot_json(info),
                 )
-            }
-            Serving::Sharded(tier) => {
-                let generations = tier.generations();
-                let first = generations[0].shard();
-                let total_bytes: usize =
-                    generations.iter().map(|g| g.shard().artifact_bytes()).sum();
-                let shards: Vec<String> = generations
-                    .iter()
-                    .map(|g| {
-                        let s = g.shard();
-                        format!(
-                            "{{\"index\":{},\"owned_start\":{},\"owned_len\":{},\
-                             \"artifact_bytes\":{},\"set_build_id\":\"{:016x}\",\
-                             \"snapshot\":{}}}",
-                            s.index(),
-                            s.owned().start,
-                            s.owned().len(),
-                            s.artifact_bytes(),
-                            s.set_id(),
-                            snapshot_json(g.info()),
-                        )
-                    })
-                    .collect();
-                Response::json(
-                    200,
-                    format!(
-                        "{{\"mode\":\"router\",\"n\":{},\"k\":{},\"epsilon\":{},\
-                         \"landmarks\":{},\"shard_count\":{},\"artifact_bytes\":{},\
-                         \"stretch_bound\":{},\"shards\":[{}],\"reloads\":{}}}",
-                        first.n(),
-                        first.k(),
-                        first.epsilon(),
-                        first.landmarks().len(),
-                        generations.len(),
-                        total_bytes,
-                        first.stretch_bound(),
-                        shards.join(","),
-                        self.reloads(),
-                    ),
-                )
-            }
-        }
+            })
+            .collect();
+        format!(
+            "\"mode\":\"{}\",\"shard_count\":{},\"set_uniform\":{},\"shards\":[{}]",
+            desc.mode,
+            desc.shards.len(),
+            desc.set_uniform(),
+            shards.join(","),
+        )
     }
 }
 
@@ -840,7 +905,7 @@ mod tests {
     fn sharded_state(n: usize, seed: u64, count: usize) -> (DistanceOracle, AppState) {
         let o = oracle(n, seed);
         let shards = ShardedArtifact::partition(&o, count).unwrap().into_shards();
-        (o, AppState::with_in_process_shards(shards).unwrap())
+        (o, AppState::with_in_process_shards(shards, 256).unwrap())
     }
 
     fn get(path: &str, query: &[(&str, &str)]) -> Request {
@@ -869,10 +934,11 @@ mod tests {
 
     #[test]
     fn distance_answers_match_the_oracle() {
-        let s = state();
+        let want = oracle(24, 9);
+        let s = AppState::new(oracle(24, 9), 256);
         let resp = s.handle(&get("/distance", &[("u", "0"), ("v", "5")]));
         assert_eq!(resp.status, 200);
-        let expected = s.generation().oracle().query(0, 5).value().unwrap();
+        let expected = want.try_query(0, 5).unwrap().value().unwrap();
         assert!(
             body_str(&resp).contains(&format!("\"distance\":{expected}")),
             "body: {}",
@@ -916,11 +982,12 @@ mod tests {
     }
 
     #[test]
-    fn batch_routes_through_query_batch_and_validates_lines() {
-        let s = state();
+    fn batch_routes_through_the_backend_and_validates_lines() {
+        let want = oracle(24, 9);
+        let s = AppState::new(oracle(24, 9), 256);
         let resp = s.handle(&post("/batch", b"0 1\n2,3\n\n  4   5  \n"));
         assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
-        let expected = s.generation().oracle().query_batch(&[(0, 1), (2, 3), (4, 5)]);
+        let expected = want.try_query_batch(&[(0, 1), (2, 3), (4, 5)]).unwrap();
         let distances: Vec<String> =
             expected.iter().map(|d| d.value().map_or("null".into(), |x| x.to_string())).collect();
         assert_eq!(
@@ -949,6 +1016,8 @@ mod tests {
         assert!(body.contains("\"mode\":\"mono\""), "body: {body}");
         assert!(body.contains("\"hits\":1"), "body: {body}");
         assert!(body.contains("\"misses\":1"), "body: {body}");
+        assert!(body.contains("\"warmed_keys\":0"), "body: {body}");
+        assert!(body.contains("\"deprecations\":null"), "body: {body}");
 
         let artifact = s.handle(&get("/artifact", &[]));
         assert_eq!(artifact.status, 200);
@@ -964,6 +1033,17 @@ mod tests {
             assert!(text.contains("\"version\":2"), "body: {text}");
             assert!(text.contains("\"source\":\"in-process\""), "body: {text}");
         }
+    }
+
+    #[test]
+    fn deprecation_note_is_surfaced_in_stats() {
+        let mut s = state();
+        s.set_deprecations(Some("--snapshot is deprecated; use --manifest".to_owned()));
+        let body = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+        assert!(
+            body.contains("\"deprecations\":\"--snapshot is deprecated; use --manifest\""),
+            "body: {body}"
+        );
     }
 
     fn temp_snapshot_dir(name: &str) -> std::path::PathBuf {
@@ -998,8 +1078,48 @@ mod tests {
         assert_eq!(s.reloads(), 1);
         // Served answers now come from the new artifact.
         let resp = s.handle(&get("/distance", &[("u", "0"), ("v", "5")]));
-        let want = next.query(0, 5).value().unwrap();
+        let want = next.try_query(0, 5).unwrap().value().unwrap();
         assert!(body_str(&resp).contains(&format!("\"distance\":{want}")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reload_warms_the_new_cache_from_the_old_one() {
+        let s = state();
+        // Heat up some pairs on the serving generation.
+        let hot = [(0usize, 5usize), (1, 7), (2, 9), (3, 11)];
+        for &(u, v) in &hot {
+            s.handle(&get("/distance", &[("u", &u.to_string()), ("v", &v.to_string())]));
+        }
+        let resident = s.generation().descriptor().cache.unwrap().len;
+        assert_eq!(resident, hot.len());
+
+        let next = oracle(24, 77);
+        let path = temp_snapshot_dir("warm").join("next.snap");
+        std::fs::write(&path, cc_oracle::serde::to_bytes(&next)).unwrap();
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![("path".to_owned(), path.display().to_string())],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        assert_eq!(s.handle(&req).status, 200);
+
+        // The new generation starts with the hot keys resident...
+        let generation = s.generation();
+        assert_eq!(generation.warmed_keys(), hot.len() as u64);
+        assert_eq!(generation.descriptor().cache.unwrap().len, hot.len());
+        // ...reported in /stats...
+        let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+        assert!(stats.contains(&format!("\"warmed_keys\":{}", hot.len())), "stats: {stats}");
+        // ...and re-asking a hot pair hits immediately with the NEW
+        // artifact's answer.
+        let misses_before = s.generation().descriptor().cache.unwrap().misses;
+        let resp = s.handle(&get("/distance", &[("u", "0"), ("v", "5")]));
+        let want = next.try_query(0, 5).unwrap().value().unwrap();
+        assert!(body_str(&resp).contains(&format!("\"distance\":{want}")));
+        assert_eq!(s.generation().descriptor().cache.unwrap().misses, misses_before);
         std::fs::remove_file(&path).ok();
     }
 
@@ -1007,7 +1127,7 @@ mod tests {
     fn failed_reload_is_400_keeps_old_artifact_and_surfaces_in_stats() {
         let s = state();
         let before = s.generation().info().build_id.clone();
-        let answer_before = s.generation().oracle().query(1, 2);
+        let answer_before = s.generation().cached().try_query(1, 2).unwrap();
 
         let path = temp_snapshot_dir("corrupt").join("bad.snap");
         std::fs::write(&path, b"these are not oracle bytes").unwrap();
@@ -1023,7 +1143,7 @@ mod tests {
 
         // Old generation untouched, error visible in /stats.
         assert_eq!(s.generation().info().build_id, before);
-        assert_eq!(s.generation().oracle().query(1, 2), answer_before);
+        assert_eq!(s.generation().cached().try_query(1, 2).unwrap(), answer_before);
         assert_eq!((s.reloads(), s.reload_failures()), (0, 1));
         let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
         assert!(stats.contains("\"reload_failures\":1"), "stats: {stats}");
@@ -1055,7 +1175,8 @@ mod tests {
         for (u, v) in [(0usize, 24usize), (24, 0), (5, 5), (0, 8), (9, 17), (12, 13)] {
             let resp = s.handle(&get("/distance", &[("u", &u.to_string()), ("v", &v.to_string())]));
             assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
-            let want = mono.query(u, v).value().map_or("null".to_owned(), |x| x.to_string());
+            let want =
+                mono.try_query(u, v).unwrap().value().map_or("null".to_owned(), |x| x.to_string());
             assert!(
                 body_str(&resp).contains(&format!("\"distance\":{want}")),
                 "pair ({u},{v}): body {}",
@@ -1066,7 +1187,8 @@ mod tests {
         let resp = s.handle(&post("/batch", b"0 1\n0 24\n20 4\n12 12\n"));
         assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
         let want: Vec<String> = mono
-            .query_batch(&[(0, 1), (0, 24), (20, 4), (12, 12)])
+            .try_query_batch(&[(0, 1), (0, 24), (20, 4), (12, 12)])
+            .unwrap()
             .iter()
             .map(|d| d.value().map_or("null".into(), |x| x.to_string()))
             .collect();
@@ -1077,13 +1199,17 @@ mod tests {
     }
 
     #[test]
-    fn sharded_stats_and_artifact_report_per_shard_identities() {
+    fn sharded_stats_and_artifact_report_per_shard_identities_and_a_cache() {
         let (mono, s) = sharded_state(25, 3, 3);
+        // Repeat a pair: the router-level cache must hit.
+        s.handle(&get("/distance", &[("u", "0"), ("v", "24")]));
+        s.handle(&get("/distance", &[("u", "0"), ("v", "24")]));
         let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
         assert!(stats.contains("\"mode\":\"router\""), "stats: {stats}");
         assert!(stats.contains("\"shard_count\":3"), "stats: {stats}");
         assert!(stats.contains("\"set_uniform\":true"), "stats: {stats}");
         assert!(stats.contains("\"index\":2"), "stats: {stats}");
+        assert!(stats.contains("\"hits\":1"), "router cache must count hits: {stats}");
         let set_id = format!("{:016x}", cc_oracle::serde::payload_checksum(&mono));
         assert!(stats.contains(&set_id), "stats must carry the set id: {stats}");
 
@@ -1104,9 +1230,9 @@ mod tests {
         let dir = temp_snapshot_dir("shard-reload");
         let paths = source::write_shard_snapshots(&mono, 3, &dir).unwrap();
 
-        // Reload shard 1 from an explicit path: only its generation moves.
+        // Reload shard 1 from an explicit path: only its identity moves.
         let before: Vec<String> =
-            s.shard_generations().iter().map(|g| g.info().source.clone()).collect();
+            s.generation().shard_infos().iter().map(|i| i.source.clone()).collect();
         let req = Request {
             method: "POST".into(),
             path: "/reload".into(),
@@ -1121,11 +1247,23 @@ mod tests {
         assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
         assert!(body_str(&resp).contains("\"shard\":1"));
         let after: Vec<String> =
-            s.shard_generations().iter().map(|g| g.info().source.clone()).collect();
+            s.generation().shard_infos().iter().map(|i| i.source.clone()).collect();
         assert_eq!(after[0], before[0]);
         assert_ne!(after[1], before[1]);
         assert_eq!(after[2], before[2]);
         assert_eq!(s.reloads(), 1);
+
+        // Having been loaded from a file once, shard 1 now has a default
+        // reload source: /reload?shard=1 without a path works.
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![("shard".to_owned(), "1".to_owned())],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        assert_eq!(s.handle(&req).status, 200);
+        assert_eq!(s.reloads(), 2);
 
         // Shard 0's file into slot 2: index mismatch, 400, nothing swapped.
         let req = Request {
@@ -1158,7 +1296,7 @@ mod tests {
         // Queries still answer identically to the monolith afterwards.
         for (u, v) in [(0usize, 24usize), (10, 3)] {
             let resp = s.handle(&get("/distance", &[("u", &u.to_string()), ("v", &v.to_string())]));
-            let want = mono.query(u, v).value().unwrap();
+            let want = mono.try_query(u, v).unwrap().value().unwrap();
             assert!(body_str(&resp).contains(&format!("\"distance\":{want}")));
         }
         for p in paths {
@@ -1180,10 +1318,153 @@ mod tests {
         assert_eq!(resp.status, 400);
         assert!(body_str(&resp).contains("no 'shard' parameter"), "body: {}", body_str(&resp));
 
-        // In-process sharded state has no files: a bare /reload explains.
+        // In-process sharded state has no files: a shard reload without a
+        // path explains, and a bare /reload names the missing source.
         let (_, sharded) = sharded_state(25, 3, 2);
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![("shard".to_owned(), "0".to_owned())],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        let resp = sharded.handle(&req);
+        assert_eq!(resp.status, 400);
+        assert!(body_str(&resp).contains("no default snapshot file"), "body: {}", body_str(&resp));
         let resp = sharded.handle(&post("/reload", b""));
         assert_eq!(resp.status, 400);
-        assert!(body_str(&resp).contains("no snapshot file"), "body: {}", body_str(&resp));
+        assert!(body_str(&resp).contains("no reload source"), "body: {}", body_str(&resp));
+    }
+
+    #[test]
+    fn manifest_reload_can_change_mode_and_capacity() {
+        // Start monolithic from a manifest, then edit the manifest to a
+        // 2-shard set of a different build: one bare /reload moves the
+        // server across modes atomically.
+        let dir = temp_snapshot_dir("manifest-reload");
+        let mono = oracle(20, 9);
+        let snap = dir.join("mono.snap");
+        std::fs::write(&snap, cc_oracle::serde::to_bytes(&mono)).unwrap();
+        let manifest = dir.join("set.toml");
+        std::fs::write(&manifest, "mode = \"mono\"\nsnapshot = \"mono.snap\"\n").unwrap();
+
+        let spec = BackendSpec::from_manifest(&manifest).unwrap();
+        let s = AppState::from_spec(spec, 256).unwrap();
+        assert!(!s.is_sharded());
+
+        let next = oracle(20, 31);
+        source::write_shard_snapshots(&next, 2, &dir).unwrap();
+        std::fs::write(
+            &manifest,
+            format!(
+                "mode = \"sharded\"\nshards = [\"shard-0.snap\", \"shard-1.snap\"]\n\
+                 set_id = \"{:016x}\"\ncache_capacity = 64\n",
+                cc_oracle::serde::payload_checksum(&next)
+            ),
+        )
+        .unwrap();
+        let resp = s.handle(&post("/reload", b""));
+        assert_eq!(resp.status, 200, "body: {}", body_str(&resp));
+        assert!(s.is_sharded());
+        assert_eq!(s.reloads(), 2, "a 2-shard roll books two swaps");
+        let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+        assert!(stats.contains("\"mode\":\"router\""), "stats: {stats}");
+        assert!(stats.contains("\"capacity\":64"), "manifest capacity must apply: {stats}");
+
+        // A manifest-declared capacity is the new default: a later
+        // single-shard reload must not silently revert it.
+        let shard_path = dir.join("shard-0.snap");
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![
+                ("shard".to_owned(), "0".to_owned()),
+                ("path".to_owned(), shard_path.display().to_string()),
+            ],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        assert_eq!(s.handle(&req).status, 200);
+        let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+        assert!(
+            stats.contains("\"capacity\":64"),
+            "manifest capacity must survive a shard reload: {stats}"
+        );
+
+        // A bare /reload with a path parameter on a routed set is a 400,
+        // not a silent reload of the default source.
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![("path".to_owned(), shard_path.display().to_string())],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 400, "body: {}", body_str(&resp));
+        assert!(body_str(&resp).contains("shard=i&path="), "body: {}", body_str(&resp));
+
+        // A wrong set id in the manifest is a rejected reload, old set
+        // keeps serving.
+        std::fs::write(
+            &manifest,
+            "mode = \"sharded\"\nshards = [\"shard-0.snap\", \"shard-1.snap\"]\n\
+             set_id = \"00000000deadbeef\"\n",
+        )
+        .unwrap();
+        let resp = s.handle(&post("/reload", b""));
+        assert_eq!(resp.status, 400, "body: {}", body_str(&resp));
+        assert!(body_str(&resp).contains("expects set_id"), "body: {}", body_str(&resp));
+        assert!(s.is_sharded());
+        assert_eq!(s.reload_failures(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explicit_path_reload_respects_the_manifest_set_id_pin() {
+        let dir = temp_snapshot_dir("pin");
+        let pinned = oracle(20, 9);
+        let snap = dir.join("pinned.snap");
+        std::fs::write(&snap, cc_oracle::serde::to_bytes(&pinned)).unwrap();
+        let manifest = dir.join("mono.toml");
+        std::fs::write(
+            &manifest,
+            format!(
+                "mode = \"mono\"\nsnapshot = \"pinned.snap\"\nset_id = \"{:016x}\"\n",
+                cc_oracle::serde::payload_checksum(&pinned)
+            ),
+        )
+        .unwrap();
+        let s = AppState::from_spec(BackendSpec::from_manifest(&manifest).unwrap(), 256).unwrap();
+
+        // An explicit-path reload naming a different build is rejected by
+        // the pin; the pinned artifact keeps serving.
+        let other = oracle(20, 31);
+        let other_path = dir.join("other.snap");
+        std::fs::write(&other_path, cc_oracle::serde::to_bytes(&other)).unwrap();
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![("path".to_owned(), other_path.display().to_string())],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 400, "body: {}", body_str(&resp));
+        assert!(body_str(&resp).contains("pinned set_id"), "body: {}", body_str(&resp));
+        assert_eq!(s.reload_failures(), 1);
+        let expected = format!("{:016x}", cc_oracle::serde::payload_checksum(&pinned));
+        assert_eq!(s.generation().info().build_id, expected);
+
+        // The pinned build itself reloads fine by explicit path too.
+        let req = Request {
+            method: "POST".into(),
+            path: "/reload".into(),
+            query: vec![("path".to_owned(), snap.display().to_string())],
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        assert_eq!(s.handle(&req).status, 200);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

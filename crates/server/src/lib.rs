@@ -7,6 +7,22 @@
 //! or from a versioned [`cc_oracle::serde`] snapshot file — and serves it
 //! over HTTP/1.1 on `std::net`.
 //!
+//! The entire data plane is written once against
+//! [`cc_oracle::QueryBackend`]: one hot-swappable [`Generation`] holds a
+//! `Box<dyn QueryBackend>` — a monolithic oracle or a
+//! [`cc_oracle::ShardRouter`] over a sharded artifact (`docs/SHARDING.md`)
+//! — behind a generic [`cc_oracle::CachingOracle`], so **every tier gets
+//! the same result cache** and no endpoint branches on what it is
+//! serving. The contract and how to add a backend are documented in
+//! `docs/BACKENDS.md`.
+//!
+//! What to serve is declared by a [`source::BackendSpec`] — preferably a
+//! **manifest file** (`--manifest set.toml`) naming the mode, artifact
+//! files, expected set id (a startup gate against serving the wrong
+//! build), and cache capacity. The `--snapshot` / `--shards` flags remain
+//! as deprecated shorthands for one release and surface a note in
+//! `/stats`.
+//!
 //! The artifact is **hot-swappable under traffic**: it lives behind a
 //! [`ReloadHandle`], and `POST /reload` (or `SIGHUP` to the `cc-serve`
 //! binary) loads + validates a new snapshot off the request path and
@@ -14,18 +30,21 @@
 //! [`Generation`], a snapshot that fails validation (bad magic/version/
 //! checksum, see `docs/SNAPSHOT_FORMAT.md`) changes nothing, and both
 //! `/stats` and `/artifact` report the active artifact's [`SnapshotInfo`]
-//! (format version, build id, source) plus the reload history. The
-//! operator's handbook is `docs/OPERATIONS.md`.
+//! (format version, build id, source) plus the reload history. On every
+//! successful swap the hottest keys of the outgoing cache are **replayed
+//! against the new artifact** ([`Generation::warmed_from`]), so the hit
+//! rate survives the reload; `/stats` reports the count as
+//! `warmed_keys`. A manifest server re-reads its manifest on every bare
+//! `/reload`, so a rollout is "update files + manifest, poke the
+//! endpoint". The operator's handbook is `docs/OPERATIONS.md`.
 //!
-//! With `--shards` the same binary runs as the **router tier** over a
-//! sharded artifact (`docs/SHARDING.md`): each per-shard snapshot loads
-//! behind its own `ReloadHandle<ShardGeneration>`, `/distance` and
-//! `/batch` combine the two owning shards' half-results **bit-identically
-//! to the monolithic oracle**, `/reload?shard=i` rolls one slice at a
-//! time, and `/stats` reports per-shard build ids plus whether the set is
-//! uniform. Startup strictly validates the set (matching `n`/`k`/`ε`/
-//! landmarks/set id, every shard in its declared slot), so a mixed or
-//! mis-slotted set never serves.
+//! In router mode `/distance` and `/batch` combine the two owning shards'
+//! half-results **bit-identically to the monolithic oracle**,
+//! `/reload?shard=i` rolls one slice at a time (sharing the rest), and
+//! `/stats` reports per-shard build ids plus whether the set is uniform.
+//! Startup strictly validates the set (matching `n`/`k`/`ε`/landmarks/
+//! set id, every shard in its declared slot), so a mixed or mis-slotted
+//! set never serves.
 //!
 //! The build image has no tokio/hyper, so the transport is deliberately
 //! simple and fully owned: a non-blocking accept loop feeding a **bounded
@@ -83,7 +102,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let oracle = cc_server::source::build_demo(32, 7, 0.25)?;
-//! let expected = oracle.query(0, 31);
+//! let expected = oracle.try_query(0, 31)?;
 //! let handle = Server::start(&ServerConfig::default(), oracle)?;
 //! let mut client = BlockingClient::connect(handle.addr())?;
 //! let (status, body) = client.get("/distance?u=0&v=31")?;
@@ -107,5 +126,6 @@ pub mod source;
 
 pub use config::ServerConfig;
 pub use handlers::{AppState, ReloadOutcome};
-pub use reload::{Generation, ReloadHandle, ShardGeneration, SnapshotInfo};
+pub use reload::{Generation, ReloadHandle, SnapshotInfo, WARM_KEYS};
 pub use server::{BlockingClient, Server, ServerHandle};
+pub use source::{BackendSpec, LoadedBackend};

@@ -2,12 +2,13 @@
 //! monolithically, or as the router tier over a sharded artifact set.
 //!
 //! ```text
-//! cc-serve --snapshot FILE [--addr HOST:PORT] [--workers N] [--cache N]
-//! cc-serve --shards A.snap,B.snap,...          # router mode over a shard set
+//! cc-serve --manifest SET.toml [--addr HOST:PORT] [--workers N]
 //! cc-serve --demo N [--seed S] [--epsilon E] [--addr HOST:PORT] ...
 //! cc-serve --demo N --write-snapshot FILE      # write a fixture and exit
 //! cc-serve --demo N --shard-count K --write-shards DIR
 //!                                              # write a K-shard fixture set
+//! cc-serve --snapshot FILE                     # deprecated: use --manifest
+//! cc-serve --shards A.snap,B.snap,...          # deprecated: use --manifest
 //! ```
 //!
 //! A running server hot-swaps its artifact without restarting: `POST
@@ -71,9 +72,9 @@ const USAGE: &str = "\
 cc-serve: HTTP front-end for a congested-clique distance oracle
 
 USAGE:
-    cc-serve --snapshot FILE [OPTIONS]     serve an oracle snapshot file
-    cc-serve --shards A,B,...  [OPTIONS]   route over a per-shard snapshot set
-                                           (file i must hold shard i)
+    cc-serve --manifest FILE [OPTIONS]     serve the artifact a manifest declares
+                                           (mode, snapshot/shard files, expected
+                                           set id, cache capacity)
     cc-serve --demo N [OPTIONS]            build an n-node demo oracle, then serve it
     cc-serve --demo N --write-snapshot FILE
                                            build the demo, write the snapshot, exit
@@ -81,10 +82,16 @@ USAGE:
                                            build the demo, write DIR/shard-<i>.snap
                                            for i in 0..K, exit
 
+DEPRECATED (one release; see docs/OPERATIONS.md for the manifest migration):
+    cc-serve --snapshot FILE [OPTIONS]     serve an oracle snapshot file
+    cc-serve --shards A,B,...  [OPTIONS]   route over a per-shard snapshot set
+                                           (file i must hold shard i)
+
 OPTIONS:
     --addr HOST:PORT    bind address (default 127.0.0.1:8317; port 0 = ephemeral)
     --workers N         worker threads (default: CPU count, capped at 16)
-    --cache N           LRU result-cache capacity (default 4096; monolithic only)
+    --cache N           LRU result-cache capacity (default 4096, 0 disables;
+                        a manifest's cache_capacity takes precedence)
     --seed S            demo build seed (default 7)
     --epsilon E         demo build accuracy, stretch is 3(1+E) (default 0.25)
     --write-snapshot F  write the oracle to F and exit without serving
@@ -93,14 +100,15 @@ OPTIONS:
     --help              this text
 
 HOT RELOAD:
-    POST /reload        re-read the --snapshot file (or /reload?path=FILE),
-                        validate it, and swap it in atomically under traffic;
-                        in router mode, /reload?shard=i swaps one shard and a
-                        bare /reload rolls the full set from its files
+    POST /reload        re-read the manifest (or the --snapshot file, or
+                        /reload?path=FILE), validate, and swap atomically under
+                        traffic; in router mode /reload?shard=i swaps one shard
+                        and a bare /reload rolls the full set
     SIGHUP              same as a bare POST /reload
 ";
 
 struct Args {
+    manifest: Option<PathBuf>,
     snapshot: Option<PathBuf>,
     shards: Vec<PathBuf>,
     demo: Option<usize>,
@@ -116,6 +124,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        manifest: None,
         snapshot: None,
         shards: Vec::new(),
         demo: None,
@@ -134,6 +143,7 @@ fn parse_args() -> Result<Args, String> {
             it.next().ok_or_else(|| format!("{flag} needs a {what}"))
         };
         match flag.as_str() {
+            "--manifest" => args.manifest = Some(PathBuf::from(value("file path")?)),
             "--snapshot" => args.snapshot = Some(PathBuf::from(value("file path")?)),
             "--shards" => {
                 args.shards = value("comma-separated file list")?
@@ -173,16 +183,21 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    let sources = usize::from(args.snapshot.is_some())
+    let sources = usize::from(args.manifest.is_some())
+        + usize::from(args.snapshot.is_some())
         + usize::from(args.demo.is_some())
         + usize::from(!args.shards.is_empty());
     if sources != 1 {
-        return Err("exactly one of --snapshot, --shards, or --demo is required".to_owned());
+        return Err("exactly one of --manifest, --demo, or the deprecated --snapshot/--shards \
+             is required"
+            .to_owned());
     }
-    if !args.shards.is_empty() && (args.write_snapshot.is_some() || args.write_shards.is_some()) {
-        return Err(
-            "--write-snapshot/--write-shards need --demo or --snapshot, not --shards".to_owned()
-        );
+    if (!args.shards.is_empty() || args.manifest.is_some())
+        && (args.write_snapshot.is_some() || args.write_shards.is_some())
+    {
+        return Err("--write-snapshot/--write-shards need --demo or --snapshot, not \
+             --shards/--manifest"
+            .to_owned());
     }
     Ok(args)
 }
@@ -205,8 +220,47 @@ fn main() -> ExitCode {
         config = config.with_workers(workers);
     }
 
-    // Router mode: load + validate the full shard set, then serve it.
+    // Manifest mode: the declarative path — mode, files, expected set id,
+    // and cache capacity all come from the manifest, which is also
+    // re-read on every bare /reload or SIGHUP.
+    if let Some(manifest) = &args.manifest {
+        let spec = match cc_server::BackendSpec::from_manifest(manifest) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("loading {}", spec.describe());
+        return match Server::start_from_spec(&config, spec) {
+            Ok(handle) => {
+                let generation = handle.state().generation();
+                let desc = generation.descriptor();
+                // CI and scripts wait for this exact line on stdout.
+                println!(
+                    "cc-serve listening on http://{} (manifest, mode={}, n={}, {} KiB)",
+                    handle.addr(),
+                    desc.mode,
+                    desc.n,
+                    desc.artifact_bytes / 1024,
+                );
+                run_until_stopped(handle);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot serve manifest {}: {e}", manifest.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Router mode over an ordered file list (deprecated: declare the set
+    // in a manifest instead): load + validate the full shard set, serve.
     if !args.shards.is_empty() {
+        const NOTE: &str = "--shards is deprecated; declare the shard set in a manifest \
+                            and start with --manifest (see docs/OPERATIONS.md)";
+        eprintln!("warning: {NOTE}");
+        config = config.with_deprecation_note(NOTE);
         let loaded = match source::load_shard_set(&args.shards) {
             Ok(loaded) => loaded,
             Err(e) => {
@@ -308,6 +362,14 @@ fn main() -> ExitCode {
         // The served file doubles as the default reload source: an
         // operator replaces it atomically and POSTs /reload (or SIGHUPs).
         config = config.with_reload_path(path.clone());
+        // (--demo with --write-* never reaches here serving; only warn on
+        // the serving path.)
+        if args.write_snapshot.is_none() && args.write_shards.is_none() {
+            const NOTE: &str = "--snapshot is deprecated; declare the snapshot in a manifest \
+                                and start with --manifest (see docs/OPERATIONS.md)";
+            eprintln!("warning: {NOTE}");
+            config = config.with_deprecation_note(NOTE);
+        }
     }
     let (n, landmarks, kib) =
         (oracle.n(), oracle.landmarks().len(), oracle.artifact_bytes() / 1024);

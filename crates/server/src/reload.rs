@@ -2,6 +2,18 @@
 //! request path keep answering on the current snapshot while a new one is
 //! loaded, validated, and swapped in — with zero dropped requests.
 //!
+//! A [`Generation`] is one immutable serving unit: **any**
+//! [`QueryBackend`] (a monolithic oracle, a shard router — erased to
+//! `Box<dyn QueryBackend>` by the server) behind its own
+//! [`CachingOracle`], plus the identity of the snapshot(s) it came from.
+//! Because the cache wraps the backend generically, the router tier gets
+//! the same result cache the monolith always had, and a swap replaces
+//! backend + cache as one unit — answers from an old artifact can never
+//! leak into a new generation. What *does* carry over is heat:
+//! [`Generation::warmed_from`] replays the hottest keys of the outgoing
+//! cache against the **new** backend, so the hit rate doesn't fall off a
+//! cliff at every reload.
+//!
 //! The build image has no `arc-swap` crate, so the handle is an
 //! `RwLock<Arc<Generation>>` used as a pointer cell: readers take the read
 //! lock only long enough to clone the `Arc` (a refcount bump, never held
@@ -14,7 +26,7 @@ use std::sync::{Arc, RwLock};
 
 use cc_oracle::serde::{ShardHeader, SnapshotHeader};
 use cc_oracle::shard::OracleShard;
-use cc_oracle::{CachingOracle, DistanceOracle};
+use cc_oracle::{BackendDescriptor, CachingOracle, DistanceOracle, QueryBackend};
 
 /// Identity of a serving artifact, as reported by `/stats` and
 /// `/artifact`: snapshot format version, build id (payload checksum), when
@@ -60,7 +72,7 @@ impl SnapshotInfo {
 
     /// Info for one shard loaded from a per-shard snapshot at `source`.
     /// `build_id` is the shard file's own checksum (distinct per slice);
-    /// the set-wide identity is in [`ShardGeneration`]'s header.
+    /// the set-wide identity is the shard's set id.
     pub fn from_shard_header(header: &ShardHeader, source: impl Into<String>) -> SnapshotInfo {
         SnapshotInfo {
             version: header.version,
@@ -79,71 +91,139 @@ impl SnapshotInfo {
     }
 }
 
-/// One immutable serving generation: an oracle behind its result cache,
-/// plus the identity of the snapshot it came from. A reload builds a fresh
-/// `Generation` (with an empty cache — answers from the old artifact must
-/// not leak into the new one) and swaps it in whole.
-pub struct Generation {
-    cached: CachingOracle,
+/// How many of the outgoing cache's hottest keys a reload replays into the
+/// incoming generation's cache (see [`Generation::warmed_from`]).
+pub const WARM_KEYS: usize = 1024;
+
+/// One immutable serving generation: a [`QueryBackend`] behind its result
+/// cache, plus the identity of the snapshot(s) it came from. A reload
+/// builds a fresh `Generation` and swaps it in whole; the cache starts
+/// empty (answers from the old artifact must not leak into the new one)
+/// but can be pre-warmed with [`Generation::warmed_from`].
+///
+/// Generic over the backend type; the server erases to the default
+/// `Box<dyn QueryBackend>`, tests often use a concrete
+/// [`DistanceOracle`].
+pub struct Generation<B: QueryBackend = Box<dyn QueryBackend>> {
+    cached: CachingOracle<B>,
     info: SnapshotInfo,
+    shards: Vec<Arc<OracleShard>>,
+    shard_infos: Vec<SnapshotInfo>,
+    warmed_keys: u64,
 }
 
-impl Generation {
-    /// Wraps `oracle` for serving with a fresh cache of `cache_capacity`
-    /// entries.
-    pub fn new(oracle: DistanceOracle, info: SnapshotInfo, cache_capacity: usize) -> Generation {
-        Generation { cached: CachingOracle::new(oracle, cache_capacity.max(1)), info }
+impl<B: QueryBackend> Generation<B> {
+    /// Wraps `backend` for serving with a fresh cache of `cache_capacity`
+    /// entries (`0` disables caching).
+    pub fn new(backend: B, info: SnapshotInfo, cache_capacity: usize) -> Generation<B> {
+        Generation {
+            cached: CachingOracle::new(backend, cache_capacity),
+            info,
+            shards: Vec::new(),
+            shard_infos: Vec::new(),
+            warmed_keys: 0,
+        }
     }
 
-    /// The artifact this generation serves.
-    pub fn oracle(&self) -> &DistanceOracle {
-        self.cached.oracle()
+    /// [`Generation::new`] for a sharded backend, carrying the shared
+    /// slices (so a single-shard reload can rebuild the router without
+    /// deep copies) and their per-file identities.
+    pub fn with_shards(
+        backend: B,
+        info: SnapshotInfo,
+        shards: Vec<Arc<OracleShard>>,
+        shard_infos: Vec<SnapshotInfo>,
+        cache_capacity: usize,
+    ) -> Generation<B> {
+        Generation {
+            cached: CachingOracle::new(backend, cache_capacity),
+            info,
+            shards,
+            shard_infos,
+            warmed_keys: 0,
+        }
     }
 
-    /// The cache-fronted query interface.
-    pub fn cached(&self) -> &CachingOracle {
+    /// Replays up to `limit` of `donor`'s hottest cached pairs into this
+    /// generation's cache, **recomputed on this generation's backend** (a
+    /// warm-up can never leak a stale answer), and records the count for
+    /// `/stats`. Call between loading the new generation and swapping it
+    /// in.
+    pub fn warmed_from<D: QueryBackend>(mut self, donor: &Generation<D>, limit: usize) -> Self {
+        let keys = donor.cached.hottest_keys(limit);
+        self.warmed_keys = self.cached.warm(&keys) as u64;
+        self
+    }
+
+    /// The cache-fronted query interface — the one the request path uses.
+    pub fn cached(&self) -> &CachingOracle<B> {
         &self.cached
     }
 
-    /// Identity of the snapshot this generation was loaded from.
+    /// The backend behind the cache.
+    pub fn backend(&self) -> &B {
+        self.cached.inner()
+    }
+
+    /// Number of nodes this generation serves.
+    pub fn n(&self) -> usize {
+        self.cached.n()
+    }
+
+    /// What this generation serves (mode, build parameters, shard layout,
+    /// cache counters) — [`QueryBackend::descriptor`] through the cache.
+    pub fn descriptor(&self) -> BackendDescriptor {
+        self.cached.descriptor()
+    }
+
+    /// Identity of the snapshot this generation was loaded from (for a
+    /// shard set: the set-level identity).
     pub fn info(&self) -> &SnapshotInfo {
         &self.info
     }
-}
 
-/// One immutable serving generation of a **single shard** in router mode:
-/// the slice plus the identity of the per-shard snapshot it came from.
-/// Each shard of the set lives behind its own [`ReloadHandle`], so a
-/// rolling rollout swaps one slice at a time while the others keep
-/// serving.
-pub struct ShardGeneration {
-    shard: OracleShard,
-    info: SnapshotInfo,
-}
-
-impl ShardGeneration {
-    /// Wraps one loaded shard for serving.
-    pub fn new(shard: OracleShard, info: SnapshotInfo) -> ShardGeneration {
-        ShardGeneration { shard, info }
+    /// The shared slices of a sharded generation, in slot order; empty for
+    /// a monolith.
+    pub fn shards(&self) -> &[Arc<OracleShard>] {
+        &self.shards
     }
 
-    /// The slice this generation serves.
-    pub fn shard(&self) -> &OracleShard {
-        &self.shard
+    /// Per-slice snapshot identities, parallel to [`Generation::shards`].
+    pub fn shard_infos(&self) -> &[SnapshotInfo] {
+        &self.shard_infos
     }
 
-    /// Identity of the per-shard snapshot this generation was loaded from.
-    pub fn info(&self) -> &SnapshotInfo {
-        &self.info
+    /// True when this generation routes a shard set.
+    pub fn is_sharded(&self) -> bool {
+        !self.shards.is_empty()
+    }
+
+    /// How many cache entries [`Generation::warmed_from`] replayed into
+    /// this generation.
+    pub fn warmed_keys(&self) -> u64 {
+        self.warmed_keys
+    }
+}
+
+impl Generation<Box<dyn QueryBackend>> {
+    /// Wraps a [`crate::source::LoadedBackend`] — the output of
+    /// [`crate::source::BackendSpec::load`] — for serving.
+    pub fn from_loaded(loaded: crate::source::LoadedBackend, cache_capacity: usize) -> Generation {
+        Generation {
+            cached: CachingOracle::new(loaded.backend, cache_capacity),
+            info: loaded.info,
+            shards: loaded.shards,
+            shard_infos: loaded.shard_infos,
+            warmed_keys: 0,
+        }
     }
 }
 
 /// The swap point between the request path and reloads.
 ///
-/// Generic over the generation type: the monolithic tier stores a
-/// [`Generation`] (the default), the router tier keeps one
-/// `ReloadHandle<ShardGeneration>` **per shard** so a rolling rollout
-/// swaps one slice at a time.
+/// Generic over the generation's backend type: the server stores the
+/// default `Generation` (over `Box<dyn QueryBackend>`), so one handle
+/// serves every tier — monolith, router, cached or not.
 ///
 /// # Example
 ///
@@ -153,24 +233,21 @@ impl ShardGeneration {
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let old = cc_server::source::build_demo(16, 1, 0.25)?;
 /// let new = cc_server::source::build_demo(16, 2, 0.25)?;
+/// let old_info = SnapshotInfo::in_process(&old, "demo");
+/// let new_info = SnapshotInfo::in_process(&new, "demo-2");
 ///
-/// let handle = ReloadHandle::new(Generation::new(
-///     old,
-///     SnapshotInfo::in_process(&cc_server::source::build_demo(16, 1, 0.25)?, "demo"),
-///     1024,
-/// ));
+/// let handle = ReloadHandle::new(Generation::new(old, old_info, 1024));
 ///
 /// // The request path clones the current generation (a refcount bump)...
 /// let serving = handle.current();
-/// let before = serving.oracle().query(0, 15);
+/// let before = serving.cached().try_query(0, 15)?;
 ///
 /// // ...a reload swaps in a validated replacement atomically...
-/// let info = SnapshotInfo::in_process(&new, "demo-2");
-/// handle.swap(Generation::new(new, info, 1024));
+/// handle.swap(Generation::new(new, new_info, 1024));
 ///
 /// // ...and the clone taken before the swap still answers on the old
 /// // artifact, so an in-flight request never sees a half-swapped state.
-/// assert_eq!(serving.oracle().query(0, 15), before);
+/// assert_eq!(serving.cached().try_query(0, 15)?, before);
 /// assert_eq!(handle.current().info().source, "demo-2");
 /// # Ok(())
 /// # }
@@ -211,8 +288,8 @@ mod tests {
     fn swap_is_atomic_and_old_readers_finish_on_the_old_artifact() {
         let a = build_demo(20, 3, 0.5).unwrap();
         let b = build_demo(20, 4, 0.5).unwrap();
-        let a_answers: Vec<_> = (0..20).map(|v| a.query(0, v)).collect();
-        let b_answers: Vec<_> = (0..20).map(|v| b.query(0, v)).collect();
+        let a_answers: Vec<_> = (0..20).map(|v| a.try_query(0, v).unwrap()).collect();
+        let b_answers: Vec<_> = (0..20).map(|v| b.try_query(0, v).unwrap()).collect();
 
         let handle =
             ReloadHandle::new(Generation::new(a.clone(), SnapshotInfo::in_process(&a, "a"), 64));
@@ -222,8 +299,8 @@ mod tests {
 
         // The pre-swap clone still serves A; fresh clones serve B.
         for v in 0..20 {
-            assert_eq!(held.oracle().query(0, v), a_answers[v]);
-            assert_eq!(handle.current().oracle().query(0, v), b_answers[v]);
+            assert_eq!(held.cached().try_query(0, v).unwrap(), a_answers[v]);
+            assert_eq!(handle.current().cached().try_query(0, v).unwrap(), b_answers[v]);
         }
     }
 
@@ -231,8 +308,8 @@ mod tests {
     fn concurrent_readers_always_see_a_complete_generation() {
         let a = build_demo(16, 5, 0.5).unwrap();
         let b = build_demo(16, 6, 0.5).unwrap();
-        let a_ans: Vec<_> = (0..16).map(|v| a.query(3, v)).collect();
-        let b_ans: Vec<_> = (0..16).map(|v| b.query(3, v)).collect();
+        let a_ans: Vec<_> = (0..16).map(|v| a.try_query(3, v).unwrap()).collect();
+        let b_ans: Vec<_> = (0..16).map(|v| b.try_query(3, v).unwrap()).collect();
         let handle =
             ReloadHandle::new(Generation::new(a.clone(), SnapshotInfo::in_process(&a, "a"), 64));
 
@@ -247,7 +324,7 @@ mod tests {
                         // Every answer from one clone must be internally
                         // consistent with exactly that generation.
                         for v in 0..16 {
-                            let d = generation.cached().query(3, v);
+                            let d = generation.cached().try_query(3, v).unwrap();
                             let want = if src == "a" { a_ans[v] } else { b_ans[v] };
                             assert_eq!(d, want, "generation {src} answered inconsistently");
                         }
@@ -295,28 +372,67 @@ mod tests {
     }
 
     #[test]
-    fn shard_generations_swap_independently() {
+    fn generations_wrap_any_backend_and_describe_it() {
         let oracle = build_demo(20, 3, 0.5).unwrap();
-        let shards = cc_oracle::ShardedArtifact::partition(&oracle, 2).unwrap().into_shards();
-        let handles: Vec<ReloadHandle<ShardGeneration>> = shards
-            .iter()
-            .map(|s| {
-                ReloadHandle::new(ShardGeneration::new(
-                    s.clone(),
-                    SnapshotInfo::in_process_shard(s, "set-a"),
-                ))
-            })
-            .collect();
+        let info = SnapshotInfo::in_process(&oracle, "demo");
 
-        let held = handles[0].current();
-        handles[0].swap(ShardGeneration::new(
-            shards[0].clone(),
-            SnapshotInfo::in_process_shard(&shards[0], "set-b"),
-        ));
-        // The pre-swap clone still names the old source; shard 1 untouched.
-        assert_eq!(held.info().source, "set-a");
-        assert_eq!(handles[0].current().info().source, "set-b");
-        assert_eq!(handles[1].current().info().source, "set-a");
-        assert_eq!(handles[1].current().shard().index(), 1);
+        // A concrete monolithic generation...
+        let mono = Generation::new(oracle.clone(), info.clone(), 64);
+        assert_eq!(mono.descriptor().mode, "mono");
+        assert!(!mono.is_sharded());
+        assert_eq!(mono.n(), 20);
+
+        // ...and an erased sharded one through the same type.
+        let shards = cc_oracle::ShardedArtifact::partition(&oracle, 2).unwrap().into_shards();
+        let infos: Vec<SnapshotInfo> =
+            shards.iter().map(|s| SnapshotInfo::in_process_shard(s, "in-process")).collect();
+        let loaded = crate::source::LoadedBackend::sharded(shards, infos, "in-process").unwrap();
+        let routed = Generation::from_loaded(loaded, 64);
+        assert_eq!(routed.descriptor().mode, "router");
+        assert!(routed.is_sharded());
+        assert_eq!(routed.shards().len(), 2);
+        assert_eq!(routed.shard_infos().len(), 2);
+        for v in 0..20 {
+            assert_eq!(
+                routed.cached().try_query(0, v).unwrap(),
+                mono.cached().try_query(0, v).unwrap()
+            );
+        }
+        // The router generation's cache works: the loop above asked (0, 0)
+        // then distinct pairs; re-ask one and the hit counter moves.
+        let hits_before = routed.descriptor().cache.unwrap().hits;
+        routed.cached().try_query(0, 5).unwrap();
+        assert!(routed.descriptor().cache.unwrap().hits > hits_before);
+    }
+
+    #[test]
+    fn warmed_from_replays_the_donor_heat_onto_the_new_backend() {
+        let a = build_demo(24, 3, 0.5).unwrap();
+        let b = build_demo(24, 4, 0.5).unwrap();
+        let old = Generation::new(a.clone(), SnapshotInfo::in_process(&a, "a"), 512);
+        let hot: Vec<(usize, usize)> = (0..10).map(|i| (i, (i * 5 + 1) % 24)).collect();
+        for &(u, v) in &hot {
+            old.cached().try_query(u, v).unwrap();
+        }
+
+        let fresh = Generation::new(b.clone(), SnapshotInfo::in_process(&b, "b"), 512)
+            .warmed_from(&old, WARM_KEYS);
+        assert_eq!(fresh.warmed_keys(), old.descriptor().cache.unwrap().len as u64);
+        // The warmed entries answer with B's values (recomputed, never
+        // copied from A) and hit without missing.
+        let misses_before = fresh.descriptor().cache.unwrap().misses;
+        for &(u, v) in &hot {
+            assert_eq!(fresh.cached().try_query(u, v).unwrap(), b.try_query(u, v).unwrap());
+        }
+        assert_eq!(fresh.descriptor().cache.unwrap().misses, misses_before);
+
+        // A donor larger than the target: out-of-range keys are skipped.
+        let big = build_demo(40, 5, 0.5).unwrap();
+        let big_gen = Generation::new(big.clone(), SnapshotInfo::in_process(&big, "big"), 512);
+        big_gen.cached().try_query(30, 39).unwrap();
+        big_gen.cached().try_query(0, 1).unwrap();
+        let small = Generation::new(a.clone(), SnapshotInfo::in_process(&a, "a"), 512)
+            .warmed_from(&big_gen, WARM_KEYS);
+        assert_eq!(small.warmed_keys(), 1, "only the in-range key is warmable");
     }
 }

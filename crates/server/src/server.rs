@@ -57,8 +57,9 @@ impl Server {
 
     /// Starts a **router-tier** server over a loaded, validated shard set:
     /// `/distance` and `/batch` are answered by combining the two owning
-    /// shards' half-results, `/reload?shard=i` hot-swaps one slice at a
-    /// time, and `/stats` / `/artifact` report per-shard build ids.
+    /// shards' half-results behind a router-level result cache,
+    /// `/reload?shard=i` hot-swaps one slice at a time, and `/stats` /
+    /// `/artifact` report per-shard build ids.
     ///
     /// # Errors
     ///
@@ -70,12 +71,31 @@ impl Server {
         config: &ServerConfig,
         shards: Vec<crate::source::LoadedShard>,
     ) -> io::Result<ServerHandle> {
-        let state = AppState::with_shards(shards)
+        let state = AppState::with_shards(shards, config.cache_capacity)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         Server::start_with_state(config, state)
     }
 
-    fn start_with_state(config: &ServerConfig, state: AppState) -> io::Result<ServerHandle> {
+    /// Starts a server from a [`crate::source::BackendSpec`] — the
+    /// manifest-driven path (`cc-serve --manifest`). The spec decides the
+    /// tier; endpoints, reloads, and stats are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`crate::source::BackendSpec::load`] rejects (mapped to
+    /// `InvalidInput`, naming the offending file — including an
+    /// `expected_set_id` mismatch) and bind I/O errors.
+    pub fn start_from_spec(
+        config: &ServerConfig,
+        spec: crate::source::BackendSpec,
+    ) -> io::Result<ServerHandle> {
+        let state = AppState::from_spec(spec, config.cache_capacity)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        Server::start_with_state(config, state)
+    }
+
+    fn start_with_state(config: &ServerConfig, mut state: AppState) -> io::Result<ServerHandle> {
+        state.set_deprecations(config.deprecation_note.clone());
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;

@@ -1,14 +1,22 @@
-//! Where a served oracle comes from: a snapshot file on disk (monolithic
-//! or a per-shard set), or an in-process demo build in the simulated
-//! clique.
+//! Where a served backend comes from: a [`BackendSpec`] — either a
+//! **manifest file** (`--manifest set.toml`) naming the mode, artifact
+//! files, expected set id, and cache capacity, or the equivalent built
+//! from the deprecated `--snapshot` / `--shards` flags — plus the
+//! lower-level snapshot loaders and an in-process demo build in the
+//! simulated clique.
+//!
+//! [`BackendSpec::load`] is the single artifact-loading entry point: it
+//! resolves to a type-erased [`LoadedBackend`] (`Box<dyn QueryBackend>`)
+//! so the rest of the server never branches on what it is serving.
 
 use std::error::Error;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use cc_clique::Clique;
 use cc_graph::{generators, Graph};
-use cc_oracle::shard::{validate_set, OracleShard};
-use cc_oracle::{serde, DistanceOracle, OracleBuilder, ShardedArtifact};
+use cc_oracle::shard::{validate_set, OracleShard, ShardRouter};
+use cc_oracle::{serde, DistanceOracle, OracleBuilder, QueryBackend, ShardedArtifact};
 
 use crate::reload::SnapshotInfo;
 
@@ -147,6 +155,466 @@ pub fn write_shard_snapshots(
     Ok(paths)
 }
 
+/// A fully loaded, validated, **type-erased** serving backend, ready to be
+/// wrapped in a [`crate::Generation`]: the backend itself, its identity
+/// for `/stats` / `/artifact`, and — for a sharded backend — the shared
+/// slices (so a single-shard reload can rebuild the router without deep
+/// copies) with their per-file identities.
+pub struct LoadedBackend {
+    /// The serving backend: a monolithic oracle or a shard router.
+    pub backend: Box<dyn QueryBackend>,
+    /// Identity of the artifact as a whole (the snapshot for a monolith,
+    /// the set id for a shard set).
+    pub info: SnapshotInfo,
+    /// The shared slices in slot order; empty for a monolithic backend.
+    pub shards: Vec<Arc<OracleShard>>,
+    /// Per-slice snapshot identities, parallel to `shards`.
+    pub shard_infos: Vec<SnapshotInfo>,
+}
+
+impl std::fmt::Debug for LoadedBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedBackend")
+            .field("mode", &self.backend.descriptor().mode)
+            .field("n", &self.backend.n())
+            .field("info", &self.info)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl LoadedBackend {
+    /// A monolithic backend from a loaded snapshot.
+    pub fn mono(oracle: DistanceOracle, info: SnapshotInfo) -> LoadedBackend {
+        LoadedBackend {
+            backend: Box::new(oracle),
+            info,
+            shards: Vec::new(),
+            shard_infos: Vec::new(),
+        }
+    }
+
+    /// A router backend over a strictly validated shard set.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`validate_set`] rejects.
+    pub fn sharded(
+        shards: Vec<OracleShard>,
+        shard_infos: Vec<SnapshotInfo>,
+        source: impl Into<String>,
+    ) -> Result<LoadedBackend, cc_oracle::OracleError> {
+        let shards: Vec<Arc<OracleShard>> = shards.into_iter().map(Arc::new).collect();
+        let router = ShardRouter::assemble_shared(shards.clone())?;
+        let info = SnapshotInfo {
+            version: serde::SNAPSHOT_VERSION,
+            build_id: format!("{:016x}", shards[0].set_id()),
+            created_unix_secs: 0,
+            source: source.into(),
+        };
+        Ok(LoadedBackend { backend: Box::new(router), info, shards, shard_infos })
+    }
+
+    /// Number of nodes the backend covers.
+    pub fn n(&self) -> usize {
+        self.backend.n()
+    }
+}
+
+/// What `BackendSpec` points at: one snapshot file, or an ordered shard
+/// file set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SpecKind {
+    Mono { path: PathBuf },
+    Sharded { paths: Vec<PathBuf> },
+}
+
+/// A declarative description of the artifact a server should serve — the
+/// **manifest-driven artifact API**. A spec names the mode (monolithic
+/// snapshot or shard set), the file(s), an optional expected set id that
+/// gates startup, and an optional result-cache capacity.
+///
+/// The preferred way to build one is [`BackendSpec::from_manifest`], from
+/// a TOML-ish manifest file:
+///
+/// ```text
+/// # set.toml — a 2-shard artifact set
+/// mode = "sharded"
+/// shards = [
+///     "shard-0.snap",
+///     "shard-1.snap",
+/// ]
+/// set_id = "29ec16e4f49bca34"   # refuse to serve any other build
+/// cache_capacity = 8192
+/// ```
+///
+/// ```text
+/// # mono.toml — a monolithic snapshot
+/// mode = "mono"
+/// snapshot = "oracle.snap"
+/// ```
+///
+/// Relative paths are resolved against the manifest's directory. The
+/// deprecated `--snapshot` / `--shards` flags construct the equivalent
+/// spec through [`BackendSpec::mono`] / [`BackendSpec::sharded`], without
+/// a set-id gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendSpec {
+    kind: SpecKind,
+    /// When set, [`BackendSpec::load`] refuses an artifact whose set id
+    /// (shard set) or build id (monolith) differs — the rollout gate that
+    /// makes "the files on disk are the build I meant" checkable.
+    pub expected_set_id: Option<u64>,
+    /// Result-cache capacity for the generation serving this artifact;
+    /// `None` defers to the server default, `Some(0)` disables caching.
+    pub cache_capacity: Option<usize>,
+    /// The manifest file this spec was parsed from, if any.
+    manifest: Option<PathBuf>,
+}
+
+impl BackendSpec {
+    /// A spec for one monolithic snapshot file (the `--snapshot` shape).
+    pub fn mono(path: impl Into<PathBuf>) -> BackendSpec {
+        BackendSpec {
+            kind: SpecKind::Mono { path: path.into() },
+            expected_set_id: None,
+            cache_capacity: None,
+            manifest: None,
+        }
+    }
+
+    /// A spec for an ordered shard file set (the `--shards` shape): slot
+    /// `i` is `paths[i]`.
+    pub fn sharded(paths: Vec<PathBuf>) -> BackendSpec {
+        BackendSpec {
+            kind: SpecKind::Sharded { paths },
+            expected_set_id: None,
+            cache_capacity: None,
+            manifest: None,
+        }
+    }
+
+    /// Reads and parses a manifest file; see [`BackendSpec`] for the
+    /// format. Relative artifact paths are resolved against the manifest's
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file and every parse rejection (unknown or
+    /// duplicate key, missing mode, bad set id, duplicate shard path, …),
+    /// each prefixed with the manifest path.
+    pub fn from_manifest(path: &Path) -> Result<BackendSpec, Box<dyn Error>> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("manifest {}: {e}", path.display()))?;
+        let base = path.parent().unwrap_or(Path::new("."));
+        let mut spec = Self::parse_manifest(&text, base)
+            .map_err(|e| format!("manifest {}: {e}", path.display()))?;
+        spec.manifest = Some(path.to_path_buf());
+        Ok(spec)
+    }
+
+    /// Parses manifest `text`, resolving relative paths against `base`.
+    /// Exposed for tests; prefer [`BackendSpec::from_manifest`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first rejected line.
+    pub fn parse_manifest(text: &str, base: &Path) -> Result<BackendSpec, String> {
+        let mut mode: Option<String> = None;
+        let mut snapshot: Option<PathBuf> = None;
+        let mut shards: Option<Vec<PathBuf>> = None;
+        let mut set_id: Option<u64> = None;
+        let mut cache_capacity: Option<usize> = None;
+
+        for (lineno, line) in logical_lines(text) {
+            let reject = |what: String| format!("line {lineno}: {what}");
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| reject(format!("expected 'key = value', got '{line}'")))?;
+            let (key, value) = (key.trim(), value.trim());
+            let dup = |what: &str| reject(format!("duplicate key '{what}'"));
+            match key {
+                "mode" => {
+                    if mode.is_some() {
+                        return Err(dup("mode"));
+                    }
+                    let value = parse_string(value).map_err(&reject)?;
+                    if value != "mono" && value != "sharded" {
+                        return Err(reject(format!(
+                            "mode must be \"mono\" or \"sharded\", got \"{value}\""
+                        )));
+                    }
+                    mode = Some(value);
+                }
+                "snapshot" => {
+                    if snapshot.is_some() {
+                        return Err(dup("snapshot"));
+                    }
+                    snapshot = Some(base.join(parse_string(value).map_err(&reject)?));
+                }
+                "shards" => {
+                    if shards.is_some() {
+                        return Err(dup("shards"));
+                    }
+                    let entries = parse_string_array(value).map_err(&reject)?;
+                    if entries.is_empty() {
+                        return Err(reject("shards must name at least one file".to_owned()));
+                    }
+                    for (i, a) in entries.iter().enumerate() {
+                        if let Some(j) = entries[..i].iter().position(|b| b == a) {
+                            return Err(reject(format!(
+                                "shards[{i}] duplicates shards[{j}] (\"{a}\"): every slot \
+                                 needs its own shard file"
+                            )));
+                        }
+                    }
+                    shards = Some(entries.into_iter().map(|p| base.join(p)).collect());
+                }
+                "set_id" => {
+                    if set_id.is_some() {
+                        return Err(dup("set_id"));
+                    }
+                    let raw = parse_string(value).map_err(&reject)?;
+                    if raw.len() != 16 || !raw.chars().all(|c| c.is_ascii_hexdigit()) {
+                        return Err(reject(format!(
+                            "set_id must be 16 hex digits (a build id as printed by \
+                             /stats), got \"{raw}\""
+                        )));
+                    }
+                    set_id = Some(u64::from_str_radix(&raw, 16).expect("validated hex"));
+                }
+                "cache_capacity" => {
+                    if cache_capacity.is_some() {
+                        return Err(dup("cache_capacity"));
+                    }
+                    cache_capacity = Some(value.parse().map_err(|_| {
+                        reject(format!("cache_capacity must be an integer, got '{value}'"))
+                    })?);
+                }
+                other => {
+                    return Err(reject(format!(
+                        "unknown key '{other}' (expected mode, snapshot, shards, set_id, \
+                         or cache_capacity)"
+                    )))
+                }
+            }
+        }
+
+        let mode = mode.ok_or("missing 'mode = \"mono\" | \"sharded\"'")?;
+        let kind = match mode.as_str() {
+            "mono" => {
+                if shards.is_some() {
+                    return Err("mode \"mono\" takes 'snapshot', not 'shards'".to_owned());
+                }
+                SpecKind::Mono { path: snapshot.ok_or("mode \"mono\" needs 'snapshot = ...'")? }
+            }
+            _ => {
+                if snapshot.is_some() {
+                    return Err("mode \"sharded\" takes 'shards', not 'snapshot'".to_owned());
+                }
+                SpecKind::Sharded {
+                    paths: shards.ok_or("mode \"sharded\" needs 'shards = [...]'")?,
+                }
+            }
+        };
+        Ok(BackendSpec { kind, expected_set_id: set_id, cache_capacity, manifest: None })
+    }
+
+    /// The manifest file this spec was parsed from, if any.
+    pub fn manifest_path(&self) -> Option<&Path> {
+        self.manifest.as_deref()
+    }
+
+    /// True when the spec names a shard set.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.kind, SpecKind::Sharded { .. })
+    }
+
+    /// Number of shard files (0 for a monolithic spec).
+    pub fn shard_count(&self) -> usize {
+        match &self.kind {
+            SpecKind::Mono { .. } => 0,
+            SpecKind::Sharded { paths } => paths.len(),
+        }
+    }
+
+    /// Shard `index`'s file, when the spec names a shard set.
+    pub fn shard_path(&self, index: usize) -> Option<&Path> {
+        match &self.kind {
+            SpecKind::Mono { .. } => None,
+            SpecKind::Sharded { paths } => paths.get(index).map(PathBuf::as_path),
+        }
+    }
+
+    /// The snapshot file, when the spec is monolithic.
+    pub fn mono_path(&self) -> Option<&Path> {
+        match &self.kind {
+            SpecKind::Mono { path } => Some(path),
+            SpecKind::Sharded { .. } => None,
+        }
+    }
+
+    /// One line naming what this spec serves, for logs.
+    pub fn describe(&self) -> String {
+        let files = match &self.kind {
+            SpecKind::Mono { path } => path.display().to_string(),
+            SpecKind::Sharded { paths } => format!("{}-shard set", paths.len()),
+        };
+        match &self.manifest {
+            Some(m) => format!("{files} (manifest {})", m.display()),
+            None => files,
+        }
+    }
+
+    /// Loads, validates, and type-erases the artifact this spec names: the
+    /// single loading entry point for startup *and* full reloads.
+    ///
+    /// # Errors
+    ///
+    /// Per-file I/O and snapshot-validation errors (each naming the file),
+    /// shard-set consistency errors, and — when the spec pins
+    /// `expected_set_id` — an identity mismatch naming both the offending
+    /// file and the two ids.
+    pub fn load(&self) -> Result<LoadedBackend, Box<dyn Error>> {
+        match &self.kind {
+            SpecKind::Mono { path } => {
+                let loaded = load_snapshot(path)?;
+                if let Some(want) = self.expected_set_id {
+                    let got = serde::payload_checksum(&loaded.oracle);
+                    if got != want {
+                        return Err(format!(
+                            "snapshot {} has build id {got:016x} but the manifest expects \
+                             set_id {want:016x}",
+                            path.display()
+                        )
+                        .into());
+                    }
+                }
+                Ok(LoadedBackend::mono(loaded.oracle, loaded.info))
+            }
+            SpecKind::Sharded { paths } => {
+                let loaded = load_shard_set(paths)?;
+                if let Some(want) = self.expected_set_id {
+                    let got = loaded[0].shard.set_id();
+                    if got != want {
+                        return Err(format!(
+                            "shard set {} declares set id {got:016x} but the manifest \
+                             expects set_id {want:016x}",
+                            paths[0].display()
+                        )
+                        .into());
+                    }
+                }
+                let mut shards = Vec::with_capacity(loaded.len());
+                let mut infos = Vec::with_capacity(loaded.len());
+                for shard in loaded {
+                    shards.push(shard.shard);
+                    infos.push(shard.info);
+                }
+                Ok(LoadedBackend::sharded(shards, infos, self.describe())?)
+            }
+        }
+    }
+}
+
+/// Splits manifest text into `(line number, logical line)` pairs: strips
+/// `#` comments (outside quotes) and blank lines, and joins a multi-line
+/// `[...]` array onto the line that opened it.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut lines = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let stripped = strip_comment(raw);
+        let trimmed = stripped.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(trimmed);
+                if bracket_open(&acc) {
+                    pending = Some((start, acc));
+                } else {
+                    lines.push((start, acc));
+                }
+            }
+            None => {
+                if bracket_open(trimmed) {
+                    pending = Some((i + 1, trimmed.to_owned()));
+                } else {
+                    lines.push((i + 1, trimmed.to_owned()));
+                }
+            }
+        }
+    }
+    if let Some(unclosed) = pending {
+        lines.push(unclosed);
+    }
+    lines
+}
+
+/// True while a `[` array opened on this logical line is still unclosed.
+fn bracket_open(line: &str) -> bool {
+    let mut in_string = false;
+    let mut depth = 0i32;
+    for c in line.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth > 0
+}
+
+/// Removes a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> String {
+    let mut in_string = false;
+    let mut out = String::with_capacity(line.len());
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                out.push(c);
+            }
+            '#' if !in_string => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a double-quoted string value.
+fn parse_string(value: &str) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a double-quoted string, got '{value}'"))?;
+    if inner.contains('"') {
+        return Err(format!("unexpected inner quote in '{value}'"));
+    }
+    Ok(inner.to_owned())
+}
+
+/// Parses a `["a", "b", ...]` array of strings (trailing comma allowed).
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|rest| rest.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a [\"...\"] array, got '{value}'"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(item)?);
+    }
+    Ok(out)
+}
+
 /// The deterministic demo graph `cc-serve --demo n` serves: weighted
 /// G(n, p) with p scaled to stay connected but sparse as `n` grows.
 ///
@@ -228,7 +696,11 @@ mod tests {
         .unwrap();
         for u in 0..21 {
             for v in 0..21 {
-                assert_eq!(router.query(u, v), oracle.query(u, v), "({u},{v})");
+                assert_eq!(
+                    router.try_query(u, v).unwrap(),
+                    oracle.try_query(u, v).unwrap(),
+                    "({u},{v})"
+                );
             }
         }
 
@@ -260,6 +732,152 @@ mod tests {
             std::fs::remove_file(p).ok();
         }
         std::fs::remove_file(mono).ok();
+    }
+
+    #[test]
+    fn manifest_parses_both_modes_with_comments_and_multiline_arrays() {
+        let base = Path::new("/artifacts");
+        let mono = BackendSpec::parse_manifest(
+            "# a monolithic manifest\nmode = \"mono\"  # trailing comment\n\
+             snapshot = \"oracle.snap\"\ncache_capacity = 512\n",
+            base,
+        )
+        .unwrap();
+        assert!(!mono.is_sharded());
+        assert_eq!(mono.mono_path(), Some(Path::new("/artifacts/oracle.snap")));
+        assert_eq!(mono.cache_capacity, Some(512));
+        assert_eq!(mono.expected_set_id, None);
+
+        let sharded = BackendSpec::parse_manifest(
+            "mode = \"sharded\"\nset_id = \"00ffee29ec16e4f4\"\nshards = [\n    \
+             \"a/shard-0.snap\",  # slot 0\n    \"a/shard-1.snap\",\n]\n",
+            base,
+        )
+        .unwrap();
+        assert!(sharded.is_sharded());
+        assert_eq!(sharded.shard_count(), 2);
+        assert_eq!(sharded.shard_path(0), Some(Path::new("/artifacts/a/shard-0.snap")));
+        assert_eq!(sharded.shard_path(1), Some(Path::new("/artifacts/a/shard-1.snap")));
+        assert_eq!(sharded.expected_set_id, Some(0x00ff_ee29_ec16_e4f4));
+        // An absolute path stays absolute.
+        let abs = BackendSpec::parse_manifest(
+            "mode = \"mono\"\nsnapshot = \"/elsewhere/o.snap\"\n",
+            base,
+        )
+        .unwrap();
+        assert_eq!(abs.mono_path(), Some(Path::new("/elsewhere/o.snap")));
+    }
+
+    #[test]
+    fn manifest_rejections_name_the_problem() {
+        let base = Path::new(".");
+        for (text, needle) in [
+            ("snapshot = \"x.snap\"\n", "missing 'mode"),
+            ("mode = \"turbo\"\n", "mode must be"),
+            ("mode = \"mono\"\n", "needs 'snapshot"),
+            ("mode = \"sharded\"\n", "needs 'shards"),
+            ("mode = \"mono\"\nshards = [\"a\"]\n", "takes 'snapshot', not 'shards'"),
+            ("mode = \"sharded\"\nsnapshot = \"x\"\n", "takes 'shards', not 'snapshot'"),
+            ("mode = \"mono\"\nmode = \"mono\"\nsnapshot = \"x\"\n", "duplicate key 'mode'"),
+            ("mode = \"mono\"\nsnapshot = \"x\"\nturbo = 1\n", "unknown key 'turbo'"),
+            ("mode = \"mono\"\nsnapshot = \"x\"\nset_id = \"xyz\"\n", "16 hex digits"),
+            ("mode = \"mono\"\nsnapshot = \"x\"\nset_id = \"123\"\n", "16 hex digits"),
+            ("mode = \"mono\"\nsnapshot = x.snap\n", "double-quoted"),
+            ("mode = \"mono\"\nsnapshot\n", "expected 'key = value'"),
+            ("mode = \"sharded\"\nshards = []\n", "at least one file"),
+            (
+                "mode = \"mono\"\nsnapshot = \"x\"\ncache_capacity = \"lots\"\n",
+                "cache_capacity must be an integer",
+            ),
+            // The duplicate-slot case: one file cannot fill two slots.
+            (
+                "mode = \"sharded\"\nshards = [\"s0.snap\", \"s1.snap\", \"s0.snap\"]\n",
+                "shards[2] duplicates shards[0]",
+            ),
+        ] {
+            let err = BackendSpec::parse_manifest(text, base).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "manifest {text:?}: error {err:?} must contain {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_load_round_trips_and_gates_on_set_id_and_files() {
+        let dir = temp_dir("manifest-load");
+        let oracle = build_demo(20, 3, 0.5).unwrap();
+        let paths = write_shard_snapshots(&oracle, 2, &dir).unwrap();
+        let set_id = serde::payload_checksum(&oracle);
+
+        // A correct manifest loads a router backend with per-shard infos.
+        let manifest = dir.join("set.toml");
+        std::fs::write(
+            &manifest,
+            format!(
+                "mode = \"sharded\"\nset_id = \"{set_id:016x}\"\n\
+                 shards = [\"shard-0.snap\", \"shard-1.snap\"]\n"
+            ),
+        )
+        .unwrap();
+        let spec = BackendSpec::from_manifest(&manifest).unwrap();
+        assert_eq!(spec.manifest_path(), Some(manifest.as_path()));
+        let loaded = spec.load().unwrap();
+        assert_eq!(loaded.n(), 20);
+        assert_eq!(loaded.shards.len(), 2);
+        assert_eq!(loaded.shard_infos.len(), 2);
+        assert_eq!(loaded.info.build_id, format!("{set_id:016x}"));
+        for u in 0..20 {
+            for v in 0..20 {
+                assert_eq!(
+                    loaded.backend.try_query(u, v).unwrap(),
+                    oracle.try_query(u, v).unwrap()
+                );
+            }
+        }
+
+        // A wrong set id is refused, naming the file and both ids.
+        std::fs::write(
+            &manifest,
+            "mode = \"sharded\"\nset_id = \"00000000deadbeef\"\n\
+             shards = [\"shard-0.snap\", \"shard-1.snap\"]\n",
+        )
+        .unwrap();
+        let err = BackendSpec::from_manifest(&manifest).unwrap().load().unwrap_err().to_string();
+        assert!(err.contains("shard-0.snap"), "must name a file: {err}");
+        assert!(err.contains("00000000deadbeef"), "must name the expected id: {err}");
+        assert!(err.contains(&format!("{set_id:016x}")), "must name the found id: {err}");
+
+        // A missing shard file is refused, naming it.
+        std::fs::write(
+            &manifest,
+            "mode = \"sharded\"\nshards = [\"shard-0.snap\", \"gone.snap\"]\n",
+        )
+        .unwrap();
+        let err = BackendSpec::from_manifest(&manifest).unwrap().load().unwrap_err().to_string();
+        assert!(err.contains("gone.snap"), "must name the file: {err}");
+
+        // The mono gate works the same way against the build id.
+        let mono_path = dir.join("mono.snap");
+        write_snapshot(&oracle, &mono_path).unwrap();
+        std::fs::write(
+            &manifest,
+            format!("mode = \"mono\"\nsnapshot = \"mono.snap\"\nset_id = \"{set_id:016x}\"\n"),
+        )
+        .unwrap();
+        assert!(BackendSpec::from_manifest(&manifest).unwrap().load().is_ok());
+        std::fs::write(
+            &manifest,
+            "mode = \"mono\"\nsnapshot = \"mono.snap\"\nset_id = \"00000000deadbeef\"\n",
+        )
+        .unwrap();
+        let err = BackendSpec::from_manifest(&manifest).unwrap().load().unwrap_err().to_string();
+        assert!(err.contains("mono.snap") && err.contains("expects set_id"), "{err}");
+
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

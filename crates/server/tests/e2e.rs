@@ -54,7 +54,7 @@ fn distance_over_a_real_socket_matches_dijkstra_ground_truth() {
             assert_eq!(status, 200);
             let served = parse_distance(&body);
             // Identical to the in-process oracle...
-            assert_eq!(served, expected_oracle.query(u, v).value(), "pair ({u},{v})");
+            assert_eq!(served, expected_oracle.try_query(u, v).unwrap().value(), "pair ({u},{v})");
             // ...and sound + within the stretch bound of the ground truth.
             let d = exact[v].expect("gnp(40, 0.15) is connected");
             let est = served.expect("connected pair must be finite over the wire");
@@ -80,7 +80,8 @@ fn batch_endpoint_matches_query_batch() {
     let (status, resp) = client.post("/batch", body.as_bytes()).unwrap();
     assert_eq!(status, 200);
     let want: Vec<String> = expected
-        .query_batch(&pairs)
+        .try_query_batch(&pairs)
+        .unwrap()
         .iter()
         .map(|d| d.value().map_or("null".into(), |x| x.to_string()))
         .collect();
@@ -169,7 +170,7 @@ fn concurrent_clients_all_get_consistent_answers() {
                     let (u, v) = ((i * 7 + t) % 32, (i * 13 + 2 * t) % 32);
                     let (status, body) = client.get(&format!("/distance?u={u}&v={v}")).unwrap();
                     assert_eq!(status, 200);
-                    assert_eq!(parse_distance(&body), expected.query(u, v).value());
+                    assert_eq!(parse_distance(&body), expected.try_query(u, v).unwrap().value());
                 }
             });
         }
@@ -194,7 +195,11 @@ fn snapshot_loaded_server_serves_identically_to_the_builder() {
         for v in (0..28).step_by(3) {
             let (status, body) = client.get(&format!("/distance?u={u}&v={v}")).unwrap();
             assert_eq!(status, 200);
-            assert_eq!(parse_distance(&body), oracle.query(u, v).value(), "pair ({u},{v})");
+            assert_eq!(
+                parse_distance(&body),
+                oracle.try_query(u, v).unwrap().value(),
+                "pair ({u},{v})"
+            );
         }
     }
     handle.shutdown();

@@ -71,8 +71,8 @@ fn distance_traffic_survives_reloads_with_zero_errors_and_consistent_answers() {
     let addr = handle.addr();
 
     let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, (i * 13 + 5) % n)).collect();
-    let a_ans: Vec<_> = pairs.iter().map(|&(u, v)| a.query(u, v).value()).collect();
-    let b_ans: Vec<_> = pairs.iter().map(|&(u, v)| b.query(u, v).value()).collect();
+    let a_ans: Vec<_> = pairs.iter().map(|&(u, v)| a.try_query(u, v).unwrap().value()).collect();
+    let b_ans: Vec<_> = pairs.iter().map(|&(u, v)| b.try_query(u, v).unwrap().value()).collect();
 
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -140,7 +140,7 @@ fn corrupt_and_mismatched_version_snapshots_are_rejected_old_artifact_keeps_serv
     let handle = start_on_snapshot(&path);
     let mut client = BlockingClient::connect(handle.addr()).unwrap();
 
-    let want_answers: Vec<_> = (0..n).map(|v| a.query(0, v).value()).collect();
+    let want_answers: Vec<_> = (0..n).map(|v| a.try_query(0, v).unwrap().value()).collect();
     let check_still_serving_a = |client: &mut BlockingClient| {
         for (v, want) in want_answers.iter().enumerate() {
             let (status, body) = client.get(&format!("/distance?u=0&v={v}")).unwrap();
@@ -246,7 +246,7 @@ fn reload_can_change_graph_size() {
     // ...and the same query now answers from the 40-node artifact.
     let (status, body) = client.get("/distance?u=0&v=30").unwrap();
     assert_eq!(status, 200);
-    assert_eq!(parse_distance(&body), big.query(0, 30).value());
+    assert_eq!(parse_distance(&body), big.try_query(0, 30).unwrap().value());
 
     std::fs::remove_file(&path).ok();
     handle.shutdown();
@@ -277,7 +277,7 @@ fn reload_with_explicit_path_overrides_the_default() {
     for v in 0..20 {
         let (status, resp) = client.get(&format!("/distance?u=1&v={v}")).unwrap();
         assert_eq!(status, 200);
-        assert_eq!(parse_distance(&resp), b.query(1, v).value());
+        assert_eq!(parse_distance(&resp), b.try_query(1, v).unwrap().value());
     }
 
     std::fs::remove_file(&default_path).ok();

@@ -74,7 +74,7 @@ fn cross_shard_distance_and_mixed_batch_match_monolith_and_dijkstra() {
             let (status, body) = client.get(&format!("/distance?u={u}&v={v}")).unwrap();
             assert_eq!(status, 200);
             let served = parse_distance(&body);
-            assert_eq!(served, oracle.query(u, v).value(), "pair ({u},{v})");
+            assert_eq!(served, oracle.try_query(u, v).unwrap().value(), "pair ({u},{v})");
             let d = exact[v].expect("gnp(30, 0.15) is connected");
             let est = served.expect("connected pair must be finite over the wire");
             assert!(est >= d, "underestimate over the wire: {est} < {d}");
@@ -91,7 +91,8 @@ fn cross_shard_distance_and_mixed_batch_match_monolith_and_dijkstra() {
     let (status, resp) = client.post("/batch", body.as_bytes()).unwrap();
     assert_eq!(status, 200);
     let want: Vec<String> = oracle
-        .query_batch(&pairs)
+        .try_query_batch(&pairs)
+        .unwrap()
         .iter()
         .map(|d| d.value().map_or("null".into(), |x| x.to_string()))
         .collect();
@@ -298,7 +299,7 @@ fn failed_shard_reload_keeps_the_old_generation_serving() {
     let (paths, handle) = start_router(&oracle, &dir, 4);
     let mut client = BlockingClient::connect(handle.addr()).unwrap();
 
-    let want: Vec<Option<u64>> = (0..N).map(|v| oracle.query(0, v).value()).collect();
+    let want: Vec<Option<u64>> = (0..N).map(|v| oracle.try_query(0, v).unwrap().value()).collect();
     let check_serving = |client: &mut BlockingClient| {
         for (v, expect) in want.iter().enumerate() {
             let (status, body) = client.get(&format!("/distance?u=0&v={v}")).unwrap();

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rounds_after_build = clique.rounds();
     let sample: Vec<(usize, usize)> = (0..n).map(|i| (i, (i * 97 + 13) % n)).collect();
     let t = Instant::now();
-    let answers = oracle.query_batch(&sample);
+    let answers = oracle.try_query_batch(&sample).unwrap();
     println!("\nquery phase ({} queries):", sample.len());
     println!("  clique rounds      : {} (still {rounds_after_build})", clique.rounds());
     println!("  wall time          : {:.1} us", t.elapsed().as_secs_f64() * 1e6);
@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cached = CachingOracle::new(oracle.clone(), 4096);
     for rep in 0..3 {
         for &(u, v) in sample.iter().take(64) {
-            let _ = cached.query(u, v);
+            let _ = cached.try_query(u, v).unwrap();
         }
         let s = cached.stats();
         println!(
@@ -77,6 +77,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reloaded = congested_clique::oracle::serde::from_bytes(&bytes)?;
     assert_eq!(reloaded, oracle);
     println!("\nsnapshot round-trip: {} bytes, reloaded artifact identical", bytes.len());
-    println!("example query d(0, {}) ~= {}", n - 1, reloaded.query(0, n - 1));
+    println!("example query d(0, {}) ~= {}", n - 1, reloaded.try_query(0, n - 1).unwrap());
     Ok(())
 }

@@ -62,10 +62,10 @@
 //! let mut clique = Clique::new(32);
 //! let oracle = OracleBuilder::new().epsilon(0.25).build(&mut clique, &g)?;
 //! // The clique is done; queries cost zero rounds from here on.
-//! let d = oracle.query(0, 31);
+//! let d = oracle.try_query(0, 31)?;
 //! let snapshot = congested_clique::oracle::serde::to_bytes(&oracle);
 //! let reloaded = congested_clique::oracle::serde::from_bytes(&snapshot)?;
-//! assert_eq!(reloaded.query(0, 31), d);
+//! assert_eq!(reloaded.try_query(0, 31)?, d);
 //! # Ok(())
 //! # }
 //! ```

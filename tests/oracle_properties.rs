@@ -29,7 +29,7 @@ fn check_sound_and_bounded(g: &Graph, oracle: &DistanceOracle) {
     for u in 0..g.n() {
         let exact = reference::dijkstra(g, u);
         for v in 0..g.n() {
-            match (exact[v], oracle.query(u, v).value()) {
+            match (exact[v], oracle.try_query(u, v).unwrap().value()) {
                 (Some(d), Some(est)) => {
                     assert!(est >= d, "underestimate: query({u},{v}) = {est} < {d}");
                     assert!(
@@ -82,7 +82,7 @@ proptest! {
         // And the reloaded artifact serves identical answers.
         for u in 0..g.n() {
             for v in 0..g.n() {
-                prop_assert_eq!(reloaded.query(u, v), a.query(u, v));
+                prop_assert_eq!(reloaded.try_query(u, v).unwrap(), a.try_query(u, v).unwrap());
             }
         }
     }
@@ -93,11 +93,11 @@ proptest! {
         let oracle = build(&g, 5, 0.25, seed);
         let pairs: Vec<(usize, usize)> =
             (0..24 * 24).map(|i| (i % 24, (i / 24) % 24)).collect();
-        let batch = oracle.query_batch(&pairs);
+        let batch = oracle.try_query_batch(&pairs).unwrap();
         let cached = congested_clique::oracle::CachingOracle::new(oracle.clone(), 64);
         for (i, &(u, v)) in pairs.iter().enumerate() {
-            prop_assert_eq!(batch[i], oracle.query(u, v));
-            prop_assert_eq!(cached.query(u, v), oracle.query(u, v));
+            prop_assert_eq!(batch[i], oracle.try_query(u, v).unwrap());
+            prop_assert_eq!(cached.try_query(u, v).unwrap(), oracle.try_query(u, v).unwrap());
         }
     }
 }

@@ -47,14 +47,18 @@ fn check_bit_identical(oracle: &DistanceOracle) {
             .expect("assemble");
         for u in 0..n {
             for v in 0..n {
-                assert_eq!(router.query(u, v), oracle.query(u, v), "({u},{v}) with {count} shards");
+                assert_eq!(
+                    router.try_query(u, v).unwrap(),
+                    oracle.try_query(u, v).unwrap(),
+                    "({u},{v}) with {count} shards"
+                );
             }
         }
         // The batch path routes pair-by-pair through the same combine.
         let pairs: Vec<(usize, usize)> = (0..n * 2).map(|i| (i % n, (i * 7 + 3) % n)).collect();
         assert_eq!(
             router.try_query_batch(&pairs).expect("in-range batch"),
-            oracle.query_batch(&pairs),
+            oracle.try_query_batch(&pairs).unwrap(),
             "batch with {count} shards"
         );
     }
@@ -132,7 +136,7 @@ proptest! {
             let router = ShardRouter::assemble(reloaded).expect("assemble");
             for u in 0..g.n() {
                 for v in 0..g.n() {
-                    prop_assert_eq!(router.query(u, v), oracle.query(u, v));
+                    prop_assert_eq!(router.try_query(u, v).unwrap(), oracle.try_query(u, v).unwrap());
                 }
             }
         }
@@ -194,7 +198,7 @@ fn near_max_weights_clamp_identically_through_the_router() {
         let oracle = serde::from_bytes(&near_max_snapshot(w)).expect("crafted snapshot");
         // Sanity: the monolith clamps the overflowing landmark sum.
         let expect = w.checked_add(w).map_or(MAX_FINITE_DISTANCE, |s| s.min(MAX_FINITE_DISTANCE));
-        assert_eq!(oracle.query(0, 2), Dist::fin(expect), "w = {w}");
+        assert_eq!(oracle.try_query(0, 2).unwrap(), Dist::fin(expect), "w = {w}");
 
         for count in [1usize, 2, 3] {
             let router = ShardedArtifact::partition(&oracle, count)
@@ -204,8 +208,8 @@ fn near_max_weights_clamp_identically_through_the_router() {
             for u in 0..3 {
                 for v in 0..3 {
                     assert_eq!(
-                        router.query(u, v),
-                        oracle.query(u, v),
+                        router.try_query(u, v).unwrap(),
+                        oracle.try_query(u, v).unwrap(),
                         "({u},{v}) with {count} shards, w = {w}"
                     );
                 }
