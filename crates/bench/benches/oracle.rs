@@ -11,16 +11,17 @@
 use cc_clique::Clique;
 use cc_graph::generators;
 use cc_oracle::{CachingOracle, DistanceOracle, OracleBuilder};
+use cc_telemetry::BuildTrace;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 const N: usize = 256;
 
-fn prebuilt() -> DistanceOracle {
+fn prebuilt() -> (DistanceOracle, BuildTrace) {
     let g = generators::gnp_weighted(N, 0.06, 50, 17).expect("graph");
     let mut clique = Clique::new(N);
-    OracleBuilder::new().epsilon(0.25).seed(7).build(&mut clique, &g).expect("build")
+    OracleBuilder::new().epsilon(0.25).seed(7).build_traced(&mut clique, &g).expect("build")
 }
 
 /// A deterministic query stream with realistic skew: a handful of hot pairs
@@ -52,7 +53,7 @@ fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
 }
 
 /// Measures the serving path directly and writes BENCH_oracle.json.
-fn emit_artifact(oracle: &DistanceOracle, build_wall: Duration) {
+fn emit_artifact(oracle: &DistanceOracle, build_wall: Duration, trace: &BuildTrace) {
     let pairs = traffic(200_000);
 
     // Per-query latency distribution. A single query (~tens of ns) is the
@@ -92,11 +93,18 @@ fn emit_artifact(oracle: &DistanceOracle, build_wall: Duration) {
     }
     let stats = cached.stats();
 
-    // (The deprecated `query_p50/p99_ns` aliases of `run64_mean_*` were
-    // dropped after their announced one-PR grace period.)
+    // Per-phase build cost out of the BuildTrace, one key per phase in
+    // build order (`build_phase_<name>_ms`).
+    let phase_keys: String = trace
+        .spans()
+        .iter()
+        .map(|s| format!("  \"build_phase_{}_ms\": {:.2},\n", s.name, s.wall_ns as f64 / 1e6))
+        .collect();
+
     let json = format!(
         "{{\n  \"n\": {},\n  \"k\": {},\n  \"epsilon\": {},\n  \"landmarks\": {},\n  \
-         \"build_rounds\": {},\n  \"build_wall_ms\": {:.1},\n  \"artifact_bytes\": {},\n  \
+         \"build_rounds\": {},\n  \"build_wall_ms\": {:.1},\n{phase_keys}  \
+         \"artifact_bytes\": {},\n  \
          \"run64_mean_p50_ns\": {p50},\n  \"run64_mean_p99_ns\": {p99},\n  \
          \"queries_per_sec\": {:.0},\n  \
          \"cache_hit_rate\": {:.4},\n  \"stretch_bound\": {}\n}}\n",
@@ -118,7 +126,7 @@ fn emit_artifact(oracle: &DistanceOracle, build_wall: Duration) {
 
 fn bench_oracle(c: &mut Criterion) {
     let t = Instant::now();
-    let oracle = prebuilt();
+    let (oracle, trace) = prebuilt();
     let build_wall = t.elapsed();
     println!(
         "oracle build (one-off): n={N}, {} rounds, {} landmarks, {:.1} ms wall",
@@ -152,7 +160,7 @@ fn bench_oracle(c: &mut Criterion) {
         })
     });
 
-    emit_artifact(&oracle, build_wall);
+    emit_artifact(&oracle, build_wall, &trace);
 }
 
 /// Build cost for context: the whole point is paying this once instead of

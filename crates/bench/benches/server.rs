@@ -14,12 +14,19 @@
 //! disabled, and the `cached_sharded_*` keys repeat the workload with the
 //! router behind a `CachingOracle` — recording whether the router-level
 //! pair cache recovers the mono-vs-router throughput gap.
+//!
+//! Two observability keys ride along: `self_reported_request_p50/p99_ns`
+//! are scraped from the server's own `/metrics` histogram after the
+//! throughput phase (log₂ bucket bounds, so ≤2× the external numbers),
+//! and `metrics_overhead_pct` compares requests/sec with the registry
+//! enabled vs swapped for the no-op registry.
 
 use cc_clique::Clique;
 use cc_graph::generators;
 use cc_oracle::{DistanceOracle, OracleBuilder};
 use cc_server::{BlockingClient, Server, ServerConfig, ServerHandle};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::net::SocketAddr;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -149,6 +156,66 @@ fn measure(handle: &ServerHandle) -> Measurement {
     }
 }
 
+/// The server's own view of its `/distance` latency, plus what the
+/// instrumentation costs — exported to BENCH_server.json.
+struct SelfReported {
+    p50_ns: u64,
+    p99_ns: u64,
+    overhead_pct: f64,
+}
+
+/// Scrapes the server's `/distance` latency histogram from `/metrics` and
+/// reconstructs (p50, p99) the way a dashboard would: the upper bound of
+/// the first bucket whose cumulative count reaches the quantile. Buckets
+/// are log₂-spaced, so these overestimate the externally measured
+/// percentiles by at most 2×.
+fn scrape_self_reported(addr: SocketAddr) -> (u64, u64) {
+    let mut client = BlockingClient::connect(addr).expect("connect");
+    let (status, body) = client.get("/metrics").expect("scrape /metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("utf-8 exposition");
+    let prefix = "cc_request_duration_ns_bucket{endpoint=\"distance\",le=\"";
+    let buckets: Vec<(f64, f64)> = text
+        .lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix(prefix)?;
+            let (le, cum) = rest.split_once("\"} ")?;
+            let le = if le == "+Inf" { f64::INFINITY } else { le.parse().ok()? };
+            Some((le, cum.parse().ok()?))
+        })
+        .collect();
+    let total = buckets.last().expect("distance histogram present").1;
+    let quantile = |q: f64| {
+        buckets.iter().find(|(_, cum)| *cum >= q * total).map_or(u64::MAX, |(le, _)| {
+            if le.is_finite() {
+                *le as u64
+            } else {
+                u64::MAX
+            }
+        })
+    };
+    (quantile(0.50), quantile(0.99))
+}
+
+/// Requests/sec on a fresh server with the registry enabled or disabled,
+/// after a short cache warm-up — the pair behind `metrics_overhead_pct`.
+fn measure_throughput(reload_path: &Path, telemetry: bool) -> f64 {
+    let config = ServerConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_workers(CLIENTS + 2)
+        .with_reload_path(reload_path)
+        .with_telemetry_enabled(telemetry);
+    let handle = Server::start(&config, prebuilt()).expect("server start");
+    let mut client = BlockingClient::connect(handle.addr()).expect("connect");
+    for target in targets(512) {
+        client.get(&target).expect("warm-up request");
+    }
+    drop(client);
+    let m = measure(&handle);
+    handle.shutdown();
+    m.requests as f64 / m.wall_secs
+}
+
 /// The reload-under-load numbers exported to BENCH_server.json.
 struct ReloadMeasurement {
     reloads: usize,
@@ -231,6 +298,7 @@ fn emit_artifact(
     s: &Measurement,
     cs: &Measurement,
     cached_hit_rate: f64,
+    self_reported: &SelfReported,
 ) {
     let desc = handle.state().generation().descriptor();
     let json = format!(
@@ -238,7 +306,11 @@ fn emit_artifact(
          \"transport\": \"http/1.1 keep-alive over loopback\",\n  \
          \"clients\": {CLIENTS},\n  \"requests\": {},\n  \
          \"requests_per_sec\": {:.0},\n  \"request_p50_ns\": {},\n  \
-         \"request_p99_ns\": {},\n  \"batch_pairs_per_sec\": {:.0},\n  \
+         \"request_p99_ns\": {},\n  \
+         \"self_reported_request_p50_ns\": {},\n  \
+         \"self_reported_request_p99_ns\": {},\n  \
+         \"metrics_overhead_pct\": {:.2},\n  \
+         \"batch_pairs_per_sec\": {:.0},\n  \
          \"reloads_under_load\": {},\n  \"reload_under_load_p50_ns\": {},\n  \
          \"reload_under_load_p99_ns\": {},\n  \"reload_ms_mean\": {:.2},\n  \
          \"sharded_shards\": {BENCH_SHARDS},\n  \"sharded_requests\": {},\n  \
@@ -256,6 +328,9 @@ fn emit_artifact(
         m.requests as f64 / m.wall_secs,
         m.p50_ns,
         m.p99_ns,
+        self_reported.p50_ns,
+        self_reported.p99_ns,
+        self_reported.overhead_pct,
         m.batch_pairs_per_sec,
         r.reloads,
         r.p50_ns,
@@ -321,7 +396,20 @@ fn bench_server(c: &mut Criterion) {
     });
 
     let m = measure(&handle);
+    // Scrape the server's own histogram right after the throughput phase,
+    // before the reload phase adds differently shaped traffic.
+    let (self_p50, self_p99) = scrape_self_reported(addr);
     let r = measure_reload_under_load(&handle, &live, &snap_a, &snap_b);
+
+    // What the registry costs: the identical workload on fresh servers,
+    // instrumentation enabled vs swapped for the no-op registry.
+    let rps_on = measure_throughput(&live, true);
+    let rps_off = measure_throughput(&live, false);
+    let self_reported = SelfReported {
+        p50_ns: self_p50,
+        p99_ns: self_p99,
+        overhead_pct: (rps_off - rps_on) / rps_off * 100.0,
+    };
 
     // The router tier on the same artifact and workload: once with the
     // result cache disabled (the raw combine cost) and once behind the
@@ -339,7 +427,7 @@ fn bench_server(c: &mut Criterion) {
     cached_sharded.shutdown();
     std::fs::remove_dir_all(&shard_dir).ok();
 
-    emit_artifact(&handle, &m, &r, &s, &cs, cached_hit_rate);
+    emit_artifact(&handle, &m, &r, &s, &cs, cached_hit_rate, &self_reported);
     std::fs::remove_file(&live).ok();
     handle.shutdown();
 }

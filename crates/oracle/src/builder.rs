@@ -1,12 +1,34 @@
 //! The build phase: one distributed pass that extracts the local artifact.
 
+use std::time::Instant;
+
 use cc_clique::Clique;
 use cc_core::mssp::mssp;
 use cc_distance::{hitting_set, k_nearest};
 use cc_graph::Graph;
+use cc_telemetry::BuildTrace;
 
 use crate::error::invalid;
 use crate::{DistanceOracle, OracleError};
+
+/// Appends one phase span to `trace`, charging the round/message/word
+/// deltas since `before` and the wall time since `started`.
+fn close_span(
+    trace: &mut BuildTrace,
+    name: &str,
+    clique: &Clique,
+    before: &cc_clique::RoundReport,
+    started: Instant,
+) {
+    let after = clique.report();
+    trace.record(
+        name,
+        started.elapsed().as_nanos() as u64,
+        after.rounds - before.rounds,
+        after.messages - before.messages,
+        after.words - before.words,
+    );
+}
 
 /// Configures and runs the one-off distributed build of a
 /// [`DistanceOracle`].
@@ -79,6 +101,23 @@ impl OracleBuilder {
     ///   graph/clique size mismatch;
     /// * [`OracleError::Build`] if a distributed substrate fails.
     pub fn build(&self, clique: &mut Clique, graph: &Graph) -> Result<DistanceOracle, OracleError> {
+        self.build_traced(clique, graph).map(|(oracle, _)| oracle)
+    }
+
+    /// Like [`build`](Self::build), but also returns a
+    /// [`BuildTrace`] with one span per phase — k-nearest balls,
+    /// hitting-set landmarks, MSSP columns, local extraction — each
+    /// carrying the phase's simulated rounds, wall time, and message
+    /// volume (messages/words moved through the clique).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`](Self::build).
+    pub fn build_traced(
+        &self,
+        clique: &mut Clique,
+        graph: &Graph,
+    ) -> Result<(DistanceOracle, BuildTrace), OracleError> {
         let n = graph.n();
         if n != clique.n() {
             return Err(invalid(format!("graph has {n} nodes but clique has {}", clique.n())));
@@ -96,21 +135,29 @@ impl OracleBuilder {
         }
 
         let rounds_before = clique.rounds();
+        let mut trace = BuildTrace::new();
 
         // Phase 1 — Theorem 18: exact k-nearest balls.
+        let (report, started) = (clique.report(), Instant::now());
         let near = k_nearest(clique, graph, k)?;
+        close_span(&mut trace, "k_nearest_balls", clique, &report, started);
 
         // Phase 2 — Lemma 4: a landmark set hitting every ball. Balls always
         // contain their own node, so every node gets a landmark in its ball.
+        let (report, started) = (clique.report(), Instant::now());
         let sets: Vec<Vec<usize>> =
             near.iter().map(|row| row.iter().map(|(c, _)| c as usize).collect()).collect();
         let landmarks = hitting_set(clique, &sets, k, self.seed)?;
+        close_span(&mut trace, "hitting_set_landmarks", clique, &report, started);
 
         // Phase 3 — Theorem 3: (1+ε) distance columns from the landmarks.
+        let (report, started) = (clique.report(), Instant::now());
         let run = mssp(clique, graph, &landmarks.members, self.epsilon)?;
+        close_span(&mut trace, "mssp_columns", clique, &report, started);
         let build_rounds = clique.rounds() - rounds_before;
 
         // Extraction — purely local, no further communication.
+        let (report, started) = (clique.report(), Instant::now());
         let landmark_ids: Vec<u32> = landmarks.members.iter().map(|&a| a as u32).collect();
         let mut balls: Vec<Vec<(u32, u64)>> = Vec::with_capacity(n);
         let mut nearest_landmark: Vec<(u32, u64)> = Vec::with_capacity(n);
@@ -134,7 +181,7 @@ impl OracleBuilder {
             }
         }
 
-        Ok(DistanceOracle {
+        let oracle = DistanceOracle {
             n,
             k,
             epsilon: self.epsilon,
@@ -144,7 +191,9 @@ impl OracleBuilder {
             balls,
             nearest_landmark,
             columns,
-        })
+        };
+        close_span(&mut trace, "local_extraction", clique, &report, started);
+        Ok((oracle, trace))
     }
 }
 
@@ -188,6 +237,24 @@ mod tests {
             OracleBuilder::new().seed(seed).build(&mut clique, &g).unwrap()
         };
         assert_eq!(build(9), build(9));
+    }
+
+    #[test]
+    fn build_trace_accounts_for_every_round() {
+        let g = generators::gnp(32, 0.2, 3).unwrap();
+        let mut clique = Clique::new(32);
+        let (oracle, trace) = OracleBuilder::new().build_traced(&mut clique, &g).unwrap();
+        let phases: Vec<&str> = trace.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            phases,
+            vec!["k_nearest_balls", "hitting_set_landmarks", "mssp_columns", "local_extraction"]
+        );
+        // The three distributed phases account for exactly the build rounds;
+        // extraction is local and charges none.
+        assert_eq!(trace.total_rounds(), oracle.build_rounds());
+        assert_eq!(trace.span("local_extraction").unwrap().rounds, 0);
+        assert!(trace.span("mssp_columns").unwrap().rounds > 0);
+        assert!(trace.span("k_nearest_balls").unwrap().words > 0, "phase 1 moves data");
     }
 
     #[test]

@@ -216,22 +216,9 @@ impl<B: QueryBackend> CachingOracle<B> {
         Ok(())
     }
 
-    /// Cached query; identical answers to the wrapped backend, plus
-    /// counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` or `v` is out of range, like the uncached query.
-    #[deprecated(note = "use the fallible `try_query`; the panicking wrapper will be removed")]
-    pub fn query(&self, u: usize, v: usize) -> Dist {
-        match self.try_query(u, v) {
-            Ok(d) => d,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible cached query for serving layers: out-of-range endpoints
-    /// become [`OracleError::QueryOutOfRange`], never a panic (and never a
+    /// Cached query for serving layers: identical answers to the wrapped
+    /// backend, plus counters. Out-of-range endpoints become
+    /// [`OracleError::QueryOutOfRange`], never a panic (and never a
     /// poisoned shard lock — validation happens before locking).
     ///
     /// # Errors
@@ -269,23 +256,8 @@ impl<B: QueryBackend> CachingOracle<B> {
         answer
     }
 
-    /// Cached batch query (shard-parallel like the uncached batch).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any pair is out of range.
-    #[deprecated(
-        note = "use the fallible `try_query_batch`; the panicking wrapper will be removed"
-    )]
-    pub fn query_batch(&self, pairs: &[(usize, usize)]) -> Vec<Dist> {
-        match self.try_query_batch(pairs) {
-            Ok(d) => d,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible cached batch query: validates every pair before computing
-    /// anything.
+    /// Cached batch query (shard-parallel like the uncached batch):
+    /// validates every pair before computing anything.
     ///
     /// # Errors
     ///
@@ -560,15 +532,6 @@ mod tests {
         }
         let stats = c.stats();
         assert_eq!(stats.hits + stats.misses, 4096);
-    }
-
-    #[test]
-    fn deprecated_panicking_wrappers_still_answer_identically() {
-        #![allow(deprecated)]
-        let c = cached(16, 64);
-        assert_eq!(c.query(0, 15), c.try_query(0, 15).unwrap());
-        let pairs = [(0, 1), (2, 3)];
-        assert_eq!(c.query_batch(&pairs), c.try_query_batch(&pairs).unwrap());
     }
 
     #[test]

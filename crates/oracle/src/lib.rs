@@ -11,11 +11,10 @@
 //!   (Theorem 3) — into an immutable [`DistanceOracle`] artifact. This is a
 //!   Thorup–Zwick-style sketch: per-node exact balls plus approximate
 //!   landmark columns.
-//! * [`DistanceOracle::query`] answers `d(u, v)` with **zero clique
+//! * [`DistanceOracle::try_query`] answers `d(u, v)` with **zero clique
 //!   rounds**: exact when one endpoint lies in the other's ball, and at most
 //!   `3·(1+ε)·d(u, v)` otherwise (routing through the nearest landmark).
-//!   Queries take `O(log k)` time, need only `&self`, and are lock-free.
-//!   [`DistanceOracle::try_query`] is the fallible twin for serving layers
+//!   Queries take `O(log k)` time, need only `&self`, and are lock-free
 //!   (see *Query contract* below).
 //! * [`DistanceOracle::try_query_batch`] shards a batch across std threads
 //!   (the seam where a rayon pool or async front-end plugs in later).
@@ -43,7 +42,7 @@
 //!   set **bit-identically to the monolith** by combining one
 //!   [`shard::HalfQuery`] per endpoint. Per-shard snapshots
 //!   ([`serde::to_shard_bytes`]) carry shard index/count and a shared set
-//!   id, so a router tier (`cc-serve --shards`) can load, verify, and
+//!   id, so a router tier (a sharded-manifest `cc-serve`) can load, verify, and
 //!   hot-swap each slice independently. See `docs/SHARDING.md`.
 //!
 //! # Stretch guarantee
@@ -76,10 +75,19 @@
 //!   [`OracleError::QueryOutOfRange`]. **Network front-ends must use
 //!   these** — validation happens at the edge, and a malformed request
 //!   becomes a client error instead of a crashed (or lock-poisoned)
-//!   serving process. This is what `cc-serve` does.
-//! * The panicking `query` / `query_batch` wrappers are **deprecated** and
-//!   kept for one release: identical answers, but out of range is a panic
-//!   naming the offending pair. Migrate to the `try_` family.
+//!   serving process. This is what `cc-serve` does. (The panicking
+//!   `query` / `query_batch` wrappers served their one-release
+//!   deprecation window and are gone.)
+//!
+//! # Build observability
+//!
+//! [`OracleBuilder::build_traced`] and
+//! [`shard::ShardedArtifact::partition_traced`] additionally return a
+//! [`cc_telemetry::BuildTrace`] with one span per construction phase
+//! (k-nearest balls, hitting-set landmarks, MSSP columns, extraction /
+//! per-shard slicing) carrying the phase's simulated clique rounds, wall
+//! time, and message volume — the numbers `cc-serve --demo` logs at
+//! startup and `BENCH_oracle.json` records as `build_phase_*_ms`.
 //!
 //! # Example
 //!

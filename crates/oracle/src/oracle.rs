@@ -105,26 +105,9 @@ impl DistanceOracle {
     /// exceeds [`MAX_FINITE_DISTANCE`], the clamped answer is below it —
     /// reachability is preserved, the magnitude saturates.)
     ///
-    /// This is the hot in-process path: a thin wrapper over
-    /// [`DistanceOracle::try_query`] that panics instead of paying for
-    /// `Result` handling at every call site.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` or `v` is not in `0..n`; a serving layer should
-    /// validate requests at the edge with [`DistanceOracle::try_query`].
-    #[deprecated(note = "use the fallible `try_query`; the panicking wrapper will be removed")]
-    pub fn query(&self, u: usize, v: usize) -> Dist {
-        match self.try_query(u, v) {
-            Ok(d) => d,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible [`DistanceOracle::query`]: identical answers, but an
-    /// out-of-range endpoint is [`OracleError::QueryOutOfRange`] instead of
-    /// a panic, so network front-ends can turn malformed requests into
-    /// client errors without crashing the serving process.
+    /// An out-of-range endpoint is [`OracleError::QueryOutOfRange`]
+    /// rather than a panic, so network front-ends can turn malformed
+    /// requests into client errors without crashing the serving process.
     ///
     /// # Example
     ///
@@ -208,21 +191,8 @@ impl DistanceOracle {
     /// over contiguous shards are the stand-in and the seam where a proper
     /// work-stealing pool plugs in.)
     ///
-    /// # Panics
-    ///
-    /// Panics if any pair is out of range, like [`DistanceOracle::query`].
-    #[deprecated(
-        note = "use the fallible `try_query_batch`; the panicking wrapper will be removed"
-    )]
-    pub fn query_batch(&self, pairs: &[(usize, usize)]) -> Vec<Dist> {
-        match self.try_query_batch(pairs) {
-            Ok(d) => d,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible [`DistanceOracle::query_batch`]: validates every pair up
-    /// front, so either the whole batch is answered or nothing is computed.
+    /// Every pair is validated up front, so either the whole batch is
+    /// answered or nothing is computed.
     ///
     /// # Errors
     ///
@@ -327,27 +297,6 @@ mod tests {
         assert_eq!(oracle.try_query(0, 1).unwrap(), Dist::fin(2));
         assert_eq!(oracle.try_query(0, 2).unwrap(), Dist::INF);
         assert_eq!(oracle.try_query(4, 5).unwrap(), Dist::INF);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_answer_identically_to_try_query() {
-        let (_, oracle) = build(16, 4);
-        for u in 0..16 {
-            for v in 0..16 {
-                assert_eq!(oracle.query(u, v), oracle.try_query(u, v).unwrap());
-            }
-        }
-        let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, (i * 3 + 1) % 16)).collect();
-        assert_eq!(oracle.query_batch(&pairs), oracle.try_query_batch(&pairs).unwrap());
-    }
-
-    #[test]
-    #[should_panic(expected = "outside")]
-    #[allow(deprecated)]
-    fn out_of_range_query_panics() {
-        let (_, oracle) = build(16, 1);
-        oracle.query(0, 16);
     }
 
     #[test]

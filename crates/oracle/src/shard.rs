@@ -1,6 +1,6 @@
 //! Shard a built oracle by contiguous node range and answer queries by
 //! combining **two half-results** — exactly the way the monolithic
-//! [`DistanceOracle::query`] combines them, so a [`ShardRouter`] is
+//! [`DistanceOracle::try_query`] combines them, so a [`ShardRouter`] is
 //! bit-identical to the monolith it was partitioned from.
 //!
 //! The paper's artifact is "build once in the clique, query locally
@@ -18,15 +18,18 @@
 //! A query `(u, v)` then decomposes into two [`HalfQuery`] lookups — one on
 //! the shard owning `u`, one on the shard owning `v` (the same shard when
 //! they are co-located) — and a pure [`combine`] step any router tier can
-//! run. `cc-serve --shards` is that router tier over HTTP.
+//! run. A manifest-driven `cc-serve` in sharded mode is that router tier
+//! over HTTP.
 //!
 //! Per-shard snapshots (magic `CCSH`, the v2 header extended with shard
 //! index/count and a set id) are in [`crate::serde`]:
 //! [`crate::serde::to_shard_bytes`] / [`crate::serde::from_shard_bytes`].
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use cc_matrix::Dist;
+use cc_telemetry::BuildTrace;
 
 use crate::error::{invalid, set_mismatch};
 use crate::oracle::MAX_FINITE_DISTANCE;
@@ -123,7 +126,7 @@ pub struct HalfQuery {
 }
 
 /// Combines the two half-results for a pair `(u, v)` with `u != v` exactly
-/// as [`DistanceOracle::query`] does: `u`'s ball is consulted first, then
+/// as [`DistanceOracle::try_query`] does: `u`'s ball is consulted first, then
 /// `v`'s (both are exact, so the order only matters for symmetry of the
 /// code path, not the answer), then the smaller landmark candidate;
 /// [`Dist::INF`] when neither endpoint reaches the other through a ball or
@@ -301,12 +304,33 @@ impl ShardedArtifact {
         oracle: &DistanceOracle,
         count: usize,
     ) -> Result<ShardedArtifact, OracleError> {
+        Self::partition_traced(oracle, count).map(|(artifact, _)| artifact)
+    }
+
+    /// Like [`partition`](Self::partition), but also returns a
+    /// [`BuildTrace`] with one span per phase: the set-id checksum pass
+    /// plus one span per shard slice, each reporting the words of
+    /// artifact state copied into that slice (per-node state sliced by
+    /// range, landmark list and column matrix replicated). Partitioning
+    /// is purely local, so every span charges zero clique rounds.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`partition`](Self::partition).
+    pub fn partition_traced(
+        oracle: &DistanceOracle,
+        count: usize,
+    ) -> Result<(ShardedArtifact, BuildTrace), OracleError> {
+        let mut trace = BuildTrace::new();
         let plan = ShardPlan::new(oracle.n(), count)?;
+        let started = Instant::now();
         let set_id = crate::serde::payload_checksum(oracle);
-        let shards = (0..count)
+        trace.record("shard_set_id_checksum", started.elapsed().as_nanos() as u64, 0, 0, 0);
+        let shards: Vec<OracleShard> = (0..count)
             .map(|i| {
+                let started = Instant::now();
                 let range = plan.range(i);
-                OracleShard {
+                let shard = OracleShard {
                     index: i as u32,
                     count: count as u32,
                     start: range.start,
@@ -320,10 +344,23 @@ impl ShardedArtifact {
                     balls: oracle.balls[range.clone()].to_vec(),
                     nearest_landmark: oracle.nearest_landmark[range].to_vec(),
                     columns: oracle.columns.clone(),
-                }
+                };
+                let ball_words: usize = shard.balls.iter().map(|b| b.len() * 2).sum();
+                let words = (ball_words
+                    + shard.columns.len()
+                    + shard.landmarks.len()
+                    + shard.nearest_landmark.len() * 2) as u64;
+                trace.record(
+                    &format!("partition_shard_{i}"),
+                    started.elapsed().as_nanos() as u64,
+                    0,
+                    0,
+                    words,
+                );
+                shard
             })
             .collect();
-        Ok(ShardedArtifact { shards })
+        Ok((ShardedArtifact { shards }, trace))
     }
 
     /// The partition underlying this artifact.
@@ -434,7 +471,7 @@ pub fn validate_set<S: std::borrow::Borrow<OracleShard>>(
 
 /// Routes distance queries over a complete, validated shard set, combining
 /// the two per-endpoint half-results exactly as the monolithic
-/// [`DistanceOracle::query`] would — the equivalence the
+/// [`DistanceOracle::try_query`] would — the equivalence the
 /// `tests/shard_equivalence.rs` suite pins down bit-for-bit.
 ///
 /// # Example
@@ -571,19 +608,6 @@ impl ShardRouter {
 
     /// Distance estimate for `(u, v)`: two half-queries on the owning
     /// shards, combined exactly like the monolithic query kernel.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` or `v` is not in `0..n`.
-    #[deprecated(note = "use the fallible `try_query`; the panicking wrapper will be removed")]
-    pub fn query(&self, u: usize, v: usize) -> Dist {
-        match self.try_query(u, v) {
-            Ok(d) => d,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible [`ShardRouter::query`] for serving layers.
     ///
     /// # Errors
     ///

@@ -1,7 +1,10 @@
 //! Server tuning knobs.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+
+use cc_telemetry::AccessLog;
 
 /// Configuration for [`crate::Server::start`].
 ///
@@ -29,10 +32,17 @@ pub struct ServerConfig {
     /// explicitly (`/reload?path=...`). Ignored when the server is started
     /// from a manifest or shard set, which carry their own reload sources.
     pub reload_path: Option<PathBuf>,
-    /// Deprecation note surfaced as `"deprecations"` in `/stats` — set by
-    /// the binary when the server was started through the deprecated
-    /// `--snapshot` / `--shards` flags instead of `--manifest`.
-    pub deprecation_note: Option<String>,
+    /// Whether the metric registry records anything. `false` swaps in a
+    /// permanently disabled [`cc_telemetry::Registry`]: every counter,
+    /// gauge, and histogram handle becomes a no-op (and `/stats`,
+    /// `/metrics` report zeros). Exists so the bench harness can measure
+    /// instrumentation overhead; leave `true` in production.
+    pub telemetry_enabled: bool,
+    /// Access/slow-query log every request is recorded to. `None` (the
+    /// default) disables request logging entirely; the log's own
+    /// threshold decides which requests it keeps (see
+    /// [`AccessLog::to_writer`]).
+    pub access_log: Option<Arc<AccessLog>>,
 }
 
 impl Default for ServerConfig {
@@ -45,7 +55,8 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             read_timeout: Duration::from_secs(5),
             reload_path: None,
-            deprecation_note: None,
+            telemetry_enabled: true,
+            access_log: None,
         }
     }
 }
@@ -93,9 +104,15 @@ impl ServerConfig {
         self
     }
 
-    /// Sets the deprecation note `/stats` reports as `"deprecations"`.
-    pub fn with_deprecation_note(mut self, note: impl Into<String>) -> Self {
-        self.deprecation_note = Some(note.into());
+    /// Enables or disables the metric registry (enabled by default).
+    pub fn with_telemetry_enabled(mut self, enabled: bool) -> Self {
+        self.telemetry_enabled = enabled;
+        self
+    }
+
+    /// Sets the access/slow-query log requests are recorded to.
+    pub fn with_access_log(mut self, log: Arc<AccessLog>) -> Self {
+        self.access_log = Some(log);
         self
     }
 }
@@ -113,7 +130,9 @@ mod tests {
             .with_max_body_bytes(512)
             .with_cache_capacity(7)
             .with_read_timeout(Duration::from_millis(250))
-            .with_reload_path("/tmp/next.snap");
+            .with_reload_path("/tmp/next.snap")
+            .with_telemetry_enabled(false)
+            .with_access_log(Arc::new(AccessLog::stderr(0)));
         assert_eq!(c.addr, "0.0.0.0:9999");
         assert_eq!(c.reload_path.as_deref(), Some(std::path::Path::new("/tmp/next.snap")));
         assert_eq!(c.workers, 1, "worker count is clamped to at least 1");
@@ -121,5 +140,7 @@ mod tests {
         assert_eq!(c.max_body_bytes, 512);
         assert_eq!(c.cache_capacity, 7);
         assert_eq!(c.read_timeout, Duration::from_millis(250));
+        assert!(!c.telemetry_enabled);
+        assert!(c.access_log.is_some());
     }
 }

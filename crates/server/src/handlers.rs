@@ -21,19 +21,33 @@
 //! every successful swap the hottest keys of the outgoing cache are
 //! replayed into the new generation ([`Generation::warmed_from`]), and
 //! `/stats` reports the count as `warmed_keys`.
+//!
+//! All bookkeeping lives in a per-state [`cc_telemetry::Registry`]:
+//! counters and histograms are pre-registered handles (single atomic ops
+//! on the hot path), and both `GET /stats` and `GET /metrics` render from
+//! **one** registry snapshot taken after refreshing the point-in-time
+//! gauges (cache, uptime) — so the human view and the scrape view can
+//! never disagree about the same instant.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cc_matrix::Dist;
 use cc_oracle::shard::{OracleShard, ShardRouter};
-use cc_oracle::{DistanceOracle, OracleError, QueryBackend};
+use cc_oracle::{BackendDescriptor, DistanceOracle, OracleError, QueryBackend};
+use cc_telemetry::{
+    render_prometheus, AccessLog, Counter, Gauge, Histogram, Json, JsonObject, Registry,
+    RegistrySnapshot,
+};
 
-use crate::http::{json_escape, Request, Response};
+use crate::http::{Request, Response};
 use crate::reload::{Generation, ReloadHandle, SnapshotInfo, WARM_KEYS};
 use crate::source::{self, BackendSpec, LoadedBackend, LoadedShard};
+
+/// `Content-Type` of the `GET /metrics` exposition.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 /// What a successful reload installed, captured atomically with the swap —
 /// a response built from this cannot mix in state from a concurrent later
@@ -51,7 +65,7 @@ pub struct ReloadOutcome {
 }
 
 /// Shared per-server state: one hot-swappable [`Generation`] over a
-/// `Box<dyn QueryBackend>`, the reload source, and request counters.
+/// `Box<dyn QueryBackend>`, the reload source, and the metric registry.
 pub struct AppState {
     handle: ReloadHandle,
     /// Where `POST /reload` / SIGHUP reload from: a manifest (re-read each
@@ -63,23 +77,104 @@ pub struct AppState {
     /// becomes the new default (so a later single-shard or explicit-path
     /// reload cannot silently revert an operator's manifest setting).
     cache_capacity: AtomicUsize,
-    /// Deprecation note surfaced in `/stats` (e.g. when the server was
-    /// started through the deprecated `--snapshot` / `--shards` flags).
-    deprecations: Option<String>,
     /// Serializes load+swap so overlapping reloads apply in a definite
     /// order; never held by the request path.
     reload_lock: Mutex<()>,
     last_reload_error: Mutex<Option<String>>,
     started: Instant,
-    requests: AtomicU64,
-    distance_requests: AtomicU64,
-    batch_requests: AtomicU64,
-    batch_pairs: AtomicU64,
-    client_errors: AtomicU64,
-    load_shed: AtomicU64,
-    reload_requests: AtomicU64,
-    reloads: AtomicU64,
-    reload_failures: AtomicU64,
+    registry: Arc<Registry>,
+    metrics: Metrics,
+    access_log: Option<Arc<AccessLog>>,
+}
+
+/// Endpoint classes with their own `cc_request_duration_ns` series; the
+/// catch-all `other` class must stay last (it is the fallback of
+/// [`AppState::record_request`]).
+const ENDPOINT_CLASSES: [&str; 4] = ["distance", "batch", "reload", "other"];
+
+/// Maps a request path to its endpoint class — the `endpoint` label on
+/// `cc_request_duration_ns` / `cc_endpoint_requests_total` and the
+/// `"endpoint"` field of the access log.
+pub fn endpoint_of(path: &str) -> &'static str {
+    match path {
+        "/distance" => "distance",
+        "/batch" => "batch",
+        "/reload" => "reload",
+        _ => "other",
+    }
+}
+
+/// Pre-registered metric handles — created once per registry so the
+/// request path touches single atomics and never the registration lock.
+struct Metrics {
+    requests: Counter,
+    distance_requests: Counter,
+    batch_requests: Counter,
+    reload_requests: Counter,
+    batch_pairs: Counter,
+    client_errors: Counter,
+    load_shed: Counter,
+    reloads: Counter,
+    reload_failures: Counter,
+    reload_duration: Arc<Histogram>,
+    /// Per-endpoint-class request latency, parallel to
+    /// [`ENDPOINT_CLASSES`].
+    durations: Vec<(&'static str, Arc<Histogram>)>,
+    cache_hits: Gauge,
+    cache_misses: Gauge,
+    cache_hit_rate: Gauge,
+    cache_len: Gauge,
+    cache_capacity: Gauge,
+    cache_warmed_keys: Gauge,
+    uptime: Gauge,
+}
+
+impl Metrics {
+    fn register(r: &Registry) -> Metrics {
+        r.describe("cc_requests_total", "Requests handled, any endpoint, any outcome.");
+        r.describe("cc_endpoint_requests_total", "Requests per query/reload endpoint.");
+        r.describe("cc_batch_pairs_total", "Distance pairs answered through POST /batch.");
+        r.describe("cc_client_errors_total", "Responses with a 4xx status.");
+        r.describe("cc_load_shed_total", "Connections shed with 503 by the acceptor.");
+        r.describe("cc_reloads_total", "Successful hot-reload swaps.");
+        r.describe("cc_reload_failures_total", "Reload attempts rejected by validation.");
+        r.describe("cc_request_duration_ns", "Wall time per request, first byte to flush.");
+        r.describe("cc_reload_duration_ns", "Wall time per successful reload, load to swap.");
+        r.describe("cc_pool_queue_depth", "Connections queued for a worker right now.");
+        r.describe("cc_cache_hits", "Result-cache hits of the serving generation.");
+        r.describe("cc_cache_misses", "Result-cache misses of the serving generation.");
+        r.describe("cc_cache_hit_rate", "Result-cache hit rate of the serving generation.");
+        r.describe("cc_cache_len", "Entries resident in the result cache.");
+        r.describe("cc_cache_capacity", "Result-cache capacity of the serving generation.");
+        r.describe("cc_cache_warmed_keys", "Keys replayed into the cache at the last reload.");
+        r.describe("cc_uptime_seconds", "Seconds since this serving state was created.");
+        // Registered here (owned by the worker pool) so a scrape before
+        // any traffic still sees the series.
+        let _ = r.gauge("cc_pool_queue_depth", &[]);
+        Metrics {
+            requests: r.counter("cc_requests_total", &[]),
+            distance_requests: r.counter("cc_endpoint_requests_total", &[("endpoint", "distance")]),
+            batch_requests: r.counter("cc_endpoint_requests_total", &[("endpoint", "batch")]),
+            reload_requests: r.counter("cc_endpoint_requests_total", &[("endpoint", "reload")]),
+            batch_pairs: r.counter("cc_batch_pairs_total", &[]),
+            client_errors: r.counter("cc_client_errors_total", &[]),
+            load_shed: r.counter("cc_load_shed_total", &[]),
+            reloads: r.counter("cc_reloads_total", &[]),
+            reload_failures: r.counter("cc_reload_failures_total", &[]),
+            reload_duration: r.histogram("cc_reload_duration_ns", &[]),
+            durations: ENDPOINT_CLASSES
+                .iter()
+                .map(|&e| (e, r.histogram("cc_request_duration_ns", &[("endpoint", e)])))
+                .collect(),
+            cache_hits: r.gauge("cc_cache_hits", &[]),
+            cache_misses: r.gauge("cc_cache_misses", &[]),
+            cache_hit_rate: r.gauge("cc_cache_hit_rate", &[]),
+            cache_len: r.gauge("cc_cache_len", &[]),
+            cache_capacity: r.gauge("cc_cache_capacity", &[]),
+            cache_warmed_keys: r.gauge("cc_cache_warmed_keys", &[]),
+            uptime: r.gauge("cc_uptime_seconds", &[]),
+        }
+    }
 }
 
 /// Set-level identity for a (possibly mixed) shard set: the shared set id,
@@ -185,30 +280,63 @@ impl AppState {
         spec: Option<BackendSpec>,
         cache_capacity: usize,
     ) -> AppState {
+        let registry = Arc::new(Registry::new());
+        let metrics = Metrics::register(&registry);
+        let mut handle = ReloadHandle::new(generation);
+        handle.set_duration_histogram(Arc::clone(&metrics.reload_duration));
         AppState {
-            handle: ReloadHandle::new(generation),
+            handle,
             spec,
             cache_capacity: AtomicUsize::new(cache_capacity),
-            deprecations: None,
             reload_lock: Mutex::new(()),
             last_reload_error: Mutex::new(None),
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            distance_requests: AtomicU64::new(0),
-            batch_requests: AtomicU64::new(0),
-            batch_pairs: AtomicU64::new(0),
-            client_errors: AtomicU64::new(0),
-            load_shed: AtomicU64::new(0),
-            reload_requests: AtomicU64::new(0),
-            reloads: AtomicU64::new(0),
-            reload_failures: AtomicU64::new(0),
+            registry,
+            metrics,
+            access_log: None,
         }
     }
 
-    /// Sets the deprecation note `/stats` reports (used by the binary when
-    /// the deprecated `--snapshot` / `--shards` flags are still in play).
-    pub(crate) fn set_deprecations(&mut self, note: Option<String>) {
-        self.deprecations = note;
+    /// The metric registry backing `/stats` and `/metrics`. The server
+    /// registers the worker-pool queue-depth gauge here, and the binary
+    /// exports build-phase gauges into it after a `--demo` build.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Replaces the registry with a permanently disabled one: every metric
+    /// handle becomes a no-op (used to measure instrumentation overhead).
+    /// Must be called before the state starts serving — existing handles
+    /// are re-created, so earlier recordings are discarded.
+    pub fn disable_telemetry(&mut self) {
+        self.registry = Arc::new(Registry::new_disabled());
+        self.metrics = Metrics::register(&self.registry);
+        self.handle.set_duration_histogram(Arc::clone(&self.metrics.reload_duration));
+    }
+
+    /// Sets the access/slow-query log every served request is recorded to.
+    pub fn set_access_log(&mut self, log: Arc<AccessLog>) {
+        self.access_log = Some(log);
+    }
+
+    /// The access/slow-query log, when one is configured.
+    pub fn access_log(&self) -> Option<&Arc<AccessLog>> {
+        self.access_log.as_ref()
+    }
+
+    /// Records one served request into the per-endpoint latency histogram
+    /// (`cc_request_duration_ns{endpoint=...}`); unknown endpoints land in
+    /// the `other` class.
+    pub fn record_request(&self, endpoint: &str, duration_ns: u64) {
+        let slot = self
+            .metrics
+            .durations
+            .iter()
+            .find(|(name, _)| *name == endpoint)
+            .or_else(|| self.metrics.durations.last());
+        if let Some((_, hist)) = slot {
+            hist.record(duration_ns);
+        }
     }
 
     /// True when this state routes over a shard set (right now — a
@@ -227,33 +355,41 @@ impl AppState {
     /// Successful hot-reload swaps so far (one per shard swapped in a
     /// full-set roll).
     pub fn reloads(&self) -> u64 {
-        self.reloads.load(Ordering::Relaxed)
+        self.metrics.reloads.get()
     }
 
     /// Reload attempts rejected by validation (the old artifact kept
     /// serving each time).
     pub fn reload_failures(&self) -> u64 {
-        self.reload_failures.load(Ordering::Relaxed)
+        self.metrics.reload_failures.get()
     }
 
     fn record_reload_failure(&self, msg: String) -> String {
-        self.reload_failures.fetch_add(1, Ordering::Relaxed);
+        self.metrics.reload_failures.inc();
         *self.last_reload_error.lock().expect("reload error lock") = Some(msg.clone());
         msg
     }
 
     fn record_reload_success(&self) -> u64 {
-        let swaps = self.reloads.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.reloads.inc();
         *self.last_reload_error.lock().expect("reload error lock") = None;
-        swaps
+        self.metrics.reloads.get()
     }
 
     /// Installs a validated replacement generation: warms its cache from
-    /// the outgoing one, swaps atomically, and books `swap_units`
-    /// successful swaps (1 for a monolith or single shard, the shard count
-    /// for a full-set roll).
-    fn install(&self, next: Generation, outgoing: &Generation, swap_units: usize) -> u64 {
-        self.handle.swap(next.warmed_from(outgoing, WARM_KEYS));
+    /// the outgoing one, swaps atomically (charging `started.elapsed()` —
+    /// the whole load → validate → warm → swap — to
+    /// `cc_reload_duration_ns`), and books `swap_units` successful swaps
+    /// (1 for a monolith or single shard, the shard count for a full-set
+    /// roll).
+    fn install(
+        &self,
+        next: Generation,
+        outgoing: &Generation,
+        swap_units: usize,
+        started: Instant,
+    ) -> u64 {
+        self.handle.swap_timed(next.warmed_from(outgoing, WARM_KEYS), started);
         let mut swaps = 0;
         for _ in 0..swap_units.max(1) {
             swaps = self.record_reload_success();
@@ -276,6 +412,7 @@ impl AppState {
     /// version, checksum, structure), or that this server currently routes
     /// a shard set (reload a shard — or the manifest — instead).
     pub fn reload_from(&self, path: &Path) -> Result<ReloadOutcome, String> {
+        let started = Instant::now();
         let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
         let current = self.handle.current();
         if current.is_sharded() {
@@ -304,7 +441,7 @@ impl AppState {
                     LoadedBackend::mono(loaded.oracle, loaded.info),
                     self.cache_capacity.load(Ordering::Relaxed),
                 );
-                Ok(ReloadOutcome { info, n, reloads: self.install(next, &current, 1) })
+                Ok(ReloadOutcome { info, n, reloads: self.install(next, &current, 1, started) })
             }
             Err(e) => {
                 Err(self
@@ -326,6 +463,7 @@ impl AppState {
     /// The human-readable rejection reason; the old generation keeps
     /// serving.
     pub fn reload_shard_from(&self, index: usize, path: &Path) -> Result<ReloadOutcome, String> {
+        let started = Instant::now();
         let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
         let current = self.handle.current();
         if !current.is_sharded() {
@@ -380,7 +518,11 @@ impl AppState {
             self.cache_capacity.load(Ordering::Relaxed),
         );
         let n = next.n();
-        Ok(ReloadOutcome { info: loaded.info, n, reloads: self.install(next, &current, 1) })
+        Ok(ReloadOutcome {
+            info: loaded.info,
+            n,
+            reloads: self.install(next, &current, 1, started),
+        })
     }
 
     /// [`AppState::reload_from`] against the configured default source;
@@ -396,8 +538,7 @@ impl AppState {
     pub fn reload_default(&self) -> Result<ReloadOutcome, String> {
         let Some(spec) = self.spec.clone() else {
             return Err(self.record_reload_failure(
-                "no reload source configured: start with --manifest (or the deprecated \
-                 --snapshot/--shards), or pass an explicit path"
+                "no reload source configured: start with --manifest, or pass an explicit path"
                     .to_owned(),
             ));
         };
@@ -420,6 +561,7 @@ impl AppState {
     ///
     /// The first rejection reason; nothing was swapped.
     pub fn reload_manifest(&self, path: &Path) -> Result<ReloadOutcome, String> {
+        let started = Instant::now();
         let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
         let current = self.handle.current();
         let loaded = BackendSpec::from_manifest(path).and_then(|spec| {
@@ -437,7 +579,8 @@ impl AppState {
                     capacity.unwrap_or_else(|| self.cache_capacity.load(Ordering::Relaxed));
                 self.cache_capacity.store(capacity, Ordering::Relaxed);
                 let next = Generation::from_loaded(loaded, capacity);
-                Ok(ReloadOutcome { info, n, reloads: self.install(next, &current, swap_units) })
+                let reloads = self.install(next, &current, swap_units, started);
+                Ok(ReloadOutcome { info, n, reloads })
             }
             Err(e) => Err(self.record_reload_failure(format!("manifest reload rejected: {e}"))),
         }
@@ -452,6 +595,7 @@ impl AppState {
     ///
     /// The first rejection reason; nothing was swapped.
     pub fn reload_all_shards(&self) -> Result<ReloadOutcome, String> {
+        let started = Instant::now();
         let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
         let current = self.handle.current();
         if !current.is_sharded() {
@@ -494,7 +638,8 @@ impl AppState {
                             loaded,
                             self.cache_capacity.load(Ordering::Relaxed),
                         );
-                        Ok(ReloadOutcome { info, n, reloads: self.install(next, &current, count) })
+                        let reloads = self.install(next, &current, count, started);
+                        Ok(ReloadOutcome { info, n, reloads })
                     }
                     Err(e) => {
                         Err(self.record_reload_failure(format!("full-set reload rejected: {e}")))
@@ -507,28 +652,28 @@ impl AppState {
 
     /// Total requests routed so far (any endpoint, any outcome).
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.metrics.requests.get()
     }
 
     /// Records a 4xx produced below the router (protocol parse errors).
     pub fn count_protocol_error(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.client_errors.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
+        self.metrics.client_errors.inc();
     }
 
     /// Records a connection shed with `503` at the acceptor (queue full),
     /// so `/stats` stays honest under the exact overload it diagnoses.
     pub fn count_load_shed(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.load_shed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
+        self.metrics.load_shed.inc();
     }
 
     /// Routes one request and maintains the counters.
     pub fn handle(&self, req: &Request) -> Response {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
         let resp = self.route(req);
         if (400..500).contains(&resp.status) {
-            self.client_errors.fetch_add(1, Ordering::Relaxed);
+            self.metrics.client_errors.inc();
         }
         resp
     }
@@ -540,18 +685,51 @@ impl AppState {
             ("POST", "/batch") => self.batch(req),
             ("POST", "/reload") => self.reload(req),
             ("GET", "/stats") => self.stats(),
+            ("GET", "/metrics") => self.metrics_exposition(),
             ("GET", "/artifact") => self.artifact(),
-            (_, "/healthz" | "/distance" | "/batch" | "/stats" | "/artifact" | "/reload") => {
-                Response::error_json(405, format!("method {} not allowed here", req.method))
-            }
+            (
+                _,
+                "/healthz" | "/distance" | "/batch" | "/stats" | "/metrics" | "/artifact"
+                | "/reload",
+            ) => Response::error_json(405, format!("method {} not allowed here", req.method)),
             _ => Response::error_json(404, format!("no route for '{}'", req.path)),
+        }
+    }
+
+    /// Refreshes the point-in-time gauges (cache counters, warmed keys,
+    /// uptime) from the current generation, then takes **one** registry
+    /// snapshot. `/stats` and `/metrics` both render from the result, so
+    /// the two views can never disagree about the same instant.
+    fn observe(&self) -> (Arc<Generation>, BackendDescriptor, RegistrySnapshot) {
+        let generation = self.handle.current();
+        let desc = generation.descriptor();
+        if let Some(cache) = &desc.cache {
+            self.metrics.cache_hits.set(cache.hits as f64);
+            self.metrics.cache_misses.set(cache.misses as f64);
+            self.metrics.cache_hit_rate.set(cache.hit_rate());
+            self.metrics.cache_len.set(cache.len as f64);
+            self.metrics.cache_capacity.set(cache.capacity as f64);
+        }
+        self.metrics.cache_warmed_keys.set(generation.warmed_keys() as f64);
+        self.metrics.uptime.set(self.started.elapsed().as_secs_f64());
+        (generation, desc, self.registry.snapshot())
+    }
+
+    /// `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
+    /// same registry snapshot `/stats` renders from.
+    fn metrics_exposition(&self) -> Response {
+        let (_generation, _desc, snap) = self.observe();
+        Response {
+            status: 200,
+            content_type: METRICS_CONTENT_TYPE,
+            body: render_prometheus(&snap).into_bytes(),
         }
     }
 
     /// `GET /distance?u=&v=` — one pair, through the current generation's
     /// cached backend, whatever tier it is.
     fn distance(&self, req: &Request) -> Response {
-        self.distance_requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.distance_requests.inc();
         let (u, v) = match (parse_id(req, "u"), parse_id(req, "v")) {
             (Ok(u), Ok(v)) => (u, v),
             (Err(resp), _) | (_, Err(resp)) => return resp,
@@ -573,7 +751,7 @@ impl AppState {
 
     /// `POST /batch` — newline-separated `u v` (or `u,v`) pairs.
     fn batch(&self, req: &Request) -> Response {
-        self.batch_requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.batch_requests.inc();
         let Ok(text) = std::str::from_utf8(&req.body) else {
             return Response::error_json(400, "batch body must be UTF-8");
         };
@@ -599,7 +777,7 @@ impl AppState {
                 }
             }
         }
-        self.batch_pairs.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        self.metrics.batch_pairs.add(pairs.len() as u64);
         match self.handle.current().cached().try_query_batch(&pairs) {
             Ok(answers) => {
                 let mut body = String::with_capacity(16 + answers.len() * 8);
@@ -626,7 +804,7 @@ impl AppState {
     /// A rejected snapshot answers `400` and leaves the old generation
     /// serving.
     fn reload(&self, req: &Request) -> Response {
-        self.reload_requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.reload_requests.inc();
         let generation = self.handle.current();
         match req.param("shard") {
             Some(_) if !generation.is_sharded() => Response::error_json(
@@ -671,15 +849,14 @@ impl AppState {
                     },
                 };
                 match self.reload_shard_from(index, &path) {
-                    Ok(outcome) => Response::json(
-                        200,
-                        format!(
-                            "{{\"reloaded\":true,\"shard\":{index},\"snapshot\":{},\
-                             \"reloads\":{}}}",
-                            snapshot_json(&outcome.info),
-                            outcome.reloads,
-                        ),
-                    ),
+                    Ok(outcome) => {
+                        let mut o = JsonObject::new();
+                        o.set("reloaded", true);
+                        o.set("shard", index);
+                        o.set("snapshot", snapshot_obj(&outcome.info));
+                        o.set("reloads", outcome.reloads);
+                        Response::json(200, o.render())
+                    }
                     Err(msg) => Response::error_json(400, msg),
                 }
             }
@@ -696,14 +873,13 @@ impl AppState {
                     );
                 }
                 match self.reload_default() {
-                    Ok(outcome) => Response::json(
-                        200,
-                        format!(
-                            "{{\"reloaded\":true,\"shards\":{},\"reloads\":{}}}",
-                            self.handle.current().shards().len(),
-                            outcome.reloads,
-                        ),
-                    ),
+                    Ok(outcome) => {
+                        let mut o = JsonObject::new();
+                        o.set("reloaded", true);
+                        o.set("shards", self.handle.current().shards().len());
+                        o.set("reloads", outcome.reloads);
+                        Response::json(200, o.render())
+                    }
                     // The serving process is healthy and still answering on
                     // the old artifact — the *request* failed: 4xx, not 5xx.
                     Err(msg) => Response::error_json(400, msg),
@@ -715,15 +891,14 @@ impl AppState {
                     _ => self.reload_default(),
                 };
                 match outcome {
-                    Ok(outcome) => Response::json(
-                        200,
-                        format!(
-                            "{{\"reloaded\":true,\"snapshot\":{},\"n\":{},\"reloads\":{}}}",
-                            snapshot_json(&outcome.info),
-                            outcome.n,
-                            outcome.reloads,
-                        ),
-                    ),
+                    Ok(outcome) => {
+                        let mut o = JsonObject::new();
+                        o.set("reloaded", true);
+                        o.set("snapshot", snapshot_obj(&outcome.info));
+                        o.set("n", outcome.n);
+                        o.set("reloads", outcome.reloads);
+                        Response::json(200, o.render())
+                    }
                     Err(msg) => Response::error_json(400, msg),
                 }
             }
@@ -733,51 +908,44 @@ impl AppState {
     /// `GET /stats` — request counters plus what the current generation
     /// says about itself: tier, snapshot identities, cache effectiveness
     /// (including the keys warmed into it at the last reload), and the
-    /// reload history. One rendering for every tier, driven by
-    /// [`cc_oracle::BackendDescriptor`].
+    /// reload history. Every number is read back from the same
+    /// [`RegistrySnapshot`] `/metrics` exposes, rendered with the
+    /// [`JsonObject`] writer (a stray quote in an error can never emit
+    /// invalid JSON).
     fn stats(&self) -> Response {
-        let generation = self.handle.current();
-        let desc = generation.descriptor();
-        let cache = desc.cache.expect("generations are always cache-fronted");
-        let common = format!(
-            "\"requests\":{},\"distance_requests\":{},\"batch_requests\":{},\
-             \"batch_pairs\":{},\"client_errors\":{},\"load_shed\":{},\
-             \"uptime_secs\":{:.3},\"deprecations\":{}",
-            self.requests.load(Ordering::Relaxed),
-            self.distance_requests.load(Ordering::Relaxed),
-            self.batch_requests.load(Ordering::Relaxed),
-            self.batch_pairs.load(Ordering::Relaxed),
-            self.client_errors.load(Ordering::Relaxed),
-            self.load_shed.load(Ordering::Relaxed),
-            self.started.elapsed().as_secs_f64(),
-            self.deprecations
-                .as_ref()
-                .map_or("null".to_owned(), |d| format!("\"{}\"", json_escape(d))),
+        let (generation, desc, snap) = self.observe();
+        let counter =
+            |family: &str, labels: &[(&str, &str)]| snap.counter_value(family, labels).unwrap_or(0);
+        let gauge = |family: &str| snap.gauge_value(family, &[]).unwrap_or(0.0);
+
+        let mut o = JsonObject::new();
+        o.set("requests", counter("cc_requests_total", &[]));
+        o.set(
+            "distance_requests",
+            counter("cc_endpoint_requests_total", &[("endpoint", "distance")]),
         );
-        let reload_block = format!(
-            "\"reload_requests\":{},\"reloads\":{},\"reload_failures\":{},\
-             \"last_reload_error\":{}",
-            self.reload_requests.load(Ordering::Relaxed),
-            self.reloads(),
-            self.reload_failures(),
-            self.last_reload_error
-                .lock()
-                .expect("reload error lock")
-                .as_ref()
-                .map_or("null".to_owned(), |e| format!("\"{}\"", json_escape(e))),
+        o.set("batch_requests", counter("cc_endpoint_requests_total", &[("endpoint", "batch")]));
+        o.set("batch_pairs", counter("cc_batch_pairs_total", &[]));
+        o.set("client_errors", counter("cc_client_errors_total", &[]));
+        o.set("load_shed", counter("cc_load_shed_total", &[]));
+        o.set("uptime_secs", Json::Raw(format!("{:.3}", gauge("cc_uptime_seconds"))));
+        tier_members(&mut o, &generation, &desc);
+        o.set("reload_requests", counter("cc_endpoint_requests_total", &[("endpoint", "reload")]));
+        o.set("reloads", counter("cc_reloads_total", &[]));
+        o.set("reload_failures", counter("cc_reload_failures_total", &[]));
+        o.set(
+            "last_reload_error",
+            self.last_reload_error.lock().expect("reload error lock").clone(),
         );
-        let cache_block = format!(
-            "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\
-             \"len\":{},\"capacity\":{},\"warmed_keys\":{}}}",
-            cache.hits,
-            cache.misses,
-            cache.hit_rate(),
-            cache.len,
-            cache.capacity,
-            generation.warmed_keys(),
-        );
-        let tier = tier_json(&generation, &desc);
-        Response::json(200, format!("{{{common},{tier},{reload_block},{cache_block}}}"))
+        let mut cache = JsonObject::new();
+        cache.set("hits", gauge("cc_cache_hits") as u64);
+        cache.set("misses", gauge("cc_cache_misses") as u64);
+        cache.set("hit_rate", Json::Raw(format!("{:.4}", gauge("cc_cache_hit_rate"))));
+        cache.set("len", gauge("cc_cache_len") as u64);
+        cache.set("capacity", gauge("cc_cache_capacity") as u64);
+        cache.set("warmed_keys", gauge("cc_cache_warmed_keys") as u64);
+        o.set("cache", cache);
+        Response::json(200, o.render())
     }
 
     /// `GET /artifact` — what is being served, where it came from, and its
@@ -786,88 +954,78 @@ impl AppState {
     fn artifact(&self) -> Response {
         let generation = self.handle.current();
         let desc = generation.descriptor();
-        let common = format!(
-            "\"n\":{},\"k\":{},\"epsilon\":{},\"landmarks\":{},\"artifact_bytes\":{},\
-             \"stretch_bound\":{},\"build_rounds\":{},\"seed\":{}",
-            desc.n,
-            desc.k,
-            desc.epsilon,
-            desc.landmark_count,
-            desc.artifact_bytes,
-            desc.stretch_bound,
-            desc.build_rounds,
-            desc.seed,
-        );
-        let tier = if desc.shards.is_empty() {
-            format!("\"mode\":\"{}\",\"snapshot\":{}", desc.mode, snapshot_json(generation.info()))
+        let mut o = JsonObject::new();
+        if desc.shards.is_empty() {
+            o.set("mode", desc.mode);
+            o.set("snapshot", snapshot_obj(generation.info()));
         } else {
-            let shards: Vec<String> = desc
+            o.set("mode", desc.mode);
+            o.set("shard_count", desc.shards.len());
+            o.set("set_uniform", desc.set_uniform());
+            let shards: Vec<Json> = desc
                 .shards
                 .iter()
                 .zip(generation.shard_infos())
                 .map(|(s, info)| {
-                    format!(
-                        "{{\"index\":{},\"owned_start\":{},\"owned_len\":{},\
-                         \"artifact_bytes\":{},\"set_build_id\":\"{:016x}\",\"snapshot\":{}}}",
-                        s.index,
-                        s.owned_start,
-                        s.owned_len,
-                        s.artifact_bytes,
-                        s.set_id,
-                        snapshot_json(info),
-                    )
+                    let mut e = JsonObject::new();
+                    e.set("index", s.index);
+                    e.set("owned_start", s.owned_start);
+                    e.set("owned_len", s.owned_len);
+                    e.set("artifact_bytes", s.artifact_bytes);
+                    e.set("set_build_id", format!("{:016x}", s.set_id));
+                    e.set("snapshot", snapshot_obj(info));
+                    Json::from(e)
                 })
                 .collect();
-            format!(
-                "\"mode\":\"{}\",\"shard_count\":{},\"set_uniform\":{},\"shards\":[{}]",
-                desc.mode,
-                desc.shards.len(),
-                desc.set_uniform(),
-                shards.join(","),
-            )
-        };
-        Response::json(200, format!("{{{tier},{common},\"reloads\":{}}}", self.reloads()))
+            o.set("shards", shards);
+        }
+        o.set("n", desc.n);
+        o.set("k", desc.k);
+        o.set("epsilon", desc.epsilon);
+        o.set("landmarks", desc.landmark_count);
+        o.set("artifact_bytes", desc.artifact_bytes);
+        o.set("stretch_bound", desc.stretch_bound);
+        o.set("build_rounds", desc.build_rounds);
+        o.set("seed", desc.seed);
+        o.set("reloads", self.reloads());
+        Response::json(200, o.render())
     }
 }
 
-/// The tier-specific `/stats` fragment: the active snapshot for a
+/// Appends the tier-specific `/stats` members: the active snapshot for a
 /// monolith, the per-shard identities + uniformity for a routed set.
-fn tier_json(generation: &Generation, desc: &cc_oracle::BackendDescriptor) -> String {
+fn tier_members(o: &mut JsonObject, generation: &Generation, desc: &BackendDescriptor) {
     if desc.shards.is_empty() {
-        format!("\"mode\":\"{}\",\"snapshot\":{}", desc.mode, snapshot_json(generation.info()))
+        o.set("mode", desc.mode);
+        o.set("snapshot", snapshot_obj(generation.info()));
     } else {
-        let shards: Vec<String> = desc
+        o.set("mode", desc.mode);
+        o.set("shard_count", desc.shards.len());
+        o.set("set_uniform", desc.set_uniform());
+        let shards: Vec<Json> = desc
             .shards
             .iter()
             .zip(generation.shard_infos())
             .map(|(s, info)| {
-                format!(
-                    "{{\"index\":{},\"set_build_id\":\"{:016x}\",\"snapshot\":{}}}",
-                    s.index,
-                    s.set_id,
-                    snapshot_json(info),
-                )
+                let mut e = JsonObject::new();
+                e.set("index", s.index);
+                e.set("set_build_id", format!("{:016x}", s.set_id));
+                e.set("snapshot", snapshot_obj(info));
+                Json::from(e)
             })
             .collect();
-        format!(
-            "\"mode\":\"{}\",\"shard_count\":{},\"set_uniform\":{},\"shards\":[{}]",
-            desc.mode,
-            desc.shards.len(),
-            desc.set_uniform(),
-            shards.join(","),
-        )
+        o.set("shards", shards);
     }
 }
 
 /// Renders a [`SnapshotInfo`] as a JSON object.
-fn snapshot_json(info: &SnapshotInfo) -> String {
-    format!(
-        "{{\"version\":{},\"build_id\":\"{}\",\"created_unix_secs\":{},\"source\":\"{}\"}}",
-        info.version,
-        json_escape(&info.build_id),
-        info.created_unix_secs,
-        json_escape(&info.source),
-    )
+fn snapshot_obj(info: &SnapshotInfo) -> JsonObject {
+    let mut o = JsonObject::new();
+    o.set("version", info.version);
+    o.set("build_id", info.build_id.as_str());
+    o.set("created_unix_secs", info.created_unix_secs);
+    o.set("source", info.source.as_str());
+    o
 }
 
 fn dist_json(d: Dist) -> String {
@@ -1017,7 +1175,6 @@ mod tests {
         assert!(body.contains("\"hits\":1"), "body: {body}");
         assert!(body.contains("\"misses\":1"), "body: {body}");
         assert!(body.contains("\"warmed_keys\":0"), "body: {body}");
-        assert!(body.contains("\"deprecations\":null"), "body: {body}");
 
         let artifact = s.handle(&get("/artifact", &[]));
         assert_eq!(artifact.status, 200);
@@ -1036,14 +1193,78 @@ mod tests {
     }
 
     #[test]
-    fn deprecation_note_is_surfaced_in_stats() {
-        let mut s = state();
-        s.set_deprecations(Some("--snapshot is deprecated; use --manifest".to_owned()));
-        let body = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+    fn metrics_and_stats_render_the_same_registry_snapshot() {
+        let s = state();
+        s.handle(&get("/distance", &[("u", "1"), ("v", "2")]));
+        s.handle(&get("/distance", &[("u", "1"), ("v", "2")]));
+        s.handle(&get("/distance", &[("u", "99"), ("v", "2")]));
+        s.record_request("distance", 1_500);
+        s.record_request("nonsense", 10);
+
+        let resp = s.handle(&get("/metrics", &[]));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, METRICS_CONTENT_TYPE);
+        let text = body_str(&resp).to_owned();
+        // 3 /distance + this /metrics request itself.
+        assert!(text.contains("# TYPE cc_requests_total counter"), "metrics: {text}");
+        assert!(text.contains("cc_requests_total 4"), "metrics: {text}");
         assert!(
-            body.contains("\"deprecations\":\"--snapshot is deprecated; use --manifest\""),
-            "body: {body}"
+            text.contains("cc_endpoint_requests_total{endpoint=\"distance\"} 3"),
+            "metrics: {text}"
         );
+        assert!(text.contains("cc_client_errors_total 1"), "metrics: {text}");
+        // 1 hit / 1 miss on the repeated pair (the 400 never reached the
+        // cache).
+        assert!(text.contains("cc_cache_hit_rate 0.5"), "metrics: {text}");
+        assert!(text.contains("cc_pool_queue_depth 0"), "metrics: {text}");
+        // The 1500ns recording lands in the (1024, 2048] bucket...
+        assert!(
+            text.contains("cc_request_duration_ns_bucket{endpoint=\"distance\",le=\"2048\"} 1"),
+            "metrics: {text}"
+        );
+        assert!(
+            text.contains("cc_request_duration_ns_sum{endpoint=\"distance\"} 1500"),
+            "metrics: {text}"
+        );
+        assert!(
+            text.contains("cc_request_duration_ns_count{endpoint=\"distance\"} 1"),
+            "metrics: {text}"
+        );
+        // ...and the unknown endpoint class fell back to `other`.
+        assert!(
+            text.contains("cc_request_duration_ns_count{endpoint=\"other\"} 1"),
+            "metrics: {text}"
+        );
+
+        // /stats reads the very same counters back from the registry.
+        let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+        assert!(stats.contains("\"requests\":5"), "stats: {stats}");
+        assert!(stats.contains("\"distance_requests\":3"), "stats: {stats}");
+        assert!(stats.contains("\"hit_rate\":0.5000"), "stats: {stats}");
+    }
+
+    #[test]
+    fn wrong_method_on_metrics_is_405() {
+        let s = state();
+        assert_eq!(s.handle(&post("/metrics", b"")).status, 405);
+    }
+
+    #[test]
+    fn disabled_telemetry_serves_but_records_nothing() {
+        let mut s = state();
+        s.disable_telemetry();
+        assert_eq!(s.handle(&get("/distance", &[("u", "0"), ("v", "5")])).status, 200);
+        s.record_request("distance", 1_500);
+        let metrics = body_str(&s.handle(&get("/metrics", &[]))).to_owned();
+        // The families are still registered (a scrape target never
+        // disappears) but every value stays zero.
+        assert!(metrics.contains("cc_requests_total 0"), "metrics: {metrics}");
+        assert!(
+            metrics.contains("cc_request_duration_ns_count{endpoint=\"distance\"} 0"),
+            "metrics: {metrics}"
+        );
+        let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+        assert!(stats.contains("\"requests\":0"), "stats: {stats}");
     }
 
     fn temp_snapshot_dir(name: &str) -> std::path::PathBuf {

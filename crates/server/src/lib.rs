@@ -16,12 +16,21 @@
 //! serving. The contract and how to add a backend are documented in
 //! `docs/BACKENDS.md`.
 //!
-//! What to serve is declared by a [`source::BackendSpec`] — preferably a
-//! **manifest file** (`--manifest set.toml`) naming the mode, artifact
-//! files, expected set id (a startup gate against serving the wrong
-//! build), and cache capacity. The `--snapshot` / `--shards` flags remain
-//! as deprecated shorthands for one release and surface a note in
-//! `/stats`.
+//! What to serve is declared by a [`source::BackendSpec`] — a **manifest
+//! file** (`--manifest set.toml`) naming the mode, artifact files,
+//! expected set id (a startup gate against serving the wrong build), and
+//! cache capacity.
+//!
+//! The stack is **observable end to end** via `cc-telemetry`: every
+//! request lands in a lock-free per-endpoint latency histogram, the
+//! worker pool publishes its queue depth, the cache its hit rate, and
+//! reloads their durations — all in one process-wide
+//! [`cc_telemetry::Registry`]. `GET /metrics` renders the registry in
+//! Prometheus text exposition format and `GET /stats` renders **the same
+//! snapshot** as JSON, so the two views can never disagree; an optional
+//! [`cc_telemetry::AccessLog`] ([`ServerConfig::with_access_log`], or
+//! `cc-serve --slow-query-ns`) emits JSON-lines request/slow-query
+//! records. The metric catalog lives in `docs/OBSERVABILITY.md`.
 //!
 //! The artifact is **hot-swappable under traffic**: it lives behind a
 //! [`ReloadHandle`], and `POST /reload` (or `SIGHUP` to the `cc-serve`
@@ -66,6 +75,7 @@
 //! | `POST /batch` | newline `u v` (or `u,v`) pairs → `{"count":n,"distances":[...]}` |
 //! | `POST /reload[?path=]` | validate + atomically swap in a new snapshot (`400` keeps the old one serving) |
 //! | `GET /stats` | request + cache + reload counters, active snapshot identity |
+//! | `GET /metrics` | the same registry snapshot in Prometheus text exposition 0.0.4 |
 //! | `GET /healthz` | liveness: `ok` |
 //! | `GET /artifact` | `n`, `k`, `ε`, landmark count, `artifact_bytes`, `stretch_bound`, snapshot identity |
 //!
@@ -87,12 +97,14 @@
 //! {"requests":3,...,"cache":{"hits":0,"misses":2,...}}
 //! ```
 //!
-//! To serve a prebuilt artifact instead of building one, snapshot it first
-//! (`--write-snapshot`), then point the server at the file:
+//! To serve a prebuilt artifact instead of building one, snapshot it
+//! first (`--write-snapshot`), declare it in a manifest, and point the
+//! server at that:
 //!
 //! ```text
 //! $ cc-serve --demo 256 --write-snapshot /tmp/oracle.snap
-//! $ cc-serve --snapshot /tmp/oracle.snap --addr 127.0.0.1:8317
+//! $ printf 'mode = "mono"\nsnapshot = "oracle.snap"\n' > /tmp/set.toml
+//! $ cc-serve --manifest /tmp/set.toml --addr 127.0.0.1:8317
 //! ```
 //!
 //! # In-process example

@@ -7,8 +7,6 @@
 //! cc-serve --demo N --write-snapshot FILE      # write a fixture and exit
 //! cc-serve --demo N --shard-count K --write-shards DIR
 //!                                              # write a K-shard fixture set
-//! cc-serve --snapshot FILE                     # deprecated: use --manifest
-//! cc-serve --shards A.snap,B.snap,...          # deprecated: use --manifest
 //! ```
 //!
 //! A running server hot-swaps its artifact without restarting: `POST
@@ -18,9 +16,11 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cc_server::{source, Server, ServerConfig, SnapshotInfo};
+use cc_telemetry::AccessLog;
 
 /// SIGHUP → hot reload, the classic daemon convention. The handler only
 /// flips an atomic flag (the async-signal-safe subset); a watcher thread
@@ -82,11 +82,6 @@ USAGE:
                                            build the demo, write DIR/shard-<i>.snap
                                            for i in 0..K, exit
 
-DEPRECATED (one release; see docs/OPERATIONS.md for the manifest migration):
-    cc-serve --snapshot FILE [OPTIONS]     serve an oracle snapshot file
-    cc-serve --shards A,B,...  [OPTIONS]   route over a per-shard snapshot set
-                                           (file i must hold shard i)
-
 OPTIONS:
     --addr HOST:PORT    bind address (default 127.0.0.1:8317; port 0 = ephemeral)
     --workers N         worker threads (default: CPU count, capped at 16)
@@ -94,23 +89,30 @@ OPTIONS:
                         a manifest's cache_capacity takes precedence)
     --seed S            demo build seed (default 7)
     --epsilon E         demo build accuracy, stretch is 3(1+E) (default 0.25)
+    --slow-query-ns NS  log requests slower than NS nanoseconds to stderr as
+                        JSON lines (0 logs every request; see
+                        docs/OBSERVABILITY.md)
     --write-snapshot F  write the oracle to F and exit without serving
     --write-shards DIR  write a per-shard snapshot set to DIR and exit
     --shard-count K     how many shards --write-shards cuts (default 2)
     --help              this text
 
+OBSERVABILITY:
+    GET /metrics        Prometheus text exposition: request counters,
+                        per-endpoint latency histograms, pool/cache/reload
+                        gauges, and (after --demo) per-phase build cost
+    GET /stats          the same registry snapshot, rendered as JSON
+
 HOT RELOAD:
-    POST /reload        re-read the manifest (or the --snapshot file, or
-                        /reload?path=FILE), validate, and swap atomically under
-                        traffic; in router mode /reload?shard=i swaps one shard
-                        and a bare /reload rolls the full set
+    POST /reload        re-read the manifest (or /reload?path=FILE), validate,
+                        and swap atomically under traffic; in router mode
+                        /reload?shard=i swaps one shard and a bare /reload
+                        rolls the full set
     SIGHUP              same as a bare POST /reload
 ";
 
 struct Args {
     manifest: Option<PathBuf>,
-    snapshot: Option<PathBuf>,
-    shards: Vec<PathBuf>,
     demo: Option<usize>,
     write_snapshot: Option<PathBuf>,
     write_shards: Option<PathBuf>,
@@ -120,13 +122,12 @@ struct Args {
     cache: usize,
     seed: u64,
     epsilon: f64,
+    slow_query_ns: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         manifest: None,
-        snapshot: None,
-        shards: Vec::new(),
         demo: None,
         write_snapshot: None,
         write_shards: None,
@@ -136,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
         cache: 4096,
         seed: 7,
         epsilon: 0.25,
+        slow_query_ns: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -144,17 +146,6 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--manifest" => args.manifest = Some(PathBuf::from(value("file path")?)),
-            "--snapshot" => args.snapshot = Some(PathBuf::from(value("file path")?)),
-            "--shards" => {
-                args.shards = value("comma-separated file list")?
-                    .split(',')
-                    .filter(|p| !p.is_empty())
-                    .map(PathBuf::from)
-                    .collect();
-                if args.shards.is_empty() {
-                    return Err("--shards needs at least one file".to_owned());
-                }
-            }
             "--demo" => {
                 args.demo =
                     Some(value("node count")?.parse().map_err(|_| "--demo needs an integer")?);
@@ -179,25 +170,20 @@ fn parse_args() -> Result<Args, String> {
             "--epsilon" => {
                 args.epsilon = value("epsilon")?.parse().map_err(|_| "--epsilon needs a number")?;
             }
+            "--slow-query-ns" => {
+                args.slow_query_ns = Some(
+                    value("threshold")?.parse().map_err(|_| "--slow-query-ns needs an integer")?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    let sources = usize::from(args.manifest.is_some())
-        + usize::from(args.snapshot.is_some())
-        + usize::from(args.demo.is_some())
-        + usize::from(!args.shards.is_empty());
-    if sources != 1 {
-        return Err("exactly one of --manifest, --demo, or the deprecated --snapshot/--shards \
-             is required"
-            .to_owned());
+    if usize::from(args.manifest.is_some()) + usize::from(args.demo.is_some()) != 1 {
+        return Err("exactly one of --manifest or --demo is required".to_owned());
     }
-    if (!args.shards.is_empty() || args.manifest.is_some())
-        && (args.write_snapshot.is_some() || args.write_shards.is_some())
-    {
-        return Err("--write-snapshot/--write-shards need --demo or --snapshot, not \
-             --shards/--manifest"
-            .to_owned());
+    if args.manifest.is_some() && (args.write_snapshot.is_some() || args.write_shards.is_some()) {
+        return Err("--write-snapshot/--write-shards need --demo, not --manifest".to_owned());
     }
     Ok(args)
 }
@@ -218,6 +204,9 @@ fn main() -> ExitCode {
         ServerConfig::default().with_addr(args.addr.clone()).with_cache_capacity(args.cache);
     if let Some(workers) = args.workers {
         config = config.with_workers(workers);
+    }
+    if let Some(threshold_ns) = args.slow_query_ns {
+        config = config.with_access_log(Arc::new(AccessLog::stderr(threshold_ns)));
     }
 
     // Manifest mode: the declarative path — mode, files, expected set id,
@@ -254,83 +243,24 @@ fn main() -> ExitCode {
         };
     }
 
-    // Router mode over an ordered file list (deprecated: declare the set
-    // in a manifest instead): load + validate the full shard set, serve.
-    if !args.shards.is_empty() {
-        const NOTE: &str = "--shards is deprecated; declare the shard set in a manifest \
-                            and start with --manifest (see docs/OPERATIONS.md)";
-        eprintln!("warning: {NOTE}");
-        config = config.with_deprecation_note(NOTE);
-        let loaded = match source::load_shard_set(&args.shards) {
-            Ok(loaded) => loaded,
-            Err(e) => {
-                eprintln!("error: cannot load shard set: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let n = loaded[0].shard.n();
-        let count = loaded.len();
-        let kib: usize = loaded.iter().map(|l| l.shard.artifact_bytes()).sum::<usize>() / 1024;
-        for shard in &loaded {
+    let n = args.demo.expect("parse_args enforces exactly one source");
+    let (oracle, trace) = match source::build_demo_traced(n, args.seed, args.epsilon) {
+        Ok((oracle, trace)) => {
             eprintln!(
-                "loaded shard {}/{count} from {} (owns {:?}, build {})",
-                shard.shard.index(),
-                shard.path.display(),
-                shard.shard.owned(),
-                shard.info.build_id,
+                "built demo oracle: n={n}, {} rounds in the simulated clique, {} landmarks",
+                oracle.build_rounds(),
+                oracle.landmarks().len()
             );
+            // One line per build phase; CI greps for `build-trace phase=`.
+            eprintln!("{}", trace.log_lines());
+            (oracle, trace)
         }
-        return match Server::start_sharded(&config, loaded) {
-            Ok(handle) => {
-                // CI and scripts wait for this exact line on stdout.
-                println!(
-                    "cc-serve listening on http://{} (router, n={n}, shards={count}, {kib} KiB)",
-                    handle.addr()
-                );
-                run_until_stopped(handle);
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("error: cannot bind {}: {e}", args.addr);
-                ExitCode::FAILURE
-            }
-        };
-    }
-
-    let (oracle, info) = match (&args.snapshot, args.demo) {
-        (Some(path), None) => match source::load_snapshot(path) {
-            Ok(loaded) => {
-                eprintln!(
-                    "loaded snapshot {} ({} nodes, format v{}, build {})",
-                    path.display(),
-                    loaded.oracle.n(),
-                    loaded.info.version,
-                    loaded.info.build_id,
-                );
-                (loaded.oracle, loaded.info)
-            }
-            Err(e) => {
-                eprintln!("error: cannot load snapshot {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        },
-        (None, Some(n)) => match source::build_demo(n, args.seed, args.epsilon) {
-            Ok(oracle) => {
-                eprintln!(
-                    "built demo oracle: n={n}, {} rounds in the simulated clique, {} landmarks",
-                    oracle.build_rounds(),
-                    oracle.landmarks().len()
-                );
-                let info = SnapshotInfo::in_process(&oracle, "demo");
-                (oracle, info)
-            }
-            Err(e) => {
-                eprintln!("error: demo build failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        _ => unreachable!("parse_args enforces exactly one source"),
+        Err(e) => {
+            eprintln!("error: demo build failed: {e}");
+            return ExitCode::FAILURE;
+        }
     };
+    let info = SnapshotInfo::in_process(&oracle, "demo");
 
     if let Some(path) = &args.write_snapshot {
         return match source::write_snapshot(&oracle, path) {
@@ -358,23 +288,11 @@ fn main() -> ExitCode {
         };
     }
 
-    if let Some(path) = &args.snapshot {
-        // The served file doubles as the default reload source: an
-        // operator replaces it atomically and POSTs /reload (or SIGHUPs).
-        config = config.with_reload_path(path.clone());
-        // (--demo with --write-* never reaches here serving; only warn on
-        // the serving path.)
-        if args.write_snapshot.is_none() && args.write_shards.is_none() {
-            const NOTE: &str = "--snapshot is deprecated; declare the snapshot in a manifest \
-                                and start with --manifest (see docs/OPERATIONS.md)";
-            eprintln!("warning: {NOTE}");
-            config = config.with_deprecation_note(NOTE);
-        }
-    }
-    let (n, landmarks, kib) =
-        (oracle.n(), oracle.landmarks().len(), oracle.artifact_bytes() / 1024);
+    let (landmarks, kib) = (oracle.landmarks().len(), oracle.artifact_bytes() / 1024);
     match Server::start_with_info(&config, oracle, info) {
         Ok(handle) => {
+            // Build-phase cost next to the serving metrics on /metrics.
+            trace.export_gauges(handle.state().registry());
             // CI and scripts wait for this exact line on stdout.
             println!(
                 "cc-serve listening on http://{} (n={n}, landmarks={landmarks}, {kib} KiB)",
@@ -392,8 +310,8 @@ fn main() -> ExitCode {
 
 /// Installs the SIGHUP → reload watcher and blocks until the server stops.
 ///
-/// SIGHUP reloads the default source — the `--snapshot` file, or in router
-/// mode every shard from its own file — off the signal handler and off the
+/// SIGHUP reloads the default source — the manifest, or in router mode
+/// every shard from its own file — off the signal handler and off the
 /// request path. A failed install or spawn must be loud: otherwise the
 /// documented reload path would silently keep the default SIGHUP
 /// disposition (terminate the process).

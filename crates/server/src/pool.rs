@@ -9,6 +9,8 @@ use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use cc_telemetry::Gauge;
+
 /// Why a job was not accepted.
 #[derive(Debug)]
 pub enum SubmitError<T> {
@@ -22,12 +24,43 @@ pub enum SubmitError<T> {
 pub struct WorkerPool<T> {
     tx: Option<SyncSender<T>>,
     workers: Vec<JoinHandle<()>>,
+    depth: Option<Gauge>,
 }
 
 impl<T: Send + 'static> WorkerPool<T> {
     /// Spawns `workers` threads that run `handler` on every submitted job.
     /// At most `backlog` jobs wait in the queue; submission never blocks.
     pub fn new<F>(name: &str, workers: usize, backlog: usize, handler: F) -> WorkerPool<T>
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        Self::build(name, workers, backlog, None, handler)
+    }
+
+    /// Like [`new`](Self::new), but tracks the number of queued (accepted
+    /// but not yet dequeued) jobs in `depth` — incremented on a successful
+    /// [`try_submit`](Self::try_submit), decremented when a worker picks
+    /// the job up.
+    pub fn with_queue_gauge<F>(
+        name: &str,
+        workers: usize,
+        backlog: usize,
+        depth: Gauge,
+        handler: F,
+    ) -> WorkerPool<T>
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        Self::build(name, workers, backlog, Some(depth), handler)
+    }
+
+    fn build<F>(
+        name: &str,
+        workers: usize,
+        backlog: usize,
+        depth: Option<Gauge>,
+        handler: F,
+    ) -> WorkerPool<T>
     where
         F: Fn(T) + Send + Sync + 'static,
     {
@@ -40,6 +73,7 @@ impl<T: Send + 'static> WorkerPool<T> {
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(&handler);
+                let depth = depth.clone();
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
                     .spawn(move || loop {
@@ -50,14 +84,19 @@ impl<T: Send + 'static> WorkerPool<T> {
                             Err(_) => break,
                         };
                         match job {
-                            Ok(job) => handler(job),
+                            Ok(job) => {
+                                if let Some(depth) = &depth {
+                                    depth.dec();
+                                }
+                                handler(job);
+                            }
                             Err(_) => break, // all senders dropped: shutdown
                         }
                     })
                     .expect("spawn worker thread")
             })
             .collect();
-        WorkerPool { tx: Some(tx), workers }
+        WorkerPool { tx: Some(tx), workers, depth }
     }
 
     /// Enqueues `job` without blocking.
@@ -70,11 +109,26 @@ impl<T: Send + 'static> WorkerPool<T> {
     pub fn try_submit(&self, job: T) -> Result<(), SubmitError<T>> {
         match &self.tx {
             None => Err(SubmitError::Closed(job)),
-            Some(tx) => match tx.try_send(job) {
-                Ok(()) => Ok(()),
-                Err(TrySendError::Full(job)) => Err(SubmitError::Full(job)),
-                Err(TrySendError::Disconnected(job)) => Err(SubmitError::Closed(job)),
-            },
+            Some(tx) => {
+                // Count the job before handing it over: a worker may
+                // dequeue (and decrement) the instant `try_send` returns,
+                // and incrementing afterwards would let the gauge read -1.
+                if let Some(depth) = &self.depth {
+                    depth.inc();
+                }
+                match tx.try_send(job) {
+                    Ok(()) => Ok(()),
+                    Err(e) => {
+                        if let Some(depth) = &self.depth {
+                            depth.dec();
+                        }
+                        match e {
+                            TrySendError::Full(job) => Err(SubmitError::Full(job)),
+                            TrySendError::Disconnected(job) => Err(SubmitError::Closed(job)),
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -169,5 +223,33 @@ mod tests {
         }
         assert!(shed, "a full bounded queue must shed load");
         drop(held);
+    }
+
+    #[test]
+    fn queue_gauge_tracks_pending_jobs() {
+        let registry = cc_telemetry::Registry::new();
+        let depth = registry.gauge("pool_queue_depth", &[]);
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let mut pool = {
+            let gate = Arc::clone(&gate);
+            WorkerPool::with_queue_gauge("t", 1, 4, depth.clone(), move |_x: u64| {
+                let _guard = gate.lock();
+            })
+        };
+        pool.try_submit(1).unwrap();
+        // Wait for the lone worker to dequeue job 1 (and block on the gate).
+        let t = std::time::Instant::now();
+        while depth.get() > 0.0 {
+            assert!(t.elapsed() < Duration::from_secs(5), "worker never dequeued");
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        // Jobs 2 and 3 sit in the queue while the worker holds the gate.
+        pool.try_submit(2).unwrap();
+        pool.try_submit(3).unwrap();
+        assert_eq!(depth.get(), 2.0);
+        drop(held);
+        pool.shutdown();
+        assert_eq!(depth.get(), 0.0, "a drained queue reads zero");
     }
 }

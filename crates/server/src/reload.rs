@@ -23,10 +23,12 @@
 //! drops.
 
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use cc_oracle::serde::{ShardHeader, SnapshotHeader};
 use cc_oracle::shard::OracleShard;
 use cc_oracle::{BackendDescriptor, CachingOracle, DistanceOracle, QueryBackend};
+use cc_telemetry::Histogram;
 
 /// Identity of a serving artifact, as reported by `/stats` and
 /// `/artifact`: snapshot format version, build id (payload checksum), when
@@ -254,12 +256,20 @@ impl Generation<Box<dyn QueryBackend>> {
 /// ```
 pub struct ReloadHandle<T = Generation> {
     current: RwLock<Arc<T>>,
+    duration: Option<Arc<Histogram>>,
 }
 
 impl<T> ReloadHandle<T> {
     /// Starts with `initial` as the serving generation.
     pub fn new(initial: T) -> ReloadHandle<T> {
-        ReloadHandle { current: RwLock::new(Arc::new(initial)) }
+        ReloadHandle { current: RwLock::new(Arc::new(initial)), duration: None }
+    }
+
+    /// Sets the histogram [`swap_timed`](Self::swap_timed) records reload
+    /// durations (nanoseconds) into — `cc_reload_duration_ns` when the
+    /// server wires it up.
+    pub fn set_duration_histogram(&mut self, duration: Arc<Histogram>) {
+        self.duration = Some(duration);
     }
 
     /// The generation serving right now. The read lock is held only for
@@ -276,6 +286,18 @@ impl<T> ReloadHandle<T> {
     pub fn swap(&self, next: T) -> Arc<T> {
         let mut slot = self.current.write().expect("reload handle poisoned");
         std::mem::replace(&mut *slot, Arc::new(next))
+    }
+
+    /// [`swap`](Self::swap), charging the whole reload — `started` should
+    /// be taken before the load/validate/warm work, so the recorded
+    /// duration covers load → validate → warm → swap — to the histogram
+    /// set by [`set_duration_histogram`](Self::set_duration_histogram).
+    pub fn swap_timed(&self, next: T, started: Instant) -> Arc<T> {
+        let prev = self.swap(next);
+        if let Some(duration) = &self.duration {
+            duration.record(started.elapsed().as_nanos() as u64);
+        }
+        prev
     }
 }
 
@@ -341,6 +363,24 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn swap_timed_charges_the_reload_histogram() {
+        let registry = cc_telemetry::Registry::new();
+        let hist = registry.histogram("cc_reload_duration_ns", &[]);
+        let a = build_demo(12, 3, 0.5).unwrap();
+        let b = build_demo(12, 4, 0.5).unwrap();
+        let mut handle =
+            ReloadHandle::new(Generation::new(a.clone(), SnapshotInfo::in_process(&a, "a"), 64));
+        handle.set_duration_histogram(Arc::clone(&hist));
+
+        let started = Instant::now();
+        let next = Generation::new(b.clone(), SnapshotInfo::in_process(&b, "b"), 64);
+        let prev = handle.swap_timed(next, started);
+        assert_eq!(prev.info().source, "a");
+        assert_eq!(handle.current().info().source, "b");
+        assert_eq!(hist.snapshot().count(), 1, "one reload, one recording");
     }
 
     #[test]

@@ -95,7 +95,12 @@ impl Server {
     }
 
     fn start_with_state(config: &ServerConfig, mut state: AppState) -> io::Result<ServerHandle> {
-        state.set_deprecations(config.deprecation_note.clone());
+        if !config.telemetry_enabled {
+            state.disable_telemetry();
+        }
+        if let Some(log) = &config.access_log {
+            state.set_access_log(Arc::clone(log));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -185,9 +190,16 @@ fn accept_loop(
         let shutdown = Arc::clone(shutdown);
         let max_body = config.max_body_bytes;
         let read_timeout = config.read_timeout;
-        WorkerPool::new("cc-serve-worker", config.workers, config.backlog, move |stream| {
-            serve_connection(&state, stream, max_body, read_timeout, &shutdown);
-        })
+        let depth = state.registry().gauge("cc_pool_queue_depth", &[]);
+        WorkerPool::with_queue_gauge(
+            "cc-serve-worker",
+            config.workers,
+            config.backlog,
+            depth,
+            move |stream| {
+                serve_connection(&state, stream, max_body, read_timeout, &shutdown);
+            },
+        )
     };
     while !shutdown.load(Ordering::Acquire) {
         match listener.accept() {
@@ -238,11 +250,35 @@ fn serve_connection(
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     loop {
+        // Block until the first byte of the next request is buffered, and
+        // only then start the clock: keep-alive idle time between requests
+        // must not be charged to the request-duration histograms.
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF between requests
+            Ok(_) => {}
+            Err(_) => return, // timeout or reset while idle
+        }
+        let started = std::time::Instant::now();
         match read_request(&mut reader, max_body) {
             Ok(req) => {
+                let id = state.access_log().map(|log| log.begin());
                 let resp = state.handle(&req);
                 let keep_alive = req.keep_alive && !shutdown.load(Ordering::Acquire);
-                if respond(&mut writer, &resp, keep_alive).is_err() || !keep_alive {
+                let sent = respond(&mut writer, &resp, keep_alive);
+                let duration_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let endpoint = crate::handlers::endpoint_of(&req.path);
+                state.record_request(endpoint, duration_ns);
+                if let (Some(log), Some(id)) = (state.access_log(), id) {
+                    log.record(&cc_telemetry::AccessRecord {
+                        id,
+                        method: &req.method,
+                        path: &req.path,
+                        status: resp.status,
+                        endpoint,
+                        duration_ns,
+                    });
+                }
+                if sent.is_err() || !keep_alive {
                     return;
                 }
             }

@@ -1,9 +1,7 @@
-//! Where a served backend comes from: a [`BackendSpec`] — either a
-//! **manifest file** (`--manifest set.toml`) naming the mode, artifact
-//! files, expected set id, and cache capacity, or the equivalent built
-//! from the deprecated `--snapshot` / `--shards` flags — plus the
-//! lower-level snapshot loaders and an in-process demo build in the
-//! simulated clique.
+//! Where a served backend comes from: a [`BackendSpec`] — a **manifest
+//! file** (`--manifest set.toml`) naming the mode, artifact files,
+//! expected set id, and cache capacity — plus the lower-level snapshot
+//! loaders and an in-process demo build in the simulated clique.
 //!
 //! [`BackendSpec::load`] is the single artifact-loading entry point: it
 //! resolves to a type-erased [`LoadedBackend`] (`Box<dyn QueryBackend>`)
@@ -134,7 +132,7 @@ pub fn write_snapshot(oracle: &DistanceOracle, path: &Path) -> std::io::Result<(
 
 /// Partitions `oracle` into `count` shards and writes one snapshot per
 /// shard into `dir` as `shard-<i>.snap`, returning the paths in index
-/// order (ready for `cc-serve --shards`).
+/// order (ready to list under `shards = [...]` in a manifest).
 ///
 /// # Errors
 ///
@@ -254,10 +252,10 @@ enum SpecKind {
 /// snapshot = "oracle.snap"
 /// ```
 ///
-/// Relative paths are resolved against the manifest's directory. The
-/// deprecated `--snapshot` / `--shards` flags construct the equivalent
-/// spec through [`BackendSpec::mono`] / [`BackendSpec::sharded`], without
-/// a set-id gate.
+/// Relative paths are resolved against the manifest's directory. Code
+/// that already holds the file paths (tests, benches) can construct the
+/// equivalent spec directly through [`BackendSpec::mono`] /
+/// [`BackendSpec::sharded`], without a set-id gate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BackendSpec {
     kind: SpecKind,
@@ -273,7 +271,7 @@ pub struct BackendSpec {
 }
 
 impl BackendSpec {
-    /// A spec for one monolithic snapshot file (the `--snapshot` shape).
+    /// A spec for one monolithic snapshot file.
     pub fn mono(path: impl Into<PathBuf>) -> BackendSpec {
         BackendSpec {
             kind: SpecKind::Mono { path: path.into() },
@@ -283,8 +281,7 @@ impl BackendSpec {
         }
     }
 
-    /// A spec for an ordered shard file set (the `--shards` shape): slot
-    /// `i` is `paths[i]`.
+    /// A spec for an ordered shard file set: slot `i` is `paths[i]`.
     pub fn sharded(paths: Vec<PathBuf>) -> BackendSpec {
         BackendSpec {
             kind: SpecKind::Sharded { paths },
@@ -632,9 +629,24 @@ pub fn demo_graph(n: usize, seed: u64) -> Result<Graph, Box<dyn Error>> {
 ///
 /// Propagates generator and oracle-build errors.
 pub fn build_demo(n: usize, seed: u64, epsilon: f64) -> Result<DistanceOracle, Box<dyn Error>> {
+    build_demo_traced(n, seed, epsilon).map(|(oracle, _)| oracle)
+}
+
+/// [`build_demo`], but also returning the per-phase
+/// [`cc_telemetry::BuildTrace`] (the `cc-serve --demo` banner logs it and
+/// exports it as `cc_build_phase_*` gauges).
+///
+/// # Errors
+///
+/// Propagates generator and oracle-build errors.
+pub fn build_demo_traced(
+    n: usize,
+    seed: u64,
+    epsilon: f64,
+) -> Result<(DistanceOracle, cc_telemetry::BuildTrace), Box<dyn Error>> {
     let g = demo_graph(n, seed)?;
     let mut clique = Clique::new(n);
-    Ok(OracleBuilder::new().epsilon(epsilon).seed(seed).build(&mut clique, &g)?)
+    Ok(OracleBuilder::new().epsilon(epsilon).seed(seed).build_traced(&mut clique, &g)?)
 }
 
 #[cfg(test)]

@@ -1,0 +1,243 @@
+//! End-to-end tests for `GET /metrics` over a real TCP socket: the
+//! exposition format is lint-clean (every `# TYPE` precedes its series,
+//! histogram buckets cumulative and `le`-sorted), the catalog covers the
+//! serving stack, and the server's self-reported `/distance` p50 agrees
+//! with a latency measurement taken from outside the process.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use cc_clique::Clique;
+use cc_graph::generators;
+use cc_oracle::{DistanceOracle, OracleBuilder};
+use cc_server::{BlockingClient, Server, ServerConfig, ServerHandle};
+
+fn build_oracle(n: usize, seed: u64) -> DistanceOracle {
+    let g = generators::gnp_weighted(n, 0.15, 30, seed).unwrap();
+    let mut clique = Clique::new(n);
+    OracleBuilder::new().seed(seed).build(&mut clique, &g).unwrap()
+}
+
+fn start(oracle: DistanceOracle, config: ServerConfig) -> ServerHandle {
+    Server::start(&config.with_addr("127.0.0.1:0"), oracle).expect("server start")
+}
+
+fn fetch_metrics(client: &mut BlockingClient) -> String {
+    let (status, body) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    String::from_utf8(body).unwrap()
+}
+
+/// The value of the series whose name (including its label set) is
+/// exactly `series`.
+fn series_value(text: &str, series: &str) -> f64 {
+    let line = text
+        .lines()
+        .find(|l| l.strip_prefix(series).is_some_and(|rest| rest.starts_with(' ')))
+        .unwrap_or_else(|| panic!("series {series} missing from:\n{text}"));
+    line.rsplit(' ').next().unwrap().parse().expect("numeric sample")
+}
+
+/// The family name of a sample line: everything before `{` or ` `, with a
+/// histogram suffix stripped.
+fn family_of(line: &str) -> &str {
+    let name = &line[..line.find(['{', ' ']).unwrap_or(line.len())];
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+/// Exposition-format lint: every sample's family is declared by a
+/// preceding `# TYPE` line, and every histogram's buckets are `le`-sorted,
+/// cumulative, and end with an `+Inf` bucket equal to `_count`.
+fn lint_exposition(text: &str) {
+    // (family, type) pairs in the order their TYPE lines appear.
+    let mut typed: Vec<(&str, &str)> = Vec::new();
+    // Per (family, non-le labels): the buckets seen so far, in file order.
+    let mut buckets: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut counts: Vec<(String, f64)> = Vec::new();
+
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (family, ty) = rest.split_once(' ').expect("TYPE line has a type");
+            assert!(typed.iter().all(|(f, _)| *f != family), "duplicate TYPE for {family}");
+            typed.push((family, ty));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let family = family_of(line);
+        let declared = typed.iter().find(|(f, _)| *f == family);
+        let (_, ty) = declared.unwrap_or_else(|| panic!("series before its # TYPE: {line}"));
+        let value: f64 = match line.rsplit(' ').next().unwrap() {
+            "+Inf" => f64::INFINITY,
+            v => v.parse().unwrap_or_else(|_| panic!("bad sample value in: {line}")),
+        };
+
+        if *ty == "histogram" {
+            let name = &line[..line.find(['{', ' ']).unwrap_or(line.len())];
+            if name.ends_with("_bucket") {
+                let labels = &line[line.find('{').unwrap()..line.rfind('}').unwrap() + 1];
+                let le_start = labels.find("le=\"").expect("bucket without le label");
+                let le_text = &labels[le_start + 4..];
+                let le_text = &le_text[..le_text.find('"').unwrap()];
+                let le = if le_text == "+Inf" { f64::INFINITY } else { le_text.parse().unwrap() };
+                // Key the series by family + labels with `le` stripped, in
+                // the same shape a `_count` line carries them.
+                let rest = format!(
+                    "{}{}",
+                    &labels[..le_start],
+                    &labels[le_start + 4 + le_text.len() + 1..]
+                )
+                .replace(",}", "}");
+                let key = format!("{family}{}", if rest == "{}" { "" } else { &rest });
+                match buckets.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, seen)) => seen.push((le, value)),
+                    None => buckets.push((key, vec![(le, value)])),
+                }
+            } else if name.ends_with("_count") {
+                let labels = line.find('{').map_or("", |i| &line[i..line.rfind('}').unwrap() + 1]);
+                counts.push((format!("{family}{labels}"), value));
+            }
+        }
+    }
+
+    assert!(!typed.is_empty(), "no TYPE lines at all");
+    assert!(!buckets.is_empty(), "no histogram buckets at all");
+    for (key, seen) in &buckets {
+        for pair in seen.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "{key}: le out of order ({pair:?})");
+            assert!(pair[0].1 <= pair[1].1, "{key}: buckets not cumulative ({pair:?})");
+        }
+        let (last_le, last_cum) = *seen.last().unwrap();
+        assert_eq!(last_le, f64::INFINITY, "{key}: missing +Inf bucket");
+        let (_, count) = counts
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("{key}: histogram without a _count series"));
+        assert_eq!(last_cum, *count, "{key}: +Inf bucket != _count");
+    }
+}
+
+#[test]
+fn metrics_exposition_is_lint_clean_and_covers_the_serving_stack() {
+    let oracle = build_oracle(30, 9);
+    let handle = start(oracle, ServerConfig::default());
+    let mut client = BlockingClient::connect(handle.addr()).unwrap();
+
+    // Traffic across the endpoint classes: hits, misses, a client error,
+    // a batch, and a failed reload.
+    client.get("/distance?u=0&v=1").unwrap();
+    client.get("/distance?u=0&v=1").unwrap();
+    assert_eq!(client.get("/distance?u=0&v=999").unwrap().0, 400);
+    assert_eq!(client.post("/batch", b"0 1\n2 3\n").unwrap().0, 200);
+    // No reload source is configured, so this lands in reload_failures
+    // (and, being a 4xx, in client_errors too).
+    assert_eq!(client.post("/reload", b"").unwrap().0, 400);
+
+    let text = fetch_metrics(&mut client);
+    lint_exposition(&text);
+
+    // The catalog the CI smoke job (and any scrape config) relies on.
+    // (6 = the five traffic requests plus the /metrics request itself,
+    // counted before routing.)
+    assert_eq!(series_value(&text, "cc_requests_total"), 6.0);
+    assert_eq!(series_value(&text, "cc_endpoint_requests_total{endpoint=\"distance\"}"), 3.0);
+    assert_eq!(series_value(&text, "cc_endpoint_requests_total{endpoint=\"batch\"}"), 1.0);
+    assert_eq!(series_value(&text, "cc_endpoint_requests_total{endpoint=\"reload\"}"), 1.0);
+    assert_eq!(series_value(&text, "cc_batch_pairs_total"), 2.0);
+    assert_eq!(series_value(&text, "cc_client_errors_total"), 2.0);
+    assert_eq!(series_value(&text, "cc_reload_failures_total"), 1.0);
+    // (0,1) twice via /distance (miss, hit) then again inside the batch
+    // (hit), plus the batch's (2,3) miss.
+    assert_eq!(series_value(&text, "cc_cache_hits"), 2.0);
+    assert_eq!(series_value(&text, "cc_cache_misses"), 2.0);
+    assert!((series_value(&text, "cc_cache_hit_rate") - 0.5).abs() < 1e-4);
+    assert_eq!(series_value(&text, "cc_pool_queue_depth"), 0.0);
+    assert_eq!(series_value(&text, "cc_request_duration_ns_count{endpoint=\"distance\"}"), 3.0);
+    assert!(series_value(&text, "cc_request_duration_ns_sum{endpoint=\"distance\"}") > 0.0);
+    assert!(text.contains("cc_reload_duration_ns_bucket"), "reload histogram family missing");
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_content_type_is_prometheus_text_exposition() {
+    let oracle = build_oracle(20, 4);
+    let handle = start(oracle, ServerConfig::default());
+
+    // The BlockingClient discards headers, so speak raw HTTP here.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: cc-serve\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let headers = raw.split("\r\n\r\n").next().unwrap();
+    assert!(headers.starts_with("HTTP/1.1 200"), "status line: {headers}");
+    assert!(
+        headers.to_ascii_lowercase().contains("content-type: text/plain; version=0.0.4"),
+        "missing exposition content type in:\n{headers}"
+    );
+    handle.shutdown();
+}
+
+/// The self-reported `/distance` p50 must be within 2× of what a client
+/// outside the process measures for the same requests.
+///
+/// The direction is guaranteed, not probabilistic: the server's clock
+/// starts at the first buffered byte of a request and stops after the
+/// response flush, so each server-side duration is a sub-interval of the
+/// client-side duration for that request, and the histogram's reported
+/// quantile (a log₂ bucket upper bound) is < 2× the true server-side
+/// value. Flakiness here means the instrumentation regressed.
+#[test]
+fn self_reported_p50_is_within_2x_of_externally_measured_p50() {
+    let oracle = build_oracle(40, 17);
+    let handle = start(oracle, ServerConfig::default());
+    let mut client = BlockingClient::connect(handle.addr()).unwrap();
+
+    const REQUESTS: usize = 300;
+    let mut external_ns: Vec<u64> = Vec::with_capacity(REQUESTS);
+    for i in 0..REQUESTS {
+        let (u, v) = (i % 40, (i * 7 + 1) % 40);
+        let started = Instant::now();
+        let (status, _) = client.get(&format!("/distance?u={u}&v={v}")).unwrap();
+        external_ns.push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        assert_eq!(status, 200);
+    }
+    external_ns.sort_unstable();
+    let external_p50 = external_ns[REQUESTS / 2];
+
+    let text = fetch_metrics(&mut client);
+    let count = series_value(&text, "cc_request_duration_ns_count{endpoint=\"distance\"}");
+    assert_eq!(count, REQUESTS as f64, "every request must be recorded exactly once");
+
+    // Reconstruct the p50 the way a scraper would: the first bucket whose
+    // cumulative count reaches half the total.
+    let mut server_p50 = f64::INFINITY;
+    for line in text.lines() {
+        let Some(rest) =
+            line.strip_prefix("cc_request_duration_ns_bucket{endpoint=\"distance\",le=\"")
+        else {
+            continue;
+        };
+        let (le_text, rest) = rest.split_once('"').unwrap();
+        let cumulative: f64 = rest.trim_start_matches('}').trim().parse().unwrap();
+        if cumulative >= count / 2.0 {
+            server_p50 = if le_text == "+Inf" { f64::INFINITY } else { le_text.parse().unwrap() };
+            break;
+        }
+    }
+    assert!(server_p50.is_finite(), "no bucket reached the median in:\n{text}");
+    assert!(server_p50 > 0.0, "a served request cannot take zero time");
+    assert!(
+        server_p50 <= 2.0 * external_p50 as f64,
+        "self-reported p50 {server_p50}ns exceeds 2x the external p50 {external_p50}ns"
+    );
+    handle.shutdown();
+}

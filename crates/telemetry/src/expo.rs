@@ -1,0 +1,170 @@
+//! Prometheus text exposition (version 0.0.4) of a registry snapshot.
+//!
+//! One `# TYPE` (and optional `# HELP`) line per metric family, followed
+//! by every series of that family. Histograms render the conventional
+//! cumulative `_bucket{le="..."}` series (sorted by `le`, ending with
+//! `+Inf`) plus `_sum` and `_count`.
+
+use crate::hist::HistSnapshot;
+use crate::registry::{MetricId, RegistrySnapshot};
+use std::fmt::Write as _;
+
+/// Formats an `f64` gauge value the way Prometheus expects (plain
+/// decimal; integral values without a trailing `.0` are fine either way).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_family_header(
+    out: &mut String,
+    family: &str,
+    kind: &str,
+    help: &std::collections::BTreeMap<String, String>,
+) {
+    if let Some(h) = help.get(family) {
+        let _ = writeln!(out, "# HELP {family} {}", h.replace('\n', " "));
+    }
+    let _ = writeln!(out, "# TYPE {family} {kind}");
+}
+
+fn render_histogram(out: &mut String, id: &MetricId, snap: &HistSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, &c) in snap.buckets.iter().enumerate() {
+        cumulative += c;
+        let le = if i == snap.buckets.len() - 1 {
+            "+Inf".to_owned()
+        } else {
+            format!("{}", HistSnapshot::upper_bound(i))
+        };
+        let mut with_le = id.clone();
+        with_le.labels.push(("le".to_owned(), le));
+        let _ = writeln!(out, "{}_bucket{} {cumulative}", id.family, with_le.label_suffix());
+    }
+    let _ = writeln!(out, "{}_sum{} {}", id.family, id.label_suffix(), snap.sum);
+    let _ = writeln!(out, "{}_count{} {cumulative}", id.family, id.label_suffix());
+}
+
+/// Renders a snapshot in Prometheus text exposition format.
+pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+
+    let mut family = None::<&str>;
+    for (id, value) in &snap.counters {
+        if family != Some(id.family.as_str()) {
+            family = Some(id.family.as_str());
+            render_family_header(&mut out, &id.family, "counter", &snap.help);
+        }
+        let _ = writeln!(out, "{}{} {value}", id.family, id.label_suffix());
+    }
+
+    let mut family = None::<&str>;
+    for (id, value) in &snap.gauges {
+        if family != Some(id.family.as_str()) {
+            family = Some(id.family.as_str());
+            render_family_header(&mut out, &id.family, "gauge", &snap.help);
+        }
+        let _ = writeln!(out, "{}{} {}", id.family, id.label_suffix(), fmt_f64(*value));
+    }
+
+    let mut family = None::<&str>;
+    for (id, hist) in &snap.histograms {
+        if family != Some(id.family.as_str()) {
+            family = Some(id.family.as_str());
+            render_family_header(&mut out, &id.family, "histogram", &snap.help);
+        }
+        render_histogram(&mut out, id, hist);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    /// A small lint of the exposition contract: every series is preceded
+    /// by a `# TYPE` line for its family, histogram buckets are
+    /// cumulative (non-decreasing) and `le`-sorted, and `_count` matches
+    /// the `+Inf` bucket.
+    fn lint(text: &str) {
+        let mut typed: std::collections::BTreeSet<String> = Default::default();
+        let mut last_le: Option<(String, u64)> = None;
+        let mut last_cum: u64 = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let family = rest.split_whitespace().next().unwrap().to_owned();
+                typed.insert(family);
+                continue;
+            }
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap();
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|f| typed.contains(*f))
+                .unwrap_or(name);
+            assert!(typed.contains(family), "series {name} has no preceding # TYPE ({line})");
+
+            if name.ends_with("_bucket") {
+                let le_raw = line.split("le=\"").nth(1).unwrap().split('"').next().unwrap();
+                let le = if le_raw == "+Inf" { u64::MAX } else { le_raw.parse::<u64>().unwrap() };
+                let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                let series = line.split("le=").next().unwrap().to_owned();
+                if let Some((prev_series, prev_le)) = &last_le {
+                    if *prev_series == series {
+                        assert!(le > *prev_le, "le not sorted in {line}");
+                        assert!(cum >= last_cum, "buckets not cumulative in {line}");
+                    }
+                }
+                last_le = Some((series, le));
+                last_cum = cum;
+            }
+        }
+    }
+
+    #[test]
+    fn exposition_passes_the_format_lint() {
+        let r = Registry::new();
+        r.describe("cc_requests_total", "Requests answered, by endpoint.");
+        r.counter("cc_requests_total", &[("endpoint", "distance")]).add(3);
+        r.counter("cc_requests_total", &[("endpoint", "batch")]).inc();
+        r.gauge("cc_pool_queue_depth", &[]).set(2.0);
+        r.gauge("cc_cache_hit_rate", &[]).set(0.93);
+        let h = r.histogram("cc_request_duration_ns", &[("endpoint", "distance")]);
+        h.record(100);
+        h.record(3000);
+        h.record(u64::MAX);
+        let text = render_prometheus(&r.snapshot());
+        lint(&text);
+        assert!(text.contains("# TYPE cc_requests_total counter"));
+        assert!(text.contains("# HELP cc_requests_total"));
+        assert!(text.contains("cc_requests_total{endpoint=\"distance\"} 3"));
+        assert!(text.contains("# TYPE cc_pool_queue_depth gauge"));
+        assert!(text.contains("cc_cache_hit_rate 0.93"));
+        assert!(text.contains("# TYPE cc_request_duration_ns histogram"));
+        assert!(text.contains("cc_request_duration_ns_bucket{endpoint=\"distance\",le=\"+Inf\"} 3"));
+        assert!(text.contains("cc_request_duration_ns_count{endpoint=\"distance\"} 3"));
+        assert!(text.contains("cc_request_duration_ns_sum{endpoint=\"distance\"}"));
+    }
+
+    #[test]
+    fn count_equals_inf_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("h_ns", &[]);
+        for v in [1u64, 2, 4, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        let text = render_prometheus(&r.snapshot());
+        lint(&text);
+        assert!(text.contains("h_ns_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("h_ns_count 5"));
+    }
+}

@@ -1,0 +1,238 @@
+//! A tiny JSON writer: correct escaping and nesting with insertion-order
+//! preservation, so no endpoint assembles JSON by `format!` string
+//! concatenation (where a stray quote in, say, an error message would
+//! emit invalid JSON).
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON value tree. Object members keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float, rendered via Rust's shortest round-trip `Display`
+    /// (non-finite values render as `null`).
+    F64(f64),
+    /// A pre-rendered JSON fragment, trusted verbatim — for numbers that
+    /// need a fixed precision like `format!("{:.4}", rate)`.
+    Raw(String),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered members.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<JsonObject> for Json {
+    fn from(v: JsonObject) -> Json {
+        Json::Obj(v.members)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Raw(s) => out.push_str(s),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// An order-preserving JSON object builder.
+///
+/// ```
+/// use cc_telemetry::JsonObject;
+/// let mut o = JsonObject::new();
+/// o.set("requests", 3u64);
+/// o.set("error", "a \"quoted\" path");
+/// assert_eq!(o.render(), r#"{"requests":3,"error":"a \"quoted\" path"}"#);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonObject {
+    members: Vec<(String, Json)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    /// Appends a member (keys are not deduplicated; set each key once).
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.members.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Renders the object as compact JSON.
+    pub fn render(&self) -> String {
+        Json::Obj(self.members.clone()).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_handles_quotes_backslashes_and_control_chars() {
+        let mut o = JsonObject::new();
+        o.set("last_reload_error", "bad \"magic\" in C:\\snap\nline2\u{1}");
+        assert_eq!(o.render(), r#"{"last_reload_error":"bad \"magic\" in C:\\snap\nline2\u0001"}"#);
+    }
+
+    #[test]
+    fn nesting_arrays_objects_and_scalars() {
+        let mut inner = JsonObject::new();
+        inner.set("hits", 10u64).set("rate", Json::Raw("0.9300".into()));
+        let mut o = JsonObject::new();
+        o.set("cache", inner);
+        o.set("shards", vec![1u64, 2, 3]);
+        o.set("note", Json::Null);
+        o.set("ok", true);
+        o.set("neg", -4i64);
+        assert_eq!(
+            o.render(),
+            r#"{"cache":{"hits":10,"rate":0.9300},"shards":[1,2,3],"note":null,"ok":true,"neg":-4}"#
+        );
+    }
+
+    #[test]
+    fn option_maps_to_null_or_value() {
+        let mut o = JsonObject::new();
+        o.set("a", None::<u64>);
+        o.set("b", Some("x"));
+        assert_eq!(o.render(), r#"{"a":null,"b":"x"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(0.25).render(), "0.25");
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-phase build tracing for the oracle construction pipeline.
+//!
+//! The PODC 2019 construction is analyzed in *rounds*, so "make builds
+//! cheap" needs per-phase round/wall/message-volume numbers rather than
+//! one aggregate. The oracle builder (k-nearest balls → hitting-set
+//! landmarks → MSSP columns) and the shard partitioner fill a
+//! [`BuildTrace`] with one [`PhaseSpan`] per phase; the trace can then be
+//! exported as registry gauges (for `/metrics`), JSON (for benches), or
+//! human-readable log lines (for `cc-serve --demo`).
+
+use crate::json::{Json, JsonObject};
+use crate::registry::Registry;
+
+/// One instrumented build phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase name, e.g. `k_nearest_balls`.
+    pub name: String,
+    /// Wall time spent in the phase, nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated congested-clique rounds charged to the phase.
+    pub rounds: u64,
+    /// Messages (envelopes) delivered during the phase.
+    pub messages: u64,
+    /// Words moved during the phase — the message-volume estimate.
+    pub words: u64,
+}
+
+/// An ordered list of [`PhaseSpan`]s describing one build.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BuildTrace {
+    spans: Vec<PhaseSpan>,
+}
+
+impl BuildTrace {
+    /// An empty trace.
+    pub fn new() -> BuildTrace {
+        BuildTrace::default()
+    }
+
+    /// Appends a completed phase.
+    pub fn record(&mut self, name: &str, wall_ns: u64, rounds: u64, messages: u64, words: u64) {
+        self.spans.push(PhaseSpan { name: name.to_owned(), wall_ns, rounds, messages, words });
+    }
+
+    /// All spans in build order.
+    pub fn spans(&self) -> &[PhaseSpan] {
+        &self.spans
+    }
+
+    /// Looks a phase up by name.
+    pub fn span(&self, name: &str) -> Option<&PhaseSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Total wall time across phases, nanoseconds.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Total rounds across phases.
+    pub fn total_rounds(&self) -> u64 {
+        self.spans.iter().map(|s| s.rounds).sum()
+    }
+
+    /// Publishes the trace as `cc_build_phase_*{phase="..."}` gauges so
+    /// `/metrics` exposes build-phase cost next to the serving metrics.
+    pub fn export_gauges(&self, registry: &Registry) {
+        registry.describe("cc_build_phase_wall_ns", "Wall time per oracle build phase.");
+        registry.describe("cc_build_phase_rounds", "Simulated clique rounds per build phase.");
+        registry.describe("cc_build_phase_words", "Words moved (message volume) per build phase.");
+        for s in &self.spans {
+            let labels = [("phase", s.name.as_str())];
+            registry.gauge("cc_build_phase_wall_ns", &labels).set(s.wall_ns as f64);
+            registry.gauge("cc_build_phase_rounds", &labels).set(s.rounds as f64);
+            registry.gauge("cc_build_phase_words", &labels).set(s.words as f64);
+        }
+    }
+
+    /// The trace as a JSON array of span objects.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    let mut o = JsonObject::new();
+                    o.set("phase", s.name.as_str());
+                    o.set("wall_ns", s.wall_ns);
+                    o.set("rounds", s.rounds);
+                    o.set("messages", s.messages);
+                    o.set("words", s.words);
+                    o.into()
+                })
+                .collect(),
+        )
+    }
+
+    /// One log line per span, for `cc-serve --demo` startup output.
+    pub fn log_lines(&self) -> String {
+        self.spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "build-trace phase={} rounds={} wall_ms={:.2} messages={} words={}",
+                    s.name,
+                    s.rounds,
+                    s.wall_ns as f64 / 1e6,
+                    s.messages,
+                    s.words
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BuildTrace {
+        let mut t = BuildTrace::new();
+        t.record("k_nearest_balls", 2_000_000, 10, 100, 400);
+        t.record("hitting_set_landmarks", 500_000, 1, 8, 8);
+        t.record("mssp_columns", 7_000_000, 25, 900, 3600);
+        t
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let t = sample();
+        assert_eq!(t.total_wall_ns(), 9_500_000);
+        assert_eq!(t.total_rounds(), 36);
+        assert_eq!(t.span("mssp_columns").unwrap().words, 3600);
+        assert!(t.span("nope").is_none());
+    }
+
+    #[test]
+    fn gauges_are_exported_per_phase() {
+        let r = Registry::new();
+        sample().export_gauges(&r);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.gauge_value("cc_build_phase_rounds", &[("phase", "k_nearest_balls")]),
+            Some(10.0)
+        );
+        assert_eq!(
+            snap.gauge_value("cc_build_phase_wall_ns", &[("phase", "mssp_columns")]),
+            Some(7_000_000.0)
+        );
+        let text = crate::render_prometheus(&snap);
+        assert!(text.contains("cc_build_phase_rounds{phase=\"hitting_set_landmarks\"} 1"));
+    }
+
+    #[test]
+    fn json_and_log_lines_list_every_phase() {
+        let t = sample();
+        let json = t.to_json().render();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"phase\":\"k_nearest_balls\""));
+        assert!(json.contains("\"words\":3600"));
+        let lines = t.log_lines();
+        assert_eq!(lines.lines().count(), 3);
+        assert!(lines.contains("build-trace phase=mssp_columns rounds=25"));
+    }
+}

@@ -7,8 +7,8 @@
 //! brush `u64::MAX`. Per-shard snapshots are deterministic and round-trip
 //! to an identical, identically-answering router.
 //!
-//! This suite is the reason `cc-serve --shards` may call itself a drop-in
-//! replacement for the monolithic tier.
+//! This suite is the reason the sharded router tier may call itself a
+//! drop-in replacement for the monolithic tier.
 
 // Node-indexed loops over parallel per-node vectors are the domain idiom.
 #![allow(clippy::needless_range_loop)]
