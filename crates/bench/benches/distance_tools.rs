@@ -16,7 +16,7 @@ fn bench_k_nearest(c: &mut Criterion) {
         b.iter(|| {
             let mut clique = Clique::new(n);
             k_nearest(&mut clique, std::hint::black_box(&g), 8).expect("k-nearest")
-        })
+        });
     });
 }
 
@@ -29,7 +29,7 @@ fn bench_source_detection(c: &mut Criterion) {
             let mut clique = Clique::new(n);
             source_detection_all(&mut clique, std::hint::black_box(&g), &sources, 4)
                 .expect("source detection")
-        })
+        });
     });
 }
 
@@ -43,7 +43,7 @@ fn bench_through_sets(c: &mut Criterion) {
         b.iter(|| {
             let mut clique = Clique::new(n);
             distance_through_sets(&mut clique, std::hint::black_box(&sets)).expect("through sets")
-        })
+        });
     });
 }
 
@@ -56,7 +56,7 @@ fn bench_hitting_set(c: &mut Criterion) {
         b.iter(|| {
             let mut clique = Clique::new(n);
             hitting_set(&mut clique, std::hint::black_box(&sets), 16, 7).expect("hitting set")
-        })
+        });
     });
 }
 

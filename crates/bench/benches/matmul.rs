@@ -24,7 +24,7 @@ fn bench_sparse_multiply(c: &mut Criterion) {
                 rho_out,
             )
             .expect("multiply")
-        })
+        });
     });
 }
 
@@ -43,7 +43,7 @@ fn bench_filtered_multiply(c: &mut Criterion) {
                 8,
             )
             .expect("filtered multiply")
-        })
+        });
     });
 }
 
@@ -61,7 +61,7 @@ fn bench_dense_multiply(c: &mut Criterion) {
                 t_cols.rows(),
             )
             .expect("dense multiply")
-        })
+        });
     });
 }
 

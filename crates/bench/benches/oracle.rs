@@ -142,12 +142,12 @@ fn bench_oracle(c: &mut Criterion) {
             let (u, v) = pairs[at];
             at = (at + 1) % pairs.len();
             black_box(oracle.try_query(u, v).unwrap())
-        })
+        });
     });
 
     let batch = traffic(100_000);
     c.bench_function("oracle_query_batch_100k_n256", |b| {
-        b.iter(|| black_box(oracle.try_query_batch(black_box(&batch)).unwrap()))
+        b.iter(|| black_box(oracle.try_query_batch(black_box(&batch)).unwrap()));
     });
 
     let cached = CachingOracle::new(oracle.clone(), 4096);
@@ -157,7 +157,7 @@ fn bench_oracle(c: &mut Criterion) {
             let (u, v) = pairs[at];
             at = (at + 1) % pairs.len();
             black_box(cached.try_query(u, v).unwrap())
-        })
+        });
     });
 
     emit_artifact(&oracle, build_wall, &trace);
@@ -171,7 +171,7 @@ fn bench_build(c: &mut Criterion) {
         b.iter(|| {
             let mut clique = Clique::new(64);
             OracleBuilder::new().build(&mut clique, black_box(&g)).expect("build")
-        })
+        });
     });
 }
 

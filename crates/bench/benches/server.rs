@@ -392,7 +392,7 @@ fn bench_server(c: &mut Criterion) {
             let (status, body) = client.get(target).expect("request");
             assert_eq!(status, 200);
             black_box(body)
-        })
+        });
     });
 
     let m = measure(&handle);

@@ -15,7 +15,7 @@ fn bench_hopset(c: &mut Criterion) {
             let mut clique = Clique::new(n);
             build_hopset(&mut clique, std::hint::black_box(&g), HopsetConfig::new(0.5))
                 .expect("hopset")
-        })
+        });
     });
 }
 
@@ -27,7 +27,7 @@ fn bench_mssp(c: &mut Criterion) {
         b.iter(|| {
             let mut clique = Clique::new(n);
             mssp::mssp(&mut clique, std::hint::black_box(&g), &sources, 0.5).expect("mssp")
-        })
+        });
     });
 }
 
@@ -38,7 +38,7 @@ fn bench_apsp_weighted(c: &mut Criterion) {
         b.iter(|| {
             let mut clique = Clique::new(n);
             apsp::weighted_2eps(&mut clique, std::hint::black_box(&g), 0.5).expect("apsp")
-        })
+        });
     });
 }
 
@@ -49,7 +49,7 @@ fn bench_apsp_unweighted(c: &mut Criterion) {
         b.iter(|| {
             let mut clique = Clique::new(n);
             apsp::unweighted_2eps(&mut clique, std::hint::black_box(&g), 0.5).expect("apsp")
-        })
+        });
     });
 }
 
@@ -60,7 +60,7 @@ fn bench_exact_sssp(c: &mut Criterion) {
         b.iter(|| {
             let mut clique = Clique::new(n);
             sssp::exact_sssp(&mut clique, std::hint::black_box(&g), 0).expect("sssp")
-        })
+        });
     });
 }
 
@@ -72,7 +72,7 @@ fn bench_diameter(c: &mut Criterion) {
             let mut clique = Clique::new(n);
             diameter::diameter_approx(&mut clique, std::hint::black_box(&g), 0.25)
                 .expect("diameter")
-        })
+        });
     });
 }
 

@@ -6,6 +6,9 @@
 //! `experiments` binary reports; the Criterion benches additionally track
 //! the simulator's wall-time so performance regressions in this codebase
 //! itself are visible.
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -119,18 +119,21 @@ fn landmark_phase(
             est.improve(v, a, run.dist[v][i]);
         }
     }
-    // p(v) and d(v, p(v)): 2 words per node, one all-broadcast.
+    // p(v) and d(v, p(v)): 2 words per node, one all-broadcast. A node with
+    // no landmark in its row broadcasts `NO_LANDMARK` (landmark ids are
+    // `< n`, so the marker cannot collide).
+    const NO_LANDMARK: u64 = u64::MAX;
     let pinfo: Vec<(u64, u64)> = (0..n)
         .map(|v| match landmarks.closest_in_row(&near[v]) {
             Some((p, a)) => (p as u64, a.dist),
-            None => (u64::MAX, u64::MAX),
+            None => (NO_LANDMARK, NO_LANDMARK),
         })
         .collect();
     let pinfo = clique.with_phase("landmark_bcast", |cl| cl.all_broadcast(pinfo))?;
     let src_index = |a: usize| run.sources.iter().position(|&s| s == a);
     for v in 0..n {
         let (p, dp) = pinfo[v];
-        if p == u64::MAX {
+        if p == NO_LANDMARK {
             continue;
         }
         let Some(pi) = src_index(p as usize) else { continue };

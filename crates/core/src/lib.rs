@@ -22,6 +22,9 @@
 //! [`cc_clique::RoundReport`] delta so experiments can compare measured
 //! rounds against the paper's bounds; [`stretch`] computes approximation
 //! quality against the sequential ground truth.
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

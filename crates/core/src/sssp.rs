@@ -74,7 +74,9 @@ fn bf_loop(
         let mut changed = false;
         for v in 0..n {
             for &(u, w) in graph.neighbors(v) {
-                if snapshot[u] != u64::MAX {
+                // The snapshot carries raw dist words; decode via from_raw
+                // so the ∞ encoding lives in one place.
+                if Dist::from_raw(snapshot[u]).is_finite() {
                     let cand = Dist::fin(snapshot[u]).checked_add(Dist::fin(w));
                     if cand < dist[v] {
                         dist[v] = cand;

@@ -43,7 +43,7 @@ pub fn assert_sound(est: &[Vec<Dist>], exact: &[Vec<Option<u64>>]) {
         for (v, &d) in row.iter().enumerate() {
             match (d, est[u][v].value()) {
                 (Some(d), Some(e)) => {
-                    assert!(e >= d, "estimate {e} underestimates exact {d} for pair ({u},{v})")
+                    assert!(e >= d, "estimate {e} underestimates exact {d} for pair ({u},{v})");
                 }
                 (Some(d), None) => panic!("pair ({u},{v}) reachable at {d} but estimate is inf"),
                 (None, Some(e)) => {

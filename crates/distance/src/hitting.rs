@@ -155,11 +155,13 @@ pub fn hitting_set(
         .collect();
 
     // Local verification; un-hit nodes promote their smallest member in one
-    // all-to-all broadcast round.
+    // all-to-all broadcast round. `NO_REPAIR` marks an already-hit set in
+    // the packed broadcast word (node ids are `< n`, so it cannot collide).
+    const NO_REPAIR: u64 = u64::MAX;
     let repair: Vec<u64> = (0..n)
         .map(|v| {
             if sets[v].is_empty() || sets[v].iter().any(|&w| in_set[w]) {
-                u64::MAX
+                NO_REPAIR
             } else {
                 *sets[v].iter().min().expect("nonempty") as u64
             }
@@ -167,7 +169,7 @@ pub fn hitting_set(
         .collect();
     let repair = clique.with_phase("hitting_set", |cl| cl.all_broadcast(repair))?;
     for &r in &repair {
-        if r != u64::MAX {
+        if r != NO_REPAIR {
             in_set[r as usize] = true;
         }
     }

@@ -23,6 +23,9 @@
 //! All tools work on directed or undirected non-negative integer-weighted
 //! graphs; this workspace exercises them on the undirected graphs of
 //! [`cc_graph`].
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -24,6 +24,9 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -27,6 +27,9 @@
 //! Unlike prior constructions whose round complexity grows with the hopset
 //! *size*, everything here runs in `O(log² n / ε)` rounds (Claim 22): the
 //! paper's headline structural insight.
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

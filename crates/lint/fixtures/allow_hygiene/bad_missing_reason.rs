@@ -1,0 +1,4 @@
+// An allow without a reason defeats the point of the audit trail.
+fn startup(x: Option<u64>) -> u64 {
+    x.unwrap() // cc-lint: allow(no_panic)
+}

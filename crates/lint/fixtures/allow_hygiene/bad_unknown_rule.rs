@@ -1,0 +1,4 @@
+// A typo'd rule name would silently suppress nothing forever.
+fn startup(y: Option<u64>) -> u64 {
+    y.unwrap() // cc-lint: allow(no_panics) -- typo in the rule name
+}

@@ -1,0 +1,4 @@
+// Well-formed: names a known rule and states why the suppression is safe.
+fn startup(z: Option<u64>) -> u64 {
+    z.expect("config parsed at boot") // cc-lint: allow(no_panic) -- startup path; the process has not accepted traffic yet
+}

@@ -1,0 +1,16 @@
+// The PR 6 bug, verbatim shape: the queue-depth gauge was incremented after
+// try_send, racing the worker's decrement — a scrape could read -1. Relaxed
+// on a depth/control atomic is how that class of race looks locally fine.
+fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+    match self.tx.try_send(job) {
+        Ok(()) => {
+            self.queue_depth.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(e) => Err(SubmitError::from(e)),
+    }
+}
+
+fn should_stop(&self) -> bool {
+    self.shutdown.load(Ordering::Relaxed)
+}

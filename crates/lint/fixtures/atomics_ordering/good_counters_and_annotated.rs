@@ -1,0 +1,14 @@
+// Plain counters may relax; control-flow atomics either get a stronger
+// ordering or a reasoned annotation.
+fn record_hit(&self) {
+    self.hits.fetch_add(1, Ordering::Relaxed);
+}
+
+fn should_stop(&self) -> bool {
+    self.shutdown.load(Ordering::Acquire)
+}
+
+fn depth_estimate(&self) -> u64 {
+    // cc-lint: allow(atomics_ordering) -- monitoring-only estimate; a stale read is acceptable for a gauge sample
+    self.queue_depth.load(Ordering::Relaxed)
+}

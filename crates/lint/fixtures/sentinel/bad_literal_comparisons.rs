@@ -1,0 +1,21 @@
+// Literal sentinel comparisons restate the infinity encoding inline — the
+// PR 2 saturation bug hid because the clamp boundary and the sentinel were
+// the same magic number in two files.
+fn is_unreachable(d: u64) -> bool {
+    d == u64::MAX
+}
+
+fn clamp(d: u64) -> u64 {
+    if d >= u64::MAX - 1 {
+        d - 1
+    } else {
+        d
+    }
+}
+
+fn classify(d: u64) -> &'static str {
+    match d {
+        u64::MAX => "inf",
+        _ => "finite",
+    }
+}

@@ -1,0 +1,15 @@
+// Named constants carry the encoding; constructing the literal (assignment,
+// argument) is fine — only comparisons restate the meaning.
+const NO_REPAIR: u64 = u64::MAX;
+
+fn is_unreachable(d: u64) -> bool {
+    d == Dist::INF.raw()
+}
+
+fn needs_repair(r: u64) -> bool {
+    r != NO_REPAIR
+}
+
+fn widest() -> u64 {
+    width.unwrap_or(u64::MAX)
+}

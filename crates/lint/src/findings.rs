@@ -1,0 +1,189 @@
+//! Findings, severities and report rendering (human and JSON).
+
+use cc_telemetry::{Json, JsonObject};
+
+/// How a finding is treated at exit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Counts toward a nonzero exit.
+    Deny,
+    /// Printed but never fails the run.
+    Warn,
+}
+
+impl Severity {
+    /// The lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One rule violation at a specific location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired (e.g. `distance_arith`).
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// Severity after CLI `--deny`/`--warn` overrides.
+    pub severity: Severity,
+}
+
+/// An allow-comment that actually suppressed at least one finding, or was
+/// recorded for the summary.
+#[derive(Debug, Clone)]
+pub struct UsedAllow {
+    /// File containing the comment, relative to the workspace root.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rules it lists.
+    pub rules: Vec<String>,
+    /// The stated reason.
+    pub reason: String,
+    /// How many findings it suppressed this run.
+    pub suppressed: usize,
+}
+
+/// A whole lint run: findings (post-suppression) plus the allows in effect.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings, in walk order.
+    pub findings: Vec<Finding>,
+    /// Allow-comments seen in scanned files.
+    pub allows: Vec<UsedAllow>,
+    /// Number of files scanned.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Number of deny-severity findings (drives the exit code).
+    pub fn deny_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Deny).count()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: {}[{}] {}\n",
+                f.file,
+                f.line,
+                f.severity.name(),
+                f.rule,
+                f.message
+            ));
+        }
+        let warns = self.findings.len() - self.deny_count();
+        out.push_str(&format!(
+            "cc-lint: {} files checked, {} deny, {} warn\n",
+            self.files_checked,
+            self.deny_count(),
+            warns
+        ));
+        if !self.allows.is_empty() {
+            out.push_str("allows in effect:\n");
+            for a in &self.allows {
+                out.push_str(&format!(
+                    "  {}:{} allow({}) -- {} [{} suppressed]\n",
+                    a.file,
+                    a.line,
+                    a.rules.join(", "),
+                    a.reason,
+                    a.suppressed
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable report via `cc-telemetry`'s JSON writer.
+    pub fn render_json(&self) -> String {
+        let findings: Vec<Json> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let mut o = JsonObject::new();
+                o.set("rule", f.rule)
+                    .set("file", f.file.as_str())
+                    .set("line", u64::from(f.line))
+                    .set("severity", f.severity.name())
+                    .set("message", f.message.as_str());
+                Json::from(o)
+            })
+            .collect();
+        let allows: Vec<Json> = self
+            .allows
+            .iter()
+            .map(|a| {
+                let mut o = JsonObject::new();
+                o.set("file", a.file.as_str())
+                    .set("line", u64::from(a.line))
+                    .set(
+                        "rules",
+                        a.rules.iter().map(|r| Json::from(r.as_str())).collect::<Vec<_>>(),
+                    )
+                    .set("reason", a.reason.as_str())
+                    .set("suppressed", a.suppressed);
+                Json::from(o)
+            })
+            .collect();
+        let mut o = JsonObject::new();
+        o.set("files_checked", self.files_checked)
+            .set("deny", self.deny_count())
+            .set("warn", self.findings.len() - self.deny_count())
+            .set("findings", findings)
+            .set("allows", allows);
+        o.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "sentinel",
+                file: "crates/x/src/a.rs".into(),
+                line: 7,
+                message: "literal `u64::MAX` comparison".into(),
+                severity: Severity::Deny,
+            }],
+            allows: vec![UsedAllow {
+                file: "crates/x/src/b.rs".into(),
+                line: 3,
+                rules: vec!["no_panic".into()],
+                reason: "startup".into(),
+                suppressed: 1,
+            }],
+            files_checked: 2,
+        }
+    }
+
+    #[test]
+    fn human_report_names_rule_file_line_and_allows() {
+        let text = sample().render_human();
+        assert!(text.contains("crates/x/src/a.rs:7: deny[sentinel]"));
+        assert!(text.contains("2 files checked, 1 deny, 0 warn"));
+        assert!(text.contains("allow(no_panic) -- startup [1 suppressed]"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let json = sample().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""rule":"sentinel""#));
+        assert!(json.contains(r#""files_checked":2"#));
+        assert!(json.contains(r#""suppressed":1"#));
+    }
+}

@@ -1,0 +1,240 @@
+//! # cc-lint — the workspace invariant checker
+//!
+//! Every headline bugfix this codebase has shipped was an instance of a
+//! mechanically-detectable pattern: the saturating-add that turned connected
+//! pairs into the ∞ sentinel (PR 2), the cache's check-then-insert
+//! double-lock race (PR 2), the queue-depth gauge racing its own decrement
+//! (PR 6). cc-lint encodes those invariants as named, individually
+//! suppressible rules over a hand-rolled token stream (no `syn`; the build
+//! image has no registry access) so the next occurrence fails CI instead of
+//! shipping.
+//!
+//! See `docs/LINTS.md` for the rule catalog and
+//! `crates/lint/fixtures/` for the known-bad corpus each rule is proven
+//! against (including the literal pre-fix PR 2 and PR 6 code).
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use findings::{Finding, Report, Severity, UsedAllow};
+use lexer::{lex, test_code_mask, Allow};
+use rules::{FileContext, Rule};
+
+/// Name of the built-in rule that polices allow-comments themselves.
+pub const ALLOW_HYGIENE: &str = "allow_hygiene";
+
+/// Per-rule severity configuration (default: everything denies).
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    overrides: BTreeMap<String, Severity>,
+}
+
+impl Config {
+    /// Everything at deny — the CI posture.
+    pub fn deny_all() -> Config {
+        Config::default()
+    }
+
+    /// Sets one rule (or `"all"`) to the given severity.
+    pub fn set(&mut self, rule: &str, severity: Severity) {
+        self.overrides.insert(rule.to_owned(), severity);
+    }
+
+    /// Effective severity for a rule.
+    pub fn severity(&self, rule: &str) -> Severity {
+        self.overrides
+            .get(rule)
+            .or_else(|| self.overrides.get("all"))
+            .copied()
+            .unwrap_or(Severity::Deny)
+    }
+}
+
+/// True if `name` is a known rule name (including the allow-hygiene rule).
+pub fn known_rule(name: &str) -> bool {
+    name == ALLOW_HYGIENE || rules::all_rules().iter().any(|r| r.name() == name)
+}
+
+/// Lints a set of workspace-relative files under `root`.
+///
+/// `only` restricts the registry to one rule and ignores its path scoping —
+/// the fixture runner uses this to point a single rule at a bad snippet.
+pub fn lint_paths(root: &Path, files: &[PathBuf], config: &Config, only: Option<&str>) -> Report {
+    let registry = rules::all_rules();
+    let mut report = Report::default();
+    for rel in files {
+        let Ok(src) = walk::read_source(root, rel) else {
+            continue;
+        };
+        let path = rel.to_string_lossy().into_owned();
+        report.files_checked += 1;
+        lint_source(&path, &src, &registry, config, only, &mut report);
+    }
+    report
+}
+
+/// Lints one in-memory source file and appends into `report`.
+pub fn lint_source(
+    path: &str,
+    src: &str,
+    registry: &[Box<dyn Rule>],
+    config: &Config,
+    only: Option<&str>,
+    report: &mut Report,
+) {
+    let lexed = lex(src);
+    let mask = test_code_mask(&lexed.tokens);
+    let ctx = FileContext { path, tokens: &lexed.tokens, test_mask: &mask };
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in registry {
+        let in_scope = match only {
+            Some(name) => rule.name() == name, // forced scope for fixtures
+            None => rule.applies_to(path),
+        };
+        if !in_scope {
+            continue;
+        }
+        for f in rule.check(&ctx) {
+            raw.push(Finding {
+                rule: rule.name(),
+                file: path.to_owned(),
+                line: f.line,
+                message: f.message,
+                severity: config.severity(rule.name()),
+            });
+        }
+    }
+
+    // Apply allow-comments: a well-formed allow suppresses listed rules on
+    // its own line and the next (trailing or standalone-above placement).
+    let mut suppressed = vec![0usize; lexed.allows.len()];
+    raw.retain(|f| {
+        for (ai, a) in lexed.allows.iter().enumerate() {
+            let covers_line = f.line == a.line || f.line == a.line + 1;
+            if a.well_formed && covers_line && a.rules.iter().any(|r| r == f.rule) {
+                suppressed[ai] += 1;
+                return false;
+            }
+        }
+        true
+    });
+    report.findings.extend(raw);
+
+    // The allow-hygiene rule: every cc-lint comment must be well-formed,
+    // name known rules, and state a reason.
+    for (ai, a) in lexed.allows.iter().enumerate() {
+        if let Some(problem) = allow_problem(a) {
+            report.findings.push(Finding {
+                rule: ALLOW_HYGIENE,
+                file: path.to_owned(),
+                line: a.line,
+                message: problem,
+                severity: config.severity(ALLOW_HYGIENE),
+            });
+        } else {
+            report.allows.push(UsedAllow {
+                file: path.to_owned(),
+                line: a.line,
+                rules: a.rules.clone(),
+                reason: a.reason.clone().unwrap_or_default(),
+                suppressed: suppressed[ai],
+            });
+        }
+    }
+}
+
+/// Why an allow-comment is unacceptable, if it is.
+fn allow_problem(a: &Allow) -> Option<String> {
+    if !a.well_formed {
+        return Some(
+            "malformed cc-lint comment; expected `// cc-lint: allow(rule, ...) -- reason`"
+                .to_owned(),
+        );
+    }
+    if let Some(unknown) = a.rules.iter().find(|r| !known_rule(r)) {
+        return Some(format!("allow names unknown rule `{unknown}`"));
+    }
+    if a.reason.is_none() {
+        return Some("allow-comment without a reason; append `-- <why this is safe>`".to_owned());
+    }
+    None
+}
+
+/// Runs every rule against its fixture corpus under `fixtures_dir`.
+///
+/// Layout: `fixtures/<rule>/bad_*.rs` must each produce at least one
+/// `<rule>` finding; `fixtures/<rule>/good_*.rs` must produce none. Returns
+/// a log plus overall success — the gate that tests the gate.
+pub fn check_fixtures(fixtures_dir: &Path) -> (String, bool) {
+    let mut log = String::new();
+    let mut ok = true;
+    let mut cases = 0usize;
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(fixtures_dir)
+        .map(|rd| rd.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect())
+        .unwrap_or_default();
+    dirs.sort();
+    let registry = rules::all_rules();
+    for dir in dirs {
+        let rule = dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if !known_rule(&rule) {
+            log.push_str(&format!("FAIL {rule}: fixture dir names no known rule\n"));
+            ok = false;
+            continue;
+        }
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map(|rd| {
+                rd.flatten()
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        files.sort();
+        for file in files {
+            let name =
+                file.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+            let Ok(bytes) = std::fs::read(&file) else {
+                log.push_str(&format!("FAIL {rule}/{name}: unreadable\n"));
+                ok = false;
+                continue;
+            };
+            let src = String::from_utf8_lossy(&bytes);
+            let mut report = Report::default();
+            // Force exactly this rule; allow_hygiene always runs.
+            let only = (rule != ALLOW_HYGIENE).then_some(rule.as_str());
+            lint_source(&name, &src, &registry, &Config::deny_all(), only, &mut report);
+            let hits = report.findings.iter().filter(|f| f.rule == rule).count();
+            let want_bad = name.starts_with("bad_");
+            let pass = if want_bad { hits > 0 } else { hits == 0 };
+            cases += 1;
+            if pass {
+                log.push_str(&format!("ok   {rule}/{name} ({hits} findings)\n"));
+            } else {
+                ok = false;
+                log.push_str(&format!(
+                    "FAIL {rule}/{name}: expected {} findings, got {hits}\n",
+                    if want_bad { "\u{2265}1" } else { "0" }
+                ));
+                for f in report.findings.iter().filter(|f| f.rule == rule) {
+                    log.push_str(&format!("     {}:{} {}\n", f.file, f.line, f.message));
+                }
+            }
+        }
+    }
+    log.push_str(&format!(
+        "cc-lint fixtures: {cases} cases, {}\n",
+        if ok { "all passed" } else { "FAILURES" }
+    ));
+    (log, ok)
+}

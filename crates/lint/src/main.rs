@@ -1,0 +1,178 @@
+//! The `cc-lint` binary: walks the workspace (or explicit paths), runs the
+//! rule catalog, prints human or JSON reports, and exits nonzero on any
+//! deny-level finding. `--check-fixtures` runs the tool against its own
+//! known-bad corpus — the CI step that proves the gate still fires.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cc_lint::findings::Severity;
+use cc_lint::{check_fixtures, known_rule, lint_paths, rules, walk, Config};
+
+const USAGE: &str = "\
+cc-lint: workspace invariant checker
+
+USAGE:
+    cc-lint [--workspace | PATH...] [OPTIONS]
+
+OPTIONS:
+    --workspace          lint every production source file under the
+                         workspace root (found by walking up from cwd)
+    --root DIR           use DIR as the workspace root
+    --deny RULE[,RULE]   treat RULE (or `all`) as deny (the default)
+    --warn RULE[,RULE]   treat RULE (or `all`) as warn (never fails)
+    --json               machine-readable output
+    --list-rules         print the rule catalog and exit
+    --check-fixtures     run the rules against their known-bad fixture
+                         corpus and fail unless every rule fires
+    -h, --help           this text
+
+Exit codes: 0 clean, 1 deny-level findings (or fixture failures), 2 usage.
+";
+
+struct Cli {
+    workspace: bool,
+    root: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+    config: Config,
+    json: bool,
+    list_rules: bool,
+    fixtures: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        workspace: false,
+        root: None,
+        paths: Vec::new(),
+        config: Config::deny_all(),
+        json: false,
+        list_rules: false,
+        fixtures: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--workspace" => cli.workspace = true,
+            "--json" => cli.json = true,
+            "--list-rules" => cli.list_rules = true,
+            "--check-fixtures" => cli.fixtures = true,
+            "--root" | "--deny" | "--warn" => {
+                i += 1;
+                let value = args.get(i).ok_or_else(|| format!("{arg} needs a value"))?;
+                match arg {
+                    "--root" => cli.root = Some(PathBuf::from(value)),
+                    _ => {
+                        let severity =
+                            if arg == "--deny" { Severity::Deny } else { Severity::Warn };
+                        for rule in value.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+                            if rule != "all" && !known_rule(rule) {
+                                return Err(format!("unknown rule `{rule}`"));
+                            }
+                            cli.config.set(rule, severity);
+                        }
+                    }
+                }
+            }
+            "-h" | "--help" => return Err(String::new()),
+            _ if arg.starts_with('-') => return Err(format!("unknown flag `{arg}`")),
+            _ => cli.paths.push(PathBuf::from(arg)),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares the
+/// workspace.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("cc-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.list_rules {
+        for rule in rules::all_rules() {
+            println!("{:<18} {}", rule.name(), rule.summary());
+        }
+        println!(
+            "{:<18} allow-comments must be well-formed with a stated reason",
+            cc_lint::ALLOW_HYGIENE
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if cli.fixtures {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let (log, ok) = check_fixtures(&fixtures);
+        print!("{log}");
+        return if ok { ExitCode::SUCCESS } else { ExitCode::from(1) };
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match cli.root.clone().or_else(|| find_workspace_root(&cwd)) {
+        Some(root) => root,
+        None => {
+            eprintln!("cc-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files: Vec<PathBuf> = if cli.workspace || cli.paths.is_empty() {
+        walk::workspace_files(&root)
+    } else {
+        cli.paths
+            .iter()
+            .map(|p| {
+                // Accept both workspace-relative and cwd-relative paths.
+                if root.join(p).exists() {
+                    p.clone()
+                } else {
+                    cwd.join(p)
+                        .strip_prefix(&root)
+                        .map(Path::to_path_buf)
+                        .unwrap_or_else(|_| p.clone())
+                }
+            })
+            .collect()
+    };
+
+    let report = lint_paths(&root, &files, &cli.config, None);
+    if cli.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.deny_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

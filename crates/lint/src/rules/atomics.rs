@@ -1,0 +1,96 @@
+//! Rule `atomics_ordering`: control-flow atomics don't get `Relaxed`.
+//!
+//! Originating bug (PR 6): the pool's queue-depth gauge was incremented
+//! *after* `try_send`, so a worker could decrement first and a scrape read
+//! −1. The fix reordered the operations — but the reason the race was easy
+//! to write is that `Relaxed` on a control-flow-ish atomic (a depth, a
+//! shutdown flag, a "done" latch) *looks* fine locally. This rule flags
+//! `Ordering::Relaxed` whenever the atomic's name matches a control-flow /
+//! depth / shutdown pattern; plain counters (hits, misses, bytes) stay
+//! unflagged. Where `Relaxed` is genuinely right, the allow-comment states
+//! why.
+
+use super::{receiver_key, segment_match, FileContext, RawFinding, Rule};
+
+/// Atomic methods that take an `Ordering` argument.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Name segments that mark an atomic as control-flow-bearing.
+const CONTROL_SEGMENTS: &[&str] = &[
+    "depth", "queue", "shutdown", "stop", "stopping", "stopped", "closed", "closing", "done",
+    "running", "alive", "drain", "draining", "exit", "halt", "pending", "inflight",
+];
+
+pub struct AtomicsOrdering;
+
+impl Rule for AtomicsOrdering {
+    fn name(&self) -> &'static str {
+        "atomics_ordering"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no Ordering::Relaxed on control-flow/depth/shutdown atomics without an annotation"
+    }
+
+    fn applies_to(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        let toks = ctx.tokens;
+        for i in 0..toks.len() {
+            if !ctx.is_code(i) || !toks[i].is_ident("Ordering") {
+                continue;
+            }
+            let relaxed = toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("Relaxed"));
+            if !relaxed {
+                continue;
+            }
+            // Walk back to the atomic method this ordering is an argument
+            // of, stopping at a statement boundary.
+            let mut method = None;
+            for j in (0..i).rev() {
+                let t = &toks[j];
+                if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                    break;
+                }
+                if t.kind == crate::lexer::TokenKind::Ident
+                    && ATOMIC_METHODS.contains(&t.text.as_str())
+                    && j > 0
+                    && toks[j - 1].is_punct(".")
+                {
+                    method = Some(j);
+                    break;
+                }
+            }
+            let Some(m) = method else { continue };
+            let (_, field) = receiver_key(toks, m.saturating_sub(2));
+            let Some(name) = field else { continue };
+            if segment_match(&name, CONTROL_SEGMENTS) {
+                out.push(RawFinding {
+                    line: toks[i].line,
+                    message: format!(
+                        "`Ordering::Relaxed` on control-flow atomic `{name}` (the PR 6 \
+                         gauge-race shape); use Acquire/Release/SeqCst, or annotate why \
+                         Relaxed is safe here"
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

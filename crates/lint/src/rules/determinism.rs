@@ -1,0 +1,52 @@
+//! Rule `determinism`: query kernels read no clocks.
+//!
+//! The shard-equivalence suites pin router answers bit-identical to the
+//! monolith; that only holds while a query's result is a pure function of
+//! the artifact and the input pair. `Instant::now` / `SystemTime::now` in a
+//! kernel file is either dead weight or a time-dependent answer waiting to
+//! happen. Build-phase tracing in the same files uses the allow escape
+//! hatch with a stated reason.
+
+use super::{path_in, FileContext, RawFinding, Rule, KERNEL_FILES};
+
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no Instant::now/SystemTime::now in query-kernel files"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path_in(path, KERNEL_FILES)
+    }
+
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        let toks = ctx.tokens;
+        for i in 0..toks.len() {
+            if !ctx.is_code(i) {
+                continue;
+            }
+            let t = &toks[i];
+            let clock = (t.is_ident("Instant") || t.is_ident("SystemTime"))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("now"));
+            if clock {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: format!(
+                        "`{}::now()` in a query-kernel file breaks answer determinism \
+                         (router/monolith bit-equivalence); move timing to the caller or \
+                         annotate build-phase tracing",
+                        t.text
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

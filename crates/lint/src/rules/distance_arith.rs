@@ -1,0 +1,89 @@
+//! Rule `distance_arith`: distance arithmetic in the oracle kernels must be
+//! `checked_add` + `MAX_FINITE_DISTANCE` clamp.
+//!
+//! Originating bug (PR 2): `to_landmark.saturating_add(col)` saturated two
+//! near-`u64::MAX` finite distances to exactly `u64::MAX` — the ∞ sentinel —
+//! so connected pairs were reported unreachable. `saturating_add`,
+//! `wrapping_add`, and bare `+` on distance-typed operands are all banned in
+//! the kernels; overflow must clamp to `MAX_FINITE_DISTANCE`, never reach
+//! the sentinel.
+
+use super::{
+    next_operand_ident, path_in, prev_operand_ident, segment_match, FileContext, RawFinding, Rule,
+    KERNEL_FILES,
+};
+
+/// Identifier segments that mark an operand as distance-typed.
+const DISTANCE_SEGMENTS: &[&str] = &[
+    "dist",
+    "distance",
+    "distances",
+    "weight",
+    "weights",
+    "landmark",
+    "col",
+    "via",
+    "best",
+    "d",
+    "w",
+];
+
+pub struct DistanceArith;
+
+impl Rule for DistanceArith {
+    fn name(&self) -> &'static str {
+        "distance_arith"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no saturating/wrapping/bare `+` on distances in oracle kernels; use checked_add + MAX_FINITE_DISTANCE clamp"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path_in(path, KERNEL_FILES)
+    }
+
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        for (i, tok) in ctx.tokens.iter().enumerate() {
+            if !ctx.is_code(i) {
+                continue;
+            }
+            let method_banned = (tok.is_ident("saturating_add") || tok.is_ident("wrapping_add"))
+                && i > 0
+                && ctx.tokens[i - 1].is_punct(".");
+            if method_banned {
+                out.push(RawFinding {
+                    line: tok.line,
+                    message: format!(
+                        "`{}` on a distance saturates into the `u64::MAX` infinity sentinel \
+                         (the PR 2 bug); use `checked_add(..).map_or(MAX_FINITE_DISTANCE, \
+                         |s| s.min(MAX_FINITE_DISTANCE))`",
+                        tok.text
+                    ),
+                });
+                continue;
+            }
+            if tok.is_punct("+") || tok.is_punct("+=") {
+                let lhs = (i > 0).then(|| prev_operand_ident(ctx.tokens, i - 1)).flatten();
+                let rhs = next_operand_ident(ctx.tokens, i + 1);
+                let culprit = [lhs, rhs]
+                    .into_iter()
+                    .flatten()
+                    .find(|name| segment_match(name, DISTANCE_SEGMENTS));
+                if let Some(name) = culprit {
+                    out.push(RawFinding {
+                        line: tok.line,
+                        message: format!(
+                            "bare `{}` on distance-typed operand `{name}` can overflow into \
+                             the infinity sentinel; use `checked_add` with a \
+                             `MAX_FINITE_DISTANCE` clamp",
+                            tok.text
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,103 @@
+//! Rule `lock_discipline`: one function, one acquisition per lock.
+//!
+//! Originating bug (PR 2): the query cache did `if !map.lock().contains(k)`
+//! then `map.lock().insert(k, v)` — a check-then-insert across two separate
+//! acquisitions, so two threads could both miss and both compute. The shape
+//! generalizes: any second `.lock()`/`.read()`/`.write()` on the same
+//! binding inside one function means the state observed under the first
+//! guard may be stale by the second. Hold one guard across the whole
+//! decision, or annotate why the re-acquisition is benign.
+
+use super::{receiver_key, FileContext, RawFinding, Rule};
+use crate::lexer::matching_bracket;
+use std::collections::HashMap;
+
+/// Guard-returning methods, matched only with empty argument lists so
+/// `io::Read::read(&mut buf)` and friends never false-positive.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+pub struct LockDiscipline;
+
+impl Rule for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock_discipline"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no second .lock()/.read()/.write() on the same binding within one function"
+    }
+
+    fn applies_to(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        let toks = ctx.tokens;
+        let mut i = 0;
+        while i < toks.len() {
+            if !toks[i].is_ident("fn") || !ctx.is_code(i) {
+                i += 1;
+                continue;
+            }
+            // Find the body's opening brace; a `;` first means a bodyless
+            // trait-method signature.
+            let open = toks
+                .iter()
+                .enumerate()
+                .skip(i + 1)
+                .take_while(|(_, t)| !t.is_punct(";"))
+                .find(|(_, t)| t.is_punct("{"))
+                .map(|(j, _)| j);
+            let Some(open) = open else {
+                i += 1;
+                continue;
+            };
+            let end = matching_bracket(toks, open, "{", "}").unwrap_or(toks.len() - 1);
+            out.extend(scan_body(ctx, open, end));
+            i = end + 1;
+        }
+        out
+    }
+}
+
+/// Counts guard acquisitions per receiver key within one function body.
+fn scan_body(ctx: &FileContext<'_>, open: usize, end: usize) -> Vec<RawFinding> {
+    let toks = ctx.tokens;
+    // receiver key -> (line of first acquisition, acquisitions so far)
+    let mut seen: HashMap<String, (u32, u32)> = HashMap::new();
+    let mut out = Vec::new();
+    for j in open..=end {
+        if !ctx.is_code(j) {
+            continue;
+        }
+        let is_lock = LOCK_METHODS.contains(&toks[j].text.as_str())
+            && toks[j].kind == crate::lexer::TokenKind::Ident
+            && j > 0
+            && toks[j - 1].is_punct(".")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(")"));
+        if !is_lock {
+            continue;
+        }
+        let (key, _) = receiver_key(toks, j.saturating_sub(2));
+        if key.is_empty() {
+            continue;
+        }
+        let entry = seen.entry(key.clone()).or_insert((toks[j].line, 0));
+        entry.1 += 1;
+        let (first_line, count) = *entry;
+        if count > 1 {
+            out.push(RawFinding {
+                line: toks[j].line,
+                message: format!(
+                    "second `.{}()` on `{key}` in one function (first at line {first_line}) — \
+                     the check-then-act state may be stale (PR 2 cache race); hold one guard \
+                     across the decision",
+                    toks[j].text
+                ),
+            });
+        }
+    }
+    out
+}

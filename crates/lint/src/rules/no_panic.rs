@@ -1,0 +1,80 @@
+//! Rule `no_panic`: the serving paths never panic.
+//!
+//! `cc-serve`'s contract (PR 2) is that malformed input is a `400` and
+//! overload is a `503` — never a worker falling over. A panic in a handler
+//! kills a pool thread; a panic while a reload lock is held poisons it and
+//! takes the whole reload path down with it. `.unwrap()`, `.expect(...)`
+//! and the panicking macros are therefore banned in the request handlers,
+//! the worker pool, the reload plumbing, and the oracle query kernel.
+//! Genuinely-unreachable startup-time cases use the allow escape hatch with
+//! a stated reason.
+
+use super::{path_in, FileContext, RawFinding, Rule};
+
+/// The serving-path files this rule polices.
+const SERVING_FILES: &[&str] = &[
+    "crates/server/src/handlers.rs",
+    "crates/server/src/pool.rs",
+    "crates/server/src/reload.rs",
+    "crates/oracle/src/oracle.rs",
+];
+
+/// Macros that unconditionally panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub struct NoPanic;
+
+impl Rule for NoPanic {
+    fn name(&self) -> &'static str {
+        "no_panic"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no .unwrap()/.expect()/panic! in serving paths (handlers, pool, reload, query kernel)"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path_in(path, SERVING_FILES)
+    }
+
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        let toks = ctx.tokens;
+        for i in 0..toks.len() {
+            if !ctx.is_code(i) {
+                continue;
+            }
+            let t = &toks[i];
+            // `.unwrap()` / `.expect(`: exact method names only, so
+            // `unwrap_or` / `unwrap_or_else` stay legal.
+            let panicking_method = (t.is_ident("unwrap") || t.is_ident("expect"))
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            if panicking_method {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: format!(
+                        "`.{}(...)` can panic on a serving path (poisoning locks, killing \
+                         pool workers); return an error, use `unwrap_or_else`, or recover \
+                         from poison with `PoisonError::into_inner`",
+                        t.text
+                    ),
+                });
+                continue;
+            }
+            let panicking_macro = PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+            if panicking_macro {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: format!(
+                        "`{}!` panics on a serving path; degrade to an error response instead",
+                        t.text
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,76 @@
+//! Rule `sentinel`: no literal `u64::MAX` / `u64::MAX - 1` comparisons
+//! outside the canonical constants modules.
+//!
+//! The ∞ sentinel is defined exactly twice: `Dist::INF` in
+//! `crates/matrix/src/elem.rs` and `MAX_FINITE_DISTANCE` in
+//! `crates/oracle/src/oracle.rs`. Everywhere else, comparing against the
+//! literal restates the encoding inline — which is how the PR 2 saturation
+//! bug hid in plain sight: the clamp boundary and the sentinel were the
+//! same magic number in two files. Compare against the named constants
+//! (`Dist::INF.raw()`, `MAX_FINITE_DISTANCE`) or a locally-documented
+//! `const` marker instead.
+
+use super::{path_in, FileContext, RawFinding, Rule};
+
+/// The two modules allowed to spell the sentinel literally: where it is
+/// defined.
+const CANONICAL: &[&str] = &["crates/matrix/src/elem.rs", "crates/oracle/src/oracle.rs"];
+
+/// Operators that make an adjacent `u64::MAX` a comparison (match arms
+/// count: `u64::MAX => ...` is a comparison in disguise).
+const COMPARISONS: &[&str] = &["==", "!=", "<", "<=", ">", ">=", "=>"];
+
+pub struct Sentinel;
+
+impl Rule for Sentinel {
+    fn name(&self) -> &'static str {
+        "sentinel"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no literal u64::MAX comparisons outside the canonical constants modules"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        !path_in(path, CANONICAL)
+    }
+
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        let toks = ctx.tokens;
+        for i in 0..toks.len() {
+            if !ctx.is_code(i) || !toks[i].is_ident("u64") {
+                continue;
+            }
+            let is_max = toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("MAX"));
+            if !is_max {
+                continue;
+            }
+            // Extend over an optional `- 1` so `u64::MAX - 1 == x` is seen
+            // as one literal.
+            let mut end = i + 2;
+            if toks.get(end + 1).is_some_and(|t| t.is_punct("-"))
+                && toks.get(end + 2).is_some_and(|t| t.text == "1")
+            {
+                end += 2;
+            }
+            let before = i.checked_sub(1).and_then(|j| toks.get(j));
+            let after = toks.get(end + 1);
+            let compared = [before, after]
+                .into_iter()
+                .flatten()
+                .any(|t| COMPARISONS.contains(&t.text.as_str()));
+            if compared {
+                out.push(RawFinding {
+                    line: toks[i].line,
+                    message: "comparison against literal `u64::MAX` restates the infinity \
+                              encoding inline; compare against `Dist::INF.raw()`, \
+                              `MAX_FINITE_DISTANCE`, or a named local sentinel const"
+                        .to_owned(),
+                });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,36 @@
+//! The gate tests the gate: every rule must fire on its known-bad corpus
+//! (including the literal pre-fix PR 2 and PR 6 code) and stay silent on
+//! the minimized fixed versions. CI runs the same check via
+//! `cc-lint --check-fixtures`.
+
+use std::path::Path;
+
+#[test]
+fn every_rule_fires_on_bad_and_stays_silent_on_good() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let (log, ok) = cc_lint::check_fixtures(&fixtures);
+    assert!(ok, "fixture corpus failed:\n{log}");
+}
+
+#[test]
+fn every_rule_has_both_bad_and_good_fixtures() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    for rule in cc_lint::rules::all_rules() {
+        let dir = fixtures.join(rule.name());
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("no fixture dir for rule `{}`: {e}", rule.name()))
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().any(|n| n.starts_with("bad_")),
+            "rule `{}` has no known-bad fixture",
+            rule.name()
+        );
+        assert!(
+            names.iter().any(|n| n.starts_with("good_")),
+            "rule `{}` has no known-good fixture",
+            rule.name()
+        );
+    }
+}

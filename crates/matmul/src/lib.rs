@@ -23,6 +23,9 @@
 //! All algorithms run on the [`cc_clique::Clique`] simulator and account
 //! every word they move; differential tests check them against
 //! [`cc_matrix::SparseMatrix::multiply`].
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

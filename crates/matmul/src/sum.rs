@@ -122,12 +122,14 @@ pub fn sum_intermediates<SR: Semiring>(
             .collect();
 
         // (3) Boundary fix: positions straddling node boundaries are merged
-        // at the smallest-id holder. Broadcast (min, max) keys.
+        // at the smallest-id holder. Broadcast (min, max) keys; an empty
+        // holder broadcasts `EMPTY_SPAN` bounds, which no real key equals.
+        const EMPTY_SPAN: u64 = u64::MAX;
         let spans: Vec<(u64, u64)> = combined
             .iter()
             .map(|c| {
                 if c.is_empty() {
-                    (u64::MAX, u64::MAX)
+                    (EMPTY_SPAN, EMPTY_SPAN)
                 } else {
                     (c.first().expect("nonempty").0, c.last().expect("nonempty").0)
                 }
@@ -138,7 +140,7 @@ pub fn sum_intermediates<SR: Semiring>(
         // earlier holder of k must end with k (global sorted order), so it
         // is the first node whose max equals k — or v itself.
         let owner_of = |key: u64, v: usize| -> usize {
-            (0..v).find(|&t| spans[t].1 == key && spans[t].0 != u64::MAX).unwrap_or(v)
+            (0..v).find(|&t| spans[t].1 == key && spans[t].0 != EMPTY_SPAN).unwrap_or(v)
         };
         let mut boundary_msgs = Vec::new();
         for v in 0..n {

@@ -39,6 +39,13 @@ impl Dist {
         Dist(w)
     }
 
+    /// Reinterprets a raw `u64` from the wire encoding ([`Dist::raw`]):
+    /// `u64::MAX` is [`Dist::INF`], everything else is finite. The inverse
+    /// of `raw()`, and the one place decoding spells the sentinel.
+    pub fn from_raw(raw: u64) -> Dist {
+        Dist(raw)
+    }
+
     /// Whether this distance is finite.
     pub fn is_finite(self) -> bool {
         self != Dist::INF

@@ -30,6 +30,9 @@
 //! let w2 = w.multiply::<MinPlus>(&w);
 //! assert_eq!(w2.get(0, 2), Some(&Dist::fin(3))); // two-hop path 0-1-2
 //! ```
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

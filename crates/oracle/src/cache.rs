@@ -248,7 +248,7 @@ impl<B: QueryBackend> CachingOracle<B> {
             self.shards[(key % SHARDS as u64) as usize].lock().expect("cache shard poisoned");
         if let Some(raw) = shard.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return if raw == u64::MAX { Dist::INF } else { Dist::fin(raw) };
+            return Dist::from_raw(raw);
         }
         let answer = self.backend.try_query(u, v).expect("pair validated by caller");
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -347,10 +347,14 @@ impl<B: QueryBackend> CachingOracle<B> {
 
     /// Current hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
-        let len =
-            self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum();
-        let capacity =
-            self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").capacity).sum();
+        // One acquisition per shard: len and capacity are read under the
+        // same guard, so the pair is consistent per shard.
+        let (mut len, mut capacity) = (0usize, 0usize);
+        for s in &self.shards {
+            let shard = s.lock().expect("cache shard poisoned");
+            len += shard.map.len();
+            capacity += shard.capacity;
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

@@ -41,6 +41,8 @@
 //! migration window promised in `docs/SNAPSHOT_FORMAT.md`; v1 bytes are
 //! now rejected everywhere, never parsed.
 
+use cc_matrix::Dist;
+
 use crate::error::corrupt;
 use crate::shard::{OracleShard, ShardPlan};
 use crate::{DistanceOracle, OracleError};
@@ -644,9 +646,9 @@ fn read_sections(
         if idx as usize >= s {
             return Err(corrupt(format!("node row {v}: landmark index {idx} outside 0..{s}")));
         }
-        // u64::MAX is the ∞ sentinel; a nearest-landmark distance is always
-        // finite (the hitting set guarantees a landmark inside each ball).
-        if d == u64::MAX {
+        // A nearest-landmark distance is always finite (the hitting set
+        // guarantees a landmark inside each ball).
+        if d == Dist::INF.raw() {
             return Err(corrupt(format!("node row {v}: infinite nearest-landmark distance")));
         }
         nearest_landmark.push((idx, d));
@@ -663,8 +665,8 @@ fn read_sections(
             let d = r.u64()?;
             // Ball members are reachable by construction, so a distance
             // equal to the ∞ sentinel can only come from corruption — and
-            // would make `query` feed u64::MAX into `Dist::fin`.
-            if d == u64::MAX {
+            // would make `query` feed the sentinel into `Dist::fin`.
+            if d == Dist::INF.raw() {
                 return Err(corrupt(format!("node row {v}: infinite ball distance")));
             }
             ball.push((id, d));

@@ -273,7 +273,7 @@ impl OracleShard {
         // Mirror the monolithic query kernel exactly: a landmark sum that
         // reaches or overflows the u64::MAX sentinel is clamped to the
         // largest finite value, never reported as "disconnected".
-        let via_landmark = (col != u64::MAX).then(|| {
+        let via_landmark = (col != Dist::INF.raw()).then(|| {
             to_landmark.checked_add(col).map_or(MAX_FINITE_DISTANCE, |s| s.min(MAX_FINITE_DISTANCE))
         });
         HalfQuery { ball: ball_hit, via_landmark }
@@ -323,11 +323,13 @@ impl ShardedArtifact {
     ) -> Result<(ShardedArtifact, BuildTrace), OracleError> {
         let mut trace = BuildTrace::new();
         let plan = ShardPlan::new(oracle.n(), count)?;
+        // cc-lint: allow(determinism) -- build-phase tracing; partition runs before any query is served
         let started = Instant::now();
         let set_id = crate::serde::payload_checksum(oracle);
         trace.record("shard_set_id_checksum", started.elapsed().as_nanos() as u64, 0, 0, 0);
         let shards: Vec<OracleShard> = (0..count)
             .map(|i| {
+                // cc-lint: allow(determinism) -- build-phase tracing; per-shard slicing, not the query path
                 let started = Instant::now();
                 let range = plan.range(i);
                 let shard = OracleShard {
@@ -804,7 +806,7 @@ mod tests {
         let mixed = vec![shards[0].clone(), other_shards[1].clone()];
         match ShardRouter::assemble(mixed) {
             Err(OracleError::ShardSetMismatch { what }) => {
-                assert!(what.contains("set id"), "must name the field: {what}")
+                assert!(what.contains("set id"), "must name the field: {what}");
             }
             other => panic!("mixed set must be rejected, got {other:?}"),
         }
@@ -875,7 +877,7 @@ mod tests {
         let wrong_n = vec![a_shards[0].clone(), other_n[1].clone()];
         match ShardRouter::assemble_rolling(wrong_n) {
             Err(OracleError::ShardSetMismatch { what }) => {
-                assert!(what.contains("n = "), "must name the field: {what}")
+                assert!(what.contains("n = "), "must name the field: {what}");
             }
             other => panic!("wrong-n slice must be rejected, got {other:?}"),
         }

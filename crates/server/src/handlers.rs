@@ -31,7 +31,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use cc_matrix::Dist;
@@ -366,13 +366,13 @@ impl AppState {
 
     fn record_reload_failure(&self, msg: String) -> String {
         self.metrics.reload_failures.inc();
-        *self.last_reload_error.lock().expect("reload error lock") = Some(msg.clone());
+        *self.last_reload_error.lock().unwrap_or_else(PoisonError::into_inner) = Some(msg.clone());
         msg
     }
 
     fn record_reload_success(&self) -> u64 {
         self.metrics.reloads.inc();
-        *self.last_reload_error.lock().expect("reload error lock") = None;
+        *self.last_reload_error.lock().unwrap_or_else(PoisonError::into_inner) = None;
         self.metrics.reloads.get()
     }
 
@@ -413,7 +413,7 @@ impl AppState {
     /// a shard set (reload a shard — or the manifest — instead).
     pub fn reload_from(&self, path: &Path) -> Result<ReloadOutcome, String> {
         let started = Instant::now();
-        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let _serialized = self.reload_lock.lock().unwrap_or_else(PoisonError::into_inner);
         let current = self.handle.current();
         if current.is_sharded() {
             return Err(self.record_reload_failure(
@@ -464,7 +464,7 @@ impl AppState {
     /// serving.
     pub fn reload_shard_from(&self, index: usize, path: &Path) -> Result<ReloadOutcome, String> {
         let started = Instant::now();
-        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let _serialized = self.reload_lock.lock().unwrap_or_else(PoisonError::into_inner);
         let current = self.handle.current();
         if !current.is_sharded() {
             return Err(self.record_reload_failure(
@@ -547,7 +547,13 @@ impl AppState {
         } else if spec.is_sharded() {
             self.reload_all_shards()
         } else {
-            self.reload_from(spec.mono_path().expect("non-sharded spec has a mono path"))
+            match spec.mono_path() {
+                Some(path) => self.reload_from(path),
+                None => Err(self.record_reload_failure(
+                    "reload source spec names neither a manifest, shards, nor a mono path"
+                        .to_owned(),
+                )),
+            }
         }
     }
 
@@ -562,7 +568,7 @@ impl AppState {
     /// The first rejection reason; nothing was swapped.
     pub fn reload_manifest(&self, path: &Path) -> Result<ReloadOutcome, String> {
         let started = Instant::now();
-        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let _serialized = self.reload_lock.lock().unwrap_or_else(PoisonError::into_inner);
         let current = self.handle.current();
         let loaded = BackendSpec::from_manifest(path).and_then(|spec| {
             let capacity = spec.cache_capacity;
@@ -596,7 +602,7 @@ impl AppState {
     /// The first rejection reason; nothing was swapped.
     pub fn reload_all_shards(&self) -> Result<ReloadOutcome, String> {
         let started = Instant::now();
-        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let _serialized = self.reload_lock.lock().unwrap_or_else(PoisonError::into_inner);
         let current = self.handle.current();
         if !current.is_sharded() {
             return Err(self.record_reload_failure(
@@ -935,7 +941,7 @@ impl AppState {
         o.set("reload_failures", counter("cc_reload_failures_total", &[]));
         o.set(
             "last_reload_error",
-            self.last_reload_error.lock().expect("reload error lock").clone(),
+            self.last_reload_error.lock().unwrap_or_else(PoisonError::into_inner).clone(),
         );
         let mut cache = JsonObject::new();
         cache.set("hits", gauge("cc_cache_hits") as u64);

@@ -93,6 +93,7 @@ impl<T: Send + 'static> WorkerPool<T> {
                             Err(_) => break, // all senders dropped: shutdown
                         }
                     })
+                    // cc-lint: allow(no_panic) -- worker spawn happens once at pool construction, before any request is accepted; failing to spawn is fatal by design
                     .expect("spawn worker thread")
             })
             .collect();

@@ -113,7 +113,7 @@ impl Server {
             let config = config.clone();
             std::thread::Builder::new()
                 .name("cc-serve-accept".to_owned())
-                .spawn(move || accept_loop(listener, &config, &state, &shutdown))?
+                .spawn(move || accept_loop(&listener, &config, &state, &shutdown))?
         };
 
         Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), state })
@@ -178,7 +178,7 @@ impl Drop for ServerHandle {
 }
 
 fn accept_loop(
-    listener: TcpListener,
+    listener: &TcpListener,
     config: &ServerConfig,
     state: &Arc<AppState>,
     shutdown: &Arc<AtomicBool>,

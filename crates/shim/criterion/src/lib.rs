@@ -11,6 +11,9 @@
 //! as mean / p50 / p99 over the samples. No statistical regression analysis,
 //! plots, or saved baselines — this is a timing harness, not a statistics
 //! suite. `cargo bench` output remains human-readable one-liners.
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -13,6 +13,9 @@
 //! and case index instead), and the default case count is 64 (override with
 //! the `PROPTEST_CASES` environment variable). Inputs are drawn from a
 //! deterministic per-test RNG so failures reproduce across runs.
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

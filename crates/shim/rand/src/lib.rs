@@ -10,6 +10,9 @@
 //! cryptographic RNG. The stream differs from upstream `StdRng` (ChaCha12),
 //! so seeds produce different (but still deterministic) draws than a
 //! crates.io build would.
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

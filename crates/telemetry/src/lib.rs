@@ -45,6 +45,9 @@
 //! let text = cc_telemetry::render_prometheus(&snap);
 //! assert!(text.contains("# TYPE cc_requests_total counter"));
 //! ```
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

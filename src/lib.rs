@@ -69,6 +69,12 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
+//! whole workspace.
+
+#![forbid(unsafe_code)]
+
 pub use cc_clique as clique;
 pub use cc_core as core;
 pub use cc_distance as distance;

@@ -281,7 +281,7 @@ fn mixed_shard_sets_are_named_set_mismatches() {
     let mixed = vec![ours[0].clone(), theirs[1].clone(), ours[2].clone()];
     match validate_set(&mixed) {
         Err(OracleError::ShardSetMismatch { what }) => {
-            assert!(what.contains("set id"), "must name the field: {what}")
+            assert!(what.contains("set id"), "must name the field: {what}");
         }
         other => panic!("mixed set ids must be rejected, got {other:?}"),
     }
