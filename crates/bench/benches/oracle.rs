@@ -10,7 +10,7 @@
 
 use cc_clique::Clique;
 use cc_graph::generators;
-use cc_oracle::{CachingOracle, DistanceOracle, OracleBuilder};
+use cc_oracle::{CachingOracle, DirectBuilder, DistanceOracle, OracleBuilder};
 use cc_telemetry::BuildTrace;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -50,6 +50,44 @@ fn traffic(len: usize) -> Vec<(usize, usize)> {
 
 fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
     sorted_ns[((sorted_ns.len() - 1) as f64 * q) as usize]
+}
+
+/// Direct-builder n-scaling curve: one capped-mode build per decade on
+/// `road_like` (k=8, max_landmarks=32 — the knobs that keep the 10^6-node
+/// build tractable on one core), emitted as `direct_build_ms_n*` keys so
+/// later PRs can track the large-artifact build path alongside the serving
+/// path. The clique simulator cannot reach these sizes (its state is n^2),
+/// which is exactly why the direct builder exists.
+fn direct_scaling_keys() -> String {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut keys = String::new();
+    let mut peak_landmarks = 0usize;
+    for (label, w, h) in
+        [("1e3", 40usize, 25usize), ("1e4", 100, 100), ("1e5", 400, 250), ("1e6", 1000, 1000)]
+    {
+        let g = generators::road_like(w, h, 30, 42).expect("graph");
+        let t = Instant::now();
+        let oracle = DirectBuilder::new()
+            .k(8)
+            .epsilon(0.25)
+            .seed(7)
+            .max_landmarks(32)
+            .build(&g)
+            .expect("direct build");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        peak_landmarks = peak_landmarks.max(oracle.landmarks().len());
+        println!(
+            "direct build n={}: {:.0} ms, {} landmarks, {} KiB artifact",
+            oracle.n(),
+            ms,
+            oracle.landmarks().len(),
+            oracle.artifact_bytes() / 1024
+        );
+        keys.push_str(&format!("  \"direct_build_ms_n{label}\": {ms:.0},\n"));
+    }
+    keys.push_str(&format!("  \"direct_build_threads\": {threads},\n"));
+    keys.push_str(&format!("  \"direct_build_peak_landmarks\": {peak_landmarks},\n"));
+    keys
 }
 
 /// Measures the serving path directly and writes BENCH_oracle.json.
@@ -101,9 +139,11 @@ fn emit_artifact(oracle: &DistanceOracle, build_wall: Duration, trace: &BuildTra
         .map(|s| format!("  \"build_phase_{}_ms\": {:.2},\n", s.name, s.wall_ns as f64 / 1e6))
         .collect();
 
+    let direct_keys = direct_scaling_keys();
+
     let json = format!(
         "{{\n  \"n\": {},\n  \"k\": {},\n  \"epsilon\": {},\n  \"landmarks\": {},\n  \
-         \"build_rounds\": {},\n  \"build_wall_ms\": {:.1},\n{phase_keys}  \
+         \"build_rounds\": {},\n  \"build_wall_ms\": {:.1},\n{phase_keys}{direct_keys}  \
          \"artifact_bytes\": {},\n  \
          \"run64_mean_p50_ns\": {p50},\n  \"run64_mean_p99_ns\": {p99},\n  \
          \"queries_per_sec\": {:.0},\n  \

@@ -6,7 +6,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p cc-bench --bin experiments [all|e1|..|e12|oracle|ablate-cost|ablate-filter|ablate-shortcut]
+//! cargo run --release -p cc-bench --bin experiments [all|e1|..|e12|oracle|build-direct|ablate-cost|ablate-filter|ablate-shortcut]
 //! ```
 //!
 //! Output is GitHub-flavoured markdown, pasted (with narrative) into
@@ -68,6 +68,9 @@ fn main() {
     }
     if all || which == "oracle" {
         oracle();
+    }
+    if all || which == "build-direct" {
+        build_direct();
     }
     if all || which == "ablate-cost" {
         ablate_cost();
@@ -619,6 +622,69 @@ fn oracle() {
     }
     table.print();
     println!("every family: answers sound (never below the true distance), within the documented 3(1+eps) bound, and all n(n-1) queries cost 0 rounds after the one-off build.\n");
+}
+
+/// Direct-builder n-scaling: one capped-mode build per decade on the
+/// `road_like` family (the same shape `cc-serve --demo-direct` uses),
+/// with the per-phase wall-time breakdown out of the `BuildTrace`. This
+/// is the scale path the simulator cannot reach — `Clique::new(10^5)`
+/// would allocate n^2 channel state — so there is no clique column here;
+/// bit-identity at simulator-reachable sizes is proven by
+/// `tests/build_equivalence.rs` instead.
+fn build_direct() {
+    let (k, m, seed) = (8usize, 32usize, 7u64);
+    println!(
+        "### Direct builder — n-scaling on road_like (capped mode, k={k}, max_landmarks={m})\n"
+    );
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut table = Table::new(&[
+        "n",
+        "grid",
+        "threads",
+        "landmarks",
+        "balls ms",
+        "select ms",
+        "columns ms",
+        "extract ms",
+        "total ms",
+        "artifact MiB",
+    ]);
+    let mut pts = Vec::new();
+    for (w, h) in [(40usize, 25usize), (100, 100), (400, 250), (1000, 1000)] {
+        let g = generators::road_like(w, h, 30, 42).expect("graph");
+        let started = Instant::now();
+        let (oracle, trace) = cc_oracle::DirectBuilder::new()
+            .k(k)
+            .epsilon(0.25)
+            .seed(seed)
+            .max_landmarks(m)
+            .build_traced(&g)
+            .expect("direct build");
+        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        let phase_ms = |name: &str| {
+            trace
+                .span(name)
+                .map_or_else(|| "-".into(), |s| format!("{:.0}", s.wall_ns as f64 / 1e6))
+        };
+        table.row(vec![
+            oracle.n().to_string(),
+            format!("{w}x{h}"),
+            threads.to_string(),
+            oracle.landmarks().len().to_string(),
+            phase_ms("k_nearest_balls"),
+            phase_ms("landmark_selection"),
+            phase_ms("exact_columns"),
+            phase_ms("local_extraction"),
+            format!("{total_ms:.0}"),
+            format!("{:.1}", oracle.artifact_bytes() as f64 / (1024.0 * 1024.0)),
+        ]);
+        pts.push((oracle.n() as f64, total_ms));
+    }
+    table.print();
+    println!(
+        "log-log slope of build time vs n: {:.2} (1.0 = linear scaling; the exact-columns phase is m Dijkstras, so O(m * n log n) dominates).\n",
+        loglog_slope(&pts)
+    );
 }
 
 /// Ablation: cost-model constants don't change algorithm rankings.

@@ -57,7 +57,18 @@ impl HittingSet {
         &self,
         row: &SparseRow<cc_matrix::AugDist>,
     ) -> Option<(usize, cc_matrix::AugDist)> {
-        row.iter()
+        self.closest_of(row.iter())
+    }
+
+    /// [`closest_in_row`](Self::closest_in_row) over any `(id, distance)`
+    /// entry stream — the same selection rule for callers (like the direct
+    /// builder) that hold plain vectors instead of sparse rows.
+    pub fn closest_of<'a>(
+        &self,
+        entries: impl IntoIterator<Item = (u32, &'a cc_matrix::AugDist)>,
+    ) -> Option<(usize, cc_matrix::AugDist)> {
+        entries
+            .into_iter()
             .filter(|(c, _)| self.contains(*c as usize))
             .min_by_key(|(c, a)| (**a, *c))
             .map(|(c, a)| (c as usize, *a))
@@ -134,6 +145,37 @@ pub fn hitting_set(
     if sets.len() != n {
         return Err(invalid(format!("sets has length {} but clique has {n}", sets.len())));
     }
+
+    // Charge the cited deterministic construction's cost.
+    let loglog = (n.max(4) as f64).log2().log2().ceil().max(1.0) as u64;
+    clique.charge("hitting_set", loglog.pow(3));
+
+    let (hs, repair) = hitting_set_local(sets, k, seed)?;
+    // The repair words cross the wire (one all-to-all broadcast round);
+    // their effect is already folded into `hs` by the shared local kernel.
+    clique.with_phase("hitting_set", |cl| cl.all_broadcast(repair))?;
+    Ok(hs)
+}
+
+/// The purely local kernel of [`hitting_set`]: seeded membership plus the
+/// repair pass, with no clique and no round accounting. Returns the set
+/// together with the per-node repair words the clique wrapper broadcasts
+/// (`u64::MAX` = "already hit, nothing to promote").
+///
+/// [`hitting_set`] delegates here, so a direct (no-clique) builder that
+/// calls this picks the **same members** as a simulated-clique build —
+/// the bit-identity contract of `cc-oracle`'s differential suite.
+///
+/// # Errors
+///
+/// [`DistanceError::InvalidParameter`] if a set references out-of-range
+/// nodes or `k == 0`.
+pub fn hitting_set_local(
+    sets: &[Vec<usize>],
+    k: usize,
+    seed: u64,
+) -> Result<(HittingSet, Vec<u64>), DistanceError> {
+    let n = sets.len();
     if k == 0 {
         return Err(invalid("hitting set needs k >= 1"));
     }
@@ -143,10 +185,6 @@ pub fn hitting_set(
         }
     }
 
-    // Charge the cited deterministic construction's cost.
-    let loglog = (n.max(4) as f64).log2().log2().ceil().max(1.0) as u64;
-    clique.charge("hitting_set", loglog.pow(3));
-
     // Seeded pseudorandom membership with p = min(1, 2 ln n / k).
     let p = (2.0 * (n.max(2) as f64).ln() / k as f64).min(1.0);
     let threshold = (p * u64::MAX as f64) as u64;
@@ -154,9 +192,9 @@ pub fn hitting_set(
         .map(|v| splitmix64(seed ^ (v as u64).wrapping_mul(0x517c_c1b7_2722_0a95)) <= threshold)
         .collect();
 
-    // Local verification; un-hit nodes promote their smallest member in one
-    // all-to-all broadcast round. `NO_REPAIR` marks an already-hit set in
-    // the packed broadcast word (node ids are `< n`, so it cannot collide).
+    // Local verification; un-hit nodes promote their smallest member.
+    // `NO_REPAIR` marks an already-hit set in the packed repair word (node
+    // ids are `< n`, so it cannot collide).
     const NO_REPAIR: u64 = u64::MAX;
     let repair: Vec<u64> = (0..n)
         .map(|v| {
@@ -167,7 +205,6 @@ pub fn hitting_set(
             }
         })
         .collect();
-    let repair = clique.with_phase("hitting_set", |cl| cl.all_broadcast(repair))?;
     for &r in &repair {
         if r != NO_REPAIR {
             in_set[r as usize] = true;
@@ -175,7 +212,7 @@ pub fn hitting_set(
     }
 
     let members = (0..n).filter(|&v| in_set[v]).collect();
-    Ok(HittingSet { members, in_set })
+    Ok((HittingSet { members, in_set }, repair))
 }
 
 #[cfg(test)]
@@ -242,6 +279,19 @@ mod tests {
         let hs = hitting_set(&mut clique, &sets, 4, 1).unwrap();
         assert!(hs.contains(3) || sets[0].iter().any(|&w| hs.contains(w)));
         assert!(sets[2].iter().any(|&w| hs.contains(w)));
+    }
+
+    #[test]
+    fn local_kernel_matches_the_clique_wrapper() {
+        // The wrapper only adds round accounting on top of the shared local
+        // kernel — the set itself must be bit-identical.
+        for seed in 0..4 {
+            let sets = random_sets(48, 6, seed);
+            let mut clique = Clique::new(48);
+            let in_clique = hitting_set(&mut clique, &sets, 6, seed ^ 0xabc).unwrap();
+            let (local, _) = hitting_set_local(&sets, 6, seed ^ 0xabc).unwrap();
+            assert_eq!(in_clique, local);
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod witness;
 pub mod product;
 
 pub use error::DistanceError;
-pub use hitting::{hitting_set, HittingSet};
+pub use hitting::{hitting_set, hitting_set_local, HittingSet};
 pub use knearest::{k_nearest, k_nearest_matrix};
 pub use source_detection::{
     source_detection_all, source_detection_all_matrix, source_detection_k,

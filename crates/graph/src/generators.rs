@@ -167,6 +167,15 @@ pub fn grid_weighted(w: usize, h: usize, max_weight: u64, seed: u64) -> Result<G
 /// heterogeneous weights — the regime where landmark-based oracles are
 /// interesting and hop-bounded exploration is expensive.
 ///
+/// **Scales to `10⁵`–`10⁶` nodes**: generation is `O(n)` edges into sorted
+/// adjacency lists, so a `1000 × 1000` instance builds in seconds and is
+/// the standard input for `cc-oracle`'s direct-build benchmarks
+/// (`DirectBuilder`, `cc-serve --demo-direct`). The graph is always
+/// connected (the grid spans every node), edge weights stay in
+/// `1..=max_weight.max(2)` (chords pay at least 2), and the instance is a
+/// pure function of `(w, h, max_weight, seed)` — properties pinned by
+/// `tests/roadlike_properties.rs` up to `n = 10⁶`.
+///
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameter`] unless `w, h ≥ 2` and

@@ -70,6 +70,55 @@ impl HopsetConfig {
     pub fn new(epsilon: f64) -> Self {
         HopsetConfig { epsilon, seed: 0x5eed, beta: None, exploration_hops: None, levels: None }
     }
+
+    /// Resolves the config against a concrete graph size: the ball size of
+    /// step 1, the hop bound `β`, the per-level exploration radius, and the
+    /// level count, with every default/override/collapse rule applied.
+    ///
+    /// This is the **single source of truth** for the schedule — both the
+    /// clique construction ([`build_hopset`]) and `cc-oracle`'s direct
+    /// builder resolve their parameters here, so the two paths cannot
+    /// drift. Assumes `ε > 0` (callers validate before resolving).
+    pub fn schedule(&self, n: usize) -> HopsetSchedule {
+        let log_n = (n.max(2) as f64).log2();
+        let k = (((n as f64).sqrt() * log_n).ceil() as usize).clamp(1, n);
+        let beta = self
+            .beta
+            .unwrap_or(((3.0 * log_n / self.epsilon).ceil() as usize).max(2))
+            .min(n)
+            .max(2.min(n));
+        let mut exploration = self.exploration_hops.unwrap_or((4 * beta).min(n)).clamp(1, n);
+        // The iterative schedule costs (log n)·4β hop-steps. Whenever that
+        // budget reaches n, a *single* level with exploration n is both
+        // cheaper and stronger (it learns the exact A1-to-A1 distances); the
+        // theory schedule only pays off once n ≫ 4β·log n — the asymptotic
+        // regime.
+        let theory_levels = (log_n.ceil() as usize).max(1);
+        let default_levels = if theory_levels.saturating_mul(exploration) >= n {
+            if self.exploration_hops.is_none() {
+                exploration = n;
+            }
+            1
+        } else {
+            theory_levels
+        };
+        let levels = self.levels.unwrap_or(default_levels).max(1);
+        HopsetSchedule { k, beta, exploration, levels }
+    }
+}
+
+/// A [`HopsetConfig`] resolved against a concrete `n`: the actual
+/// parameters a construction will run with (see [`HopsetConfig::schedule`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopsetSchedule {
+    /// Ball size for step 1's `k`-nearest computation.
+    pub k: usize,
+    /// The hop bound `β` for which the `(1+ε)` guarantee is claimed.
+    pub beta: usize,
+    /// Per-level exploration radius, in hops.
+    pub exploration: usize,
+    /// Number of iterative levels.
+    pub levels: usize,
 }
 
 /// A constructed `(β, ε)`-hopset, together with the artefacts the
@@ -167,31 +216,10 @@ pub fn build_hopset(
             what: "hopset needs epsilon > 0".to_owned(),
         });
     }
-    let log_n = (n.max(2) as f64).log2();
-    let beta = config
-        .beta
-        .unwrap_or(((3.0 * log_n / config.epsilon).ceil() as usize).max(2))
-        .min(n)
-        .max(2.min(n));
-    let mut exploration = config.exploration_hops.unwrap_or((4 * beta).min(n)).clamp(1, n);
-    // The iterative schedule costs (log n)·4β hop-steps. Whenever that
-    // budget reaches n, a *single* level with exploration n is both cheaper
-    // and stronger (it learns the exact A1-to-A1 distances); the theory
-    // schedule only pays off once n ≫ 4β·log n — the asymptotic regime.
-    let theory_levels = (log_n.ceil() as usize).max(1);
-    let default_levels = if theory_levels.saturating_mul(exploration) >= n {
-        if config.exploration_hops.is_none() {
-            exploration = n;
-        }
-        1
-    } else {
-        theory_levels
-    };
-    let levels = config.levels.unwrap_or(default_levels).max(1);
+    let HopsetSchedule { k, beta, exploration, levels } = config.schedule(n);
 
     clique.with_phase("hopset", |clique| {
         // Step 1: k-nearest + hitting set A1.
-        let k = (((n as f64).sqrt() * log_n).ceil() as usize).clamp(1, n);
         let near = k_nearest(clique, graph, k)?;
         let sets: Vec<Vec<usize>> =
             near.iter().map(|row| row.iter().map(|(c, _)| c as usize).collect()).collect();
@@ -335,5 +363,24 @@ mod tests {
         assert!(build_hopset(&mut clique, &g, HopsetConfig::new(0.0)).is_err());
         let mut clique = Clique::new(16);
         assert!(build_hopset(&mut clique, &g, HopsetConfig::new(0.5)).is_err());
+    }
+
+    #[test]
+    fn schedule_collapses_to_one_exact_level_at_small_n() {
+        // At every benchmarkable n the level budget covers the graph, so
+        // the schedule collapses to a single exploration-n level...
+        let s = HopsetConfig::new(0.25).schedule(512);
+        assert_eq!((s.levels, s.exploration, s.beta), (1, 512, 108));
+        // ...while the asymptotic regime keeps the theory schedule.
+        let big = HopsetConfig::new(0.25).schedule(100_000);
+        assert!(big.levels > 1, "large n should use the iterative schedule");
+        assert!(big.exploration < 100_000);
+        // Overrides pass through untouched (modulo clamping).
+        let mut cfg = HopsetConfig::new(0.5);
+        cfg.beta = Some(4);
+        cfg.exploration_hops = Some(8);
+        cfg.levels = Some(3);
+        let s = cfg.schedule(64);
+        assert_eq!((s.beta, s.exploration, s.levels), (4, 8, 3));
     }
 }

@@ -65,10 +65,15 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     ]
 }
 
-/// The oracle's query/combine/shard kernels: the files where distance
-/// arithmetic happens and where query answers must be pure functions.
-pub const KERNEL_FILES: &[&str] =
-    &["crates/oracle/src/oracle.rs", "crates/oracle/src/shard.rs", "crates/oracle/src/cache.rs"];
+/// The oracle's build/query/combine/shard kernels: the files where distance
+/// arithmetic happens and where outputs must be pure functions of their
+/// inputs (the direct builder's bit-identity contract rides on this).
+pub const KERNEL_FILES: &[&str] = &[
+    "crates/oracle/src/oracle.rs",
+    "crates/oracle/src/shard.rs",
+    "crates/oracle/src/cache.rs",
+    "crates/oracle/src/direct.rs",
+];
 
 /// True if `path` is one of the listed workspace-relative files.
 pub fn path_in(path: &str, list: &[&str]) -> bool {

@@ -4,12 +4,72 @@ use std::time::Instant;
 
 use cc_clique::Clique;
 use cc_core::mssp::mssp;
-use cc_distance::{hitting_set, k_nearest};
+use cc_distance::{hitting_set, k_nearest, HittingSet};
 use cc_graph::Graph;
+use cc_matrix::AugDist;
 use cc_telemetry::BuildTrace;
 
 use crate::error::invalid;
 use crate::{DistanceOracle, OracleError};
+
+/// The default ball size `⌈√(n·ln n)⌉` — balancing ball size against the
+/// `O(n log n / k)` landmark count, the paper's §4 trade-off. Shared by
+/// [`OracleBuilder`] and [`crate::direct::DirectBuilder`] so the two build
+/// paths resolve identical parameters.
+pub(crate) fn default_k(n: usize) -> usize {
+    ((n as f64) * (n.max(2) as f64).ln()).sqrt().ceil() as usize
+}
+
+/// The purely local extraction kernel shared by both builders: per-node
+/// balls sorted by id, the nearest-landmark row (`p(v)` by the augmented
+/// order, then id), and the already-flattened column matrix.
+///
+/// `near[v]` holds node `v`'s `k`-nearest ball as `(id, augmented
+/// distance)` entries; `columns` is the row-major `n × |landmarks|` matrix
+/// with `Dist::INF.raw()` marking an unreachable landmark. `build_rounds`
+/// is left at 0 (the direct builder's value); the clique builder overwrites
+/// it with the simulator's count after extraction.
+///
+/// # Panics
+///
+/// Panics if some ball contains no landmark — impossible for a hitting set
+/// built over these balls (every ball contains its own node and the repair
+/// pass hits every non-empty set).
+pub(crate) fn extract_artifact(
+    n: usize,
+    k: usize,
+    epsilon: f64,
+    seed: u64,
+    near: &[Vec<(u32, AugDist)>],
+    landmarks: &HittingSet,
+    columns: Vec<u64>,
+) -> DistanceOracle {
+    let landmark_ids: Vec<u32> = landmarks.members.iter().map(|&a| a as u32).collect();
+    debug_assert_eq!(columns.len(), n * landmark_ids.len());
+    let mut balls: Vec<Vec<(u32, u64)>> = Vec::with_capacity(n);
+    let mut nearest_landmark: Vec<(u32, u64)> = Vec::with_capacity(n);
+    for v in 0..n {
+        let mut ball: Vec<(u32, u64)> = near[v].iter().map(|&(c, a)| (c, a.dist)).collect();
+        ball.sort_unstable_by_key(|&(id, _)| id);
+        let (p, aug) = landmarks
+            .closest_of(near[v].iter().map(|(c, a)| (*c, a)))
+            .expect("hitting set covers every ball");
+        let idx = landmark_ids.binary_search(&(p as u32)).expect("closest hitter is a landmark");
+        nearest_landmark.push((idx as u32, aug.dist));
+        balls.push(ball);
+    }
+    DistanceOracle {
+        n,
+        k,
+        epsilon,
+        seed,
+        build_rounds: 0,
+        landmarks: landmark_ids,
+        balls,
+        nearest_landmark,
+        columns,
+    }
+}
 
 /// Appends one phase span to `trace`, charging the round/message/word
 /// deltas since `before` and the wall time since `started`.
@@ -128,8 +188,7 @@ impl OracleBuilder {
         if self.epsilon <= 0.0 {
             return Err(invalid("oracle needs epsilon > 0"));
         }
-        let default_k = ((n as f64) * (n.max(2) as f64).ln()).sqrt().ceil() as usize;
-        let k = self.k.unwrap_or(default_k).min(n);
+        let k = self.k.unwrap_or_else(|| default_k(n)).min(n);
         if k == 0 {
             return Err(invalid("oracle needs k >= 1"));
         }
@@ -158,21 +217,10 @@ impl OracleBuilder {
 
         // Extraction — purely local, no further communication.
         let (report, started) = (clique.report(), Instant::now());
-        let landmark_ids: Vec<u32> = landmarks.members.iter().map(|&a| a as u32).collect();
-        let mut balls: Vec<Vec<(u32, u64)>> = Vec::with_capacity(n);
-        let mut nearest_landmark: Vec<(u32, u64)> = Vec::with_capacity(n);
-        for v in 0..n {
-            let mut ball: Vec<(u32, u64)> = near[v].iter().map(|(c, a)| (c, a.dist)).collect();
-            ball.sort_unstable_by_key(|&(id, _)| id);
-            let (p, aug) =
-                landmarks.closest_in_row(&near[v]).expect("hitting set covers every ball");
-            let idx =
-                landmark_ids.binary_search(&(p as u32)).expect("closest hitter is a landmark");
-            nearest_landmark.push((idx as u32, aug.dist));
-            balls.push(ball);
-        }
-        let s = landmark_ids.len();
-        let mut columns = vec![u64::MAX; n * s];
+        let near_rows: Vec<Vec<(u32, AugDist)>> =
+            near.iter().map(|row| row.iter().map(|(c, a)| (c, *a)).collect()).collect();
+        let s = landmarks.len();
+        let mut columns = vec![cc_matrix::Dist::INF.raw(); n * s];
         for v in 0..n {
             for i in 0..s {
                 if let Some(d) = run.dist[v][i].value() {
@@ -180,18 +228,9 @@ impl OracleBuilder {
                 }
             }
         }
-
-        let oracle = DistanceOracle {
-            n,
-            k,
-            epsilon: self.epsilon,
-            seed: self.seed,
-            build_rounds,
-            landmarks: landmark_ids,
-            balls,
-            nearest_landmark,
-            columns,
-        };
+        let mut oracle =
+            extract_artifact(n, k, self.epsilon, self.seed, &near_rows, &landmarks, columns);
+        oracle.build_rounds = build_rounds;
         close_span(&mut trace, "local_extraction", clique, &report, started);
         Ok((oracle, trace))
     }

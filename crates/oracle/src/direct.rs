@@ -1,0 +1,675 @@
+//! The direct builder: the clique pipeline re-run as plain shared-memory
+//! graph algorithms, bit-identical by construction.
+//!
+//! [`OracleBuilder`](crate::OracleBuilder) simulates every build phase
+//! through the [`cc_clique::Clique`] message substrate — the right tool for
+//! validating the paper's round complexity, but the simulation overhead caps
+//! artifact sizes around `n ≈ 10³`. This module computes the *same
+//! artifact* without any clique: sequential (or `std::thread`-parallel)
+//! Dijkstra and Bellman–Ford over the same schedules the distributed phases
+//! resolve.
+//!
+//! # The bit-identity contract
+//!
+//! In the default (faithful) mode, [`DirectBuilder`] produces a
+//! [`DistanceOracle`] whose snapshot payload — and therefore its
+//! `build_id` — is **byte-identical** to what `OracleBuilder` produces for
+//! the same `(graph, k, ε, seed)`. This is not approximate agreement: every
+//! ball entry, landmark id, nearest-landmark pick, and `(1+ε)` column is
+//! the same `u64`. The contract holds because each phase shares its kernel
+//! with the clique path instead of reimplementing it:
+//!
+//! * **k-nearest balls** — a truncated Dijkstra over the augmented order
+//!   `(distance, hops, id)`; settling order equals the sorted order the
+//!   distributed Theorem 18 tool ships, so the first `k` settles *are* the
+//!   ball.
+//! * **landmarks** — [`cc_distance::hitting_set_local`], the exact kernel
+//!   the clique wrapper delegates to (Lemma 4's sampling + repair).
+//! * **columns** — the hopset schedule comes from
+//!   [`HopsetConfig::schedule`], the single source of truth shared with
+//!   [`cc_hopset::build_hopset`]; bunches and level edges fold into a
+//!   min-weight union exactly as the clique construction does (unions are
+//!   elementwise minima, so insertion order is irrelevant); hop-`β`-bounded
+//!   distances are Bellman–Ford with an exact fixed-point early stop —
+//!   pinned equal to `source_detection_all` by the differential suite.
+//! * **extraction** — `crate::builder::extract_artifact`, the same
+//!   function the clique builder calls.
+//!
+//! The only field that differs is the header-only `build_rounds` (the
+//! direct path has no rounds to count; it records 0), which is excluded
+//! from the payload checksum. `tests/build_equivalence.rs` enforces the
+//! contract over the full graph-family × seed × ε × k suite.
+//!
+//! # Capped mode
+//!
+//! [`DirectBuilder::max_landmarks`] trades the bit-identity contract for
+//! scale: at `n = 10⁵..10⁶` the faithful landmark count (`O(n log n / k)`)
+//! would make the column matrix astronomically large, so capped mode picks
+//! `m` seeded-rank landmarks and computes *exact* per-landmark Dijkstra
+//! columns (no hopset, hence better than `(1+ε)` — but a different
+//! artifact than the clique build would produce). See `docs/BUILDERS.md`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cc_distance::hitting_set_local;
+use cc_graph::Graph;
+use cc_hopset::{HopsetConfig, HopsetSchedule};
+use cc_matrix::{AugDist, Dist};
+use cc_telemetry::BuildTrace;
+
+use crate::builder::{default_k, extract_artifact};
+use crate::error::invalid;
+use crate::{DistanceOracle, OracleError};
+
+/// Order-preserving parallel map: `out[i] = f(i)` for `i in 0..count`,
+/// computed on up to `threads` scoped std threads. The output is identical
+/// for every thread count — parallelism never leaks into the artifact.
+fn par_map<T: Send>(threads: usize, count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    par_map_with(threads, count, || (), |(), i| f(i))
+}
+
+/// [`par_map`] with per-worker scratch state: each worker thread calls
+/// `init` once and threads the value through its `f` calls. This keeps
+/// `O(n)` scratch buffers out of the per-item path (a `vec![None; n]` per
+/// node is an `O(n²)` build) without sharing mutable state across items —
+/// the scratch must be reset by `f` itself, so results stay independent of
+/// which worker computed them.
+fn par_map_with<T: Send, S>(
+    threads: usize,
+    count: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) -> T + Sync,
+) -> Vec<T> {
+    if threads <= 1 || count <= 1 {
+        let mut scratch = init();
+        return (0..count).map(|i| f(&mut scratch, i)).collect();
+    }
+    let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(count).collect();
+    let chunk = count.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+            let (init, f) = (&init, &f);
+            scope.spawn(move || {
+                let mut scratch = init();
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(&mut scratch, ci * chunk + j));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("every chunk index was computed")).collect()
+}
+
+/// Reusable state for [`truncated_k_nearest`]: the settled-label array
+/// (reset via the `touched` list — at most `k` entries per call) and the
+/// frontier heap. One per worker thread, never shared.
+struct NearScratch {
+    best: Vec<Option<(u64, u32)>>,
+    touched: Vec<usize>,
+    heap: BinaryHeap<Reverse<(u64, u32, usize)>>,
+}
+
+impl NearScratch {
+    fn new(n: usize) -> Self {
+        NearScratch { best: vec![None; n], touched: Vec::new(), heap: BinaryHeap::new() }
+    }
+}
+
+/// Node `src`'s `k`-nearest ball by truncated Dijkstra over the augmented
+/// order `(distance, hops, id)`.
+///
+/// The heap pops in exactly that lexicographic order, so the first `k`
+/// settled nodes equal `reference::k_nearest`'s sort-then-truncate — which
+/// the distributed Theorem 18 tool is differentially pinned to.
+fn truncated_k_nearest(
+    g: &Graph,
+    src: usize,
+    k: usize,
+    s: &mut NearScratch,
+) -> Vec<(u32, AugDist)> {
+    for &t in &s.touched {
+        s.best[t] = None;
+    }
+    s.touched.clear();
+    s.heap.clear();
+    let mut ball = Vec::with_capacity(k.min(64));
+    s.heap.push(Reverse((0u64, 0u32, src)));
+    while let Some(Reverse((d, h, v))) = s.heap.pop() {
+        if ball.len() == k {
+            break;
+        }
+        match s.best[v] {
+            Some(b) if b <= (d, h) => continue,
+            _ => {}
+        }
+        s.best[v] = Some((d, h));
+        s.touched.push(v);
+        ball.push((v as u32, AugDist::fin(d, h)));
+        for &(u, w) in g.neighbors(v) {
+            let cand = (d.checked_add(w).expect("distance overflow"), h + 1);
+            if s.best[u].is_none_or(|b| cand < b) {
+                s.heap.push(Reverse((cand.0, cand.1, u)));
+            }
+        }
+    }
+    ball
+}
+
+/// Exact single-source distances by Dijkstra; `None` = unreachable.
+fn dijkstra_exact(g: &Graph, src: usize) -> Vec<Option<u64>> {
+    let mut best: Vec<Option<u64>> = vec![None; g.n()];
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if best[v].is_some_and(|b| b <= d) {
+            continue;
+        }
+        best[v] = Some(d);
+        for &(u, w) in g.neighbors(v) {
+            let cand = d.checked_add(w).expect("distance overflow");
+            if best[u].is_none_or(|b| cand < b) {
+                heap.push(Reverse((cand, u)));
+            }
+        }
+    }
+    best
+}
+
+/// Distances from `src` over walks of at most `hops` edges — the quantity
+/// `source_detection_all` ships (`reference::hop_bounded` semantics).
+///
+/// When the hop budget covers every simple path (`hops ≥ n-1`) the bound is
+/// vacuous and plain Dijkstra returns the same values faster. Otherwise:
+/// Bellman–Ford rounds with a fixed-point early stop — once an iteration
+/// changes nothing, all remaining iterations are no-ops, so stopping is
+/// exact, not approximate.
+fn hop_limited(g: &Graph, src: usize, hops: usize) -> Vec<Option<u64>> {
+    if hops >= g.n().saturating_sub(1) {
+        return dijkstra_exact(g, src);
+    }
+    let mut cur: Vec<Option<u64>> = vec![None; g.n()];
+    cur[src] = Some(0);
+    for _ in 0..hops {
+        let mut next = cur.clone();
+        let mut changed = false;
+        for v in 0..g.n() {
+            if let Some(d) = cur[v] {
+                for &(u, w) in g.neighbors(v) {
+                    let cand = d.checked_add(w).expect("distance overflow");
+                    if next[u].is_none_or(|b| cand < b) {
+                        next[u] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        cur = next;
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+/// The direct re-run of [`cc_hopset::build_hopset`]: same schedule, same
+/// hitting set, same bunch rule, same level rule — producing the same
+/// min-weight union `G ∪ H` (and the `β` the columns are bounded by).
+///
+/// `Graph::add_edge` keeps the lighter weight on duplicates, so the union
+/// is an elementwise minimum and the clique path's insertion bookkeeping
+/// need not be replayed edge-for-edge.
+fn direct_union_with_hopset(
+    graph: &Graph,
+    epsilon: f64,
+    threads: usize,
+) -> Result<(Graph, usize), OracleError> {
+    let n = graph.n();
+    let config = HopsetConfig::new(epsilon);
+    let HopsetSchedule { k, beta, exploration, levels } = config.schedule(n);
+
+    // Step 1: k-nearest + hitting set A1 (the hopset's own k, not the
+    // oracle's ball size).
+    let near = par_map_with(
+        threads,
+        n,
+        || NearScratch::new(n),
+        |s, v| truncated_k_nearest(graph, v, k, s),
+    );
+    let sets: Vec<Vec<usize>> =
+        near.iter().map(|row| row.iter().map(|&(c, _)| c as usize).collect()).collect();
+    let (a1, _repair) = hitting_set_local(&sets, k, config.seed)?;
+
+    // Step 2: bunches B(v) = {u in N_k(v) : d(v,u) < d(v,A1)} ∪ {p(v)}.
+    let mut union = graph.clone();
+    for v in 0..n {
+        if a1.contains(v) {
+            continue;
+        }
+        let Some((p, pd)) = a1.closest_of(near[v].iter().map(|e| (e.0, &e.1))) else {
+            continue; // isolated node: empty bunch
+        };
+        for entry in &near[v] {
+            let u = entry.0 as usize;
+            if (entry.1 < pd || u == p) && u != v {
+                union.add_edge(v, u, entry.1.dist).expect("ball nodes are in range");
+            }
+        }
+    }
+
+    // Step 3: iterative levels — A1-to-A1 edges from bounded explorations
+    // in G ∪ H^{l-1}. Each level's rows are computed against the union
+    // *before* that level's edges land, mirroring the clique's
+    // snapshot-then-update order.
+    for _level in 0..levels {
+        let rows =
+            par_map(threads, a1.members.len(), |i| hop_limited(&union, a1.members[i], exploration));
+        for (i, row) in rows.iter().enumerate() {
+            let s = a1.members[i];
+            for &t in &a1.members {
+                if t != s {
+                    if let Some(dw) = row[t] {
+                        union.add_edge(s, t, dw).expect("members are in range");
+                    }
+                }
+            }
+        }
+    }
+    Ok((union, beta))
+}
+
+/// Builds a [`DistanceOracle`] directly — no [`cc_clique::Clique`], no
+/// round simulation — with the same `k`/`ε`/`seed` knobs as
+/// [`OracleBuilder`](crate::OracleBuilder) and a snapshot payload that is
+/// byte-identical to the clique build's (see the [module docs](self)).
+///
+/// Dropping the simulation unlocks `10⁵`–`10⁶`-node artifacts: pair
+/// [`max_landmarks`](Self::max_landmarks) (for a bounded column matrix)
+/// with a small explicit [`k`](Self::k).
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Clique;
+/// use cc_graph::generators;
+/// use cc_oracle::{serde, DirectBuilder, OracleBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::grid_weighted(6, 6, 20, 1)?;
+/// let mut clique = Clique::new(36);
+/// let via_clique = OracleBuilder::new().epsilon(0.5).seed(3).build(&mut clique, &g)?;
+/// let direct = DirectBuilder::new().epsilon(0.5).seed(3).build(&g)?;
+/// // Same payload bytes, same build id — not merely the same answers.
+/// assert_eq!(serde::payload_checksum(&direct), serde::payload_checksum(&via_clique));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectBuilder {
+    k: Option<usize>,
+    epsilon: f64,
+    seed: u64,
+    threads: Option<usize>,
+    max_landmarks: Option<usize>,
+}
+
+impl Default for DirectBuilder {
+    fn default() -> Self {
+        DirectBuilder { k: None, epsilon: 0.25, seed: 0, threads: None, max_landmarks: None }
+    }
+}
+
+impl DirectBuilder {
+    /// A builder with the same defaults as
+    /// [`OracleBuilder::new`](crate::OracleBuilder::new): `k = ⌈√(n·ln n)⌉`,
+    /// `ε = 0.25`, `seed = 0`, one worker per available core, faithful
+    /// (uncapped) landmark selection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ball size `k` (default `⌈√(n·ln n)⌉`, clamped to `1..=n`).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// MSSP accuracy `ε > 0`; the serving-phase stretch bound is `3(1+ε)`.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Seed for the deterministic landmark selection — the same seed the
+    /// clique builder would use, selecting the same landmarks.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker-thread count (default: one per available core). The artifact
+    /// is identical for every thread count; this only changes wall time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// **Capped mode**: select at most `m` landmarks by seeded rank instead
+    /// of the faithful hitting set, and compute exact Dijkstra columns
+    /// (no hopset). Bounds the column matrix to `n × m` so million-node
+    /// artifacts stay serveable — at the price of the bit-identity
+    /// contract (the clique build would have picked different landmarks).
+    pub fn max_landmarks(mut self, m: usize) -> Self {
+        self.max_landmarks = Some(m);
+        self
+    }
+
+    /// Runs the direct build. See [`build_traced`](Self::build_traced).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build_traced`](Self::build_traced).
+    pub fn build(&self, graph: &Graph) -> Result<DistanceOracle, OracleError> {
+        self.build_traced(graph).map(|(oracle, _)| oracle)
+    }
+
+    /// Runs the direct build, returning the oracle plus a [`BuildTrace`]
+    /// with one span per phase. Faithful mode reuses the clique phase
+    /// names (`k_nearest_balls`, `hitting_set_landmarks`, `mssp_columns`,
+    /// `local_extraction`) so dashboards and benches compare like for
+    /// like; capped mode reports `landmark_selection` / `exact_columns`
+    /// instead, making the different pipeline visible in the trace. All
+    /// spans carry zero rounds: nothing is simulated.
+    ///
+    /// # Errors
+    ///
+    /// * [`OracleError::InvalidParameter`] for an empty graph, `ε ≤ 0`,
+    ///   `k = 0`, `max_landmarks = 0`, or (capped mode) a node that
+    ///   reaches no landmark;
+    /// * [`OracleError::Build`] if the hitting-set kernel rejects its
+    ///   input.
+    pub fn build_traced(&self, graph: &Graph) -> Result<(DistanceOracle, BuildTrace), OracleError> {
+        let n = graph.n();
+        if n == 0 {
+            return Err(invalid("oracle needs a non-empty graph"));
+        }
+        if self.epsilon <= 0.0 {
+            return Err(invalid("oracle needs epsilon > 0"));
+        }
+        let k = self.k.unwrap_or_else(|| default_k(n)).min(n);
+        if k == 0 {
+            return Err(invalid("oracle needs k >= 1"));
+        }
+        if self.max_landmarks == Some(0) {
+            return Err(invalid("max_landmarks must be >= 1"));
+        }
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+            .max(1);
+
+        let mut trace = BuildTrace::new();
+
+        // Phase 1 — the oracle's k-nearest balls (same for both modes).
+        let near = trace.time_local("k_nearest_balls", || {
+            par_map_with(
+                threads,
+                n,
+                || NearScratch::new(n),
+                |s, v| truncated_k_nearest(graph, v, k, s),
+            )
+        });
+
+        let oracle = match self.max_landmarks {
+            None => self.build_faithful(graph, k, threads, &near, &mut trace)?,
+            Some(m) => self.build_capped(graph, k, m, threads, &near, &mut trace)?,
+        };
+        Ok((oracle, trace))
+    }
+
+    /// Faithful mode: hitting-set landmarks + hopset-bounded columns —
+    /// the bit-identical re-run of the clique pipeline.
+    fn build_faithful(
+        &self,
+        graph: &Graph,
+        k: usize,
+        threads: usize,
+        near: &[Vec<(u32, AugDist)>],
+        trace: &mut BuildTrace,
+    ) -> Result<DistanceOracle, OracleError> {
+        let n = graph.n();
+
+        // Phase 2 — Lemma 4 landmark selection, via the exact local kernel
+        // the clique wrapper delegates to.
+        let landmarks = trace.time_local("hitting_set_landmarks", || {
+            let sets: Vec<Vec<usize>> =
+                near.iter().map(|row| row.iter().map(|&(c, _)| c as usize).collect()).collect();
+            hitting_set_local(&sets, k, self.seed)
+        })?;
+        let (landmarks, _repair) = landmarks;
+
+        // Phase 3 — Theorem 3 columns: hopset union, then hop-β-bounded
+        // distances from every landmark.
+        let columns = trace.time_local("mssp_columns", || -> Result<Vec<u64>, OracleError> {
+            let (union, beta) = direct_union_with_hopset(graph, self.epsilon, threads)?;
+            let s = landmarks.len();
+            let rows = par_map(threads, s, |i| hop_limited(&union, landmarks.members[i], beta));
+            let mut columns = vec![Dist::INF.raw(); n * s];
+            for (i, row) in rows.iter().enumerate() {
+                for v in 0..n {
+                    if let Some(dv) = row[v] {
+                        columns[v * s + i] = dv;
+                    }
+                }
+            }
+            Ok(columns)
+        })?;
+
+        // Extraction — the kernel shared with the clique builder, which
+        // leaves build_rounds at 0: the direct path simulates nothing (the
+        // field is header-only and excluded from the payload checksum).
+        Ok(trace.time_local("local_extraction", || {
+            extract_artifact(n, k, self.epsilon, self.seed, near, &landmarks, columns)
+        }))
+    }
+
+    /// Capped mode: `m` seeded-rank landmarks, exact Dijkstra columns.
+    fn build_capped(
+        &self,
+        graph: &Graph,
+        k: usize,
+        m: usize,
+        threads: usize,
+        near: &[Vec<(u32, AugDist)>],
+        trace: &mut BuildTrace,
+    ) -> Result<DistanceOracle, OracleError> {
+        let n = graph.n();
+
+        // Phase 2 — seeded-rank selection: the m nodes of smallest mixed
+        // rank, ids ascending. Deterministic in (seed, n, m) alone.
+        let landmark_ids = trace.time_local("landmark_selection", || {
+            let mut ranked: Vec<(u64, u32)> =
+                (0..n).map(|v| (seeded_rank(self.seed, v as u64), v as u32)).collect();
+            ranked.sort_unstable();
+            ranked.truncate(m.min(n));
+            let mut ids: Vec<u32> = ranked.into_iter().map(|(_, v)| v).collect();
+            ids.sort_unstable();
+            ids
+        });
+        let s = landmark_ids.len();
+
+        // Phase 3 — exact per-landmark distances (no hopset: with m fixed
+        // the column pass is m Dijkstras, already scalable).
+        let rows = trace.time_local("exact_columns", || {
+            par_map(threads, s, |i| dijkstra_exact(graph, landmark_ids[i] as usize))
+        });
+
+        let result =
+            trace.time_local("local_extraction", || -> Result<DistanceOracle, OracleError> {
+                let mut columns = vec![Dist::INF.raw(); n * s];
+                let mut nearest_landmark: Vec<(u32, u64)> = Vec::with_capacity(n);
+                for v in 0..n {
+                    let mut pick: Option<(u64, u32)> = None;
+                    for (i, row) in rows.iter().enumerate() {
+                        if let Some(dv) = row[v] {
+                            columns[v * s + i] = dv;
+                            if pick.is_none_or(|p| (dv, i as u32) < p) {
+                                pick = Some((dv, i as u32));
+                            }
+                        }
+                    }
+                    let Some((pd, pi)) = pick else {
+                        return Err(invalid(format!(
+                            "node {v} reaches no landmark; raise max_landmarks or use a \
+                         connected graph"
+                        )));
+                    };
+                    nearest_landmark.push((pi, pd));
+                }
+                let mut balls: Vec<Vec<(u32, u64)>> = Vec::with_capacity(n);
+                for row in near {
+                    let mut ball: Vec<(u32, u64)> = row.iter().map(|&(c, a)| (c, a.dist)).collect();
+                    ball.sort_unstable_by_key(|&(id, _)| id);
+                    balls.push(ball);
+                }
+                Ok(DistanceOracle {
+                    n,
+                    k,
+                    epsilon: self.epsilon,
+                    seed: self.seed,
+                    build_rounds: 0,
+                    landmarks: landmark_ids.clone(),
+                    balls,
+                    nearest_landmark,
+                    columns,
+                })
+            })?;
+        Ok(result)
+    }
+}
+
+/// A 64-bit finalizer (xor-shift / multiply rounds) ranking nodes for the
+/// capped-mode landmark draw. Stateless and platform-independent, so capped
+/// builds are as reproducible as faithful ones — just not clique-identical.
+fn seeded_rank(seed: u64, v: u64) -> u64 {
+    let mut x = seed ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_clique::Clique;
+    use cc_graph::{generators, reference};
+
+    fn clique_build(g: &Graph, epsilon: f64, seed: u64) -> DistanceOracle {
+        let mut clique = Clique::new(g.n());
+        crate::OracleBuilder::new().epsilon(epsilon).seed(seed).build(&mut clique, g).unwrap()
+    }
+
+    #[test]
+    fn truncated_k_nearest_matches_reference() {
+        let g = generators::gnp_weighted(48, 0.12, 30, 11).unwrap();
+        // One scratch across every call: stale state from a previous ball
+        // must never leak into the next (the reset path is load-bearing).
+        let mut scratch = NearScratch::new(48);
+        for v in 0..48 {
+            for k in [1, 3, 7, 48] {
+                let fast: Vec<(usize, u64, u32)> = truncated_k_nearest(&g, v, k, &mut scratch)
+                    .into_iter()
+                    .map(|(c, a)| (c as usize, a.dist, a.hops))
+                    .collect();
+                assert_eq!(fast, reference::k_nearest(&g, v, k), "v={v} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn hop_limited_matches_reference_hop_bounded() {
+        let g = generators::grid_weighted(5, 6, 20, 2).unwrap();
+        for src in [0, 7, 29] {
+            for beta in [1, 2, 5, 29, 30, 64] {
+                assert_eq!(
+                    hop_limited(&g, src, beta),
+                    reference::hop_bounded(&g, src, beta),
+                    "src={src} beta={beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faithful_build_is_bit_identical_to_the_clique_build() {
+        let g = generators::gnp_weighted(40, 0.15, 25, 7).unwrap();
+        let direct = DirectBuilder::new().epsilon(0.5).seed(9).build(&g).unwrap();
+        let clique = clique_build(&g, 0.5, 9);
+        crate::testkit::assert_same_artifact(&direct, &clique);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_artifact() {
+        let g = generators::road_like(8, 8, 30, 5).unwrap();
+        let one = DirectBuilder::new().threads(1).build(&g).unwrap();
+        for threads in [2, 3, 8] {
+            let multi = DirectBuilder::new().threads(threads).build(&g).unwrap();
+            crate::testkit::assert_same_artifact(&one, &multi);
+        }
+    }
+
+    #[test]
+    fn trace_phases_mirror_the_clique_names_with_zero_rounds() {
+        let g = generators::gnp(32, 0.2, 3).unwrap();
+        let (_, trace) = DirectBuilder::new().build_traced(&g).unwrap();
+        let phases: Vec<&str> = trace.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            phases,
+            vec!["k_nearest_balls", "hitting_set_landmarks", "mssp_columns", "local_extraction"]
+        );
+        assert_eq!(trace.total_rounds(), 0, "nothing is simulated");
+    }
+
+    #[test]
+    fn capped_mode_bounds_landmarks_and_stays_deterministic() {
+        let g = generators::road_like(10, 10, 20, 3).unwrap();
+        let (a, trace) = DirectBuilder::new().k(6).max_landmarks(8).build_traced(&g).unwrap();
+        assert_eq!(a.landmarks().len(), 8);
+        let phases: Vec<&str> = trace.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            phases,
+            vec!["k_nearest_balls", "landmark_selection", "exact_columns", "local_extraction"]
+        );
+        let b = DirectBuilder::new().k(6).max_landmarks(8).build(&g).unwrap();
+        crate::testkit::assert_same_artifact(&a, &b);
+        // Queries answer and never underestimate (columns are exact, balls
+        // are exact; the via-landmark path is an upper bound).
+        for u in 0..g.n() {
+            let exact = reference::dijkstra(&g, u);
+            for v in 0..g.n() {
+                let est = a.try_query(u, v).unwrap().value().unwrap();
+                assert!(est >= exact[v].unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn capped_mode_errors_when_a_node_reaches_no_landmark() {
+        // Two components; rank the landmarks so only one component is hit:
+        // with m = 1 some node must fail to reach it.
+        let g = Graph::from_edges(8, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        let err = DirectBuilder::new().k(2).max_landmarks(1).build(&g);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let g = generators::path(8).unwrap();
+        assert!(DirectBuilder::new().epsilon(0.0).build(&g).is_err());
+        assert!(DirectBuilder::new().k(0).build(&g).is_err());
+        assert!(DirectBuilder::new().max_landmarks(0).build(&g).is_err());
+        assert!(DirectBuilder::new().build(&Graph::empty(0)).is_err());
+    }
+}

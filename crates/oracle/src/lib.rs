@@ -11,6 +11,12 @@
 //!   (Theorem 3) — into an immutable [`DistanceOracle`] artifact. This is a
 //!   Thorup–Zwick-style sketch: per-node exact balls plus approximate
 //!   landmark columns.
+//! * [`DirectBuilder`] computes the **same artifact without the clique**:
+//!   plain (optionally multithreaded) graph algorithms over the same
+//!   schedules, byte-identical to the clique build by construction and
+//!   proven so by the differential suite (`tests/build_equivalence.rs`).
+//!   Its capped mode (`max_landmarks`) trades the identity contract for
+//!   `10⁵`–`10⁶`-node artifacts. See `docs/BUILDERS.md`.
 //! * [`DistanceOracle::try_query`] answers `d(u, v)` with **zero clique
 //!   rounds**: exact when one endpoint lies in the other's ball, and at most
 //!   `3·(1+ε)·d(u, v)` otherwise (routing through the nearest landmark).
@@ -131,14 +137,18 @@
 pub mod backend;
 mod builder;
 mod cache;
+pub mod direct;
 mod error;
 mod oracle;
 pub mod serde;
 pub mod shard;
+#[doc(hidden)]
+pub mod testkit;
 
 pub use backend::{BackendDescriptor, QueryBackend, ShardDescriptor};
 pub use builder::OracleBuilder;
 pub use cache::{CacheStats, CachingOracle};
+pub use direct::DirectBuilder;
 pub use error::OracleError;
 pub use oracle::{DistanceOracle, MAX_FINITE_DISTANCE};
 pub use shard::{OracleShard, ShardPlan, ShardRouter, ShardedArtifact};

@@ -26,7 +26,6 @@
 //! [`crate::serde::to_shard_bytes`] / [`crate::serde::from_shard_bytes`].
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use cc_matrix::Dist;
 use cc_telemetry::BuildTrace;
@@ -323,43 +322,36 @@ impl ShardedArtifact {
     ) -> Result<(ShardedArtifact, BuildTrace), OracleError> {
         let mut trace = BuildTrace::new();
         let plan = ShardPlan::new(oracle.n(), count)?;
-        // cc-lint: allow(determinism) -- build-phase tracing; partition runs before any query is served
-        let started = Instant::now();
-        let set_id = crate::serde::payload_checksum(oracle);
-        trace.record("shard_set_id_checksum", started.elapsed().as_nanos() as u64, 0, 0, 0);
+        // Timing goes through the BuildTrace helpers so this kernel file
+        // never reads a clock itself (cc-lint `determinism`).
+        let set_id =
+            trace.time_local("shard_set_id_checksum", || crate::serde::payload_checksum(oracle));
         let shards: Vec<OracleShard> = (0..count)
             .map(|i| {
-                // cc-lint: allow(determinism) -- build-phase tracing; per-shard slicing, not the query path
-                let started = Instant::now();
-                let range = plan.range(i);
-                let shard = OracleShard {
-                    index: i as u32,
-                    count: count as u32,
-                    start: range.start,
-                    n: oracle.n,
-                    k: oracle.k,
-                    epsilon: oracle.epsilon,
-                    seed: oracle.seed,
-                    build_rounds: oracle.build_rounds,
-                    set_id,
-                    landmarks: oracle.landmarks.clone(),
-                    balls: oracle.balls[range.clone()].to_vec(),
-                    nearest_landmark: oracle.nearest_landmark[range].to_vec(),
-                    columns: oracle.columns.clone(),
-                };
-                let ball_words: usize = shard.balls.iter().map(|b| b.len() * 2).sum();
-                let words = (ball_words
-                    + shard.columns.len()
-                    + shard.landmarks.len()
-                    + shard.nearest_landmark.len() * 2) as u64;
-                trace.record(
-                    &format!("partition_shard_{i}"),
-                    started.elapsed().as_nanos() as u64,
-                    0,
-                    0,
-                    words,
-                );
-                shard
+                trace.time_local_words(&format!("partition_shard_{i}"), || {
+                    let range = plan.range(i);
+                    let shard = OracleShard {
+                        index: i as u32,
+                        count: count as u32,
+                        start: range.start,
+                        n: oracle.n,
+                        k: oracle.k,
+                        epsilon: oracle.epsilon,
+                        seed: oracle.seed,
+                        build_rounds: oracle.build_rounds,
+                        set_id,
+                        landmarks: oracle.landmarks.clone(),
+                        balls: oracle.balls[range.clone()].to_vec(),
+                        nearest_landmark: oracle.nearest_landmark[range].to_vec(),
+                        columns: oracle.columns.clone(),
+                    };
+                    let ball_words: usize = shard.balls.iter().map(|b| b.len() * 2).sum();
+                    let words = (ball_words
+                        + shard.columns.len()
+                        + shard.landmarks.len()
+                        + shard.nearest_landmark.len() * 2) as u64;
+                    (shard, words)
+                })
             })
             .collect();
         Ok((ShardedArtifact { shards }, trace))

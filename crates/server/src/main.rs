@@ -87,12 +87,18 @@ USAGE:
     cc-serve --manifest FILE [OPTIONS]     serve the artifact a manifest declares
                                            (mode, snapshot/shard files, expected
                                            set id, cache capacity)
-    cc-serve --demo N [OPTIONS]            build an n-node demo oracle, then serve it
+    cc-serve --demo N [OPTIONS]            build an n-node demo oracle in the
+                                           simulated clique, then serve it
+    cc-serve --demo-direct N [OPTIONS]     build an n-node road-like oracle with the
+                                           direct (no-clique) builder — scales to
+                                           10^5..10^6 nodes — then serve it
     cc-serve --demo N --write-snapshot FILE
                                            build the demo, write the snapshot, exit
+                                           (also works with --demo-direct)
     cc-serve --demo N --shard-count K --write-shards DIR
                                            build the demo, write DIR/shard-<i>.snap
                                            for i in 0..K, exit
+                                           (also works with --demo-direct)
 
 OPTIONS:
     --addr HOST:PORT    bind address (default 127.0.0.1:8317; port 0 = ephemeral)
@@ -101,6 +107,10 @@ OPTIONS:
                         a manifest's cache_capacity takes precedence)
     --seed S            demo build seed (default 7)
     --epsilon E         demo build accuracy, stretch is 3(1+E) (default 0.25)
+    --k K               --demo-direct ball size (default 16; --demo keeps the
+                        paper's default ~sqrt(n ln n))
+    --max-landmarks M   --demo-direct landmark cap (default 64): bounds the
+                        column matrix to n x M so million-node artifacts fit
     --slow-query-ns NS  log requests slower than NS nanoseconds to stderr as
                         JSON lines (0 logs every request; see
                         docs/OBSERVABILITY.md)
@@ -126,6 +136,9 @@ HOT RELOAD:
 struct Args {
     manifest: Option<PathBuf>,
     demo: Option<usize>,
+    demo_direct: Option<usize>,
+    k: usize,
+    max_landmarks: usize,
     write_snapshot: Option<PathBuf>,
     write_shards: Option<PathBuf>,
     shard_count: usize,
@@ -141,6 +154,9 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         manifest: None,
         demo: None,
+        demo_direct: None,
+        k: 16,
+        max_landmarks: 64,
         write_snapshot: None,
         write_shards: None,
         shard_count: 2,
@@ -161,6 +177,18 @@ fn parse_args() -> Result<Args, String> {
             "--demo" => {
                 args.demo =
                     Some(value("node count")?.parse().map_err(|_| "--demo needs an integer")?);
+            }
+            "--demo-direct" => {
+                args.demo_direct = Some(
+                    value("node count")?.parse().map_err(|_| "--demo-direct needs an integer")?,
+                );
+            }
+            "--k" => {
+                args.k = value("ball size")?.parse().map_err(|_| "--k needs an integer")?;
+            }
+            "--max-landmarks" => {
+                args.max_landmarks =
+                    value("count")?.parse().map_err(|_| "--max-landmarks needs an integer")?;
             }
             "--write-snapshot" => args.write_snapshot = Some(PathBuf::from(value("file path")?)),
             "--write-shards" => args.write_shards = Some(PathBuf::from(value("directory")?)),
@@ -191,11 +219,15 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    if usize::from(args.manifest.is_some()) + usize::from(args.demo.is_some()) != 1 {
-        return Err("exactly one of --manifest or --demo is required".to_owned());
+    let sources = usize::from(args.manifest.is_some())
+        + usize::from(args.demo.is_some())
+        + usize::from(args.demo_direct.is_some());
+    if sources != 1 {
+        return Err("exactly one of --manifest, --demo, or --demo-direct is required".to_owned());
     }
     if args.manifest.is_some() && (args.write_snapshot.is_some() || args.write_shards.is_some()) {
-        return Err("--write-snapshot/--write-shards need --demo, not --manifest".to_owned());
+        return Err("--write-snapshot/--write-shards need --demo or --demo-direct, not --manifest"
+            .to_owned());
     }
     Ok(args)
 }
@@ -255,24 +287,41 @@ fn main() -> ExitCode {
         };
     }
 
-    let n = args.demo.expect("parse_args enforces exactly one source");
-    let (oracle, trace) = match source::build_demo_traced(n, args.seed, args.epsilon) {
-        Ok((oracle, trace)) => {
+    let built = if let Some(n) = args.demo {
+        source::build_demo_traced(n, args.seed, args.epsilon).map(|(oracle, trace)| {
             eprintln!(
                 "built demo oracle: n={n}, {} rounds in the simulated clique, {} landmarks",
                 oracle.build_rounds(),
                 oracle.landmarks().len()
             );
-            // One line per build phase; CI greps for `build-trace phase=`.
-            eprintln!("{}", trace.log_lines());
-            (oracle, trace)
-        }
+            (oracle, trace, "demo")
+        })
+    } else {
+        let n = args.demo_direct.expect("parse_args enforces exactly one source");
+        source::build_direct_demo_traced(n, args.seed, args.epsilon, args.k, args.max_landmarks)
+            .map(|(oracle, trace)| {
+                eprintln!(
+                    "built direct oracle: n={} (road-like), no clique simulation, \
+                     {} landmarks (cap {}), k={}",
+                    oracle.n(),
+                    oracle.landmarks().len(),
+                    args.max_landmarks,
+                    args.k
+                );
+                (oracle, trace, "demo-direct")
+            })
+    };
+    let (oracle, trace, source_label) = match built {
+        Ok(built) => built,
         Err(e) => {
             eprintln!("error: demo build failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let info = SnapshotInfo::in_process(&oracle, "demo");
+    // One line per build phase; CI greps for `build-trace phase=`.
+    eprintln!("{}", trace.log_lines());
+    let n = oracle.n();
+    let info = SnapshotInfo::in_process(&oracle, source_label);
 
     if let Some(path) = &args.write_snapshot {
         return match source::write_snapshot(&oracle, path) {

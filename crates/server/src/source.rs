@@ -14,7 +14,9 @@ use std::sync::Arc;
 use cc_clique::Clique;
 use cc_graph::{generators, Graph};
 use cc_oracle::shard::{validate_set, OracleShard, ShardRouter};
-use cc_oracle::{serde, DistanceOracle, OracleBuilder, QueryBackend, ShardedArtifact};
+use cc_oracle::{
+    serde, DirectBuilder, DistanceOracle, OracleBuilder, QueryBackend, ShardedArtifact,
+};
 
 use crate::reload::SnapshotInfo;
 
@@ -649,6 +651,46 @@ pub fn build_demo_traced(
     Ok(OracleBuilder::new().epsilon(epsilon).seed(seed).build_traced(&mut clique, &g)?)
 }
 
+/// The graph behind `cc-serve --demo-direct N`: a road-like grid
+/// ([`generators::road_like`]) with exactly `n` nodes when `n` factors as
+/// `w × h` with both sides ≥ 2, else the smallest near-square grid of at
+/// least `n` nodes (primes can't be grids). Deterministic in `(n, seed)`.
+///
+/// # Errors
+///
+/// Propagates generator errors (`n < 4` cannot make a 2×2 grid).
+pub fn direct_demo_graph(n: usize, seed: u64) -> Result<Graph, Box<dyn Error>> {
+    let root = (n as f64).sqrt() as usize;
+    let w = (2..=root.max(2)).rev().find(|w| n.is_multiple_of(*w)).unwrap_or(root.max(2));
+    let h = n.div_ceil(w);
+    Ok(generators::road_like(w, h, 30, seed)?)
+}
+
+/// `cc-serve --demo-direct`: builds a road-like oracle through
+/// [`cc_oracle::DirectBuilder`] — no clique simulation, so `n = 10⁵`
+/// builds in seconds and `10⁶` is reachable. Capped landmark mode
+/// (`max_landmarks`) keeps the column matrix `n × m`; see
+/// `docs/BUILDERS.md` for the contract difference vs the clique build.
+///
+/// # Errors
+///
+/// Propagates generator and oracle-build errors.
+pub fn build_direct_demo_traced(
+    n: usize,
+    seed: u64,
+    epsilon: f64,
+    k: usize,
+    max_landmarks: usize,
+) -> Result<(DistanceOracle, cc_telemetry::BuildTrace), Box<dyn Error>> {
+    let g = direct_demo_graph(n, seed)?;
+    Ok(DirectBuilder::new()
+        .k(k)
+        .epsilon(epsilon)
+        .seed(seed)
+        .max_landmarks(max_landmarks)
+        .build_traced(&g)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +712,37 @@ mod tests {
         assert_eq!(back.info.build_id, format!("{:016x}", serde::payload_checksum(&oracle)));
         assert_eq!(back.info.source, path.display().to_string());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn direct_demo_builds_snapshots_and_shards_like_the_clique_demo() {
+        // 96 = 8 × 12: the generator finds the exact factorization.
+        let (oracle, trace) = build_direct_demo_traced(96, 3, 0.25, 6, 8).unwrap();
+        assert_eq!(oracle.n(), 96);
+        assert_eq!(oracle.landmarks().len(), 8, "landmark cap must hold");
+        assert!(trace.span("exact_columns").is_some(), "capped mode must be visible in the trace");
+        // The direct artifact flows through the same snapshot + shard
+        // machinery the serving tier uses.
+        let path = temp_dir("direct").join("direct.snap");
+        write_snapshot(&oracle, &path).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap().oracle, oracle);
+        std::fs::remove_file(&path).ok();
+        let dir = temp_dir("direct-shards");
+        let paths = write_shard_snapshots(&oracle, 3, &dir).unwrap();
+        let loaded = load_shard_set(&paths).unwrap();
+        let router = cc_oracle::ShardRouter::assemble(
+            loaded.iter().map(|l| l.shard.clone()).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        for (u, v) in [(0, 95), (17, 60), (5, 5)] {
+            assert_eq!(router.try_query(u, v).unwrap(), oracle.try_query(u, v).unwrap());
+        }
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+        // A prime n falls back to a covering grid instead of failing.
+        let g = direct_demo_graph(97, 1).unwrap();
+        assert!(g.n() >= 97);
     }
 
     #[test]

@@ -43,6 +43,32 @@ impl BuildTrace {
         self.spans.push(PhaseSpan { name: name.to_owned(), wall_ns, rounds, messages, words });
     }
 
+    /// Runs `f`, records it as a purely local phase (zero rounds, zero
+    /// messages, zero words), and returns its result.
+    ///
+    /// This is the one place build-phase code is allowed to read a wall
+    /// clock: keeping the `Instant::now()` pair here means the oracle's
+    /// kernel files (scanned by cc-lint's `determinism` rule) never touch a
+    /// clock themselves — traced build phases call this instead of opening
+    /// an allow-comment escape hatch.
+    pub fn time_local<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let started = std::time::Instant::now();
+        let out = f();
+        self.record(name, started.elapsed().as_nanos() as u64, 0, 0, 0);
+        out
+    }
+
+    /// Like [`time_local`](Self::time_local), but for local phases that
+    /// also report a data volume: `f` returns `(result, words)` and the
+    /// span records the words (e.g. artifact state copied while slicing a
+    /// shard).
+    pub fn time_local_words<T>(&mut self, name: &str, f: impl FnOnce() -> (T, u64)) -> T {
+        let started = std::time::Instant::now();
+        let (out, words) = f();
+        self.record(name, started.elapsed().as_nanos() as u64, 0, 0, words);
+        out
+    }
+
     /// All spans in build order.
     pub fn spans(&self) -> &[PhaseSpan] {
         &self.spans
@@ -150,6 +176,20 @@ mod tests {
         );
         let text = crate::render_prometheus(&snap);
         assert!(text.contains("cc_build_phase_rounds{phase=\"hitting_set_landmarks\"} 1"));
+    }
+
+    #[test]
+    fn time_local_records_a_zero_round_span_and_passes_the_result_through() {
+        let mut t = BuildTrace::new();
+        let out = t.time_local("local_extraction", || 41 + 1);
+        assert_eq!(out, 42);
+        let got = t.time_local_words("partition_shard_0", || ("shard", 128));
+        assert_eq!(got, "shard");
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].rounds, spans[0].messages, spans[0].words), (0, 0, 0));
+        assert_eq!((spans[1].rounds, spans[1].messages, spans[1].words), (0, 0, 128));
+        assert_eq!(t.span("partition_shard_0").unwrap().words, 128);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Properties of the large-scale `road_like` generator — the workload the
+//! direct builder's `10⁵`–`10⁶`-node artifacts are built from.
+//!
+//! Pinned here (and promised in the generator's docs): determinism in the
+//! seed, connectivity at every size, weight bounds, and edge-count scaling.
+//! The small-n properties run under proptest; the large-n cases are
+//! deterministic one-shots (a `1000 × 1000` sweep per proptest case would
+//! be wasteful), with the million-node case `#[ignore]`d for on-demand runs
+//! — CI exercises that scale through the release-mode smoke job instead.
+
+use congested_clique::graph::{generators, reference, Graph};
+use proptest::prelude::*;
+
+/// Union-find-free connectivity check that avoids `reference::bfs`'s
+/// recursion-free but `O(n)`-allocating per-source shape being run n times:
+/// one BFS from node 0 must reach everyone (the graph is undirected).
+fn is_connected(g: &Graph) -> bool {
+    reference::bfs(g, 0).iter().all(Option::is_some)
+}
+
+fn weights_bounded(g: &Graph, max_weight: u64) -> bool {
+    g.edges().all(|(_, _, w)| w >= 1 && w <= max_weight.max(2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn road_like_is_deterministic_connected_and_bounded(
+        w in 2usize..28,
+        h in 2usize..28,
+        max_weight in 1u64..60,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::road_like(w, h, max_weight, seed).unwrap();
+        prop_assert_eq!(g.n(), w * h);
+        prop_assert!(is_connected(&g));
+        prop_assert!(weights_bounded(&g, max_weight));
+        // Pure function of the inputs: a rebuild is edge-for-edge identical.
+        let again = generators::road_like(w, h, max_weight, seed).unwrap();
+        prop_assert_eq!(g.m(), again.m());
+        prop_assert!(g.edges().eq(again.edges()));
+        // Scaling: at least the spanning grid, at most grid + all diagonals
+        // + all chords.
+        let grid_edges = 2 * w * h - w - h;
+        prop_assert!(g.m() >= grid_edges);
+        prop_assert!(g.m() <= grid_edges + (w - 1) * (h - 1) + (w * h / 16).max(1));
+    }
+}
+
+/// `n = 10⁵`: the size the CI smoke job builds and serves. Generation must
+/// stay fast (this whole test runs in debug mode), deterministic, and
+/// connected.
+#[test]
+fn road_like_at_1e5_nodes_is_connected_and_deterministic() {
+    let g = generators::road_like(400, 250, 30, 42).unwrap();
+    assert_eq!(g.n(), 100_000);
+    assert!(is_connected(&g));
+    assert!(weights_bounded(&g, 30));
+    let again = generators::road_like(400, 250, 30, 42).unwrap();
+    assert_eq!(g.m(), again.m());
+    assert!(g.edges().eq(again.edges()));
+    // Bounded degree: grid(4) + diagonals(2) + a few chords. A generous cap
+    // catches accidental hub formation.
+    assert!((0..g.n()).all(|v| g.degree(v) <= 16));
+}
+
+/// `n = 10⁶`: the artifact ceiling this PR unlocks. Ignored by default —
+/// run with `cargo test --release -- --ignored` (debug-mode generation
+/// alone is tens of seconds).
+#[test]
+#[ignore = "million-node generation; run explicitly in release mode"]
+fn road_like_at_1e6_nodes_is_connected() {
+    let g = generators::road_like(1000, 1000, 30, 7).unwrap();
+    assert_eq!(g.n(), 1_000_000);
+    assert!(is_connected(&g));
+    assert!(weights_bounded(&g, 30));
+}
