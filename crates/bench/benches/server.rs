@@ -20,11 +20,22 @@
 //! throughput phase (log₂ bucket bounds, so ≤2× the external numbers),
 //! and `metrics_overhead_pct` compares requests/sec with the registry
 //! enabled vs swapped for the no-op registry.
+//!
+//! Two transport-layer phases round the artifact out. The same batch
+//! fixture is pushed through `/batch` as **binary frames**
+//! (`application/x-cc-batch`) next to the text plane —
+//! `binary_batch_pairs_per_sec` vs `batch_pairs_per_sec` prices the
+//! parse/format overhead the frame format removes. And a
+//! **connection-churn** phase (`scale_clients` concurrent clients, a few
+//! requests per fresh connection) runs against the epoll reactor and the
+//! poll fallback at identical load: `reactor_request_p50/p99_ns` vs
+//! `poll_request_p50/p99_ns` exposes the poll loop's sleep-quantized
+//! accept latency, which the reactor eliminates.
 
 use cc_clique::Clique;
 use cc_graph::generators;
 use cc_oracle::{DistanceOracle, OracleBuilder};
-use cc_server::{BlockingClient, Server, ServerConfig, ServerHandle};
+use cc_server::{frame, BlockingClient, Server, ServerConfig, ServerHandle, Transport};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::net::SocketAddr;
 use std::path::Path;
@@ -36,6 +47,23 @@ const N: usize = 256;
 const CLIENTS: usize = 4;
 /// Requests issued per client in the throughput phase.
 const REQUESTS_PER_CLIENT: usize = 2_500;
+/// Concurrent clients in the connection-churn phase — 10× the keep-alive
+/// phase, exercising accept latency and idle-connection multiplexing.
+const SCALE_CLIENTS: usize = 40;
+/// Fresh connections each churn client opens.
+const SCALE_CONNECTS: usize = 25;
+/// Requests issued on each fresh connection before it is dropped, so
+/// accept latency lands in the median, not just the tail.
+const SCALE_REQUESTS_PER_CONNECT: usize = 2;
+/// Pairs per `/batch` POST in the batch-plane phase — large enough that
+/// per-pair costs (parse/format vs binary codec, plus the shared query)
+/// dominate the fixed per-request HTTP overhead.
+const BATCH_PAIRS: usize = 8_192;
+/// Result-cache capacity for the bench servers: sized to hold the batch
+/// fixture's working set (~6k distinct pairs), the way a deployment
+/// provisions its cache for traffic, so the timed reps measure serving
+/// cost rather than LRU thrash.
+const CACHE_CAPACITY: usize = 16_384;
 
 fn prebuilt() -> DistanceOracle {
     let g = generators::gnp_weighted(N, 0.06, 50, 17).expect("graph");
@@ -59,6 +87,7 @@ fn start_server(reload_path: &Path) -> ServerHandle {
     let config = ServerConfig::default()
         .with_addr("127.0.0.1:0")
         .with_workers(CLIENTS + 2)
+        .with_cache_capacity(CACHE_CAPACITY)
         .with_reload_path(reload_path);
     Server::start(&config, prebuilt()).expect("server start")
 }
@@ -98,6 +127,7 @@ struct Measurement {
     p50_ns: u64,
     p99_ns: u64,
     batch_pairs_per_sec: f64,
+    binary_batch_pairs_per_sec: f64,
 }
 
 /// Hammers the server with `CLIENTS` keep-alive connections, timing every
@@ -132,20 +162,49 @@ fn measure(handle: &ServerHandle) -> Measurement {
     let wall_secs = started.elapsed().as_secs_f64();
     all_lat.sort_unstable();
 
-    // Batch path: one POST moving 4096 pairs through query_batch.
-    let pairs: String = targets(4_096)
+    // Batch path: one POST moving `BATCH_PAIRS` pairs through query_batch
+    // — the identical workload on the text plane and as a binary frame.
+    // Both planes get untimed warm-up reps first so the timed reps price
+    // steady-state serving (warm result cache), not first-touch misses.
+    let text_fixture: String = targets(BATCH_PAIRS)
         .iter()
         .map(|t| t.replace("/distance?u=", "").replace("&v=", " ") + "\n")
         .collect();
+    let pair_fixture: Vec<(u32, u32)> = text_fixture
+        .lines()
+        .map(|l| {
+            let (u, v) = l.split_once(' ').expect("fixture pair");
+            (u.parse().expect("fixture u"), v.parse().expect("fixture v"))
+        })
+        .collect();
+    let binary_fixture = frame::encode_request(&pair_fixture);
     let mut client = BlockingClient::connect(addr).expect("connect");
-    let t = Instant::now();
     let reps = 8;
+    for _ in 0..2 {
+        let (status, _) = client.post("/batch", text_fixture.as_bytes()).expect("warm batch");
+        assert_eq!(status, 200);
+        let (status, _) = client
+            .post_with_content_type("/batch", frame::CONTENT_TYPE, &binary_fixture)
+            .expect("warm binary batch");
+        assert_eq!(status, 200);
+    }
+    let t = Instant::now();
     for _ in 0..reps {
-        let (status, body) = client.post("/batch", pairs.as_bytes()).expect("batch");
+        let (status, body) = client.post("/batch", text_fixture.as_bytes()).expect("batch");
         assert_eq!(status, 200);
         black_box(body);
     }
-    let batch_pairs_per_sec = (reps * 4_096) as f64 / t.elapsed().as_secs_f64();
+    let batch_pairs_per_sec = (reps * BATCH_PAIRS) as f64 / t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        let (status, body) = client
+            .post_with_content_type("/batch", frame::CONTENT_TYPE, &binary_fixture)
+            .expect("binary batch");
+        assert_eq!(status, 200, "binary batch failed");
+        black_box(body);
+    }
+    let binary_batch_pairs_per_sec = (reps * BATCH_PAIRS) as f64 / t.elapsed().as_secs_f64();
 
     Measurement {
         requests: all_lat.len(),
@@ -153,7 +212,70 @@ fn measure(handle: &ServerHandle) -> Measurement {
         p50_ns: percentile(&all_lat, 0.50),
         p99_ns: percentile(&all_lat, 0.99),
         batch_pairs_per_sec,
+        binary_batch_pairs_per_sec,
     }
+}
+
+/// Per-request latency under connection churn: `SCALE_CLIENTS` threads
+/// each repeatedly connect, issue `SCALE_REQUESTS_PER_CONNECT` requests,
+/// and drop the connection. The first sample on every connection includes
+/// the TCP connect and the server's accept-to-read path — exactly where
+/// the poll transport's 500 µs accept quantum and per-connection worker
+/// pinning show up, and the epoll reactor does not.
+struct ScaleMeasurement {
+    requests: usize,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn measure_connection_churn(addr: SocketAddr) -> ScaleMeasurement {
+    let per_client = targets(SCALE_CONNECTS * SCALE_REQUESTS_PER_CONNECT);
+    let mut all_lat: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SCALE_CLIENTS)
+            .map(|c| {
+                let per_client = &per_client;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client.len());
+                    for k in 0..SCALE_CONNECTS {
+                        let at = |r: usize| {
+                            &per_client
+                                [(k * SCALE_REQUESTS_PER_CONNECT + r + c * 37) % per_client.len()]
+                        };
+                        let t = Instant::now();
+                        let mut client = BlockingClient::connect(addr).expect("connect");
+                        let (status, body) = client.get(at(0)).expect("first request");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        assert_eq!(status, 200, "churn request failed");
+                        black_box(body);
+                        for r in 1..SCALE_REQUESTS_PER_CONNECT {
+                            let t = Instant::now();
+                            let (status, body) = client.get(at(r)).expect("request");
+                            lat.push(t.elapsed().as_nanos() as u64);
+                            assert_eq!(status, 200, "churn request failed");
+                            black_box(body);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("churn client thread")).collect()
+    });
+    all_lat.sort_unstable();
+    ScaleMeasurement {
+        requests: all_lat.len(),
+        p50_ns: percentile(&all_lat, 0.50),
+        p99_ns: percentile(&all_lat, 0.99),
+    }
+}
+
+/// Runs the churn phase against a fresh server on the given transport.
+fn measure_churn_on(transport: Transport) -> ScaleMeasurement {
+    let config = ServerConfig::default().with_addr("127.0.0.1:0").with_transport(transport);
+    let handle = Server::start(&config, prebuilt()).expect("server start");
+    let m = measure_connection_churn(handle.addr());
+    handle.shutdown();
+    m
 }
 
 /// The server's own view of its `/distance` latency, plus what the
@@ -291,15 +413,29 @@ fn measure_reload_under_load(
 /// How many shards the router-tier phase slices the same artifact into.
 const BENCH_SHARDS: usize = 3;
 
+/// Router-tier phase results: the cache-disabled and cache-enabled
+/// servers over the same shard set, plus the cached run's hit rate.
+struct ShardedResults {
+    uncached: Measurement,
+    cached: Measurement,
+    cached_hit_rate: f64,
+}
+
+/// Churn-phase results on both transports, emitted side by side.
+struct ChurnComparison {
+    reactor: ScaleMeasurement,
+    poll: ScaleMeasurement,
+}
+
 fn emit_artifact(
     handle: &ServerHandle,
     m: &Measurement,
     r: &ReloadMeasurement,
-    s: &Measurement,
-    cs: &Measurement,
-    cached_hit_rate: f64,
+    sharded: &ShardedResults,
     self_reported: &SelfReported,
+    churn: &ChurnComparison,
 ) {
+    let (s, cs) = (&sharded.uncached, &sharded.cached);
     let desc = handle.state().generation().descriptor();
     let json = format!(
         "{{\n  \"n\": {},\n  \"landmarks\": {},\n  \"artifact_bytes\": {},\n  \
@@ -311,11 +447,16 @@ fn emit_artifact(
          \"self_reported_request_p99_ns\": {},\n  \
          \"metrics_overhead_pct\": {:.2},\n  \
          \"batch_pairs_per_sec\": {:.0},\n  \
+         \"binary_batch_pairs_per_sec\": {:.0},\n  \
+         \"scale_clients\": {SCALE_CLIENTS},\n  \"scale_requests\": {},\n  \
+         \"reactor_request_p50_ns\": {},\n  \"reactor_request_p99_ns\": {},\n  \
+         \"poll_request_p50_ns\": {},\n  \"poll_request_p99_ns\": {},\n  \
          \"reloads_under_load\": {},\n  \"reload_under_load_p50_ns\": {},\n  \
          \"reload_under_load_p99_ns\": {},\n  \"reload_ms_mean\": {:.2},\n  \
          \"sharded_shards\": {BENCH_SHARDS},\n  \"sharded_requests\": {},\n  \
          \"sharded_requests_per_sec\": {:.0},\n  \"sharded_request_p50_ns\": {},\n  \
          \"sharded_request_p99_ns\": {},\n  \"sharded_batch_pairs_per_sec\": {:.0},\n  \
+         \"sharded_binary_batch_pairs_per_sec\": {:.0},\n  \
          \"cached_sharded_requests\": {},\n  \"cached_sharded_requests_per_sec\": {:.0},\n  \
          \"cached_sharded_request_p50_ns\": {},\n  \"cached_sharded_request_p99_ns\": {},\n  \
          \"cached_sharded_batch_pairs_per_sec\": {:.0},\n  \
@@ -332,6 +473,12 @@ fn emit_artifact(
         self_reported.p99_ns,
         self_reported.overhead_pct,
         m.batch_pairs_per_sec,
+        m.binary_batch_pairs_per_sec,
+        churn.reactor.requests,
+        churn.reactor.p50_ns,
+        churn.reactor.p99_ns,
+        churn.poll.p50_ns,
+        churn.poll.p99_ns,
         r.reloads,
         r.p50_ns,
         r.p99_ns,
@@ -341,12 +488,13 @@ fn emit_artifact(
         s.p50_ns,
         s.p99_ns,
         s.batch_pairs_per_sec,
+        s.binary_batch_pairs_per_sec,
         cs.requests,
         cs.requests as f64 / cs.wall_secs,
         cs.p50_ns,
         cs.p99_ns,
         cs.batch_pairs_per_sec,
-        cached_hit_rate,
+        sharded.cached_hit_rate,
         desc.stretch_bound,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
@@ -420,14 +568,26 @@ fn bench_server(c: &mut Criterion) {
     let sharded = start_sharded_server(&shard_dir, 0);
     let s = measure(&sharded);
     sharded.shutdown();
-    let cached_sharded = start_sharded_server(&shard_dir, 4096);
+    let cached_sharded = start_sharded_server(&shard_dir, CACHE_CAPACITY);
     let cs = measure(&cached_sharded);
     let cached_hit_rate =
         cached_sharded.state().generation().descriptor().cache.map_or(0.0, |c| c.hit_rate());
     cached_sharded.shutdown();
     std::fs::remove_dir_all(&shard_dir).ok();
 
-    emit_artifact(&handle, &m, &r, &s, &cs, cached_hit_rate, &self_reported);
+    // Transport head-to-head under connection churn: the epoll reactor vs
+    // the poll loop, identical load on fresh servers.
+    let reactor_churn = measure_churn_on(Transport::Auto);
+    let poll_churn = measure_churn_on(Transport::Poll);
+
+    emit_artifact(
+        &handle,
+        &m,
+        &r,
+        &ShardedResults { uncached: s, cached: cs, cached_hit_rate },
+        &self_reported,
+        &ChurnComparison { reactor: reactor_churn, poll: poll_churn },
+    );
     std::fs::remove_file(&live).ok();
     handle.shutdown();
 }

@@ -16,7 +16,10 @@ const SERVING_FILES: &[&str] = &[
     "crates/server/src/handlers.rs",
     "crates/server/src/pool.rs",
     "crates/server/src/reload.rs",
+    "crates/server/src/reactor.rs",
     "crates/oracle/src/oracle.rs",
+    "crates/reactor/src/poller.rs",
+    "crates/reactor/src/frame.rs",
 ];
 
 /// Macros that unconditionally panic when reached.
@@ -30,7 +33,7 @@ impl Rule for NoPanic {
     }
 
     fn summary(&self) -> &'static str {
-        "no .unwrap()/.expect()/panic! in serving paths (handlers, pool, reload, query kernel)"
+        "no .unwrap()/.expect()/panic! in serving paths (handlers, pool, reload, reactor, query kernel, frame codec)"
     }
 
     fn applies_to(&self, path: &str) -> bool {

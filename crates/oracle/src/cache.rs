@@ -1,6 +1,7 @@
 //! A bounded, sharded LRU result cache over **any** [`QueryBackend`].
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -39,10 +40,41 @@ impl CacheStats {
     }
 }
 
+/// Multiply-shift hasher for the cache's packed pair keys. The keys are
+/// already well-mixed 64-bit values ((lo << 32) | hi node ids), so the
+/// default SipHash — ~25 ns per lookup, built to resist adversarial key
+/// collisions a distance cache doesn't face — is pure overhead on the
+/// query hot path. One Fibonacci multiply plus a fold gives uniform
+/// bucket spread for a few nanoseconds.
+#[derive(Default)]
+struct PairKeyHasher(u64);
+
+/// 2^64 / φ, the usual Fibonacci hashing multiplier.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for PairKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 32)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u64-keyed map, but kept total).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FIB);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(FIB);
+    }
+}
+
+type PairKeyMap = HashMap<u64, usize, BuildHasherDefault<PairKeyHasher>>;
+
 /// One LRU shard: a map from packed pair key to a slot in an intrusive
 /// doubly-linked list ordered by recency (index-based, no unsafe).
 struct Shard {
-    map: HashMap<u64, usize>,
+    map: PairKeyMap,
     /// Slot storage: `(key, value, prev, next)`; `usize::MAX` terminates.
     slots: Vec<(u64, u64, usize, usize)>,
     head: usize,
@@ -52,10 +84,14 @@ struct Shard {
 
 const NIL: usize = usize::MAX;
 
+/// Smallest batch worth the shard-grouping pass in the serial batch path;
+/// below this, grouping bookkeeping costs more than per-pair locking.
+const GROUPED_BATCH_MIN: usize = 64;
+
 impl Shard {
     fn new(capacity: usize) -> Shard {
         Shard {
-            map: HashMap::with_capacity(capacity),
+            map: PairKeyMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
             slots: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,
@@ -268,6 +304,9 @@ impl<B: QueryBackend> CachingOracle<B> {
         }
         let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         if threads <= 1 || pairs.len() < 1024 {
+            if pairs.len() >= GROUPED_BATCH_MIN && !self.shards.is_empty() {
+                return Ok(self.query_batch_grouped(pairs));
+            }
             return Ok(pairs.iter().map(|&(u, v)| self.query_validated(u, v)).collect());
         }
         let shard = pairs.len().div_ceil(threads);
@@ -282,6 +321,58 @@ impl<B: QueryBackend> CachingOracle<B> {
             }
         });
         Ok(out)
+    }
+
+    /// Serial batch kernel amortizing the per-pair overhead: pairs are
+    /// grouped by shard, each shard is locked exactly once for its whole
+    /// group, and the hit/miss counters are bumped once per batch. Answers
+    /// and per-shard LRU recency order are identical to the pair-at-a-time
+    /// path — within one shard, pairs are still processed in batch order.
+    /// Callers must have validated every pair and `!self.shards.is_empty()`.
+    fn query_batch_grouped(&self, pairs: &[(usize, usize)]) -> Vec<Dist> {
+        // Counting sort by shard: one pass to size the groups, one to
+        // scatter indices — no per-shard Vec growth on the hot path.
+        let keys: Vec<u64> = pairs.iter().map(|&(u, v)| Self::key(u, v)).collect();
+        let mut counts = [0usize; SHARDS];
+        for key in &keys {
+            counts[(key % SHARDS as u64) as usize] += 1;
+        }
+        let mut starts = [0usize; SHARDS];
+        let mut at = 0;
+        for (start, count) in starts.iter_mut().zip(counts) {
+            *start = at;
+            at += count;
+        }
+        let mut order = vec![0usize; pairs.len()];
+        let mut fill = starts;
+        for (i, key) in keys.iter().enumerate() {
+            let which = (key % SHARDS as u64) as usize;
+            order[fill[which]] = i;
+            fill[which] += 1;
+        }
+        let mut out = vec![Dist::INF; pairs.len()];
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (which, (start, count)) in starts.iter().zip(counts).enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let mut shard = self.shards[which].lock().expect("cache shard poisoned");
+            for &i in &order[*start..*start + count] {
+                if let Some(raw) = shard.get(keys[i]) {
+                    hits += 1;
+                    out[i] = Dist::from_raw(raw);
+                    continue;
+                }
+                let (u, v) = pairs[i];
+                let answer = self.backend.try_query(u, v).expect("pair validated by caller");
+                misses += 1;
+                shard.insert(keys[i], answer.raw());
+                out[i] = answer;
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        out
     }
 
     /// The resident pairs in approximate hottest-first order, up to

@@ -1,0 +1,315 @@
+//! Length-prefixed binary batch framing for the distance query plane.
+//!
+//! This is the wire format `POST /batch` negotiates via
+//! `Content-Type: application/x-cc-batch` (see [`CONTENT_TYPE`]), and the
+//! substrate the future out-of-process `cc-shard` RPC rides on. Frames are
+//! fixed-width little-endian throughout so the hot path does zero decimal
+//! parsing or formatting; the full byte-level layout is documented in
+//! `docs/OPERATIONS.md`.
+//!
+//! Request frame (`8 + 8·count` bytes):
+//!
+//! ```text
+//! offset 0   4 bytes   magic "CCBQ"
+//! offset 4   4 bytes   u32 LE pair count, must be >= 1
+//! offset 8   8·count   count × { u32 LE source id, u32 LE target id }
+//! ```
+//!
+//! Response frame (`8 + 8·count` bytes):
+//!
+//! ```text
+//! offset 0   4 bytes   magic "CCBR"
+//! offset 4   4 bytes   u32 LE distance count (== request pair count)
+//! offset 8   8·count   count × u64 LE distance; u64::MAX = unreachable
+//! ```
+//!
+//! Decoders validate the declared count against the actual byte length
+//! *before* allocating, so a hostile header cannot request an outsized
+//! buffer, and they never panic — every malformed frame maps to a
+//! [`FrameError`] the server turns into a 400.
+
+use std::fmt;
+
+/// Content type that selects binary framing on `POST /batch`.
+pub const CONTENT_TYPE: &str = "application/x-cc-batch";
+
+/// Magic bytes opening a request frame.
+pub const REQUEST_MAGIC: [u8; 4] = *b"CCBQ";
+
+/// Magic bytes opening a response frame.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"CCBR";
+
+/// Wire sentinel for an unreachable pair (the encoding of `Dist::INF`).
+pub const UNREACHABLE: u64 = u64::MAX;
+
+/// Bytes of fixed header (magic + count) in both frame kinds.
+pub const HEADER_LEN: usize = 8;
+
+/// Bytes per entry after the header (one id pair, or one distance).
+pub const ENTRY_LEN: usize = 8;
+
+/// Why a frame failed to decode. Every variant is a client error (HTTP
+/// 400), never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer than [`HEADER_LEN`] bytes: no room for magic + count.
+    Truncated {
+        /// Actual byte length received.
+        len: usize,
+    },
+    /// The first four bytes were not the expected magic.
+    BadMagic {
+        /// The magic that was expected (`CCBQ` or `CCBR`).
+        expected: [u8; 4],
+    },
+    /// The declared count is zero; an empty batch carries no information
+    /// and is rejected rather than echoed.
+    EmptyBatch,
+    /// The declared count does not match the payload length.
+    LengthMismatch {
+        /// Count declared in the header.
+        declared: u32,
+        /// Byte length the declared count implies.
+        expected_len: u64,
+        /// Byte length actually received.
+        actual_len: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { len } => {
+                write!(f, "frame truncated: {len} bytes, need at least {HEADER_LEN}")
+            }
+            FrameError::BadMagic { expected } => {
+                // The magics are ASCII by construction.
+                let magic = std::str::from_utf8(expected).unwrap_or("????");
+                write!(f, "bad frame magic, expected {magic:?}")
+            }
+            FrameError::EmptyBatch => write!(f, "frame declares zero pairs"),
+            FrameError::LengthMismatch {
+                declared,
+                expected_len,
+                actual_len,
+            } => write!(
+                f,
+                "frame length mismatch: {declared} entries imply {expected_len} bytes, got {actual_len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Validates the common header and returns the entry count.
+fn decode_header(bytes: &[u8], magic: [u8; 4]) -> Result<u32, FrameError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::Truncated { len: bytes.len() });
+    }
+    if bytes[..4] != magic {
+        return Err(FrameError::BadMagic { expected: magic });
+    }
+    let count = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if count == 0 {
+        return Err(FrameError::EmptyBatch);
+    }
+    // Widen before multiplying: a hostile count near u32::MAX must not
+    // overflow the length check on 32-bit usize.
+    let expected_len = HEADER_LEN as u64 + u64::from(count) * ENTRY_LEN as u64;
+    if expected_len != bytes.len() as u64 {
+        return Err(FrameError::LengthMismatch {
+            declared: count,
+            expected_len,
+            actual_len: bytes.len(),
+        });
+    }
+    Ok(count)
+}
+
+/// Encodes a request frame from id pairs.
+///
+/// Counts above `u32::MAX` entries are unrepresentable on the wire; the
+/// count field is truncated by `as` only after the debug assertion below,
+/// and callers (handler limits cap batches far below 2^32) never get near
+/// it.
+#[must_use]
+pub fn encode_request(pairs: &[(u32, u32)]) -> Vec<u8> {
+    debug_assert!(u32::try_from(pairs.len()).is_ok());
+    let mut out = Vec::with_capacity(HEADER_LEN + pairs.len() * ENTRY_LEN);
+    out.extend_from_slice(&REQUEST_MAGIC);
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for &(u, v) in pairs {
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a request frame into id pairs.
+///
+/// # Errors
+///
+/// Any [`FrameError`] the header or payload length checks produce.
+pub fn decode_request(bytes: &[u8]) -> Result<Vec<(u32, u32)>, FrameError> {
+    decode_request_map(bytes, |u, v| (u, v))
+}
+
+/// Decodes a request frame, mapping each id pair through `f` in wire
+/// order. This is the single-pass, single-allocation form for callers
+/// that need the pairs in a different representation (the server decodes
+/// straight into the `(usize, usize)` pairs its query backend takes).
+///
+/// # Errors
+///
+/// Any [`FrameError`] the header or payload length checks produce.
+pub fn decode_request_map<T>(
+    bytes: &[u8],
+    mut f: impl FnMut(u32, u32) -> T,
+) -> Result<Vec<T>, FrameError> {
+    let count = decode_header(bytes, REQUEST_MAGIC)?;
+    let mut pairs = Vec::with_capacity(count as usize);
+    for chunk in bytes[HEADER_LEN..].chunks_exact(ENTRY_LEN) {
+        let u = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let v = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        pairs.push(f(u, v));
+    }
+    Ok(pairs)
+}
+
+/// Encodes a response frame from raw distances ([`UNREACHABLE`] = ∞).
+#[must_use]
+pub fn encode_response(distances: &[u64]) -> Vec<u8> {
+    encode_response_from(distances.iter().copied())
+}
+
+/// Encodes a response frame from an iterator of raw distances, writing
+/// each straight into the output buffer — no intermediate `Vec<u64>`
+/// when the distances are derived on the fly (as the server does when
+/// mapping backend answers to wire sentinels).
+#[must_use]
+pub fn encode_response_from(distances: impl ExactSizeIterator<Item = u64>) -> Vec<u8> {
+    debug_assert!(u32::try_from(distances.len()).is_ok());
+    let mut out = Vec::with_capacity(HEADER_LEN + distances.len() * ENTRY_LEN);
+    out.extend_from_slice(&RESPONSE_MAGIC);
+    out.extend_from_slice(&(distances.len() as u32).to_le_bytes());
+    for d in distances {
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a response frame into raw distances.
+pub fn decode_response(bytes: &[u8]) -> Result<Vec<u64>, FrameError> {
+    let count = decode_header(bytes, RESPONSE_MAGIC)?;
+    let mut distances = Vec::with_capacity(count as usize);
+    for chunk in bytes[HEADER_LEN..].chunks_exact(ENTRY_LEN) {
+        distances.push(u64::from_le_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]));
+    }
+    Ok(distances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let pairs = vec![(0, 1), (7, 7), (u32::MAX, 0), (3, u32::MAX)];
+        let bytes = encode_request(&pairs);
+        assert_eq!(bytes.len(), HEADER_LEN + pairs.len() * ENTRY_LEN);
+        assert_eq!(&bytes[..4], b"CCBQ");
+        assert_eq!(decode_request(&bytes), Ok(pairs));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let distances = vec![0, 17, UNREACHABLE, u64::MAX - 1];
+        let bytes = encode_response(&distances);
+        assert_eq!(&bytes[..4], b"CCBR");
+        assert_eq!(decode_response(&bytes), Ok(distances));
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        for len in 0..HEADER_LEN {
+            let bytes = vec![0u8; len];
+            assert_eq!(decode_request(&bytes), Err(FrameError::Truncated { len }));
+        }
+        // Header present but payload short of the declared count.
+        let mut bytes = encode_request(&[(1, 2), (3, 4)]);
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(FrameError::LengthMismatch { declared: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_request(&[(1, 2)]);
+        bytes[0] = b'X';
+        assert_eq!(decode_request(&bytes), Err(FrameError::BadMagic { expected: REQUEST_MAGIC }));
+        // A response magic on the request plane is also a bad magic.
+        let resp = encode_response(&[9]);
+        assert_eq!(decode_request(&resp), Err(FrameError::BadMagic { expected: REQUEST_MAGIC }));
+    }
+
+    #[test]
+    fn zero_pairs_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&REQUEST_MAGIC);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode_request(&bytes), Err(FrameError::EmptyBatch));
+    }
+
+    #[test]
+    fn length_mismatch_both_directions() {
+        // Declares 3 pairs, carries 1.
+        let mut short = Vec::new();
+        short.extend_from_slice(&REQUEST_MAGIC);
+        short.extend_from_slice(&3u32.to_le_bytes());
+        short.extend_from_slice(&[0u8; ENTRY_LEN]);
+        assert!(matches!(
+            decode_request(&short),
+            Err(FrameError::LengthMismatch { declared: 3, actual_len: 16, .. })
+        ));
+        // Declares 1 pair, carries 2.
+        let mut long = encode_request(&[(1, 2)]);
+        long.extend_from_slice(&[0u8; ENTRY_LEN]);
+        assert!(matches!(
+            decode_request(&long),
+            Err(FrameError::LengthMismatch { declared: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_count_does_not_allocate() {
+        // u32::MAX declared pairs in a 16-byte body: the length check fires
+        // (with the implied length computed in u64) before any allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&REQUEST_MAGIC);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert_eq!(
+            decode_request(&bytes),
+            Err(FrameError::LengthMismatch {
+                declared: u32::MAX,
+                expected_len: 8 + u64::from(u32::MAX) * 8,
+                actual_len: 16,
+            })
+        );
+    }
+
+    #[test]
+    fn display_messages_are_stable() {
+        assert_eq!(
+            FrameError::Truncated { len: 3 }.to_string(),
+            "frame truncated: 3 bytes, need at least 8"
+        );
+        assert_eq!(FrameError::EmptyBatch.to_string(), "frame declares zero pairs");
+        assert!(FrameError::BadMagic { expected: REQUEST_MAGIC }.to_string().contains("CCBQ"));
+    }
+}

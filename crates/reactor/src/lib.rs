@@ -1,0 +1,30 @@
+//! Event-driven transport primitives for the serving tier.
+//!
+//! Two independent pieces live here, both reused by `cc-serve` today and
+//! intended for the future out-of-process `cc-shard` RPC:
+//!
+//! * [`Poller`] — a thin, safe wrapper over Linux `epoll` plus an
+//!   `eventfd`-backed [`Waker`], in the same spirit as the offline shims
+//!   under `crates/shim`: exactly the API subset this workspace needs,
+//!   written against raw C-library declarations, no external crates. On
+//!   non-Linux targets [`Poller::new`] returns
+//!   [`std::io::ErrorKind::Unsupported`] so callers can fall back to a
+//!   portable poll loop at runtime.
+//! * [`frame`] — the length-prefixed binary batch codec (`CCBQ` request /
+//!   `CCBR` response frames) that lets `POST /batch` skip decimal
+//!   parsing/formatting entirely.
+//!
+//! Unlike the rest of the workspace this crate cannot forbid `unsafe`
+//! outright — readiness notification is a syscall interface. All unsafe
+//! code is confined to the private `sys` module and each block is
+//! individually annotated; the public surface is safe.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+mod poller;
+#[cfg(target_os = "linux")]
+mod sys;
+
+pub use poller::{Event, Poller, Waker, WAKER_TOKEN};

@@ -1,0 +1,155 @@
+//! Raw Linux syscall surface for the poller: `epoll` + `eventfd`.
+//!
+//! This is the only module in the workspace that declares foreign
+//! functions beyond `cc-serve`'s SIGHUP hook. It follows the same
+//! discipline: the crate is `#![deny(unsafe_code)]` and every exception
+//! below is individually `#[allow(unsafe_code)]`-annotated with the
+//! invariant that makes it sound. Everything here is `pub(crate)`; the
+//! safe API lives in `poller`.
+
+use std::io;
+
+/// `epoll_event` as the x86-64 kernel ABI defines it.
+///
+/// On x86-64 (the deployment target) the struct is packed — 12 bytes, no
+/// padding between `events` and `data`. Other 64-bit architectures use the
+/// natural 16-byte layout, hence the conditional attribute (this mirrors
+/// what the real `libc` crate does).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+pub(crate) const EPOLL_CTL_ADD: i32 = 1;
+pub(crate) const EPOLL_CTL_DEL: i32 = 2;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+// Declarations for the C library the binary already links (std links
+// glibc/musl on Linux). Signatures transcribed from the epoll(7) and
+// eventfd(2) man pages.
+#[allow(unsafe_code)] // FFI declarations; each call site re-justifies safety.
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// Creates an epoll instance with `CLOEXEC` set.
+pub(crate) fn epoll_create() -> io::Result<i32> {
+    // SAFETY: no pointers involved; epoll_create1 allocates a kernel object
+    // and returns a descriptor or -1.
+    #[allow(unsafe_code)]
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Registers `fd` for level-triggered readiness with the given interest
+/// mask, tagging events with `token`.
+pub(crate) fn epoll_add(epfd: i32, fd: i32, interests: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events: interests, data: token };
+    // SAFETY: `ev` is a valid, live EpollEvent for the duration of the call;
+    // the kernel copies it before returning.
+    #[allow(unsafe_code)]
+    let rc = unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Deregisters `fd` from the epoll instance.
+pub(crate) fn epoll_del(epfd: i32, fd: i32) -> io::Result<()> {
+    // A non-null event pointer is required on kernels < 2.6.9 even for DEL;
+    // pass a zeroed one unconditionally.
+    let mut ev = EpollEvent { events: 0, data: 0 };
+    // SAFETY: as for epoll_add — `ev` outlives the call.
+    #[allow(unsafe_code)]
+    let rc = unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Waits for events; fills `buf` and returns how many entries are valid.
+///
+/// A `timeout_ms` of -1 blocks indefinitely. `Interrupted` (EINTR, e.g.
+/// the SIGHUP reload handler firing) is surfaced to the caller, who treats
+/// it as an empty wake-up.
+pub(crate) fn epoll_wait_into(
+    epfd: i32,
+    buf: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    let cap = i32::try_from(buf.len()).unwrap_or(i32::MAX);
+    // SAFETY: `buf` is a valid writable region of `cap` EpollEvents; the
+    // kernel writes at most `cap` entries and returns the count.
+    #[allow(unsafe_code)]
+    let rc = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), cap, timeout_ms) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+/// Creates a non-blocking `CLOEXEC` eventfd for cross-thread wake-ups.
+pub(crate) fn eventfd_create() -> io::Result<i32> {
+    // SAFETY: no pointers involved.
+    #[allow(unsafe_code)]
+    let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Adds 1 to the eventfd counter, making it readable. Best-effort: a full
+/// counter (EAGAIN) already means a wake-up is pending.
+pub(crate) fn eventfd_signal(fd: i32) {
+    let one: u64 = 1;
+    let bytes = one.to_ne_bytes();
+    // SAFETY: `bytes` is 8 valid readable bytes, the length eventfd requires.
+    #[allow(unsafe_code)]
+    unsafe {
+        write(fd, bytes.as_ptr(), bytes.len());
+    }
+}
+
+/// Drains the eventfd counter so level-triggered polls stop firing.
+pub(crate) fn eventfd_drain(fd: i32) {
+    let mut bytes = [0u8; 8];
+    // SAFETY: `bytes` is 8 valid writable bytes; the fd is non-blocking so
+    // this never hangs (EAGAIN when already drained).
+    #[allow(unsafe_code)]
+    unsafe {
+        read(fd, bytes.as_mut_ptr(), bytes.len());
+    }
+}
+
+/// Closes a descriptor owned by this module.
+pub(crate) fn close_fd(fd: i32) {
+    // SAFETY: callers only pass descriptors they own exclusively (created by
+    // epoll_create/eventfd_create above) and never use them afterwards.
+    #[allow(unsafe_code)]
+    unsafe {
+        close(fd);
+    }
+}

@@ -6,6 +6,52 @@ use std::time::Duration;
 
 use cc_telemetry::AccessLog;
 
+/// Which accept/connection transport the server runs.
+///
+/// The epoll reactor owns the listener plus all idle keep-alive
+/// connections and hands *ready* sockets to the worker pool, so accept
+/// latency is event-driven (no 500 µs sleep-poll granularity) and an idle
+/// connection costs no worker thread. The poll loop is the portable
+/// fallback: non-blocking accept with a short sleep, one worker pinned
+/// per live connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Use the epoll reactor when the platform supports it (Linux), fall
+    /// back to the poll loop elsewhere. The default.
+    #[default]
+    Auto,
+    /// Require the epoll reactor; starting the server fails with
+    /// `Unsupported` where epoll is unavailable.
+    Epoll,
+    /// Force the portable sleep-polling accept loop.
+    Poll,
+}
+
+impl Transport {
+    /// The knob's spelling on the `cc-serve --transport` flag.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Transport::Auto => "auto",
+            Transport::Epoll => "epoll",
+            Transport::Poll => "poll",
+        }
+    }
+}
+
+impl std::str::FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Transport, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(Transport::Auto),
+            "epoll" => Ok(Transport::Epoll),
+            "poll" => Ok(Transport::Poll),
+            other => Err(format!("unknown transport '{other}' (expected auto, epoll, or poll)")),
+        }
+    }
+}
+
 /// Configuration for [`crate::Server::start`].
 ///
 /// Plain data with a sensible [`Default`]; builder-style `with_*` methods
@@ -27,6 +73,10 @@ pub struct ServerConfig {
     /// Per-connection read timeout; an idle keep-alive connection is closed
     /// after this long.
     pub read_timeout: Duration,
+    /// Accept/connection transport ([`Transport::Auto`] resolves to the
+    /// epoll reactor on Linux, the poll loop elsewhere). `/stats` reports
+    /// the resolved choice as `transport`.
+    pub transport: Transport,
     /// Default snapshot path for `POST /reload` (and SIGHUP in the
     /// `cc-serve` binary). `None` means a reload request must name a path
     /// explicitly (`/reload?path=...`). Ignored when the server is started
@@ -54,6 +104,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             cache_capacity: 4096,
             read_timeout: Duration::from_secs(5),
+            transport: Transport::Auto,
             reload_path: None,
             telemetry_enabled: true,
             access_log: None,
@@ -98,6 +149,12 @@ impl ServerConfig {
         self
     }
 
+    /// Selects the accept/connection transport.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Sets the default snapshot path `POST /reload` (and SIGHUP) loads.
     pub fn with_reload_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.reload_path = Some(path.into());
@@ -130,6 +187,7 @@ mod tests {
             .with_max_body_bytes(512)
             .with_cache_capacity(7)
             .with_read_timeout(Duration::from_millis(250))
+            .with_transport(Transport::Poll)
             .with_reload_path("/tmp/next.snap")
             .with_telemetry_enabled(false)
             .with_access_log(Arc::new(AccessLog::stderr(0)));
@@ -140,7 +198,21 @@ mod tests {
         assert_eq!(c.max_body_bytes, 512);
         assert_eq!(c.cache_capacity, 7);
         assert_eq!(c.read_timeout, Duration::from_millis(250));
+        assert_eq!(c.transport, Transport::Poll);
         assert!(!c.telemetry_enabled);
         assert!(c.access_log.is_some());
+    }
+
+    #[test]
+    fn transport_parses_case_insensitively_and_rejects_garbage() {
+        assert_eq!("auto".parse(), Ok(Transport::Auto));
+        assert_eq!("EPOLL".parse(), Ok(Transport::Epoll));
+        assert_eq!("Poll".parse(), Ok(Transport::Poll));
+        assert_eq!(ServerConfig::default().transport, Transport::Auto);
+        let err = "kqueue".parse::<Transport>().unwrap_err();
+        assert!(err.contains("kqueue") && err.contains("epoll"), "err: {err}");
+        for t in [Transport::Auto, Transport::Epoll, Transport::Poll] {
+            assert_eq!(t.label().parse(), Ok(t), "label must round-trip");
+        }
     }
 }

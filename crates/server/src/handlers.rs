@@ -37,6 +37,7 @@ use std::time::Instant;
 use cc_matrix::Dist;
 use cc_oracle::shard::{OracleShard, ShardRouter};
 use cc_oracle::{BackendDescriptor, DistanceOracle, OracleError, QueryBackend};
+use cc_reactor::frame;
 use cc_telemetry::{
     render_prometheus, AccessLog, Counter, Gauge, Histogram, Json, JsonObject, Registry,
     RegistrySnapshot,
@@ -85,6 +86,10 @@ pub struct AppState {
     registry: Arc<Registry>,
     metrics: Metrics,
     access_log: Option<Arc<AccessLog>>,
+    /// Which accept/read transport feeds this state (`"epoll"` or
+    /// `"poll"`), surfaced in `/stats`; `"in-process"` until a server
+    /// binds it to a listener.
+    transport: &'static str,
 }
 
 /// Endpoint classes with their own `cc_request_duration_ns` series; the
@@ -114,6 +119,7 @@ struct Metrics {
     batch_pairs: Counter,
     client_errors: Counter,
     load_shed: Counter,
+    accept_errors: Counter,
     reloads: Counter,
     reload_failures: Counter,
     reload_duration: Arc<Histogram>,
@@ -136,6 +142,7 @@ impl Metrics {
         r.describe("cc_batch_pairs_total", "Distance pairs answered through POST /batch.");
         r.describe("cc_client_errors_total", "Responses with a 4xx status.");
         r.describe("cc_load_shed_total", "Connections shed with 503 by the acceptor.");
+        r.describe("cc_accept_errors_total", "accept(2) failures, transient or fatal.");
         r.describe("cc_reloads_total", "Successful hot-reload swaps.");
         r.describe("cc_reload_failures_total", "Reload attempts rejected by validation.");
         r.describe("cc_request_duration_ns", "Wall time per request, first byte to flush.");
@@ -159,6 +166,7 @@ impl Metrics {
             batch_pairs: r.counter("cc_batch_pairs_total", &[]),
             client_errors: r.counter("cc_client_errors_total", &[]),
             load_shed: r.counter("cc_load_shed_total", &[]),
+            accept_errors: r.counter("cc_accept_errors_total", &[]),
             reloads: r.counter("cc_reloads_total", &[]),
             reload_failures: r.counter("cc_reload_failures_total", &[]),
             reload_duration: r.histogram("cc_reload_duration_ns", &[]),
@@ -294,7 +302,14 @@ impl AppState {
             registry,
             metrics,
             access_log: None,
+            transport: "in-process",
         }
+    }
+
+    /// Records which transport ([`crate::config::Transport`], as resolved
+    /// at bind time) feeds this state; reported by `GET /stats`.
+    pub fn set_transport_label(&mut self, label: &'static str) {
+        self.transport = label;
     }
 
     /// The metric registry backing `/stats` and `/metrics`. The server
@@ -674,6 +689,13 @@ impl AppState {
         self.metrics.load_shed.inc();
     }
 
+    /// Records one failed `accept(2)` (transient or fatal). No request was
+    /// routed, so — unlike sheds — this does not bump `cc_requests_total`;
+    /// it only feeds `cc_accept_errors_total` for the overload runbook.
+    pub fn count_accept_error(&self) {
+        self.metrics.accept_errors.inc();
+    }
+
     /// Routes one request and maintains the counters.
     pub fn handle(&self, req: &Request) -> Response {
         self.metrics.requests.inc();
@@ -685,7 +707,11 @@ impl AppState {
     }
 
     fn route(&self, req: &Request) -> Response {
-        match (req.method.as_str(), req.path.as_str()) {
+        // HEAD answers exactly like GET minus the body (load-balancer
+        // health probes commonly send it); the transport layer omits the
+        // body when serializing, so handlers never see the difference.
+        let method = if req.method == "HEAD" { "GET" } else { req.method.as_str() };
+        match (method, req.path.as_str()) {
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET", "/distance") => self.distance(req),
             ("POST", "/batch") => self.batch(req),
@@ -755,9 +781,16 @@ impl AppState {
         }
     }
 
-    /// `POST /batch` — newline-separated `u v` (or `u,v`) pairs.
+    /// `POST /batch` — newline-separated `u v` (or `u,v`) pairs as text,
+    /// or a [`cc_reactor::frame`] request when the client negotiates the
+    /// binary content type. Both planes answer from the same
+    /// `try_query_batch` call, so they are answer-identical by
+    /// construction (and pinned so by the differential suite).
     fn batch(&self, req: &Request) -> Response {
         self.metrics.batch_requests.inc();
+        if is_binary_batch(req) {
+            return self.batch_binary(req);
+        }
         let Ok(text) = std::str::from_utf8(&req.body) else {
             return Response::error_json(400, "batch body must be UTF-8");
         };
@@ -799,6 +832,28 @@ impl AppState {
                 body.push_str("]}");
                 Response::json(200, body)
             }
+            Err(e) => Response::error_json(400, e.to_string()),
+        }
+    }
+
+    /// The binary plane of `POST /batch`: a `CCBQ` frame in, a `CCBR`
+    /// frame out, zero decimal parsing/formatting on the hot path. Every
+    /// malformed frame is a 400 with a JSON error naming the defect, so a
+    /// misconfigured client gets the same diagnosability as the text plane.
+    fn batch_binary(&self, req: &Request) -> Response {
+        let pairs = match frame::decode_request_map(&req.body, |u, v| (u as usize, v as usize)) {
+            Ok(pairs) => pairs,
+            Err(e) => return Response::error_json(400, e.to_string()),
+        };
+        self.metrics.batch_pairs.add(pairs.len() as u64);
+        match self.handle.current().cached().try_query_batch(&pairs) {
+            Ok(answers) => Response {
+                status: 200,
+                content_type: frame::CONTENT_TYPE,
+                body: frame::encode_response_from(
+                    answers.iter().map(|d| d.value().unwrap_or(frame::UNREACHABLE)),
+                ),
+            },
             Err(e) => Response::error_json(400, e.to_string()),
         }
     }
@@ -934,6 +989,8 @@ impl AppState {
         o.set("batch_pairs", counter("cc_batch_pairs_total", &[]));
         o.set("client_errors", counter("cc_client_errors_total", &[]));
         o.set("load_shed", counter("cc_load_shed_total", &[]));
+        o.set("accept_errors", counter("cc_accept_errors_total", &[]));
+        o.set("transport", self.transport);
         o.set("uptime_secs", Json::Raw(format!("{:.3}", gauge("cc_uptime_seconds"))));
         tier_members(&mut o, &generation, &desc);
         o.set("reload_requests", counter("cc_endpoint_requests_total", &[("endpoint", "reload")]));
@@ -1038,6 +1095,15 @@ fn dist_json(d: Dist) -> String {
     d.value().map_or_else(|| "null".to_owned(), |x| x.to_string())
 }
 
+/// True when the request negotiated the binary batch plane. Matches the
+/// media type case-insensitively and ignores any `;`-separated parameters.
+fn is_binary_batch(req: &Request) -> bool {
+    req.content_type.as_deref().is_some_and(|ct| {
+        let media = ct.split(';').next().unwrap_or(ct).trim();
+        media.eq_ignore_ascii_case(frame::CONTENT_TYPE)
+    })
+}
+
 /// Parses a node-id query parameter, mapping every failure mode to a `400`
 /// that names the parameter.
 fn parse_id(req: &Request, name: &str) -> Result<usize, Response> {
@@ -1078,6 +1144,7 @@ mod tests {
             path: path.into(),
             query: query.iter().map(|&(k, v)| (k.to_owned(), v.to_owned())).collect(),
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         }
     }
@@ -1088,6 +1155,18 @@ mod tests {
             path: path.into(),
             query: Vec::new(),
             body: body.to_vec(),
+            content_type: None,
+            keep_alive: true,
+        }
+    }
+
+    fn post_binary(path: &str, body: &[u8]) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: Vec::new(),
+            body: body.to_vec(),
+            content_type: Some(frame::CONTENT_TYPE.to_owned()),
             keep_alive: true,
         }
     }
@@ -1163,6 +1242,109 @@ mod tests {
         assert_eq!(s.handle(&post("/batch", b"0 1 2\n")).status, 400);
         assert_eq!(s.handle(&post("/batch", b"0 99\n")).status, 400, "out-of-range pair");
         assert_eq!(s.handle(&post("/batch", &[0xff, 0xfe])).status, 400, "non-UTF-8 body");
+    }
+
+    #[test]
+    fn binary_batch_answers_match_the_text_plane_and_the_backend() {
+        let want = oracle(24, 9);
+        let s = AppState::new(oracle(24, 9), 256);
+        let pairs = [(0usize, 1usize), (2, 3), (5, 5), (0, 23)];
+        let pairs32: Vec<(u32, u32)> = pairs.iter().map(|&(u, v)| (u as u32, v as u32)).collect();
+
+        let resp = s.handle(&post_binary("/batch", &frame::encode_request(&pairs32)));
+        assert_eq!(resp.status, 200, "body: {:?}", resp.body);
+        assert_eq!(resp.content_type, frame::CONTENT_TYPE);
+        let got = frame::decode_response(&resp.body).unwrap();
+        let expected: Vec<u64> = want
+            .try_query_batch(&pairs)
+            .unwrap()
+            .iter()
+            .map(|d| d.value().unwrap_or(frame::UNREACHABLE))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn binary_batch_content_type_negotiation_ignores_params_and_case() {
+        let s = state();
+        let mut req = post_binary("/batch", &frame::encode_request(&[(0, 1)]));
+        req.content_type = Some("Application/X-CC-Batch; charset=binary".to_owned());
+        assert_eq!(s.handle(&req).status, 200);
+        // Without the content type, the same bytes hit the text parser and
+        // are rejected — never misinterpreted as decimal ids.
+        req.content_type = None;
+        assert_eq!(s.handle(&req).status, 400);
+    }
+
+    #[test]
+    fn malformed_binary_frames_are_400_not_panic() {
+        let s = state();
+        let valid = frame::encode_request(&[(0, 1), (2, 3)]);
+        let cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"CCB".to_vec(),
+            b"XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00".to_vec(),
+            valid[..valid.len() - 3].to_vec(), // truncated payload
+            frame::encode_response(&[7]),      // response magic on the request plane
+            {
+                let mut zero = valid.clone();
+                zero[4..8].copy_from_slice(&0u32.to_le_bytes()); // declares 0 pairs
+                zero
+            },
+            {
+                let mut lying = valid.clone();
+                lying[4..8].copy_from_slice(&9u32.to_le_bytes()); // declares 9, carries 2
+                lying
+            },
+        ];
+        for bytes in cases {
+            let resp = s.handle(&post_binary("/batch", &bytes));
+            assert_eq!(resp.status, 400, "frame {bytes:?} must be a 400");
+            assert_eq!(resp.content_type, "application/json");
+        }
+        // Out-of-range ids (valid frame, bad content) are 400s too.
+        let resp = s.handle(&post_binary("/batch", &frame::encode_request(&[(0, 999)])));
+        assert_eq!(resp.status, 400);
+        // The state keeps serving afterwards.
+        assert_eq!(s.handle(&get("/healthz", &[])).status, 200);
+    }
+
+    #[test]
+    fn head_routes_like_get_and_unknown_methods_stay_405() {
+        let s = state();
+        for path in ["/healthz", "/stats", "/metrics", "/artifact"] {
+            let mut req = get(path, &[]);
+            req.method = "HEAD".into();
+            let head = s.handle(&req);
+            assert_eq!(head.status, 200, "HEAD {path} must answer like GET");
+        }
+        let mut req = get("/distance", &[("u", "0"), ("v", "5")]);
+        req.method = "HEAD".into();
+        let head = s.handle(&req);
+        let get_resp = s.handle(&get("/distance", &[("u", "0"), ("v", "5")]));
+        assert_eq!((head.status, head.body), (get_resp.status, get_resp.body.clone()));
+        // HEAD on a POST-only route is still a 405, and truly unknown
+        // methods stay rejected.
+        let mut req = post("/reload", b"");
+        req.method = "HEAD".into();
+        assert_eq!(s.handle(&req).status, 405);
+        let mut req = get("/healthz", &[]);
+        req.method = "BREW".into();
+        assert_eq!(s.handle(&req).status, 405);
+    }
+
+    #[test]
+    fn accept_errors_surface_in_stats_and_transport_is_labelled() {
+        let mut s = state();
+        s.set_transport_label("epoll");
+        s.count_accept_error();
+        s.count_accept_error();
+        let stats = body_str(&s.handle(&get("/stats", &[]))).to_owned();
+        assert!(stats.contains("\"accept_errors\":2"), "stats: {stats}");
+        assert!(stats.contains("\"transport\":\"epoll\""), "stats: {stats}");
+        let metrics = body_str(&s.handle(&get("/metrics", &[]))).to_owned();
+        assert!(metrics.contains("cc_accept_errors_total 2"), "metrics: {metrics}");
+        assert!(metrics.contains("# TYPE cc_accept_errors_total counter"), "metrics: {metrics}");
     }
 
     #[test]
@@ -1294,6 +1476,7 @@ mod tests {
             path: "/reload".into(),
             query: vec![("path".to_owned(), path.display().to_string())],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         let resp = s.handle(&req);
@@ -1329,6 +1512,7 @@ mod tests {
             path: "/reload".into(),
             query: vec![("path".to_owned(), path.display().to_string())],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         assert_eq!(s.handle(&req).status, 200);
@@ -1363,6 +1547,7 @@ mod tests {
             path: "/reload".into(),
             query: vec![("path".to_owned(), path.display().to_string())],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         let resp = s.handle(&req);
@@ -1468,6 +1653,7 @@ mod tests {
                 ("path".to_owned(), paths[1].display().to_string()),
             ],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         let resp = s.handle(&req);
@@ -1487,6 +1673,7 @@ mod tests {
             path: "/reload".into(),
             query: vec![("shard".to_owned(), "1".to_owned())],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         assert_eq!(s.handle(&req).status, 200);
@@ -1501,6 +1688,7 @@ mod tests {
                 ("path".to_owned(), paths[0].display().to_string()),
             ],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         let resp = s.handle(&req);
@@ -1515,6 +1703,7 @@ mod tests {
                 path: "/reload".into(),
                 query: vec![("shard".to_owned(), bad.to_owned())],
                 body: Vec::new(),
+                content_type: None,
                 keep_alive: true,
             };
             assert_eq!(s.handle(&req).status, 400, "shard='{bad}' must be rejected");
@@ -1539,6 +1728,7 @@ mod tests {
             path: "/reload".into(),
             query: vec![("shard".to_owned(), "0".to_owned())],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         let resp = s.handle(&req);
@@ -1553,6 +1743,7 @@ mod tests {
             path: "/reload".into(),
             query: vec![("shard".to_owned(), "0".to_owned())],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         let resp = sharded.handle(&req);
@@ -1609,6 +1800,7 @@ mod tests {
                 ("path".to_owned(), shard_path.display().to_string()),
             ],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         assert_eq!(s.handle(&req).status, 200);
@@ -1625,6 +1817,7 @@ mod tests {
             path: "/reload".into(),
             query: vec![("path".to_owned(), shard_path.display().to_string())],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         let resp = s.handle(&req);
@@ -1674,6 +1867,7 @@ mod tests {
             path: "/reload".into(),
             query: vec![("path".to_owned(), other_path.display().to_string())],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         let resp = s.handle(&req);
@@ -1689,6 +1883,7 @@ mod tests {
             path: "/reload".into(),
             query: vec![("path".to_owned(), snap.display().to_string())],
             body: Vec::new(),
+            content_type: None,
             keep_alive: true,
         };
         assert_eq!(s.handle(&req).status, 200);

@@ -26,6 +26,9 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// The `Content-Type` header value verbatim, if one was sent. Handlers
+    /// use it to negotiate body encodings (e.g. the binary batch frame).
+    pub content_type: Option<String>,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
 }
@@ -132,6 +135,7 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, Ht
     };
 
     let mut content_length: Option<usize> = None;
+    let mut content_type: Option<String> = None;
     let mut keep_alive = http11; // HTTP/1.1 defaults to persistent.
     for count in 0.. {
         if count >= MAX_HEADERS {
@@ -161,13 +165,20 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, Ht
                     })?);
             }
             "connection" => {
-                let v = value.to_ascii_lowercase();
-                if v.contains("close") {
-                    keep_alive = false;
-                } else if v.contains("keep-alive") {
-                    keep_alive = true;
+                // The header is a comma-separated token list (RFC 9110
+                // §7.6.1). Match whole tokens, not substrings: a value like
+                // `keep-alive-extension` names an extension, not the
+                // `keep-alive` option, and must not flip the default.
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        keep_alive = false;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
                 }
             }
+            "content-type" => content_type = Some(value.to_owned()),
             // Only Content-Length framing is implemented; silently treating
             // a chunked body as empty would produce a *wrong 200* and
             // desync the connection, so reject it up front.
@@ -188,7 +199,7 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, Ht
     r.read_exact(&mut body)?;
 
     let (path, query) = parse_target(target);
-    Ok(Request { method: method.to_owned(), path, query, body, keep_alive })
+    Ok(Request { method: method.to_owned(), path, query, body, content_type, keep_alive })
 }
 
 /// One response to serialize.
@@ -252,10 +263,19 @@ pub fn status_text(status: u16) -> &'static str {
 
 /// Serializes `resp`; `keep_alive` picks the `Connection` header.
 ///
+/// When `head_only` is set (the request was `HEAD`), the status line and
+/// headers — including the `Content-Length` the matching `GET` would carry,
+/// per RFC 9110 §9.3.2 — are written but the body is omitted.
+///
 /// # Errors
 ///
 /// Propagates transport write errors.
-pub fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> io::Result<()> {
+pub fn write_response(
+    w: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+    head_only: bool,
+) -> io::Result<()> {
     write!(
         w,
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
@@ -265,6 +285,9 @@ pub fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> 
         resp.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    if head_only {
+        return Ok(());
+    }
     w.write_all(&resp.body)
 }
 
@@ -303,6 +326,39 @@ mod tests {
         assert!(!req.keep_alive);
         let req = parse(b"GET / HTTP/1.0\r\n\r\n", 1024).unwrap();
         assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn connection_header_matches_whole_tokens_not_substrings() {
+        // `keep-alive-extension` is some extension token, NOT the
+        // `keep-alive` option: it must not resurrect an HTTP/1.0 connection.
+        let req =
+            parse(b"GET / HTTP/1.0\r\nConnection: keep-alive-extension\r\n\r\n", 1024).unwrap();
+        assert!(!req.keep_alive, "substring match misread an extension token");
+        // ... and `x-close-notify` contains `close` but is not `close`.
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: x-close-notify\r\n\r\n", 1024).unwrap();
+        assert!(req.keep_alive, "substring match misread an unrelated token");
+    }
+
+    #[test]
+    fn connection_header_token_list_is_trimmed_and_case_insensitive() {
+        let req =
+            parse(b"GET / HTTP/1.0\r\nConnection: X-Trace , Keep-Alive\r\n\r\n", 1024).unwrap();
+        assert!(req.keep_alive, "second token should enable keep-alive on 1.0");
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: keep-alive, CLOSE\r\n\r\n", 1024).unwrap();
+        assert!(!req.keep_alive, "explicit close wins regardless of case");
+    }
+
+    #[test]
+    fn content_type_header_is_captured_verbatim() {
+        let req = parse(
+            b"POST /batch HTTP/1.1\r\nContent-Type: application/x-cc-batch\r\nContent-Length: 0\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.content_type.as_deref(), Some("application/x-cc-batch"));
+        let req = parse(b"GET / HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.content_type, None);
     }
 
     #[test]
@@ -360,10 +416,28 @@ mod tests {
     #[test]
     fn response_serialization_is_well_formed() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::error_json(400, "a \"quoted\" id"), false).unwrap();
+        write_response(&mut out, &Response::error_json(400, "a \"quoted\" id"), false, false)
+            .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 400 Bad Request\r\n"));
         assert!(text.contains("Connection: close"));
         assert!(text.ends_with("{\"error\":\"a \\\"quoted\\\" id\"}"));
+    }
+
+    #[test]
+    fn head_responses_keep_framing_headers_but_omit_the_body() {
+        let resp = Response::text(200, "ok\n");
+        let mut get_bytes = Vec::new();
+        write_response(&mut get_bytes, &resp, true, false).unwrap();
+        let mut head_bytes = Vec::new();
+        write_response(&mut head_bytes, &resp, true, true).unwrap();
+
+        let head_text = String::from_utf8(head_bytes).unwrap();
+        // Identical headers — including the Content-Length the GET body
+        // would have — then nothing after the blank line.
+        assert!(head_text.contains("Content-Length: 3\r\n"));
+        assert!(head_text.ends_with("\r\n\r\n"));
+        let get_text = String::from_utf8(get_bytes).unwrap();
+        assert_eq!(get_text.strip_suffix("ok\n"), Some(head_text.as_str()));
     }
 }

@@ -56,11 +56,24 @@
 //! set never serves.
 //!
 //! The build image has no tokio/hyper, so the transport is deliberately
-//! simple and fully owned: a non-blocking accept loop feeding a **bounded
-//! worker thread-pool** ([`pool::WorkerPool`]) with keep-alive connections,
-//! load-shedding (`503`) when the queue is full, and graceful shutdown.
-//! That pool is the seam where an async runtime plugs in later without
-//! touching the HTTP or handler layers.
+//! simple and fully owned, with two interchangeable front ends behind one
+//! **bounded worker thread-pool** ([`pool::WorkerPool`]): on Linux an
+//! **epoll reactor** (`cc-reactor`) owns the listener plus all idle
+//! keep-alive connections and hands only *ready* sockets to the pool, so
+//! accepts are event-driven and an idle connection costs no worker; the
+//! portable fallback is a sleep-polling accept loop with one worker
+//! pinned per connection. [`Transport`] (default `Auto`) selects between
+//! them — `cc-serve --transport poll` forces the fallback — and `/stats`
+//! reports the resolved choice. Both shed load (`503`) when the queue is
+//! full and shut down gracefully; the HTTP and handler layers cannot tell
+//! them apart.
+//!
+//! `POST /batch` additionally speaks a **length-prefixed binary frame
+//! format** (`Content-Type: application/x-cc-batch`, `cc_reactor::frame`):
+//! `CCBQ` + pair count + little-endian `u32` id pairs in, `CCBR` + `u64`
+//! distances (`u64::MAX` = unreachable) out — the same answers as the text
+//! plane without parse/format overhead, and the frame `cc-shard`'s RPC
+//! plane will reuse. `docs/OPERATIONS.md` specifies the wire bytes.
 //!
 //! **All request validation happens at the edge** via the oracle's fallible
 //! `try_query` / `try_query_batch` API: a malformed or out-of-range request
@@ -72,14 +85,15 @@
 //! | Route | Answer |
 //! |---|---|
 //! | `GET /distance?u=&v=` | one estimate: `{"u":0,"v":5,"distance":12,"connected":true}` |
-//! | `POST /batch` | newline `u v` (or `u,v`) pairs → `{"count":n,"distances":[...]}` |
+//! | `POST /batch` | newline `u v` (or `u,v`) pairs → `{"count":n,"distances":[...]}`; binary frames with `Content-Type: application/x-cc-batch` |
 //! | `POST /reload[?path=]` | validate + atomically swap in a new snapshot (`400` keeps the old one serving) |
 //! | `GET /stats` | request + cache + reload counters, active snapshot identity |
 //! | `GET /metrics` | the same registry snapshot in Prometheus text exposition 0.0.4 |
 //! | `GET /healthz` | liveness: `ok` |
 //! | `GET /artifact` | `n`, `k`, `ε`, landmark count, `artifact_bytes`, `stretch_bound`, snapshot identity |
 //!
-//! Disconnected pairs serve `"distance": null`.
+//! Disconnected pairs serve `"distance": null` (binary plane: `u64::MAX`).
+//! `HEAD` is answered like `GET` minus the body, with identical headers.
 //!
 //! # Quickstart
 //!
@@ -125,8 +139,8 @@
 //! # }
 //! ```
 //!
-//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
-//! whole workspace.
+//! Unsafe code is forbidden in this library (`#![forbid(unsafe_code)]`);
+//! the epoll syscalls live behind `cc-reactor`'s audited shim.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -135,11 +149,13 @@ mod config;
 mod handlers;
 pub mod http;
 pub mod pool;
+mod reactor;
 mod reload;
 mod server;
 pub mod source;
 
-pub use config::ServerConfig;
+pub use cc_reactor::frame;
+pub use config::{ServerConfig, Transport};
 pub use handlers::{AppState, ReloadOutcome};
 pub use reload::{Generation, ReloadHandle, SnapshotInfo, WARM_KEYS};
 pub use server::{BlockingClient, Server, ServerHandle};

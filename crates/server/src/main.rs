@@ -25,7 +25,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use cc_server::{source, Server, ServerConfig, SnapshotInfo};
+use cc_server::{source, Server, ServerConfig, SnapshotInfo, Transport};
 use cc_telemetry::AccessLog;
 
 /// SIGHUP → hot reload, the classic daemon convention. The handler only
@@ -103,6 +103,11 @@ USAGE:
 OPTIONS:
     --addr HOST:PORT    bind address (default 127.0.0.1:8317; port 0 = ephemeral)
     --workers N         worker threads (default: CPU count, capped at 16)
+    --transport MODE    accept/connection transport: auto (default; epoll
+                        reactor on Linux, poll loop elsewhere), epoll
+                        (require the reactor), or poll (force the portable
+                        sleep-polling loop); /stats reports the resolved
+                        choice as \"transport\"
     --cache N           LRU result-cache capacity (default 4096, 0 disables;
                         a manifest's cache_capacity takes precedence)
     --seed S            demo build seed (default 7)
@@ -144,6 +149,7 @@ struct Args {
     shard_count: usize,
     addr: String,
     workers: Option<usize>,
+    transport: Transport,
     cache: usize,
     seed: u64,
     epsilon: f64,
@@ -162,6 +168,7 @@ fn parse_args() -> Result<Args, String> {
         shard_count: 2,
         addr: "127.0.0.1:8317".to_owned(),
         workers: None,
+        transport: Transport::Auto,
         cache: 4096,
         seed: 7,
         epsilon: 0.25,
@@ -201,6 +208,7 @@ fn parse_args() -> Result<Args, String> {
                 args.workers =
                     Some(value("count")?.parse().map_err(|_| "--workers needs an integer")?);
             }
+            "--transport" => args.transport = value("mode")?.parse()?,
             "--cache" => {
                 args.cache = value("capacity")?.parse().map_err(|_| "--cache needs an integer")?;
             }
@@ -244,8 +252,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut config =
-        ServerConfig::default().with_addr(args.addr.clone()).with_cache_capacity(args.cache);
+    let mut config = ServerConfig::default()
+        .with_addr(args.addr.clone())
+        .with_cache_capacity(args.cache)
+        .with_transport(args.transport);
     if let Some(workers) = args.workers {
         config = config.with_workers(workers);
     }

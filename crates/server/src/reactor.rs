@@ -1,0 +1,269 @@
+//! The epoll transport: one reactor thread owns the listener and every
+//! idle keep-alive connection, and only *ready* sockets are handed to the
+//! worker pool.
+//!
+//! This inverts the poll transport's cost model. There, a worker is pinned
+//! to a connection for its whole life, so idle keep-alive peers occupy the
+//! bounded pool and new accepts wait on a 500 µs sleep-poll. Here the
+//! kernel tells us which sockets have bytes: accepts happen the moment a
+//! SYN lands, idle connections cost one parked map entry, and the pool's
+//! workers only ever run with a request already buffered. The handler,
+//! HTTP, and pool layers are untouched — the reactor is purely a smarter
+//! front end on the same [`WorkerPool`] seam.
+//!
+//! Flow: `epoll_wait` → ready listener? accept a burst, park each new
+//! connection → ready connection? unregister it and submit to the pool →
+//! worker serves every pipelined request ([`serve_ready`]) and sends the
+//! still-open connection back over a channel, waking the reactor to
+//! re-park it. Connections idle past the read timeout are swept. Shutdown
+//! ([`crate::ServerHandle::shutdown`]) wakes the reactor via its
+//! [`cc_reactor::Waker`]; it drops parked connections and joins the pool.
+
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use cc_reactor::Poller;
+
+use crate::handlers::AppState;
+use crate::ServerConfig;
+
+/// Token under which the listening socket is registered; connection tokens
+/// start above it and are never reused for the listener.
+pub(crate) const LISTENER_TOKEN: u64 = 0;
+
+#[cfg(unix)]
+mod imp {
+    use super::{AppState, Poller, ServerConfig, TcpListener, LISTENER_TOKEN};
+    use std::collections::HashMap;
+    use std::io;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    use crate::pool::{SubmitError, WorkerPool};
+    use crate::server::{
+        classify_accept_error, serve_ready, shed, AcceptBackoff, AcceptErrorClass, Conn,
+    };
+    use cc_reactor::Event;
+
+    /// Upper bound on one `epoll_wait`, so the shutdown flag and the idle
+    /// sweep are checked regularly even on a silent server.
+    const MAX_WAIT: Duration = Duration::from_millis(500);
+
+    struct Parked {
+        conn: Conn,
+        deadline: Instant,
+    }
+
+    pub(super) fn reactor_loop(
+        listener: &TcpListener,
+        config: &ServerConfig,
+        state: &Arc<AppState>,
+        shutdown: &Arc<AtomicBool>,
+        poller: &Poller,
+    ) {
+        let waker = poller.waker();
+        // Workers return still-open connections on this channel; `Sender`
+        // is not `Sync`, hence the mutex (uncontended in practice — sends
+        // are short and the reactor never holds it).
+        let (done_tx, done_rx) = mpsc::channel::<Conn>();
+        let done_tx = Arc::new(Mutex::new(done_tx));
+
+        // The pool owns the connection handlers; dropping it at the end of
+        // this function drains the queue and joins the workers.
+        let pool: WorkerPool<Conn> = {
+            let state = Arc::clone(state);
+            let shutdown = Arc::clone(shutdown);
+            let max_body = config.max_body_bytes;
+            let read_timeout = config.read_timeout;
+            let done_tx = Arc::clone(&done_tx);
+            let depth = state.registry().gauge("cc_pool_queue_depth", &[]);
+            WorkerPool::with_queue_gauge(
+                "cc-serve-worker",
+                config.workers,
+                config.backlog,
+                depth,
+                move |conn| {
+                    if let Some(conn) = serve_ready(&state, conn, max_body, read_timeout, &shutdown)
+                    {
+                        if shutdown.load(Ordering::Acquire) {
+                            return; // shutting down: close instead of re-parking
+                        }
+                        let sent = done_tx.lock().map(|tx| tx.send(conn).is_ok()).unwrap_or(false);
+                        if sent {
+                            waker.wake();
+                        }
+                    }
+                },
+            )
+        };
+
+        let idle = config.read_timeout;
+        let mut parked: HashMap<u64, Parked> = HashMap::new();
+        let mut next_token: u64 = LISTENER_TOKEN + 1;
+        let mut events: Vec<Event> = Vec::new();
+        let mut backoff = AcceptBackoff::new();
+        let mut accepting = true;
+
+        while !shutdown.load(Ordering::Acquire) {
+            let timeout =
+                parked.values().map(|p| p.deadline).min().map_or(MAX_WAIT, |d| {
+                    d.saturating_duration_since(Instant::now()).min(MAX_WAIT)
+                });
+            events.clear();
+            if poller.wait(&mut events, Some(timeout)).is_err() {
+                // epoll itself failed; nothing event-driven can continue.
+                eprintln!("cc-serve: reactor wait failed, stopping transport");
+                break;
+            }
+            for ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    if accepting {
+                        accepting = accept_burst(
+                            listener,
+                            config,
+                            state,
+                            poller,
+                            &mut parked,
+                            &mut next_token,
+                            &mut backoff,
+                        );
+                    }
+                } else if let Some(p) = parked.remove(&ev.token) {
+                    let _ = poller.delete(p.conn.fd());
+                    // Dispatch even when `closed` was flagged: RDHUP can
+                    // arrive together with the final request bytes
+                    // (half-close); the worker sees EOF after serving them.
+                    match pool.try_submit(p.conn) {
+                        Ok(()) => {}
+                        Err(SubmitError::Full(mut conn) | SubmitError::Closed(mut conn)) => {
+                            shed(state, &mut conn.writer);
+                        }
+                    }
+                }
+            }
+            // Re-park connections the workers finished with. Tokens are
+            // per-parking, not per-connection: a fresh one each time keeps
+            // stale events (already-removed tokens) harmless.
+            while let Ok(conn) = done_rx.try_recv() {
+                let token = next_token;
+                next_token += 1;
+                park(poller, &mut parked, conn, token, Instant::now() + idle);
+            }
+            // Idle sweep: cut loose keep-alive peers past the read timeout,
+            // exactly like the poll transport's per-socket read timeout.
+            let now = Instant::now();
+            let expired: Vec<u64> =
+                parked.iter().filter(|(_, p)| p.deadline <= now).map(|(token, _)| *token).collect();
+            for token in expired {
+                if let Some(p) = parked.remove(&token) {
+                    let _ = poller.delete(p.conn.fd());
+                }
+            }
+        }
+
+        // Shutdown: parked peers are dropped (idle by definition), the pool
+        // drains and joins, then anything workers returned meanwhile drops.
+        for (_, p) in parked.drain() {
+            let _ = poller.delete(p.conn.fd());
+        }
+        drop(pool);
+        while done_rx.try_recv().is_ok() {}
+    }
+
+    /// Registers a connection for readiness and remembers its deadline; a
+    /// registration failure just closes the connection.
+    fn park(
+        poller: &Poller,
+        parked: &mut HashMap<u64, Parked>,
+        conn: Conn,
+        token: u64,
+        deadline: Instant,
+    ) {
+        if poller.add(conn.fd(), token).is_ok() {
+            parked.insert(token, Parked { conn, deadline });
+        }
+    }
+
+    /// Accepts until the listener would block. Returns `false` when a fatal
+    /// accept error retired the listener (parked connections still serve).
+    fn accept_burst(
+        listener: &TcpListener,
+        config: &ServerConfig,
+        state: &AppState,
+        poller: &Poller,
+        parked: &mut HashMap<u64, Parked>,
+        next_token: &mut u64,
+        backoff: &mut AcceptBackoff,
+    ) -> bool {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    backoff.reset();
+                    // The listener is non-blocking; the connection is
+                    // served blocking by whichever worker gets it.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    if let Ok(conn) = Conn::new(stream, config.read_timeout) {
+                        let token = *next_token;
+                        *next_token += 1;
+                        // Fresh connections are parked, not dispatched: the
+                        // first bytes are typically an RTT away, and level-
+                        // triggered epoll fires immediately if they beat us.
+                        park(poller, parked, conn, token, Instant::now() + config.read_timeout);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) => {
+                    state.count_accept_error();
+                    match classify_accept_error(&e) {
+                        AcceptErrorClass::Transient => {}
+                        AcceptErrorClass::Overload => {
+                            // Bounded sleep on the reactor thread: accepting
+                            // is pointless while the kernel is out of
+                            // resources, and the level-triggered listener
+                            // re-fires once we return to `wait`.
+                            std::thread::sleep(backoff.next());
+                            return true;
+                        }
+                        AcceptErrorClass::Fatal => {
+                            eprintln!("cc-serve: fatal accept error, no longer accepting: {e}");
+                            use std::os::fd::AsRawFd;
+                            let _ = poller.delete(listener.as_raw_fd());
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the epoll transport until shutdown. See the module docs for the
+/// event flow; the portable poll loop is `crate::server`'s `accept_loop`.
+#[cfg(unix)]
+pub(crate) fn reactor_loop(
+    listener: &TcpListener,
+    config: &ServerConfig,
+    state: &Arc<AppState>,
+    shutdown: &Arc<AtomicBool>,
+    poller: &Poller,
+) {
+    imp::reactor_loop(listener, config, state, shutdown, poller);
+}
+
+/// Off-unix stand-in. Unreachable in practice — transport resolution never
+/// yields a poller here — but if it somehow runs, serve via the poll loop
+/// rather than going dark.
+#[cfg(not(unix))]
+pub(crate) fn reactor_loop(
+    listener: &TcpListener,
+    config: &ServerConfig,
+    state: &Arc<AppState>,
+    shutdown: &Arc<AtomicBool>,
+    _poller: &Poller,
+) {
+    crate::server::accept_loop(listener, config, state, shutdown);
+}

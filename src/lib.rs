@@ -70,8 +70,11 @@
 //! # }
 //! ```
 //!
-//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
-//! whole workspace.
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`) here and in every
+//! algorithmic crate; the one exception in the workspace is `cc-reactor`'s
+//! confined, individually-annotated `epoll`/`eventfd` syscall shim (and the
+//! matching SIGHUP hook in the `cc-serve` binary), which the serving tier's
+//! event-driven transport is built on.
 
 #![forbid(unsafe_code)]
 

@@ -1,0 +1,226 @@
+//! The binary `/batch` plane, attacked and differentially pinned.
+//!
+//! Two properties, both over real TCP sockets:
+//!
+//! 1. **Robustness** (fuzz): arbitrary, truncated, and deliberately lying
+//!    binary frames are answered with `400` — never a panic, never a hung
+//!    connection — and the server keeps serving afterwards. The expected
+//!    status is computed locally with the same `frame` codec the server
+//!    uses, so the fuzz is differential too: the server accepts exactly
+//!    the frames the codec accepts (modulo id range checks).
+//!
+//! 2. **Equivalence** (differential): for gnp, road-like, and
+//!    disconnected multi-island graphs, the binary plane's `u64`
+//!    distances equal the text plane's JSON distances equal the in-process
+//!    `try_query_batch` answers — with `u64::MAX` as the wire sentinel
+//!    for `∞` exactly where the text plane says `null`.
+
+use std::sync::OnceLock;
+
+use congested_clique::clique::Clique;
+use congested_clique::graph::{generators, Graph};
+use congested_clique::oracle::{DistanceOracle, OracleBuilder};
+use congested_clique::serve::{frame, BlockingClient, Server, ServerConfig, ServerHandle};
+use proptest::prelude::*;
+
+fn build(g: &Graph, seed: u64) -> DistanceOracle {
+    let mut clique = Clique::new(g.n());
+    OracleBuilder::new().seed(seed).build(&mut clique, g).expect("oracle build")
+}
+
+fn start(oracle: DistanceOracle) -> ServerHandle {
+    Server::start(&ServerConfig::default().with_addr("127.0.0.1:0"), oracle).expect("server start")
+}
+
+/// Parses `"distances":[...]` from a text-plane `/batch` response, with
+/// `None` for JSON `null` (disconnected pairs).
+fn parse_distances(body: &[u8]) -> Vec<Option<u64>> {
+    let text = std::str::from_utf8(body).expect("utf-8 body");
+    let rest = text.split_once("\"distances\":[").expect("distances key").1;
+    let inner = rest.split_once(']').expect("array close").0;
+    if inner.trim().is_empty() {
+        return Vec::new();
+    }
+    inner
+        .split(',')
+        .map(|tok| {
+            let tok = tok.trim();
+            if tok == "null" {
+                None
+            } else {
+                Some(tok.parse().expect("numeric distance"))
+            }
+        })
+        .collect()
+}
+
+/// One query set, three answers: in-process backend, text plane, binary
+/// plane. All three must agree, with `∞ ↔ null ↔ u64::MAX` aligned.
+fn assert_planes_agree(oracle: &DistanceOracle, handle: &ServerHandle, pairs: &[(u32, u32)]) {
+    let upairs: Vec<(usize, usize)> =
+        pairs.iter().map(|&(u, v)| (u as usize, v as usize)).collect();
+    let expected: Vec<u64> = oracle
+        .try_query_batch(&upairs)
+        .expect("in-range batch")
+        .iter()
+        .map(|d| d.value().unwrap_or(frame::UNREACHABLE))
+        .collect();
+
+    let mut client = BlockingClient::connect(handle.addr()).expect("connect");
+
+    let (status, body) = client
+        .post_with_content_type("/batch", frame::CONTENT_TYPE, &frame::encode_request(pairs))
+        .expect("binary post");
+    assert_eq!(status, 200, "binary batch must succeed");
+    let binary = frame::decode_response(&body).expect("well-formed response frame");
+    assert_eq!(binary, expected, "binary plane diverged from try_query_batch");
+
+    let text_req: String = pairs.iter().map(|(u, v)| format!("{u} {v}\n")).collect();
+    let (status, body) = client.post("/batch", text_req.as_bytes()).expect("text post");
+    assert_eq!(status, 200, "text batch must succeed");
+    let text: Vec<u64> =
+        parse_distances(&body).iter().map(|d| d.unwrap_or(frame::UNREACHABLE)).collect();
+    assert_eq!(text, expected, "text plane diverged from try_query_batch");
+}
+
+/// Every pair (u, v) with v sweeping the graph: diagonal, dense coverage.
+fn coverage_pairs(n: u32) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for u in 0..n {
+        pairs.push((u, u));
+        for v in (0..n).step_by(3) {
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+#[test]
+fn binary_and_text_planes_match_the_backend_on_gnp() {
+    let g = generators::gnp_weighted(40, 0.15, 30, 21).expect("graph");
+    let oracle = build(&g, 21);
+    let handle = start(oracle.clone());
+    assert_planes_agree(&oracle, &handle, &coverage_pairs(40));
+    handle.shutdown();
+}
+
+#[test]
+fn binary_and_text_planes_match_the_backend_on_road_like() {
+    let g = generators::road_like(5, 6, 40, 9).expect("graph");
+    let oracle = build(&g, 9);
+    let n = u32::try_from(g.n()).expect("small graph");
+    let handle = start(oracle.clone());
+    assert_planes_agree(&oracle, &handle, &coverage_pairs(n));
+    handle.shutdown();
+}
+
+#[test]
+fn binary_and_text_planes_match_the_backend_on_disconnected_islands() {
+    use congested_clique::matrix::Dist;
+    // Three islands: most pairs are ∞ and must serve as u64::MAX on the
+    // binary plane, null on the text plane.
+    let g =
+        Graph::from_edges(12, [(0, 1, 3), (1, 2, 5), (4, 5, 2), (5, 6, 7), (6, 7, 1), (9, 10, 4)])
+            .expect("graph");
+    let oracle = build(&g, 3);
+    assert_eq!(oracle.try_query(0, 4).expect("in range"), Dist::INF, "sanity: disconnected");
+    let handle = start(oracle.clone());
+    assert_planes_agree(&oracle, &handle, &coverage_pairs(12));
+
+    // Pin the sentinel explicitly: a known-∞ pair is exactly u64::MAX.
+    let mut client = BlockingClient::connect(handle.addr()).expect("connect");
+    let (status, body) = client
+        .post_with_content_type("/batch", frame::CONTENT_TYPE, &frame::encode_request(&[(0, 4)]))
+        .expect("post");
+    assert_eq!(status, 200);
+    assert_eq!(frame::decode_response(&body).expect("frame"), vec![frame::UNREACHABLE]);
+    handle.shutdown();
+}
+
+/// Node count of the long-lived fuzz target server.
+const FUZZ_N: u32 = 24;
+
+/// One server shared by all fuzz cases (static, so it outlives them all).
+fn fuzz_server() -> &'static ServerHandle {
+    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let g = generators::gnp_weighted(FUZZ_N as usize, 0.2, 30, 5).expect("graph");
+        start(build(&g, 5))
+    })
+}
+
+/// Posts `bytes` as a binary frame and asserts the server stays healthy:
+/// the status matches what the codec predicts, and a fresh `/healthz` on a
+/// new connection still answers 200.
+fn post_and_check(bytes: &[u8]) {
+    let handle = fuzz_server();
+    let mut client = BlockingClient::connect(handle.addr()).expect("connect");
+    let (status, _body) =
+        client.post_with_content_type("/batch", frame::CONTENT_TYPE, bytes).expect("post");
+    let expected = match frame::decode_request(bytes) {
+        Ok(pairs) if pairs.iter().all(|&(u, v)| u < FUZZ_N && v < FUZZ_N) => 200,
+        _ => 400,
+    };
+    assert_eq!(status, expected, "frame bytes: {bytes:?}");
+    let (status, body) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200, "server must keep serving after a hostile frame");
+    assert_eq!(body, b"ok\n");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary bytes: accepted iff the codec accepts them and every id
+    /// is in range; the server survives regardless.
+    #[test]
+    fn garbage_frames_never_panic_the_server(
+        bytes in prop::collection::vec((0u16..256).prop_map(|b| b as u8), 0..64),
+    ) {
+        post_and_check(&bytes);
+    }
+
+    /// Valid frames cut anywhere (including to zero bytes) are 400s:
+    /// truncation can never smuggle a shorter valid batch through.
+    #[test]
+    fn truncated_frames_are_rejected(
+        pairs in prop::collection::vec((0u32..FUZZ_N, 0u32..FUZZ_N), 1..8),
+        cut_frac in 0usize..10_000,
+    ) {
+        let full = frame::encode_request(&pairs);
+        let cut = cut_frac * full.len() / 10_000; // 0 <= cut < full.len()
+        post_and_check(&full[..cut]);
+    }
+
+    /// A count field that disagrees with the payload length is a 400 —
+    /// including counts whose implied length dwarfs the body limit, which
+    /// must be rejected by arithmetic, not by attempting the allocation.
+    #[test]
+    fn lying_count_fields_are_rejected(
+        pairs in prop::collection::vec((0u32..FUZZ_N, 0u32..FUZZ_N), 1..8),
+        lie in prop_oneof![
+            3 => 0u32..16,
+            1 => Just(1u32 << 20), // implies ~8 MiB: past the 1 MiB body cap
+            1 => Just(u32::MAX),   // implies ~32 GiB: must not allocate
+        ],
+    ) {
+        let mut bytes = frame::encode_request(&pairs);
+        bytes[4..8].copy_from_slice(&lie.to_le_bytes());
+        post_and_check(&bytes);
+    }
+
+    /// Requests built from response frames (wrong magic for the plane) are
+    /// rejected: the two directions cannot be confused.
+    #[test]
+    fn response_frames_on_the_request_plane_are_rejected(
+        distances in prop::collection::vec(0u64..1000, 1..8),
+    ) {
+        post_and_check(&frame::encode_response(&distances));
+    }
+}
+
+#[test]
+fn zero_pair_frames_are_rejected() {
+    let mut bytes = Vec::from(frame::REQUEST_MAGIC);
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    post_and_check(&bytes);
+}
