@@ -1,4 +1,6 @@
-// Well-formed: names a known rule and states why the suppression is safe.
+// cc-lint-fixture-path: crates/server/src/handlers.rs
+// Well-formed: names a known rule, states why the suppression is safe,
+// and actually suppresses a finding (unused allows are themselves flagged).
 fn startup(z: Option<u64>) -> u64 {
     z.expect("config parsed at boot") // cc-lint: allow(no_panic) -- startup path; the process has not accepted traffic yet
 }

@@ -1,0 +1,30 @@
+// The same inversion hidden behind a call: `ab` holds alpha while calling
+// a helper that takes beta; `ba` holds beta while calling a helper that
+// takes alpha. Neither function touches both locks in its own body — the
+// cycle only exists in the call graph's effective lock sets.
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        *a + self.read_beta()
+    }
+
+    fn read_beta(&self) -> u64 {
+        *self.beta.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn ba(&self) -> u64 {
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        *b + self.read_alpha()
+    }
+
+    fn read_alpha(&self) -> u64 {
+        *self.alpha.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -1,0 +1,26 @@
+// The fixed twin: every path that needs both locks takes alpha before
+// beta. The order graph has edges but no cycle.
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u64 {
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+
+    pub fn diff(&self) -> u64 {
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        *a - *b
+    }
+
+    pub fn alpha_only(&self) -> u64 {
+        *self.alpha.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

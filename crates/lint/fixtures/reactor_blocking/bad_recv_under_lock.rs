@@ -1,0 +1,10 @@
+// cc-lint-fixture-path: crates/server/src/reactor.rs
+// Two reactor hazards: an unbounded recv on the dispatch path, and a
+// wait made with a lock guard still in hand.
+fn reactor_loop(rx: Receiver, state: Shared) {
+    loop {
+        let conn = rx.recv();
+        let guard = state.inner.lock().unwrap_or_else(|e| e.into_inner());
+        guard.poller.wait(&mut Vec::new());
+    }
+}

@@ -1,0 +1,19 @@
+// cc-lint-fixture-path: crates/server/src/reactor.rs
+// A blocking sleep two calls away from the dispatch loop: the PR 9
+// overload backoff, minimized. Every parked connection stalls while the
+// reactor sleeps.
+fn reactor_loop(events: Events) {
+    loop {
+        dispatch(&events);
+    }
+}
+
+fn dispatch(events: &Events) {
+    if events.overloaded() {
+        backoff();
+    }
+}
+
+fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(100));
+}

@@ -1,0 +1,21 @@
+// cc-lint-fixture-path: crates/server/src/reactor.rs
+// The fixed twin: backoff becomes a deadline the event-loop timeout
+// honors, channel drains use try_recv, and the poller wait happens with
+// no guard held.
+fn reactor_loop(rx: Receiver, poller: Poller) {
+    let mut resume_at: Option<Instant> = None;
+    loop {
+        let timeout = deadline_timeout(resume_at);
+        poller.wait(&mut Vec::new(), timeout);
+        while let Ok(conn) = rx.try_recv() {
+            park(conn);
+        }
+        if events_overloaded() {
+            resume_at = Some(next_deadline());
+        }
+    }
+}
+
+fn deadline_timeout(resume_at: Option<Instant>) -> Duration {
+    resume_at.map_or(MAX_WAIT, |d| d.saturating_duration_since(Instant::now()))
+}

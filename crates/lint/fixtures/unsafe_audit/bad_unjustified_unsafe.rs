@@ -1,0 +1,6 @@
+// cc-lint-fixture-path: crates/server/src/handlers.rs
+// Unsafe outside the audited allowlist, and with no SAFETY comment: two
+// findings, one per missing discipline.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,14 @@
+// cc-lint-fixture-path: crates/reactor/src/sys.rs
+// The sanctioned shape: the allowlisted syscall module, each site under a
+// SAFETY comment stating the invariant (an interleaved attribute between
+// the comment and the `unsafe` token is fine).
+pub(crate) fn epoll_create() -> io::Result<i32> {
+    // SAFETY: no pointers involved; epoll_create1 allocates a kernel
+    // object and returns a descriptor or -1.
+    #[allow(unsafe_code)]
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}

@@ -78,6 +78,10 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// All `// cc-lint:` comments found, well-formed or not.
     pub allows: Vec<Allow>,
+    /// 1-based lines of comments that open a safety justification
+    /// (`// SAFETY: ...`). The `unsafe_audit` rule requires one of these
+    /// within a few lines above every `unsafe` site.
+    pub safety_lines: Vec<u32>,
 }
 
 /// Lexes `src` into tokens. Never panics, whatever the input.
@@ -146,6 +150,8 @@ impl Lexer {
         let body = text.trim_start_matches('/').trim_start_matches('!').trim();
         if let Some(rest) = body.strip_prefix("cc-lint:") {
             self.out.allows.push(parse_allow(rest.trim(), line));
+        } else if body.starts_with("SAFETY:") {
+            self.out.safety_lines.push(line);
         }
     }
 

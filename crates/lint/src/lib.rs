@@ -4,30 +4,42 @@
 //! mechanically-detectable pattern: the saturating-add that turned connected
 //! pairs into the ∞ sentinel (PR 2), the cache's check-then-insert
 //! double-lock race (PR 2), the queue-depth gauge racing its own decrement
-//! (PR 6). cc-lint encodes those invariants as named, individually
-//! suppressible rules over a hand-rolled token stream (no `syn`; the build
-//! image has no registry access) so the next occurrence fails CI instead of
-//! shipping.
+//! (PR 6), the reactor thread sleeping through an overloaded accept (PR 9).
+//! cc-lint encodes those invariants as named, individually suppressible
+//! rules (no `syn`; the build image has no registry access) so the next
+//! occurrence fails CI instead of shipping.
 //!
-//! See `docs/LINTS.md` for the rule catalog and
-//! `crates/lint/fixtures/` for the known-bad corpus each rule is proven
-//! against (including the literal pre-fix PR 2 and PR 6 code).
+//! Two analysis tiers share one lexer:
 //!
-//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`), as across the
-//! whole workspace.
+//! - **Token rules** ([`rules::Rule`]) see one file's token stream at a
+//!   time — pattern bans like `distance_arith` or `no_panic`.
+//! - **Workspace rules** ([`rules::WorkspaceRule`]) run over the whole
+//!   workspace IR: the parser ([`parser`]) recovers items and per-function
+//!   facts, the graph layer ([`graph`]) resolves calls, and the rules walk
+//!   reachability and lock order across function boundaries
+//!   (`lock_order`, `reactor_blocking`, `unsafe_audit`, `panic_path`).
+//!
+//! See `docs/LINTS.md` for the catalog and `crates/lint/fixtures/` for the
+//! known-bad corpus each rule is proven against.
+//!
+//! Unsafe code is forbidden (`#![forbid(unsafe_code)]`) — the checker
+//! practices what `unsafe_audit` preaches.
 
 #![forbid(unsafe_code)]
 
 pub mod findings;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod walk;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use findings::{Finding, Report, Severity, UsedAllow};
-use lexer::{lex, test_code_mask, Allow};
+use graph::WorkspaceIr;
+use lexer::{lex, test_code_mask, Allow, Lexed};
 use rules::{FileContext, Rule};
 
 /// Name of the built-in rule that polices allow-comments themselves.
@@ -60,36 +72,199 @@ impl Config {
     }
 }
 
-/// True if `name` is a known rule name (including the allow-hygiene rule).
+/// True if `name` is a known rule name (token, workspace, or hygiene).
 pub fn known_rule(name: &str) -> bool {
-    name == ALLOW_HYGIENE || rules::all_rules().iter().any(|r| r.name() == name)
+    name == ALLOW_HYGIENE
+        || rules::all_rules().iter().any(|r| r.name() == name)
+        || rules::workspace_rules().iter().any(|r| r.name() == name)
 }
 
-/// Lints a set of workspace-relative files under `root`.
-///
-/// `only` restricts the registry to one rule and ignores its path scoping —
-/// the fixture runner uses this to point a single rule at a bad snippet.
-pub fn lint_paths(root: &Path, files: &[PathBuf], config: &Config, only: Option<&str>) -> Report {
+/// How a workspace lint run is scoped.
+#[derive(Debug, Default)]
+pub struct LintOptions {
+    /// When set, only findings anchored in these files are reported (the
+    /// `--changed-only` / explicit-path modes). The workspace IR is still
+    /// built from every file passed in, so call-graph rules see the whole
+    /// picture and only the *reporting* is narrowed.
+    pub report_files: Option<BTreeSet<String>>,
+    /// Flag well-formed allow-comments that suppressed nothing this run.
+    /// Only meaningful on full-workspace runs — a narrowed run cannot
+    /// know whether an allow is globally unused.
+    pub enforce_unused_allows: bool,
+}
+
+/// Lints a set of workspace-relative files under `root`: token rules per
+/// file, then the workspace rules over the assembled IR of *all* files.
+pub fn lint_workspace(
+    root: &Path,
+    files: &[PathBuf],
+    config: &Config,
+    opts: &LintOptions,
+) -> Report {
     let registry = rules::all_rules();
     let mut report = Report::default();
+    let in_scope = |path: &str| opts.report_files.as_ref().is_none_or(|s| s.contains(path));
+
+    // Lex every file once; token rules only on in-scope files.
+    let mut preps: Vec<(String, Lexed, Vec<bool>)> = Vec::new();
+    let mut raw: Vec<Finding> = Vec::new();
     for rel in files {
         let Ok(src) = walk::read_source(root, rel) else {
             continue;
         };
         let path = rel.to_string_lossy().into_owned();
-        report.files_checked += 1;
-        lint_source(&path, &src, &registry, config, only, &mut report);
+        let lexed = lex(&src);
+        let mask = test_code_mask(&lexed.tokens);
+        if in_scope(&path) {
+            report.files_checked += 1;
+            let ctx = FileContext { path: &path, tokens: &lexed.tokens, test_mask: &mask };
+            for rule in &registry {
+                if !rule.applies_to(&path) {
+                    continue;
+                }
+                for f in rule.check(&ctx) {
+                    raw.push(Finding {
+                        rule: rule.name(),
+                        file: path.clone(),
+                        line: f.line,
+                        message: f.message,
+                        severity: config.severity(rule.name()),
+                    });
+                }
+            }
+        }
+        preps.push((path, lexed, mask));
     }
+
+    // Workspace pass: parse everything, assemble the graph, run the
+    // call-graph rules, narrow the *reporting* to in-scope files.
+    let irs: Vec<parser::FileIr> =
+        preps.iter().map(|(path, lexed, mask)| parser::parse_file(path, lexed, mask)).collect();
+    let ws = WorkspaceIr::build(irs);
+    for rule in rules::workspace_rules() {
+        for f in rule.check(&ws) {
+            if in_scope(&f.file) {
+                raw.push(Finding {
+                    rule: rule.name(),
+                    file: f.file,
+                    line: f.line,
+                    message: f.message,
+                    severity: config.severity(rule.name()),
+                });
+            }
+        }
+    }
+
+    let allows: Vec<(String, Vec<Allow>)> =
+        preps.into_iter().map(|(path, lexed, _)| (path, lexed.allows)).collect();
+    settle(raw, &allows, config, opts.enforce_unused_allows, &in_scope, &mut report);
     report
 }
 
-/// Lints one in-memory source file and appends into `report`.
+/// True if an allow listing `allowed` suppresses a finding for `rule`.
+/// `panic_path` honors `no_panic` allows: a justified panic site needs one
+/// comment, not one per analysis tier.
+fn allow_covers(allowed: &[String], rule: &str) -> bool {
+    allowed.iter().any(|a| a == rule)
+        || (rule == "panic_path" && allowed.iter().any(|a| a == "no_panic"))
+}
+
+/// Applies allow-comments to raw findings, then reports allow hygiene:
+/// malformed/unknown/reasonless allows always, unused allows when
+/// `enforce_unused` (with the file:line span, so they are removable
+/// one-click).
+fn settle(
+    mut raw: Vec<Finding>,
+    allows: &[(String, Vec<Allow>)],
+    config: &Config,
+    enforce_unused: bool,
+    in_scope: &dyn Fn(&str) -> bool,
+    report: &mut Report,
+) {
+    let mut suppressed: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    raw.retain(|f| {
+        for (fi, (path, file_allows)) in allows.iter().enumerate() {
+            if *path != f.file {
+                continue;
+            }
+            for (ai, a) in file_allows.iter().enumerate() {
+                let covers_line = f.line == a.line || f.line == a.line + 1;
+                if a.well_formed && covers_line && allow_covers(&a.rules, f.rule) {
+                    *suppressed.entry((fi, ai)).or_default() += 1;
+                    return false;
+                }
+            }
+        }
+        true
+    });
+    report.findings.extend(raw);
+
+    for (fi, (path, file_allows)) in allows.iter().enumerate() {
+        if !in_scope(path) {
+            continue;
+        }
+        for (ai, a) in file_allows.iter().enumerate() {
+            if let Some(problem) = allow_problem(a) {
+                report.findings.push(Finding {
+                    rule: ALLOW_HYGIENE,
+                    file: path.clone(),
+                    line: a.line,
+                    message: problem,
+                    severity: config.severity(ALLOW_HYGIENE),
+                });
+                continue;
+            }
+            let count = suppressed.get(&(fi, ai)).copied().unwrap_or(0);
+            if enforce_unused && count == 0 {
+                report.findings.push(Finding {
+                    rule: ALLOW_HYGIENE,
+                    file: path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "unused allow({}) at {path}:{} — it suppressed nothing this run; \
+                         delete the comment",
+                        a.rules.join(", "),
+                        a.line
+                    ),
+                    severity: config.severity(ALLOW_HYGIENE),
+                });
+            }
+            report.allows.push(UsedAllow {
+                file: path.clone(),
+                line: a.line,
+                rules: a.rules.clone(),
+                reason: a.reason.clone().unwrap_or_default(),
+                suppressed: count,
+            });
+        }
+    }
+}
+
+/// Lints one in-memory source file with the token rules and appends into
+/// `report`. `only` restricts the registry to one rule and ignores its
+/// path scoping — the fixture runner uses this to point a single rule at
+/// a bad snippet. Workspace rules do not run here; see
+/// [`lint_source_workspace`].
 pub fn lint_source(
     path: &str,
     src: &str,
     registry: &[Box<dyn Rule>],
     config: &Config,
     only: Option<&str>,
+    report: &mut Report,
+) {
+    lint_source_opts(path, src, registry, config, only, false, report);
+}
+
+/// [`lint_source`] plus unused-allow enforcement (the allow-hygiene
+/// fixture corpus exercises it).
+fn lint_source_opts(
+    path: &str,
+    src: &str,
+    registry: &[Box<dyn Rule>],
+    config: &Config,
+    only: Option<&str>,
+    enforce_unused: bool,
     report: &mut Report,
 ) {
     let lexed = lex(src);
@@ -115,43 +290,41 @@ pub fn lint_source(
             });
         }
     }
+    let allows = vec![(path.to_owned(), lexed.allows)];
+    settle(raw, &allows, config, enforce_unused, &|_| true, report);
+}
 
-    // Apply allow-comments: a well-formed allow suppresses listed rules on
-    // its own line and the next (trailing or standalone-above placement).
-    let mut suppressed = vec![0usize; lexed.allows.len()];
-    raw.retain(|f| {
-        for (ai, a) in lexed.allows.iter().enumerate() {
-            let covers_line = f.line == a.line || f.line == a.line + 1;
-            if a.well_formed && covers_line && a.rules.iter().any(|r| r == f.rule) {
-                suppressed[ai] += 1;
-                return false;
-            }
+/// Runs one workspace rule against a single in-memory file (fixture
+/// mode): the file parses into a one-file workspace IR, so call-graph
+/// rules exercise their whole pipeline on a minimized corpus entry.
+pub fn lint_source_workspace(
+    path: &str,
+    src: &str,
+    rule_name: &str,
+    config: &Config,
+    report: &mut Report,
+) {
+    let lexed = lex(src);
+    let mask = test_code_mask(&lexed.tokens);
+    let ir = parser::parse_file(path, &lexed, &mask);
+    let ws = WorkspaceIr::build(vec![ir]);
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in rules::workspace_rules() {
+        if rule.name() != rule_name {
+            continue;
         }
-        true
-    });
-    report.findings.extend(raw);
-
-    // The allow-hygiene rule: every cc-lint comment must be well-formed,
-    // name known rules, and state a reason.
-    for (ai, a) in lexed.allows.iter().enumerate() {
-        if let Some(problem) = allow_problem(a) {
-            report.findings.push(Finding {
-                rule: ALLOW_HYGIENE,
-                file: path.to_owned(),
-                line: a.line,
-                message: problem,
-                severity: config.severity(ALLOW_HYGIENE),
-            });
-        } else {
-            report.allows.push(UsedAllow {
-                file: path.to_owned(),
-                line: a.line,
-                rules: a.rules.clone(),
-                reason: a.reason.clone().unwrap_or_default(),
-                suppressed: suppressed[ai],
+        for f in rule.check(&ws) {
+            raw.push(Finding {
+                rule: rule.name(),
+                file: f.file,
+                line: f.line,
+                message: f.message,
+                severity: config.severity(rule.name()),
             });
         }
     }
+    let allows = vec![(path.to_owned(), lexed.allows)];
+    settle(raw, &allows, config, false, &|_| true, report);
 }
 
 /// Why an allow-comment is unacceptable, if it is.
@@ -171,11 +344,24 @@ fn allow_problem(a: &Allow) -> Option<String> {
     None
 }
 
+/// A fixture may point path-scoped rules at a real workspace location via
+/// a magic first comment: `// cc-lint-fixture-path: crates/...`.
+fn fixture_path_override(src: &str) -> Option<String> {
+    src.lines()
+        .find_map(|l| l.trim().strip_prefix("// cc-lint-fixture-path:"))
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+}
+
 /// Runs every rule against its fixture corpus under `fixtures_dir`.
 ///
 /// Layout: `fixtures/<rule>/bad_*.rs` must each produce at least one
-/// `<rule>` finding; `fixtures/<rule>/good_*.rs` must produce none. Returns
-/// a log plus overall success — the gate that tests the gate.
+/// `<rule>` finding; `fixtures/<rule>/good_*.rs` must produce none.
+/// Workspace-rule directories run through the parser/IR pipeline; a
+/// `// cc-lint-fixture-path:` comment lets a fixture impersonate a real
+/// workspace path for path-scoped rules (serving roots, the unsafe
+/// allowlist). Returns a log plus overall success — the gate that tests
+/// the gate.
 pub fn check_fixtures(fixtures_dir: &Path) -> (String, bool) {
     let mut log = String::new();
     let mut ok = true;
@@ -185,6 +371,7 @@ pub fn check_fixtures(fixtures_dir: &Path) -> (String, bool) {
         .unwrap_or_default();
     dirs.sort();
     let registry = rules::all_rules();
+    let ws_rules: Vec<&'static str> = rules::workspace_rules().iter().map(|r| r.name()).collect();
     for dir in dirs {
         let rule = dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
         if !known_rule(&rule) {
@@ -210,10 +397,25 @@ pub fn check_fixtures(fixtures_dir: &Path) -> (String, bool) {
                 continue;
             };
             let src = String::from_utf8_lossy(&bytes);
+            let path = fixture_path_override(&src).unwrap_or_else(|| name.clone());
             let mut report = Report::default();
-            // Force exactly this rule; allow_hygiene always runs.
-            let only = (rule != ALLOW_HYGIENE).then_some(rule.as_str());
-            lint_source(&name, &src, &registry, &Config::deny_all(), only, &mut report);
+            if ws_rules.contains(&rule.as_str()) {
+                lint_source_workspace(&path, &src, &rule, &Config::deny_all(), &mut report);
+            } else {
+                // Force exactly this rule; allow_hygiene always runs (and,
+                // in its own corpus, also enforces unused allows).
+                let only = (rule != ALLOW_HYGIENE).then_some(rule.as_str());
+                let enforce_unused = rule == ALLOW_HYGIENE;
+                lint_source_opts(
+                    &path,
+                    &src,
+                    &registry,
+                    &Config::deny_all(),
+                    only,
+                    enforce_unused,
+                    &mut report,
+                );
+            }
             let hits = report.findings.iter().filter(|f| f.rule == rule).count();
             let want_bad = name.starts_with("bad_");
             let pass = if want_bad { hits > 0 } else { hits == 0 };

@@ -1,43 +1,55 @@
-//! The `cc-lint` binary: walks the workspace (or explicit paths), runs the
-//! rule catalog, prints human or JSON reports, and exits nonzero on any
+//! The `cc-lint` binary: walks the workspace (or explicit paths, or the
+//! files changed since `HEAD`), runs the token and workspace rule
+//! catalogs, prints human or JSON reports, and exits nonzero on any
 //! deny-level finding. `--check-fixtures` runs the tool against its own
-//! known-bad corpus — the CI step that proves the gate still fires.
+//! known-bad corpus — the CI step that proves the gate still fires — and
+//! `--budget-ms` fails the run if the analyzer itself got slow.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use cc_lint::findings::Severity;
-use cc_lint::{check_fixtures, known_rule, lint_paths, rules, walk, Config};
+use cc_lint::{check_fixtures, known_rule, lint_workspace, rules, walk, Config, LintOptions};
 
 const USAGE: &str = "\
 cc-lint: workspace invariant checker
 
 USAGE:
-    cc-lint [--workspace | PATH...] [OPTIONS]
+    cc-lint [--workspace | --changed-only | PATH...] [OPTIONS]
 
 OPTIONS:
     --workspace          lint every production source file under the
                          workspace root (found by walking up from cwd)
+    --changed-only       lint only files changed since HEAD (git diff +
+                         untracked); the call-graph rules still see the
+                         whole workspace, only reporting is narrowed.
+                         Falls back to --workspace outside a git repo
     --root DIR           use DIR as the workspace root
     --deny RULE[,RULE]   treat RULE (or `all`) as deny (the default)
     --warn RULE[,RULE]   treat RULE (or `all`) as warn (never fails)
     --json               machine-readable output
+    --budget-ms N        fail (exit 1) if the lint pass itself takes
+                         longer than N milliseconds
     --list-rules         print the rule catalog and exit
     --check-fixtures     run the rules against their known-bad fixture
                          corpus and fail unless every rule fires
     -h, --help           this text
 
-Exit codes: 0 clean, 1 deny-level findings (or fixture failures), 2 usage.
+Exit codes: 0 clean, 1 deny-level findings (or fixture/budget failures), 2 usage.
 ";
 
 struct Cli {
     workspace: bool,
+    changed_only: bool,
     root: Option<PathBuf>,
     paths: Vec<PathBuf>,
     config: Config,
     json: bool,
+    budget_ms: Option<u64>,
     list_rules: bool,
     fixtures: bool,
 }
@@ -45,10 +57,12 @@ struct Cli {
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         workspace: false,
+        changed_only: false,
         root: None,
         paths: Vec::new(),
         config: Config::deny_all(),
         json: false,
+        budget_ms: None,
         list_rules: false,
         fixtures: false,
     };
@@ -57,14 +71,19 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         let arg = args[i].as_str();
         match arg {
             "--workspace" => cli.workspace = true,
+            "--changed-only" => cli.changed_only = true,
             "--json" => cli.json = true,
             "--list-rules" => cli.list_rules = true,
             "--check-fixtures" => cli.fixtures = true,
-            "--root" | "--deny" | "--warn" => {
+            "--root" | "--deny" | "--warn" | "--budget-ms" => {
                 i += 1;
                 let value = args.get(i).ok_or_else(|| format!("{arg} needs a value"))?;
                 match arg {
                     "--root" => cli.root = Some(PathBuf::from(value)),
+                    "--budget-ms" => {
+                        cli.budget_ms =
+                            Some(value.parse().map_err(|_| format!("bad --budget-ms `{value}`"))?);
+                    }
                     _ => {
                         let severity =
                             if arg == "--deny" { Severity::Deny } else { Severity::Warn };
@@ -103,7 +122,41 @@ fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
+/// Files changed since HEAD (tracked modifications plus untracked files),
+/// as workspace-relative paths — or `None` when git is unavailable or the
+/// root is not a repository (the caller falls back to a full walk).
+fn changed_files(root: &Path) -> Option<Vec<PathBuf>> {
+    let run = |args: &[&str]| -> Option<Vec<String>> {
+        let out = std::process::Command::new("git").args(args).current_dir(root).output().ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        Some(
+            String::from_utf8_lossy(&out.stdout)
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(str::to_owned)
+                .collect(),
+        )
+    };
+    let mut names = run(&["diff", "--name-only", "HEAD"])?;
+    // Untracked production files are usually exactly what is being edited.
+    names.extend(run(&["ls-files", "--others", "--exclude-standard"]).unwrap_or_default());
+    names.sort();
+    names.dedup();
+    Some(
+        names
+            .into_iter()
+            .filter(|n| n.ends_with(".rs"))
+            .map(PathBuf::from)
+            .filter(|p| walk::is_production_path(p) && root.join(p).is_file())
+            .collect(),
+    )
+}
+
 fn main() -> ExitCode {
+    let started = Instant::now();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
@@ -120,6 +173,9 @@ fn main() -> ExitCode {
 
     if cli.list_rules {
         for rule in rules::all_rules() {
+            println!("{:<18} {}", rule.name(), rule.summary());
+        }
+        for rule in rules::workspace_rules() {
             println!("{:<18} {}", rule.name(), rule.summary());
         }
         println!(
@@ -145,10 +201,25 @@ fn main() -> ExitCode {
         }
     };
 
-    let files: Vec<PathBuf> = if cli.workspace || cli.paths.is_empty() {
-        walk::workspace_files(&root)
-    } else {
-        cli.paths
+    // The IR set is always the full workspace (the call-graph rules need
+    // every edge); `report_files` narrows which findings are *reported*.
+    let all_files = walk::workspace_files(&root);
+    let mut opts = LintOptions::default();
+    if cli.changed_only {
+        match changed_files(&root) {
+            Some(changed) => {
+                opts.report_files = Some(
+                    changed
+                        .iter()
+                        .map(|p| p.to_string_lossy().into_owned())
+                        .collect::<BTreeSet<_>>(),
+                );
+            }
+            None => eprintln!("cc-lint: not a git checkout; falling back to --workspace"),
+        }
+    } else if !cli.workspace && !cli.paths.is_empty() {
+        let scoped: BTreeSet<String> = cli
+            .paths
             .iter()
             .map(|p| {
                 // Accept both workspace-relative and cwd-relative paths.
@@ -161,14 +232,29 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|_| p.clone())
                 }
             })
-            .collect()
-    };
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        opts.report_files = Some(scoped);
+    }
+    // Unused allows are only decidable when every finding was in scope.
+    opts.enforce_unused_allows = opts.report_files.is_none();
 
-    let report = lint_paths(&root, &files, &cli.config, None);
+    let report = lint_workspace(&root, &all_files, &cli.config, &opts);
     if cli.json {
         println!("{}", report.render_json());
     } else {
         print!("{}", report.render_human());
+    }
+    let elapsed = started.elapsed();
+    if let Some(budget) = cli.budget_ms {
+        if elapsed.as_millis() > u128::from(budget) {
+            eprintln!(
+                "cc-lint: run took {}ms, over the {budget}ms budget — the analyzer may not \
+                 become the slowest CI stage",
+                elapsed.as_millis()
+            );
+            return ExitCode::from(1);
+        }
     }
     if report.deny_count() > 0 {
         ExitCode::from(1)

@@ -1,0 +1,65 @@
+//! Rule `lock_order`: no conflicting lock-acquisition order anywhere in
+//! the call graph.
+//!
+//! `lock_discipline` catches the per-function, per-binding double
+//! acquisition; it is blind to the classic deadlock where thread 1 runs
+//! `fn ab` (alpha, then beta) while thread 2 runs `fn ba` (beta, then
+//! alpha) — each function is individually well-behaved. This rule builds
+//! the global lock-order graph (an edge `A -> B` whenever some function
+//! acquires `B` directly or through a callee while holding `A`) and
+//! reports every cycle with the full path: which functions, which files,
+//! which lines, and through which calls the conflicting orders arise.
+//! Same-key self-edges are excluded — index-collapsed keys like
+//! `shards[]` make `shards[i]` then `shards[j]` look identical, and
+//! single-key re-acquisition is `lock_discipline`'s beat.
+
+use super::{WorkspaceRule, WsFinding};
+use crate::graph::{find_lock_cycles, WorkspaceIr};
+
+pub struct LockOrder;
+
+impl WorkspaceRule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock_order"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no conflicting lock-acquisition cycles across the call graph (cross-function deadlocks)"
+    }
+
+    fn check(&self, ws: &WorkspaceIr) -> Vec<WsFinding> {
+        let graph = ws.lock_order_edges();
+        find_lock_cycles(&graph)
+            .into_iter()
+            .map(|cycle| {
+                let path = cycle.keys.join(" -> ");
+                let legs: Vec<String> = cycle
+                    .witnesses
+                    .iter()
+                    .zip(cycle.keys.windows(2))
+                    .map(|(w, pair)| {
+                        let via = w
+                            .via
+                            .as_deref()
+                            .map(|v| format!(" via call to `{v}`"))
+                            .unwrap_or_default();
+                        format!(
+                            "`{}` holds {} then takes {}{} ({}:{})",
+                            w.func, pair[0], pair[1], via, w.file, w.line
+                        )
+                    })
+                    .collect();
+                let first = cycle.witnesses.first();
+                WsFinding {
+                    file: first.map(|w| w.file.clone()).unwrap_or_default(),
+                    line: first.map_or(0, |w| w.line),
+                    message: format!(
+                        "lock-order cycle {path}: {}; two threads interleaving these \
+                         orders deadlock — pick one global order",
+                        legs.join("; ")
+                    ),
+                }
+            })
+            .collect()
+    }
+}

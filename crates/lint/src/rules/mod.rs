@@ -9,10 +9,15 @@
 mod atomics;
 mod determinism;
 mod distance_arith;
+mod lock_order;
 mod locks;
 mod no_panic;
+mod panic_path;
+mod reactor_blocking;
 mod sentinel;
+mod unsafe_audit;
 
+use crate::graph::WorkspaceIr;
 use crate::lexer::{Token, TokenKind};
 
 /// Everything a rule gets to look at for one file.
@@ -64,6 +69,55 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(determinism::Determinism),
     ]
 }
+
+/// A violation found by a workspace rule (it knows its own file).
+#[derive(Debug)]
+pub struct WsFinding {
+    /// Workspace-relative path the finding anchors to.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation, including the cross-function evidence.
+    pub message: String,
+}
+
+/// A rule that runs once over the whole workspace IR instead of one file
+/// at a time — the call-graph rules.
+pub trait WorkspaceRule {
+    /// Stable rule name, used in `--deny`/`--warn` and allow-comments.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn summary(&self) -> &'static str;
+    /// Scans the assembled workspace.
+    fn check(&self, ws: &WorkspaceIr) -> Vec<WsFinding>;
+}
+
+/// The workspace-rule registry, in catalog order.
+pub fn workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(lock_order::LockOrder),
+        Box::new(reactor_blocking::ReactorBlocking),
+        Box::new(unsafe_audit::UnsafeAudit),
+        Box::new(panic_path::PanicPath),
+    ]
+}
+
+/// Macros that unconditionally panic when reached (shared by `no_panic`,
+/// `panic_path` and the parser's fact extraction).
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// The serving-path files: `no_panic` polices their bodies directly and
+/// `panic_path` treats every function defined in them as a root that must
+/// not *reach* a panic.
+pub const SERVING_FILES: &[&str] = &[
+    "crates/server/src/handlers.rs",
+    "crates/server/src/pool.rs",
+    "crates/server/src/reload.rs",
+    "crates/server/src/reactor.rs",
+    "crates/oracle/src/oracle.rs",
+    "crates/reactor/src/poller.rs",
+    "crates/reactor/src/frame.rs",
+];
 
 /// The oracle's build/query/combine/shard kernels: the files where distance
 /// arithmetic happens and where outputs must be pure functions of their

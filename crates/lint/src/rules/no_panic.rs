@@ -9,21 +9,7 @@
 //! Genuinely-unreachable startup-time cases use the allow escape hatch with
 //! a stated reason.
 
-use super::{path_in, FileContext, RawFinding, Rule};
-
-/// The serving-path files this rule polices.
-const SERVING_FILES: &[&str] = &[
-    "crates/server/src/handlers.rs",
-    "crates/server/src/pool.rs",
-    "crates/server/src/reload.rs",
-    "crates/server/src/reactor.rs",
-    "crates/oracle/src/oracle.rs",
-    "crates/reactor/src/poller.rs",
-    "crates/reactor/src/frame.rs",
-];
-
-/// Macros that unconditionally panic when reached.
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+use super::{path_in, FileContext, RawFinding, Rule, PANIC_MACROS, SERVING_FILES};
 
 pub struct NoPanic;
 

@@ -1,0 +1,64 @@
+//! Rule `panic_path`: a serving-set entry point never *reaches* a panic.
+//!
+//! `no_panic` bans panicking expressions in the serving files themselves;
+//! this rule closes the transitive hole: a handler calling into
+//! `cache.rs` or `registry.rs` (files `no_panic` does not scan) still
+//! dies if the callee `.expect(...)`s — and if it dies holding a shard
+//! or registry lock, the poison takes the whole path down. Every
+//! function defined in the serving files is a root; any panic fact in a
+//! function *reached through at least one call* is a finding, anchored
+//! at the panic site with the call chain in the message. Depth-zero
+//! panics (in a root's own body, with no call edge leading in) are
+//! `no_panic`'s beat and are not re-reported — but a root used as a
+//! helper by another root is reported like any other callee, so a panic
+//! inside a serving file can still surface here when it is reached
+//! through a call. An existing `// cc-lint: allow(no_panic)` at the panic
+//! site also suppresses this rule (the engine treats `no_panic` as an
+//! alias), so a justified startup-path panic needs one comment, not two.
+
+use super::{WorkspaceRule, WsFinding, SERVING_FILES};
+use crate::graph::WorkspaceIr;
+
+pub struct PanicPath;
+
+impl WorkspaceRule for PanicPath {
+    fn name(&self) -> &'static str {
+        "panic_path"
+    }
+
+    fn summary(&self) -> &'static str {
+        "serving entry points must not reach a panicking function anywhere in the call graph"
+    }
+
+    fn check(&self, ws: &WorkspaceIr) -> Vec<WsFinding> {
+        let roots = ws.fns_in_files(SERVING_FILES);
+        // Seeded from root *callees*: everything reached arrived through a
+        // call, so a root's own body (no_panic's beat) is never re-reported.
+        let reached = ws.reachable_via_call(&roots);
+        let mut out = Vec::new();
+        let mut seen: std::collections::BTreeSet<(String, u32)> = std::collections::BTreeSet::new();
+        for &id in reached.keys() {
+            let f = ws.fn_item(id);
+            for p in &f.panics {
+                let file = ws.fn_path(id).to_owned();
+                if !seen.insert((file.clone(), p.line)) {
+                    continue;
+                }
+                let chain = ws.chain_to(&reached, id);
+                out.push(WsFinding {
+                    file,
+                    line: p.line,
+                    message: format!(
+                        "{} can panic and is reachable from serving entry `{}` (call chain \
+                         {}); a panic here kills a worker — and poisons any lock held — \
+                         return an error or recover with `PoisonError::into_inner`",
+                        p.what,
+                        chain.first().cloned().unwrap_or_default(),
+                        chain.join(" -> ")
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

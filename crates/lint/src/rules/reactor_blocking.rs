@@ -1,0 +1,66 @@
+//! Rule `reactor_blocking`: the reactor thread never blocks.
+//!
+//! The epoll transport's whole value is that one thread multiplexes the
+//! listener and every parked keep-alive connection; a single
+//! `thread::sleep`, unbounded `.recv()`, `.join()`, or a `.wait(...)`
+//! made with a lock guard in hand stalls *every* connection at once (the
+//! PR 9 overload backoff slept the reactor for up to a second per
+//! overloaded accept). This rule takes every function defined in the
+//! reactor files as a root and walks the resolved call graph: any
+//! blocking fact in a reachable function is a finding, with the call
+//! chain from the root named in the message. Worker-pool handler bodies
+//! are closures and closures get no incoming edges, so work the reactor
+//! merely *schedules* is not "reachable from the reactor".
+
+use super::{WorkspaceRule, WsFinding};
+use crate::graph::WorkspaceIr;
+
+/// The files whose functions make up the reactor dispatch path.
+pub const REACTOR_FILES: &[&str] =
+    &["crates/server/src/reactor.rs", "crates/reactor/src/poller.rs"];
+
+pub struct ReactorBlocking;
+
+impl WorkspaceRule for ReactorBlocking {
+    fn name(&self) -> &'static str {
+        "reactor_blocking"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no sleep/unbounded recv/join/lock-held wait reachable from the reactor dispatch loop"
+    }
+
+    fn check(&self, ws: &WorkspaceIr) -> Vec<WsFinding> {
+        let roots = ws.fns_in_files(REACTOR_FILES);
+        let reached = ws.reachable(&roots);
+        let mut out = Vec::new();
+        let mut seen: std::collections::BTreeSet<(String, u32)> = std::collections::BTreeSet::new();
+        for &id in reached.keys() {
+            let f = ws.fn_item(id);
+            for b in &f.blocking {
+                let file = ws.fn_path(id).to_owned();
+                if !seen.insert((file.clone(), b.line)) {
+                    continue;
+                }
+                let chain = ws.chain_to(&reached, id);
+                let route = if chain.len() > 1 {
+                    format!("reachable from the reactor via {}", chain.join(" -> "))
+                } else {
+                    format!("on the reactor thread in `{}`", chain[0])
+                };
+                out.push(WsFinding {
+                    file,
+                    line: b.line,
+                    message: format!(
+                        "{} — {}; every parked connection stalls while the reactor is \
+                         blocked (defer with a deadline and return to the event loop \
+                         instead)",
+                        b.kind.describe(),
+                        route
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

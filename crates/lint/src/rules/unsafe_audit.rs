@@ -1,0 +1,76 @@
+//! Rule `unsafe_audit`: every `unsafe` site sits in an allowlisted module
+//! and carries a `// SAFETY:` comment.
+//!
+//! The workspace is `#![deny(unsafe_code)]` everywhere; the two sanctioned
+//! exceptions are the raw epoll/eventfd syscall surface
+//! (`crates/reactor/src/sys.rs`) and the SIGHUP handler installation in
+//! `cc-serve`'s `main.rs` (`mod sighup`). Unsafe anywhere else is a
+//! finding, and even inside the allowlist each site must state the
+//! invariant that makes it sound in a `// SAFETY:` comment within a few
+//! lines above (attributes like `#[allow(unsafe_code)]` may sit between
+//! the comment and the `unsafe` token).
+
+use super::{WorkspaceRule, WsFinding};
+use crate::graph::WorkspaceIr;
+
+/// Allowlisted homes for `unsafe`: a file, optionally narrowed to one
+/// `mod` inside it.
+const ALLOWLIST: &[(&str, Option<&str>)] =
+    &[("crates/reactor/src/sys.rs", None), ("crates/server/src/main.rs", Some("sighup"))];
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may
+/// start (multi-line justifications plus an interleaved attribute).
+const SAFETY_WINDOW: u32 = 6;
+
+pub struct UnsafeAudit;
+
+impl WorkspaceRule for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe_audit"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unsafe only in allowlisted modules (reactor sys, sighup) and always under a SAFETY: comment"
+    }
+
+    fn check(&self, ws: &WorkspaceIr) -> Vec<WsFinding> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            for &line in &file.unsafe_lines {
+                let allowed = ALLOWLIST.iter().any(|(path, module)| {
+                    file.path == *path
+                        && module.is_none_or(|m| {
+                            file.mods.iter().any(|span| {
+                                span.name == m && span.start_line <= line && line <= span.end_line
+                            })
+                        })
+                });
+                if !allowed {
+                    out.push(WsFinding {
+                        file: file.path.clone(),
+                        line,
+                        message: "`unsafe` outside the audited allowlist (reactor `sys.rs`, \
+                                  serve `mod sighup`); wrap the operation in a safe API in an \
+                                  allowlisted module or extend the allowlist in a reviewed \
+                                  change"
+                            .to_owned(),
+                    });
+                }
+                let justified = file
+                    .safety_lines
+                    .iter()
+                    .any(|&s| s <= line && line.saturating_sub(s) <= SAFETY_WINDOW);
+                if !justified {
+                    out.push(WsFinding {
+                        file: file.path.clone(),
+                        line,
+                        message: "`unsafe` without a `// SAFETY:` comment; state the invariant \
+                                  that makes this sound directly above the site"
+                            .to_owned(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

@@ -41,6 +41,16 @@ fn collect(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// True if a workspace-relative path is production source the walker
+/// would have visited (no path component in the skip list): the
+/// `--changed-only` filter for git-reported paths.
+pub fn is_production_path(rel: &Path) -> bool {
+    rel.components().all(|c| {
+        let name = c.as_os_str().to_string_lossy();
+        !SKIP_DIRS.contains(&name.as_ref())
+    })
+}
+
 /// Rewrites a relative path to use `/` separators.
 fn normalize(rel: &Path) -> PathBuf {
     let joined = rel

@@ -15,22 +15,52 @@ fn every_rule_fires_on_bad_and_stays_silent_on_good() {
 #[test]
 fn every_rule_has_both_bad_and_good_fixtures() {
     let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
-    for rule in cc_lint::rules::all_rules() {
-        let dir = fixtures.join(rule.name());
-        let names: Vec<String> = std::fs::read_dir(&dir)
-            .unwrap_or_else(|e| panic!("no fixture dir for rule `{}`: {e}", rule.name()))
+    let mut names: Vec<&'static str> =
+        cc_lint::rules::all_rules().iter().map(|r| r.name()).collect();
+    names.extend(cc_lint::rules::workspace_rules().iter().map(|r| r.name()));
+    for rule in names {
+        let dir = fixtures.join(rule);
+        let files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("no fixture dir for rule `{rule}`: {e}"))
             .flatten()
             .map(|e| e.file_name().to_string_lossy().into_owned())
             .collect();
         assert!(
-            names.iter().any(|n| n.starts_with("bad_")),
-            "rule `{}` has no known-bad fixture",
-            rule.name()
+            files.iter().any(|n| n.starts_with("bad_")),
+            "rule `{rule}` has no known-bad fixture"
         );
         assert!(
-            names.iter().any(|n| n.starts_with("good_")),
-            "rule `{}` has no known-good fixture",
-            rule.name()
+            files.iter().any(|n| n.starts_with("good_")),
+            "rule `{rule}` has no known-good fixture"
+        );
+    }
+}
+
+/// Regression pin for the lock-order analysis: the hand-built AB/BA cycle
+/// fixture must produce a `lock_order` finding whose message spells out the
+/// full cycle — both functions and both locks — so a reader can fix the
+/// ordering without re-deriving the graph.
+#[test]
+fn lock_order_cycle_message_names_the_full_cycle() {
+    let fixture =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/lock_order/bad_ab_ba_cycle.rs");
+    let src = std::fs::read_to_string(&fixture).expect("fixture readable");
+    let mut report = cc_lint::findings::Report::default();
+    cc_lint::lint_source_workspace(
+        "crates/server/src/pool.rs",
+        &src,
+        "lock_order",
+        &cc_lint::Config::default(),
+        &mut report,
+    );
+    assert_eq!(report.findings.len(), 1, "expected exactly one cycle finding: {report:?}");
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "lock_order");
+    for needle in ["Pair::ab", "Pair::ba", "alpha", "beta", "deadlock"] {
+        assert!(
+            f.message.contains(needle),
+            "lock_order message must name `{needle}`; got: {}",
+            f.message
         );
     }
 }

@@ -139,14 +139,19 @@ impl AugDist {
     }
 
     /// Path concatenation: adds lengths and hop counts, absorbing infinity.
+    /// A sum that overflows (or lands on a reserved `MAX` sentinel) clamps
+    /// to [`AugDist::INF`]: a distance too large to represent is
+    /// indistinguishable from unreachable, and this runs on serving paths
+    /// where a panic would kill the worker.
     pub fn combine(self, other: AugDist) -> AugDist {
-        if self.is_finite() && other.is_finite() {
-            AugDist {
-                dist: self.dist.checked_add(other.dist).expect("distance overflow"),
-                hops: self.hops.checked_add(other.hops).expect("hop overflow"),
+        if !(self.is_finite() && other.is_finite()) {
+            return AugDist::INF;
+        }
+        match (self.dist.checked_add(other.dist), self.hops.checked_add(other.hops)) {
+            (Some(dist), Some(hops)) if dist != u64::MAX && hops != u32::MAX => {
+                AugDist { dist, hops }
             }
-        } else {
-            AugDist::INF
+            _ => AugDist::INF,
         }
     }
 

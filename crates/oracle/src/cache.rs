@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use cc_matrix::Dist;
 
@@ -275,18 +275,21 @@ impl<B: QueryBackend> CachingOracle<B> {
     /// cheaper than a second lock round-trip.
     fn query_validated(&self, u: usize, v: usize) -> Dist {
         if self.shards.is_empty() {
-            // Capacity 0: pass-through, accounted as a miss.
+            // Capacity 0: pass-through, accounted as a miss. The caller
+            // validated the pair, so the backend cannot refuse it; INF is
+            // the unreachable fallback, never a panic on a serving path.
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return self.backend.try_query(u, v).expect("pair validated by caller");
+            return self.backend.try_query(u, v).unwrap_or(Dist::INF);
         }
         let key = Self::key(u, v);
-        let mut shard =
-            self.shards[(key % SHARDS as u64) as usize].lock().expect("cache shard poisoned");
+        let mut shard = self.shards[(key % SHARDS as u64) as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(raw) = shard.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Dist::from_raw(raw);
         }
-        let answer = self.backend.try_query(u, v).expect("pair validated by caller");
+        let answer = self.backend.try_query(u, v).unwrap_or(Dist::INF);
         self.misses.fetch_add(1, Ordering::Relaxed);
         shard.insert(key, answer.raw());
         answer
@@ -356,7 +359,7 @@ impl<B: QueryBackend> CachingOracle<B> {
             if count == 0 {
                 continue;
             }
-            let mut shard = self.shards[which].lock().expect("cache shard poisoned");
+            let mut shard = self.shards[which].lock().unwrap_or_else(PoisonError::into_inner);
             for &i in &order[*start..*start + count] {
                 if let Some(raw) = shard.get(keys[i]) {
                     hits += 1;
@@ -364,7 +367,9 @@ impl<B: QueryBackend> CachingOracle<B> {
                     continue;
                 }
                 let (u, v) = pairs[i];
-                let answer = self.backend.try_query(u, v).expect("pair validated by caller");
+                // Pairs were validated before any shard work; INF is the
+                // unreachable fallback, never a panic under a shard lock.
+                let answer = self.backend.try_query(u, v).unwrap_or(Dist::INF);
                 misses += 1;
                 shard.insert(keys[i], answer.raw());
                 out[i] = answer;
@@ -390,7 +395,7 @@ impl<B: QueryBackend> CachingOracle<B> {
         let per_shard: Vec<Vec<u64>> = self
             .shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").keys_by_recency())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).keys_by_recency())
             .collect();
         let mut keys = Vec::with_capacity(limit.min(per_shard.iter().map(Vec::len).sum()));
         let deepest = per_shard.iter().map(Vec::len).max().unwrap_or(0);
@@ -424,12 +429,17 @@ impl<B: QueryBackend> CachingOracle<B> {
                 continue;
             }
             let key = Self::key(u, v);
-            let mut shard =
-                self.shards[(key % SHARDS as u64) as usize].lock().expect("cache shard poisoned");
+            let mut shard = self.shards[(key % SHARDS as u64) as usize]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if shard.contains(key) {
                 continue;
             }
-            let answer = self.backend.try_query(u, v).expect("pair validated above");
+            // check_pair passed, so the backend cannot refuse; skipping on
+            // the unreachable error beats panicking under a shard lock.
+            let Ok(answer) = self.backend.try_query(u, v) else {
+                continue;
+            };
             shard.insert(key, answer.raw());
             warmed += 1;
         }
@@ -442,7 +452,7 @@ impl<B: QueryBackend> CachingOracle<B> {
         // same guard, so the pair is consistent per shard.
         let (mut len, mut capacity) = (0usize, 0usize);
         for s in &self.shards {
-            let shard = s.lock().expect("cache shard poisoned");
+            let shard = s.lock().unwrap_or_else(PoisonError::into_inner);
             len += shard.map.len();
             capacity += shard.capacity;
         }

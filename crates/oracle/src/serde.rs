@@ -156,9 +156,12 @@ impl ShardHeader {
 
     /// The node range this shard owns under the recomputed [`ShardPlan`].
     pub fn owned(&self) -> std::ops::Range<usize> {
+        // n/shard_count were validated at parse time, so the plan cannot
+        // fail to rebuild; the empty range is the unreachable fallback
+        // (downstream owned-range checks reject it with an error, which
+        // beats panicking mid-reload).
         ShardPlan::new(self.n, self.shard_count as usize)
-            .expect("validated at parse time")
-            .range(self.shard_index as usize)
+            .map_or(0..0, |plan| plan.range(self.shard_index as usize))
     }
 }
 
@@ -204,10 +207,12 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
     fn u32(&mut self) -> Result<u32, OracleError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let bytes = self.take(4)?.try_into().map_err(|_| corrupt("short u32 read"))?;
+        Ok(u32::from_le_bytes(bytes))
     }
     fn u64(&mut self) -> Result<u64, OracleError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let bytes = self.take(8)?.try_into().map_err(|_| corrupt("short u64 read"))?;
+        Ok(u64::from_le_bytes(bytes))
     }
     fn len(&mut self, what: &str, cap: usize) -> Result<usize, OracleError> {
         let raw = self.u64()?;

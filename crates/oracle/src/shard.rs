@@ -633,10 +633,9 @@ impl ShardRouter {
                 return Err(OracleError::QueryOutOfRange { u, v, n });
             }
         }
-        Ok(pairs
-            .iter()
-            .map(|&(u, v)| self.try_query(u, v).expect("pairs validated above"))
-            .collect())
+        // Pairs are validated above, so per-pair errors are unreachable;
+        // collecting into Result propagates them instead of panicking.
+        pairs.iter().map(|&(u, v)| self.try_query(u, v)).collect()
     }
 }
 

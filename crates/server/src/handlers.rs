@@ -1322,7 +1322,7 @@ mod tests {
         req.method = "HEAD".into();
         let head = s.handle(&req);
         let get_resp = s.handle(&get("/distance", &[("u", "0"), ("v", "5")]));
-        assert_eq!((head.status, head.body), (get_resp.status, get_resp.body.clone()));
+        assert_eq!((head.status, head.body), (get_resp.status, get_resp.body));
         // HEAD on a POST-only route is still a 405, and truly unknown
         // methods stay rejected.
         let mut req = post("/reload", b"");

@@ -58,8 +58,10 @@ mod sighup {
     #[must_use]
     #[allow(unsafe_code)]
     pub fn install() -> bool {
-        // SIG_ERR is (void (*)(int))-1. Safe because `on_sighup` only
-        // touches an atomic (the async-signal-safe subset).
+        // SAFETY: `on_sighup` only touches an atomic, which is within the
+        // async-signal-safe subset; the handler pointer outlives the
+        // process ('static fn item). SIG_ERR is (void (*)(int))-1, hence
+        // the -1 comparison.
         unsafe { signal(SIGHUP, on_sighup) != -1 }
     }
 

@@ -56,6 +56,21 @@ mod imp {
         deadline: Instant,
     }
 
+    /// What `accept_burst` left the listener in.
+    enum AcceptOutcome {
+        /// Drained to `WouldBlock`; the listener stays registered.
+        Drained,
+        /// Kernel out of resources (EMFILE & co): the listener was
+        /// deregistered so level-triggered epoll stops re-firing it; the
+        /// reactor re-registers it once the deadline passes. The reactor
+        /// thread itself never sleeps — parked connections keep serving
+        /// while accepts are deferred.
+        Deferred(Instant),
+        /// Fatal accept error: the listener is retired for good (parked
+        /// connections still serve).
+        Retired,
+    }
+
     pub(super) fn reactor_loop(
         listener: &TcpListener,
         config: &ServerConfig,
@@ -105,12 +120,25 @@ mod imp {
         let mut events: Vec<Event> = Vec::new();
         let mut backoff = AcceptBackoff::new();
         let mut accepting = true;
+        // While `Some`, the listener is deregistered (overload backoff);
+        // the deadline is folded into the wait timeout below so deferral
+        // never blocks the reactor thread itself.
+        let mut resume_accept_at: Option<Instant> = None;
 
         while !shutdown.load(Ordering::Acquire) {
-            let timeout =
-                parked.values().map(|p| p.deadline).min().map_or(MAX_WAIT, |d| {
-                    d.saturating_duration_since(Instant::now()).min(MAX_WAIT)
-                });
+            if let Some(at) = resume_accept_at {
+                if Instant::now() >= at {
+                    resume_accept_at = None;
+                    use std::os::fd::AsRawFd;
+                    if poller.add(listener.as_raw_fd(), LISTENER_TOKEN).is_err() {
+                        eprintln!("cc-serve: could not re-register listener, no longer accepting");
+                        accepting = false;
+                    }
+                }
+            }
+            let next_deadline = parked.values().map(|p| p.deadline).chain(resume_accept_at).min();
+            let timeout = next_deadline
+                .map_or(MAX_WAIT, |d| d.saturating_duration_since(Instant::now()).min(MAX_WAIT));
             events.clear();
             if poller.wait(&mut events, Some(timeout)).is_err() {
                 // epoll itself failed; nothing event-driven can continue.
@@ -120,7 +148,7 @@ mod imp {
             for ev in &events {
                 if ev.token == LISTENER_TOKEN {
                     if accepting {
-                        accepting = accept_burst(
+                        match accept_burst(
                             listener,
                             config,
                             state,
@@ -128,7 +156,11 @@ mod imp {
                             &mut parked,
                             &mut next_token,
                             &mut backoff,
-                        );
+                        ) {
+                            AcceptOutcome::Drained => {}
+                            AcceptOutcome::Deferred(at) => resume_accept_at = Some(at),
+                            AcceptOutcome::Retired => accepting = false,
+                        }
                     }
                 } else if let Some(p) = parked.remove(&ev.token) {
                     let _ = poller.delete(p.conn.fd());
@@ -186,8 +218,9 @@ mod imp {
         }
     }
 
-    /// Accepts until the listener would block. Returns `false` when a fatal
-    /// accept error retired the listener (parked connections still serve).
+    /// Accepts until the listener would block. See [`AcceptOutcome`] for
+    /// the three ways out; on overload and on fatal errors the listener is
+    /// deregistered here, never slept on.
     fn accept_burst(
         listener: &TcpListener,
         config: &ServerConfig,
@@ -196,7 +229,7 @@ mod imp {
         parked: &mut HashMap<u64, Parked>,
         next_token: &mut u64,
         backoff: &mut AcceptBackoff,
-    ) -> bool {
+    ) -> AcceptOutcome {
         loop {
             match listener.accept() {
                 Ok((stream, _peer)) => {
@@ -215,24 +248,27 @@ mod imp {
                         park(poller, parked, conn, token, Instant::now() + config.read_timeout);
                     }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return AcceptOutcome::Drained,
                 Err(e) => {
                     state.count_accept_error();
                     match classify_accept_error(&e) {
                         AcceptErrorClass::Transient => {}
                         AcceptErrorClass::Overload => {
-                            // Bounded sleep on the reactor thread: accepting
-                            // is pointless while the kernel is out of
-                            // resources, and the level-triggered listener
-                            // re-fires once we return to `wait`.
-                            std::thread::sleep(backoff.next());
-                            return true;
+                            // Accepting is pointless while the kernel is out
+                            // of resources, but sleeping here would stall
+                            // every parked connection. Deregister the
+                            // listener (level-triggered epoll would re-fire
+                            // it instantly otherwise) and let the reactor
+                            // re-register it after the backoff deadline.
+                            use std::os::fd::AsRawFd;
+                            let _ = poller.delete(listener.as_raw_fd());
+                            return AcceptOutcome::Deferred(Instant::now() + backoff.next());
                         }
                         AcceptErrorClass::Fatal => {
                             eprintln!("cc-serve: fatal accept error, no longer accepting: {e}");
                             use std::os::fd::AsRawFd;
                             let _ = poller.delete(listener.as_raw_fd());
-                            return false;
+                            return AcceptOutcome::Retired;
                         }
                     }
                 }

@@ -10,7 +10,7 @@
 
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::json::JsonObject;
 
@@ -107,13 +107,13 @@ impl SharedBuf {
 
     /// The buffered bytes as a string (lossy).
     pub fn contents(&self) -> String {
-        String::from_utf8_lossy(&self.0.lock().expect("sink poisoned")).into_owned()
+        String::from_utf8_lossy(&self.0.lock().unwrap_or_else(PoisonError::into_inner)).into_owned()
     }
 }
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().expect("sink poisoned").extend_from_slice(buf);
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::hist::{HistSnapshot, Histogram};
 
@@ -179,28 +179,28 @@ impl Registry {
 
     /// Attaches help text to a metric family (`# HELP` in the exposition).
     pub fn describe(&self, family: &str, help: &str) {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.help.insert(family.to_owned(), help.to_owned());
     }
 
     /// Returns (registering on first use) the counter `family{labels}`.
     pub fn counter(&self, family: &str, labels: &[(&str, &str)]) -> Counter {
         let id = MetricId::new(family, labels);
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.counters.entry(id).or_insert_with(|| Counter::new(self.enabled)).clone()
     }
 
     /// Returns (registering on first use) the gauge `family{labels}`.
     pub fn gauge(&self, family: &str, labels: &[(&str, &str)]) -> Gauge {
         let id = MetricId::new(family, labels);
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.gauges.entry(id).or_insert_with(|| Gauge::new(self.enabled)).clone()
     }
 
     /// Returns (registering on first use) the histogram `family{labels}`.
     pub fn histogram(&self, family: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         let id = MetricId::new(family, labels);
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner
             .histograms
             .entry(id)
@@ -211,7 +211,7 @@ impl Registry {
     /// Captures every registered metric at once, ordered by family then
     /// label set.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         RegistrySnapshot {
             counters: inner.counters.iter().map(|(id, c)| (id.clone(), c.get())).collect(),
             gauges: inner.gauges.iter().map(|(id, g)| (id.clone(), g.get())).collect(),
